@@ -1,0 +1,34 @@
+//! Criterion companion to Figure 13: gSketch construction time
+//! (partition + calibrate, excluding stream ingest which Figure 13
+//! itself reports) across memory budgets.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsketch::GSketch;
+use gsketch_bench::harness::calibration_probe;
+use gsketch_bench::*;
+
+fn bench_construction(c: &mut Criterion) {
+    let bundle = Bundle::load(Dataset::Dblp, 0.05, EXPERIMENT_SEED);
+    let sample = bundle.dataset.data_sample(&bundle.stream, EXPERIMENT_SEED);
+    let rate = sample.len() as f64 / bundle.stream.len() as f64;
+    let probe = calibration_probe(&bundle.stream);
+    let mut g = c.benchmark_group("construction");
+    g.sample_size(10);
+    for mem in [256 << 10, 1 << 20, 4 << 20] {
+        g.bench_with_input(BenchmarkId::new("partition+calibrate", fmt_bytes(mem)), &mem, |b, &mem| {
+            b.iter(|| {
+                black_box(
+                    GSketch::builder()
+                        .memory_bytes(mem)
+                        .sample_rate(rate)
+                        .build_from_sample_calibrated(black_box(&sample), &probe)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Figure 4: average relative error of edge queries Qe vs memory,
+//! scenario 1 (data sample only), all three datasets.
+
+use gsketch_bench::figures::{memory_sweep_edge_figure, Metric};
+use gsketch_bench::{Dataset, Scenario};
+
+fn main() {
+    memory_sweep_edge_figure(
+        "Figure 4",
+        &Dataset::ALL,
+        Scenario::DataOnly,
+        Metric::AvgRelativeError,
+    );
+}

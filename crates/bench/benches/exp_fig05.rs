@@ -1,0 +1,14 @@
+//! Figure 5: number of effective edge queries (er ≤ G0 = 5) vs memory,
+//! scenario 1 (data sample only), all three datasets.
+
+use gsketch_bench::figures::{memory_sweep_edge_figure, Metric};
+use gsketch_bench::{Dataset, Scenario};
+
+fn main() {
+    memory_sweep_edge_figure(
+        "Figure 5",
+        &Dataset::ALL,
+        Scenario::DataOnly,
+        Metric::EffectiveQueries,
+    );
+}

@@ -1,0 +1,9 @@
+//! Figure 6: aggregate subgraph query accuracy vs memory on DBLP,
+//! scenario 1 (data sample only), Γ = SUM.
+
+use gsketch_bench::figures::memory_sweep_subgraph_figure;
+use gsketch_bench::Scenario;
+
+fn main() {
+    memory_sweep_subgraph_figure("Figure 6", Scenario::DataOnly);
+}

@@ -1,0 +1,14 @@
+//! Figure 8: number of effective edge queries vs memory,
+//! scenario 2 (data + workload samples, Zipf α = 1.5).
+
+use gsketch_bench::figures::{memory_sweep_edge_figure, Metric};
+use gsketch_bench::{Dataset, Scenario};
+
+fn main() {
+    memory_sweep_edge_figure(
+        "Figure 8",
+        &Dataset::ALL,
+        Scenario::DataWorkload { alpha: 1.5 },
+        Metric::EffectiveQueries,
+    );
+}

@@ -1,0 +1,9 @@
+//! Figure 9: aggregate subgraph query accuracy vs memory on DBLP,
+//! scenario 2 (data + workload samples, Zipf α = 1.5), Γ = SUM.
+
+use gsketch_bench::figures::memory_sweep_subgraph_figure;
+use gsketch_bench::Scenario;
+
+fn main() {
+    memory_sweep_subgraph_figure("Figure 9", Scenario::DataWorkload { alpha: 1.5 });
+}

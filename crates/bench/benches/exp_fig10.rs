@@ -1,0 +1,9 @@
+//! Figure 10: average relative error of edge queries vs Zipf skew α,
+//! fixed memory (2M for DBLP/IP Attack, 8M for GTGraph at our scale).
+
+use gsketch_bench::figures::{alpha_sweep_edge_figure, Metric};
+use gsketch_bench::Dataset;
+
+fn main() {
+    alpha_sweep_edge_figure("Figure 10", &Dataset::ALL, Metric::AvgRelativeError);
+}

@@ -1,0 +1,9 @@
+//! Figure 11: number of effective edge queries vs Zipf skew α,
+//! fixed memory.
+
+use gsketch_bench::figures::{alpha_sweep_edge_figure, Metric};
+use gsketch_bench::Dataset;
+
+fn main() {
+    alpha_sweep_edge_figure("Figure 11", &Dataset::ALL, Metric::EffectiveQueries);
+}

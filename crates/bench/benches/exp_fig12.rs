@@ -1,0 +1,8 @@
+//! Figure 12: aggregate subgraph query accuracy vs Zipf skew α on DBLP,
+//! fixed memory, Γ = SUM.
+
+use gsketch_bench::figures::alpha_sweep_subgraph_figure;
+
+fn main() {
+    alpha_sweep_subgraph_figure("Figure 12");
+}

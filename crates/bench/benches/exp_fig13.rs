@@ -1,0 +1,32 @@
+//! Figure 13: gSketch construction time T_c (sketch partitioning +
+//! stream ingest) vs memory, for both sampling scenarios.
+
+use gsketch_bench::*;
+
+fn main() {
+    for (panel, ds) in Dataset::ALL.into_iter().enumerate() {
+        let bundle = load(ds);
+        let data_sets = make_query_sets(&bundle, Scenario::DataOnly, EXPERIMENT_SEED);
+        let wl_scenario = Scenario::DataWorkload { alpha: 1.5 };
+        let wl_sets = make_query_sets(&bundle, wl_scenario, EXPERIMENT_SEED);
+        let mut t = Table::new(
+            format!(
+                "Figure 13({}) {} — construction time T_c (seconds) vs memory",
+                (b'a' + panel as u8) as char,
+                ds.name()
+            ),
+            &["memory", "data sample", "data + workload", "global"],
+        );
+        for mem in ds.memory_sweep() {
+            let r1 = run_cell(&bundle, &data_sets, Scenario::DataOnly, mem, EXPERIMENT_SEED);
+            let r2 = run_cell(&bundle, &wl_sets, wl_scenario, mem, EXPERIMENT_SEED);
+            t.row(vec![
+                fmt_bytes(mem),
+                format!("{:.3}", r1.gsketch_construction.as_secs_f64()),
+                format!("{:.3}", r2.gsketch_construction.as_secs_f64()),
+                format!("{:.3}", r1.global_construction.as_secs_f64()),
+            ]);
+        }
+        t.print();
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 14: query processing time T_p vs memory. The paper reports the
+//! time to answer the full query set; we report microseconds per query
+//! for both systems (and for subgraph queries on DBLP, as in 14(a)).
+
+use gsketch_bench::*;
+
+fn main() {
+    for (panel, ds) in Dataset::ALL.into_iter().enumerate() {
+        let bundle = load(ds);
+        let sets = make_query_sets(&bundle, Scenario::DataOnly, EXPERIMENT_SEED);
+        let header: &[&str] = if ds == Dataset::Dblp {
+            &["memory", "Global (Qe)", "gSketch (Qe)", "Global (Qg)", "gSketch (Qg)"]
+        } else {
+            &["memory", "Global (Qe)", "gSketch (Qe)"]
+        };
+        let mut t = Table::new(
+            format!(
+                "Figure 14({}) {} — query time T_p (us/query) vs memory",
+                (b'a' + panel as u8) as char,
+                ds.name()
+            ),
+            header,
+        );
+        for mem in ds.memory_sweep() {
+            let r = run_cell(&bundle, &sets, Scenario::DataOnly, mem, EXPERIMENT_SEED);
+            let per_q = |d: std::time::Duration, n: usize| {
+                format!("{:.3}", d.as_secs_f64() * 1e6 / n.max(1) as f64)
+            };
+            let mut row = vec![
+                fmt_bytes(mem),
+                per_q(r.global_query_time, r.global.total_queries),
+                per_q(r.gsketch_query_time, r.gsketch.total_queries),
+            ];
+            if ds == Dataset::Dblp {
+                let rs = run_subgraph_cell(&bundle, &sets, Scenario::DataOnly, mem, EXPERIMENT_SEED);
+                row.push(per_q(rs.global_query_time, rs.global.total_queries));
+                row.push(per_q(rs.gsketch_query_time, rs.gsketch.total_queries));
+            }
+            t.row(row);
+        }
+        t.print();
+    }
+}

@@ -1,0 +1,81 @@
+//! Structural-query experiments (§7 future work): triangle estimation
+//! accuracy/space vs the sparsification probability, and 2-path totals
+//! from the |V|-independent path sketch vs exact counters.
+
+use gsketch_bench::*;
+use gstream::vertex::VertexId;
+use structural::{ExactTriangleCounter, PathAggregator, PathSketch, TriangleEstimator};
+
+fn main() {
+    // Use the DBLP-like stream: co-authorship graphs are triangle-rich.
+    let bundle = load(Dataset::Dblp);
+
+    // --- Triangles vs sparsification probability ------------------------
+    let mut exact = ExactTriangleCounter::new();
+    exact.ingest(&bundle.stream);
+    let truth = exact.triangles() as f64;
+
+    let mut t = Table::new(
+        "Structural 1 — DOULION triangle estimation vs keep probability p (DBLP)",
+        &["p", "estimate", "exact", "rel err", "edges kept"],
+    );
+    for &p in &[1.0, 0.5, 0.3, 0.1, 0.05] {
+        let mut est = TriangleEstimator::new(p, 7);
+        est.ingest(&bundle.stream);
+        let got = est.estimate();
+        let rel = if truth > 0.0 { (got - truth).abs() / truth } else { 0.0 };
+        t.row(vec![
+            format!("{p}"),
+            format!("{got:.0}"),
+            format!("{truth:.0}"),
+            fmt_f(rel),
+            est.retained_edges().to_string(),
+        ]);
+    }
+    t.print();
+
+    // --- 2-path totals: exact O(|V|) vs sketched ------------------------
+    let mut agg = PathAggregator::new();
+    agg.ingest(&bundle.stream);
+    let exact_total = agg.total_paths() as f64;
+
+    let mut t = Table::new(
+        "Structural 2 — total 2-paths: exact counters vs CountSketch inner product (DBLP)",
+        &["sketch width", "bytes", "estimate", "exact", "rel err"],
+    );
+    for &width in &[256usize, 1024, 4096, 16384] {
+        let mut sk = PathSketch::new(width, 5, 11).expect("valid path sketch");
+        sk.ingest(&bundle.stream);
+        let got = sk.total_paths();
+        let rel = (got - exact_total).abs() / exact_total;
+        t.row(vec![
+            width.to_string(),
+            sk.bytes().to_string(),
+            format!("{got:.3e}"),
+            format!("{exact_total:.3e}"),
+            fmt_f(rel),
+        ]);
+    }
+    t.print();
+
+    // --- Hub agreement: do sketched top hubs match exact top hubs? ------
+    let exact_hubs: Vec<VertexId> = agg.top_hubs(20).into_iter().map(|(v, _)| v).collect();
+    let mut sk = PathSketch::new(4096, 5, 11).expect("valid path sketch");
+    sk.ingest(&bundle.stream);
+    let mut scored: Vec<(VertexId, u128)> = exact_hubs
+        .iter()
+        .map(|&v| (v, sk.through_flow(v)))
+        .collect();
+    scored.sort_unstable_by_key(|&(_, flow)| std::cmp::Reverse(flow));
+    let overlap = scored
+        .iter()
+        .take(10)
+        .filter(|(v, _)| exact_hubs[..10].contains(v))
+        .count();
+    let mut t = Table::new(
+        "Structural 3 — top-10 path-hub agreement, sketched vs exact (DBLP)",
+        &["exact top-10 recovered by sketch"],
+    );
+    t.row(vec![format!("{overlap}/10")]);
+    t.print();
+}

@@ -1,0 +1,49 @@
+//! Table 1: robustness of the outlier sketch (GTGraph). Compares the
+//! average relative error of ALL edge queries answered by gSketch with
+//! the error of only those queries answered by the outlier sketch.
+
+use gsketch::{evaluate_edge_queries, GSketch, SketchId, DEFAULT_G0};
+use gsketch_bench::harness::{
+    calibration_probe, EXPERIMENT_DEPTH, EXPERIMENT_MIN_WIDTH,
+};
+use gsketch_bench::*;
+
+fn main() {
+    let ds = Dataset::GtGraph;
+    let bundle = load(ds);
+    let sets = make_query_sets(&bundle, Scenario::DataOnly, EXPERIMENT_SEED);
+    let sample = ds.data_sample(&bundle.stream, EXPERIMENT_SEED);
+    let rate = sample.len() as f64 / bundle.stream.len() as f64;
+    let probe = calibration_probe(&bundle.stream);
+
+    let mut t = Table::new(
+        "Table 1 — avg relative error of gSketch vs its outlier sketch (GTGraph)",
+        &["memory", "gSketch (all queries)", "outlier sketch only", "outlier queries"],
+    );
+    for mem in ds.memory_sweep() {
+        let mut gs = GSketch::builder()
+            .memory_bytes(mem)
+            .depth(EXPERIMENT_DEPTH)
+            .min_width(EXPERIMENT_MIN_WIDTH)
+            .sample_rate(rate)
+            .seed(EXPERIMENT_SEED)
+            .build_from_sample_calibrated(&sample, &probe)
+            .expect("valid build");
+        gs.ingest(&bundle.stream);
+        let all = evaluate_edge_queries(&gs, &sets.edges, &bundle.truth, DEFAULT_G0);
+        let outlier_queries: Vec<_> = sets
+            .edges
+            .iter()
+            .copied()
+            .filter(|e| matches!(gs.route(*e), SketchId::Outlier))
+            .collect();
+        let out = evaluate_edge_queries(&gs, &outlier_queries, &bundle.truth, DEFAULT_G0);
+        t.row(vec![
+            fmt_bytes(mem),
+            fmt_f(all.avg_relative_error),
+            fmt_f(out.avg_relative_error),
+            format!("{}/{}", outlier_queries.len(), sets.edges.len()),
+        ]);
+    }
+    t.print();
+}

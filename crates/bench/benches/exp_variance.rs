@@ -1,0 +1,25 @@
+//! §6.1 dataset characterisation: the σ_G/σ_V variance ratio table.
+//! Paper values: DBLP 3.674, IP Attack 10.107, GTGraph 4.156.
+
+use gsketch_bench::*;
+use gstream::VarianceStats;
+
+fn main() {
+    let mut t = Table::new(
+        "Section 6.1 — variance ratio of edge frequencies",
+        &["dataset", "arrivals", "distinct", "sigma_G", "sigma_V", "ratio"],
+    );
+    for ds in Dataset::ALL {
+        let b = load(ds);
+        let v = VarianceStats::from_counts(&b.truth);
+        t.row(vec![
+            ds.name().to_string(),
+            b.truth.arrivals().to_string(),
+            b.truth.distinct_edges().to_string(),
+            fmt_f(v.global),
+            fmt_f(v.local),
+            fmt_f(v.ratio()),
+        ]);
+    }
+    t.print();
+}

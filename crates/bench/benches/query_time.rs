@@ -1,0 +1,51 @@
+//! Criterion companion to Figure 14: per-query estimation latency of
+//! gSketch vs Global Sketch, and aggregate subgraph queries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gsketch::{estimate_subgraph, Aggregator, GSketch, GlobalSketch};
+use gsketch_bench::*;
+
+fn bench_query(c: &mut Criterion) {
+    let bundle = Bundle::load(Dataset::Dblp, 0.05, EXPERIMENT_SEED);
+    let sets = make_query_sets(&bundle, Scenario::DataOnly, EXPERIMENT_SEED);
+    let sample = bundle.dataset.data_sample(&bundle.stream, EXPERIMENT_SEED);
+    let mut gs = GSketch::builder()
+        .memory_bytes(2 << 20)
+        .build_from_sample(&sample)
+        .unwrap();
+    gs.ingest(&bundle.stream);
+    let mut gl = GlobalSketch::new(2 << 20, 3, EXPERIMENT_SEED).unwrap();
+    gl.ingest(&bundle.stream);
+
+    let mut g = c.benchmark_group("query_time");
+    let mut i = 0usize;
+    g.bench_function("gsketch_edge_query", |b| {
+        b.iter(|| {
+            i = (i + 1) % sets.edges.len();
+            black_box(gs.estimate(black_box(sets.edges[i])))
+        })
+    });
+    g.bench_function("global_edge_query", |b| {
+        b.iter(|| {
+            i = (i + 1) % sets.edges.len();
+            black_box(gl.estimate(black_box(sets.edges[i])))
+        })
+    });
+    let mut j = 0usize;
+    g.bench_function("gsketch_subgraph_query", |b| {
+        b.iter(|| {
+            j = (j + 1) % sets.subgraphs.len();
+            black_box(estimate_subgraph(&gs, &sets.subgraphs[j], Aggregator::Sum))
+        })
+    });
+    g.bench_function("global_subgraph_query", |b| {
+        b.iter(|| {
+            j = (j + 1) % sets.subgraphs.len();
+            black_box(estimate_subgraph(&gl, &sets.subgraphs[j], Aggregator::Sum))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks of the synopsis substrate: update and
+//! point-estimate throughput for CountMin and the assembled gSketch.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gsketch::{GSketch, GlobalSketch};
+use gsketch_bench::*;
+use sketch::CountMinSketch;
+
+fn bench_countmin(c: &mut Criterion) {
+    let mut g = c.benchmark_group("countmin");
+    g.throughput(Throughput::Elements(1));
+    let mut cm = CountMinSketch::new(1 << 16, 3, 7).unwrap();
+    let mut i = 0u64;
+    g.bench_function("update", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9);
+            cm.update(black_box(i), 1);
+        })
+    });
+    g.bench_function("estimate", |b| {
+        b.iter(|| black_box(cm.estimate(black_box(i))))
+    });
+    g.finish();
+}
+
+fn bench_gsketch(c: &mut Criterion) {
+    let bundle = Bundle::load(Dataset::Dblp, 0.02, EXPERIMENT_SEED);
+    let sample = bundle.dataset.data_sample(&bundle.stream, EXPERIMENT_SEED);
+    let mut gs = GSketch::builder()
+        .memory_bytes(1 << 20)
+        .build_from_sample(&sample)
+        .unwrap();
+    let mut gl = GlobalSketch::new(1 << 20, 3, 7).unwrap();
+    let edges: Vec<_> = bundle.stream.iter().map(|se| se.edge).collect();
+    let mut g = c.benchmark_group("ingest+query");
+    g.throughput(Throughput::Elements(1));
+    let mut i = 0usize;
+    g.bench_function("gsketch_update", |b| {
+        b.iter(|| {
+            i = (i + 1) % edges.len();
+            gs.update(black_box(edges[i]), 1);
+        })
+    });
+    g.bench_function("global_update", |b| {
+        b.iter(|| {
+            i = (i + 1) % edges.len();
+            gl.update(black_box(edges[i]), 1);
+        })
+    });
+    g.bench_function("gsketch_estimate", |b| {
+        b.iter(|| {
+            i = (i + 1) % edges.len();
+            black_box(gs.estimate(black_box(edges[i])))
+        })
+    });
+    g.bench_function("global_estimate", |b| {
+        b.iter(|| {
+            i = (i + 1) % edges.len();
+            black_box(gl.estimate(black_box(edges[i])))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_countmin, bench_gsketch
+}
+criterion_main!(benches);

@@ -1,0 +1,179 @@
+//! Shared drivers for the figure-reproduction benches: each paper figure
+//! is a (dataset × x-axis) sweep rendered as an aligned table.
+
+use crate::datasets::Dataset;
+use crate::harness::{
+    load, make_query_sets, run_cell, run_subgraph_cell, CellResult, Scenario, EXPERIMENT_SEED,
+};
+use crate::table::{fmt_bytes, fmt_f, Table};
+
+/// Which accuracy metric a figure reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Average relative error (Figures 4, 6(a), 7, 9(a), 10, 12(a)).
+    AvgRelativeError,
+    /// Number of effective queries (Figures 5, 6(b), 8, 9(b), 11, 12(b)).
+    EffectiveQueries,
+}
+
+impl Metric {
+    fn extract(&self, acc: &gsketch::Accuracy) -> String {
+        match self {
+            Metric::AvgRelativeError => fmt_f(acc.avg_relative_error),
+            Metric::EffectiveQueries => acc.effective_queries.to_string(),
+        }
+    }
+
+    /// Column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Metric::AvgRelativeError => "avg rel err",
+            Metric::EffectiveQueries => "# effective",
+        }
+    }
+}
+
+/// Memory-sweep figure over edge queries (Figures 4, 5, 7, 8).
+pub fn memory_sweep_edge_figure(
+    figure: &str,
+    datasets: &[Dataset],
+    scenario: Scenario,
+    metric: Metric,
+) {
+    for (panel, &ds) in datasets.iter().enumerate() {
+        let bundle = load(ds);
+        let sets = make_query_sets(&bundle, scenario, EXPERIMENT_SEED);
+        let mut t = Table::new(
+            format!(
+                "{figure}({}) {} — {} of edge queries Qe vs memory",
+                (b'a' + panel as u8) as char,
+                ds.name(),
+                metric.label()
+            ),
+            &["memory", "Global Sketch", "gSketch", "gain"],
+        );
+        for mem in ds.memory_sweep() {
+            let r = run_cell(&bundle, &sets, scenario, mem, EXPERIMENT_SEED);
+            t.row(row_for(mem, &r, metric));
+        }
+        t.print();
+    }
+}
+
+/// Memory-sweep figure over aggregate subgraph queries on DBLP
+/// (Figures 6 and 9).
+pub fn memory_sweep_subgraph_figure(figure: &str, scenario: Scenario) {
+    let ds = Dataset::Dblp;
+    let bundle = load(ds);
+    let sets = make_query_sets(&bundle, scenario, EXPERIMENT_SEED);
+    for (panel, metric) in [Metric::AvgRelativeError, Metric::EffectiveQueries]
+        .into_iter()
+        .enumerate()
+    {
+        let mut t = Table::new(
+            format!(
+                "{figure}({}) {} — {} of subgraph queries Qg vs memory (Γ = SUM)",
+                (b'a' + panel as u8) as char,
+                ds.name(),
+                metric.label()
+            ),
+            &["memory", "Global Sketch", "gSketch", "gain"],
+        );
+        for mem in ds.memory_sweep() {
+            let r = run_subgraph_cell(&bundle, &sets, scenario, mem, EXPERIMENT_SEED);
+            t.row(row_for(mem, &r, metric));
+        }
+        t.print();
+    }
+}
+
+/// α-sweep figure at fixed memory over edge queries (Figures 10, 11).
+pub fn alpha_sweep_edge_figure(figure: &str, datasets: &[Dataset], metric: Metric) {
+    for (panel, &ds) in datasets.iter().enumerate() {
+        let bundle = load(ds);
+        let mem = ds.fixed_memory();
+        let mut t = Table::new(
+            format!(
+                "{figure}({}) {} — {} of edge queries Qe vs Zipf skew α (memory {})",
+                (b'a' + panel as u8) as char,
+                ds.name(),
+                metric.label(),
+                fmt_bytes(mem)
+            ),
+            &["alpha", "Global Sketch", "gSketch", "gain"],
+        );
+        for alpha in [1.2, 1.4, 1.6, 1.8, 2.0] {
+            let scenario = Scenario::DataWorkload { alpha };
+            let sets = make_query_sets(&bundle, scenario, EXPERIMENT_SEED);
+            let r = run_cell(&bundle, &sets, scenario, mem, EXPERIMENT_SEED);
+            let mut row = row_for(mem, &r, metric);
+            row[0] = format!("{alpha:.1}");
+            t.row(row);
+        }
+        t.print();
+    }
+}
+
+/// α-sweep over DBLP subgraph queries (Figure 12).
+pub fn alpha_sweep_subgraph_figure(figure: &str) {
+    let ds = Dataset::Dblp;
+    let bundle = load(ds);
+    let mem = ds.fixed_memory();
+    for (panel, metric) in [Metric::AvgRelativeError, Metric::EffectiveQueries]
+        .into_iter()
+        .enumerate()
+    {
+        let mut t = Table::new(
+            format!(
+                "{figure}({}) {} — {} of subgraph queries Qg vs Zipf skew α (memory {})",
+                (b'a' + panel as u8) as char,
+                ds.name(),
+                metric.label(),
+                fmt_bytes(mem)
+            ),
+            &["alpha", "Global Sketch", "gSketch", "gain"],
+        );
+        for alpha in [1.2, 1.4, 1.6, 1.8, 2.0] {
+            let scenario = Scenario::DataWorkload { alpha };
+            let sets = make_query_sets(&bundle, scenario, EXPERIMENT_SEED);
+            let r = run_subgraph_cell(&bundle, &sets, scenario, mem, EXPERIMENT_SEED);
+            let mut row = row_for(mem, &r, metric);
+            row[0] = format!("{alpha:.1}");
+            t.row(row);
+        }
+        t.print();
+    }
+}
+
+fn row_for(mem: usize, r: &CellResult, metric: Metric) -> Vec<String> {
+    let gain = match metric {
+        Metric::AvgRelativeError => {
+            if r.gsketch.avg_relative_error > 0.0 {
+                format!(
+                    "{:.2}x",
+                    r.global.avg_relative_error / r.gsketch.avg_relative_error
+                )
+            } else {
+                "exact".to_string()
+            }
+        }
+        Metric::EffectiveQueries => {
+            if r.global.effective_queries > 0 {
+                format!(
+                    "{:.2}x",
+                    r.gsketch.effective_queries as f64 / r.global.effective_queries as f64
+                )
+            } else if r.gsketch.effective_queries > 0 {
+                "inf".to_string()
+            } else {
+                "-".to_string()
+            }
+        }
+    };
+    vec![
+        fmt_bytes(mem),
+        metric.extract(&r.global),
+        metric.extract(&r.gsketch),
+        gain,
+    ]
+}

@@ -1,0 +1,136 @@
+//! Aligned plain-text tables, one per paper figure/table.
+
+use std::fmt::Write as _;
+
+/// A simple right-aligned table printer.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title (e.g. "Figure 4(a): DBLP").
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header length).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row/header arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut first = true;
+            for (w, cell) in widths.iter().zip(cells) {
+                if !first {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+                first = false;
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Render and print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a byte count the way the paper labels its x-axis (512K, 2M, 1G).
+pub fn fmt_bytes(bytes: usize) -> String {
+    const K: usize = 1 << 10;
+    const M: usize = 1 << 20;
+    const G: usize = 1 << 30;
+    if bytes >= G && bytes.is_multiple_of(G) {
+        format!("{}G", bytes / G)
+    } else if bytes >= M && bytes.is_multiple_of(M) {
+        format!("{}M", bytes / M)
+    } else if bytes >= K {
+        format!("{}K", bytes / K)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Format a float with sensible precision for error tables.
+pub fn fmt_f(x: f64) -> String {
+    if !x.is_finite() {
+        "inf".to_string()
+    } else if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["mem", "a", "b"]);
+        t.row(vec!["512K".into(), "1.23".into(), "45".into()]);
+        t.row(vec!["8M".into(), "0.10".into(), "9999".into()]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("512K"));
+        let lines: Vec<&str> = s.lines().filter(|l| !l.is_empty()).collect();
+        // Header, separator, two rows, title.
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512 << 10), "512K");
+        assert_eq!(fmt_bytes(2 << 20), "2M");
+        assert_eq!(fmt_bytes(1 << 30), "1G");
+        assert_eq!(fmt_bytes(100), "100B");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(0.1234), "0.1234");
+        assert_eq!(fmt_f(2.7234), "2.72");
+        assert_eq!(fmt_f(250.7), "251");
+        assert_eq!(fmt_f(f64::INFINITY), "inf");
+    }
+}

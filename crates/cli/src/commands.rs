@@ -1,0 +1,602 @@
+//! The CLI subcommands, implemented against `io::Write` sinks so every
+//! command is unit-testable without spawning a process.
+
+use crate::args::{parse_bytes, ArgError, ParsedArgs};
+use gsketch::{
+    evaluate_edge_queries, load_gsketch, save_gsketch, AdaptiveConfig, AdaptiveGSketch, GSketch,
+    GlobalSketch, DEFAULT_G0,
+};
+use gstream::gen::{
+    dblp, ipattack, DblpConfig, ErdosRenyiConfig, ErdosRenyiGenerator, IpAttackConfig, RmatConfig,
+    RmatGenerator, RmatTrafficConfig, RmatTrafficGenerator, SmallWorldConfig, SmallWorldGenerator,
+};
+use gstream::sample::sample_iter;
+use gstream::workload::uniform_distinct_queries;
+use gstream::{load_stream, save_stream, Edge, ExactCounter, StreamEdge, VarianceStats};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Write;
+
+/// Top-level CLI error: argument problems or command failures.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Args(ArgError),
+    /// Anything that failed while running the command.
+    Run(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Run(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+fn run_err<E: std::fmt::Display>(e: E) -> CliError {
+    CliError::Run(e.to_string())
+}
+
+/// Usage text printed by `help` and on argument errors.
+pub const USAGE: &str = "\
+gsketch — query estimation in graph streams (VLDB 2011 reproduction)
+
+USAGE:
+  gsketch generate <model> --out FILE [--arrivals N] [--vertices V] [--seed S]
+      models: rmat | rmat-traffic | dblp | ipattack | erdos | smallworld
+  gsketch stats <stream-file> [--top K]
+  gsketch build <stream-file> --memory SIZE --out SNAPSHOT
+      [--sample-frac F] [--depth D] [--min-width W] [--seed S]
+  gsketch query <snapshot> <src> <dst> [<src> <dst> ...] [--stream FILE]
+      (--stream adds exact ground truth next to each estimate)
+  gsketch compare <stream-file> --memory SIZE [--queries N] [--depth D] [--seed S]
+  gsketch adaptive <stream-file> --memory SIZE [--warmup N] [--queries N] [--seed S]
+      (sample-free: the stream prefix replaces the data sample)
+  gsketch structural <stream-file> [--top K] [--triangle-p P]
+  gsketch help
+
+SIZE accepts K/M/G suffixes (binary), e.g. 512K, 2M.";
+
+/// Dispatch a full argument vector (without the program name).
+pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        writeln!(out, "{USAGE}").map_err(run_err)?;
+        return Ok(());
+    };
+    match cmd.as_str() {
+        "generate" => cmd_generate(rest, out),
+        "stats" => cmd_stats(rest, out),
+        "build" => cmd_build(rest, out),
+        "query" => cmd_query(rest, out),
+        "compare" => cmd_compare(rest, out),
+        "adaptive" => cmd_adaptive(rest, out),
+        "structural" => cmd_structural(rest, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}").map_err(run_err)?;
+            Ok(())
+        }
+        other => Err(CliError::Args(ArgError(format!(
+            "unknown command `{other}` — run `gsketch help`"
+        )))),
+    }
+}
+
+fn cmd_generate<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
+    let a = ParsedArgs::parse(
+        raw.iter().cloned(),
+        &["out", "arrivals", "vertices", "seed", "alpha"],
+    )?;
+    let model = a.positional(0, "model")?.to_owned();
+    let path: String = a.require("out")?;
+    let arrivals: usize = a.get_or("arrivals", 100_000)?;
+    let vertices: u32 = a.get_or("vertices", 10_000)?;
+    let seed: u64 = a.get_or("seed", 42)?;
+    let stream: Vec<StreamEdge> = match model.as_str() {
+        "rmat" => {
+            let scale = (vertices.max(2) as f64).log2().ceil() as u32;
+            RmatGenerator::new(RmatConfig::gtgraph(scale.clamp(1, 31), arrivals, seed)).generate()
+        }
+        "rmat-traffic" => {
+            let scale = (vertices.max(2) as f64).log2().ceil() as u32;
+            let mut cfg =
+                RmatTrafficConfig::gtgraph(scale.clamp(1, 31), (arrivals / 4).max(10), arrivals, seed);
+            cfg.activity_alpha = a.get_or("alpha", 1.2)?;
+            RmatTrafficGenerator::new(cfg).generate()
+        }
+        "dblp" => dblp::generate(DblpConfig {
+            authors: vertices,
+            papers: arrivals / 3, // ≈3 ordered pairs per paper on average
+            seed,
+            ..DblpConfig::default()
+        }),
+        "ipattack" => {
+            let hosts = vertices.max(64);
+            ipattack::generate(IpAttackConfig {
+                hosts,
+                arrivals,
+                // Role counts scale with the host universe so small
+                // universes still leave ordinary background hosts.
+                scanners: (hosts / 32).max(1),
+                attackers: (hosts / 16).max(1),
+                scan_subnet: (hosts / 8).max(4),
+                seed,
+                ..IpAttackConfig::default()
+            })
+        }
+        "erdos" => {
+            ErdosRenyiGenerator::new(ErdosRenyiConfig::new(vertices.max(2), arrivals, seed))
+                .generate()
+        }
+        "smallworld" => {
+            let mut cfg = SmallWorldConfig::new(vertices.max(4), arrivals, seed);
+            cfg.zipf_alpha = a.get_or("alpha", 1.2)?;
+            SmallWorldGenerator::new(cfg).generate()
+        }
+        other => {
+            return Err(CliError::Args(ArgError(format!(
+                "unknown model `{other}` (rmat, rmat-traffic, dblp, ipattack, erdos, smallworld)"
+            ))))
+        }
+    };
+    save_stream(&path, &stream).map_err(run_err)?;
+    writeln!(out, "wrote {} arrivals to {path}", stream.len()).map_err(run_err)?;
+    Ok(())
+}
+
+fn cmd_stats<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
+    let a = ParsedArgs::parse(raw.iter().cloned(), &["top"])?;
+    let path = a.positional(0, "stream-file")?;
+    let top: usize = a.get_or("top", 5)?;
+    let stream = load_stream(path).map_err(run_err)?;
+    let truth = ExactCounter::from_stream(&stream);
+    let vs = VarianceStats::from_counts(&truth);
+    let profile = truth.vertex_profile();
+    writeln!(out, "arrivals:        {}", truth.arrivals()).map_err(run_err)?;
+    writeln!(out, "total weight:    {}", truth.total_weight()).map_err(run_err)?;
+    writeln!(out, "distinct edges:  {}", truth.distinct_edges()).map_err(run_err)?;
+    writeln!(out, "source vertices: {}", profile.len()).map_err(run_err)?;
+    writeln!(out, "variance ratio:  {:.3}  (σ_G/σ_V, §6.1)", vs.ratio()).map_err(run_err)?;
+    let mut sources: Vec<_> = profile.iter().collect();
+    sources.sort_unstable_by(|a, b| b.1.frequency.cmp(&a.1.frequency).then(a.0.cmp(b.0)));
+    writeln!(out, "top {top} sources by weight:").map_err(run_err)?;
+    for (v, p) in sources.into_iter().take(top) {
+        writeln!(
+            out,
+            "  {v}: weight {} over {} distinct out-edges",
+            p.frequency, p.out_degree
+        )
+        .map_err(run_err)?;
+    }
+    Ok(())
+}
+
+fn cmd_build<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
+    let a = ParsedArgs::parse(
+        raw.iter().cloned(),
+        &["memory", "out", "sample-frac", "depth", "min-width", "seed"],
+    )?;
+    let stream_path = a.positional(0, "stream-file")?;
+    let memory = parse_bytes(&a.require::<String>("memory")?)?;
+    let snapshot_path: String = a.require("out")?;
+    let sample_frac: f64 = a.get_or("sample-frac", 0.05)?;
+    if !(sample_frac > 0.0 && sample_frac <= 1.0) {
+        return Err(CliError::Args(ArgError(
+            "--sample-frac must be in (0, 1]".into(),
+        )));
+    }
+    let depth: usize = a.get_or("depth", 1)?;
+    let min_width: usize = a.get_or("min-width", 64)?;
+    let seed: u64 = a.get_or("seed", 42)?;
+
+    let stream = load_stream(stream_path).map_err(run_err)?;
+    let k = ((stream.len() as f64 * sample_frac) as usize).max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sample = sample_iter(stream.iter().copied(), k, &mut rng);
+    let mut sketch = GSketch::builder()
+        .memory_bytes(memory)
+        .depth(depth)
+        .min_width(min_width)
+        .sample_rate(sample_frac)
+        .seed(seed)
+        .build_from_sample(&sample)
+        .map_err(run_err)?;
+    sketch.ingest(&stream);
+    save_gsketch(&snapshot_path, &sketch).map_err(run_err)?;
+    writeln!(
+        out,
+        "built {} partitions over {} bytes from a {}-edge sample; ingested {} arrivals; snapshot: {snapshot_path}",
+        sketch.num_partitions(),
+        sketch.bytes(),
+        sample.len(),
+        stream.len(),
+    )
+    .map_err(run_err)?;
+    Ok(())
+}
+
+fn cmd_query<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
+    let a = ParsedArgs::parse(raw.iter().cloned(), &["stream"])?;
+    let snapshot_path = a.positional(0, "snapshot")?;
+    let pairs = &a.positionals()[1..];
+    if pairs.is_empty() || pairs.len() % 2 != 0 {
+        return Err(CliError::Args(ArgError(
+            "queries come as `<src> <dst>` pairs".into(),
+        )));
+    }
+    let sketch = load_gsketch(snapshot_path).map_err(run_err)?;
+    let truth = match a.get("stream") {
+        Some(p) => Some(ExactCounter::from_stream(&load_stream(p).map_err(run_err)?)),
+        None => None,
+    };
+    for pair in pairs.chunks_exact(2) {
+        let src: u32 = pair[0]
+            .parse()
+            .map_err(|_| CliError::Args(ArgError(format!("bad vertex id `{}`", pair[0]))))?;
+        let dst: u32 = pair[1]
+            .parse()
+            .map_err(|_| CliError::Args(ArgError(format!("bad vertex id `{}`", pair[1]))))?;
+        let edge = Edge::new(src, dst);
+        let est = sketch.estimate_detailed(edge);
+        match &truth {
+            Some(t) => writeln!(
+                out,
+                "{edge}: estimate {} (exact {}) via {:?}",
+                est.value,
+                t.frequency(edge),
+                est.sketch
+            ),
+            None => writeln!(
+                out,
+                "{edge}: estimate {} (±{:.1} w.p. {:.3}) via {:?}",
+                est.value, est.error_bound, est.confidence, est.sketch
+            ),
+        }
+        .map_err(run_err)?;
+    }
+    Ok(())
+}
+
+fn cmd_compare<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
+    let a = ParsedArgs::parse(
+        raw.iter().cloned(),
+        &["memory", "queries", "depth", "seed", "sample-frac"],
+    )?;
+    let stream_path = a.positional(0, "stream-file")?;
+    let memory = parse_bytes(&a.require::<String>("memory")?)?;
+    let n_queries: usize = a.get_or("queries", 10_000)?;
+    let depth: usize = a.get_or("depth", 1)?;
+    let seed: u64 = a.get_or("seed", 42)?;
+    let sample_frac: f64 = a.get_or("sample-frac", 0.05)?;
+
+    let stream = load_stream(stream_path).map_err(run_err)?;
+    let truth = ExactCounter::from_stream(&stream);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = ((stream.len() as f64 * sample_frac) as usize).max(1);
+    let sample = sample_iter(stream.iter().copied(), k, &mut rng);
+
+    let mut gs = GSketch::builder()
+        .memory_bytes(memory)
+        .depth(depth)
+        .min_width(64)
+        .sample_rate(sample_frac)
+        .seed(seed)
+        .build_from_sample(&sample)
+        .map_err(run_err)?;
+    gs.ingest(&stream);
+    let mut gl = GlobalSketch::new(memory, depth, seed).map_err(run_err)?;
+    gl.ingest(&stream);
+
+    let queries = uniform_distinct_queries(&truth, n_queries, &mut rng);
+    let acc_gs = evaluate_edge_queries(&gs, &queries, &truth, DEFAULT_G0);
+    let acc_gl = evaluate_edge_queries(&gl, &queries, &truth, DEFAULT_G0);
+    writeln!(out, "queries: {} uniform over distinct edges", queries.len()).map_err(run_err)?;
+    writeln!(
+        out,
+        "gSketch: avg rel err {:.3}, effective {} / {}  ({} partitions)",
+        acc_gs.avg_relative_error,
+        acc_gs.effective_queries,
+        acc_gs.total_queries,
+        gs.num_partitions(),
+    )
+    .map_err(run_err)?;
+    writeln!(
+        out,
+        "Global : avg rel err {:.3}, effective {} / {}",
+        acc_gl.avg_relative_error, acc_gl.effective_queries, acc_gl.total_queries,
+    )
+    .map_err(run_err)?;
+    let gain = acc_gl.avg_relative_error / acc_gs.avg_relative_error.max(1e-9);
+    writeln!(out, "gain   : {gain:.2}x").map_err(run_err)?;
+    Ok(())
+}
+
+fn cmd_adaptive<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
+    let a = ParsedArgs::parse(
+        raw.iter().cloned(),
+        &["memory", "warmup", "queries", "depth", "seed"],
+    )?;
+    let stream_path = a.positional(0, "stream-file")?;
+    let memory = parse_bytes(&a.require::<String>("memory")?)?;
+    let n_queries: usize = a.get_or("queries", 10_000)?;
+    let depth: usize = a.get_or("depth", 1)?;
+    let seed: u64 = a.get_or("seed", 42)?;
+
+    let stream = load_stream(stream_path).map_err(run_err)?;
+    let warmup: u64 = a.get_or("warmup", (stream.len() as u64 / 20).max(1))?;
+    let truth = ExactCounter::from_stream(&stream);
+
+    let mut adaptive = AdaptiveGSketch::new(AdaptiveConfig {
+        memory_bytes: memory,
+        warmup_arrivals: warmup,
+        warmup_memory_fraction: 0.15,
+        depth,
+        min_width: 64,
+        expected_growth: (stream.len() as f64 / warmup as f64).max(1.0),
+        seed,
+        ..AdaptiveConfig::default()
+    })
+    .map_err(run_err)?;
+    adaptive.ingest(&stream);
+    let mut gl = GlobalSketch::new(memory, depth, seed).map_err(run_err)?;
+    gl.ingest(&stream);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let queries = uniform_distinct_queries(&truth, n_queries, &mut rng);
+    let acc_ad = evaluate_edge_queries(&adaptive, &queries, &truth, DEFAULT_G0);
+    let acc_gl = evaluate_edge_queries(&gl, &queries, &truth, DEFAULT_G0);
+    writeln!(
+        out,
+        "warm-up: {warmup} arrivals, then {} partitions (no sample used)",
+        adaptive.num_partitions(),
+    )
+    .map_err(run_err)?;
+    writeln!(
+        out,
+        "adaptive: avg rel err {:.3}, effective {} / {}",
+        acc_ad.avg_relative_error, acc_ad.effective_queries, acc_ad.total_queries,
+    )
+    .map_err(run_err)?;
+    writeln!(
+        out,
+        "Global  : avg rel err {:.3}, effective {} / {}",
+        acc_gl.avg_relative_error, acc_gl.effective_queries, acc_gl.total_queries,
+    )
+    .map_err(run_err)?;
+    Ok(())
+}
+
+fn cmd_structural<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
+    use structural::{ExactTriangleCounter, HeavyVertexTracker, PathAggregator, TriangleEstimator};
+    let a = ParsedArgs::parse(raw.iter().cloned(), &["top", "triangle-p", "seed"])?;
+    let stream_path = a.positional(0, "stream-file")?;
+    let top: usize = a.get_or("top", 5)?;
+    let p: f64 = a.get_or("triangle-p", 1.0)?;
+    let seed: u64 = a.get_or("seed", 42)?;
+    if !(p > 0.0 && p <= 1.0) {
+        return Err(CliError::Args(ArgError(
+            "--triangle-p must be in (0, 1]".into(),
+        )));
+    }
+    let stream = load_stream(stream_path).map_err(run_err)?;
+
+    if p >= 1.0 {
+        let mut tri = ExactTriangleCounter::new();
+        tri.ingest(&stream);
+        writeln!(out, "triangles (exact): {}", tri.triangles()).map_err(run_err)?;
+    } else {
+        let mut tri = TriangleEstimator::new(p, seed);
+        tri.ingest(&stream);
+        writeln!(
+            out,
+            "triangles (DOULION p={p}): {:.0}  ({} edges kept)",
+            tri.estimate(),
+            tri.retained_edges()
+        )
+        .map_err(run_err)?;
+    }
+
+    let mut paths = PathAggregator::new();
+    paths.ingest(&stream);
+    writeln!(out, "total 2-paths: {}", paths.total_paths()).map_err(run_err)?;
+    writeln!(out, "top {top} path hubs:").map_err(run_err)?;
+    for (v, flow) in paths.top_hubs(top) {
+        writeln!(out, "  {v}: through-flow {flow}").map_err(run_err)?;
+    }
+
+    let mut heavy = HeavyVertexTracker::new(64).map_err(run_err)?;
+    heavy.ingest(&stream);
+    writeln!(out, "sources above 5% of stream weight:").map_err(run_err)?;
+    for h in heavy.heavy_sources(0.05) {
+        writeln!(
+            out,
+            "  {}: ≤ {}{}",
+            h.vertex,
+            h.count,
+            if h.guaranteed { " [guaranteed]" } else { "" }
+        )
+        .map_err(run_err)?;
+    }
+
+    // Scanner detection: heavy sources whose traffic is spread over many
+    // distinct partners (distinct degree ≈ weight) rather than repeats.
+    let mut degrees = structural::MultigraphDegrees::new(1024, 3, 10, seed).map_err(run_err)?;
+    degrees.ingest(&stream);
+    writeln!(out, "spread of heavy sources (distinct partners / weight):").map_err(run_err)?;
+    for h in heavy.heavy_sources(0.05).into_iter().take(top) {
+        let spread = degrees.out_degree(h.vertex) / h.count.max(1) as f64;
+        writeln!(
+            out,
+            "  {}: ~{:.0} partners, spread {:.2}{}",
+            h.vertex,
+            degrees.out_degree(h.vertex),
+            spread,
+            if spread > 0.8 { "  [scanner-like]" } else { "" }
+        )
+        .map_err(run_err)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        dispatch(&owned, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("gsketch_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let text = run(&[]).unwrap();
+        assert!(text.contains("USAGE"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run(&["help"]).unwrap().contains("USAGE"));
+        assert!(run(&["--help"]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        let e = run(&["frobnicate"]).unwrap_err();
+        assert!(e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn generate_unknown_model_rejected() {
+        let e = run(&["generate", "nope", "--out", &tmp("x.txt")]).unwrap_err();
+        assert!(e.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn generate_then_stats_round_trip() {
+        let path = tmp("gen_stats.txt");
+        let text = run(&[
+            "generate", "erdos", "--out", &path, "--arrivals", "5000", "--vertices", "100",
+        ])
+        .unwrap();
+        assert!(text.contains("5000 arrivals"));
+        let stats = run(&["stats", &path, "--top", "3"]).unwrap();
+        assert!(stats.contains("arrivals:        5000"));
+        assert!(stats.contains("variance ratio"));
+    }
+
+    #[test]
+    fn all_models_generate() {
+        for model in ["rmat", "rmat-traffic", "dblp", "ipattack", "erdos", "smallworld"] {
+            let path = tmp(&format!("model_{model}.txt"));
+            let r = run(&[
+                "generate", model, "--out", &path, "--arrivals", "2000", "--vertices", "64",
+                "--seed", "3",
+            ]);
+            assert!(r.is_ok(), "model {model} failed: {:?}", r.err());
+        }
+    }
+
+    #[test]
+    fn build_query_pipeline() {
+        let stream = tmp("pipeline.txt");
+        run(&[
+            "generate", "smallworld", "--out", &stream, "--arrivals", "20000", "--vertices",
+            "200",
+        ])
+        .unwrap();
+        let snap = tmp("pipeline.snapshot.json");
+        let built = run(&[
+            "build", &stream, "--memory", "64K", "--out", &snap, "--sample-frac", "0.2",
+        ])
+        .unwrap();
+        assert!(built.contains("partitions"));
+        // Query two edges, with ground truth attached.
+        let q = run(&["query", &snap, "0", "1", "5", "6", "--stream", &stream]).unwrap();
+        assert!(q.contains("estimate"));
+        assert!(q.contains("exact"));
+    }
+
+    #[test]
+    fn query_rejects_odd_pairs() {
+        let e = run(&["query", "snap.json", "1"]).unwrap_err();
+        assert!(e.to_string().contains("pairs"));
+    }
+
+    #[test]
+    fn compare_reports_gain() {
+        let stream = tmp("compare.txt");
+        run(&[
+            "generate", "smallworld", "--out", &stream, "--arrivals", "30000", "--vertices",
+            "300",
+        ])
+        .unwrap();
+        let text = run(&["compare", &stream, "--memory", "16K", "--queries", "2000"]).unwrap();
+        assert!(text.contains("gSketch"));
+        assert!(text.contains("Global"));
+        assert!(text.contains("gain"));
+    }
+
+    #[test]
+    fn adaptive_command_reports_both_systems() {
+        let stream = tmp("adaptive.txt");
+        run(&[
+            "generate", "rmat-traffic", "--out", &stream, "--arrivals", "30000", "--vertices",
+            "1024",
+        ])
+        .unwrap();
+        let text = run(&[
+            "adaptive", &stream, "--memory", "32K", "--warmup", "3000", "--queries", "2000",
+        ])
+        .unwrap();
+        assert!(text.contains("partitions (no sample used)"));
+        assert!(text.contains("adaptive: avg rel err"));
+        assert!(text.contains("Global  : avg rel err"));
+    }
+
+    #[test]
+    fn structural_reports_triangles_and_hubs() {
+        let stream = tmp("structural.txt");
+        run(&[
+            "generate", "smallworld", "--out", &stream, "--arrivals", "10000", "--vertices",
+            "100",
+        ])
+        .unwrap();
+        let text = run(&["structural", &stream, "--top", "3"]).unwrap();
+        assert!(text.contains("triangles (exact)"));
+        assert!(text.contains("2-paths"));
+        let sampled = run(&["structural", &stream, "--triangle-p", "0.5"]).unwrap();
+        assert!(sampled.contains("DOULION"));
+    }
+
+    #[test]
+    fn build_validates_sample_frac() {
+        let e = run(&[
+            "build", "x.txt", "--memory", "64K", "--out", "y.json", "--sample-frac", "0",
+        ])
+        .unwrap_err();
+        assert!(e.to_string().contains("sample-frac"));
+    }
+
+    #[test]
+    fn missing_file_is_runtime_error() {
+        let e = run(&["stats", "/definitely/not/here.txt"]).unwrap_err();
+        assert!(matches!(e, CliError::Run(_)));
+    }
+}

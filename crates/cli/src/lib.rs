@@ -1,0 +1,25 @@
+//! # gsketch-cli — command-line front end for the gSketch reproduction
+//!
+//! Wraps the workspace crates into a small operator tool:
+//!
+//! ```text
+//! gsketch generate smallworld --out s.txt --arrivals 200000
+//! gsketch stats s.txt
+//! gsketch build s.txt --memory 2M --out sketch.json
+//! gsketch query sketch.json 17 42 --stream s.txt
+//! gsketch compare s.txt --memory 512K
+//! gsketch structural s.txt --triangle-p 0.3
+//! ```
+//!
+//! All command logic lives in [`commands`] against generic writers, so
+//! the binary in `main.rs` is a thin shell and every path is exercised by
+//! unit tests.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_bytes, ArgError, ParsedArgs};
+pub use commands::{dispatch, CliError, USAGE};

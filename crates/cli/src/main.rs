@@ -1,0 +1,19 @@
+//! The `gsketch` binary: parse, dispatch, report.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    match gsketch_cli::dispatch(&args, &mut lock) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            if matches!(e, gsketch_cli::CliError::Args(_)) {
+                eprintln!("\n{}", gsketch_cli::USAGE);
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,504 @@
+//! Sample-free adaptive gSketch — the paper's final future-work item
+//! (§7: "we will investigate how such sketch-based methods can be
+//! potentially designed for dynamic analysis, which may not require any
+//! samples for constructing the underlying synopsis").
+//!
+//! The adaptive sketch removes the pre-collected data sample by treating
+//! the *stream prefix itself* as the sample:
+//!
+//! 1. **Warm-up phase.** Arrivals are absorbed by a plain global CountMin
+//!    sketch (sized at a configurable fraction of the budget) while exact
+//!    per-source vertex statistics — `f̃v(m)` and `d̃(m)`, the same
+//!    quantities §4 estimates from the sample — are accumulated online in
+//!    a bounded side table.
+//! 2. **Switchover.** After `warmup_arrivals` arrivals the collected
+//!    statistics feed the ordinary partitioning tree (Eq. 9 objective),
+//!    the remaining budget is materialized as localized sketches, and the
+//!    side table is dropped.
+//! 3. **Steady state.** Subsequent arrivals route through `H: V → S_i`
+//!    exactly as in a sample-built gSketch.
+//!
+//! A query is answered by *summing* the warm-up sketch's estimate and the
+//! post-switchover estimate. Both components are one-sided CountMin
+//! estimates, so the sum never underestimates and Equation (1) applies
+//! with `N` split across the two phases — strictly better than a single
+//! global sketch of the warm-up's size, and approaching a sample-built
+//! gSketch once the stream is long relative to the warm-up.
+//!
+//! The side table is the only extra memory, it is bounded by
+//! `max_tracked_sources`, and it lives only during warm-up. Sources that
+//! overflow the table during an adversarially wide warm-up are simply
+//! left to the outlier sketch, mirroring §5's treatment of unsampled
+//! vertices.
+//!
+//! **Sizing the warm-up.** The warm-up sketch's additive error,
+//! `≈ N_warm / w_warm`, is baked into every lifetime estimate, so the
+//! warm-up must stay *short relative to its width*: keep
+//! `warmup_arrivals / warmup_memory_fraction` well below the expected
+//! stream length, i.e. absorb proportionally less mass during warm-up
+//! than the fraction of memory the warm-up sketch holds. The warm-up
+//! sketch also uses conservative update (Estan & Varghese) — point
+//! queries are all it ever answers, and conservative update strictly
+//! reduces their overestimation at no accuracy cost.
+
+use crate::gsketch::{GSketch, GSketchBuilder};
+use crate::router::SketchId;
+use crate::vstats::{SampleStats, VertexStat};
+use gstream::edge::{Edge, StreamEdge};
+use gstream::fxhash::{FxHashMap, FxHashSet};
+use gstream::vertex::VertexId;
+use sketch::{CountMinSketch, SketchError, UpdatePolicy};
+
+/// Configuration of the adaptive (sample-free) gSketch.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveConfig {
+    /// Total memory budget in bytes, shared by the warm-up sketch and the
+    /// partitioned phase.
+    pub memory_bytes: usize,
+    /// Fraction of the budget given to the warm-up global sketch.
+    pub warmup_memory_fraction: f64,
+    /// Arrivals to absorb before partitioning.
+    pub warmup_arrivals: u64,
+    /// Upper bound on the number of sources tracked in the warm-up side
+    /// table; overflow sources fall to the outlier sketch at switchover.
+    pub max_tracked_sources: usize,
+    /// Sketch depth `d` for both phases.
+    pub depth: usize,
+    /// Minimum partition width `w0` (termination criterion 1).
+    pub min_width: usize,
+    /// Collision constant `C` of Theorem 1 (termination criterion 2).
+    pub collision_factor: f64,
+    /// Fraction of the partitioned-phase budget reserved for outliers.
+    pub outlier_fraction: f64,
+    /// Expected ratio of full-stream length to warm-up length, used to
+    /// extrapolate the warm-up vertex statistics before partitioning
+    /// (the [`sample_rate`](crate::GSketchBuilder::sample_rate)
+    /// mechanism). A warm-up of 5% of the expected stream corresponds to
+    /// `20.0`. Underestimating it makes Theorem 1 terminate partitioning
+    /// too early at large budgets; overestimating merely deepens the
+    /// tree.
+    pub expected_growth: f64,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self {
+            memory_bytes: 1 << 20,
+            warmup_memory_fraction: 0.2,
+            warmup_arrivals: 50_000,
+            max_tracked_sources: 1 << 20,
+            depth: 3,
+            min_width: 512,
+            collision_factor: 0.5,
+            outlier_fraction: 0.1,
+            expected_growth: 20.0,
+            seed: 0xADA_975,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    fn validate(&self) -> Result<(), SketchError> {
+        if !(self.warmup_memory_fraction > 0.0 && self.warmup_memory_fraction < 1.0) {
+            return Err(SketchError::InvalidAccuracy {
+                what: "warmup_memory_fraction",
+                value: self.warmup_memory_fraction,
+            });
+        }
+        if self.warmup_arrivals == 0 {
+            return Err(SketchError::InvalidDimension {
+                what: "warmup_arrivals",
+                value: 0,
+            });
+        }
+        if self.expected_growth < 1.0 || self.expected_growth.is_nan() {
+            return Err(SketchError::InvalidAccuracy {
+                what: "expected_growth",
+                value: self.expected_growth,
+            });
+        }
+        if self.max_tracked_sources == 0 {
+            return Err(SketchError::InvalidDimension {
+                what: "max_tracked_sources",
+                value: 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Online per-source statistics gathered during warm-up.
+#[derive(Debug, Default)]
+struct WarmupStats {
+    /// src → (freq mass, distinct out-edge count).
+    table: FxHashMap<VertexId, (u64, u64)>,
+    /// Distinct edges seen (for exact degree counting).
+    seen_edges: FxHashSet<Edge>,
+    /// Sources dropped because the table was full.
+    overflowed: u64,
+}
+
+impl WarmupStats {
+    fn observe(&mut self, edge: Edge, weight: u64, cap: usize) {
+        use std::collections::hash_map::Entry;
+        let is_new_edge = self.seen_edges.insert(edge);
+        let at_cap = self.table.len() >= cap;
+        match self.table.entry(edge.src) {
+            Entry::Occupied(mut o) => {
+                let (f, d) = o.get_mut();
+                *f += weight;
+                *d += u64::from(is_new_edge);
+            }
+            Entry::Vacant(v) => {
+                if at_cap {
+                    self.overflowed += 1;
+                } else {
+                    v.insert((weight, u64::from(is_new_edge)));
+                }
+            }
+        }
+    }
+
+    fn into_sample_stats(self) -> SampleStats {
+        SampleStats::from_vertex_stats(self.table.into_iter().map(|(v, (freq, degree))| {
+            (
+                v,
+                VertexStat {
+                    freq,
+                    degree,
+                    workload: 1.0,
+                },
+            )
+        }))
+    }
+}
+
+/// Which phase the adaptive sketch is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Still absorbing into the warm-up global sketch.
+    Warmup,
+    /// Partitioned and routing through `H`.
+    Partitioned,
+}
+
+enum State {
+    Warmup(Box<WarmupStats>),
+    Partitioned(Box<GSketch>),
+}
+
+/// A gSketch that builds its own partitioning from the stream prefix —
+/// no data sample required.
+pub struct AdaptiveGSketch {
+    cfg: AdaptiveConfig,
+    /// The warm-up global sketch; after switchover it is frozen and only
+    /// consulted at query time.
+    warmup: CountMinSketch,
+    state: State,
+    arrivals: u64,
+}
+
+impl std::fmt::Debug for AdaptiveGSketch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveGSketch")
+            .field("phase", &self.phase())
+            .field("arrivals", &self.arrivals)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AdaptiveGSketch {
+    /// Create an adaptive sketch in the warm-up phase.
+    pub fn new(cfg: AdaptiveConfig) -> Result<Self, SketchError> {
+        cfg.validate()?;
+        let warmup_bytes = (cfg.memory_bytes as f64 * cfg.warmup_memory_fraction) as usize;
+        let cells = CountMinSketch::cells_for_bytes(warmup_bytes);
+        let width = (cells / cfg.depth.max(1)).max(4);
+        let warmup =
+            CountMinSketch::new(width, cfg.depth, cfg.seed)?.with_policy(UpdatePolicy::Conservative);
+        Ok(Self {
+            cfg,
+            warmup,
+            state: State::Warmup(Box::default()),
+            arrivals: 0,
+        })
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        match self.state {
+            State::Warmup(_) => Phase::Warmup,
+            State::Partitioned(_) => Phase::Partitioned,
+        }
+    }
+
+    /// Total arrivals observed.
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Record one arrival.
+    pub fn update(&mut self, edge: Edge, weight: u64) {
+        self.arrivals += 1;
+        match &mut self.state {
+            State::Warmup(stats) => {
+                self.warmup.update(edge.key(), weight);
+                stats.observe(edge, weight, self.cfg.max_tracked_sources);
+                if self.arrivals >= self.cfg.warmup_arrivals {
+                    self.switch_over();
+                }
+            }
+            State::Partitioned(gs) => gs.update(edge, weight),
+        }
+    }
+
+    /// Ingest a whole stream.
+    pub fn ingest<'a, I: IntoIterator<Item = &'a StreamEdge>>(&mut self, stream: I) {
+        for se in stream {
+            self.update(se.edge, se.weight);
+        }
+    }
+
+    /// Force the switchover before `warmup_arrivals` is reached (useful
+    /// when the caller knows the prefix is already representative).
+    pub fn partition_now(&mut self) {
+        if matches!(self.state, State::Warmup(_)) {
+            self.switch_over();
+        }
+    }
+
+    fn switch_over(&mut self) {
+        // Temporarily park an empty warm-up state while we consume the
+        // real one; it is overwritten below in every path.
+        let prev = std::mem::replace(&mut self.state, State::Warmup(Box::default()));
+        let stats = match prev {
+            State::Warmup(stats) => *stats,
+            State::Partitioned(gs) => {
+                // Unreachable by construction; restore and bail.
+                self.state = State::Partitioned(gs);
+                return;
+            }
+        };
+        let partition_bytes = self.cfg.memory_bytes
+            - (self.cfg.memory_bytes as f64 * self.cfg.warmup_memory_fraction) as usize;
+        let sample_stats = stats.into_sample_stats();
+        let gs = GSketchBuilder::default()
+            .memory_bytes(partition_bytes.max(256))
+            .depth(self.cfg.depth)
+            .min_width(self.cfg.min_width)
+            .collision_factor(self.cfg.collision_factor)
+            .outlier_fraction(self.cfg.outlier_fraction)
+            .sample_rate(1.0 / self.cfg.expected_growth)
+            .seed(self.cfg.seed.wrapping_add(0x5117C4))
+            .build_from_stats(sample_stats)
+            .expect("partitioned-phase budget validated at construction");
+        self.state = State::Partitioned(Box::new(gs));
+    }
+
+    /// Estimate the lifetime frequency of `edge`: warm-up estimate plus
+    /// post-switchover estimate. One-sided, like its components.
+    pub fn estimate(&self, edge: Edge) -> u64 {
+        let tail = match &self.state {
+            State::Warmup(_) => 0,
+            State::Partitioned(gs) => gs.estimate(edge),
+        };
+        self.warmup.estimate(edge.key()).saturating_add(tail)
+    }
+
+    /// Which sketch serves `edge` in the current phase (`None` during
+    /// warm-up, when everything lives in the global warm-up sketch).
+    pub fn route(&self, edge: Edge) -> Option<SketchId> {
+        match &self.state {
+            State::Warmup(_) => None,
+            State::Partitioned(gs) => Some(gs.route(edge)),
+        }
+    }
+
+    /// Number of localized partitions (0 during warm-up).
+    pub fn num_partitions(&self) -> usize {
+        match &self.state {
+            State::Warmup(_) => 0,
+            State::Partitioned(gs) => gs.num_partitions(),
+        }
+    }
+
+    /// Total counter memory in bytes across both phases.
+    pub fn bytes(&self) -> usize {
+        let tail = match &self.state {
+            State::Warmup(_) => 0,
+            State::Partitioned(gs) => gs.bytes(),
+        };
+        self.warmup.bytes() + tail
+    }
+
+    /// The inner partitioned sketch, once built.
+    pub fn partitioned(&self) -> Option<&GSketch> {
+        match &self.state {
+            State::Warmup(_) => None,
+            State::Partitioned(gs) => Some(gs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstream::gen::{RmatConfig, RmatGenerator};
+    use gstream::ExactCounter;
+
+    fn cfg(memory: usize, warmup: u64) -> AdaptiveConfig {
+        AdaptiveConfig {
+            memory_bytes: memory,
+            warmup_arrivals: warmup,
+            min_width: 64,
+            ..AdaptiveConfig::default()
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = cfg(1 << 16, 100);
+        c.warmup_memory_fraction = 0.0;
+        assert!(AdaptiveGSketch::new(c).is_err());
+        let mut c = cfg(1 << 16, 100);
+        c.warmup_arrivals = 0;
+        assert!(AdaptiveGSketch::new(c).is_err());
+        let mut c = cfg(1 << 16, 100);
+        c.max_tracked_sources = 0;
+        assert!(AdaptiveGSketch::new(c).is_err());
+    }
+
+    #[test]
+    fn phases_transition_at_warmup_boundary() {
+        let mut a = AdaptiveGSketch::new(cfg(1 << 16, 10)).unwrap();
+        assert_eq!(a.phase(), Phase::Warmup);
+        for t in 0..9u32 {
+            a.update(Edge::new(t, t + 1), 1);
+            assert_eq!(a.phase(), Phase::Warmup);
+        }
+        a.update(Edge::new(100u32, 101u32), 1);
+        assert_eq!(a.phase(), Phase::Partitioned);
+        assert!(a.num_partitions() >= 1);
+    }
+
+    #[test]
+    fn estimates_never_underestimate_across_phases() {
+        let stream: Vec<_> = RmatGenerator::new(RmatConfig::gtgraph(8, 20_000, 5)).collect();
+        let truth = ExactCounter::from_stream(&stream);
+        let mut a = AdaptiveGSketch::new(cfg(1 << 18, 5_000)).unwrap();
+        a.ingest(&stream);
+        assert_eq!(a.phase(), Phase::Partitioned);
+        for (edge, f) in truth.iter() {
+            assert!(
+                a.estimate(edge) >= f,
+                "edge {edge} underestimated: {} < {f}",
+                a.estimate(edge)
+            );
+        }
+    }
+
+    #[test]
+    fn partition_now_is_idempotent() {
+        let mut a = AdaptiveGSketch::new(cfg(1 << 16, 1_000_000)).unwrap();
+        for t in 0..100u32 {
+            a.update(Edge::new(t % 10, t), 1);
+        }
+        assert_eq!(a.phase(), Phase::Warmup);
+        a.partition_now();
+        assert_eq!(a.phase(), Phase::Partitioned);
+        let parts = a.num_partitions();
+        a.partition_now(); // no-op
+        assert_eq!(a.num_partitions(), parts);
+    }
+
+    #[test]
+    fn warmup_only_queries_work() {
+        let mut a = AdaptiveGSketch::new(cfg(1 << 16, 1_000)).unwrap();
+        a.update(Edge::new(1u32, 2u32), 7);
+        assert_eq!(a.phase(), Phase::Warmup);
+        assert!(a.estimate(Edge::new(1u32, 2u32)) >= 7);
+        assert!(a.route(Edge::new(1u32, 2u32)).is_none());
+    }
+
+    #[test]
+    fn memory_budget_respected() {
+        let stream: Vec<_> = RmatGenerator::new(RmatConfig::gtgraph(8, 10_000, 5)).collect();
+        for budget in [1 << 15, 1 << 17, 1 << 19] {
+            let mut a = AdaptiveGSketch::new(cfg(budget, 2_000)).unwrap();
+            a.ingest(&stream);
+            assert!(
+                a.bytes() <= budget,
+                "adaptive sketch uses {} of {budget}",
+                a.bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn beats_global_sketch_at_equal_memory() {
+        // The point of adapting: after switchover, light sources stop
+        // colliding with heavy ones. Needs a stream with the §3.3
+        // properties (per-source frequency homogeneity + cross-source
+        // skew) — the R-MAT *traffic* model, not raw R-MAT arrivals —
+        // and the d = 1 depth the paper's objective is derived for.
+        use gstream::gen::{RmatTrafficConfig, RmatTrafficGenerator};
+        let mut traffic = RmatTrafficConfig::gtgraph(12, 50_000, 600_000, 11);
+        traffic.activity_alpha = 1.2;
+        let stream: Vec<_> = RmatTrafficGenerator::new(traffic).collect();
+        let truth = ExactCounter::from_stream(&stream);
+        let budget = 1 << 15; // tight, but enough for partitioning to express
+
+        // Warm-up absorbs 5% of the stream with 15% of the memory — the
+        // sizing rule from the module docs.
+        let mut config = cfg(budget, 10_000);
+        config.depth = 1;
+        config.warmup_memory_fraction = 0.15;
+        let mut adaptive = AdaptiveGSketch::new(config).unwrap();
+        adaptive.ingest(&stream);
+
+        let mut global = crate::GlobalSketch::new(budget, 1, 99).unwrap();
+        global.ingest(&stream);
+
+        let queries: Vec<_> = truth.iter().take(2_000).collect();
+        let rel = |est: u64, f: u64| (est as f64 - f as f64) / f as f64;
+        let adaptive_err: f64 = queries
+            .iter()
+            .map(|&(e, f)| rel(adaptive.estimate(e), f))
+            .sum::<f64>()
+            / queries.len() as f64;
+        let global_err: f64 = queries
+            .iter()
+            .map(|&(e, f)| rel(global.estimate(e), f))
+            .sum::<f64>()
+            / queries.len() as f64;
+        assert!(
+            adaptive_err < global_err,
+            "adaptive {adaptive_err:.2} should beat global {global_err:.2}"
+        );
+    }
+
+    #[test]
+    fn overflow_sources_fall_to_outlier() {
+        let mut c = cfg(1 << 16, 50);
+        c.max_tracked_sources = 4;
+        let mut a = AdaptiveGSketch::new(c).unwrap();
+        // 50 distinct sources, but only 4 tracked.
+        for t in 0..50u32 {
+            a.update(Edge::new(t, 1000), 1);
+        }
+        assert_eq!(a.phase(), Phase::Partitioned);
+        // Everything still answerable (via warm-up + outlier).
+        for t in 0..50u32 {
+            assert!(a.estimate(Edge::new(t, 1000)) >= 1);
+        }
+    }
+
+    #[test]
+    fn debug_format_shows_phase() {
+        let a = AdaptiveGSketch::new(cfg(1 << 16, 10)).unwrap();
+        let s = format!("{a:?}");
+        assert!(s.contains("Warmup"));
+    }
+}

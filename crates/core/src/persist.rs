@@ -1,0 +1,307 @@
+//! Persistence: save and load sketch state across process restarts.
+//!
+//! A deployed gSketch accumulates stream state that must survive
+//! restarts, rollouts, and migration between hosts. This module
+//! serializes the full synopsis — every localized sketch with its hash
+//! coefficients, the outlier sketch, the router table, and the partition
+//! plan — into a versioned JSON envelope. JSON is chosen over a binary
+//! codec deliberately: sketch snapshots are small relative to the streams
+//! they summarize (a 2 MB sketch is a large one), and an inspectable
+//! format lets operators diff snapshots with standard tools. The envelope
+//! carries a format version so future layout changes can be detected
+//! rather than mis-parsed.
+
+use crate::global::GlobalSketch;
+use crate::gsketch::GSketch;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Current snapshot format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors produced while saving or loading snapshots.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed or non-snapshot JSON.
+    Format(serde_json::Error),
+    /// The snapshot was written by an incompatible format version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// The snapshot holds a different kind of sketch than requested.
+    KindMismatch {
+        /// Kind found in the file.
+        found: String,
+        /// Kind the caller asked for.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            PersistError::Format(e) => write!(f, "snapshot format error: {e}"),
+            PersistError::VersionMismatch { found, expected } => {
+                write!(f, "snapshot version {found} (this build reads {expected})")
+            }
+            PersistError::KindMismatch { found, expected } => {
+                write!(f, "snapshot holds a `{found}` sketch, expected `{expected}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Format(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Format(e)
+    }
+}
+
+/// The versioned on-disk envelope.
+#[derive(Serialize, Deserialize)]
+struct Envelope<T> {
+    format_version: u32,
+    kind: String,
+    sketch: T,
+}
+
+fn check_header(version: u32, kind: &str, expected: &'static str) -> Result<(), PersistError> {
+    if version != FORMAT_VERSION {
+        return Err(PersistError::VersionMismatch {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    if kind != expected {
+        return Err(PersistError::KindMismatch {
+            found: kind.to_owned(),
+            expected,
+        });
+    }
+    Ok(())
+}
+
+/// Serialize a [`GSketch`] snapshot to `w`.
+pub fn write_gsketch<W: Write>(w: W, sketch: &GSketch) -> Result<(), PersistError> {
+    let mut out = BufWriter::new(w);
+    serde_json::to_writer(
+        &mut out,
+        &Envelope {
+            format_version: FORMAT_VERSION,
+            kind: "gsketch".to_owned(),
+            sketch,
+        },
+    )?;
+    out.flush()?;
+    Ok(())
+}
+
+/// Deserialize a [`GSketch`] snapshot from `r`.
+pub fn read_gsketch<R: Read>(r: R) -> Result<GSketch, PersistError> {
+    let env: Envelope<GSketch> = serde_json::from_reader(BufReader::new(r))?;
+    check_header(env.format_version, &env.kind, "gsketch")?;
+    Ok(env.sketch)
+}
+
+/// Save a [`GSketch`] snapshot to the file at `path`.
+pub fn save_gsketch<P: AsRef<Path>>(path: P, sketch: &GSketch) -> Result<(), PersistError> {
+    write_gsketch(File::create(path)?, sketch)
+}
+
+/// Load a [`GSketch`] snapshot from the file at `path`.
+pub fn load_gsketch<P: AsRef<Path>>(path: P) -> Result<GSketch, PersistError> {
+    read_gsketch(File::open(path)?)
+}
+
+/// Serialize a [`GlobalSketch`] snapshot to `w`.
+pub fn write_global<W: Write>(w: W, sketch: &GlobalSketch) -> Result<(), PersistError> {
+    let mut out = BufWriter::new(w);
+    serde_json::to_writer(
+        &mut out,
+        &Envelope {
+            format_version: FORMAT_VERSION,
+            kind: "global".to_owned(),
+            sketch,
+        },
+    )?;
+    out.flush()?;
+    Ok(())
+}
+
+/// Deserialize a [`GlobalSketch`] snapshot from `r`.
+pub fn read_global<R: Read>(r: R) -> Result<GlobalSketch, PersistError> {
+    let env: Envelope<GlobalSketch> = serde_json::from_reader(BufReader::new(r))?;
+    check_header(env.format_version, &env.kind, "global")?;
+    Ok(env.sketch)
+}
+
+/// Save a [`GlobalSketch`] snapshot to the file at `path`.
+pub fn save_global<P: AsRef<Path>>(path: P, sketch: &GlobalSketch) -> Result<(), PersistError> {
+    write_global(File::create(path)?, sketch)
+}
+
+/// Load a [`GlobalSketch`] snapshot from the file at `path`.
+pub fn load_global<P: AsRef<Path>>(path: P) -> Result<GlobalSketch, PersistError> {
+    read_global(File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstream::edge::{Edge, StreamEdge};
+
+    fn sample_stream() -> Vec<StreamEdge> {
+        (0..500u64)
+            .map(|t| {
+                StreamEdge::unit(
+                    Edge::new((t % 20) as u32, 100 + (t % 7) as u32),
+                    t,
+                )
+            })
+            .collect()
+    }
+
+    fn built_gsketch() -> GSketch {
+        let stream = sample_stream();
+        let mut g = GSketch::builder()
+            .memory_bytes(1 << 14)
+            .min_width(32)
+            .build_from_sample(&stream)
+            .unwrap();
+        g.ingest(&stream);
+        g
+    }
+
+    #[test]
+    fn gsketch_round_trip_preserves_estimates() {
+        let g = built_gsketch();
+        let mut buf = Vec::new();
+        write_gsketch(&mut buf, &g).unwrap();
+        let back = read_gsketch(&buf[..]).unwrap();
+        for t in 0..500u64 {
+            let e = Edge::new((t % 20) as u32, 100 + (t % 7) as u32);
+            assert_eq!(g.estimate(e), back.estimate(e));
+            assert_eq!(g.route(e), back.route(e));
+        }
+        assert_eq!(g.num_partitions(), back.num_partitions());
+        assert_eq!(g.bytes(), back.bytes());
+    }
+
+    #[test]
+    fn restored_sketch_accepts_more_stream() {
+        let g = built_gsketch();
+        let mut buf = Vec::new();
+        write_gsketch(&mut buf, &g).unwrap();
+        let mut back = read_gsketch(&buf[..]).unwrap();
+        let e = Edge::new(3u32, 103u32);
+        let before = back.estimate(e);
+        back.update(e, 10);
+        assert_eq!(back.estimate(e), before + 10);
+    }
+
+    #[test]
+    fn global_round_trip_preserves_estimates() {
+        let stream = sample_stream();
+        let mut g = GlobalSketch::new(1 << 14, 3, 7).unwrap();
+        g.ingest(&stream);
+        let mut buf = Vec::new();
+        write_global(&mut buf, &g).unwrap();
+        let back = read_global(&buf[..]).unwrap();
+        for se in &stream {
+            assert_eq!(g.estimate(se.edge), back.estimate(se.edge));
+        }
+    }
+
+    #[test]
+    fn version_mismatch_detected() {
+        let g = built_gsketch();
+        let mut buf = Vec::new();
+        write_gsketch(&mut buf, &g).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text = text.replace("\"format_version\":1", "\"format_version\":999");
+        let err = read_gsketch(text.as_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            PersistError::VersionMismatch { found: 999, .. }
+        ));
+    }
+
+    #[test]
+    fn kind_mismatch_detected() {
+        let stream = sample_stream();
+        let mut g = GlobalSketch::new(1 << 12, 3, 7).unwrap();
+        g.ingest(&stream);
+        let mut buf = Vec::new();
+        write_global(&mut buf, &g).unwrap();
+        let err = read_gsketch(&buf[..]).unwrap_err();
+        // A GlobalSketch body cannot parse as a GSketch, or if it does,
+        // the kind check rejects it. Either error is acceptable.
+        assert!(matches!(
+            err,
+            PersistError::KindMismatch { .. } | PersistError::Format(_)
+        ));
+    }
+
+    #[test]
+    fn garbage_is_a_format_error() {
+        let err = read_gsketch("not json at all".as_bytes()).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("gsketch_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.json");
+        let g = built_gsketch();
+        save_gsketch(&path, &g).unwrap();
+        let back = load_gsketch(&path).unwrap();
+        assert_eq!(g.estimate(Edge::new(1u32, 101u32)), back.estimate(Edge::new(1u32, 101u32)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_gsketch("/nonexistent/missing.json").unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = PersistError::VersionMismatch {
+            found: 9,
+            expected: 1,
+        };
+        assert!(e.to_string().contains('9'));
+        let e = PersistError::KindMismatch {
+            found: "x".into(),
+            expected: "gsketch",
+        };
+        assert!(e.to_string().contains("gsketch"));
+    }
+}

@@ -1,0 +1,254 @@
+//! Query processing (§3.1 and §5): edge queries and aggregate subgraph
+//! queries with an aggregate function `Γ(·)`.
+
+use gstream::edge::Edge;
+use gstream::workload::SubgraphQuery;
+
+/// Anything that can answer edge-frequency point queries. Both
+/// [`crate::GSketch`] and [`crate::GlobalSketch`] implement this, so the
+/// whole evaluation harness is generic over the synopsis.
+pub trait EdgeEstimator {
+    /// Estimated aggregate frequency of `edge`.
+    fn estimate_edge(&self, edge: Edge) -> u64;
+}
+
+impl EdgeEstimator for crate::GSketch {
+    fn estimate_edge(&self, edge: Edge) -> u64 {
+        self.estimate(edge)
+    }
+}
+
+impl EdgeEstimator for crate::GlobalSketch {
+    fn estimate_edge(&self, edge: Edge) -> u64 {
+        self.estimate(edge)
+    }
+}
+
+impl EdgeEstimator for crate::AdaptiveGSketch {
+    fn estimate_edge(&self, edge: Edge) -> u64 {
+        self.estimate(edge)
+    }
+}
+
+/// Exact ground truth is also an estimator — used to compute the
+/// denominator of relative errors and in tests.
+impl EdgeEstimator for gstream::ExactCounter {
+    fn estimate_edge(&self, edge: Edge) -> u64 {
+        self.frequency(edge)
+    }
+}
+
+/// The aggregate function `Γ(·)` of an aggregate subgraph query.
+///
+/// The paper evaluates `SUM` (§6.2) and names `MIN`/`AVERAGE` as further
+/// examples (§3.1); the remaining variants implement §7's future-work
+/// item of "more complex queries … involving the computation of complex
+/// functions of edge frequencies in a subgraph query". Truly ad-hoc
+/// functions go through [`estimate_subgraph_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Aggregator {
+    /// `Γ = SUM` — total frequency of the constituent edges (the paper's
+    /// experimental choice, §6.2).
+    #[default]
+    Sum,
+    /// `Γ = MIN`.
+    Min,
+    /// `Γ = MAX`.
+    Max,
+    /// `Γ = AVERAGE`.
+    Average,
+    /// `Γ = COUNT` of edges whose estimate is non-zero — the subgraph's
+    /// *materialized* edge count.
+    CountPresent,
+    /// Population variance of the constituent edge frequencies — a
+    /// homogeneity measure for the subgraph's activity.
+    Variance,
+    /// Median of the constituent edge frequencies (lower middle for even
+    /// lengths) — a heavy-hitter-robust center.
+    Median,
+    /// Euclidean norm `√(Σ f̃²)` — the subgraph's frequency "energy",
+    /// dominated by its hottest edges.
+    L2Norm,
+}
+
+impl Aggregator {
+    /// Apply the aggregate over per-edge values.
+    pub fn apply(&self, values: &[u64]) -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        let n = values.len() as f64;
+        match self {
+            Aggregator::Sum => values.iter().map(|&v| v as f64).sum(),
+            Aggregator::Min => values.iter().copied().min().unwrap_or(0) as f64,
+            Aggregator::Max => values.iter().copied().max().unwrap_or(0) as f64,
+            Aggregator::Average => values.iter().map(|&v| v as f64).sum::<f64>() / n,
+            Aggregator::CountPresent => values.iter().filter(|&&v| v > 0).count() as f64,
+            Aggregator::Variance => {
+                let mean = values.iter().map(|&v| v as f64).sum::<f64>() / n;
+                values.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n
+            }
+            Aggregator::Median => {
+                let mut sorted: Vec<u64> = values.to_vec();
+                sorted.sort_unstable();
+                sorted[(sorted.len() - 1) / 2] as f64
+            }
+            Aggregator::L2Norm => values
+                .iter()
+                .map(|&v| (v as f64) * (v as f64))
+                .sum::<f64>()
+                .sqrt(),
+        }
+    }
+}
+
+/// Answer an aggregate subgraph query by decomposing it into its
+/// constituent edge queries and applying `Γ` to the estimates (§5).
+pub fn estimate_subgraph<E: EdgeEstimator + ?Sized>(
+    estimator: &E,
+    query: &SubgraphQuery,
+    aggregator: Aggregator,
+) -> f64 {
+    let values: Vec<u64> = query
+        .edges
+        .iter()
+        .map(|&e| estimator.estimate_edge(e))
+        .collect();
+    aggregator.apply(&values)
+}
+
+/// Answer an aggregate subgraph query with an arbitrary aggregate
+/// function over the per-edge estimates — §7's "complex functions of edge
+/// frequencies" without enumerating them. The closure receives the
+/// estimates in the query's edge order.
+pub fn estimate_subgraph_with<E, F>(estimator: &E, query: &SubgraphQuery, gamma: F) -> f64
+where
+    E: EdgeEstimator + ?Sized,
+    F: FnOnce(&[u64]) -> f64,
+{
+    let values: Vec<u64> = query
+        .edges
+        .iter()
+        .map(|&e| estimator.estimate_edge(e))
+        .collect();
+    gamma(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstream::edge::StreamEdge;
+    use gstream::ExactCounter;
+
+    fn truth() -> ExactCounter {
+        let stream = vec![
+            StreamEdge::weighted(Edge::new(1u32, 2u32), 0, 10),
+            StreamEdge::weighted(Edge::new(2u32, 3u32), 1, 20),
+            StreamEdge::weighted(Edge::new(3u32, 4u32), 2, 30),
+        ];
+        ExactCounter::from_stream(&stream)
+    }
+
+    fn q() -> SubgraphQuery {
+        SubgraphQuery {
+            edges: vec![
+                Edge::new(1u32, 2u32),
+                Edge::new(2u32, 3u32),
+                Edge::new(3u32, 4u32),
+            ],
+        }
+    }
+
+    #[test]
+    fn aggregators_compute_expected_values() {
+        let t = truth();
+        assert_eq!(estimate_subgraph(&t, &q(), Aggregator::Sum), 60.0);
+        assert_eq!(estimate_subgraph(&t, &q(), Aggregator::Min), 10.0);
+        assert_eq!(estimate_subgraph(&t, &q(), Aggregator::Max), 30.0);
+        assert_eq!(estimate_subgraph(&t, &q(), Aggregator::Average), 20.0);
+    }
+
+    #[test]
+    fn extended_aggregators_compute_expected_values() {
+        let t = truth();
+        // Frequencies of q() are [10, 20, 30].
+        assert_eq!(estimate_subgraph(&t, &q(), Aggregator::CountPresent), 3.0);
+        assert_eq!(estimate_subgraph(&t, &q(), Aggregator::Median), 20.0);
+        // Variance of {10,20,30} = 200/3·... mean 20, deviations²: 100+0+100 → /3.
+        let var = estimate_subgraph(&t, &q(), Aggregator::Variance);
+        assert!((var - 200.0 / 3.0).abs() < 1e-9);
+        let l2 = estimate_subgraph(&t, &q(), Aggregator::L2Norm);
+        assert!((l2 - (1400.0f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn count_present_skips_absent_edges() {
+        let t = truth();
+        let query = SubgraphQuery {
+            edges: vec![Edge::new(1u32, 2u32), Edge::new(77u32, 88u32)],
+        };
+        assert_eq!(estimate_subgraph(&t, &query, Aggregator::CountPresent), 1.0);
+    }
+
+    #[test]
+    fn median_even_length_takes_lower_middle() {
+        let t = truth();
+        let query = SubgraphQuery {
+            edges: vec![Edge::new(1u32, 2u32), Edge::new(2u32, 3u32)],
+        };
+        // Frequencies [10, 20]: lower middle = 10.
+        assert_eq!(estimate_subgraph(&t, &query, Aggregator::Median), 10.0);
+    }
+
+    #[test]
+    fn custom_gamma_closure() {
+        let t = truth();
+        // Geometric mean — a genuinely "complex function" of §7.
+        let gm = estimate_subgraph_with(&t, &q(), |vals| {
+            let logsum: f64 = vals.iter().map(|&v| (v as f64).ln()).sum();
+            (logsum / vals.len() as f64).exp()
+        });
+        let expect = (10.0f64 * 20.0 * 30.0).powf(1.0 / 3.0);
+        assert!((gm - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_query_aggregates_to_zero() {
+        let t = truth();
+        let empty = SubgraphQuery { edges: vec![] };
+        for agg in [
+            Aggregator::Sum,
+            Aggregator::Min,
+            Aggregator::Max,
+            Aggregator::Average,
+            Aggregator::CountPresent,
+            Aggregator::Variance,
+            Aggregator::Median,
+            Aggregator::L2Norm,
+        ] {
+            assert_eq!(estimate_subgraph(&t, &empty, agg), 0.0);
+        }
+    }
+
+    #[test]
+    fn sketches_implement_estimator() {
+        let stream = vec![
+            StreamEdge::weighted(Edge::new(1u32, 2u32), 0, 10),
+            StreamEdge::weighted(Edge::new(2u32, 3u32), 1, 20),
+        ];
+        let mut gs = crate::GSketch::builder()
+            .memory_bytes(1 << 14)
+            .min_width(16)
+            .build_from_sample(&stream)
+            .unwrap();
+        gs.ingest(&stream);
+        let mut gl = crate::GlobalSketch::new(1 << 14, 3, 1).unwrap();
+        gl.ingest(&stream);
+        let query = SubgraphQuery {
+            edges: vec![Edge::new(1u32, 2u32), Edge::new(2u32, 3u32)],
+        };
+        // SUM over CountMin estimates never underestimates.
+        assert!(estimate_subgraph(&gs, &query, Aggregator::Sum) >= 30.0);
+        assert!(estimate_subgraph(&gl, &query, Aggregator::Sum) >= 30.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! The hash structure `H : V → S_i` mapping source vertices to their
+//! localized sketches (§5 of the paper).
+
+use crate::partition::PartitionPlan;
+use gstream::fxhash::FxHashMap;
+use gstream::vertex::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a localized sketch within a [`crate::GSketch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SketchId {
+    /// One of the partitioned sketches (index into the partition list).
+    Partition(u32),
+    /// The outlier sketch for vertices absent from the data sample (§5).
+    Outlier,
+}
+
+/// Routes source vertices to sketches.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Router {
+    map: FxHashMap<VertexId, u32>,
+}
+
+impl Router {
+    /// Build the routing table from a partition plan.
+    pub fn from_plan(plan: &PartitionPlan) -> Self {
+        let mut map = FxHashMap::default();
+        for (i, leaf) in plan.leaves.iter().enumerate() {
+            let idx = u32::try_from(i).expect("fewer than 2^32 partitions");
+            for &v in &leaf.vertices {
+                let prev = map.insert(v, idx);
+                debug_assert!(prev.is_none(), "vertex routed twice: {v}");
+            }
+        }
+        Self { map }
+    }
+
+    /// The sketch responsible for edges emanating from `src`.
+    #[inline]
+    pub fn route(&self, src: VertexId) -> SketchId {
+        match self.map.get(&src) {
+            Some(&i) => SketchId::Partition(i),
+            None => SketchId::Outlier,
+        }
+    }
+
+    /// Number of vertices with explicit routes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the routing table is empty (everything → outlier).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Memory footprint estimate of the routing table in bytes (the §5
+    /// "marginal overhead" the paper accounts for).
+    pub fn approx_bytes(&self) -> usize {
+        // Key (4) + value (4) + hashbrown per-entry overhead (~1 byte
+        // control + load-factor slack): a close-enough engineering figure.
+        self.map.capacity() * (std::mem::size_of::<(VertexId, u32)>() + 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PlanLeaf;
+
+    fn plan(groups: &[&[u32]]) -> PartitionPlan {
+        PartitionPlan {
+            leaves: groups
+                .iter()
+                .map(|vs| PlanLeaf {
+                    vertices: vs.iter().map(|&v| VertexId(v)).collect(),
+                    width: 16,
+                    shrunk: false,
+                    freq_mass: 1,
+                    degree_mass: 1,
+                    error_factor: 1.0,
+                })
+                .collect(),
+            nodes_examined: 0,
+        }
+    }
+
+    #[test]
+    fn routes_follow_plan() {
+        let r = Router::from_plan(&plan(&[&[1, 2], &[3]]));
+        assert_eq!(r.route(VertexId(1)), SketchId::Partition(0));
+        assert_eq!(r.route(VertexId(2)), SketchId::Partition(0));
+        assert_eq!(r.route(VertexId(3)), SketchId::Partition(1));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn unknown_vertices_route_to_outlier() {
+        let r = Router::from_plan(&plan(&[&[1]]));
+        assert_eq!(r.route(VertexId(99)), SketchId::Outlier);
+    }
+
+    #[test]
+    fn empty_plan_routes_everything_to_outlier() {
+        let r = Router::from_plan(&plan(&[]));
+        assert!(r.is_empty());
+        assert_eq!(r.route(VertexId(0)), SketchId::Outlier);
+    }
+
+    #[test]
+    fn approx_bytes_positive_when_populated() {
+        let r = Router::from_plan(&plan(&[&[1, 2, 3]]));
+        assert!(r.approx_bytes() > 0);
+    }
+}

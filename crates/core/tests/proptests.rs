@@ -1,0 +1,153 @@
+//! Property-based tests of the gSketch core invariants: for ANY stream,
+//! sample, memory budget and seed, the assembled system must preserve
+//! the CountMin one-sided guarantee, conserve weight, respect memory,
+//! and route deterministically.
+
+use gsketch::{GSketch, SketchId, WidthAllocation};
+use gstream::edge::{Edge, StreamEdge};
+use gstream::exact::ExactCounter;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn to_stream(raw: &[(u16, u16, u8)]) -> Vec<StreamEdge> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, &(s, d, w))| {
+            StreamEdge::weighted(Edge::new(s as u32, d as u32), i as u64, w as u64 + 1)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// One-sided estimates for any stream/sample/seed/allocation combo.
+    #[test]
+    fn estimates_one_sided(
+        raw in vec((0u16..60, 0u16..60, any::<u8>()), 1..250),
+        sample_div in 2usize..8,
+        seed in any::<u64>(),
+        equal_split in any::<bool>(),
+    ) {
+        let stream = to_stream(&raw);
+        let sample = &stream[..stream.len() / sample_div];
+        let allocation = if equal_split {
+            WidthAllocation::EqualSplit
+        } else {
+            WidthAllocation::Optimal
+        };
+        let mut gs = GSketch::builder()
+            .memory_bytes(16 << 10)
+            .min_width(8)
+            .allocation(allocation)
+            .seed(seed)
+            .build_from_sample(sample)
+            .unwrap();
+        gs.ingest(&stream);
+        let truth = ExactCounter::from_stream(&stream);
+        for (edge, f) in truth.iter() {
+            prop_assert!(gs.estimate(edge) >= f);
+        }
+    }
+
+    /// Weight conservation and routing consistency: update and estimate
+    /// must agree on the sketch for every edge.
+    #[test]
+    fn weight_conserved_and_routing_stable(
+        raw in vec((0u16..40, 0u16..40, any::<u8>()), 1..200),
+        seed in any::<u64>(),
+    ) {
+        let stream = to_stream(&raw);
+        let sample = &stream[..stream.len().div_ceil(4)];
+        let mut gs = GSketch::builder()
+            .memory_bytes(16 << 10)
+            .min_width(8)
+            .seed(seed)
+            .build_from_sample(sample)
+            .unwrap();
+        gs.ingest(&stream);
+        let total: u64 = stream.iter().map(|se| se.weight).sum();
+        prop_assert_eq!(gs.total_weight(), total);
+        // Routing is a pure function.
+        for se in &stream {
+            prop_assert_eq!(gs.route(se.edge), gs.route(se.edge));
+        }
+    }
+
+    /// The memory budget is never exceeded, calibrated or not.
+    #[test]
+    fn memory_budget_respected(
+        raw in vec((0u16..50, 0u16..50, any::<u8>()), 1..200),
+        memory_kb in 2usize..128,
+        seed in any::<u64>(),
+        calibrated in any::<bool>(),
+    ) {
+        let stream = to_stream(&raw);
+        let sample = &stream[..stream.len().div_ceil(4)];
+        let builder = GSketch::builder()
+            .memory_bytes(memory_kb << 10)
+            .min_width(8)
+            .seed(seed);
+        let gs = if calibrated {
+            builder.build_from_sample_calibrated(sample, &stream).unwrap()
+        } else {
+            builder.build_from_sample(sample).unwrap()
+        };
+        prop_assert!(gs.bytes() <= memory_kb << 10,
+            "{} > {}", gs.bytes(), memory_kb << 10);
+    }
+
+    /// Every vertex appearing as a source in the sample routes to a
+    /// partition; everything else routes to the outlier.
+    #[test]
+    fn sample_vertices_get_partitions(
+        raw in vec((0u16..30, 0u16..30, any::<u8>()), 4..150),
+        seed in any::<u64>(),
+    ) {
+        let stream = to_stream(&raw);
+        let half = stream.len() / 2;
+        let sample = &stream[..half.max(1)];
+        let gs = GSketch::builder()
+            .memory_bytes(32 << 10)
+            .min_width(8)
+            .seed(seed)
+            .build_from_sample(sample)
+            .unwrap();
+        let sampled: std::collections::HashSet<u32> =
+            sample.iter().map(|se| se.edge.src.0).collect();
+        for se in &stream {
+            let route = gs.route(se.edge);
+            if sampled.contains(&se.edge.src.0) {
+                prop_assert!(matches!(route, SketchId::Partition(_)),
+                    "sampled vertex routed to outlier");
+            } else {
+                prop_assert_eq!(route, SketchId::Outlier);
+            }
+        }
+    }
+
+    /// Estimates are monotone in the stream: ingesting more arrivals
+    /// never lowers an estimate.
+    #[test]
+    fn estimates_monotone_in_stream(
+        raw in vec((0u16..30, 0u16..30, any::<u8>()), 2..120),
+        seed in any::<u64>(),
+    ) {
+        let stream = to_stream(&raw);
+        let sample = &stream[..stream.len().div_ceil(4)];
+        let mut gs = GSketch::builder()
+            .memory_bytes(16 << 10)
+            .min_width(8)
+            .seed(seed)
+            .build_from_sample(sample)
+            .unwrap();
+        let probe_edge = stream[0].edge;
+        let mut last = 0u64;
+        for se in &stream {
+            gs.update(se.edge, se.weight);
+            let now = gs.estimate(probe_edge);
+            prop_assert!(now >= last, "estimate decreased");
+            last = now;
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Directed edges and timestamped stream elements (§3.1 of the paper).
+
+use crate::vertex::VertexId;
+use serde::{Deserialize, Serialize};
+use sketch::hash::combine64;
+use std::fmt;
+
+/// A directed edge `(src, dst)` of the underlying graph `G = (V, E)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source vertex (the paper partitions by source).
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+}
+
+impl Edge {
+    /// Construct an edge.
+    #[inline]
+    pub fn new(src: impl Into<VertexId>, dst: impl Into<VertexId>) -> Self {
+        Self {
+            src: src.into(),
+            dst: dst.into(),
+        }
+    }
+
+    /// The 64-bit sketch key for this edge — the interned equivalent of
+    /// the paper's `l(x) ⊕ l(y)` label concatenation. Order sensitive.
+    #[inline]
+    pub fn key(&self) -> u64 {
+        combine64(self.src.as_u64(), self.dst.as_u64())
+    }
+
+    /// The same edge with endpoints swapped.
+    #[inline]
+    pub fn reversed(&self) -> Self {
+        Self {
+            src: self.dst,
+            dst: self.src,
+        }
+    }
+
+    /// Canonical direction for undirected inputs: lexicographic order on
+    /// the ids (the paper's footnote 1 uses label order; interned ids are
+    /// assigned in first-seen label order, which preserves determinism).
+    #[inline]
+    pub fn canonical(&self) -> Self {
+        if self.src <= self.dst {
+            *self
+        } else {
+            self.reversed()
+        }
+    }
+
+    /// Whether this is a self-loop.
+    #[inline]
+    pub fn is_loop(&self) -> bool {
+        self.src == self.dst
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.src, self.dst)
+    }
+}
+
+/// One graph-stream arrival `(x_i, y_i; t_i)` with frequency
+/// `f(x_i, y_i, t_i)` (default 1, §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamEdge {
+    /// The edge that arrived.
+    pub edge: Edge,
+    /// Arrival timestamp (monotone non-decreasing within a stream).
+    pub ts: u64,
+    /// Weight of this arrival (e.g. seconds of a phone call).
+    pub weight: u64,
+}
+
+impl StreamEdge {
+    /// An arrival with explicit weight.
+    #[inline]
+    pub fn weighted(edge: Edge, ts: u64, weight: u64) -> Self {
+        Self { edge, ts, weight }
+    }
+
+    /// An unweighted arrival (`f = 1`, the paper's default).
+    #[inline]
+    pub fn unit(edge: Edge, ts: u64) -> Self {
+        Self {
+            edge,
+            ts,
+            weight: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_is_direction_sensitive() {
+        let e = Edge::new(1u32, 2u32);
+        assert_ne!(e.key(), e.reversed().key());
+        assert_eq!(e.key(), Edge::new(1u32, 2u32).key());
+    }
+
+    #[test]
+    fn canonical_orders_endpoints() {
+        let e = Edge::new(5u32, 3u32);
+        assert_eq!(e.canonical(), Edge::new(3u32, 5u32));
+        assert_eq!(e.canonical(), e.reversed().canonical());
+        let already = Edge::new(1u32, 9u32);
+        assert_eq!(already.canonical(), already);
+    }
+
+    #[test]
+    fn loop_detection() {
+        assert!(Edge::new(4u32, 4u32).is_loop());
+        assert!(!Edge::new(4u32, 5u32).is_loop());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Edge::new(1u32, 2u32).to_string(), "v1->v2");
+    }
+
+    #[test]
+    fn stream_edge_constructors() {
+        let e = Edge::new(0u32, 1u32);
+        assert_eq!(StreamEdge::unit(e, 9).weight, 1);
+        assert_eq!(StreamEdge::weighted(e, 9, 30).weight, 30);
+        assert_eq!(StreamEdge::unit(e, 9).ts, 9);
+    }
+
+    #[test]
+    fn distinct_edges_have_distinct_keys_mostly() {
+        use std::collections::HashSet;
+        let mut keys = HashSet::new();
+        for s in 0..200u32 {
+            for d in 0..200u32 {
+                keys.insert(Edge::new(s, d).key());
+            }
+        }
+        assert_eq!(keys.len(), 200 * 200, "64-bit keys should not collide here");
+    }
+}

@@ -1,0 +1,173 @@
+//! Exact frequency accounting — the evaluation ground truth.
+//!
+//! Experiments need the true frequency `f(q)` of each queried edge to
+//! compute relative errors (Eq. 12). The paper's streams are small enough
+//! at laptop scale to count exactly with a hash map; this is strictly an
+//! evaluation aid, never part of the sketch data path.
+
+use crate::edge::{Edge, StreamEdge};
+use crate::fxhash::FxHashMap;
+use crate::vertex::VertexId;
+
+/// Exact per-edge and per-vertex frequency counts for a stream.
+#[derive(Debug, Default, Clone)]
+pub struct ExactCounter {
+    edges: FxHashMap<Edge, u64>,
+    total: u64,
+    arrivals: u64,
+}
+
+impl ExactCounter {
+    /// Create an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count every arrival of `stream`.
+    pub fn from_stream<'a, I: IntoIterator<Item = &'a StreamEdge>>(stream: I) -> Self {
+        let mut c = Self::new();
+        for se in stream {
+            c.observe(se);
+        }
+        c
+    }
+
+    /// Record one arrival.
+    #[inline]
+    pub fn observe(&mut self, se: &StreamEdge) {
+        *self.edges.entry(se.edge).or_insert(0) += se.weight;
+        self.total += se.weight;
+        self.arrivals += 1;
+    }
+
+    /// True aggregate frequency `f(x, y)` of an edge.
+    #[inline]
+    pub fn frequency(&self, edge: Edge) -> u64 {
+        self.edges.get(&edge).copied().unwrap_or(0)
+    }
+
+    /// Total weight over all arrivals (`N` of Equation 1).
+    pub fn total_weight(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of stream arrivals (elements, not weight).
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Number of distinct edges.
+    pub fn distinct_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterate over `(edge, frequency)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Edge, u64)> + '_ {
+        self.edges.iter().map(|(&e, &f)| (e, f))
+    }
+
+    /// Relative vertex frequency `fv(i) = Σ_j f(i, j)` (Equation 2) and
+    /// out-degree `d(i)` (Equation 3) for every source vertex.
+    pub fn vertex_profile(&self) -> FxHashMap<VertexId, VertexProfile> {
+        let mut out: FxHashMap<VertexId, VertexProfile> = FxHashMap::default();
+        for (&edge, &f) in &self.edges {
+            let p = out.entry(edge.src).or_default();
+            p.frequency += f;
+            p.out_degree += 1;
+        }
+        out
+    }
+
+    /// The distinct edges emanating from each source vertex.
+    pub fn adjacency(&self) -> FxHashMap<VertexId, Vec<(VertexId, u64)>> {
+        let mut adj: FxHashMap<VertexId, Vec<(VertexId, u64)>> = FxHashMap::default();
+        for (&edge, &f) in &self.edges {
+            adj.entry(edge.src).or_default().push((edge.dst, f));
+        }
+        for targets in adj.values_mut() {
+            targets.sort_unstable();
+        }
+        adj
+    }
+}
+
+/// Exact per-source-vertex statistics: `fv(i)` and `d(i)`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct VertexProfile {
+    /// `fv(i)`: summed frequency of edges emanating from the vertex.
+    pub frequency: u64,
+    /// `d(i)`: number of distinct out-edges.
+    pub out_degree: u64,
+}
+
+impl VertexProfile {
+    /// Average frequency of the edges emanating from the vertex,
+    /// `fv(i)/d(i)` — the quantity the partitioner sorts on.
+    pub fn avg_edge_frequency(&self) -> f64 {
+        if self.out_degree == 0 {
+            0.0
+        } else {
+            self.frequency as f64 / self.out_degree as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn se(s: u32, d: u32, w: u64) -> StreamEdge {
+        StreamEdge::weighted(Edge::new(s, d), 0, w)
+    }
+
+    #[test]
+    fn counts_weights_and_arrivals() {
+        let stream = vec![se(1, 2, 3), se(1, 2, 1), se(2, 3, 5)];
+        let c = ExactCounter::from_stream(&stream);
+        assert_eq!(c.frequency(Edge::new(1u32, 2u32)), 4);
+        assert_eq!(c.frequency(Edge::new(2u32, 3u32)), 5);
+        assert_eq!(c.frequency(Edge::new(9u32, 9u32)), 0);
+        assert_eq!(c.total_weight(), 9);
+        assert_eq!(c.arrivals(), 3);
+        assert_eq!(c.distinct_edges(), 2);
+    }
+
+    #[test]
+    fn direction_matters() {
+        let stream = vec![se(1, 2, 1), se(2, 1, 1)];
+        let c = ExactCounter::from_stream(&stream);
+        assert_eq!(c.frequency(Edge::new(1u32, 2u32)), 1);
+        assert_eq!(c.frequency(Edge::new(2u32, 1u32)), 1);
+        assert_eq!(c.distinct_edges(), 2);
+    }
+
+    #[test]
+    fn vertex_profile_matches_equations_two_and_three() {
+        let stream = vec![se(1, 2, 4), se(1, 3, 2), se(1, 2, 1), se(5, 1, 7)];
+        let c = ExactCounter::from_stream(&stream);
+        let prof = c.vertex_profile();
+        let v1 = prof[&VertexId(1)];
+        assert_eq!(v1.frequency, 7); // 4+1 on (1,2) plus 2 on (1,3)
+        assert_eq!(v1.out_degree, 2); // distinct out-edges (1,2), (1,3)
+        assert!((v1.avg_edge_frequency() - 3.5).abs() < 1e-12);
+        let v5 = prof[&VertexId(5)];
+        assert_eq!(v5.frequency, 7);
+        assert_eq!(v5.out_degree, 1);
+        // Vertex 2 has no out-edges: absent from the profile.
+        assert!(!prof.contains_key(&VertexId(2)));
+    }
+
+    #[test]
+    fn adjacency_sorted_per_source() {
+        let stream = vec![se(1, 9, 1), se(1, 2, 1), se(1, 5, 2)];
+        let c = ExactCounter::from_stream(&stream);
+        let adj = c.adjacency();
+        let targets: Vec<u32> = adj[&VertexId(1)].iter().map(|&(v, _)| v.0).collect();
+        assert_eq!(targets, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn empty_profile_avg_is_zero() {
+        assert_eq!(VertexProfile::default().avg_edge_frequency(), 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! A fast, non-cryptographic hasher for in-memory maps.
+//!
+//! This is the `FxHash` algorithm used by the Rust compiler (a simple
+//! multiply-rotate word hash). Ground-truth counting and vertex-statistics
+//! maps hash millions of integer keys, where SipHash (the std default) is
+//! the bottleneck; re-implementing the ~20-line algorithm here avoids an
+//! extra dependency. **Not** suitable for adversarial input and never used
+//! inside the sketches themselves (those use the pairwise-independent
+//! families from the `sketch` crate).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash streaming hasher state.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn deterministic() {
+        let bh = FxBuildHasher::default();
+        assert_eq!(bh.hash_one(12345u64), bh.hash_one(12345u64));
+        assert_ne!(bh.hash_one(1u64), bh.hash_one(2u64));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            *m.entry(i % 97).or_insert(0) += 1;
+        }
+        assert_eq!(m.len(), 97);
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.extend(0..100u64);
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_for_distinctness() {
+        // Sanity: hashing different byte strings yields different values.
+        let bh = FxBuildHasher::default();
+        let h1 = bh.hash_one("edge:a->b");
+        let h2 = bh.hash_one("edge:a->c");
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn low_bit_spread_for_sequential_keys() {
+        // HashMap uses the low bits; sequential keys must spread.
+        let bh = FxBuildHasher::default();
+        let mut buckets = FxHashSet::default();
+        for i in 0..256u64 {
+            buckets.insert(bh.hash_one(i) & 0xFF);
+        }
+        assert!(buckets.len() > 128, "poor low-bit spread: {}", buckets.len());
+    }
+}

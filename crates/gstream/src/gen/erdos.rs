@@ -1,0 +1,178 @@
+//! Uniform (Erdős–Rényi style) stream generator — the *structureless*
+//! control workload.
+//!
+//! Every arrival picks its source and destination independently and
+//! uniformly at random. The resulting stream has neither the global
+//! skewness nor the local similarity that gSketch exploits (§3.3), so it
+//! is the natural ablation baseline: on this workload the partitioned
+//! sketch should perform no better (and no worse) than the global sketch.
+
+use crate::edge::{Edge, StreamEdge};
+use crate::vertex::VertexId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the uniform generator.
+#[derive(Debug, Clone, Copy)]
+pub struct ErdosRenyiConfig {
+    /// Number of vertices in the model.
+    pub vertices: u32,
+    /// Number of stream arrivals to emit.
+    pub edges: usize,
+    /// Whether to allow self-loops (default: no, matching the paper's
+    /// datasets, none of which contain loops).
+    pub self_loops: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ErdosRenyiConfig {
+    /// A loop-free uniform stream over `vertices` vertices.
+    pub fn new(vertices: u32, edges: usize, seed: u64) -> Self {
+        Self {
+            vertices,
+            edges,
+            self_loops: false,
+            seed,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.vertices >= 2, "need at least two vertices");
+    }
+}
+
+/// The uniform generator as an iterator of stream arrivals.
+#[derive(Debug, Clone)]
+pub struct ErdosRenyiGenerator {
+    cfg: ErdosRenyiConfig,
+    rng: StdRng,
+    emitted: usize,
+}
+
+impl ErdosRenyiGenerator {
+    /// Create a generator from a validated configuration.
+    pub fn new(cfg: ErdosRenyiConfig) -> Self {
+        cfg.validate();
+        Self {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            emitted: 0,
+        }
+    }
+
+    /// Number of vertices in the model.
+    pub fn vertices(&self) -> u32 {
+        self.cfg.vertices
+    }
+
+    fn next_edge(&mut self) -> Edge {
+        loop {
+            let src = self.rng.gen_range(0..self.cfg.vertices);
+            let dst = self.rng.gen_range(0..self.cfg.vertices);
+            if self.cfg.self_loops || src != dst {
+                return Edge::new(VertexId(src), VertexId(dst));
+            }
+        }
+    }
+
+    /// Generate the full stream eagerly.
+    pub fn generate(self) -> Vec<StreamEdge> {
+        self.collect()
+    }
+}
+
+impl Iterator for ErdosRenyiGenerator {
+    type Item = StreamEdge;
+
+    fn next(&mut self) -> Option<StreamEdge> {
+        if self.emitted >= self.cfg.edges {
+            return None;
+        }
+        let ts = self.emitted as u64;
+        self.emitted += 1;
+        let e = self.next_edge();
+        Some(StreamEdge::unit(e, ts))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.cfg.edges - self.emitted;
+        (rem, Some(rem))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactCounter;
+
+    #[test]
+    #[should_panic(expected = "two vertices")]
+    fn tiny_vertex_set_rejected() {
+        ErdosRenyiGenerator::new(ErdosRenyiConfig::new(1, 10, 0));
+    }
+
+    #[test]
+    fn emits_exact_count_with_monotone_timestamps() {
+        let stream: Vec<StreamEdge> =
+            ErdosRenyiGenerator::new(ErdosRenyiConfig::new(100, 500, 7)).collect();
+        assert_eq!(stream.len(), 500);
+        for (i, se) in stream.iter().enumerate() {
+            assert_eq!(se.ts, i as u64);
+            assert_eq!(se.weight, 1);
+        }
+    }
+
+    #[test]
+    fn no_self_loops_by_default() {
+        for se in ErdosRenyiGenerator::new(ErdosRenyiConfig::new(5, 2000, 3)) {
+            assert!(!se.edge.is_loop());
+        }
+    }
+
+    #[test]
+    fn self_loops_when_enabled() {
+        let mut cfg = ErdosRenyiConfig::new(3, 5000, 3);
+        cfg.self_loops = true;
+        let n_loops = ErdosRenyiGenerator::new(cfg)
+            .filter(|se| se.edge.is_loop())
+            .count();
+        assert!(n_loops > 0, "with 3 vertices, loops should appear");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a: Vec<StreamEdge> =
+            ErdosRenyiGenerator::new(ErdosRenyiConfig::new(50, 100, 42)).collect();
+        let b: Vec<StreamEdge> =
+            ErdosRenyiGenerator::new(ErdosRenyiConfig::new(50, 100, 42)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degree_distribution_is_flat() {
+        // The anti-R-MAT: top sources carry roughly the uniform share.
+        let stream: Vec<StreamEdge> =
+            ErdosRenyiGenerator::new(ErdosRenyiConfig::new(200, 50_000, 9)).collect();
+        let counts = ExactCounter::from_stream(&stream);
+        let prof = counts.vertex_profile();
+        let mut freqs: Vec<u64> = prof.values().map(|p| p.frequency).collect();
+        freqs.sort_unstable_by(|x, y| y.cmp(x));
+        let top10: u64 = freqs.iter().take(10).sum();
+        let total: u64 = freqs.iter().sum();
+        let share = top10 as f64 / total as f64;
+        let uniform_share = 10.0 / freqs.len() as f64;
+        assert!(
+            share < 1.5 * uniform_share,
+            "uniform stream should have no heavy sources: {share:.4} vs {uniform_share:.4}"
+        );
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut g = ErdosRenyiGenerator::new(ErdosRenyiConfig::new(10, 4, 0));
+        assert_eq!(g.size_hint(), (4, Some(4)));
+        g.next();
+        assert_eq!(g.size_hint(), (3, Some(3)));
+    }
+}

@@ -1,0 +1,16 @@
+//! Synthetic graph-stream generators standing in for the paper's three
+//! datasets (see DESIGN.md §4 for the substitution rationale), plus two
+//! structural controls (uniform and small-world) used by the ablation
+//! benchmarks.
+
+pub mod dblp;
+pub mod erdos;
+pub mod ipattack;
+pub mod rmat;
+pub mod smallworld;
+
+pub use dblp::DblpConfig;
+pub use erdos::{ErdosRenyiConfig, ErdosRenyiGenerator};
+pub use ipattack::IpAttackConfig;
+pub use rmat::{RmatConfig, RmatGenerator, RmatTrafficConfig, RmatTrafficGenerator};
+pub use smallworld::{SmallWorldConfig, SmallWorldGenerator};

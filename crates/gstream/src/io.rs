@@ -1,0 +1,287 @@
+//! Plain-text edge-list serialization of graph streams.
+//!
+//! The format is one arrival per line — `src dst ts weight` as decimal
+//! integers separated by single spaces — with `#`-prefixed comment lines
+//! and blank lines ignored. It round-trips every [`StreamEdge`] exactly
+//! and is the interchange format of the `gsketch-cli` tool, so generated
+//! workloads can be saved, inspected with standard Unix tools, and
+//! replayed.
+//!
+//! Readers and writers are buffered internally (a graph stream is exactly
+//! the "many small records" workload where unbuffered I/O dominates).
+
+use crate::edge::{Edge, StreamEdge};
+use crate::vertex::VertexId;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors produced while reading a stream file.
+#[derive(Debug)]
+pub enum StreamIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line that is neither a comment, blank, nor a valid record.
+    Parse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Description of what went wrong.
+        reason: String,
+    },
+    /// Timestamps must be non-decreasing; the offending line regressed.
+    OutOfOrder {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// The regressing timestamp.
+        ts: u64,
+        /// The previous (larger) timestamp.
+        prev: u64,
+    },
+}
+
+impl fmt::Display for StreamIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamIoError::Io(e) => write!(f, "stream I/O error: {e}"),
+            StreamIoError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+            StreamIoError::OutOfOrder { line, ts, prev } => {
+                write!(
+                    f,
+                    "out-of-order timestamp at line {line}: {ts} after {prev}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StreamIoError {
+    fn from(e: io::Error) -> Self {
+        StreamIoError::Io(e)
+    }
+}
+
+/// Write a stream to `w` in the edge-list format.
+pub fn write_stream<W: Write>(w: W, stream: &[StreamEdge]) -> Result<(), StreamIoError> {
+    let mut out = BufWriter::new(w);
+    writeln!(out, "# gsketch graph stream: src dst ts weight")?;
+    writeln!(out, "# arrivals: {}", stream.len())?;
+    for se in stream {
+        writeln!(
+            out,
+            "{} {} {} {}",
+            se.edge.src.0, se.edge.dst.0, se.ts, se.weight
+        )?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Write a stream to the file at `path`.
+pub fn save_stream<P: AsRef<Path>>(path: P, stream: &[StreamEdge]) -> Result<(), StreamIoError> {
+    write_stream(File::create(path)?, stream)
+}
+
+/// Read a stream from `r`, enforcing non-decreasing timestamps.
+pub fn read_stream<R: Read>(r: R) -> Result<Vec<StreamEdge>, StreamIoError> {
+    let mut reader = BufReader::new(r);
+    let mut out = Vec::new();
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    let mut prev_ts = 0u64;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_ascii_whitespace();
+        let mut next_u64 = |what: &str| -> Result<u64, StreamIoError> {
+            let tok = fields.next().ok_or_else(|| StreamIoError::Parse {
+                line: lineno,
+                reason: format!("missing field `{what}`"),
+            })?;
+            tok.parse::<u64>().map_err(|e| StreamIoError::Parse {
+                line: lineno,
+                reason: format!("bad `{what}` value `{tok}`: {e}"),
+            })
+        };
+        let src = next_u64("src")?;
+        let dst = next_u64("dst")?;
+        let ts = next_u64("ts")?;
+        let weight = next_u64("weight")?;
+        if fields.next().is_some() {
+            return Err(StreamIoError::Parse {
+                line: lineno,
+                reason: "trailing fields after `weight`".into(),
+            });
+        }
+        let as_vertex = |v: u64, what: &str| -> Result<VertexId, StreamIoError> {
+            u32::try_from(v).map(VertexId).map_err(|_| StreamIoError::Parse {
+                line: lineno,
+                reason: format!("`{what}` id {v} exceeds the u32 vertex domain"),
+            })
+        };
+        let edge = Edge::new(as_vertex(src, "src")?, as_vertex(dst, "dst")?);
+        if ts < prev_ts {
+            return Err(StreamIoError::OutOfOrder {
+                line: lineno,
+                ts,
+                prev: prev_ts,
+            });
+        }
+        prev_ts = ts;
+        out.push(StreamEdge::weighted(edge, ts, weight));
+    }
+    Ok(out)
+}
+
+/// Read a stream from the file at `path`.
+pub fn load_stream<P: AsRef<Path>>(path: P) -> Result<Vec<StreamEdge>, StreamIoError> {
+    read_stream(File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_stream() -> Vec<StreamEdge> {
+        vec![
+            StreamEdge::unit(Edge::new(1u32, 2u32), 0),
+            StreamEdge::weighted(Edge::new(2u32, 3u32), 1, 30),
+            StreamEdge::unit(Edge::new(1u32, 2u32), 5),
+        ]
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let stream = toy_stream();
+        let mut buf = Vec::new();
+        write_stream(&mut buf, &stream).unwrap();
+        let back = read_stream(&buf[..]).unwrap();
+        assert_eq!(stream, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\n1 2 0 1\n   \n# mid comment\n3 4 7 2\n";
+        let stream = read_stream(text.as_bytes()).unwrap();
+        assert_eq!(stream.len(), 2);
+        assert_eq!(stream[1].edge, Edge::new(3u32, 4u32));
+        assert_eq!(stream[1].weight, 2);
+    }
+
+    #[test]
+    fn missing_field_reported_with_line() {
+        let err = read_stream("1 2 0\n".as_bytes()).unwrap_err();
+        match err {
+            StreamIoError::Parse { line, reason } => {
+                assert_eq!(line, 1);
+                assert!(reason.contains("weight"), "{reason}");
+            }
+            other => panic!("expected Parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn garbage_token_reported() {
+        let err = read_stream("1 x 0 1\n".as_bytes()).unwrap_err();
+        match err {
+            StreamIoError::Parse { line: 1, reason } => assert!(reason.contains("dst")),
+            other => panic!("expected Parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn trailing_fields_rejected() {
+        let err = read_stream("1 2 0 1 99\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, StreamIoError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn oversized_vertex_rejected() {
+        let err = read_stream("99999999999 2 0 1\n".as_bytes()).unwrap_err();
+        match err {
+            StreamIoError::Parse { reason, .. } => assert!(reason.contains("u32")),
+            other => panic!("expected Parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn out_of_order_timestamps_rejected() {
+        let err = read_stream("1 2 10 1\n3 4 5 1\n".as_bytes()).unwrap_err();
+        match err {
+            StreamIoError::OutOfOrder { line, ts, prev } => {
+                assert_eq!(line, 2);
+                assert_eq!(ts, 5);
+                assert_eq!(prev, 10);
+            }
+            other => panic!("expected OutOfOrder, got {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_stream() {
+        assert!(read_stream("".as_bytes()).unwrap().is_empty());
+        assert!(read_stream("# only comments\n".as_bytes()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("gstream_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.txt");
+        let stream = toy_stream();
+        save_stream(&path, &stream).unwrap();
+        let back = load_stream(&path).unwrap();
+        assert_eq!(stream, back);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_stream("/nonexistent/definitely/missing.txt").unwrap_err();
+        assert!(matches!(err, StreamIoError::Io(_)));
+        assert!(err.to_string().contains("I/O"));
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StreamIoError::Parse {
+            line: 3,
+            reason: "bad".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        let e = StreamIoError::OutOfOrder {
+            line: 9,
+            ts: 1,
+            prev: 2,
+        };
+        assert!(e.to_string().contains("line 9"));
+    }
+
+    #[test]
+    fn large_stream_round_trip() {
+        let stream: Vec<StreamEdge> = (0..10_000u64)
+            .map(|t| StreamEdge::weighted(Edge::new((t % 97) as u32, (t % 89) as u32), t, t % 5 + 1))
+            .collect();
+        let mut buf = Vec::new();
+        write_stream(&mut buf, &stream).unwrap();
+        assert_eq!(read_stream(&buf[..]).unwrap(), stream);
+    }
+}

@@ -1,0 +1,7 @@
+//! Sampling primitives: reservoir (uniform) and Zipf (skewed) samplers.
+
+pub mod reservoir;
+pub mod zipf;
+
+pub use reservoir::{sample_iter, Reservoir};
+pub use zipf::{laplace_smooth, Zipf};

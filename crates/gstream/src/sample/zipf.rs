@@ -1,0 +1,222 @@
+//! Zipf-distributed sampling (workload-sample construction, §6.4).
+//!
+//! The paper draws query-workload samples "by sampling the graph stream
+//! which follows the Zipf distribution, parameterized by a skewness
+//! factor α". We implement an exact Zipf(n, α) rank sampler using
+//! rejection-inversion (Hörmann & Derflinger 1996), which is O(1) per
+//! draw for any n and α > 0 — no CDF table required.
+
+use rand::Rng;
+
+/// An exact Zipf(n, α) sampler producing ranks in `1..=n` with
+/// `P(rank = k) ∝ k^{−α}`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    alpha: f64,
+    // Precomputed constants of the rejection-inversion scheme.
+    h_x1: f64,
+    h_half: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Create a sampler over ranks `1..=n` with skew `alpha > 0`,
+    /// `alpha != 1` handled via the generalized harmonic integral.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha <= 0` or either is non-finite.
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        assert!(
+            alpha > 0.0 && alpha.is_finite(),
+            "Zipf skew must be positive and finite"
+        );
+        let h_x1 = Self::h_integral(1.5, alpha) - 1.0;
+        let h_half = Self::h_integral(n as f64 + 0.5, alpha);
+        // Shortcut-acceptance threshold: s = 2 − H⁻¹(H(2.5) − h(2)).
+        let s = 2.0
+            - Self::h_integral_inverse(
+                Self::h_integral(2.5, alpha) - 2.0f64.powf(-alpha),
+                alpha,
+            );
+        Self {
+            n,
+            alpha,
+            h_x1,
+            h_half,
+            s,
+        }
+    }
+
+    /// `H(x) = ∫ t^{-α} dt`, the antiderivative used by the scheme.
+    fn h_integral(x: f64, alpha: f64) -> f64 {
+        let log_x = x.ln();
+        helper2((1.0 - alpha) * log_x) * log_x
+    }
+
+    /// Inverse of [`Self::h_integral`].
+    fn h_integral_inverse(x: f64, alpha: f64) -> f64 {
+        let mut t = x * (1.0 - alpha);
+        if t < -1.0 {
+            t = -1.0;
+        }
+        (helper1(t) * x).exp()
+    }
+
+    /// Draw one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            // u uniform in [H(n + 0.5), H(1.5) − 1).
+            let u = self.h_half + rng.gen::<f64>() * (self.h_x1 - self.h_half);
+            let x = Self::h_integral_inverse(u, self.alpha);
+            let k_f = x.clamp(1.0, self.n as f64).round();
+            // Accept early when x is within s of the bucket center, or by
+            // the exact inequality u ≥ H(k + 0.5) − h(k).
+            if k_f - x <= self.s
+                || u >= Self::h_integral(k_f + 0.5, self.alpha) - k_f.powf(-self.alpha)
+            {
+                return k_f as u64;
+            }
+        }
+    }
+
+    /// The support size `n`.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+/// `helper1(x) = ln(1+x)/x`, stable near zero.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `helper2(x) = (e^x − 1)/x`, stable near zero.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x))
+    }
+}
+
+/// Laplace-smoothed relative weight of item counts (§6.4, \[22\]):
+/// `w̃(i) = (count_i + 1) / (total + support)`, guaranteeing a positive
+/// weight for items absent from the workload sample.
+pub fn laplace_smooth(count: u64, total: u64, support: usize) -> f64 {
+    (count as f64 + 1.0) / (total as f64 + support as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic(expected = "support must be non-empty")]
+    fn zero_support_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "skew must be positive")]
+    fn non_positive_alpha_panics() {
+        let _ = Zipf::new(10, 0.0);
+    }
+
+    #[test]
+    fn samples_within_support() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let z = Zipf::new(50, 1.5);
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=50).contains(&k));
+        }
+    }
+
+    #[test]
+    fn rank_one_dominates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let z = Zipf::new(1000, 1.5);
+        let n = 50_000;
+        let ones = (0..n).filter(|_| z.sample(&mut rng) == 1).count();
+        // For alpha=1.5, P(1) = 1/zeta-ish ≈ 0.38 over 1000 ranks.
+        let p = ones as f64 / n as f64;
+        assert!(p > 0.25 && p < 0.55, "P(rank=1) = {p}");
+    }
+
+    #[test]
+    fn empirical_ratio_matches_power_law() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let alpha = 2.0;
+        let z = Zipf::new(100, alpha);
+        let n = 200_000;
+        let mut counts = [0u32; 101];
+        for _ in 0..n {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        // P(1)/P(2) should be 2^alpha = 4.
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 4.0).abs() < 0.8, "P(1)/P(2) = {ratio}");
+    }
+
+    #[test]
+    fn higher_alpha_more_skew() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 30_000;
+        let mass_top = |alpha: f64, rng: &mut StdRng| {
+            let z = Zipf::new(500, alpha);
+            (0..n).filter(|_| z.sample(rng) <= 5).count() as f64 / n as f64
+        };
+        let low = mass_top(1.2, &mut rng);
+        let high = mass_top(2.0, &mut rng);
+        assert!(
+            high > low,
+            "alpha=2.0 should concentrate more mass on top ranks: {high} vs {low}"
+        );
+    }
+
+    #[test]
+    fn singleton_support() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let z = Zipf::new(1, 1.3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn laplace_smoothing_never_zero() {
+        assert!(laplace_smooth(0, 1000, 50) > 0.0);
+        let seen = laplace_smooth(10, 1000, 50);
+        let unseen = laplace_smooth(0, 1000, 50);
+        assert!(seen > unseen);
+        // Weights normalize: sum over support of (c_i+1)/(T+S) = 1 when
+        // sum c_i = T.
+        let total = 90u64;
+        let counts = [30u64, 30, 30, 0, 0];
+        let s: f64 = counts
+            .iter()
+            .map(|&c| laplace_smooth(c, total, counts.len()))
+            .sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accessors() {
+        let z = Zipf::new(42, 1.7);
+        assert_eq!(z.n(), 42);
+        assert!((z.alpha() - 1.7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,247 @@
+//! Stream transforms: composition, windowing, and perturbation of graph
+//! streams.
+//!
+//! These utilities let the experiment harness and the examples build
+//! richer workloads out of the base generators: merging two streams by
+//! timestamp (e.g. background traffic + attack traffic), cutting a time
+//! window out of a stream, injecting a frequency burst at a point in
+//! time, and rescaling or renumbering timestamps. All functions preserve
+//! the non-decreasing-timestamp invariant of §3.1.
+
+use crate::edge::{Edge, StreamEdge};
+
+/// Merge two individually time-ordered streams into one time-ordered
+/// stream (stable: ties keep `a` before `b`).
+pub fn merge_by_time(a: &[StreamEdge], b: &[StreamEdge]) -> Vec<StreamEdge> {
+    debug_assert!(is_time_ordered(a), "stream `a` must be time-ordered");
+    debug_assert!(is_time_ordered(b), "stream `b` must be time-ordered");
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i].ts <= b[j].ts {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Whether timestamps are non-decreasing.
+pub fn is_time_ordered(stream: &[StreamEdge]) -> bool {
+    stream.windows(2).all(|w| w[0].ts <= w[1].ts)
+}
+
+/// The sub-stream with `ts ∈ [start, end)`. The input must be
+/// time-ordered; the result borrows nothing and is itself time-ordered.
+pub fn window(stream: &[StreamEdge], start: u64, end: u64) -> Vec<StreamEdge> {
+    debug_assert!(is_time_ordered(stream));
+    let lo = stream.partition_point(|se| se.ts < start);
+    let hi = stream.partition_point(|se| se.ts < end);
+    stream[lo..hi].to_vec()
+}
+
+/// Inject a burst of `count` unit arrivals of `edge` at timestamp `at`,
+/// keeping the stream time-ordered.
+pub fn inject_burst(stream: &[StreamEdge], edge: Edge, at: u64, count: usize) -> Vec<StreamEdge> {
+    debug_assert!(is_time_ordered(stream));
+    let pos = stream.partition_point(|se| se.ts <= at);
+    let mut out = Vec::with_capacity(stream.len() + count);
+    out.extend_from_slice(&stream[..pos]);
+    out.extend((0..count).map(|_| StreamEdge::unit(edge, at)));
+    out.extend_from_slice(&stream[pos..]);
+    out
+}
+
+/// Multiply every timestamp by `factor` (e.g. to convert tick units).
+pub fn scale_time(stream: &[StreamEdge], factor: u64) -> Vec<StreamEdge> {
+    stream
+        .iter()
+        .map(|se| StreamEdge::weighted(se.edge, se.ts.saturating_mul(factor), se.weight))
+        .collect()
+}
+
+/// Renumber timestamps to consecutive `0..n` while preserving order —
+/// useful after filtering, when the original timestamps have gaps.
+pub fn renumber_timestamps(stream: &[StreamEdge]) -> Vec<StreamEdge> {
+    stream
+        .iter()
+        .enumerate()
+        .map(|(i, se)| StreamEdge::weighted(se.edge, i as u64, se.weight))
+        .collect()
+}
+
+/// Reverse every edge (queries about in-neighbourhoods become queries
+/// about out-neighbourhoods of the reversed stream).
+pub fn reverse_edges(stream: &[StreamEdge]) -> Vec<StreamEdge> {
+    stream
+        .iter()
+        .map(|se| StreamEdge::weighted(se.edge.reversed(), se.ts, se.weight))
+        .collect()
+}
+
+/// Collapse consecutive arrivals of the same edge at the same timestamp
+/// into one weighted arrival. Lossless for frequency queries; shrinks
+/// bursty streams.
+pub fn coalesce(stream: &[StreamEdge]) -> Vec<StreamEdge> {
+    let mut out: Vec<StreamEdge> = Vec::with_capacity(stream.len());
+    for &se in stream {
+        match out.last_mut() {
+            Some(last) if last.edge == se.edge && last.ts == se.ts => {
+                last.weight = last.weight.saturating_add(se.weight);
+            }
+            _ => out.push(se),
+        }
+    }
+    out
+}
+
+/// Split a stream into `n` equal-duration epochs by timestamp (the
+/// paper's §5 coarse time-window scheme). Returns exactly `n` buckets;
+/// later buckets may be empty when traffic is front-loaded.
+pub fn epochs(stream: &[StreamEdge], n: usize) -> Vec<Vec<StreamEdge>> {
+    assert!(n > 0, "need at least one epoch");
+    debug_assert!(is_time_ordered(stream));
+    let mut out = vec![Vec::new(); n];
+    let Some(last) = stream.last() else {
+        return out;
+    };
+    let span = last.ts + 1;
+    for &se in stream {
+        // Epoch index in [0, n): proportional position of ts in the span.
+        let idx = ((se.ts as u128 * n as u128) / span as u128) as usize;
+        out[idx.min(n - 1)].push(se);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vertex::VertexId;
+
+    fn se(src: u32, dst: u32, ts: u64) -> StreamEdge {
+        StreamEdge::unit(Edge::new(VertexId(src), VertexId(dst)), ts)
+    }
+
+    #[test]
+    fn merge_interleaves_by_timestamp() {
+        let a = vec![se(1, 2, 0), se(1, 2, 4), se(1, 2, 8)];
+        let b = vec![se(3, 4, 1), se(3, 4, 4), se(3, 4, 9)];
+        let m = merge_by_time(&a, &b);
+        assert_eq!(m.len(), 6);
+        assert!(is_time_ordered(&m));
+        // Stability: at ts=4 the `a` arrival comes first.
+        let at4: Vec<u32> = m.iter().filter(|x| x.ts == 4).map(|x| x.edge.src.0).collect();
+        assert_eq!(at4, vec![1, 3]);
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let a = vec![se(1, 2, 0)];
+        assert_eq!(merge_by_time(&a, &[]), a);
+        assert_eq!(merge_by_time(&[], &a), a);
+    }
+
+    #[test]
+    fn window_selects_half_open_range() {
+        let s = vec![se(1, 2, 0), se(1, 2, 5), se(1, 2, 9), se(1, 2, 10)];
+        let w = window(&s, 5, 10);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].ts, 5);
+        assert_eq!(w[1].ts, 9);
+    }
+
+    #[test]
+    fn window_empty_range() {
+        let s = vec![se(1, 2, 0), se(1, 2, 5)];
+        assert!(window(&s, 6, 6).is_empty());
+        assert!(window(&s, 100, 200).is_empty());
+    }
+
+    #[test]
+    fn burst_is_inserted_in_order() {
+        let s = vec![se(1, 2, 0), se(1, 2, 10)];
+        let out = inject_burst(&s, Edge::new(7u32, 8u32), 5, 3);
+        assert_eq!(out.len(), 5);
+        assert!(is_time_ordered(&out));
+        assert_eq!(out[1].edge, Edge::new(7u32, 8u32));
+        assert_eq!(out[1].ts, 5);
+    }
+
+    #[test]
+    fn burst_at_existing_timestamp_goes_after() {
+        let s = vec![se(1, 2, 5)];
+        let out = inject_burst(&s, Edge::new(7u32, 8u32), 5, 1);
+        assert_eq!(out[0].edge, Edge::new(1u32, 2u32));
+        assert_eq!(out[1].edge, Edge::new(7u32, 8u32));
+    }
+
+    #[test]
+    fn scale_time_multiplies() {
+        let s = vec![se(1, 2, 3)];
+        assert_eq!(scale_time(&s, 10)[0].ts, 30);
+    }
+
+    #[test]
+    fn renumber_is_dense() {
+        let s = vec![se(1, 2, 3), se(1, 2, 90), se(1, 2, 1000)];
+        let r = renumber_timestamps(&s);
+        assert_eq!(r.iter().map(|x| x.ts).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reverse_swaps_endpoints() {
+        let r = reverse_edges(&[se(1, 2, 0)]);
+        assert_eq!(r[0].edge, Edge::new(2u32, 1u32));
+    }
+
+    #[test]
+    fn coalesce_merges_same_edge_same_ts() {
+        let s = vec![se(1, 2, 0), se(1, 2, 0), se(1, 2, 1), se(3, 4, 1)];
+        let c = coalesce(&s);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0].weight, 2);
+        assert_eq!(c[1].weight, 1);
+    }
+
+    #[test]
+    fn coalesce_preserves_total_weight() {
+        // Runs of 5 consecutive arrivals share both edge and timestamp.
+        let s: Vec<StreamEdge> = (0..100).map(|t| se((t / 5) % 3, 9, (t / 10) as u64)).collect();
+        let c = coalesce(&s);
+        let before: u64 = s.iter().map(|x| x.weight).sum();
+        let after: u64 = c.iter().map(|x| x.weight).sum();
+        assert_eq!(before, after);
+        assert!(c.len() < s.len());
+    }
+
+    #[test]
+    fn epochs_partition_the_stream() {
+        let s: Vec<StreamEdge> = (0..100u64).map(|t| se(1, 2, t)).collect();
+        let e = epochs(&s, 4);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.iter().map(Vec::len).sum::<usize>(), 100);
+        for bucket in &e {
+            assert!(is_time_ordered(bucket));
+        }
+        assert_eq!(e[0].len(), 25);
+    }
+
+    #[test]
+    fn epochs_of_empty_stream() {
+        let e = epochs(&[], 3);
+        assert_eq!(e.len(), 3);
+        assert!(e.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one epoch")]
+    fn zero_epochs_rejected() {
+        epochs(&[], 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Vertex identity and label interning.
+//!
+//! The paper's stream elements carry string vertex labels `l(x)`; edges
+//! are keyed by the concatenation `l(x) ⊕ l(y)` (§3.2). Hashing strings on
+//! every arrival is wasteful, so — as any production stream processor
+//! would — we intern labels once into dense `u32` ids and key sketches on
+//! mixed id pairs. The [`Interner`] preserves the label ↔ id bijection so
+//! query answers can be reported against the original labels.
+
+use crate::fxhash::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense vertex identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// The id as a `u64` sketch-key component.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+/// A bidirectional label ↔ [`VertexId`] map.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Interner {
+    by_label: FxHashMap<String, VertexId>,
+    labels: Vec<String>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an interner sized for `capacity` vertices.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            by_label: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
+            labels: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Intern `label`, returning its (possibly fresh) id.
+    ///
+    /// # Panics
+    /// Panics if more than `u32::MAX` distinct labels are interned.
+    pub fn intern(&mut self, label: &str) -> VertexId {
+        if let Some(&id) = self.by_label.get(label) {
+            return id;
+        }
+        let id = VertexId(
+            u32::try_from(self.labels.len()).expect("interner overflow: > u32::MAX vertices"),
+        );
+        self.labels.push(label.to_owned());
+        self.by_label.insert(label.to_owned(), id);
+        id
+    }
+
+    /// Look up an already-interned label.
+    pub fn get(&self, label: &str) -> Option<VertexId> {
+        self.by_label.get(label).copied()
+    }
+
+    /// The label for `id`, if `id` was produced by this interner.
+    pub fn label(&self, id: VertexId) -> Option<&str> {
+        self.labels.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of interned vertices.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("alice");
+        let b = i.intern("bob");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("alice"), a);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut i = Interner::new();
+        for (n, name) in ["x", "y", "z"].iter().enumerate() {
+            assert_eq!(i.intern(name), VertexId(n as u32));
+        }
+    }
+
+    #[test]
+    fn label_roundtrip() {
+        let mut i = Interner::new();
+        let id = i.intern("carol");
+        assert_eq!(i.label(id), Some("carol"));
+        assert_eq!(i.get("carol"), Some(id));
+        assert_eq!(i.get("dave"), None);
+        assert_eq!(i.label(VertexId(99)), None);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(VertexId(7).to_string(), "v7");
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let i = Interner::with_capacity(100);
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

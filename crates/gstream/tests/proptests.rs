@@ -1,0 +1,111 @@
+//! Property-based tests of the graph-stream substrate.
+
+use gstream::edge::{Edge, StreamEdge};
+use gstream::exact::ExactCounter;
+use gstream::sample::{sample_iter, Reservoir, Zipf};
+use gstream::stats::VarianceStats;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn to_stream(raw: &[(u16, u16, u8)]) -> Vec<StreamEdge> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, &(s, d, w))| {
+            StreamEdge::weighted(Edge::new(s as u32, d as u32), i as u64, w as u64 + 1)
+        })
+        .collect()
+}
+
+proptest! {
+    /// ExactCounter conserves total weight and arrival counts.
+    #[test]
+    fn exact_counter_conserves(raw in vec((any::<u16>(), any::<u16>(), any::<u8>()), 0..300)) {
+        let stream = to_stream(&raw);
+        let c = ExactCounter::from_stream(&stream);
+        let weight: u64 = stream.iter().map(|se| se.weight).sum();
+        prop_assert_eq!(c.total_weight(), weight);
+        prop_assert_eq!(c.arrivals(), stream.len() as u64);
+        let sum_freq: u64 = c.iter().map(|(_, f)| f).sum();
+        prop_assert_eq!(sum_freq, weight);
+    }
+
+    /// Vertex profiles partition the edge mass by source.
+    #[test]
+    fn vertex_profile_partitions_mass(raw in vec((0u16..40, 0u16..40, any::<u8>()), 1..200)) {
+        let stream = to_stream(&raw);
+        let c = ExactCounter::from_stream(&stream);
+        let prof = c.vertex_profile();
+        let mass: u64 = prof.values().map(|p| p.frequency).sum();
+        prop_assert_eq!(mass, c.total_weight());
+        let degrees: u64 = prof.values().map(|p| p.out_degree).sum();
+        prop_assert_eq!(degrees, c.distinct_edges() as u64);
+    }
+
+    /// Reservoir sampling returns exactly min(k, n) items, all from the
+    /// input.
+    #[test]
+    fn reservoir_size_and_membership(
+        items in vec(any::<u32>(), 0..500),
+        k in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample = sample_iter(items.iter().copied(), k, &mut rng);
+        prop_assert_eq!(sample.len(), k.min(items.len()));
+        for s in &sample {
+            prop_assert!(items.contains(s));
+        }
+    }
+
+    /// Reservoir `seen` equals the number of offers.
+    #[test]
+    fn reservoir_counts_offers(n in 0usize..300, k in 1usize..32, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut r = Reservoir::new(k);
+        for i in 0..n {
+            r.offer(i, &mut rng);
+        }
+        prop_assert_eq!(r.seen(), n as u64);
+        prop_assert_eq!(r.sample().len(), k.min(n));
+    }
+
+    /// Zipf samples always land in the support.
+    #[test]
+    fn zipf_support(
+        n in 1u64..5_000,
+        alpha_tenths in 2u32..40,
+        seed in any::<u64>(),
+    ) {
+        let alpha = alpha_tenths as f64 / 10.0;
+        let z = Zipf::new(n, alpha);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let k = z.sample(&mut rng);
+            prop_assert!((1..=n).contains(&k));
+        }
+    }
+
+    /// Variance statistics are non-negative and the ratio is defined.
+    #[test]
+    fn variance_stats_are_sane(raw in vec((0u16..30, 0u16..30, any::<u8>()), 0..200)) {
+        let stream = to_stream(&raw);
+        let c = ExactCounter::from_stream(&stream);
+        let v = VarianceStats::from_counts(&c);
+        prop_assert!(v.global >= 0.0);
+        prop_assert!(v.local >= 0.0);
+        prop_assert!(v.ratio() >= 0.0);
+    }
+
+    /// Edge keys are deterministic and direction-sensitive.
+    #[test]
+    fn edge_keys_deterministic(s in any::<u32>(), d in any::<u32>()) {
+        let e = Edge::new(s, d);
+        prop_assert_eq!(e.key(), Edge::new(s, d).key());
+        if s != d {
+            prop_assert_ne!(e.key(), e.reversed().key());
+        }
+        prop_assert_eq!(e.canonical(), e.reversed().canonical());
+    }
+}

@@ -1,0 +1,250 @@
+//! The AMS "tug-of-war" sketch (Alon, Matias & Szegedy, STOC 1996).
+//!
+//! Each of `s1 × s2` counters maintains `Σ_x f(x)·ξ_j(x)` where `ξ_j` is a
+//! ±1 4-wise independent sign function. Squaring a counter gives an
+//! unbiased estimate of the second frequency moment `F2 = Σ f(x)²`;
+//! averaging `s1` counters and taking the median of `s2` such averages
+//! yields the classic (ε, δ) guarantee. Point-query estimates are also
+//! supported (`f̃(x) = median_j mean_i counter·ξ(x)`), which is what a
+//! Global-Sketch-style deployment over a graph stream would use.
+//!
+//! The gSketch paper cites AMS (\[5\]) as one of the interchangeable base
+//! synopses; we implement it so the substrate genuinely offers a choice.
+
+use crate::error::SketchError;
+use crate::hash::FourwiseHash;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// An AMS sketch with `groups` (s2, median) × `per_group` (s1, mean)
+/// signed counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AmsSketch {
+    per_group: usize,
+    groups: usize,
+    counters: Vec<i64>,
+    signs: Vec<FourwiseHash>,
+    total: u64,
+}
+
+impl AmsSketch {
+    /// Create an AMS sketch with `per_group` counters averaged inside each
+    /// of `groups` median groups.
+    pub fn new(per_group: usize, groups: usize, seed: u64) -> Result<Self, SketchError> {
+        if per_group == 0 {
+            return Err(SketchError::InvalidDimension {
+                what: "per_group",
+                value: per_group,
+            });
+        }
+        if groups == 0 {
+            return Err(SketchError::InvalidDimension {
+                what: "groups",
+                value: groups,
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = per_group * groups;
+        let signs = (0..n).map(|_| FourwiseHash::random(&mut rng)).collect();
+        Ok(Self {
+            per_group,
+            groups,
+            counters: vec![0; n],
+            signs,
+            total: 0,
+        })
+    }
+
+    /// Sizing helper: `s1 = ⌈16/ε²⌉`, `s2 = ⌈2·ln(1/δ)⌉` (standard AMS).
+    pub fn with_accuracy(epsilon: f64, delta: f64, seed: u64) -> Result<Self, SketchError> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(SketchError::InvalidAccuracy {
+                what: "epsilon",
+                value: epsilon,
+            });
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(SketchError::InvalidAccuracy {
+                what: "delta",
+                value: delta,
+            });
+        }
+        let s1 = (16.0 / (epsilon * epsilon)).ceil() as usize;
+        let s2 = ((2.0 * (1.0 / delta).ln()).ceil() as usize).max(1);
+        Self::new(s1, s2, seed)
+    }
+
+    /// Counters per median group (`s1`).
+    pub fn per_group(&self) -> usize {
+        self.per_group
+    }
+
+    /// Number of median groups (`s2`).
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Total weight inserted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Memory consumed by the counters, in bytes.
+    pub fn bytes(&self) -> usize {
+        self.counters.len() * std::mem::size_of::<i64>()
+    }
+
+    /// Insert `weight` occurrences of `key`.
+    pub fn update(&mut self, key: u64, weight: u64) {
+        let w = weight as i64;
+        for (counter, sign) in self.counters.iter_mut().zip(&self.signs) {
+            *counter = counter.saturating_add(sign.sign(key).saturating_mul(w));
+        }
+        self.total = self.total.saturating_add(weight);
+    }
+
+    /// Estimate the second frequency moment `F2 = Σ_x f(x)²`.
+    pub fn estimate_f2(&self) -> f64 {
+        let mut group_means: Vec<f64> = self
+            .counters
+            .chunks(self.per_group)
+            .map(|chunk| {
+                chunk.iter().map(|&c| c as f64 * c as f64).sum::<f64>() / chunk.len() as f64
+            })
+            .collect();
+        median_in_place(&mut group_means)
+    }
+
+    /// Point-query estimate of `f(key)` (unbiased, two-sided error).
+    pub fn estimate(&self, key: u64) -> f64 {
+        let mut group_means: Vec<f64> = self
+            .counters
+            .chunks(self.per_group)
+            .zip(self.signs.chunks(self.per_group))
+            .map(|(chunk, signs)| {
+                chunk
+                    .iter()
+                    .zip(signs)
+                    .map(|(&c, s)| c as f64 * s.sign(key) as f64)
+                    .sum::<f64>()
+                    / chunk.len() as f64
+            })
+            .collect();
+        median_in_place(&mut group_means)
+    }
+
+    /// Merge another sketch built with the same shape and seed.
+    pub fn merge(&mut self, other: &Self) -> Result<(), SketchError> {
+        if self.per_group != other.per_group || self.groups != other.groups {
+            return Err(SketchError::IncompatibleMerge {
+                reason: format!(
+                    "shape {}x{} vs {}x{}",
+                    self.groups, self.per_group, other.groups, other.per_group
+                ),
+            });
+        }
+        if self.signs != other.signs {
+            return Err(SketchError::IncompatibleMerge {
+                reason: "sign families differ (different seeds)".into(),
+            });
+        }
+        for (c, o) in self.counters.iter_mut().zip(&other.counters) {
+            *c = c.saturating_add(*o);
+        }
+        self.total = self.total.saturating_add(other.total);
+        Ok(())
+    }
+}
+
+/// Median of a mutable slice (average of middle two for even length).
+fn median_in_place(xs: &mut [f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of empty slice");
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in sketch means"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_dimensions_rejected() {
+        assert!(AmsSketch::new(0, 3, 1).is_err());
+        assert!(AmsSketch::new(8, 0, 1).is_err());
+        assert!(AmsSketch::with_accuracy(0.0, 0.1, 1).is_err());
+        assert!(AmsSketch::with_accuracy(0.1, 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn f2_estimate_close_on_uniform_stream() {
+        let mut s = AmsSketch::new(256, 5, 11).unwrap();
+        // 100 keys, each frequency 50: F2 = 100 * 2500 = 250_000.
+        for _ in 0..50 {
+            for k in 0..100u64 {
+                s.update(k, 1);
+            }
+        }
+        let est = s.estimate_f2();
+        let truth = 250_000.0;
+        let rel = (est - truth).abs() / truth;
+        assert!(rel < 0.30, "F2 estimate off by {rel:.3}: {est} vs {truth}");
+    }
+
+    #[test]
+    fn f2_exact_for_single_heavy_key() {
+        let mut s = AmsSketch::new(64, 5, 2).unwrap();
+        s.update(7, 1000);
+        // Only one key: every counter is ±1000, mean of squares is exactly 10^6.
+        assert!((s.estimate_f2() - 1_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn point_estimate_tracks_heavy_hitter() {
+        let mut s = AmsSketch::new(128, 5, 3).unwrap();
+        s.update(42, 10_000);
+        for k in 0..200u64 {
+            s.update(k, 10);
+        }
+        let est = s.estimate(42);
+        assert!(
+            (est - 10_010.0).abs() / 10_010.0 < 0.2,
+            "heavy hitter estimate off: {est}"
+        );
+    }
+
+    #[test]
+    fn merge_adds_streams() {
+        let mut a = AmsSketch::new(64, 3, 9).unwrap();
+        let mut b = AmsSketch::new(64, 3, 9).unwrap();
+        a.update(5, 500);
+        b.update(5, 300);
+        a.merge(&b).unwrap();
+        let est = a.estimate(5);
+        assert!((est - 800.0).abs() < 1e-6, "merged estimate: {est}");
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_seed() {
+        let mut a = AmsSketch::new(64, 3, 1).unwrap();
+        let b = AmsSketch::new(64, 3, 2).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let s = AmsSketch::new(32, 4, 0).unwrap();
+        assert_eq!(s.bytes(), 32 * 4 * 8);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median_in_place(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_in_place(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+}

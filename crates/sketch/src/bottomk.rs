@@ -1,0 +1,274 @@
+//! Bottom-k sketch (Cohen & Kaplan, PVLDB 2008).
+//!
+//! Keeps the `k` smallest hash values of the distinct keys observed. From
+//! the k-th smallest normalized hash `v_k`, the number of distinct keys is
+//! estimated as `(k − 1)/v_k`; unions and Jaccard similarity of two
+//! streams follow from merging/intersecting the retained samples.
+//!
+//! Cited by the gSketch paper (\[11\]) as an alternative base synopsis.
+
+use crate::error::SketchError;
+use crate::hash::PairwiseHash;
+use crate::hash::MERSENNE_PRIME;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// A bottom-k distinct sample over `u64` keys.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BottomK {
+    k: usize,
+    hash: PairwiseHash,
+    /// Max-heap of the k smallest `(hash, key)` pairs seen so far.
+    heap: BinaryHeap<(u64, u64)>,
+    /// Keys currently in the heap, for O(1) duplicate suppression.
+    members: HashSet<u64>,
+}
+
+impl BottomK {
+    /// Create a bottom-k sketch retaining `k ≥ 2` samples.
+    pub fn new(k: usize, seed: u64) -> Result<Self, SketchError> {
+        if k < 2 {
+            // (k-1)/v_k needs k >= 2 to be meaningful.
+            return Err(SketchError::InvalidDimension { what: "k", value: k });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        Ok(Self {
+            k,
+            hash: PairwiseHash::random(&mut rng),
+            heap: BinaryHeap::with_capacity(k + 1),
+            members: HashSet::with_capacity(k * 2),
+        })
+    }
+
+    /// The retention parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of samples currently retained (`min(k, distinct seen)`).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no keys have been observed.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Observe a key (weights are irrelevant for distinct counting).
+    pub fn insert(&mut self, key: u64) {
+        let h = self.hash.eval(key);
+        if self.members.contains(&key) {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push((h, key));
+            self.members.insert(key);
+        } else if let Some(&(max_h, _)) = self.heap.peek() {
+            if h < max_h {
+                let (_, evicted) = self.heap.pop().expect("heap non-empty");
+                self.members.remove(&evicted);
+                self.heap.push((h, key));
+                self.members.insert(key);
+            }
+        }
+    }
+
+    /// Estimate the number of distinct keys observed.
+    pub fn estimate_distinct(&self) -> f64 {
+        if self.heap.len() < self.k {
+            // Fewer than k distinct keys: the sample is exhaustive.
+            return self.heap.len() as f64;
+        }
+        let (max_h, _) = *self.heap.peek().expect("k >= 2");
+        let v_k = max_h as f64 / MERSENNE_PRIME as f64;
+        if v_k == 0.0 {
+            return self.heap.len() as f64;
+        }
+        (self.k as f64 - 1.0) / v_k
+    }
+
+    /// The retained `(hash, key)` samples in ascending hash order.
+    pub fn samples(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.heap.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Merge another sketch built with the same seed/k.
+    pub fn merge(&mut self, other: &Self) -> Result<(), SketchError> {
+        if self.k != other.k {
+            return Err(SketchError::IncompatibleMerge {
+                reason: format!("k mismatch: {} vs {}", self.k, other.k),
+            });
+        }
+        if self.hash != other.hash {
+            return Err(SketchError::IncompatibleMerge {
+                reason: "hash functions differ (different seeds)".into(),
+            });
+        }
+        for &(_, key) in other.heap.iter() {
+            self.insert(key);
+        }
+        Ok(())
+    }
+
+    /// Estimate the Jaccard similarity of the two observed key sets.
+    pub fn jaccard(&self, other: &Self) -> Result<f64, SketchError> {
+        if self.k != other.k || self.hash != other.hash {
+            return Err(SketchError::IncompatibleMerge {
+                reason: "jaccard requires identical k and seed".into(),
+            });
+        }
+        if self.is_empty() && other.is_empty() {
+            return Ok(1.0);
+        }
+        // Bottom-k of the union, counting how many come from both sets.
+        let a = self.samples();
+        let b = other.samples();
+        let b_keys: HashSet<u64> = b.iter().map(|&(_, key)| key).collect();
+        let a_keys: HashSet<u64> = a.iter().map(|&(_, key)| key).collect();
+        let mut union: Vec<(u64, u64)> = a.iter().chain(b.iter()).copied().collect();
+        union.sort_unstable();
+        union.dedup();
+        let mut shared = 0usize;
+        let mut taken = 0usize;
+        for &(_, key) in union.iter().take(self.k) {
+            taken += 1;
+            if a_keys.contains(&key) && b_keys.contains(&key) {
+                shared += 1;
+            }
+        }
+        Ok(shared as f64 / taken.max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_below_two_rejected() {
+        assert!(BottomK::new(0, 1).is_err());
+        assert!(BottomK::new(1, 1).is_err());
+        assert!(BottomK::new(2, 1).is_ok());
+    }
+
+    #[test]
+    fn exhaustive_below_k() {
+        let mut s = BottomK::new(64, 5).unwrap();
+        for key in 0..10u64 {
+            s.insert(key);
+        }
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.estimate_distinct(), 10.0);
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let mut s = BottomK::new(8, 5).unwrap();
+        for _ in 0..100 {
+            s.insert(42);
+        }
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn distinct_estimate_reasonable() {
+        let mut s = BottomK::new(256, 7).unwrap();
+        let n = 50_000u64;
+        for key in 0..n {
+            s.insert(key);
+        }
+        let est = s.estimate_distinct();
+        let rel = (est - n as f64).abs() / n as f64;
+        assert!(rel < 0.25, "distinct estimate off by {rel:.3}: {est}");
+    }
+
+    #[test]
+    fn retains_k_smallest() {
+        let mut s = BottomK::new(4, 9).unwrap();
+        for key in 0..1000u64 {
+            s.insert(key);
+        }
+        let samples = s.samples();
+        assert_eq!(samples.len(), 4);
+        // All retained hashes must be <= the smallest evicted one; verify
+        // by recomputing all hashes.
+        let mut all: Vec<u64> = (0..1000u64).map(|k| s.hash.eval(k)).collect();
+        all.sort_unstable();
+        let retained: Vec<u64> = samples.iter().map(|&(h, _)| h).collect();
+        assert_eq!(retained, all[..4].to_vec());
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = BottomK::new(32, 11).unwrap();
+        let mut b = BottomK::new(32, 11).unwrap();
+        let mut u = BottomK::new(32, 11).unwrap();
+        for key in 0..500u64 {
+            a.insert(key);
+            u.insert(key);
+        }
+        for key in 400..900u64 {
+            b.insert(key);
+            u.insert(key);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.samples(), u.samples());
+    }
+
+    #[test]
+    fn merge_rejects_seed_mismatch() {
+        let mut a = BottomK::new(8, 1).unwrap();
+        let b = BottomK::new(8, 2).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn jaccard_identical_sets_is_one() {
+        let mut a = BottomK::new(64, 3).unwrap();
+        let mut b = BottomK::new(64, 3).unwrap();
+        for key in 0..100u64 {
+            a.insert(key);
+            b.insert(key);
+        }
+        assert!((a.jaccard(&b).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jaccard_disjoint_sets_is_zero() {
+        let mut a = BottomK::new(64, 3).unwrap();
+        let mut b = BottomK::new(64, 3).unwrap();
+        for key in 0..100u64 {
+            a.insert(key);
+            b.insert(key + 10_000);
+        }
+        assert!(a.jaccard(&b).unwrap() < 0.05);
+    }
+
+    #[test]
+    fn jaccard_half_overlap() {
+        let mut a = BottomK::new(512, 3).unwrap();
+        let mut b = BottomK::new(512, 3).unwrap();
+        for key in 0..2000u64 {
+            a.insert(key);
+        }
+        for key in 1000..3000u64 {
+            b.insert(key);
+        }
+        // |A ∩ B| = 1000, |A ∪ B| = 3000 → J = 1/3.
+        let j = a.jaccard(&b).unwrap();
+        assert!((j - 1.0 / 3.0).abs() < 0.1, "jaccard estimate: {j}");
+    }
+
+    #[test]
+    fn empty_sketches_jaccard_one() {
+        let a = BottomK::new(8, 1).unwrap();
+        let b = BottomK::new(8, 1).unwrap();
+        assert_eq!(a.jaccard(&b).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,464 @@
+//! The CountMin sketch (Cormode & Muthukrishnan, J. Algorithms 2005).
+//!
+//! A CountMin sketch is a `d × w` array of counters together with `d`
+//! pairwise-independent hash functions, one per row. An arrival of item
+//! `x` with weight `c` increments cell `(i, h_i(x))` in every row; a point
+//! query returns the minimum over those `d` cells. Collisions can only
+//! inflate a counter, so the estimate `f̃` satisfies, with probability at
+//! least `1 − δ` when `w = ⌈e/ε⌉` and `d = ⌈ln 1/δ⌉`:
+//!
+//! ```text
+//! f  ≤  f̃  ≤  f + ε·N        (N = total weight inserted)
+//! ```
+//!
+//! This is Equation (1) of the gSketch paper and Figure 1's structure.
+
+use crate::error::SketchError;
+use crate::hash::PairwiseHash;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// How a CountMin sketch applies updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum UpdatePolicy {
+    /// Classic CountMin: every row's cell is incremented.
+    #[default]
+    Classic,
+    /// Conservative update (Estan & Varghese): only cells currently equal
+    /// to the minimum estimate are raised, and only up to
+    /// `estimate + weight`. Strictly reduces overestimation for point
+    /// queries while preserving the one-sided error guarantee. Used by
+    /// the ablation benchmarks; the paper reproduction uses `Classic`.
+    Conservative,
+}
+
+/// A CountMin sketch over `u64` keys with saturating `u64` counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    /// Row-major `depth × width` counter matrix.
+    cells: Vec<u64>,
+    hashes: Vec<PairwiseHash>,
+    /// Total weight inserted so far (saturating).
+    total: u64,
+    policy: UpdatePolicy,
+}
+
+impl CountMinSketch {
+    /// Create a sketch with explicit dimensions, seeding the hash family
+    /// deterministically from `seed`.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Result<Self, SketchError> {
+        if width == 0 {
+            return Err(SketchError::InvalidDimension {
+                what: "width",
+                value: width,
+            });
+        }
+        if depth == 0 {
+            return Err(SketchError::InvalidDimension {
+                what: "depth",
+                value: depth,
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hashes = (0..depth).map(|_| PairwiseHash::random(&mut rng)).collect();
+        Ok(Self {
+            width,
+            depth,
+            cells: vec![0; width * depth],
+            hashes,
+            total: 0,
+            policy: UpdatePolicy::Classic,
+        })
+    }
+
+    /// Create a sketch from accuracy targets: `w = ⌈e/ε⌉`, `d = ⌈ln 1/δ⌉`.
+    pub fn with_accuracy(epsilon: f64, delta: f64, seed: u64) -> Result<Self, SketchError> {
+        let width = Self::width_for_epsilon(epsilon)?;
+        let depth = Self::depth_for_delta(delta)?;
+        Self::new(width, depth, seed)
+    }
+
+    /// The paper's width formula `w = ⌈e/ε⌉`.
+    pub fn width_for_epsilon(epsilon: f64) -> Result<usize, SketchError> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(SketchError::InvalidAccuracy {
+                what: "epsilon",
+                value: epsilon,
+            });
+        }
+        Ok((std::f64::consts::E / epsilon).ceil() as usize)
+    }
+
+    /// The paper's depth formula `d = ⌈ln 1/δ⌉`.
+    pub fn depth_for_delta(delta: f64) -> Result<usize, SketchError> {
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(SketchError::InvalidAccuracy {
+                what: "delta",
+                value: delta,
+            });
+        }
+        Ok(((1.0 / delta).ln().ceil() as usize).max(1))
+    }
+
+    /// Switch the update policy (builder style).
+    #[must_use]
+    pub fn with_policy(mut self, policy: UpdatePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sketch width `w` (cells per row).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sketch depth `d` (number of rows / hash functions).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total weight inserted so far (`N` in the error bound).
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Memory consumed by the counter matrix, in bytes.
+    ///
+    /// This is the figure the paper's "memory size" axis refers to: the
+    /// synopsis itself, excluding the constant-size header.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.cells.len() * std::mem::size_of::<u64>()
+    }
+
+    /// How many cells a sketch of `bytes` bytes can hold in total.
+    #[inline]
+    pub fn cells_for_bytes(bytes: usize) -> usize {
+        bytes / std::mem::size_of::<u64>()
+    }
+
+    #[inline]
+    fn cell_index(&self, row: usize, key: u64) -> usize {
+        row * self.width + self.hashes[row].bucket(key, self.width)
+    }
+
+    /// Insert `weight` occurrences of `key`.
+    pub fn update(&mut self, key: u64, weight: u64) {
+        match self.policy {
+            UpdatePolicy::Classic => {
+                for row in 0..self.depth {
+                    let idx = self.cell_index(row, key);
+                    self.cells[idx] = self.cells[idx].saturating_add(weight);
+                }
+            }
+            UpdatePolicy::Conservative => {
+                let target = self.estimate(key).saturating_add(weight);
+                for row in 0..self.depth {
+                    let idx = self.cell_index(row, key);
+                    if self.cells[idx] < target {
+                        self.cells[idx] = target;
+                    }
+                }
+            }
+        }
+        self.total = self.total.saturating_add(weight);
+    }
+
+    /// Point query: the minimum cell over all rows.
+    pub fn estimate(&self, key: u64) -> u64 {
+        (0..self.depth)
+            .map(|row| self.cells[self.cell_index(row, key)])
+            .min()
+            .expect("depth >= 1 is enforced at construction")
+    }
+
+    /// The additive error bound `e·N/w` of Equation (1), which holds with
+    /// probability at least `1 − e^{−d}`.
+    pub fn error_bound(&self) -> f64 {
+        std::f64::consts::E * self.total as f64 / self.width as f64
+    }
+
+    /// Probability that [`CountMinSketch::error_bound`] holds: `1 − e^{−d}`.
+    pub fn confidence(&self) -> f64 {
+        1.0 - (-(self.depth as f64)).exp()
+    }
+
+    /// Merge another sketch into this one (cell-wise saturating add).
+    ///
+    /// Both sketches must have identical dimensions *and* hash functions
+    /// (i.e. the same seed), otherwise estimates would be meaningless.
+    pub fn merge(&mut self, other: &Self) -> Result<(), SketchError> {
+        if self.width != other.width || self.depth != other.depth {
+            return Err(SketchError::IncompatibleMerge {
+                reason: format!(
+                    "shape {}x{} vs {}x{}",
+                    self.depth, self.width, other.depth, other.width
+                ),
+            });
+        }
+        if self.hashes != other.hashes {
+            return Err(SketchError::IncompatibleMerge {
+                reason: "hash families differ (different seeds)".into(),
+            });
+        }
+        for (c, o) in self.cells.iter_mut().zip(&other.cells) {
+            *c = c.saturating_add(*o);
+        }
+        self.total = self.total.saturating_add(other.total);
+        Ok(())
+    }
+
+    /// Reset every counter to zero, keeping the hash family.
+    pub fn clear(&mut self) {
+        self.cells.fill(0);
+        self.total = 0;
+    }
+
+    /// Inner-product estimate of two frequency vectors (upper bound):
+    /// `min_row Σ_j row_a[j]·row_b[j]`. Used for join-size style
+    /// estimation; exposed mainly for completeness of the substrate.
+    pub fn inner_product(&self, other: &Self) -> Result<u64, SketchError> {
+        if self.width != other.width || self.depth != other.depth || self.hashes != other.hashes {
+            return Err(SketchError::IncompatibleMerge {
+                reason: "inner product requires identical shape and hashes".into(),
+            });
+        }
+        let mut best = u64::MAX;
+        for row in 0..self.depth {
+            let a = &self.cells[row * self.width..(row + 1) * self.width];
+            let b = &other.cells[row * self.width..(row + 1) * self.width];
+            let dot = a
+                .iter()
+                .zip(b)
+                .fold(0u64, |acc, (&x, &y)| acc.saturating_add(x.saturating_mul(y)));
+            best = best.min(dot);
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sketch(width: usize, depth: usize) -> CountMinSketch {
+        CountMinSketch::new(width, depth, 0xDEAD_BEEF).unwrap()
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        assert!(matches!(
+            CountMinSketch::new(0, 3, 1),
+            Err(SketchError::InvalidDimension { what: "width", .. })
+        ));
+    }
+
+    #[test]
+    fn zero_depth_rejected() {
+        assert!(matches!(
+            CountMinSketch::new(16, 0, 1),
+            Err(SketchError::InvalidDimension { what: "depth", .. })
+        ));
+    }
+
+    #[test]
+    fn accuracy_formulas_match_paper() {
+        // w = ceil(e/eps), d = ceil(ln 1/delta)
+        assert_eq!(CountMinSketch::width_for_epsilon(0.01).unwrap(), 272);
+        assert_eq!(CountMinSketch::depth_for_delta(0.05).unwrap(), 3);
+        assert_eq!(CountMinSketch::depth_for_delta(0.01).unwrap(), 5);
+    }
+
+    #[test]
+    fn invalid_accuracy_rejected() {
+        assert!(CountMinSketch::width_for_epsilon(0.0).is_err());
+        assert!(CountMinSketch::width_for_epsilon(1.5).is_err());
+        assert!(CountMinSketch::depth_for_delta(-0.1).is_err());
+        assert!(CountMinSketch::depth_for_delta(1.0).is_err());
+    }
+
+    #[test]
+    fn estimate_never_underestimates() {
+        let mut s = sketch(64, 4);
+        for key in 0..500u64 {
+            s.update(key, key % 7 + 1);
+        }
+        for key in 0..500u64 {
+            assert!(s.estimate(key) > key % 7, "key {key} underestimated");
+        }
+    }
+
+    #[test]
+    fn unseen_keys_bounded_by_error() {
+        let mut s = sketch(1024, 4);
+        for key in 0..100u64 {
+            s.update(key, 1);
+        }
+        // An unseen key may collide, but with w=1024 and N=100 its
+        // estimate must be tiny.
+        let unseen = s.estimate(999_999);
+        assert!(unseen <= 2, "unseen estimate too large: {unseen}");
+    }
+
+    #[test]
+    fn exact_when_no_collisions() {
+        let mut s = sketch(4096, 5);
+        s.update(42, 10);
+        assert_eq!(s.estimate(42), 10);
+    }
+
+    #[test]
+    fn total_tracks_weight() {
+        let mut s = sketch(16, 2);
+        s.update(1, 5);
+        s.update(2, 7);
+        assert_eq!(s.total(), 12);
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let s = sketch(128, 3);
+        assert_eq!(s.bytes(), 128 * 3 * 8);
+        assert_eq!(CountMinSketch::cells_for_bytes(1024), 128);
+    }
+
+    #[test]
+    fn merge_identical_seeds() {
+        let mut a = sketch(64, 3);
+        let mut b = sketch(64, 3);
+        a.update(7, 3);
+        b.update(7, 4);
+        a.merge(&b).unwrap();
+        assert_eq!(a.estimate(7), 7);
+        assert_eq!(a.total(), 7);
+    }
+
+    #[test]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = sketch(64, 3);
+        let b = sketch(32, 3);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn merge_rejects_seed_mismatch() {
+        let mut a = CountMinSketch::new(64, 3, 1).unwrap();
+        let b = CountMinSketch::new(64, 3, 2).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn conservative_update_never_underestimates() {
+        let mut s = sketch(32, 3).with_policy(UpdatePolicy::Conservative);
+        let mut truth = std::collections::HashMap::new();
+        for i in 0..2000u64 {
+            let key = i % 100;
+            s.update(key, 1);
+            *truth.entry(key).or_insert(0u64) += 1;
+        }
+        for (&key, &f) in &truth {
+            assert!(s.estimate(key) >= f, "key {key} underestimated");
+        }
+    }
+
+    #[test]
+    fn conservative_at_most_classic() {
+        let mut classic = sketch(32, 3);
+        let mut conservative = sketch(32, 3).with_policy(UpdatePolicy::Conservative);
+        for i in 0..5000u64 {
+            let key = i % 200;
+            classic.update(key, 1);
+            conservative.update(key, 1);
+        }
+        for key in 0..200u64 {
+            assert!(
+                conservative.estimate(key) <= classic.estimate(key),
+                "conservative should not exceed classic for key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = sketch(16, 2);
+        s.update(3, 9);
+        s.clear();
+        assert_eq!(s.estimate(3), 0);
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn saturating_counters_do_not_wrap() {
+        let mut s = sketch(4, 1);
+        s.update(1, u64::MAX);
+        s.update(1, u64::MAX);
+        assert_eq!(s.estimate(1), u64::MAX);
+        assert_eq!(s.total(), u64::MAX);
+    }
+
+    #[test]
+    fn error_bound_and_confidence() {
+        let mut s = sketch(100, 3);
+        for k in 0..1000 {
+            s.update(k, 1);
+        }
+        let bound = s.error_bound();
+        assert!((bound - std::f64::consts::E * 1000.0 / 100.0).abs() < 1e-9);
+        assert!((s.confidence() - (1.0 - (-3.0f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inner_product_upper_bounds_true_value() {
+        let mut a = sketch(256, 4);
+        let mut b = sketch(256, 4);
+        // a: key k has freq k+1 for k in 0..10; b: freq 2 for same keys.
+        for k in 0..10u64 {
+            a.update(k, k + 1);
+            b.update(k, 2);
+        }
+        let truth: u64 = (0..10u64).map(|k| (k + 1) * 2).sum();
+        let est = a.inner_product(&b).unwrap();
+        assert!(est >= truth);
+        assert!(est <= truth * 2, "inner product estimate far off: {est} vs {truth}");
+    }
+
+    #[test]
+    fn empirical_error_obeys_equation_one() {
+        // Insert N = 20_000 uniform keys into a small sketch and check the
+        // estimate of every tracked key stays within f + e*N/w for the
+        // vast majority (the bound holds w.h.p. per key).
+        let mut s = sketch(271, 3); // eps ~ 0.01
+        let n = 20_000u64;
+        for i in 0..n {
+            s.update(i % 1000, 1);
+        }
+        let bound = s.error_bound().ceil() as u64;
+        let mut violations = 0;
+        for key in 0..1000u64 {
+            let f = n / 1000;
+            if s.estimate(key) > f + bound {
+                violations += 1;
+            }
+        }
+        // Pr[violation] <= e^{-3} ~ 0.05 per key.
+        assert!(violations < 100, "too many bound violations: {violations}");
+    }
+
+    #[test]
+    fn clone_preserves_estimates() {
+        let mut s = sketch(64, 3);
+        for k in 0..100u64 {
+            s.update(k, k);
+        }
+        let c = s.clone();
+        for k in 0..100u64 {
+            assert_eq!(s.estimate(k), c.estimate(k));
+        }
+    }
+}

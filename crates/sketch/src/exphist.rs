@@ -1,0 +1,540 @@
+//! Exponential histograms for sliding-window counting (Datar, Gionis,
+//! Indyk & Motwani, SIAM J. Comput. 2002).
+//!
+//! An exponential histogram (EH) answers *basic counting* over a sliding
+//! window: "how many arrivals landed in the last `W` time units?" with
+//! relative error at most `ε`, using `O((1/ε)·log²(εN))` space. It keeps a
+//! deque of buckets whose sizes are powers of two, non-decreasing with
+//! age; at most `⌈1/ε⌉ + 1` buckets of each size may exist, and when that
+//! bound is exceeded the two *oldest* (necessarily adjacent) buckets of
+//! that size merge into one of double size. Only the single oldest bucket
+//! can straddle the window boundary, and its contribution is approximated
+//! by half its size — which is where the `(1 + ε)` guarantee comes from.
+//!
+//! [`ExpHist`] implements the canonical unit-increment histogram;
+//! [`WeightedExpHist`] extends it to weighted arrivals by maintaining one
+//! unit histogram per bit level of the weight (level `j` counts in units
+//! of `2^j`), preserving the `ε` relative-error bound at `O(log w_max)`
+//! overhead.
+//!
+//! This substrate upgrades the paper's coarse time-window scheme (§5:
+//! "divide the time line into temporal intervals and store the sketch
+//! statistics separately") with a principled per-cell sliding window — see
+//! [`crate::windowed::EcmSketch`].
+
+use crate::error::SketchError;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One bucket: `size` arrivals, the newest of which landed at `time`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Bucket {
+    /// Timestamp of the newest arrival merged into this bucket.
+    time: u64,
+    /// Number of arrivals in the bucket; always a power of two.
+    size: u64,
+}
+
+/// A canonical unit-increment exponential histogram.
+///
+/// Timestamps must be non-decreasing across [`ExpHist::add`] calls;
+/// out-of-order arrivals are rejected at `debug_assert` level and clamped
+/// in release builds (the stream model of the paper delivers edges in
+/// timestamp order).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExpHist {
+    /// Maximum buckets per size class before a merge: `⌈1/ε⌉ + 1`.
+    k: usize,
+    /// Buckets, newest at the front, oldest at the back. Sizes are
+    /// non-decreasing from front to back (the canonical EH invariant).
+    buckets: VecDeque<Bucket>,
+    /// Total arrivals across all buckets (cheap running sum).
+    weight: u64,
+    /// Most recent timestamp seen.
+    now: u64,
+}
+
+impl ExpHist {
+    /// Create a histogram with relative-error target `epsilon`.
+    pub fn new(epsilon: f64) -> Result<Self, SketchError> {
+        if !(epsilon > 0.0 && epsilon <= 1.0) {
+            return Err(SketchError::InvalidAccuracy {
+                what: "epsilon",
+                value: epsilon,
+            });
+        }
+        Ok(Self {
+            k: (1.0 / epsilon).ceil() as usize + 1,
+            buckets: VecDeque::new(),
+            weight: 0,
+            now: 0,
+        })
+    }
+
+    /// The per-size-class bucket bound `k = ⌈1/ε⌉ + 1`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of buckets currently held.
+    #[inline]
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total arrivals across all retained buckets (an upper bound on any
+    /// window count).
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.weight
+    }
+
+    /// Most recent timestamp observed.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Record one arrival at `time`. Timestamps must be non-decreasing.
+    pub fn add(&mut self, time: u64) {
+        debug_assert!(time >= self.now, "out-of-order arrival: {time} < {}", self.now);
+        let time = time.max(self.now);
+        self.now = time;
+        self.buckets.push_front(Bucket { time, size: 1 });
+        self.weight = self.weight.saturating_add(1);
+        self.canonicalize();
+    }
+
+    /// Restore the "≤ k buckets per size class" invariant, cascading
+    /// upward. Because unit inserts keep sizes non-decreasing with age,
+    /// the two oldest buckets of any size class are adjacent, so merging
+    /// them preserves both the time ordering and the containment property
+    /// (every bucket's arrivals are newer than all arrivals in older
+    /// buckets).
+    fn canonicalize(&mut self) {
+        let mut size = 1u64;
+        loop {
+            let mut count = 0usize;
+            let mut oldest = 0usize;
+            for (i, b) in self.buckets.iter().enumerate() {
+                if b.size == size {
+                    count += 1;
+                    oldest = oldest.max(i);
+                }
+            }
+            if count <= self.k {
+                return;
+            }
+            // Merge the two oldest (adjacent) buckets of this size; the
+            // merged bucket keeps the newer timestamp and sits at the
+            // older bucket's position, preserving deque time order.
+            debug_assert!(self.buckets[oldest - 1].size == size);
+            let newer_time = self.buckets[oldest - 1].time;
+            self.buckets[oldest].size *= 2;
+            self.buckets[oldest].time = newer_time;
+            self.buckets.remove(oldest - 1);
+            size *= 2;
+        }
+    }
+
+    /// Drop buckets whose newest arrival predates `cutoff` (exclusive),
+    /// returning the count removed. Called internally by
+    /// [`ExpHist::estimate`]; also useful for explicit space reclamation.
+    pub fn expire(&mut self, cutoff: u64) -> u64 {
+        let mut removed = 0u64;
+        while let Some(&back) = self.buckets.back() {
+            if back.time < cutoff {
+                removed += back.size;
+                self.buckets.pop_back();
+            } else {
+                break;
+            }
+        }
+        self.weight -= removed;
+        removed
+    }
+
+    /// Estimate the number of arrivals in `[window_start, now]`.
+    ///
+    /// All buckets except the oldest non-expired one lie entirely inside
+    /// the window; the oldest may straddle the boundary and contributes
+    /// half its size (rounded up). The result is within a `(1 + ε)` factor
+    /// of the true window count.
+    pub fn estimate(&mut self, window_start: u64) -> u64 {
+        self.expire(window_start);
+        let Some(&oldest) = self.buckets.back() else {
+            return 0;
+        };
+        let full: u64 = self.weight - oldest.size;
+        full + oldest.size / 2 + oldest.size % 2
+    }
+
+    /// Like [`ExpHist::estimate`] but without mutating (no expiry).
+    pub fn estimate_readonly(&self, window_start: u64) -> u64 {
+        let mut inside = 0u64;
+        let mut oldest_inside: Option<u64> = None;
+        for b in &self.buckets {
+            if b.time >= window_start {
+                inside += b.size;
+                oldest_inside = Some(b.size);
+            }
+        }
+        match oldest_inside {
+            None => 0,
+            Some(sz) => inside - sz + sz / 2 + sz % 2,
+        }
+    }
+
+    /// Forget everything, keeping ε.
+    pub fn clear(&mut self) {
+        self.buckets.clear();
+        self.weight = 0;
+        self.now = 0;
+    }
+}
+
+/// A weighted exponential histogram: one canonical unit [`ExpHist`] per
+/// bit level of the arrival weights.
+///
+/// An arrival of weight `w` at time `t` adds one unit to level `j` for
+/// every set bit `j` of `w`; a window query returns `Σ_j 2^j · c̃_j`. Each
+/// level estimate `c̃_j` carries relative error ≤ ε on its own level
+/// count, so the combined estimate carries relative error ≤ ε on the true
+/// weighted window count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WeightedExpHist {
+    epsilon: f64,
+    /// `levels[j]` counts arrivals contributing `2^j` weight units.
+    levels: Vec<ExpHist>,
+    /// Total weight across all levels.
+    weight: u64,
+    now: u64,
+}
+
+impl WeightedExpHist {
+    /// Create a weighted histogram with relative-error target `epsilon`.
+    pub fn new(epsilon: f64) -> Result<Self, SketchError> {
+        if !(epsilon > 0.0 && epsilon <= 1.0) {
+            return Err(SketchError::InvalidAccuracy {
+                what: "epsilon",
+                value: epsilon,
+            });
+        }
+        Ok(Self {
+            epsilon,
+            levels: Vec::new(),
+            weight: 0,
+            now: 0,
+        })
+    }
+
+    /// The relative-error target this histogram was built with.
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Total weight across all retained buckets.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.weight
+    }
+
+    /// Most recent timestamp observed.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Total bucket count across all bit levels (space diagnostic).
+    pub fn buckets(&self) -> usize {
+        self.levels.iter().map(ExpHist::buckets).sum()
+    }
+
+    /// Record `weight` arriving at `time`. Timestamps must be
+    /// non-decreasing.
+    pub fn add(&mut self, time: u64, weight: u64) {
+        if weight == 0 {
+            self.now = self.now.max(time);
+            return;
+        }
+        let top_bit = 63 - weight.leading_zeros() as usize;
+        while self.levels.len() <= top_bit {
+            let eh = ExpHist::new(self.epsilon).expect("epsilon validated at construction");
+            self.levels.push(eh);
+        }
+        for (j, level) in self.levels.iter_mut().enumerate() {
+            if weight & (1u64 << j) != 0 {
+                level.add(time);
+            }
+        }
+        self.weight = self.weight.saturating_add(weight);
+        self.now = self.now.max(time);
+    }
+
+    /// Estimate the weight that arrived in `[window_start, now]`, with
+    /// relative error at most ε.
+    pub fn estimate(&mut self, window_start: u64) -> u64 {
+        let mut est = 0u64;
+        let mut remaining = 0u64;
+        for (j, level) in self.levels.iter_mut().enumerate() {
+            est = est.saturating_add(level.estimate(window_start) << j);
+            remaining = remaining.saturating_add(level.total() << j);
+        }
+        self.weight = remaining;
+        est
+    }
+
+    /// Like [`WeightedExpHist::estimate`] but without expiring buckets.
+    pub fn estimate_readonly(&self, window_start: u64) -> u64 {
+        self.levels
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (j, level)| {
+                acc.saturating_add(level.estimate_readonly(window_start) << j)
+            })
+    }
+
+    /// Forget everything, keeping ε.
+    pub fn clear(&mut self) {
+        self.levels.clear();
+        self.weight = 0;
+        self.now = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_epsilon_rejected() {
+        assert!(ExpHist::new(0.0).is_err());
+        assert!(ExpHist::new(1.5).is_err());
+        assert!(ExpHist::new(0.5).is_ok());
+        assert!(WeightedExpHist::new(0.0).is_err());
+        assert!(WeightedExpHist::new(2.0).is_err());
+    }
+
+    #[test]
+    fn empty_estimates_zero() {
+        let mut eh = ExpHist::new(0.1).unwrap();
+        assert_eq!(eh.estimate(0), 0);
+        assert_eq!(eh.estimate_readonly(0), 0);
+    }
+
+    #[test]
+    fn exact_for_small_counts() {
+        let mut eh = ExpHist::new(0.1).unwrap();
+        for t in 0..5u64 {
+            eh.add(t);
+        }
+        assert_eq!(eh.estimate(0), 5);
+    }
+
+    #[test]
+    fn window_excludes_old_arrivals() {
+        let mut eh = ExpHist::new(0.01).unwrap();
+        for t in 0..100u64 {
+            eh.add(t);
+        }
+        let est = eh.estimate_readonly(90); // true window count = 10
+        assert!((est as i64 - 10).abs() <= 3, "estimate {est} far from 10");
+    }
+
+    #[test]
+    fn relative_error_within_epsilon() {
+        let eps = 0.1;
+        let mut eh = ExpHist::new(eps).unwrap();
+        let n = 100_000u64;
+        for t in 0..n {
+            eh.add(t);
+        }
+        for &start in &[0u64, n / 4, n / 2, 3 * n / 4, n - 100] {
+            let truth = n - start;
+            let est = eh.estimate_readonly(start);
+            let rel = (est as f64 - truth as f64).abs() / truth as f64;
+            assert!(
+                rel <= eps + 1e-9,
+                "window [{start}..): est {est}, truth {truth}, rel err {rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn size_invariant_non_decreasing_with_age() {
+        let mut eh = ExpHist::new(0.2).unwrap();
+        for t in 0..50_000u64 {
+            eh.add(t);
+        }
+        let sizes: Vec<u64> = eh.buckets.iter().map(|b| b.size).collect();
+        for w in sizes.windows(2) {
+            assert!(w[0] <= w[1], "sizes must be non-decreasing with age: {sizes:?}");
+        }
+        for &s in &sizes {
+            assert!(s.is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn per_size_class_bound_holds() {
+        let mut eh = ExpHist::new(0.25).unwrap(); // k = 5
+        for t in 0..10_000u64 {
+            eh.add(t);
+        }
+        let mut counts: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for b in &eh.buckets {
+            *counts.entry(b.size).or_default() += 1;
+        }
+        for (&size, &n) in &counts {
+            assert!(n <= eh.k(), "size class {size} holds {n} > k = {}", eh.k());
+        }
+    }
+
+    #[test]
+    fn bucket_count_is_logarithmic() {
+        let mut eh = ExpHist::new(0.1).unwrap();
+        let n = 1_000_000u64;
+        for t in 0..n {
+            eh.add(t);
+        }
+        assert!(eh.buckets() < 400, "too many buckets: {}", eh.buckets());
+    }
+
+    #[test]
+    fn expire_reclaims_weight() {
+        let mut eh = ExpHist::new(0.5).unwrap();
+        for t in 0..100u64 {
+            eh.add(t);
+        }
+        let before = eh.total();
+        let removed = eh.expire(50);
+        assert_eq!(eh.total(), before - removed);
+        assert!(removed > 0);
+    }
+
+    #[test]
+    fn estimate_mutating_matches_readonly() {
+        let mut eh = ExpHist::new(0.2).unwrap();
+        for t in 0..10_000u64 {
+            eh.add(t);
+        }
+        let ro = eh.estimate_readonly(7_500);
+        let mu = eh.estimate(7_500);
+        assert_eq!(ro, mu);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut eh = ExpHist::new(0.1).unwrap();
+        eh.add(1);
+        eh.clear();
+        assert_eq!(eh.total(), 0);
+        assert_eq!(eh.now(), 0);
+        assert_eq!(eh.estimate(0), 0);
+    }
+
+    #[test]
+    fn weighted_tracks_total() {
+        let mut wh = WeightedExpHist::new(0.1).unwrap();
+        wh.add(1, 13);
+        wh.add(2, 7);
+        assert_eq!(wh.total(), 20);
+        assert_eq!(wh.now(), 2);
+    }
+
+    #[test]
+    fn weighted_zero_weight_is_noop() {
+        let mut wh = WeightedExpHist::new(0.1).unwrap();
+        wh.add(5, 0);
+        assert_eq!(wh.total(), 0);
+        assert_eq!(wh.buckets(), 0);
+        assert_eq!(wh.now(), 5, "timestamp still advances");
+    }
+
+    #[test]
+    fn weighted_exact_for_small_streams() {
+        let mut wh = WeightedExpHist::new(0.1).unwrap();
+        wh.add(1, 5);
+        wh.add(2, 3);
+        wh.add(3, 8);
+        assert_eq!(wh.estimate_readonly(0), 16);
+    }
+
+    #[test]
+    fn weighted_relative_error_within_epsilon() {
+        let eps = 0.1;
+        let mut wh = WeightedExpHist::new(eps).unwrap();
+        let n = 20_000u64;
+        let mut prefix = vec![0u64; n as usize + 1];
+        for t in 0..n {
+            let w = (t % 5) + 1;
+            wh.add(t, w);
+            prefix[t as usize + 1] = prefix[t as usize] + w;
+        }
+        let total = prefix[n as usize];
+        for &start in &[0u64, n / 4, n / 2, 3 * n / 4, n - 50] {
+            let truth = total - prefix[start as usize];
+            let est = wh.estimate_readonly(start);
+            let rel = (est as f64 - truth as f64).abs() / truth as f64;
+            assert!(
+                rel <= eps + 1e-9,
+                "window [{start}..): est {est}, truth {truth}, rel err {rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_estimate_expires_and_updates_total() {
+        let mut wh = WeightedExpHist::new(0.5).unwrap();
+        for t in 0..1000u64 {
+            wh.add(t, 3);
+        }
+        let before = wh.total();
+        let _ = wh.estimate(900);
+        assert!(wh.total() <= before, "expiry must not grow the total");
+    }
+
+    #[test]
+    fn weighted_clear_resets() {
+        let mut wh = WeightedExpHist::new(0.1).unwrap();
+        wh.add(1, 7);
+        wh.clear();
+        assert_eq!(wh.total(), 0);
+        assert_eq!(wh.estimate_readonly(0), 0);
+    }
+
+    #[test]
+    fn monotone_clamp_in_release() {
+        // Out-of-order arrivals are a programming error; in release they
+        // are clamped to `now` and never lose weight.
+        let mut eh = ExpHist::new(0.5).unwrap();
+        eh.add(10);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut c = eh.clone();
+            c.add(5);
+            c
+        }));
+        if let Ok(c) = result {
+            assert_eq!(c.total(), 2);
+            assert_eq!(c.now(), 10);
+        } // debug builds panic on the debug_assert — both acceptable
+    }
+
+    #[test]
+    fn straddling_bucket_halving() {
+        // Force a large oldest bucket and query a window cutting into it:
+        // the estimate must be within the bucket-size slack of the truth.
+        let mut eh = ExpHist::new(1.0).unwrap(); // k = 2: aggressive merging
+        for t in 0..64u64 {
+            eh.add(t);
+        }
+        let est = eh.estimate_readonly(32);
+        let truth = 32u64;
+        // With k = 2 the oldest bucket may hold up to half the stream; the
+        // halving correction keeps the error within eps = 1.0 (factor 2).
+        let rel = (est as f64 - truth as f64).abs() / truth as f64;
+        assert!(rel <= 1.0, "estimate {est} vs truth {truth}");
+    }
+}

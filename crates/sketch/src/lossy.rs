@@ -1,0 +1,209 @@
+//! Lossy Counting (Manku & Motwani, VLDB 2002).
+//!
+//! A deterministic heavy-hitter synopsis: the stream is conceptually
+//! divided into buckets of width `⌈1/ε⌉`; at each bucket boundary every
+//! tracked item whose `count + Δ` is below the current bucket id is
+//! evicted. For every item, the maintained count underestimates the true
+//! frequency by at most `ε·N`, and all items with true frequency
+//! `≥ s·N` survive a query at support `s > ε`.
+//!
+//! Cited by the gSketch paper (\[23\]) as an alternative base synopsis.
+
+use crate::error::SketchError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A tracked item's state: observed count plus the maximum possible
+/// undercount `Δ` inherited from the bucket in which it (re-)entered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Entry {
+    count: u64,
+    delta: u64,
+}
+
+/// A Lossy Counting synopsis over `u64` keys.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LossyCounting {
+    epsilon: f64,
+    bucket_width: u64,
+    current_bucket: u64,
+    seen: u64,
+    entries: HashMap<u64, Entry>,
+}
+
+impl LossyCounting {
+    /// Create a synopsis with error parameter `ε ∈ (0, 1)`.
+    pub fn new(epsilon: f64) -> Result<Self, SketchError> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(SketchError::InvalidAccuracy {
+                what: "epsilon",
+                value: epsilon,
+            });
+        }
+        Ok(Self {
+            epsilon,
+            bucket_width: (1.0 / epsilon).ceil() as u64,
+            current_bucket: 1,
+            seen: 0,
+            entries: HashMap::new(),
+        })
+    }
+
+    /// The error parameter ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of stream items processed.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Number of items currently tracked (the synopsis footprint).
+    pub fn tracked(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Insert `weight` occurrences of `key`.
+    pub fn update(&mut self, key: u64, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        self.entries
+            .entry(key)
+            .and_modify(|e| e.count = e.count.saturating_add(weight))
+            .or_insert(Entry {
+                count: weight,
+                delta: self.current_bucket - 1,
+            });
+        self.seen = self.seen.saturating_add(weight);
+        // Possibly crossed one or more bucket boundaries.
+        let bucket = self.seen / self.bucket_width + 1;
+        if bucket != self.current_bucket {
+            self.current_bucket = bucket;
+            self.compress();
+        }
+    }
+
+    /// Evict entries that can no longer be frequent.
+    fn compress(&mut self) {
+        let b = self.current_bucket;
+        self.entries.retain(|_, e| e.count + e.delta >= b);
+    }
+
+    /// Lower-bound estimate of `f(key)` (0 if evicted / never seen).
+    pub fn estimate(&self, key: u64) -> u64 {
+        self.entries.get(&key).map_or(0, |e| e.count)
+    }
+
+    /// Upper-bound estimate: `count + Δ` (0 if untracked).
+    pub fn estimate_upper(&self, key: u64) -> u64 {
+        self.entries.get(&key).map_or(0, |e| e.count + e.delta)
+    }
+
+    /// All items with estimated frequency at least `(s − ε)·N`, the
+    /// classic "frequent items at support s" query. Returns
+    /// `(key, lower_bound)` pairs in descending count order.
+    pub fn frequent(&self, support: f64) -> Vec<(u64, u64)> {
+        let threshold = ((support - self.epsilon) * self.seen as f64).max(0.0) as u64;
+        let mut out: Vec<(u64, u64)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.count >= threshold)
+            .map(|(&k, e)| (k, e.count))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_epsilon_rejected() {
+        assert!(LossyCounting::new(0.0).is_err());
+        assert!(LossyCounting::new(1.0).is_err());
+        assert!(LossyCounting::new(-0.5).is_err());
+    }
+
+    #[test]
+    fn estimate_is_lower_bound_within_epsilon_n() {
+        let eps = 0.01;
+        let mut lc = LossyCounting::new(eps).unwrap();
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        // Skewed stream: key k appears ~ 1000/(k+1) times.
+        for k in 0..100u64 {
+            let reps = 1000 / (k + 1);
+            for _ in 0..reps {
+                lc.update(k, 1);
+                *truth.entry(k).or_insert(0) += 1;
+            }
+        }
+        let n = lc.seen();
+        let slack = (eps * n as f64).ceil() as u64;
+        for (&k, &f) in &truth {
+            let est = lc.estimate(k);
+            assert!(est <= f, "overestimate for {k}");
+            assert!(f - est <= slack, "undercount beyond eps*N for {k}: {est} vs {f}");
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_survive() {
+        let mut lc = LossyCounting::new(0.001).unwrap();
+        // One key takes 50% of a 100k stream.
+        for i in 0..100_000u64 {
+            lc.update(if i % 2 == 0 { 7 } else { i }, 1);
+        }
+        let hh = lc.frequent(0.4);
+        assert_eq!(hh.first().map(|&(k, _)| k), Some(7));
+    }
+
+    #[test]
+    fn infrequent_items_evicted() {
+        let mut lc = LossyCounting::new(0.01).unwrap();
+        for i in 0..100_000u64 {
+            lc.update(i, 1); // all distinct
+        }
+        // Every item has frequency 1 << eps*N = 1000, so the table must
+        // stay near the 1/eps bound rather than growing to 100k.
+        assert!(
+            lc.tracked() <= 2_000,
+            "table did not compress: {}",
+            lc.tracked()
+        );
+    }
+
+    #[test]
+    fn upper_bound_dominates_truth() {
+        let mut lc = LossyCounting::new(0.05).unwrap();
+        for _ in 0..50 {
+            lc.update(3, 1);
+        }
+        assert!(lc.estimate_upper(3) >= 50);
+        assert!(lc.estimate(3) <= 50);
+    }
+
+    #[test]
+    fn zero_weight_is_noop() {
+        let mut lc = LossyCounting::new(0.1).unwrap();
+        lc.update(1, 0);
+        assert_eq!(lc.seen(), 0);
+        assert_eq!(lc.tracked(), 0);
+    }
+
+    #[test]
+    fn frequent_sorted_desc() {
+        let mut lc = LossyCounting::new(0.1).unwrap();
+        lc.update(1, 10);
+        lc.update(2, 30);
+        lc.update(3, 20);
+        let f = lc.frequent(0.0);
+        let counts: Vec<u64> = f.iter().map(|&(_, c)| c).collect();
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(counts, sorted);
+    }
+}

@@ -1,0 +1,282 @@
+//! Sliding-window CountMin: the ECM-sketch (Papapetrou, Garofalakis &
+//! Deligiannakis, PVLDB 2012).
+//!
+//! The gSketch paper's §5 handles time-scoped queries by materialising a
+//! separate sketch per coarse time interval. The ECM-sketch refines this:
+//! every CountMin cell holds an [`exponential histogram`](crate::exphist)
+//! instead of a scalar counter, so a *single* structure answers "how often
+//! did edge `(x, y)` occur in the last `W` time units?" for any `W`, with
+//! both the CountMin collision error and the EH window error controlled.
+//!
+//! A point-in-window query returns the minimum over rows of the cell's
+//! window estimate. The estimate satisfies, w.h.p.,
+//!
+//! ```text
+//! (1 − ε_w)·f_W  ≲  f̃_W  ≲  f_W + ε_cm·N_W + ε_w·(f_W + ε_cm·N_W)
+//! ```
+//!
+//! where `f_W` is the true window frequency and `N_W` the window weight —
+//! i.e. the one-sided CountMin bound relaxed by the EH's `(1 ± ε_w)`
+//! factor on each side.
+
+use crate::error::SketchError;
+use crate::exphist::WeightedExpHist;
+use crate::hash::PairwiseHash;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A CountMin sketch whose cells are sliding-window counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EcmSketch {
+    width: usize,
+    depth: usize,
+    /// Row-major `depth × width` matrix of window counters.
+    cells: Vec<WeightedExpHist>,
+    hashes: Vec<PairwiseHash>,
+    /// Window-estimate relative error ε_w used per cell.
+    window_epsilon: f64,
+    /// Total weight inserted over the whole stream lifetime.
+    total: u64,
+    /// Most recent timestamp seen.
+    now: u64,
+}
+
+impl EcmSketch {
+    /// Create a windowed sketch. `width`/`depth` play the CountMin role;
+    /// `window_epsilon` is the per-cell exponential-histogram accuracy.
+    pub fn new(
+        width: usize,
+        depth: usize,
+        window_epsilon: f64,
+        seed: u64,
+    ) -> Result<Self, SketchError> {
+        if width == 0 {
+            return Err(SketchError::InvalidDimension {
+                what: "width",
+                value: width,
+            });
+        }
+        if depth == 0 {
+            return Err(SketchError::InvalidDimension {
+                what: "depth",
+                value: depth,
+            });
+        }
+        // Validate epsilon once up front; cells are cloned from a template.
+        let template = WeightedExpHist::new(window_epsilon)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hashes = (0..depth).map(|_| PairwiseHash::random(&mut rng)).collect();
+        Ok(Self {
+            width,
+            depth,
+            cells: vec![template; width * depth],
+            hashes,
+            window_epsilon,
+            total: 0,
+            now: 0,
+        })
+    }
+
+    /// Sketch width `w` (cells per row).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sketch depth `d` (number of rows).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The per-cell window accuracy ε_w.
+    #[inline]
+    pub fn window_epsilon(&self) -> f64 {
+        self.window_epsilon
+    }
+
+    /// Total weight inserted over the sketch lifetime.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Most recent timestamp observed.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Total exponential-histogram buckets held across all cells (the
+    /// live space diagnostic — EH space grows logarithmically per cell).
+    pub fn live_buckets(&self) -> usize {
+        self.cells.iter().map(WeightedExpHist::buckets).sum()
+    }
+
+    #[inline]
+    fn cell_index(&self, row: usize, key: u64) -> usize {
+        row * self.width + self.hashes[row].bucket(key, self.width)
+    }
+
+    /// Record `weight` occurrences of `key` at `time` (non-decreasing).
+    pub fn update(&mut self, key: u64, time: u64, weight: u64) {
+        for row in 0..self.depth {
+            let idx = self.cell_index(row, key);
+            self.cells[idx].add(time, weight);
+        }
+        self.total = self.total.saturating_add(weight);
+        self.now = self.now.max(time);
+    }
+
+    /// Estimate the weight of `key` arriving in `[window_start, now]`:
+    /// the minimum over rows of the cell's window estimate.
+    pub fn estimate(&self, key: u64, window_start: u64) -> u64 {
+        (0..self.depth)
+            .map(|row| self.cells[self.cell_index(row, key)].estimate_readonly(window_start))
+            .min()
+            .expect("depth >= 1 is enforced at construction")
+    }
+
+    /// Estimate over the whole stream lifetime (window start 0).
+    pub fn estimate_lifetime(&self, key: u64) -> u64 {
+        self.estimate(key, 0)
+    }
+
+    /// Expire buckets older than `cutoff` from every cell, reclaiming
+    /// space. Safe to call at any cadence; queries never need it.
+    pub fn expire(&mut self, cutoff: u64) {
+        for cell in &mut self.cells {
+            let _ = cell.estimate(cutoff);
+        }
+    }
+
+    /// Reset all cells, keeping dimensions and hash functions.
+    pub fn clear(&mut self) {
+        for cell in &mut self.cells {
+            cell.clear();
+        }
+        self.total = 0;
+        self.now = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sketch(width: usize, depth: usize) -> EcmSketch {
+        EcmSketch::new(width, depth, 0.1, 0xFEED).unwrap()
+    }
+
+    #[test]
+    fn invalid_dimensions_rejected() {
+        assert!(EcmSketch::new(0, 3, 0.1, 1).is_err());
+        assert!(EcmSketch::new(16, 0, 0.1, 1).is_err());
+        assert!(EcmSketch::new(16, 3, 0.0, 1).is_err());
+    }
+
+    #[test]
+    fn lifetime_estimate_never_underestimates_much() {
+        // CountMin is one-sided; the EH relaxes it by (1 − ε) only.
+        let mut s = sketch(512, 4);
+        for t in 0..1000u64 {
+            s.update(t % 50, t, 1);
+        }
+        for key in 0..50u64 {
+            let est = s.estimate_lifetime(key);
+            let truth = 20u64;
+            assert!(
+                est as f64 >= truth as f64 * (1.0 - 0.1) - 1.0,
+                "key {key}: lifetime estimate {est} too far below {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn window_estimate_tracks_recent_traffic() {
+        let mut s = sketch(1024, 4);
+        // Key 7 is hot early, silent late.
+        for t in 0..500u64 {
+            s.update(7, t, 1);
+        }
+        for t in 500..1000u64 {
+            s.update(8, t, 1);
+        }
+        let recent_7 = s.estimate(7, 600);
+        let recent_8 = s.estimate(8, 600);
+        assert!(recent_7 <= 60, "key 7 had no recent traffic: {recent_7}");
+        assert!(
+            (recent_8 as i64 - 400).abs() <= 80,
+            "key 8 recent estimate {recent_8} far from 400"
+        );
+    }
+
+    #[test]
+    fn weighted_updates_counted() {
+        let mut s = sketch(256, 3);
+        s.update(1, 10, 5);
+        s.update(1, 20, 7);
+        assert!(s.estimate_lifetime(1) >= 10);
+        assert_eq!(s.total(), 12);
+        assert_eq!(s.now(), 20);
+    }
+
+    #[test]
+    fn expire_does_not_affect_window_queries() {
+        let mut s = sketch(128, 3);
+        for t in 0..1000u64 {
+            s.update(t % 10, t, 1);
+        }
+        let before = s.estimate(3, 800);
+        s.expire(800);
+        let after = s.estimate(3, 800);
+        assert_eq!(before, after);
+        assert!(s.live_buckets() > 0);
+    }
+
+    #[test]
+    fn expire_reclaims_buckets() {
+        let mut s = sketch(64, 2);
+        for t in 0..10_000u64 {
+            s.update(t % 5, t, 1);
+        }
+        let before = s.live_buckets();
+        s.expire(9_900);
+        assert!(s.live_buckets() < before, "expiry should drop buckets");
+    }
+
+    #[test]
+    fn unseen_key_estimates_small() {
+        let mut s = sketch(2048, 4);
+        for t in 0..100u64 {
+            s.update(t, t, 1);
+        }
+        assert!(s.estimate_lifetime(999_999) <= 2);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = sketch(32, 2);
+        s.update(1, 1, 3);
+        s.clear();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.estimate_lifetime(1), 0);
+        assert_eq!(s.live_buckets(), 0);
+    }
+
+    #[test]
+    fn window_narrower_than_lifetime() {
+        let mut s = sketch(512, 4);
+        for t in 0..1000u64 {
+            s.update(42, t, 1);
+        }
+        let life = s.estimate_lifetime(42);
+        let half = s.estimate(42, 500);
+        assert!(half <= life);
+        assert!(
+            (half as i64 - 500).abs() <= 75,
+            "half-window estimate {half} far from 500"
+        );
+    }
+}

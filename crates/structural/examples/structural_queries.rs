@@ -1,0 +1,66 @@
+//! Structural queries on a graph stream: triangles, 2-path hubs, and
+//! heavy vertices — the gSketch paper's §7 future-work direction.
+//!
+//! Run with: `cargo run --release -p structural --example structural_queries`
+
+use gstream::gen::{SmallWorldConfig, SmallWorldGenerator};
+use gstream::vertex::VertexId;
+use structural::{
+    ExactTriangleCounter, HeavyVertexTracker, PathAggregator, PathSketch, TriangleEstimator,
+};
+
+fn main() {
+    // A small-world stream: high clustering (lots of triangles), skewed
+    // activity (clear hubs) — exactly the regime structural queries target.
+    let stream: Vec<_> =
+        SmallWorldGenerator::new(SmallWorldConfig::new(3_000, 300_000, 21)).collect();
+
+    // --- Triangles: exact vs DOULION sparsified at p = 0.3. -------------
+    let mut exact = ExactTriangleCounter::new();
+    exact.ingest(&stream);
+    let mut doulion = TriangleEstimator::new(0.3, 7);
+    doulion.ingest(&stream);
+    println!(
+        "triangles: exact {} | DOULION(p=0.3) {:.0} ({} edges kept of {})",
+        exact.triangles(),
+        doulion.estimate(),
+        doulion.retained_edges(),
+        exact.edges(),
+    );
+
+    // --- 2-path hubs: exact O(|V|) counters vs |V|-independent sketch. --
+    let mut paths = PathAggregator::new();
+    paths.ingest(&stream);
+    let mut sketched = PathSketch::new(1024, 5, 3).unwrap();
+    sketched.ingest(&stream);
+    println!(
+        "\ntotal 2-paths: exact {} | sketched {:.2e} ({} bytes)",
+        paths.total_paths(),
+        sketched.total_paths(),
+        sketched.bytes(),
+    );
+    println!("top path hubs (exact vs sketched through-flow):");
+    for (v, flow) in paths.top_hubs(5) {
+        println!("  {v}: {flow:>12} vs {:>12}", sketched.through_flow(v));
+    }
+
+    // --- Heavy vertices with Space-Saving guarantees. --------------------
+    let mut heavy = HeavyVertexTracker::new(64).unwrap();
+    heavy.ingest(&stream);
+    println!("\nsources holding >2% of stream weight:");
+    for h in heavy.heavy_sources(0.02) {
+        println!(
+            "  {}: count ≤ {}, ≥ {}{}",
+            h.vertex,
+            h.count,
+            h.lower_bound,
+            if h.guaranteed { "  [guaranteed]" } else { "" },
+        );
+    }
+    let probe = VertexId(0);
+    println!(
+        "\nprobe {probe}: out-weight ≤ {}, in-weight ≤ {}",
+        heavy.source_weight(probe),
+        heavy.destination_weight(probe),
+    );
+}

@@ -1,0 +1,39 @@
+//! # structural — sketch-based structural queries on graph streams
+//!
+//! The gSketch paper closes with two future-work directions beyond
+//! edge-frequency estimation (§7): *"the use of sketch-based methods for
+//! resolving structural queries"* and more complex frequency functions.
+//! This crate builds the structural side on the same substrate
+//! ([`sketch`]) and data model ([`gstream`]) as the main reproduction:
+//!
+//! * [`TriangleEstimator`] — one-pass triangle counting by edge sampling
+//!   (DOULION; Tsourakakis et al., KDD 2009), with an exact incremental
+//!   counter ([`ExactTriangleCounter`]) as ground truth;
+//! * [`PathAggregator`] — 2-path (wedge) aggregates: total path count,
+//!   per-vertex through-flow, and top-hub identification, in exact
+//!   `O(|V|)` counters (the paper's own "the number of vertices … is
+//!   often much more modest" assumption, §1) — plus
+//!   [`PathSketch`], the fully sketched variant whose memory is
+//!   independent of `|V|`, built on CountSketch inner products;
+//! * [`HeavyVertexTracker`] — guaranteed heavy out-/in-vertices via
+//!   Space-Saving, the vertex-level analogue of heavy-hitter queries;
+//! * [`MultigraphDegrees`] — per-vertex *distinct* degree estimation in
+//!   fixed memory (Cormode & Muthukrishnan, PODS 2005 — the paper's
+//!   ref. \[15\]), separating scanners from repeat traffic.
+//!
+//! Everything is one-pass and stream-order robust; each estimator
+//! documents its guarantee and is property-tested against exact
+//! counterparts.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod degrees;
+pub mod heavy;
+pub mod paths;
+pub mod triangles;
+
+pub use degrees::{ExactDegrees, MultigraphDegrees};
+pub use heavy::HeavyVertexTracker;
+pub use paths::{PathAggregator, PathSketch};
+pub use triangles::{ExactTriangleCounter, TriangleEstimator};

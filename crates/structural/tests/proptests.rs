@@ -1,0 +1,173 @@
+//! Property-based tests of the structural estimators' invariants.
+
+use gstream::edge::{Edge, StreamEdge};
+use gstream::vertex::VertexId;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use structural::{ExactTriangleCounter, HeavyVertexTracker, PathAggregator, PathSketch, TriangleEstimator};
+
+fn to_stream(edges: &[(u32, u32)]) -> Vec<StreamEdge> {
+    edges
+        .iter()
+        .enumerate()
+        .map(|(t, &(u, v))| StreamEdge::unit(Edge::new(u, v), t as u64))
+        .collect()
+}
+
+/// Brute-force triangle count over the undirected support.
+fn brute_triangles(edges: &[(u32, u32)]) -> u64 {
+    use std::collections::HashSet;
+    let mut support: HashSet<(u32, u32)> = HashSet::new();
+    let mut verts: HashSet<u32> = HashSet::new();
+    for &(u, v) in edges {
+        if u != v {
+            support.insert((u.min(v), u.max(v)));
+            verts.insert(u);
+            verts.insert(v);
+        }
+    }
+    let vs: Vec<u32> = verts.into_iter().collect();
+    let has = |a: u32, b: u32| support.contains(&(a.min(b), a.max(b)));
+    let mut count = 0u64;
+    for i in 0..vs.len() {
+        for j in (i + 1)..vs.len() {
+            if !has(vs[i], vs[j]) {
+                continue;
+            }
+            for k in (j + 1)..vs.len() {
+                if has(vs[i], vs[k]) && has(vs[j], vs[k]) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+proptest! {
+    /// Incremental triangle counting matches brute force on arbitrary
+    /// small multigraph streams.
+    #[test]
+    fn triangles_match_brute_force(edges in vec((0u32..12, 0u32..12), 0..60)) {
+        let mut c = ExactTriangleCounter::new();
+        for &(u, v) in &edges {
+            c.observe(Edge::new(u, v));
+        }
+        prop_assert_eq!(c.triangles(), brute_triangles(&edges));
+    }
+
+    /// Triangle counting is invariant under stream permutation.
+    #[test]
+    fn triangles_order_invariant(
+        edges in vec((0u32..10, 0u32..10), 0..40),
+        rot in 0usize..40,
+    ) {
+        let mut a = ExactTriangleCounter::new();
+        for &(u, v) in &edges {
+            a.observe(Edge::new(u, v));
+        }
+        let mut rotated = edges.clone();
+        if !rotated.is_empty() {
+            let mid = rot % rotated.len();
+            rotated.rotate_left(mid);
+        }
+        let mut b = ExactTriangleCounter::new();
+        for &(u, v) in &rotated {
+            b.observe(Edge::new(u, v));
+        }
+        prop_assert_eq!(a.triangles(), b.triangles());
+    }
+
+    /// The sparsified estimator at p = 1 degenerates to exact counting.
+    #[test]
+    fn doulion_p1_exact(edges in vec((0u32..15, 0u32..15), 0..80), seed in any::<u64>()) {
+        let mut exact = ExactTriangleCounter::new();
+        let mut est = TriangleEstimator::new(1.0, seed);
+        for &(u, v) in &edges {
+            exact.observe(Edge::new(u, v));
+            est.observe(Edge::new(u, v));
+        }
+        prop_assert_eq!(est.estimate(), exact.triangles() as f64);
+    }
+
+    /// Sparsified triangles are a subset: the raw (unscaled) count never
+    /// exceeds the exact count.
+    #[test]
+    fn doulion_subsample_bounded(
+        edges in vec((0u32..15, 0u32..15), 0..80),
+        seed in any::<u64>(),
+        p_tenths in 1u32..10,
+    ) {
+        let p = p_tenths as f64 / 10.0;
+        let mut exact = ExactTriangleCounter::new();
+        let mut est = TriangleEstimator::new(p, seed);
+        for &(u, v) in &edges {
+            exact.observe(Edge::new(u, v));
+            est.observe(Edge::new(u, v));
+        }
+        prop_assert!(est.sampled_triangles() <= exact.triangles());
+        prop_assert!(est.retained_edges() <= exact.edges());
+    }
+
+    /// Exact path totals equal the per-vertex sum, and every through-flow
+    /// is bounded by the total.
+    #[test]
+    fn path_totals_consistent(edges in vec((0u32..20, 0u32..20, 1u64..5), 0..100)) {
+        let mut p = PathAggregator::new();
+        for &(u, v, w) in &edges {
+            p.observe(Edge::new(u, v), w);
+        }
+        let total = p.total_paths();
+        let by_vertex: u128 = (0..20u32).map(|v| p.through_flow(VertexId(v))).sum();
+        prop_assert_eq!(total, by_vertex);
+        for v in 0..20u32 {
+            prop_assert!(p.through_flow(VertexId(v)) <= total);
+        }
+    }
+
+    /// The path sketch never reports negative totals and degrades
+    /// gracefully: with a wide sketch it matches the exact aggregator.
+    #[test]
+    fn path_sketch_wide_is_exact(
+        edges in vec((0u32..15, 0u32..15, 1u64..4), 1..80),
+        seed in any::<u64>(),
+    ) {
+        let mut exact = PathAggregator::new();
+        let mut sk = PathSketch::new(2048, 5, seed).unwrap();
+        for &(u, v, w) in &edges {
+            exact.observe(Edge::new(u, v), w);
+            sk.observe(Edge::new(u, v), w);
+        }
+        for v in 0..15u32 {
+            prop_assert_eq!(sk.out_weight(VertexId(v)), exact.out_weight(VertexId(v)));
+            prop_assert_eq!(sk.in_weight(VertexId(v)), exact.in_weight(VertexId(v)));
+        }
+        prop_assert!(sk.total_paths() >= 0.0);
+    }
+
+    /// Heavy-vertex tracking: whatever it reports as guaranteed really
+    /// does clear the threshold.
+    #[test]
+    fn heavy_guarantees_are_sound(
+        edges in vec((0u32..30, 0u32..30), 20..300),
+        k in 4usize..16,
+    ) {
+        let stream = to_stream(&edges);
+        let mut hv = HeavyVertexTracker::new(k).unwrap();
+        hv.ingest(&stream);
+        let mut truth: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for &(u, _) in &edges {
+            *truth.entry(u).or_default() += 1;
+        }
+        let phi = 0.2;
+        let threshold = (phi * hv.seen() as f64).ceil() as u64;
+        for h in hv.heavy_sources(phi) {
+            let f = truth.get(&h.vertex.0).copied().unwrap_or(0);
+            prop_assert!(h.count >= f, "count must upper-bound truth");
+            prop_assert!(h.lower_bound <= f, "lower bound must not exceed truth");
+            if h.guaranteed {
+                prop_assert!(f >= threshold, "guaranteed vertex below threshold");
+            }
+        }
+    }
+}
