@@ -1,0 +1,327 @@
+//! Minimal offline stand-in for the Criterion benchmarking API surface used
+//! by this workspace: `criterion_group!`/`criterion_main!`, `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, and `black_box`.
+//!
+//! Measurement model: each benchmark warms up briefly, then runs timed
+//! batches until the measurement budget elapses, and reports the median
+//! per-iteration latency (plus throughput when declared) on stdout. That is
+//! deliberately simpler than real Criterion (no outlier analysis, no HTML
+//! reports) but produces stable, comparable numbers for the perf
+//! trajectory, and keeps `cargo bench` runs fast.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier for `name` measured at `parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Anything `bench_function` accepts as an identifier.
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    measure_for: Duration,
+    /// Per-batch mean latency in ns/iter; the median of these is reported.
+    batch_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, timing each batch, until the measurement
+    /// budget is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up also sizes the batches: aim for ~1ms per batch.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < Duration::from_millis(20) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let batch = (1_000_000 / per_iter.max(1)).clamp(1, 1 << 20) as u64;
+
+        let start = Instant::now();
+        while start.elapsed() < self.measure_for {
+            let batch_start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let batch_elapsed = batch_start.elapsed();
+            self.elapsed += batch_elapsed;
+            self.iters_done += batch;
+            self.batch_ns
+                .push(batch_elapsed.as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+/// Shared measurement settings.
+#[derive(Debug, Clone)]
+struct Settings {
+    /// Scales the measurement budget, by analogy to Criterion's sample count.
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Settings {
+    fn budget(&self) -> Duration {
+        // Real Criterion defaults to 100 samples over ~5s; scale linearly so
+        // `.sample_size(10)` keeps heavy construction benches quick.
+        let nanos = self.measurement_time.as_nanos() as u64;
+        Duration::from_nanos((nanos * self.sample_size as u64 / 100).max(10_000_000))
+    }
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The benchmark driver: entry point handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Set the nominal sample count (scales the measurement budget).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Set the nominal measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into_name(), &self.settings, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings.clone(),
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the nominal sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Set the nominal measurement time for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_name());
+        run_bench(&full, &self.settings, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let full = format!("{}/{}", self.name, id.into_name());
+        run_bench(&full, &self.settings, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (report separator; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Median of the per-batch latencies (robust to one-off stalls).
+fn median(samples: &mut [f64]) -> f64 {
+    debug_assert!(!samples.is_empty());
+    samples.sort_unstable_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    settings: &Settings,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        measure_for: settings.budget(),
+        batch_ns: Vec::new(),
+    };
+    f(&mut b);
+    if b.iters_done == 0 {
+        println!("{name:<50} (no iterations recorded)");
+        return;
+    }
+    let ns_per_iter = median(&mut b.batch_ns);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 * 1e9 / ns_per_iter)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.0} B/s", n as f64 * 1e9 / ns_per_iter)
+        }
+        None => String::new(),
+    };
+    println!("{name:<50} {ns_per_iter:>12.1} ns/iter{rate}");
+}
+
+/// Define a benchmark group function that runs each target in sequence.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` for a benchmark binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench -- <filter>` passes args we do not interpret;
+            // accept and ignore them so invocation stays compatible.
+            let _ = std::env::args();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_counts_iterations() {
+        let settings = Settings {
+            sample_size: 1,
+            measurement_time: Duration::from_millis(100),
+        };
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            measure_for: settings.budget(),
+            batch_ns: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+        });
+        assert!(b.iters_done > 0);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("build", "64KiB").into_name(), "build/64KiB");
+    }
+}

@@ -1,0 +1,481 @@
+//! Minimal offline stand-in for the `serde` surface this workspace uses.
+//!
+//! The real serde models serialization through `Serializer`/`Deserializer`
+//! visitors; everything here instead round-trips through one in-memory
+//! [`Value`] tree that `serde_json` (the vendored one) renders to and parses
+//! from JSON text. The public contract is intentionally the same shape the
+//! workspace code relies on:
+//!
+//! - `use serde::{Serialize, Deserialize};` imports both the traits and the
+//!   derive macros (re-exported from `serde_derive`, exactly like real serde
+//!   with the `derive` feature).
+//! - `#[derive(Serialize, Deserialize)]` works on named/tuple structs and on
+//!   enums with unit and tuple variants (the only shapes in this workspace),
+//!   using serde's externally-tagged representation.
+//!
+//! Maps with non-string keys are serialized as sequences of `[key, value]`
+//! pairs (real serde_json would reject them at runtime; persistence here is
+//! only ever read back by this same crate pair, so the representation just
+//! has to round-trip).
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::hash::{BuildHasher, Hash};
+
+/// A JSON-shaped document tree: the serialization data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer (kept exact; JSON has no 2^53 limit we honor).
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object, as insertion-ordered key/value pairs.
+    Map(Vec<(String, Value)>),
+}
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Build an error noting what was expected and what was found.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Error(format!("expected {what}, found {found:?}"))
+    }
+}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into the data-model tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild from the data-model tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Look up a struct field inside an object value (derive-macro helper).
+pub fn value_field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, Error> {
+    match v {
+        Value::Map(entries) => entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, val)| val)
+            .ok_or_else(|| Error(format!("missing field `{name}`"))),
+        other => Err(Error::expected("object", other)),
+    }
+}
+
+/// Expect a sequence of exactly `n` elements (derive-macro helper).
+pub fn value_seq(v: &Value, n: usize) -> Result<&[Value], Error> {
+    match v {
+        Value::Seq(items) if items.len() == n => Ok(items),
+        Value::Seq(items) => Err(Error(format!(
+            "expected sequence of {n} elements, found {}",
+            items.len()
+        ))),
+        other => Err(Error::expected("sequence", other)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error(format!("{n} out of range for {}", stringify!($t)))),
+                    other => Err(Error::expected("unsigned integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error(format!("{n} out of range for {}", stringify!($t)))),
+                    other => Err(Error::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            // Non-finite floats serialize as null (see vendored serde_json).
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(Error::expected("single-character string", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::expected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = value_seq(v, N)?;
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error(format!("expected array of {N} elements")))
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BinaryHeap<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BinaryHeap<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::expected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::expected("sequence", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+) of $n:expr;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = value_seq(v, $n)?;
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0) of 1;
+    (A: 0, B: 1) of 2;
+    (A: 0, B: 1, C: 2) of 3;
+    (A: 0, B: 1, C: 2, D: 3) of 4;
+}
+
+impl<K, V, S> Serialize for HashMap<K, V, S>
+where
+    K: Serialize,
+    V: Serialize,
+    S: BuildHasher,
+{
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items
+                .iter()
+                .map(|entry| {
+                    let pair = value_seq(entry, 2)?;
+                    Ok((K::from_value(&pair[0])?, V::from_value(&pair[1])?))
+                })
+                .collect(),
+            other => Err(Error::expected("sequence of [key, value] pairs", other)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items
+                .iter()
+                .map(|entry| {
+                    let pair = value_seq(entry, 2)?;
+                    Ok((K::from_value(&pair[0])?, V::from_value(&pair[1])?))
+                })
+                .collect(),
+            other => Err(Error::expected("sequence of [key, value] pairs", other)),
+        }
+    }
+}
+
+impl<T, S> Serialize for HashSet<T, S>
+where
+    T: Serialize,
+    S: BuildHasher,
+{
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T, S> Deserialize for HashSet<T, S>
+where
+    T: Deserialize + Eq + Hash,
+    S: BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::expected("sequence", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let x = 0.125f64;
+        assert_eq!(f64::from_value(&x.to_value()).unwrap(), x);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u32, 2u64), (3, 4)];
+        assert_eq!(Vec::<(u32, u64)>::from_value(&v.to_value()).unwrap(), v);
+        let a = [9u64; 4];
+        assert_eq!(<[u64; 4]>::from_value(&a.to_value()).unwrap(), a);
+        let mut m = HashMap::new();
+        m.insert(5u32, "five".to_string());
+        let back: HashMap<u32, String> = Deserialize::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn range_errors_are_reported() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u64::from_value(&Value::Str("nope".into())).is_err());
+    }
+}

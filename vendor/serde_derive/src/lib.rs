@@ -1,0 +1,434 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the offline build has
+//! no `syn`/`quote`), which is fine because the workspace only derives on a
+//! constrained set of shapes:
+//!
+//! - structs with named fields (possibly generic, e.g. `Envelope<T>`),
+//! - tuple structs (newtypes like `VertexId(pub u32)`),
+//! - enums whose variants are unit or tuple variants (e.g.
+//!   `SketchId::{Partition(u32), Outlier}`).
+//!
+//! `#[serde(...)]` attributes are NOT supported and there are none in the
+//! workspace; a derive on an unsupported shape fails with `compile_error!`.
+//! Representation matches serde's externally-tagged default: named structs
+//! become objects, newtypes are transparent, unit variants are strings, and
+//! tuple variants are single-entry objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What kind of type body the derive target has.
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    NamedStruct(Vec<String>),
+    /// Tuple struct with this many fields.
+    TupleStruct(usize),
+    /// Enum: `(variant name, arity)` where arity 0 means a unit variant.
+    Enum(Vec<(String, usize)>),
+}
+
+struct Target {
+    name: String,
+    /// Generic parameter names, e.g. `["T"]` for `Envelope<T>`.
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_target(input) {
+        Ok(t) => gen_serialize(&t).parse().expect("generated Serialize impl parses"),
+        Err(msg) => error(&msg),
+    }
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_target(input) {
+        Ok(t) => gen_deserialize(&t).parse().expect("generated Deserialize impl parses"),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("compile_error parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_target(input: TokenStream) -> Result<Target, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    let generics = parse_generics(&tokens, &mut i)?;
+
+    // Skip a `where` clause if present (none in the workspace, but cheap).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+            {
+                break
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => i += 1,
+        }
+    }
+
+    let shape = match (kind, tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::NamedStruct(parse_named_fields(g.stream())?)
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct(count_top_level_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Shape::TupleStruct(0),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Enum(parse_variants(g.stream())?)
+        }
+        (k, other) => return Err(format!("unsupported {k} body: {other:?}")),
+    };
+
+    Ok(Target { name, generics, shape })
+}
+
+/// Skip leading `#[...]` attributes and a `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // `(crate)` etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `<A, B, ...>` after the type name, returning the parameter names.
+/// Lifetimes and const parameters are rejected (unused in the workspace).
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Result<Vec<String>, String> {
+    let mut params = Vec::new();
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => *i += 1,
+        _ => return Ok(params),
+    }
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *i += 1;
+                    return Ok(params);
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => at_param_start = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                return Err("lifetime parameters are not supported by the vendored derive".into())
+            }
+            TokenTree::Ident(id) if at_param_start => {
+                let s = id.to_string();
+                if s == "const" {
+                    return Err("const parameters are not supported by the vendored derive".into());
+                }
+                params.push(s);
+                at_param_start = false;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    Err("unterminated generic parameter list".into())
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        fields.push(name);
+        skip_type_until_comma(&tokens, &mut i);
+    }
+    Ok(fields)
+}
+
+/// Advance past a type expression up to (and over) the next top-level comma.
+fn skip_type_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Number of fields in a tuple-struct / tuple-variant body.
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma (e.g. `(u32,)`) does not add a field.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') && angle == 0 {
+        count -= 1;
+    }
+    count
+}
+
+/// `(name, arity)` for each enum variant; struct variants are rejected.
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, usize)>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let arity = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                count_top_level_fields(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "struct variant `{name}` is not supported by the vendored derive"
+                ))
+            }
+            _ => 0,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separating comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push((name, arity));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (as strings, parsed back into token streams)
+// ---------------------------------------------------------------------------
+
+/// `impl<T: ::serde::Serialize> ::serde::Serialize for Envelope<T>` pieces.
+fn impl_header(t: &Target, bound: &str) -> (String, String) {
+    if t.generics.is_empty() {
+        (String::new(), t.name.clone())
+    } else {
+        let params: Vec<String> = t.generics.iter().map(|g| format!("{g}: {bound}")).collect();
+        (
+            format!("<{}>", params.join(", ")),
+            format!("{}<{}>", t.name, t.generics.join(", ")),
+        )
+    }
+}
+
+fn gen_serialize(t: &Target) -> String {
+    let (impl_generics, ty) = impl_header(t, "::serde::Serialize");
+    let body = match &t.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(0) => "::serde::Value::Null".to_string(),
+        // Newtype structs serialize transparently, as in real serde.
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!(
+                        "Self::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))"
+                    ),
+                    1 => format!(
+                        "Self::{v}(x0) => ::serde::Value::Map(::std::vec![(::std::string::String::from({v:?}), ::serde::Serialize::to_value(x0))])"
+                    ),
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "Self::{v}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from({v:?}), ::serde::Value::Seq(::std::vec![{}]))])",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl{impl_generics} ::serde::Serialize for {ty} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(t: &Target) -> String {
+    let (impl_generics, ty) = impl_header(t, "::serde::Deserialize");
+    let body = match &t.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(::serde::value_field(v, {f:?})?)?")
+                })
+                .collect();
+            format!("::std::result::Result::Ok(Self {{ {} }})", inits.join(", "))
+        }
+        Shape::TupleStruct(0) => "::std::result::Result::Ok(Self)".to_string(),
+        Shape::TupleStruct(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(v)?))".to_string()
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "let items = ::serde::value_seq(v, {n})?;\n\
+                 ::std::result::Result::Ok(Self({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, a)| *a == 0)
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok(Self::{v})"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, a)| *a > 0)
+                .map(|(v, arity)| {
+                    if *arity == 1 {
+                        format!(
+                            "{v:?} => ::std::result::Result::Ok(Self::{v}(::serde::Deserialize::from_value(payload)?))"
+                        )
+                    } else {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                            .collect();
+                        format!(
+                            "{v:?} => {{ let items = ::serde::value_seq(payload, {arity})?; ::std::result::Result::Ok(Self::{v}({})) }}",
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(name) => match name.as_str() {{\n\
+                 {unit}\n\
+                 _ => ::std::result::Result::Err(::serde::Error(::std::format!(\"unknown variant `{{name}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = (&entries[0].0, &entries[0].1);\n\
+                 let _ = payload;\n\
+                 match tag.as_str() {{\n\
+                 {data}\n\
+                 _ => ::std::result::Result::Err(::serde::Error(::std::format!(\"unknown variant `{{tag}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(::serde::Error::expected({name:?}, other)),\n\
+                 }}",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(",\n"))
+                },
+                data = if data_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", data_arms.join(",\n"))
+                },
+                name = t.name,
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl{impl_generics} ::serde::Deserialize for {ty} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
