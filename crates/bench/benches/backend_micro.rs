@@ -1,0 +1,146 @@
+//! Synopsis-backend micro-benchmark (DESIGN.md §2–§3): arena vs.
+//! per-partition ingest and estimate throughput on the R-MAT (GTGraph)
+//! dataset, at identical build parameters.
+//!
+//! Because both layouts share one hash family and identical slot widths,
+//! they do *exactly* the same arithmetic per update; any throughput gap
+//! is pure memory behaviour — pointer-chasing into per-partition
+//! allocations vs. walking one contiguous slab, and the locality gained
+//! by slot-grouped batched ingest. Headline numbers are appended to
+//! `BENCH_ingest.json` (the perf trajectory file at the repo root).
+
+use gsketch::{CmArena, CountMinSketch, FrequencySketch, GSketch, GSketchBuilder};
+use gsketch_bench::trajectory::{rate_of, record_section, Throughput};
+use gsketch_bench::{experiment_scale, Bundle, Dataset, EXPERIMENT_SEED};
+use gstream::StreamEdge;
+use serde::Value;
+use std::hint::black_box;
+
+const MEMORY_BYTES: usize = 2 << 20;
+const DEPTH: usize = 3;
+/// Point queries issued per estimate measurement.
+const ESTIMATE_QUERIES: usize = 1_000_000;
+
+struct Measured {
+    name: &'static str,
+    updates_per_sec: f64,
+    estimates_per_sec: f64,
+}
+
+fn measure<B: FrequencySketch>(
+    label: &'static str,
+    batched: bool,
+    builder: GSketchBuilder,
+    sample: &[StreamEdge],
+    stream: &[StreamEdge],
+) -> Measured {
+    let mut gs: GSketch<B> = builder
+        .build_from_sample_backend(sample)
+        .expect("valid bench configuration");
+    let updates_per_sec = rate_of(stream.len() as u64, || {
+        if batched {
+            for chunk in stream.chunks(1 << 16) {
+                gs.ingest_batch(chunk);
+            }
+        } else {
+            gs.ingest(stream);
+        }
+    });
+    let queries: Vec<_> = stream
+        .iter()
+        .take(ESTIMATE_QUERIES)
+        .map(|se| se.edge)
+        .collect();
+    let rounds = ESTIMATE_QUERIES / queries.len().max(1);
+    let estimates_per_sec = rate_of((queries.len() * rounds) as u64, || {
+        for _ in 0..rounds {
+            for &e in &queries {
+                black_box(gs.estimate(black_box(e)));
+            }
+        }
+    });
+    Measured {
+        name: label,
+        updates_per_sec,
+        estimates_per_sec,
+    }
+}
+
+fn main() {
+    let scale = experiment_scale() * 0.25; // ~2M arrivals at full scale
+    let bundle = Bundle::load(Dataset::GtGraph, scale.clamp(0.001, 1.0), EXPERIMENT_SEED);
+    let sample = bundle.dataset.data_sample(&bundle.stream, EXPERIMENT_SEED);
+    let rate = (sample.len() as f64 / bundle.stream.len() as f64).clamp(1e-6, 1.0);
+    let builder = GSketch::builder()
+        .memory_bytes(MEMORY_BYTES)
+        .depth(DEPTH)
+        .min_width(64)
+        .sample_rate(rate)
+        .seed(EXPERIMENT_SEED);
+
+    println!(
+        "backend_micro: {} arrivals (R-MAT traffic), {} B budget, depth {}",
+        bundle.stream.len(),
+        MEMORY_BYTES,
+        DEPTH
+    );
+
+    let runs = [
+        measure::<CountMinSketch>(
+            "countmin/streaming",
+            false,
+            builder,
+            &sample,
+            &bundle.stream,
+        ),
+        measure::<CountMinSketch>("countmin/batched", true, builder, &sample, &bundle.stream),
+        measure::<CmArena>(
+            "cm-arena/streaming",
+            false,
+            builder,
+            &sample,
+            &bundle.stream,
+        ),
+        measure::<CmArena>("cm-arena/batched", true, builder, &sample, &bundle.stream),
+    ];
+
+    for m in &runs {
+        println!(
+            "{:<22} {:>14.0} updates/s {:>14.0} estimates/s",
+            m.name, m.updates_per_sec, m.estimates_per_sec
+        );
+    }
+    let best = |prefix: &str, f: fn(&Measured) -> f64| -> f64 {
+        runs.iter()
+            .filter(|m| m.name.starts_with(prefix))
+            .map(f)
+            .fold(0.0, f64::max)
+    };
+    println!(
+        "arena/per-partition speedup: ingest {:.2}x, estimate {:.2}x",
+        best("cm-arena", |m| m.updates_per_sec) / best("countmin", |m| m.updates_per_sec),
+        best("cm-arena", |m| m.estimates_per_sec) / best("countmin", |m| m.estimates_per_sec),
+    );
+
+    record_section(
+        "backend_micro",
+        &[
+            ("dataset", Value::Str("GTGraph (R-MAT traffic)".into())),
+            ("arrivals", Value::U64(bundle.stream.len() as u64)),
+            ("memory_bytes", Value::U64(MEMORY_BYTES as u64)),
+            ("depth", Value::U64(DEPTH as u64)),
+        ],
+        &runs
+            .iter()
+            .map(|m| Throughput {
+                name: m.name.to_owned(),
+                updates_per_sec: m.updates_per_sec,
+                estimates_per_sec: m.estimates_per_sec,
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "recorded to {}",
+        gsketch_bench::trajectory::bench_file().display()
+    );
+}

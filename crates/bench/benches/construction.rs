@@ -15,17 +15,21 @@ fn bench_construction(c: &mut Criterion) {
     let mut g = c.benchmark_group("construction");
     g.sample_size(10);
     for mem in [256 << 10, 1 << 20, 4 << 20] {
-        g.bench_with_input(BenchmarkId::new("partition+calibrate", fmt_bytes(mem)), &mem, |b, &mem| {
-            b.iter(|| {
-                black_box(
-                    GSketch::builder()
-                        .memory_bytes(mem)
-                        .sample_rate(rate)
-                        .build_from_sample_calibrated(black_box(&sample), &probe)
-                        .unwrap(),
-                )
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("partition+calibrate", fmt_bytes(mem)),
+            &mem,
+            |b, &mem| {
+                b.iter(|| {
+                    black_box(
+                        GSketch::builder()
+                            .memory_bytes(mem)
+                            .sample_rate(rate)
+                            .build_from_sample_calibrated(black_box(&sample), &probe)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
     }
     g.finish();
 }

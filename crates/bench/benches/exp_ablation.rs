@@ -9,9 +9,7 @@
 //! 3. sample-rate extrapolation of vertex statistics on/off;
 //! 4. conservative-update CountMin as the base synopsis.
 
-use gsketch::{
-    evaluate_edge_queries, GSketch, GlobalSketch, WidthAllocation, DEFAULT_G0,
-};
+use gsketch::{evaluate_edge_queries, GSketch, GlobalSketch, WidthAllocation, DEFAULT_G0};
 use gsketch_bench::harness::{calibration_probe, EXPERIMENT_MIN_WIDTH};
 use gsketch_bench::*;
 use sketch::{CountMinSketch, UpdatePolicy};
@@ -39,7 +37,10 @@ fn main() {
 
     // --- 1. width allocation policies.
     let mut t = Table::new(
-        format!("Ablation 1 — width allocation (DBLP, {}, d=1)", fmt_bytes(mem)),
+        format!(
+            "Ablation 1 — width allocation (DBLP, {}, d=1)",
+            fmt_bytes(mem)
+        ),
         &["policy", "avg rel err", "partitions"],
     );
     {
@@ -97,8 +98,8 @@ fn main() {
         let mut gl = GlobalSketch::new(mem, depth, EXPERIMENT_SEED).unwrap();
         gl.ingest(&bundle.stream);
         let ge = eval(&gs);
-        let le = evaluate_edge_queries(&gl, &sets.edges, &bundle.truth, DEFAULT_G0)
-            .avg_relative_error;
+        let le =
+            evaluate_edge_queries(&gl, &sets.edges, &bundle.truth, DEFAULT_G0).avg_relative_error;
         t.row(vec![
             depth.to_string(),
             fmt_f(le),
@@ -110,7 +111,10 @@ fn main() {
 
     // --- 3. sample-rate extrapolation.
     let mut t = Table::new(
-        format!("Ablation 3 — vertex-statistics extrapolation (DBLP, {}, d=1)", fmt_bytes(mem)),
+        format!(
+            "Ablation 3 — vertex-statistics extrapolation (DBLP, {}, d=1)",
+            fmt_bytes(mem)
+        ),
         &["extrapolation", "avg rel err", "partitions"],
     );
     for (label, r) in [("1/rate (default)", rate), ("off (paper literal)", 1.0)] {
@@ -187,14 +191,11 @@ fn structure_ablation() {
             "raw R-MAT (skew, no local similarity)",
             RmatGenerator::new(RmatConfig::gtgraph(12, arrivals, 7)).generate(),
         ),
-        (
-            "R-MAT traffic (skew + local similarity)",
-            {
-                let mut cfg = RmatTrafficConfig::gtgraph(12, arrivals / 4, arrivals, 7);
-                cfg.activity_alpha = 1.2;
-                RmatTrafficGenerator::new(cfg).generate()
-            },
-        ),
+        ("R-MAT traffic (skew + local similarity)", {
+            let mut cfg = RmatTrafficConfig::gtgraph(12, arrivals / 4, arrivals, 7);
+            cfg.activity_alpha = 1.2;
+            RmatTrafficGenerator::new(cfg).generate()
+        }),
     ];
 
     let mut t = Table::new(
@@ -209,7 +210,8 @@ fn structure_ablation() {
         let truth = ExactCounter::from_stream(stream);
         let ratio = VarianceStats::from_counts(&truth).ratio();
         let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED);
-        let sample = gstream::sample::sample_iter(stream.iter().copied(), stream.len() / 20, &mut rng);
+        let sample =
+            gstream::sample::sample_iter(stream.iter().copied(), stream.len() / 20, &mut rng);
         let queries = uniform_distinct_queries(&truth, 10_000, &mut rng);
         let mut gs = GSketch::builder()
             .memory_bytes(mem)

@@ -24,7 +24,13 @@ fn main() {
 
     let mut t = Table::new(
         "Ablation — sample-free adaptive gSketch vs sample-built vs Global (GTGraph)",
-        &["memory", "Global", "gSketch (sampled)", "adaptive (no sample)", "adaptive parts"],
+        &[
+            "memory",
+            "Global",
+            "gSketch (sampled)",
+            "adaptive (no sample)",
+            "adaptive parts",
+        ],
     );
     for mem in ds.memory_sweep() {
         let mut gl = GlobalSketch::new(mem, EXPERIMENT_DEPTH, EXPERIMENT_SEED).expect("global");

@@ -18,7 +18,13 @@ fn main() {
             &["memory", "data sample", "data + workload", "global"],
         );
         for mem in ds.memory_sweep() {
-            let r1 = run_cell(&bundle, &data_sets, Scenario::DataOnly, mem, EXPERIMENT_SEED);
+            let r1 = run_cell(
+                &bundle,
+                &data_sets,
+                Scenario::DataOnly,
+                mem,
+                EXPERIMENT_SEED,
+            );
             let r2 = run_cell(&bundle, &wl_sets, wl_scenario, mem, EXPERIMENT_SEED);
             t.row(vec![
                 fmt_bytes(mem),

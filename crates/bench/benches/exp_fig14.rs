@@ -9,7 +9,13 @@ fn main() {
         let bundle = load(ds);
         let sets = make_query_sets(&bundle, Scenario::DataOnly, EXPERIMENT_SEED);
         let header: &[&str] = if ds == Dataset::Dblp {
-            &["memory", "Global (Qe)", "gSketch (Qe)", "Global (Qg)", "gSketch (Qg)"]
+            &[
+                "memory",
+                "Global (Qe)",
+                "gSketch (Qe)",
+                "Global (Qg)",
+                "gSketch (Qg)",
+            ]
         } else {
             &["memory", "Global (Qe)", "gSketch (Qe)"]
         };
@@ -32,7 +38,8 @@ fn main() {
                 per_q(r.gsketch_query_time, r.gsketch.total_queries),
             ];
             if ds == Dataset::Dblp {
-                let rs = run_subgraph_cell(&bundle, &sets, Scenario::DataOnly, mem, EXPERIMENT_SEED);
+                let rs =
+                    run_subgraph_cell(&bundle, &sets, Scenario::DataOnly, mem, EXPERIMENT_SEED);
                 row.push(per_q(rs.global_query_time, rs.global.total_queries));
                 row.push(per_q(rs.gsketch_query_time, rs.gsketch.total_queries));
             }

@@ -23,7 +23,11 @@ fn main() {
         let mut est = TriangleEstimator::new(p, 7);
         est.ingest(&bundle.stream);
         let got = est.estimate();
-        let rel = if truth > 0.0 { (got - truth).abs() / truth } else { 0.0 };
+        let rel = if truth > 0.0 {
+            (got - truth).abs() / truth
+        } else {
+            0.0
+        };
         t.row(vec![
             format!("{p}"),
             format!("{got:.0}"),

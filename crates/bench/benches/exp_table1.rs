@@ -3,9 +3,7 @@
 //! the error of only those queries answered by the outlier sketch.
 
 use gsketch::{evaluate_edge_queries, GSketch, SketchId, DEFAULT_G0};
-use gsketch_bench::harness::{
-    calibration_probe, EXPERIMENT_DEPTH, EXPERIMENT_MIN_WIDTH,
-};
+use gsketch_bench::harness::{calibration_probe, EXPERIMENT_DEPTH, EXPERIMENT_MIN_WIDTH};
 use gsketch_bench::*;
 
 fn main() {
@@ -18,7 +16,12 @@ fn main() {
 
     let mut t = Table::new(
         "Table 1 — avg relative error of gSketch vs its outlier sketch (GTGraph)",
-        &["memory", "gSketch (all queries)", "outlier sketch only", "outlier queries"],
+        &[
+            "memory",
+            "gSketch (all queries)",
+            "outlier sketch only",
+            "outlier queries",
+        ],
     );
     for mem in ds.memory_sweep() {
         let mut gs = GSketch::builder()

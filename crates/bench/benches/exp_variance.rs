@@ -7,7 +7,9 @@ use gstream::VarianceStats;
 fn main() {
     let mut t = Table::new(
         "Section 6.1 — variance ratio of edge frequencies",
-        &["dataset", "arrivals", "distinct", "sigma_G", "sigma_V", "ratio"],
+        &[
+            "dataset", "arrivals", "distinct", "sigma_G", "sigma_V", "ratio",
+        ],
     );
     for ds in Dataset::ALL {
         let b = load(ds);

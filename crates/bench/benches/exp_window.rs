@@ -50,7 +50,12 @@ fn main() {
     // Query: per-edge frequency inside each aligned interval.
     let mut t = Table::new(
         "Window — per-interval edge-query avg rel err: windowed gSketch vs ECM-sketch (IP Attack)",
-        &["interval", "windowed gSketch", "ECM-sketch", "interval arrivals"],
+        &[
+            "interval",
+            "windowed gSketch",
+            "ECM-sketch",
+            "interval arrivals",
+        ],
     );
     let mut rng_seed = EXPERIMENT_SEED;
     for w in 0..n_windows {
@@ -74,8 +79,9 @@ fn main() {
             err_w += (windowed.estimate_interval(q, t0, t1) - f).abs() / f;
             // The ECM-sketch answers suffix windows [start, now]; an
             // interval is the difference of two suffixes.
-            let interval_est =
-                ecm.estimate(q.key(), t0).saturating_sub(ecm.estimate(q.key(), t1)) as f64;
+            let interval_est = ecm
+                .estimate(q.key(), t0)
+                .saturating_sub(ecm.estimate(q.key(), t1)) as f64;
             err_e += (interval_est - f).abs() / f;
         }
         let n = queries.len() as f64;

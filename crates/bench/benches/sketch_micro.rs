@@ -1,7 +1,9 @@
 //! Criterion micro-benchmarks of the synopsis substrate: update and
 //! point-estimate throughput for CountMin and the assembled gSketch.
+//! After the Criterion pass, a direct timing pass appends the headline
+//! rates to `BENCH_ingest.json` (DESIGN.md §3).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{black_box, criterion_group, Criterion, Throughput};
 use gsketch::{GSketch, GlobalSketch};
 use gsketch_bench::*;
 use sketch::CountMinSketch;
@@ -67,4 +69,71 @@ criterion_group! {
     config = Criterion::default().sample_size(30);
     targets = bench_countmin, bench_gsketch
 }
-criterion_main!(benches);
+
+/// Direct (non-Criterion) timing pass feeding the perf-trajectory file.
+fn record_trajectory() {
+    use gsketch_bench::trajectory::{rate_of, record_section, Throughput as Rates};
+    use serde::Value;
+
+    const N: u64 = 2_000_000;
+    let mut cm = CountMinSketch::new(1 << 16, 3, 7).unwrap();
+    let cm_updates = rate_of(N, || {
+        let mut i = 0u64;
+        for _ in 0..N {
+            i = i.wrapping_add(0x9E37_79B9);
+            cm.update(black_box(i), 1);
+        }
+    });
+    let cm_estimates = rate_of(N, || {
+        let mut i = 0u64;
+        for _ in 0..N {
+            i = i.wrapping_add(0x9E37_79B9);
+            black_box(cm.estimate(black_box(i)));
+        }
+    });
+
+    let bundle = Bundle::load(Dataset::Dblp, 0.02, EXPERIMENT_SEED);
+    let sample = bundle.dataset.data_sample(&bundle.stream, EXPERIMENT_SEED);
+    let mut gs = GSketch::builder()
+        .memory_bytes(1 << 20)
+        .build_from_sample(&sample)
+        .unwrap();
+    let edges: Vec<_> = bundle.stream.iter().map(|se| se.edge).collect();
+    let gs_updates = rate_of(N, || {
+        for k in 0..N as usize {
+            gs.update(black_box(edges[k % edges.len()]), 1);
+        }
+    });
+    let gs_estimates = rate_of(N, || {
+        for k in 0..N as usize {
+            black_box(gs.estimate(black_box(edges[k % edges.len()])));
+        }
+    });
+
+    record_section(
+        "sketch_micro",
+        &[("updates_timed", Value::U64(N))],
+        &[
+            Rates {
+                name: "countmin/65536x3".into(),
+                updates_per_sec: cm_updates,
+                estimates_per_sec: cm_estimates,
+            },
+            Rates {
+                name: "gsketch/cm-arena/1MiB".into(),
+                updates_per_sec: gs_updates,
+                estimates_per_sec: gs_estimates,
+            },
+        ],
+    );
+    println!(
+        "trajectory: countmin {cm_updates:.0} u/s, gsketch {gs_updates:.0} u/s → {}",
+        gsketch_bench::trajectory::bench_file().display()
+    );
+}
+
+fn main() {
+    let _ = std::env::args();
+    benches();
+    record_trajectory();
+}

@@ -1,31 +1,54 @@
-use gsketch_bench::*;
+use gsketch::{evaluate_edge_queries, GSketch, GlobalSketch, SketchId, DEFAULT_G0};
 use gsketch_bench::harness::calibration_probe;
-use gsketch::{GSketch, GlobalSketch, evaluate_edge_queries, SketchId, DEFAULT_G0};
+use gsketch_bench::*;
 
 const DEPTH: usize = 1;
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
     for ds in [Dataset::Dblp, Dataset::IpAttack, Dataset::GtGraph] {
         let b = Bundle::load(ds, scale, EXPERIMENT_SEED);
-        println!("{}: stream={} distinct={} N={}", ds.name(), b.stream.len(), b.truth.distinct_edges(), b.truth.total_weight());
+        println!(
+            "{}: stream={} distinct={} N={}",
+            ds.name(),
+            b.stream.len(),
+            b.truth.distinct_edges(),
+            b.truth.total_weight()
+        );
         let sets = {
             use rand::SeedableRng;
             let mut rng = rand::rngs::StdRng::seed_from_u64(EXPERIMENT_SEED);
             gstream::workload::uniform_edge_queries(&b.stream, 10_000, &mut rng)
         };
-        let sets = QuerySets { edges: sets, subgraphs: vec![], workload: vec![] };
+        let sets = QuerySets {
+            edges: sets,
+            subgraphs: vec![],
+            workload: vec![],
+        };
         let sample = b.dataset.data_sample(&b.stream, EXPERIMENT_SEED);
         let rate = sample.len() as f64 / b.stream.len() as f64;
         let probe = calibration_probe(&b.stream);
-        for mem in [512<<10, 1<<20, 2<<20, 4<<20, 8<<20] {
-            let mut gs = GSketch::builder().memory_bytes(mem).sample_rate(rate).seed(1).depth(DEPTH).min_width(64)
-                .build_from_sample_calibrated(&sample, &probe).unwrap();
+        for mem in [512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20] {
+            let mut gs = GSketch::builder()
+                .memory_bytes(mem)
+                .sample_rate(rate)
+                .seed(1)
+                .depth(DEPTH)
+                .min_width(64)
+                .build_from_sample_calibrated(&sample, &probe)
+                .unwrap();
             gs.ingest(&b.stream);
             let mut gl = GlobalSketch::new(mem, DEPTH, 1).unwrap();
             gl.ingest(&b.stream);
             let ga = evaluate_edge_queries(&gs, &sets.edges, &b.truth, DEFAULT_G0);
             let la = evaluate_edge_queries(&gl, &sets.edges, &b.truth, DEFAULT_G0);
-            let out_q = sets.edges.iter().filter(|e| matches!(gs.route(**e), SketchId::Outlier)).count();
+            let out_q = sets
+                .edges
+                .iter()
+                .filter(|e| matches!(gs.route(**e), SketchId::Outlier))
+                .count();
             println!("mem={:>6} parts={:>3} outW={:>5.3} outQ={:>5} gs: err={:>8.2} eff={:>5}  gl: err={:>8.2} eff={:>5}",
                 fmt_bytes(mem), gs.num_partitions(),
                 gs.outlier_weight() as f64 / gs.total_weight() as f64, out_q,

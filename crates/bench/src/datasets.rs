@@ -95,8 +95,7 @@ impl Dataset {
                 // traffic model restores exactly those two behaviours.
                 let arrivals = (8_000_000_f64 * scale).max(1000.0) as usize;
                 let draws = (arrivals / 4).max(500);
-                let scale_log2 =
-                    (((draws / 30).max(2) as f64).log2().ceil() as u32).clamp(4, 16);
+                let scale_log2 = (((draws / 30).max(2) as f64).log2().ceil() as u32).clamp(4, 16);
                 let mut cfg = RmatTrafficConfig::gtgraph(scale_log2, draws, arrivals, seed);
                 cfg.activity_alpha = 1.2;
                 RmatTrafficGenerator::new(cfg).generate()
@@ -136,7 +135,7 @@ impl Dataset {
     /// 5M for GTGraph), scaled to the stream actually generated.
     pub fn workload_sample_size(&self, stream_len: usize) -> usize {
         match self {
-            Dataset::Dblp => (stream_len / 5).max(100),    // 400K / 1.95M
+            Dataset::Dblp => (stream_len / 5).max(100), // 400K / 1.95M
             Dataset::IpAttack => (stream_len / 5).max(100), // 800K / 3.78M
             Dataset::GtGraph => (stream_len / 100).max(100), // 5M / 10^9 → richer at our scale
         }

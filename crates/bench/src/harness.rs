@@ -4,13 +4,13 @@
 
 use crate::datasets::{Bundle, Dataset};
 use gsketch::{
-    evaluate_edge_queries, evaluate_subgraph_queries, Accuracy, Aggregator, GSketch,
-    GlobalSketch, DEFAULT_G0,
+    evaluate_edge_queries, evaluate_subgraph_queries, Accuracy, Aggregator, GSketch, GlobalSketch,
+    DEFAULT_G0,
 };
 use gstream::edge::Edge;
 use gstream::workload::{
-    bfs_subgraph_queries, bfs_subgraph_queries_from_seeds, uniform_distinct_queries,
-    SubgraphQuery, ZipfEdgeSampler, ZipfRank,
+    bfs_subgraph_queries, bfs_subgraph_queries_from_seeds, uniform_distinct_queries, SubgraphQuery,
+    ZipfEdgeSampler, ZipfRank,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -199,7 +199,15 @@ pub fn run_cell(
 ) -> CellResult {
     average_cells(
         (0..REPLICATES)
-            .map(|r| run_cell_once(bundle, sets, scenario, memory_bytes, seed.wrapping_add(r * 7919)))
+            .map(|r| {
+                run_cell_once(
+                    bundle,
+                    sets,
+                    scenario,
+                    memory_bytes,
+                    seed.wrapping_add(r * 7919),
+                )
+            })
             .collect(),
     )
 }
@@ -280,7 +288,13 @@ pub fn run_subgraph_cell(
     average_cells(
         (0..REPLICATES)
             .map(|r| {
-                run_subgraph_cell_once(bundle, sets, scenario, memory_bytes, seed.wrapping_add(r * 7919))
+                run_subgraph_cell_once(
+                    bundle,
+                    sets,
+                    scenario,
+                    memory_bytes,
+                    seed.wrapping_add(r * 7919),
+                )
             })
             .collect(),
     )

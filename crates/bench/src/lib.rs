@@ -4,16 +4,19 @@
 //! (§6). Each `benches/exp_*.rs` target is a `harness = false` binary
 //! that prints the corresponding figure's series as an aligned table;
 //! `benches/{sketch_micro,construction,query_time}.rs` are Criterion
-//! micro-benchmarks. See DESIGN.md §3 for the experiment index and
-//! EXPERIMENTS.md for paper-vs-measured results.
+//! micro-benchmarks and `benches/backend_micro.rs` compares the synopsis
+//! backends. See DESIGN.md §3 for the experiment index;
+//! `sketch_micro` and `backend_micro` additionally append their headline
+//! throughput to `BENCH_ingest.json` via [`trajectory`].
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod datasets;
-pub mod harness;
 pub mod figures;
+pub mod harness;
 pub mod table;
+pub mod trajectory;
 
 pub use datasets::{Bundle, Dataset};
 pub use harness::{

@@ -3,8 +3,8 @@
 
 use crate::args::{parse_bytes, ArgError, ParsedArgs};
 use gsketch::{
-    evaluate_edge_queries, load_gsketch, save_gsketch, AdaptiveConfig, AdaptiveGSketch, GSketch,
-    GlobalSketch, DEFAULT_G0,
+    evaluate_edge_queries, save_gsketch, AdaptiveConfig, AdaptiveGSketch, CmArena, CountMinSketch,
+    CountSketch, FrequencySketch, GSketch, GSketchBuilder, GlobalSketch, DEFAULT_G0,
 };
 use gstream::gen::{
     dblp, ipattack, DblpConfig, ErdosRenyiConfig, ErdosRenyiGenerator, IpAttackConfig, RmatConfig,
@@ -57,9 +57,12 @@ USAGE:
   gsketch stats <stream-file> [--top K]
   gsketch build <stream-file> --memory SIZE --out SNAPSHOT
       [--sample-frac F] [--depth D] [--min-width W] [--seed S]
+      [--backend arena|countmin|countsketch]
   gsketch query <snapshot> <src> <dst> [<src> <dst> ...] [--stream FILE]
-      (--stream adds exact ground truth next to each estimate)
+      (--stream adds exact ground truth next to each estimate;
+       the snapshot's synopsis backend is detected automatically)
   gsketch compare <stream-file> --memory SIZE [--queries N] [--depth D] [--seed S]
+      [--backend arena|countmin|countsketch]
   gsketch adaptive <stream-file> --memory SIZE [--warmup N] [--queries N] [--seed S]
       (sample-free: the stream prefix replaces the data sample)
   gsketch structural <stream-file> [--top K] [--triangle-p P]
@@ -108,8 +111,12 @@ fn cmd_generate<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
         }
         "rmat-traffic" => {
             let scale = (vertices.max(2) as f64).log2().ceil() as u32;
-            let mut cfg =
-                RmatTrafficConfig::gtgraph(scale.clamp(1, 31), (arrivals / 4).max(10), arrivals, seed);
+            let mut cfg = RmatTrafficConfig::gtgraph(
+                scale.clamp(1, 31),
+                (arrivals / 4).max(10),
+                arrivals,
+                seed,
+            );
             cfg.activity_alpha = a.get_or("alpha", 1.2)?;
             RmatTrafficGenerator::new(cfg).generate()
         }
@@ -133,10 +140,8 @@ fn cmd_generate<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
                 ..IpAttackConfig::default()
             })
         }
-        "erdos" => {
-            ErdosRenyiGenerator::new(ErdosRenyiConfig::new(vertices.max(2), arrivals, seed))
-                .generate()
-        }
+        "erdos" => ErdosRenyiGenerator::new(ErdosRenyiConfig::new(vertices.max(2), arrivals, seed))
+            .generate(),
         "smallworld" => {
             let mut cfg = SmallWorldConfig::new(vertices.max(4), arrivals, seed);
             cfg.zipf_alpha = a.get_or("alpha", 1.2)?;
@@ -180,10 +185,52 @@ fn cmd_stats<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Which synopsis backend a CLI command should build on
+/// (`--backend`, DESIGN.md §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    /// Contiguous counter slab (the default).
+    Arena,
+    /// Classic one-allocation-per-partition CountMin layout.
+    CountMin,
+    /// Unbiased CountSketch estimates (ablation).
+    CountSketch,
+}
+
+impl Backend {
+    fn parse(a: &ParsedArgs) -> Result<Self, CliError> {
+        match a.get("backend").unwrap_or(CmArena::KIND) {
+            "arena" => Ok(Backend::Arena),
+            k if k == CmArena::KIND => Ok(Backend::Arena),
+            k if k == CountMinSketch::KIND => Ok(Backend::CountMin),
+            k if k == CountSketch::KIND => Ok(Backend::CountSketch),
+            other => Err(CliError::Args(ArgError(format!(
+                "unknown backend `{other}` (arena, countmin, countsketch)"
+            )))),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Backend::Arena => CmArena::KIND,
+            Backend::CountMin => CountMinSketch::KIND,
+            Backend::CountSketch => CountSketch::KIND,
+        }
+    }
+}
+
 fn cmd_build<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
     let a = ParsedArgs::parse(
         raw.iter().cloned(),
-        &["memory", "out", "sample-frac", "depth", "min-width", "seed"],
+        &[
+            "memory",
+            "out",
+            "sample-frac",
+            "depth",
+            "min-width",
+            "seed",
+            "backend",
+        ],
     )?;
     let stream_path = a.positional(0, "stream-file")?;
     let memory = parse_bytes(&a.require::<String>("memory")?)?;
@@ -197,31 +244,88 @@ fn cmd_build<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
     let depth: usize = a.get_or("depth", 1)?;
     let min_width: usize = a.get_or("min-width", 64)?;
     let seed: u64 = a.get_or("seed", 42)?;
+    let backend = Backend::parse(&a)?;
 
     let stream = load_stream(stream_path).map_err(run_err)?;
     let k = ((stream.len() as f64 * sample_frac) as usize).max(1);
     let mut rng = StdRng::seed_from_u64(seed);
     let sample = sample_iter(stream.iter().copied(), k, &mut rng);
-    let mut sketch = GSketch::builder()
+    let builder = GSketch::builder()
         .memory_bytes(memory)
         .depth(depth)
         .min_width(min_width)
         .sample_rate(sample_frac)
-        .seed(seed)
-        .build_from_sample(&sample)
-        .map_err(run_err)?;
-    sketch.ingest(&stream);
-    save_gsketch(&snapshot_path, &sketch).map_err(run_err)?;
+        .seed(seed);
+
+    fn build_ingest_save<B: FrequencySketch>(
+        builder: GSketchBuilder,
+        sample: &[StreamEdge],
+        stream: &[StreamEdge],
+        path: &str,
+    ) -> Result<(usize, usize), CliError> {
+        let mut sketch: GSketch<B> = builder.build_from_sample_backend(sample).map_err(run_err)?;
+        // Batched ingest groups arrivals by partition slot for locality.
+        for chunk in stream.chunks(1 << 16) {
+            sketch.ingest_batch(chunk);
+        }
+        save_gsketch(path, &sketch).map_err(run_err)?;
+        Ok((sketch.num_partitions(), sketch.bytes()))
+    }
+
+    let (partitions, bytes) = match backend {
+        Backend::Arena => build_ingest_save::<CmArena>(builder, &sample, &stream, &snapshot_path)?,
+        Backend::CountMin => {
+            build_ingest_save::<CountMinSketch>(builder, &sample, &stream, &snapshot_path)?
+        }
+        Backend::CountSketch => {
+            build_ingest_save::<CountSketch>(builder, &sample, &stream, &snapshot_path)?
+        }
+    };
     writeln!(
         out,
-        "built {} partitions over {} bytes from a {}-edge sample; ingested {} arrivals; snapshot: {snapshot_path}",
-        sketch.num_partitions(),
-        sketch.bytes(),
+        "built {partitions} partitions ({} backend) over {bytes} bytes from a {}-edge sample; ingested {} arrivals; snapshot: {snapshot_path}",
+        backend.name(),
         sample.len(),
         stream.len(),
     )
     .map_err(run_err)?;
     Ok(())
+}
+
+/// A snapshot restored with whichever backend it was built on.
+enum AnySnapshot {
+    Arena(Box<GSketch<CmArena>>),
+    CountMin(Box<GSketch<CountMinSketch>>),
+    CountSketch(Box<GSketch<CountSketch>>),
+}
+
+impl AnySnapshot {
+    /// Parse the snapshot envelope once, dispatch on its kind tag, and
+    /// decode the body exactly once under the matching backend.
+    fn load(path: &str) -> Result<Self, CliError> {
+        let raw = gsketch::RawSnapshot::open(path).map_err(run_err)?;
+        match raw.kind() {
+            k if k == format!("gsketch:{}", CountMinSketch::KIND) => Ok(AnySnapshot::CountMin(
+                Box::new(raw.decode_gsketch().map_err(run_err)?),
+            )),
+            k if k == format!("gsketch:{}", CountSketch::KIND) => Ok(AnySnapshot::CountSketch(
+                Box::new(raw.decode_gsketch().map_err(run_err)?),
+            )),
+            // The arena is the default; let its decode report precise
+            // kind/version errors for anything unrecognized.
+            _ => Ok(AnySnapshot::Arena(Box::new(
+                raw.decode_gsketch().map_err(run_err)?,
+            ))),
+        }
+    }
+
+    fn estimate_detailed(&self, edge: Edge) -> gsketch::Estimate {
+        match self {
+            AnySnapshot::Arena(g) => g.estimate_detailed(edge),
+            AnySnapshot::CountMin(g) => g.estimate_detailed(edge),
+            AnySnapshot::CountSketch(g) => g.estimate_detailed(edge),
+        }
+    }
 }
 
 fn cmd_query<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
@@ -233,7 +337,7 @@ fn cmd_query<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
             "queries come as `<src> <dst>` pairs".into(),
         )));
     }
-    let sketch = load_gsketch(snapshot_path).map_err(run_err)?;
+    let sketch = AnySnapshot::load(snapshot_path)?;
     let truth = match a.get("stream") {
         Some(p) => Some(ExactCounter::from_stream(&load_stream(p).map_err(run_err)?)),
         None => None,
@@ -269,7 +373,14 @@ fn cmd_query<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
 fn cmd_compare<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
     let a = ParsedArgs::parse(
         raw.iter().cloned(),
-        &["memory", "queries", "depth", "seed", "sample-frac"],
+        &[
+            "memory",
+            "queries",
+            "depth",
+            "seed",
+            "sample-frac",
+            "backend",
+        ],
     )?;
     let stream_path = a.positional(0, "stream-file")?;
     let memory = parse_bytes(&a.require::<String>("memory")?)?;
@@ -277,6 +388,7 @@ fn cmd_compare<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
     let depth: usize = a.get_or("depth", 1)?;
     let seed: u64 = a.get_or("seed", 42)?;
     let sample_frac: f64 = a.get_or("sample-frac", 0.05)?;
+    let backend = Backend::parse(&a)?;
 
     let stream = load_stream(stream_path).map_err(run_err)?;
     let truth = ExactCounter::from_stream(&stream);
@@ -284,29 +396,58 @@ fn cmd_compare<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
     let k = ((stream.len() as f64 * sample_frac) as usize).max(1);
     let sample = sample_iter(stream.iter().copied(), k, &mut rng);
 
-    let mut gs = GSketch::builder()
+    let builder = GSketch::builder()
         .memory_bytes(memory)
         .depth(depth)
         .min_width(64)
         .sample_rate(sample_frac)
-        .seed(seed)
-        .build_from_sample(&sample)
-        .map_err(run_err)?;
-    gs.ingest(&stream);
+        .seed(seed);
     let mut gl = GlobalSketch::new(memory, depth, seed).map_err(run_err)?;
     gl.ingest(&stream);
 
     let queries = uniform_distinct_queries(&truth, n_queries, &mut rng);
-    let acc_gs = evaluate_edge_queries(&gs, &queries, &truth, DEFAULT_G0);
+
+    fn eval_backend<B: FrequencySketch>(
+        builder: GSketchBuilder,
+        sample: &[StreamEdge],
+        stream: &[StreamEdge],
+        queries: &[Edge],
+        truth: &ExactCounter,
+    ) -> Result<(gsketch::Accuracy, usize), CliError> {
+        let mut gs: GSketch<B> = builder.build_from_sample_backend(sample).map_err(run_err)?;
+        for chunk in stream.chunks(1 << 16) {
+            gs.ingest_batch(chunk);
+        }
+        Ok((
+            evaluate_edge_queries(&gs, queries, truth, DEFAULT_G0),
+            gs.num_partitions(),
+        ))
+    }
+
+    let (acc_gs, partitions) = match backend {
+        Backend::Arena => eval_backend::<CmArena>(builder, &sample, &stream, &queries, &truth)?,
+        Backend::CountMin => {
+            eval_backend::<CountMinSketch>(builder, &sample, &stream, &queries, &truth)?
+        }
+        Backend::CountSketch => {
+            eval_backend::<CountSketch>(builder, &sample, &stream, &queries, &truth)?
+        }
+    };
     let acc_gl = evaluate_edge_queries(&gl, &queries, &truth, DEFAULT_G0);
-    writeln!(out, "queries: {} uniform over distinct edges", queries.len()).map_err(run_err)?;
     writeln!(
         out,
-        "gSketch: avg rel err {:.3}, effective {} / {}  ({} partitions)",
+        "queries: {} uniform over distinct edges",
+        queries.len()
+    )
+    .map_err(run_err)?;
+    writeln!(
+        out,
+        "gSketch: avg rel err {:.3}, effective {} / {}  ({} partitions, {} backend)",
         acc_gs.avg_relative_error,
         acc_gs.effective_queries,
         acc_gs.total_queries,
-        gs.num_partitions(),
+        partitions,
+        backend.name(),
     )
     .map_err(run_err)?;
     writeln!(
@@ -492,7 +633,14 @@ mod tests {
     fn generate_then_stats_round_trip() {
         let path = tmp("gen_stats.txt");
         let text = run(&[
-            "generate", "erdos", "--out", &path, "--arrivals", "5000", "--vertices", "100",
+            "generate",
+            "erdos",
+            "--out",
+            &path,
+            "--arrivals",
+            "5000",
+            "--vertices",
+            "100",
         ])
         .unwrap();
         assert!(text.contains("5000 arrivals"));
@@ -503,11 +651,26 @@ mod tests {
 
     #[test]
     fn all_models_generate() {
-        for model in ["rmat", "rmat-traffic", "dblp", "ipattack", "erdos", "smallworld"] {
+        for model in [
+            "rmat",
+            "rmat-traffic",
+            "dblp",
+            "ipattack",
+            "erdos",
+            "smallworld",
+        ] {
             let path = tmp(&format!("model_{model}.txt"));
             let r = run(&[
-                "generate", model, "--out", &path, "--arrivals", "2000", "--vertices", "64",
-                "--seed", "3",
+                "generate",
+                model,
+                "--out",
+                &path,
+                "--arrivals",
+                "2000",
+                "--vertices",
+                "64",
+                "--seed",
+                "3",
             ]);
             assert!(r.is_ok(), "model {model} failed: {:?}", r.err());
         }
@@ -517,13 +680,26 @@ mod tests {
     fn build_query_pipeline() {
         let stream = tmp("pipeline.txt");
         run(&[
-            "generate", "smallworld", "--out", &stream, "--arrivals", "20000", "--vertices",
+            "generate",
+            "smallworld",
+            "--out",
+            &stream,
+            "--arrivals",
+            "20000",
+            "--vertices",
             "200",
         ])
         .unwrap();
         let snap = tmp("pipeline.snapshot.json");
         let built = run(&[
-            "build", &stream, "--memory", "64K", "--out", &snap, "--sample-frac", "0.2",
+            "build",
+            &stream,
+            "--memory",
+            "64K",
+            "--out",
+            &snap,
+            "--sample-frac",
+            "0.2",
         ])
         .unwrap();
         assert!(built.contains("partitions"));
@@ -543,7 +719,13 @@ mod tests {
     fn compare_reports_gain() {
         let stream = tmp("compare.txt");
         run(&[
-            "generate", "smallworld", "--out", &stream, "--arrivals", "30000", "--vertices",
+            "generate",
+            "smallworld",
+            "--out",
+            &stream,
+            "--arrivals",
+            "30000",
+            "--vertices",
             "300",
         ])
         .unwrap();
@@ -557,12 +739,25 @@ mod tests {
     fn adaptive_command_reports_both_systems() {
         let stream = tmp("adaptive.txt");
         run(&[
-            "generate", "rmat-traffic", "--out", &stream, "--arrivals", "30000", "--vertices",
+            "generate",
+            "rmat-traffic",
+            "--out",
+            &stream,
+            "--arrivals",
+            "30000",
+            "--vertices",
             "1024",
         ])
         .unwrap();
         let text = run(&[
-            "adaptive", &stream, "--memory", "32K", "--warmup", "3000", "--queries", "2000",
+            "adaptive",
+            &stream,
+            "--memory",
+            "32K",
+            "--warmup",
+            "3000",
+            "--queries",
+            "2000",
         ])
         .unwrap();
         assert!(text.contains("partitions (no sample used)"));
@@ -574,7 +769,13 @@ mod tests {
     fn structural_reports_triangles_and_hubs() {
         let stream = tmp("structural.txt");
         run(&[
-            "generate", "smallworld", "--out", &stream, "--arrivals", "10000", "--vertices",
+            "generate",
+            "smallworld",
+            "--out",
+            &stream,
+            "--arrivals",
+            "10000",
+            "--vertices",
             "100",
         ])
         .unwrap();
@@ -586,9 +787,101 @@ mod tests {
     }
 
     #[test]
+    fn build_query_round_trips_every_backend() {
+        let stream = tmp("backends.txt");
+        run(&[
+            "generate",
+            "smallworld",
+            "--out",
+            &stream,
+            "--arrivals",
+            "10000",
+            "--vertices",
+            "100",
+        ])
+        .unwrap();
+        for backend in ["arena", "countmin", "countsketch"] {
+            let snap = tmp(&format!("backends.{backend}.json"));
+            let built = run(&[
+                "build",
+                &stream,
+                "--memory",
+                "64K",
+                "--out",
+                &snap,
+                "--sample-frac",
+                "0.2",
+                "--backend",
+                backend,
+            ])
+            .unwrap();
+            let tag = if backend == "arena" {
+                "cm-arena"
+            } else {
+                backend
+            };
+            assert!(built.contains(tag), "{backend}: {built}");
+            // Query auto-detects the snapshot's backend.
+            let q = run(&["query", &snap, "0", "1", "--stream", &stream]).unwrap();
+            assert!(q.contains("estimate"), "{backend}: {q}");
+        }
+    }
+
+    #[test]
+    fn compare_accepts_backend_flag() {
+        let stream = tmp("compare_backend.txt");
+        run(&[
+            "generate",
+            "smallworld",
+            "--out",
+            &stream,
+            "--arrivals",
+            "10000",
+            "--vertices",
+            "100",
+        ])
+        .unwrap();
+        let text = run(&[
+            "compare",
+            &stream,
+            "--memory",
+            "16K",
+            "--queries",
+            "500",
+            "--backend",
+            "countmin",
+        ])
+        .unwrap();
+        assert!(text.contains("countmin backend"));
+    }
+
+    #[test]
+    fn unknown_backend_rejected() {
+        let e = run(&[
+            "build",
+            "x.txt",
+            "--memory",
+            "64K",
+            "--out",
+            "y.json",
+            "--backend",
+            "bogus",
+        ])
+        .unwrap_err();
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
     fn build_validates_sample_frac() {
         let e = run(&[
-            "build", "x.txt", "--memory", "64K", "--out", "y.json", "--sample-frac", "0",
+            "build",
+            "x.txt",
+            "--memory",
+            "64K",
+            "--out",
+            "y.json",
+            "--sample-frac",
+            "0",
         ])
         .unwrap_err();
         assert!(e.to_string().contains("sample-frac"));

@@ -51,7 +51,10 @@ fn main() {
     let queries = uniform_distinct_queries(&truth, 5_000, &mut rng);
     let a = evaluate_edge_queries(&gs, &queries, &truth, DEFAULT_G0);
     let b = evaluate_edge_queries(&global, &queries, &truth, DEFAULT_G0);
-    println!("\n'How many times did X attack Y?' over {} queries:", queries.len());
+    println!(
+        "\n'How many times did X attack Y?' over {} queries:",
+        queries.len()
+    );
     println!(
         "gSketch: avg rel err {:.2}, effective {}",
         a.avg_relative_error, a.effective_queries

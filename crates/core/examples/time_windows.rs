@@ -27,10 +27,12 @@ fn main() {
         for t in 0..day {
             let ts = d * day + t;
             if t < day / 2 {
-                w.insert(StreamEdge::unit(Edge::new(1u32, 2u32), ts)).unwrap();
+                w.insert(StreamEdge::unit(Edge::new(1u32, 2u32), ts))
+                    .unwrap();
             }
             if d == 2 {
-                w.insert(StreamEdge::unit(Edge::new(3u32, 4u32), ts)).unwrap();
+                w.insert(StreamEdge::unit(Edge::new(3u32, 4u32), ts))
+                    .unwrap();
             }
             // Background chatter.
             w.insert(StreamEdge::unit(

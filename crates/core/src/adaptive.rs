@@ -216,8 +216,8 @@ impl AdaptiveGSketch {
         let warmup_bytes = (cfg.memory_bytes as f64 * cfg.warmup_memory_fraction) as usize;
         let cells = CountMinSketch::cells_for_bytes(warmup_bytes);
         let width = (cells / cfg.depth.max(1)).max(4);
-        let warmup =
-            CountMinSketch::new(width, cfg.depth, cfg.seed)?.with_policy(UpdatePolicy::Conservative);
+        let warmup = CountMinSketch::new(width, cfg.depth, cfg.seed)?
+            .with_policy(UpdatePolicy::Conservative);
         Ok(Self {
             cfg,
             warmup,

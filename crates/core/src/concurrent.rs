@@ -1,46 +1,50 @@
 //! Concurrent ingest (an engineering extension beyond the paper).
 //!
-//! gSketch's partitioned layout shards naturally: each localized sketch
-//! gets its own lock, so writers updating edges routed to different
-//! partitions never contend. The router itself is read-only after
-//! construction. This module exists because real deployments ingest from
-//! multiple network threads; the paper's experiments are single-threaded
-//! and none of the reproduction benches depend on this type.
+//! gSketch's partitioned layout shards naturally: writers whose edges
+//! route to different partitions touch disjoint slices of the counter
+//! slab, and the router itself is read-only after construction. Since
+//! the arena refactor (DESIGN.md §2) this module no longer takes a lock
+//! per partition: the synopsis is an [`AtomicCmArena`] — the same
+//! contiguous slab as the sequential [`CmArena`](sketch::CmArena) with
+//! `AtomicU64` cells — so updates are lock-free saturating CAS adds and
+//! contention is striped across slots (per-slot total counters included)
+//! instead of serialized behind `Vec<Mutex<CountMinSketch>>`. This module
+//! exists because real deployments ingest from multiple network threads;
+//! the paper's experiments are single-threaded.
 
 use crate::gsketch::GSketch;
+use crate::partition::PartitionPlan;
 use crate::router::{Router, SketchId};
 use gstream::edge::{Edge, StreamEdge};
-use parking_lot::Mutex;
-use sketch::CountMinSketch;
+use sketch::AtomicCmArena;
 
-/// A thread-safe gSketch supporting shared-reference ingest.
+/// A thread-safe gSketch supporting shared-reference ingest over the
+/// default arena backend.
 #[derive(Debug)]
 pub struct ConcurrentGSketch {
-    partitions: Vec<Mutex<CountMinSketch>>,
-    outlier: Mutex<CountMinSketch>,
+    bank: AtomicCmArena,
     router: Router,
+    plan: PartitionPlan,
     depth: usize,
 }
 
 impl ConcurrentGSketch {
-    /// Shard a built [`GSketch`] into a concurrent one.
+    /// Freeze a built [`GSketch`] into a concurrent one.
     pub fn from_gsketch(g: GSketch) -> Self {
-        let (partitions, outlier, router, depth) = g.into_parts();
+        let (bank, router, plan, depth) = g.into_parts();
         Self {
-            partitions: partitions.into_iter().map(Mutex::new).collect(),
-            outlier: Mutex::new(outlier),
+            bank: bank.into_atomic(),
             router,
+            plan,
             depth,
         }
     }
 
     /// Record one arrival (callable from any thread).
+    #[inline]
     pub fn update(&self, edge: Edge, weight: u64) {
-        let key = edge.key();
-        match self.router.route(edge.src) {
-            SketchId::Partition(i) => self.partitions[i as usize].lock().update(key, weight),
-            SketchId::Outlier => self.outlier.lock().update(key, weight),
-        }
+        let slot = self.router.slot(edge.src);
+        self.bank.update_slot(slot, edge.key(), weight);
     }
 
     /// Ingest a slice of arrivals.
@@ -50,31 +54,27 @@ impl ConcurrentGSketch {
         }
     }
 
-    /// Estimate the aggregate frequency of an edge.
+    /// Estimate the aggregate frequency of an edge. Lock-free; sees every
+    /// update that happened-before the call.
     pub fn estimate(&self, edge: Edge) -> u64 {
-        let key = edge.key();
-        match self.router.route(edge.src) {
-            SketchId::Partition(i) => self.partitions[i as usize].lock().estimate(key),
-            SketchId::Outlier => self.outlier.lock().estimate(key),
-        }
+        let slot = self.router.slot(edge.src);
+        self.bank.estimate_slot(slot, edge.key())
     }
 
-    /// Number of partitioned sketches (lock shards).
+    /// Which sketch serves `edge`.
+    pub fn route(&self, edge: Edge) -> SketchId {
+        self.router.route(edge.src)
+    }
+
+    /// Number of partitioned sketches (contention stripes).
     pub fn num_partitions(&self) -> usize {
-        self.partitions.len()
+        self.bank.num_slots() - 1
     }
 
-    /// Reassemble a sequential [`GSketch`].
+    /// Thaw back into a sequential [`GSketch`]. Requires exclusive
+    /// ownership, so no updates can be in flight.
     pub fn into_gsketch(self) -> GSketch {
-        GSketch::from_parts(
-            self.partitions
-                .into_iter()
-                .map(Mutex::into_inner)
-                .collect(),
-            self.outlier.into_inner(),
-            self.router,
-            self.depth,
-        )
+        GSketch::from_parts(self.bank.into_arena(), self.router, self.plan, self.depth)
     }
 }
 
@@ -127,7 +127,7 @@ mod tests {
         let shared = Edge::new(1u32, 1001u32);
         assert!(c.estimate(shared) >= threads as u64 * per_thread);
         // Counter totals must reflect every update exactly (no lost
-        // increments under the locks).
+        // increments under the atomic adds).
         let g = Arc::try_unwrap(c).unwrap().into_gsketch();
         assert_eq!(g.total_weight(), threads as u64 * per_thread * 2);
     }
@@ -139,5 +139,25 @@ mod tests {
         c.update(e, 11);
         let g = c.into_gsketch();
         assert!(g.estimate(e) >= 11);
+    }
+
+    #[test]
+    fn roundtrip_preserves_routing_and_plan() {
+        let sample: Vec<StreamEdge> = (0..100u32)
+            .map(|v| StreamEdge::unit(Edge::new(v, v + 1000), v as u64))
+            .collect();
+        let g = GSketch::builder()
+            .memory_bytes(1 << 16)
+            .min_width(32)
+            .build_from_sample(&sample)
+            .unwrap();
+        let partitions = g.num_partitions();
+        let routes: Vec<SketchId> = sample.iter().map(|se| g.route(se.edge)).collect();
+        let back = ConcurrentGSketch::from_gsketch(g).into_gsketch();
+        assert_eq!(back.num_partitions(), partitions);
+        assert_eq!(back.plan().len(), partitions);
+        for (se, r) in sample.iter().zip(routes) {
+            assert_eq!(back.route(se.edge), r);
+        }
     }
 }

@@ -1,12 +1,23 @@
-//! The gSketch structure: a set of localized CountMin sketches plus an
+//! The gSketch structure: a set of localized frequency sketches plus an
 //! outlier sketch, built by sample-driven partitioning (§4–§5).
+//!
+//! Since the arena refactor (DESIGN.md §2) the synopsis storage is
+//! pluggable: [`GSketch<B>`] is generic over a
+//! [`FrequencySketch`](sketch::FrequencySketch) backend and stores all
+//! slots in that backend's [`SketchBank`]. The default backend is
+//! [`CmArena`](sketch::CmArena) — every partition's counters plus the
+//! outlier's in one contiguous slab with a single shared per-row hash
+//! family — and the classic one-allocation-per-partition CountMin layout
+//! remains available as `GSketch<CountMinSketch>`. Both layouts produce
+//! **bit-identical estimates** at equal build parameters (the
+//! `backend_parity` proptests pin this), so the choice is purely about
+//! memory behaviour.
 
 use crate::partition::{partition, Objective, PartitionConfig, PartitionPlan, WidthAllocation};
 use crate::router::{Router, SketchId};
 use crate::vstats::SampleStats;
 use gstream::edge::{Edge, StreamEdge};
-use serde::{Deserialize, Serialize};
-use sketch::{CountMinSketch, SketchError};
+use sketch::{CmArena, CountMinSketch, FrequencySketch, SketchBank, SketchError};
 
 /// Builder-style configuration for a [`GSketch`].
 #[derive(Debug, Clone, Copy)]
@@ -92,8 +103,8 @@ impl GSketchBuilder {
         self
     }
 
-    /// Seed for all hash families (estimates are deterministic given the
-    /// seed and the stream).
+    /// Seed for the shared hash family (estimates are deterministic given
+    /// the seed and the stream).
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -143,6 +154,14 @@ impl GSketchBuilder {
 
     /// Scenario 1 (§4.1): partition using a data sample only.
     pub fn build_from_sample(self, data_sample: &[StreamEdge]) -> Result<GSketch, SketchError> {
+        self.build_from_sample_backend::<CmArena>(data_sample)
+    }
+
+    /// [`Self::build_from_sample`] with an explicit synopsis backend.
+    pub fn build_from_sample_backend<B: FrequencySketch>(
+        self,
+        data_sample: &[StreamEdge],
+    ) -> Result<GSketch<B>, SketchError> {
         let stats = SampleStats::from_data_sample(data_sample);
         self.build(stats, Objective::DataOnly, None)
     }
@@ -152,6 +171,14 @@ impl GSketchBuilder {
     /// ([`crate::adaptive`]), whose warm-up phase accumulates the
     /// statistics online; it uses the scenario-1 objective (Eq. 9).
     pub fn build_from_stats(self, stats: SampleStats) -> Result<GSketch, SketchError> {
+        self.build_from_stats_backend::<CmArena>(stats)
+    }
+
+    /// [`Self::build_from_stats`] with an explicit synopsis backend.
+    pub fn build_from_stats_backend<B: FrequencySketch>(
+        self,
+        stats: SampleStats,
+    ) -> Result<GSketch<B>, SketchError> {
         self.build(stats, Objective::DataOnly, None)
     }
 
@@ -162,6 +189,15 @@ impl GSketchBuilder {
         data_sample: &[StreamEdge],
         workload_sample: &[Edge],
     ) -> Result<GSketch, SketchError> {
+        self.build_with_workload_backend::<CmArena>(data_sample, workload_sample)
+    }
+
+    /// [`Self::build_with_workload`] with an explicit synopsis backend.
+    pub fn build_with_workload_backend<B: FrequencySketch>(
+        self,
+        data_sample: &[StreamEdge],
+        workload_sample: &[Edge],
+    ) -> Result<GSketch<B>, SketchError> {
         let stats = SampleStats::from_samples(data_sample, workload_sample);
         self.build(stats, Objective::DataWorkload, None)
     }
@@ -181,6 +217,15 @@ impl GSketchBuilder {
         data_sample: &[StreamEdge],
         probe: &[StreamEdge],
     ) -> Result<GSketch, SketchError> {
+        self.build_from_sample_calibrated_backend::<CmArena>(data_sample, probe)
+    }
+
+    /// [`Self::build_from_sample_calibrated`] with an explicit backend.
+    pub fn build_from_sample_calibrated_backend<B: FrequencySketch>(
+        self,
+        data_sample: &[StreamEdge],
+        probe: &[StreamEdge],
+    ) -> Result<GSketch<B>, SketchError> {
         let stats = SampleStats::from_data_sample(data_sample);
         self.build(stats, Objective::DataOnly, Some(probe))
     }
@@ -193,16 +238,26 @@ impl GSketchBuilder {
         workload_sample: &[Edge],
         probe: &[StreamEdge],
     ) -> Result<GSketch, SketchError> {
+        self.build_with_workload_calibrated_backend::<CmArena>(data_sample, workload_sample, probe)
+    }
+
+    /// [`Self::build_with_workload_calibrated`] with an explicit backend.
+    pub fn build_with_workload_calibrated_backend<B: FrequencySketch>(
+        self,
+        data_sample: &[StreamEdge],
+        workload_sample: &[Edge],
+        probe: &[StreamEdge],
+    ) -> Result<GSketch<B>, SketchError> {
         let stats = SampleStats::from_samples(data_sample, workload_sample);
         self.build(stats, Objective::DataWorkload, Some(probe))
     }
 
-    fn build(
+    fn build<B: FrequencySketch>(
         self,
         mut stats: SampleStats,
         objective: Objective,
         probe: Option<&[StreamEdge]>,
-    ) -> Result<GSketch, SketchError> {
+    ) -> Result<GSketch<B>, SketchError> {
         if !(0.0..1.0).contains(&self.outlier_fraction) {
             return Err(SketchError::InvalidAccuracy {
                 what: "outlier_fraction",
@@ -258,8 +313,7 @@ impl GSketchBuilder {
                 (plan, ow)
             }
             _ => {
-                let outlier_width =
-                    ((total_width as f64 * self.outlier_fraction) as usize).max(2);
+                let outlier_width = ((total_width as f64 * self.outlier_fraction) as usize).max(2);
                 let partition_width = total_width - outlier_width;
                 let mut pcfg = PartitionConfig::new(partition_width.max(2));
                 pcfg.min_width = self.min_width.min(partition_width.max(2)).max(2);
@@ -282,21 +336,31 @@ impl GSketchBuilder {
             }
         };
 
-        // Materialize the leaves. If the sample was empty, the outlier
-        // sketch absorbs the whole budget so no memory is wasted.
-        let mut partitions = Vec::with_capacity(plan.len());
-        for (i, leaf) in plan.leaves.iter().enumerate() {
-            partitions.push(CountMinSketch::new(
-                leaf.width,
-                self.depth,
-                self.seed.wrapping_add(1 + i as u64),
-            )?);
-        }
-        let outlier = CountMinSketch::new(outlier_width, self.depth, self.seed)?;
-        let router = Router::from_plan(&plan);
+        self.materialize(plan, outlier_width, None)
+    }
+
+    /// Materialize the synopsis bank from a finished plan: partition
+    /// slots first (in leaf order), the outlier slot last, everything
+    /// sharing one hash family seeded from the builder seed. If the
+    /// sample was empty the outlier absorbs the whole budget. A router
+    /// already built from this plan's vertex grouping may be passed in
+    /// to avoid rebuilding it (leaf *widths* do not affect routing).
+    fn materialize<B: FrequencySketch>(
+        self,
+        plan: PartitionPlan,
+        outlier_width: usize,
+        router: Option<Router>,
+    ) -> Result<GSketch<B>, SketchError> {
+        let widths: Vec<usize> = plan
+            .leaves
+            .iter()
+            .map(|l| l.width)
+            .chain(std::iter::once(outlier_width))
+            .collect();
+        let bank = B::Bank::build(&widths, self.depth, self.seed)?;
+        let router = router.unwrap_or_else(|| Router::from_plan(&plan));
         Ok(GSketch {
-            partitions,
-            outlier,
+            bank,
             router,
             plan,
             depth: self.depth,
@@ -305,13 +369,13 @@ impl GSketchBuilder {
 }
 
 impl GSketchBuilder {
-    fn build_calibrated(
+    fn build_calibrated<B: FrequencySketch>(
         self,
         stats: SampleStats,
         objective: Objective,
         probe: &[StreamEdge],
         total_width: usize,
-    ) -> Result<GSketch, SketchError> {
+    ) -> Result<GSketch<B>, SketchError> {
         use gstream::fxhash::FxHashSet;
 
         let mut pcfg = PartitionConfig::new(total_width);
@@ -326,23 +390,16 @@ impl GSketchBuilder {
         // Route the probe, counting distinct edges per sketch. Relative
         // shares are what matter, so the probe's undercount of the full
         // stream's distinct set cancels (it is uniform across leaves for
-        // an unbiased probe).
-        let mut leaf_edges: Vec<FxHashSet<u64>> = vec![FxHashSet::default(); plan.len()];
-        let mut outlier_edges: FxHashSet<u64> = FxHashSet::default();
+        // an unbiased probe). The outlier is the last slot, so one flat
+        // vector covers leaves and outlier alike.
+        let mut slot_edges: Vec<FxHashSet<u64>> = vec![FxHashSet::default(); plan.len() + 1];
         for se in probe {
-            let key = se.edge.key();
-            match router.route(se.edge.src) {
-                SketchId::Partition(i) => {
-                    leaf_edges[i as usize].insert(key);
-                }
-                SketchId::Outlier => {
-                    outlier_edges.insert(key);
-                }
-            }
+            let slot = router.slot(se.edge.src);
+            slot_edges[slot as usize].insert(se.edge.key());
         }
-        let counts: Vec<usize> = leaf_edges.iter().map(FxHashSet::len).collect();
-        let d_out = outlier_edges.len();
-        let total_d: usize = counts.iter().sum::<usize>() + d_out;
+        let counts: Vec<usize> = slot_edges.iter().map(FxHashSet::len).collect();
+        let d_out = counts[plan.len()];
+        let total_d: usize = counts.iter().sum();
 
         // Guarantee a floor of 2 cells everywhere, distribute the rest
         // proportionally to distinct-edge counts.
@@ -361,22 +418,7 @@ impl GSketchBuilder {
         }
         let outlier_width = 2 + share(d_out);
 
-        let mut partitions = Vec::with_capacity(plan.len());
-        for (i, leaf) in plan.leaves.iter().enumerate() {
-            partitions.push(CountMinSketch::new(
-                leaf.width,
-                self.depth,
-                self.seed.wrapping_add(1 + i as u64),
-            )?);
-        }
-        let outlier = CountMinSketch::new(outlier_width, self.depth, self.seed)?;
-        Ok(GSketch {
-            partitions,
-            outlier,
-            router,
-            plan,
-            depth: self.depth,
-        })
+        self.materialize(plan, outlier_width, Some(router))
     }
 }
 
@@ -386,7 +428,7 @@ impl GSketchBuilder {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Estimate {
     /// The estimated frequency (never below the true frequency, w.h.p.
-    /// exactly per Equation 1).
+    /// exactly per Equation 1, for the CountMin-family backends).
     pub value: u64,
     /// Additive error bound `e·N_i/w_i` of the answering sketch.
     pub error_bound: f64,
@@ -396,63 +438,146 @@ pub struct Estimate {
     pub sketch: SketchId,
 }
 
-/// The gSketch synopsis: partitioned localized CountMin sketches plus an
-/// outlier sketch, with a vertex router deciding placement.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct GSketch {
-    partitions: Vec<CountMinSketch>,
-    outlier: CountMinSketch,
+/// The gSketch synopsis: partitioned localized sketches plus an outlier
+/// sketch in one [`SketchBank`], with a vertex router deciding placement.
+///
+/// Generic over the synopsis backend `B`; the default [`CmArena`] stores
+/// every slot in one contiguous counter slab (see the module docs).
+#[derive(Debug, Clone)]
+pub struct GSketch<B: FrequencySketch = CmArena> {
+    /// Slot `i < num_partitions` is partition `i`; the last slot is the
+    /// outlier sketch (the router uses the same convention).
+    bank: B::Bank,
     router: Router,
     plan: PartitionPlan,
     depth: usize,
 }
 
+// The vendored serde derive cannot express the `B::Bank: Serialize`
+// bound, so the impls are written out; they mirror what the derive would
+// generate for the four fields.
+impl<B: FrequencySketch> serde::Serialize for GSketch<B> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("bank".to_owned(), self.bank.to_value()),
+            ("router".to_owned(), self.router.to_value()),
+            ("plan".to_owned(), self.plan.to_value()),
+            ("depth".to_owned(), self.depth.to_value()),
+        ])
+    }
+}
+
+impl<B: FrequencySketch> serde::Deserialize for GSketch<B> {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let g = Self {
+            bank: serde::Deserialize::from_value(serde::value_field(v, "bank")?)?,
+            router: serde::Deserialize::from_value(serde::value_field(v, "router")?)?,
+            plan: serde::Deserialize::from_value(serde::value_field(v, "plan")?)?,
+            depth: serde::Deserialize::from_value(serde::value_field(v, "depth")?)?,
+        };
+        // The fields decode independently, so a corrupted or hand-edited
+        // snapshot could pair a router with a bank of a different slot
+        // count — which would panic on first use instead of erroring
+        // here, where malformed input is supposed to be reported.
+        if g.router.num_slots() != g.bank.num_slots() {
+            return Err(serde::Error(format!(
+                "router addresses {} slots but the synopsis bank has {}",
+                g.router.num_slots(),
+                g.bank.num_slots()
+            )));
+        }
+        if g.bank.depth() != g.depth {
+            return Err(serde::Error(format!(
+                "declared depth {} but the synopsis bank has depth {}",
+                g.depth,
+                g.bank.depth()
+            )));
+        }
+        Ok(g)
+    }
+}
+
 impl GSketch {
-    /// Start building a gSketch.
+    /// Start building a gSketch (arena backend by default; pick another
+    /// with the builder's `*_backend` methods).
     pub fn builder() -> GSketchBuilder {
         GSketchBuilder::default()
     }
+}
 
-    /// Record one arrival of `edge` with weight `weight`.
+impl<B: FrequencySketch> GSketch<B> {
+    /// Record one arrival of `edge` with weight `weight`. The router
+    /// returns a flat slot (outlier = last slot), so this is a single
+    /// unconditioned bank update.
     #[inline]
     pub fn update(&mut self, edge: Edge, weight: u64) {
-        let key = edge.key();
-        match self.router.route(edge.src) {
-            SketchId::Partition(i) => self.partitions[i as usize].update(key, weight),
-            SketchId::Outlier => self.outlier.update(key, weight),
-        }
+        let slot = self.router.slot(edge.src);
+        self.bank.update(slot, edge.key(), weight);
     }
 
-    /// Ingest a whole stream.
+    /// Ingest a whole stream in arrival order.
     pub fn ingest<'a, I: IntoIterator<Item = &'a StreamEdge>>(&mut self, stream: I) {
         for se in stream {
             self.update(se.edge, se.weight);
         }
     }
 
-    /// Estimate the aggregate frequency `f̃(x, y)` of an edge.
-    #[inline]
-    pub fn estimate(&self, edge: Edge) -> u64 {
-        let key = edge.key();
-        match self.router.route(edge.src) {
-            SketchId::Partition(i) => self.partitions[i as usize].estimate(key),
-            SketchId::Outlier => self.outlier.estimate(key),
+    /// Ingest a batch of arrivals grouped by destination slot: all
+    /// updates landing in the same partition are applied back-to-back, so
+    /// the counter traffic walks one slot's block at a time instead of
+    /// hopping across the whole synopsis (the arena's contiguous layout
+    /// turns that into cache-line reuse). Estimates are identical to
+    /// [`Self::ingest`] — counters are commutative.
+    pub fn ingest_batch(&mut self, batch: &[StreamEdge]) {
+        let n_slots = self.bank.num_slots();
+        let mut counts = vec![0usize; n_slots];
+        let slots: Vec<u32> = batch
+            .iter()
+            .map(|se| self.router.slot(se.edge.src))
+            .collect();
+        for &s in &slots {
+            counts[s as usize] += 1;
+        }
+        // Counting-sort the (key, weight) pairs by slot.
+        let mut cursors = Vec::with_capacity(n_slots);
+        let mut acc = 0usize;
+        for &c in &counts {
+            cursors.push(acc);
+            acc += c;
+        }
+        let starts = cursors.clone();
+        let mut grouped: Vec<(u64, u64)> = vec![(0, 0); batch.len()];
+        for (se, &s) in batch.iter().zip(&slots) {
+            let at = &mut cursors[s as usize];
+            grouped[*at] = (se.edge.key(), se.weight);
+            *at += 1;
+        }
+        for (slot, (&start, &count)) in starts.iter().zip(&counts).enumerate() {
+            for &(key, weight) in &grouped[start..start + count] {
+                self.bank.update(slot as u32, key, weight);
+            }
         }
     }
 
-    /// Estimate with the answering sketch's error bound and confidence.
+    /// Estimate the aggregate frequency `f̃(x, y)` of an edge.
+    #[inline]
+    pub fn estimate(&self, edge: Edge) -> u64 {
+        let slot = self.router.slot(edge.src);
+        self.bank.estimate(slot, edge.key())
+    }
+
+    /// Estimate with the answering sketch's error bound and confidence
+    /// (the CountMin attributes of Equation 1; for a `CountSketch`
+    /// backend the bound is the conservative L1 form, not the tighter L2
+    /// bound that backend actually obeys).
     pub fn estimate_detailed(&self, edge: Edge) -> Estimate {
+        let slot = self.router.slot(edge.src);
         let key = edge.key();
-        let id = self.router.route(edge.src);
-        let sketch = match id {
-            SketchId::Partition(i) => &self.partitions[i as usize],
-            SketchId::Outlier => &self.outlier,
-        };
         Estimate {
-            value: sketch.estimate(key),
-            error_bound: sketch.error_bound(),
-            confidence: sketch.confidence(),
-            sketch: id,
+            value: self.bank.estimate(slot, key),
+            error_bound: self.bank.slot_error_bound(slot),
+            confidence: self.bank.confidence(),
+            sketch: self.router.id_of_slot(slot),
         }
     }
 
@@ -463,7 +588,7 @@ impl GSketch {
 
     /// Number of partitioned (non-outlier) sketches.
     pub fn num_partitions(&self) -> usize {
-        self.partitions.len()
+        self.bank.num_slots() - 1
     }
 
     /// Shared sketch depth `d`.
@@ -473,7 +598,7 @@ impl GSketch {
 
     /// Total counter memory across all sketches, in bytes.
     pub fn bytes(&self) -> usize {
-        self.partitions.iter().map(CountMinSketch::bytes).sum::<usize>() + self.outlier.bytes()
+        self.bank.byte_size()
     }
 
     /// Router memory overhead, in bytes (§5 calls it marginal; exposed so
@@ -484,13 +609,15 @@ impl GSketch {
 
     /// Total stream weight absorbed so far.
     pub fn total_weight(&self) -> u64 {
-        self.partitions.iter().map(CountMinSketch::total).sum::<u64>() + self.outlier.total()
+        (0..self.bank.num_slots())
+            .map(|s| self.bank.slot_total(s as u32))
+            .sum()
     }
 
     /// Stream weight absorbed by the outlier sketch alone (§6.6 studies
     /// this split).
     pub fn outlier_weight(&self) -> u64 {
-        self.outlier.total()
+        self.bank.slot_total(self.router.outlier_slot())
     }
 
     /// The partition plan the sketch was built from (read-only).
@@ -500,76 +627,55 @@ impl GSketch {
 
     /// Per-partition `(width, absorbed weight)` diagnostics.
     pub fn partition_loads(&self) -> Vec<(usize, u64)> {
-        self.partitions
-            .iter()
-            .map(|s| (s.width(), s.total()))
+        (0..self.num_partitions())
+            .map(|s| {
+                (
+                    self.bank.slot_width(s as u32),
+                    self.bank.slot_total(s as u32),
+                )
+            })
             .collect()
     }
 
     /// Merge another gSketch into this one (cell-wise), enabling
     /// *distributed ingest*: clone one built (empty) sketch to `k`
     /// workers, split the stream arbitrarily among them, and merge the
-    /// results — CountMin counters are linear, so the merged sketch is
+    /// results — the counters are linear, so the merged sketch is
     /// bit-identical to one that ingested the whole stream serially.
     ///
-    /// Both sketches must come from the same build (identical partition
-    /// layout, seeds, and routing); anything else is rejected, because
-    /// merging differently-partitioned sketches would silently mix
-    /// unrelated counters.
+    /// Both sketches must come from the same build (identical slot
+    /// layout, seed, and routing); anything else is rejected before any
+    /// counter is touched, because merging differently-partitioned
+    /// sketches would silently mix unrelated counters.
     pub fn merge(&mut self, other: &Self) -> Result<(), SketchError> {
-        if self.partitions.len() != other.partitions.len() {
+        if self.bank.num_slots() != other.bank.num_slots() {
             return Err(SketchError::IncompatibleMerge {
                 reason: format!(
-                    "partition count {} vs {}",
-                    self.partitions.len(),
-                    other.partitions.len()
+                    "slot count {} vs {}",
+                    self.bank.num_slots(),
+                    other.bank.num_slots()
                 ),
             });
         }
-        // CountMinSketch::merge verifies width/depth/hash-family equality
-        // per pair; probe all shapes *first* so a failed merge cannot
-        // leave this sketch half-updated.
-        let compatible = |a: &CountMinSketch, b: &CountMinSketch| {
-            a.width() == b.width() && a.depth() == b.depth()
-        };
-        if !self
-            .partitions
-            .iter()
-            .zip(&other.partitions)
-            .all(|(a, b)| compatible(a, b))
-            || !compatible(&self.outlier, &other.outlier)
-        {
-            return Err(SketchError::IncompatibleMerge {
-                reason: "partition shapes differ (different builds)".into(),
-            });
-        }
-        for (mine, theirs) in self.partitions.iter_mut().zip(&other.partitions) {
-            mine.merge(theirs)?;
-        }
-        self.outlier.merge(&other.outlier)
+        self.bank.merge(&other.bank)
     }
 
     /// Decompose into raw parts (used by [`crate::ConcurrentGSketch`]).
-    pub(crate) fn into_parts(self) -> (Vec<CountMinSketch>, CountMinSketch, Router, usize) {
-        (self.partitions, self.outlier, self.router, self.depth)
+    pub(crate) fn into_parts(self) -> (B::Bank, Router, PartitionPlan, usize) {
+        (self.bank, self.router, self.plan, self.depth)
     }
 
     /// Reassemble from raw parts (used by [`crate::ConcurrentGSketch`]).
-    /// The plan is not preserved across the round trip.
     pub(crate) fn from_parts(
-        partitions: Vec<CountMinSketch>,
-        outlier: CountMinSketch,
+        bank: B::Bank,
         router: Router,
+        plan: PartitionPlan,
         depth: usize,
     ) -> Self {
         Self {
-            partitions,
-            outlier,
+            bank,
             router,
-            plan: PartitionPlan {
-                leaves: Vec::new(),
-                nodes_examined: 0,
-            },
+            plan,
             depth,
         }
     }
@@ -768,6 +874,28 @@ mod tests {
     }
 
     #[test]
+    fn ingest_batch_matches_streaming_ingest() {
+        let stream = skewed_stream();
+        let build = || {
+            GSketch::builder()
+                .memory_bytes(1 << 15)
+                .min_width(64)
+                .seed(5)
+                .build_from_sample(&stream)
+                .unwrap()
+        };
+        let mut streaming = build();
+        streaming.ingest(&stream);
+        let mut batched = build();
+        batched.ingest_batch(&stream);
+        for sev in &stream {
+            assert_eq!(batched.estimate(sev.edge), streaming.estimate(sev.edge));
+        }
+        assert_eq!(batched.total_weight(), streaming.total_weight());
+        assert_eq!(batched.outlier_weight(), streaming.outlier_weight());
+    }
+
+    #[test]
     fn merge_equals_serial_ingest() {
         let stream = skewed_stream();
         let build = || {
@@ -841,6 +969,37 @@ mod tests {
         let _ = a.merge(&b);
         let after: Vec<u64> = stream.iter().map(|se| a.estimate(se.edge)).collect();
         assert_eq!(before, after, "failed merge must not mutate");
+    }
+
+    #[test]
+    fn countmin_backend_builds_and_answers() {
+        let stream = skewed_stream();
+        let mut g = GSketch::builder()
+            .memory_bytes(1 << 16)
+            .min_width(64)
+            .build_from_sample_backend::<CountMinSketch>(&stream)
+            .unwrap();
+        g.ingest(&stream);
+        for sev in &stream {
+            assert!(g.estimate(sev.edge) >= sev.weight);
+        }
+        assert!(g.num_partitions() >= 1);
+    }
+
+    #[test]
+    fn countsketch_backend_builds_and_answers() {
+        use sketch::CountSketch;
+        let stream = skewed_stream();
+        let mut g = GSketch::builder()
+            .memory_bytes(1 << 16)
+            .min_width(64)
+            .build_from_sample_backend::<CountSketch>(&stream)
+            .unwrap();
+        g.ingest(&stream);
+        // CountSketch is unbiased, not one-sided: require ballpark.
+        let heavy = g.estimate(Edge::new(100u32, 300u32));
+        assert!(heavy >= 125, "heavy edge estimate collapsed: {heavy}");
+        assert_eq!(g.total_weight(), stream.iter().map(|s| s.weight).sum());
     }
 
     #[test]

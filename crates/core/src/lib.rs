@@ -51,7 +51,18 @@
 //! | §3.1/§5 edge + subgraph queries | [`query`] |
 //! | §6.2 accuracy metrics | [`metrics`] |
 //! | §5 time-windowed deployment | [`window`] |
-//! | beyond the paper: sharded concurrent ingest | [`concurrent`] |
+//! | beyond the paper: lock-free concurrent ingest | [`concurrent`] |
+//!
+//! ## Synopsis backends
+//!
+//! [`GSketch`] is generic over a [`FrequencySketch`] backend
+//! (DESIGN.md §2). The default, [`CmArena`], keeps every partition's
+//! counters plus the outlier's in **one contiguous slab** with a single
+//! shared per-row hash family; `GSketch<CountMinSketch>` is the classic
+//! one-allocation-per-partition layout, and `GSketch<CountSketch>` swaps
+//! in unbiased L2-error estimates for the ablation benches. Arena and
+//! per-partition layouts return bit-identical estimates at equal build
+//! parameters (pinned by the `backend_parity` proptests).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -74,8 +85,11 @@ pub use global::GlobalSketch;
 pub use gsketch::{Estimate, GSketch, GSketchBuilder};
 pub use metrics::{evaluate_edge_queries, evaluate_subgraph_queries, Accuracy, DEFAULT_G0};
 pub use partition::{Objective, PartitionConfig, PartitionPlan, WidthAllocation};
-pub use persist::{load_gsketch, save_gsketch, PersistError};
+pub use persist::{
+    load_gsketch, load_gsketch_backend, save_gsketch, PersistError, RawSnapshot, FORMAT_VERSION,
+};
 pub use query::{estimate_subgraph, estimate_subgraph_with, Aggregator, EdgeEstimator};
-pub use router::SketchId;
+pub use router::{Router, SketchId};
+pub use sketch::{CmArena, CountMinSketch, CountSketch, FrequencySketch, SketchBank};
 pub use vstats::SampleStats;
 pub use window::{WindowConfig, WindowedGSketch};

@@ -58,10 +58,7 @@ pub fn evaluate_edge_queries<E: EdgeEstimator + ?Sized>(
     let mut sum = 0.0f64;
     let mut effective = 0usize;
     for &q in queries {
-        let e = relative_error(
-            estimator.estimate_edge(q) as f64,
-            truth.frequency(q) as f64,
-        );
+        let e = relative_error(estimator.estimate_edge(q) as f64, truth.frequency(q) as f64);
         sum += e;
         if e <= g0 {
             effective += 1;
@@ -167,8 +164,7 @@ mod tests {
         let queries = vec![SubgraphQuery {
             edges: vec![Edge::new(1u32, 2u32), Edge::new(2u32, 3u32)],
         }];
-        let acc =
-            evaluate_subgraph_queries(&truth, &queries, &truth, Aggregator::Sum, DEFAULT_G0);
+        let acc = evaluate_subgraph_queries(&truth, &queries, &truth, Aggregator::Sum, DEFAULT_G0);
         assert_eq!(acc.avg_relative_error, 0.0);
         assert_eq!(acc.effective_queries, 1);
     }

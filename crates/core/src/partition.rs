@@ -661,8 +661,7 @@ mod tests {
         // Two vertices with identical data behaviour but very different
         // workload weights should be separated under DataWorkload.
         let data = vec![se(1, 10, 50), se(2, 20, 50), se(3, 30, 1), se(4, 40, 1)];
-        let workload: Vec<Edge> = std::iter::repeat_n(Edge::new(3u32, 30u32), 100)
-            .collect();
+        let workload: Vec<Edge> = std::iter::repeat_n(Edge::new(3u32, 30u32), 100).collect();
         let stats = SampleStats::from_samples(&data, &workload);
         let mut cfg = PartitionConfig::new(1 << 14);
         cfg.objective = Objective::DataWorkload;

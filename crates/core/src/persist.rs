@@ -14,13 +14,19 @@
 use crate::global::GlobalSketch;
 use crate::gsketch::GSketch;
 use serde::{Deserialize, Serialize};
+use sketch::FrequencySketch;
 use std::fmt;
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufWriter, Read, Write};
 use std::path::Path;
 
-/// Current snapshot format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current snapshot format version. Version 2 is the arena-backend
+/// layout: the `GSketch` body is a synopsis *bank* (slot widths + one
+/// slab or one sketch per slot) instead of version 1's
+/// partitions/outlier pair, and the envelope kind carries the backend
+/// (`gsketch:cm-arena`, `gsketch:countmin`, ...), so snapshots built
+/// with one backend cannot be silently decoded as another.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Errors produced while saving or loading snapshots.
 #[derive(Debug)]
@@ -36,12 +42,13 @@ pub enum PersistError {
         /// Version this build understands.
         expected: u32,
     },
-    /// The snapshot holds a different kind of sketch than requested.
+    /// The snapshot holds a different kind of sketch (or a different
+    /// synopsis backend) than requested.
     KindMismatch {
         /// Kind found in the file.
         found: String,
         /// Kind the caller asked for.
-        expected: &'static str,
+        expected: String,
     },
 }
 
@@ -54,7 +61,10 @@ impl fmt::Display for PersistError {
                 write!(f, "snapshot version {found} (this build reads {expected})")
             }
             PersistError::KindMismatch { found, expected } => {
-                write!(f, "snapshot holds a `{found}` sketch, expected `{expected}`")
+                write!(
+                    f,
+                    "snapshot holds a `{found}` sketch, expected `{expected}`"
+                )
             }
         }
     }
@@ -90,8 +100,13 @@ struct Envelope<T> {
     sketch: T,
 }
 
-fn check_header(version: u32, kind: &str, expected: &'static str) -> Result<(), PersistError> {
-    if version != FORMAT_VERSION {
+fn check_header(
+    version: u32,
+    accepted: &[u32],
+    kind: &str,
+    expected: &str,
+) -> Result<(), PersistError> {
+    if !accepted.contains(&version) {
         return Err(PersistError::VersionMismatch {
             found: version,
             expected: FORMAT_VERSION,
@@ -100,20 +115,115 @@ fn check_header(version: u32, kind: &str, expected: &'static str) -> Result<(), 
     if kind != expected {
         return Err(PersistError::KindMismatch {
             found: kind.to_owned(),
-            expected,
+            expected: expected.to_owned(),
         });
     }
     Ok(())
 }
 
-/// Serialize a [`GSketch`] snapshot to `w`.
-pub fn write_gsketch<W: Write>(w: W, sketch: &GSketch) -> Result<(), PersistError> {
+/// The envelope kind tag for a `GSketch` with backend `B`.
+fn gsketch_kind<B: FrequencySketch>() -> String {
+    format!("gsketch:{}", B::KIND)
+}
+
+/// A snapshot whose envelope has been parsed but whose body has not been
+/// decoded yet. Lets callers inspect [`kind`](Self::kind) — e.g. to pick
+/// the right `GSketch` backend — and then decode the body exactly once,
+/// instead of speculatively decoding megabytes of counters under the
+/// wrong layout.
+pub struct RawSnapshot {
+    version: u32,
+    kind: String,
+    body: serde::Value,
+}
+
+impl RawSnapshot {
+    /// Parse a snapshot envelope from `r` without decoding the body.
+    pub fn read<R: Read>(mut r: R) -> Result<Self, PersistError> {
+        // read_to_string already reads to EOF in chunks; no BufReader
+        // needed (it would only add an intermediate copy).
+        let mut text = String::new();
+        r.read_to_string(&mut text)?;
+        let v = serde_json::parse(&text)?;
+        let bad = |msg: &str| PersistError::Format(serde::Error(msg.to_owned()).into());
+        // The parse tree is owned, so the (potentially megabytes-large)
+        // body is moved out of the envelope rather than cloned.
+        let serde::Value::Map(entries) = v else {
+            return Err(bad("snapshot envelope is not a JSON object"));
+        };
+        let mut version = None;
+        let mut kind = None;
+        let mut body = None;
+        for (key, value) in entries {
+            match key.as_str() {
+                "format_version" => {
+                    version =
+                        Some(u32::from_value(&value).map_err(|e| PersistError::Format(e.into()))?);
+                }
+                "kind" => {
+                    kind = Some(
+                        String::from_value(&value).map_err(|e| PersistError::Format(e.into()))?,
+                    );
+                }
+                "sketch" => body = Some(value),
+                _ => {}
+            }
+        }
+        Ok(Self {
+            version: version.ok_or_else(|| bad("missing field `format_version`"))?,
+            kind: kind.ok_or_else(|| bad("missing field `kind`"))?,
+            body: body.ok_or_else(|| bad("missing field `sketch`"))?,
+        })
+    }
+
+    /// Open and parse the envelope of the snapshot file at `path`.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, PersistError> {
+        Self::read(File::open(path)?)
+    }
+
+    /// The envelope kind tag (`gsketch:cm-arena`, `global`, ...).
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// Format version recorded in the envelope.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Decode the body as a [`GSketch`] with backend `B`, verifying the
+    /// header first.
+    pub fn decode_gsketch<B: FrequencySketch>(&self) -> Result<GSketch<B>, PersistError> {
+        check_header(
+            self.version,
+            &[FORMAT_VERSION],
+            &self.kind,
+            &gsketch_kind::<B>(),
+        )?;
+        serde::Deserialize::from_value(&self.body).map_err(|e| PersistError::Format(e.into()))
+    }
+
+    /// Decode the body as a [`GlobalSketch`], verifying the header first.
+    /// Version 1 is still accepted for this kind: the arena refactor that
+    /// bumped [`FORMAT_VERSION`] did not change the global-sketch layout.
+    pub fn decode_global(&self) -> Result<GlobalSketch, PersistError> {
+        check_header(self.version, &[1, FORMAT_VERSION], &self.kind, "global")?;
+        serde::Deserialize::from_value(&self.body).map_err(|e| PersistError::Format(e.into()))
+    }
+}
+
+/// Serialize a [`GSketch`] snapshot to `w`. Works for any backend; the
+/// envelope kind records which one (`gsketch:cm-arena` for the default).
+pub fn write_gsketch<W: Write, B: FrequencySketch>(
+    w: W,
+    sketch: &GSketch<B>,
+) -> Result<(), PersistError> {
     let mut out = BufWriter::new(w);
     serde_json::to_writer(
         &mut out,
         &Envelope {
             format_version: FORMAT_VERSION,
-            kind: "gsketch".to_owned(),
+            kind: gsketch_kind::<B>(),
             sketch,
         },
     )?;
@@ -121,21 +231,37 @@ pub fn write_gsketch<W: Write>(w: W, sketch: &GSketch) -> Result<(), PersistErro
     Ok(())
 }
 
-/// Deserialize a [`GSketch`] snapshot from `r`.
-pub fn read_gsketch<R: Read>(r: R) -> Result<GSketch, PersistError> {
-    let env: Envelope<GSketch> = serde_json::from_reader(BufReader::new(r))?;
-    check_header(env.format_version, &env.kind, "gsketch")?;
-    Ok(env.sketch)
+/// Deserialize a [`GSketch`] snapshot from `r`. The snapshot must have
+/// been written with the same backend `B` — the kind tag is checked
+/// *before* the body decodes, so a wrong-backend load reports
+/// [`PersistError::KindMismatch`] rather than an opaque parse failure.
+pub fn read_gsketch_backend<R: Read, B: FrequencySketch>(r: R) -> Result<GSketch<B>, PersistError> {
+    RawSnapshot::read(r)?.decode_gsketch()
 }
 
-/// Save a [`GSketch`] snapshot to the file at `path`.
-pub fn save_gsketch<P: AsRef<Path>>(path: P, sketch: &GSketch) -> Result<(), PersistError> {
+/// Deserialize a default-backend [`GSketch`] snapshot from `r`.
+pub fn read_gsketch<R: Read>(r: R) -> Result<GSketch, PersistError> {
+    read_gsketch_backend(r)
+}
+
+/// Save a [`GSketch`] snapshot (any backend) to the file at `path`.
+pub fn save_gsketch<P: AsRef<Path>, B: FrequencySketch>(
+    path: P,
+    sketch: &GSketch<B>,
+) -> Result<(), PersistError> {
     write_gsketch(File::create(path)?, sketch)
 }
 
-/// Load a [`GSketch`] snapshot from the file at `path`.
+/// Load a default-backend [`GSketch`] snapshot from the file at `path`.
 pub fn load_gsketch<P: AsRef<Path>>(path: P) -> Result<GSketch, PersistError> {
     read_gsketch(File::open(path)?)
+}
+
+/// Load a [`GSketch`] snapshot with an explicit backend from `path`.
+pub fn load_gsketch_backend<P: AsRef<Path>, B: FrequencySketch>(
+    path: P,
+) -> Result<GSketch<B>, PersistError> {
+    read_gsketch_backend(File::open(path)?)
 }
 
 /// Serialize a [`GlobalSketch`] snapshot to `w`.
@@ -155,9 +281,7 @@ pub fn write_global<W: Write>(w: W, sketch: &GlobalSketch) -> Result<(), Persist
 
 /// Deserialize a [`GlobalSketch`] snapshot from `r`.
 pub fn read_global<R: Read>(r: R) -> Result<GlobalSketch, PersistError> {
-    let env: Envelope<GlobalSketch> = serde_json::from_reader(BufReader::new(r))?;
-    check_header(env.format_version, &env.kind, "global")?;
-    Ok(env.sketch)
+    RawSnapshot::read(r)?.decode_global()
 }
 
 /// Save a [`GlobalSketch`] snapshot to the file at `path`.
@@ -177,12 +301,7 @@ mod tests {
 
     fn sample_stream() -> Vec<StreamEdge> {
         (0..500u64)
-            .map(|t| {
-                StreamEdge::unit(
-                    Edge::new((t % 20) as u32, 100 + (t % 7) as u32),
-                    t,
-                )
-            })
+            .map(|t| StreamEdge::unit(Edge::new((t % 20) as u32, 100 + (t % 7) as u32), t))
             .collect()
     }
 
@@ -243,7 +362,10 @@ mod tests {
         let mut buf = Vec::new();
         write_gsketch(&mut buf, &g).unwrap();
         let mut text = String::from_utf8(buf).unwrap();
-        text = text.replace("\"format_version\":1", "\"format_version\":999");
+        text = text.replace(
+            &format!("\"format_version\":{FORMAT_VERSION}"),
+            "\"format_version\":999",
+        );
         let err = read_gsketch(text.as_bytes()).unwrap_err();
         assert!(matches!(
             err,
@@ -259,12 +381,44 @@ mod tests {
         let mut buf = Vec::new();
         write_global(&mut buf, &g).unwrap();
         let err = read_gsketch(&buf[..]).unwrap_err();
-        // A GlobalSketch body cannot parse as a GSketch, or if it does,
-        // the kind check rejects it. Either error is acceptable.
-        assert!(matches!(
-            err,
-            PersistError::KindMismatch { .. } | PersistError::Format(_)
-        ));
+        // The kind tag rejects it before any body decode is attempted.
+        assert!(matches!(err, PersistError::KindMismatch { .. }));
+    }
+
+    #[test]
+    fn inconsistent_router_bank_pair_is_a_format_error() {
+        // A hand-edited snapshot whose router addresses more slots than
+        // the bank holds must fail cleanly at load, not panic at query.
+        let g = built_gsketch();
+        let mut buf = Vec::new();
+        write_gsketch(&mut buf, &g).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let needle = "\"outlier_slot\":";
+        let at = text.find(needle).unwrap() + needle.len();
+        let end = at + text[at..].find([',', '}']).unwrap();
+        let tampered = format!("{}99{}", &text[..at], &text[end..]);
+        let err = read_gsketch(tampered.as_bytes()).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)), "got: {err}");
+    }
+
+    #[test]
+    fn version_one_global_snapshots_still_load() {
+        // The arena refactor bumped the envelope version for gSketch
+        // bodies; the global-sketch layout is unchanged, so a v1 global
+        // snapshot must keep loading.
+        let stream = sample_stream();
+        let mut g = GlobalSketch::new(1 << 12, 3, 7).unwrap();
+        g.ingest(&stream);
+        let mut buf = Vec::new();
+        write_global(&mut buf, &g).unwrap();
+        let text = String::from_utf8(buf).unwrap().replace(
+            &format!("\"format_version\":{FORMAT_VERSION}"),
+            "\"format_version\":1",
+        );
+        let back = read_global(text.as_bytes()).unwrap();
+        for se in stream.iter().take(50) {
+            assert_eq!(g.estimate(se.edge), back.estimate(se.edge));
+        }
     }
 
     #[test]
@@ -281,7 +435,10 @@ mod tests {
         let g = built_gsketch();
         save_gsketch(&path, &g).unwrap();
         let back = load_gsketch(&path).unwrap();
-        assert_eq!(g.estimate(Edge::new(1u32, 101u32)), back.estimate(Edge::new(1u32, 101u32)));
+        assert_eq!(
+            g.estimate(Edge::new(1u32, 101u32)),
+            back.estimate(Edge::new(1u32, 101u32))
+        );
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -289,6 +446,32 @@ mod tests {
     fn missing_file_is_io_error() {
         let err = load_gsketch("/nonexistent/missing.json").unwrap_err();
         assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn backend_round_trip_and_cross_backend_rejection() {
+        use sketch::CountMinSketch;
+        let stream = sample_stream();
+        let mut g = GSketch::builder()
+            .memory_bytes(1 << 14)
+            .min_width(32)
+            .build_from_sample_backend::<CountMinSketch>(&stream)
+            .unwrap();
+        g.ingest(&stream);
+        let mut buf = Vec::new();
+        write_gsketch(&mut buf, &g).unwrap();
+        let back: GSketch<CountMinSketch> = read_gsketch_backend(&buf[..]).unwrap();
+        for se in &stream {
+            assert_eq!(g.estimate(se.edge), back.estimate(se.edge));
+        }
+        // The same snapshot refuses to decode as the arena backend: the
+        // kind tag rejects it before the body is ever decoded.
+        let err = read_gsketch(&buf[..]).unwrap_err();
+        assert!(matches!(err, PersistError::KindMismatch { .. }));
+        // The raw envelope exposes the tag for backend dispatch.
+        let raw = RawSnapshot::read(&buf[..]).unwrap();
+        assert_eq!(raw.kind(), "gsketch:countmin");
+        assert_eq!(raw.version(), FORMAT_VERSION);
     }
 
     #[test]
@@ -300,7 +483,7 @@ mod tests {
         assert!(e.to_string().contains('9'));
         let e = PersistError::KindMismatch {
             found: "x".into(),
-            expected: "gsketch",
+            expected: "gsketch:cm-arena".into(),
         };
         assert!(e.to_string().contains("gsketch"));
     }

@@ -12,7 +12,7 @@ pub trait EdgeEstimator {
     fn estimate_edge(&self, edge: Edge) -> u64;
 }
 
-impl EdgeEstimator for crate::GSketch {
+impl<B: sketch::FrequencySketch> EdgeEstimator for crate::GSketch<B> {
     fn estimate_edge(&self, edge: Edge) -> u64 {
         self.estimate(edge)
     }
@@ -86,7 +86,11 @@ impl Aggregator {
             Aggregator::CountPresent => values.iter().filter(|&&v| v > 0).count() as f64,
             Aggregator::Variance => {
                 let mean = values.iter().map(|&v| v as f64).sum::<f64>() / n;
-                values.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n
+                values
+                    .iter()
+                    .map(|&v| (v as f64 - mean).powi(2))
+                    .sum::<f64>()
+                    / n
             }
             Aggregator::Median => {
                 let mut sorted: Vec<u64> = values.to_vec();

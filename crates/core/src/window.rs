@@ -63,7 +63,9 @@ impl WindowedGSketch {
     /// exactly the §5 bootstrap situation.
     pub fn new(cfg: WindowConfig, builder: GSketchBuilder) -> Result<Self, SketchError> {
         cfg.validate();
-        let current = builder.memory_bytes(cfg.memory_bytes_per_window).build_from_sample(&[])?;
+        let current = builder
+            .memory_bytes(cfg.memory_bytes_per_window)
+            .build_from_sample(&[])?;
         Ok(Self {
             cfg,
             builder,

@@ -1,0 +1,141 @@
+//! Property tests pinning the arena refactor's central invariant: the
+//! contiguous-slab backend ([`CmArena`]) is *observationally identical*
+//! to the per-partition CountMin layout it replaces — for any stream and
+//! any seed, every estimate, total, route, and merge result agrees bit
+//! for bit. This is what makes the arena a pure layout optimization
+//! (DESIGN.md §2): both banks share one per-row hash family seeded from
+//! the builder seed, so slot `i` of the arena holds exactly the cells
+//! partition `i`'s standalone sketch would hold.
+
+use gsketch::{CmArena, CountMinSketch, GSketch, GSketchBuilder};
+use gstream::edge::{Edge, StreamEdge};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A raw (src, dst, weight) arrival.
+type Arrival = (u32, u32, u8);
+
+fn stream_of(arrivals: &[Arrival]) -> Vec<StreamEdge> {
+    arrivals
+        .iter()
+        .enumerate()
+        .map(|(t, &(s, d, w))| StreamEdge::weighted(Edge::new(s, d), t as u64, u64::from(w) + 1))
+        .collect()
+}
+
+fn builder(memory: usize, depth: usize, seed: u64) -> GSketchBuilder {
+    GSketch::builder()
+        .memory_bytes(memory)
+        .depth(depth)
+        .min_width(16)
+        .seed(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any stream and seed, `GSketch<CmArena>` returns bit-identical
+    /// estimates (and routes, totals, loads) to the per-partition
+    /// `GSketch<CountMinSketch>` layout.
+    #[test]
+    fn arena_estimates_match_per_partition_layout(
+        sample in vec((0u32..40, 0u32..40, 0u8..8), 1..120),
+        tail in vec((0u32..60, 0u32..60, 0u8..8), 0..120),
+        depth in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let sample = stream_of(&sample);
+        let stream: Vec<StreamEdge> =
+            sample.iter().chain(&stream_of(&tail)).copied().collect();
+
+        let mut arena: GSketch<CmArena> = builder(1 << 13, depth, seed)
+            .build_from_sample_backend(&sample)
+            .unwrap();
+        let mut pervec: GSketch<CountMinSketch> = builder(1 << 13, depth, seed)
+            .build_from_sample_backend(&sample)
+            .unwrap();
+
+        prop_assert_eq!(arena.num_partitions(), pervec.num_partitions());
+        prop_assert_eq!(arena.bytes(), pervec.bytes());
+
+        arena.ingest(&stream);
+        pervec.ingest(&stream);
+
+        for se in &stream {
+            prop_assert_eq!(arena.route(se.edge), pervec.route(se.edge));
+            prop_assert_eq!(arena.estimate(se.edge), pervec.estimate(se.edge));
+        }
+        // Also probe edges that never arrived (pure collision noise must
+        // agree too — same hash family, same cells).
+        for v in 0..60u32 {
+            let e = Edge::new(v, 999u32);
+            prop_assert_eq!(arena.estimate(e), pervec.estimate(e));
+        }
+        prop_assert_eq!(arena.total_weight(), pervec.total_weight());
+        prop_assert_eq!(arena.outlier_weight(), pervec.outlier_weight());
+        prop_assert_eq!(arena.partition_loads(), pervec.partition_loads());
+    }
+
+    /// Batched ingest is estimate-identical to streaming ingest on both
+    /// backends (counting-sort grouping must not reorder *within* a
+    /// slot's saturating adds in any observable way).
+    #[test]
+    fn batched_ingest_matches_streaming(
+        sample in vec((0u32..30, 0u32..30, 0u8..8), 1..80),
+        depth in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let stream = stream_of(&sample);
+        let mut streaming: GSketch<CmArena> = builder(1 << 12, depth, seed)
+            .build_from_sample_backend(&stream)
+            .unwrap();
+        let mut batched = streaming.clone();
+        streaming.ingest(&stream);
+        batched.ingest_batch(&stream);
+        for se in &stream {
+            prop_assert_eq!(batched.estimate(se.edge), streaming.estimate(se.edge));
+        }
+        prop_assert_eq!(batched.total_weight(), streaming.total_weight());
+    }
+
+    /// Merge on the backend trait agrees with sequential ingest: split
+    /// any stream across two workers, merge, and get the bit-exact
+    /// serial sketch — on the arena and on the per-partition layout.
+    #[test]
+    fn merge_agrees_with_sequential_ingest(
+        sample in vec((0u32..40, 0u32..40, 0u8..8), 1..100),
+        at_frac in 0.0f64..1.0,
+        depth in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let stream = stream_of(&sample);
+        let mid = ((stream.len() as f64) * at_frac) as usize;
+
+        fn check<B>(stream: &[StreamEdge], mid: usize, depth: usize, seed: u64)
+        where
+            B: gsketch::FrequencySketch,
+        {
+            let empty: GSketch<B> = GSketch::builder()
+                .memory_bytes(1 << 12)
+                .depth(depth)
+                .min_width(16)
+                .seed(seed)
+                .build_from_sample_backend(stream)
+                .unwrap();
+            let mut serial = empty.clone();
+            serial.ingest(stream);
+            let mut a = empty.clone();
+            let mut b = empty;
+            a.ingest(&stream[..mid]);
+            b.ingest(&stream[mid..]);
+            a.merge(&b).unwrap();
+            for se in stream {
+                assert_eq!(a.estimate(se.edge), serial.estimate(se.edge));
+            }
+            assert_eq!(a.total_weight(), serial.total_weight());
+        }
+
+        check::<CmArena>(&stream, mid, depth, seed);
+        check::<CountMinSketch>(&stream, mid, depth, seed);
+    }
+}

@@ -122,6 +122,10 @@ mod tests {
         for i in 0..256u64 {
             buckets.insert(bh.hash_one(i) & 0xFF);
         }
-        assert!(buckets.len() > 128, "poor low-bit spread: {}", buckets.len());
+        assert!(
+            buckets.len() > 128,
+            "poor low-bit spread: {}",
+            buckets.len()
+        );
     }
 }

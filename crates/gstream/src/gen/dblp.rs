@@ -147,23 +147,22 @@ pub fn generate(cfg: DblpConfig) -> Vec<StreamEdge> {
         while authors_buf.len() < k && attempts < 4 * k {
             attempts += 1;
             let circle = circles.get(&first);
-            let candidate = if let Some(c) =
-                circle.filter(|c| !c.is_empty() && rng.gen::<f64>() < loyalty)
-            {
-                c[rng.gen_range(0..c.len())]
-            } else {
-                // Fresh collaborators are recruited from the open
-                // (networker) community: stable-team authors only publish
-                // within their own labs, which keeps each vertex's pair
-                // frequencies coherent (local similarity, §3.3).
-                let mut cand = (productivity.sample(&mut rng) - 1) as u32;
-                let mut tries = 0;
-                while cfg.is_stable(cand) && cand != first && tries < 8 {
-                    cand = (productivity.sample(&mut rng) - 1) as u32;
-                    tries += 1;
-                }
-                cand
-            };
+            let candidate =
+                if let Some(c) = circle.filter(|c| !c.is_empty() && rng.gen::<f64>() < loyalty) {
+                    c[rng.gen_range(0..c.len())]
+                } else {
+                    // Fresh collaborators are recruited from the open
+                    // (networker) community: stable-team authors only publish
+                    // within their own labs, which keeps each vertex's pair
+                    // frequencies coherent (local similarity, §3.3).
+                    let mut cand = (productivity.sample(&mut rng) - 1) as u32;
+                    let mut tries = 0;
+                    while cfg.is_stable(cand) && cand != first && tries < 8 {
+                        cand = (productivity.sample(&mut rng) - 1) as u32;
+                        tries += 1;
+                    }
+                    cand
+                };
             if !authors_buf.contains(&candidate) {
                 authors_buf.push(candidate);
             }

@@ -51,7 +51,10 @@ impl RmatConfig {
     }
 
     fn validate(&self) {
-        assert!(self.scale > 0 && self.scale <= 31, "scale must be in 1..=31");
+        assert!(
+            self.scale > 0 && self.scale <= 31,
+            "scale must be in 1..=31"
+        );
         let sum = self.a + self.b + self.c + self.d;
         assert!(
             (sum - 1.0).abs() < 1e-6,
@@ -249,7 +252,10 @@ fn zipf_index(r: f64, k: usize, alpha: f64) -> usize {
 impl RmatTrafficGenerator {
     /// Grow the topology and build the activity distribution.
     pub fn new(cfg: RmatTrafficConfig) -> Self {
-        assert!(cfg.activity_alpha >= 0.0, "activity_alpha must be non-negative");
+        assert!(
+            cfg.activity_alpha >= 0.0,
+            "activity_alpha must be non-negative"
+        );
         assert!(
             cfg.within_source_alpha >= 0.0,
             "within_source_alpha must be non-negative"
@@ -284,10 +290,11 @@ impl RmatTrafficGenerator {
             cursor[s as usize] += 1;
         }
         // Phase 2: Zipf activity over the degree ranking.
-        let mut sources: Vec<u32> = (0..n_vertices as u32).filter(|&v| degree[v as usize] > 0).collect();
-        sources.sort_unstable_by(|&a, &b| {
-            degree[b as usize].cmp(&degree[a as usize]).then(a.cmp(&b))
-        });
+        let mut sources: Vec<u32> = (0..n_vertices as u32)
+            .filter(|&v| degree[v as usize] > 0)
+            .collect();
+        sources
+            .sort_unstable_by(|&a, &b| degree[b as usize].cmp(&degree[a as usize]).then(a.cmp(&b)));
         let mut activity_cdf = Vec::with_capacity(sources.len());
         let mut acc = 0.0f64;
         for rank in 0..sources.len() {
@@ -486,9 +493,8 @@ mod tests {
         // The property this generator exists for: within-source edge
         // frequencies are near-uniform, so the σ_G/σ_V variance ratio is
         // well above 1 (§6.1 reports 4.156 for GTGraph).
-        let stream =
-            RmatTrafficGenerator::new(RmatTrafficConfig::gtgraph(10, 40_000, 400_000, 13))
-                .generate();
+        let stream = RmatTrafficGenerator::new(RmatTrafficConfig::gtgraph(10, 40_000, 400_000, 13))
+            .generate();
         let counts = ExactCounter::from_stream(&stream);
         let stats = crate::stats::VarianceStats::from_counts(&counts);
         assert!(
@@ -500,9 +506,8 @@ mod tests {
 
     #[test]
     fn traffic_activity_skew_concentrates_traffic() {
-        let stream =
-            RmatTrafficGenerator::new(RmatTrafficConfig::gtgraph(10, 20_000, 200_000, 17))
-                .generate();
+        let stream = RmatTrafficGenerator::new(RmatTrafficConfig::gtgraph(10, 20_000, 200_000, 17))
+            .generate();
         let counts = ExactCounter::from_stream(&stream);
         let prof = counts.vertex_profile();
         let mut freqs: Vec<u64> = prof.values().map(|p| p.frequency).collect();

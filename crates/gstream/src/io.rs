@@ -132,10 +132,12 @@ pub fn read_stream<R: Read>(r: R) -> Result<Vec<StreamEdge>, StreamIoError> {
             });
         }
         let as_vertex = |v: u64, what: &str| -> Result<VertexId, StreamIoError> {
-            u32::try_from(v).map(VertexId).map_err(|_| StreamIoError::Parse {
-                line: lineno,
-                reason: format!("`{what}` id {v} exceeds the u32 vertex domain"),
-            })
+            u32::try_from(v)
+                .map(VertexId)
+                .map_err(|_| StreamIoError::Parse {
+                    line: lineno,
+                    reason: format!("`{what}` id {v} exceeds the u32 vertex domain"),
+                })
         };
         let edge = Edge::new(as_vertex(src, "src")?, as_vertex(dst, "dst")?);
         if ts < prev_ts {
@@ -238,7 +240,9 @@ mod tests {
     #[test]
     fn empty_input_is_empty_stream() {
         assert!(read_stream("".as_bytes()).unwrap().is_empty());
-        assert!(read_stream("# only comments\n".as_bytes()).unwrap().is_empty());
+        assert!(read_stream("# only comments\n".as_bytes())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -278,7 +282,9 @@ mod tests {
     #[test]
     fn large_stream_round_trip() {
         let stream: Vec<StreamEdge> = (0..10_000u64)
-            .map(|t| StreamEdge::weighted(Edge::new((t % 97) as u32, (t % 89) as u32), t, t % 5 + 1))
+            .map(|t| {
+                StreamEdge::weighted(Edge::new((t % 97) as u32, (t % 89) as u32), t, t % 5 + 1)
+            })
             .collect();
         let mut buf = Vec::new();
         write_stream(&mut buf, &stream).unwrap();

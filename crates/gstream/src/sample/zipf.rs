@@ -36,10 +36,7 @@ impl Zipf {
         let h_half = Self::h_integral(n as f64 + 0.5, alpha);
         // Shortcut-acceptance threshold: s = 2 − H⁻¹(H(2.5) − h(2)).
         let s = 2.0
-            - Self::h_integral_inverse(
-                Self::h_integral(2.5, alpha) - 2.0f64.powf(-alpha),
-                alpha,
-            );
+            - Self::h_integral_inverse(Self::h_integral(2.5, alpha) - 2.0f64.powf(-alpha), alpha);
         Self {
             n,
             alpha,

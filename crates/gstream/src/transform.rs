@@ -136,7 +136,11 @@ mod tests {
         assert_eq!(m.len(), 6);
         assert!(is_time_ordered(&m));
         // Stability: at ts=4 the `a` arrival comes first.
-        let at4: Vec<u32> = m.iter().filter(|x| x.ts == 4).map(|x| x.edge.src.0).collect();
+        let at4: Vec<u32> = m
+            .iter()
+            .filter(|x| x.ts == 4)
+            .map(|x| x.edge.src.0)
+            .collect();
         assert_eq!(at4, vec![1, 3]);
     }
 
@@ -212,7 +216,9 @@ mod tests {
     #[test]
     fn coalesce_preserves_total_weight() {
         // Runs of 5 consecutive arrivals share both edge and timestamp.
-        let s: Vec<StreamEdge> = (0..100).map(|t| se((t / 5) % 3, 9, (t / 10) as u64)).collect();
+        let s: Vec<StreamEdge> = (0..100)
+            .map(|t| se((t / 5) % 3, 9, (t / 10) as u64))
+            .collect();
         let c = coalesce(&s);
         let before: u64 = s.iter().map(|x| x.weight).sum();
         let after: u64 = c.iter().map(|x| x.weight).sum();

@@ -35,7 +35,10 @@ pub fn uniform_edge_queries<R: Rng + ?Sized>(
     k: usize,
     rng: &mut R,
 ) -> Vec<Edge> {
-    assert!(!stream.is_empty(), "cannot sample queries from an empty stream");
+    assert!(
+        !stream.is_empty(),
+        "cannot sample queries from an empty stream"
+    );
     (0..k)
         .map(|_| stream[rng.gen_range(0..stream.len())].edge)
         .collect()
@@ -286,10 +289,7 @@ mod tests {
         let stream = toy_stream();
         let mut rng = StdRng::seed_from_u64(0);
         let q = uniform_edge_queries(&stream, 2000, &mut rng);
-        let heavy = q
-            .iter()
-            .filter(|e| **e == Edge::new(1u32, 2u32))
-            .count();
+        let heavy = q.iter().filter(|e| **e == Edge::new(1u32, 2u32)).count();
         // Heavy edge is 50/76 of arrivals ≈ 66%.
         assert!(heavy > 1000, "heavy edge should dominate: {heavy}");
     }
@@ -312,10 +312,7 @@ mod tests {
         let counts = ExactCounter::from_stream(&stream);
         let mut rng = StdRng::seed_from_u64(2);
         let q = zipf_edge_queries(&counts, 1000, 1.8, ZipfRank::Frequency, &mut rng);
-        let heavy = q
-            .iter()
-            .filter(|e| **e == Edge::new(1u32, 2u32))
-            .count();
+        let heavy = q.iter().filter(|e| **e == Edge::new(1u32, 2u32)).count();
         assert!(
             heavy > 400,
             "rank-1 edge should receive most Zipf mass: {heavy}"

@@ -1,0 +1,449 @@
+//! `CmArena`: all of a gSketch's CountMin counters in **one contiguous
+//! slab** (DESIGN.md §2).
+//!
+//! The per-partition layout allocates each localized sketch its own
+//! `Vec<u64>` and its own hash family. That scatters a budget that is
+//! logically one array across the heap and re-derives `d` hash functions
+//! per partition. The arena restores the layout the partitioning already
+//! implies: one `Vec<u64>` holding every slot's `depth × width` block
+//! back-to-back, per-slot [`SlotSpan`]s saying where each block starts,
+//! and **one** shared per-row Carter–Wegman family (sound by the paper's
+//! §4.1 shared-depth property; see `backend.rs`). Within a block the
+//! cells are row-major, exactly like a standalone
+//! [`CountMinSketch`](crate::CountMinSketch) —
+//! which is why a one-slot arena *is* a CountMin sketch and the arena
+//! estimates are bit-identical to the per-partition layout at equal
+//! seeds.
+//!
+//! [`AtomicCmArena`] is the same slab with `AtomicU64` cells: concurrent
+//! writers touch disjoint cache lines whenever the router sends them to
+//! different slots, so ingest scales without a lock per partition.
+
+use crate::backend::{FrequencySketch, SketchBank};
+use crate::error::SketchError;
+use crate::hash::PairwiseHash;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Where one logical sketch's `depth × width` block lives in the slab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotSpan {
+    /// Index of the block's first cell in the slab.
+    pub offset: usize,
+    /// Cells per row of this slot.
+    pub width: usize,
+}
+
+/// A bank of CountMin sketches in one contiguous row-major counter slab.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CmArena {
+    spans: Vec<SlotSpan>,
+    depth: usize,
+    /// The slab: slot blocks back-to-back, each block row-major.
+    cells: Vec<u64>,
+    /// One hash function per row, shared by every slot.
+    hashes: Vec<PairwiseHash>,
+    /// Per-slot absorbed weight.
+    totals: Vec<u64>,
+}
+
+impl CmArena {
+    /// Build an arena with one slot per entry of `widths` (every width
+    /// and the depth must be positive).
+    pub fn with_slots(widths: &[usize], depth: usize, seed: u64) -> Result<Self, SketchError> {
+        if depth == 0 {
+            return Err(SketchError::InvalidDimension {
+                what: "depth",
+                value: depth,
+            });
+        }
+        let mut spans = Vec::with_capacity(widths.len());
+        let mut offset = 0usize;
+        for &width in widths {
+            if width == 0 {
+                return Err(SketchError::InvalidDimension {
+                    what: "width",
+                    value: width,
+                });
+            }
+            spans.push(SlotSpan { offset, width });
+            offset += width * depth;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hashes = (0..depth).map(|_| PairwiseHash::random(&mut rng)).collect();
+        Ok(Self {
+            spans,
+            depth,
+            cells: vec![0; offset],
+            hashes,
+            totals: vec![0; widths.len()],
+        })
+    }
+
+    /// A single-slot arena — a plain CountMin sketch in arena clothing.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Result<Self, SketchError> {
+        Self::with_slots(&[width], depth, seed)
+    }
+
+    /// Record `weight` occurrences of `key` in `slot`.
+    #[inline]
+    pub fn update_slot(&mut self, slot: u32, key: u64, weight: u64) {
+        let span = self.spans[slot as usize];
+        let mut idx = span.offset;
+        for h in &self.hashes {
+            let cell = idx + h.bucket(key, span.width);
+            self.cells[cell] = self.cells[cell].saturating_add(weight);
+            idx += span.width;
+        }
+        self.totals[slot as usize] = self.totals[slot as usize].saturating_add(weight);
+    }
+
+    /// Point query in `slot`: the minimum cell over all rows.
+    #[inline]
+    pub fn estimate_slot(&self, slot: u32, key: u64) -> u64 {
+        let span = self.spans[slot as usize];
+        let mut best = u64::MAX;
+        let mut idx = span.offset;
+        for h in &self.hashes {
+            best = best.min(self.cells[idx + h.bucket(key, span.width)]);
+            idx += span.width;
+        }
+        best
+    }
+
+    /// Per-slot spans (read-only).
+    pub fn spans(&self) -> &[SlotSpan] {
+        &self.spans
+    }
+
+    /// Reset every counter, keeping spans and the hash family.
+    pub fn clear(&mut self) {
+        self.cells.fill(0);
+        self.totals.fill(0);
+    }
+
+    fn check_merge(&self, other: &Self) -> Result<(), SketchError> {
+        if self.spans != other.spans || self.depth != other.depth {
+            return Err(SketchError::IncompatibleMerge {
+                reason: "arena layouts differ (different builds)".into(),
+            });
+        }
+        if self.hashes != other.hashes {
+            return Err(SketchError::IncompatibleMerge {
+                reason: "hash families differ (different seeds)".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Freeze into the lock-free concurrent form.
+    pub fn into_atomic(self) -> AtomicCmArena {
+        AtomicCmArena {
+            spans: self.spans,
+            depth: self.depth,
+            cells: self.cells.into_iter().map(AtomicU64::new).collect(),
+            hashes: self.hashes,
+            totals: self.totals.into_iter().map(AtomicU64::new).collect(),
+        }
+    }
+}
+
+impl SketchBank for CmArena {
+    fn build(widths: &[usize], depth: usize, seed: u64) -> Result<Self, SketchError> {
+        Self::with_slots(widths, depth, seed)
+    }
+
+    #[inline]
+    fn update(&mut self, slot: u32, key: u64, weight: u64) {
+        self.update_slot(slot, key, weight);
+    }
+
+    #[inline]
+    fn estimate(&self, slot: u32, key: u64) -> u64 {
+        self.estimate_slot(slot, key)
+    }
+
+    fn slot_total(&self, slot: u32) -> u64 {
+        self.totals[slot as usize]
+    }
+
+    fn slot_width(&self, slot: u32) -> usize {
+        self.spans[slot as usize].width
+    }
+
+    fn num_slots(&self) -> usize {
+        self.spans.len()
+    }
+
+    fn depth(&self) -> usize {
+        self.depth
+    }
+
+    fn byte_size(&self) -> usize {
+        self.cells.len() * std::mem::size_of::<u64>()
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), SketchError> {
+        self.check_merge(other)?;
+        for (c, o) in self.cells.iter_mut().zip(&other.cells) {
+            *c = c.saturating_add(*o);
+        }
+        for (t, o) in self.totals.iter_mut().zip(&other.totals) {
+            *t = t.saturating_add(*o);
+        }
+        Ok(())
+    }
+}
+
+/// A one-slot arena is interchangeable with a
+/// [`CountMinSketch`](crate::CountMinSketch) of the same shape and seed —
+/// same hash family, same row-major cells, same estimates.
+impl FrequencySketch for CmArena {
+    type Bank = CmArena;
+    const KIND: &'static str = "cm-arena";
+
+    fn with_shape(width: usize, depth: usize, seed: u64) -> Result<Self, SketchError> {
+        Self::new(width, depth, seed)
+    }
+
+    #[inline]
+    fn update(&mut self, key: u64, weight: u64) {
+        self.update_slot(0, key, weight);
+    }
+
+    #[inline]
+    fn estimate(&self, key: u64) -> u64 {
+        self.estimate_slot(0, key)
+    }
+
+    fn total(&self) -> u64 {
+        self.totals.iter().fold(0u64, |a, &t| a.saturating_add(t))
+    }
+
+    fn mergeable_with(&self, other: &Self) -> bool {
+        self.check_merge(other).is_ok()
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), SketchError> {
+        SketchBank::merge(self, other)
+    }
+
+    fn byte_size(&self) -> usize {
+        SketchBank::byte_size(self)
+    }
+
+    fn width(&self) -> usize {
+        self.spans.first().map_or(0, |s| s.width)
+    }
+
+    fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+/// The concurrent arena: the same slab with `AtomicU64` cells, shared by
+/// reference across ingest threads. Counter updates are saturating CAS
+/// loops (so the sequential saturation semantics survive concurrency);
+/// per-slot totals are independent atomics, which stripes total-counter
+/// contention across slots the same way the slab stripes cell contention.
+#[derive(Debug)]
+pub struct AtomicCmArena {
+    spans: Vec<SlotSpan>,
+    depth: usize,
+    cells: Vec<AtomicU64>,
+    hashes: Vec<PairwiseHash>,
+    totals: Vec<AtomicU64>,
+}
+
+/// Saturating atomic add (relaxed; counters are commutative and the
+/// caller joins writer threads before reading).
+#[inline]
+fn saturating_fetch_add(cell: &AtomicU64, weight: u64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = cur.saturating_add(weight);
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+impl AtomicCmArena {
+    /// Record `weight` occurrences of `key` in `slot` (any thread).
+    #[inline]
+    pub fn update_slot(&self, slot: u32, key: u64, weight: u64) {
+        let span = self.spans[slot as usize];
+        let mut idx = span.offset;
+        for h in &self.hashes {
+            saturating_fetch_add(&self.cells[idx + h.bucket(key, span.width)], weight);
+            idx += span.width;
+        }
+        saturating_fetch_add(&self.totals[slot as usize], weight);
+    }
+
+    /// Point query in `slot` (any thread; sees all updates that
+    /// happened-before the call).
+    #[inline]
+    pub fn estimate_slot(&self, slot: u32, key: u64) -> u64 {
+        let span = self.spans[slot as usize];
+        let mut best = u64::MAX;
+        let mut idx = span.offset;
+        for h in &self.hashes {
+            best = best.min(self.cells[idx + h.bucket(key, span.width)].load(Ordering::Relaxed));
+            idx += span.width;
+        }
+        best
+    }
+
+    /// Total weight absorbed by `slot`.
+    pub fn slot_total(&self, slot: u32) -> u64 {
+        self.totals[slot as usize].load(Ordering::Relaxed)
+    }
+
+    /// Number of slots.
+    pub fn num_slots(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Shared depth `d`.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total counter memory in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.cells.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Thaw back into the sequential arena (requires exclusive ownership,
+    /// so no updates can be in flight).
+    pub fn into_arena(self) -> CmArena {
+        CmArena {
+            spans: self.spans,
+            depth: self.depth,
+            cells: self.cells.into_iter().map(AtomicU64::into_inner).collect(),
+            hashes: self.hashes,
+            totals: self.totals.into_iter().map(AtomicU64::into_inner).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::countmin::CountMinSketch;
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        assert!(CmArena::with_slots(&[16, 0], 3, 1).is_err());
+        assert!(CmArena::with_slots(&[16], 0, 1).is_err());
+    }
+
+    #[test]
+    fn one_slot_arena_matches_countmin_exactly() {
+        let mut arena = CmArena::new(97, 4, 0xABCD).unwrap();
+        let mut cm = CountMinSketch::new(97, 4, 0xABCD).unwrap();
+        for k in 0..2_000u64 {
+            let w = k % 5 + 1;
+            FrequencySketch::update(&mut arena, k * 31, w);
+            cm.update(k * 31, w);
+        }
+        for k in 0..2_000u64 {
+            assert_eq!(
+                FrequencySketch::estimate(&arena, k * 31),
+                cm.estimate(k * 31)
+            );
+        }
+        assert_eq!(FrequencySketch::total(&arena), cm.total());
+        assert_eq!(FrequencySketch::byte_size(&arena), cm.bytes());
+    }
+
+    #[test]
+    fn slots_never_underestimate() {
+        let mut arena = CmArena::with_slots(&[64, 32, 128], 3, 9).unwrap();
+        for slot in 0..3u32 {
+            for k in 0..300u64 {
+                arena.update_slot(slot, k, k % 3 + 1);
+            }
+        }
+        for slot in 0..3u32 {
+            for k in 0..300u64 {
+                assert!(arena.estimate_slot(slot, k) > k % 3);
+            }
+        }
+    }
+
+    #[test]
+    fn clear_resets_all_slots() {
+        let mut arena = CmArena::with_slots(&[16, 16], 2, 1).unwrap();
+        arena.update_slot(0, 7, 9);
+        arena.update_slot(1, 7, 9);
+        arena.clear();
+        assert_eq!(arena.estimate_slot(0, 7), 0);
+        assert_eq!(arena.slot_total(1), 0);
+    }
+
+    #[test]
+    fn saturating_counters_do_not_wrap() {
+        let mut arena = CmArena::new(4, 1, 3).unwrap();
+        FrequencySketch::update(&mut arena, 1, u64::MAX);
+        FrequencySketch::update(&mut arena, 1, u64::MAX);
+        assert_eq!(FrequencySketch::estimate(&arena, 1), u64::MAX);
+        assert_eq!(FrequencySketch::total(&arena), u64::MAX);
+    }
+
+    #[test]
+    fn atomic_round_trip_preserves_cells() {
+        let mut arena = CmArena::with_slots(&[64, 32], 3, 5).unwrap();
+        for k in 0..500u64 {
+            arena.update_slot((k % 2) as u32, k, 2);
+        }
+        let expected: Vec<u64> = (0..500u64)
+            .map(|k| arena.estimate_slot((k % 2) as u32, k))
+            .collect();
+        let atomic = arena.into_atomic();
+        atomic.update_slot(0, 999_983, 7);
+        let back = atomic.into_arena();
+        for k in 0..500u64 {
+            assert!(back.estimate_slot((k % 2) as u32, k) >= expected[k as usize]);
+        }
+        assert!(back.estimate_slot(0, 999_983) >= 7);
+    }
+
+    #[test]
+    fn atomic_concurrent_ingest_loses_nothing() {
+        use std::sync::Arc;
+        let arena = Arc::new(
+            CmArena::with_slots(&[256, 256], 3, 11)
+                .unwrap()
+                .into_atomic(),
+        );
+        let threads = 8u64;
+        let per_thread = 2_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let a = Arc::clone(&arena);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        a.update_slot((t % 2) as u32, t * 1_000_003 + i % 17, 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = arena.slot_total(0) + arena.slot_total(1);
+        assert_eq!(total, threads * per_thread);
+    }
+
+    #[test]
+    fn atomic_saturating_add_saturates() {
+        let cell = AtomicU64::new(u64::MAX - 1);
+        saturating_fetch_add(&cell, 10);
+        assert_eq!(cell.load(Ordering::Relaxed), u64::MAX);
+    }
+}

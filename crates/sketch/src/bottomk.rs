@@ -32,7 +32,10 @@ impl BottomK {
     pub fn new(k: usize, seed: u64) -> Result<Self, SketchError> {
         if k < 2 {
             // (k-1)/v_k needs k >= 2 to be meaningful.
-            return Err(SketchError::InvalidDimension { what: "k", value: k });
+            return Err(SketchError::InvalidDimension {
+                what: "k",
+                value: k,
+            });
         }
         let mut rng = StdRng::seed_from_u64(seed);
         Ok(Self {

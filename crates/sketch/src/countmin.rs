@@ -189,6 +189,12 @@ impl CountMinSketch {
         1.0 - (-(self.depth as f64)).exp()
     }
 
+    /// Whether `other` was built identically (same shape *and* hash
+    /// family), i.e. [`merge`](Self::merge) would succeed.
+    pub fn mergeable_with(&self, other: &Self) -> bool {
+        self.width == other.width && self.depth == other.depth && self.hashes == other.hashes
+    }
+
     /// Merge another sketch into this one (cell-wise saturating add).
     ///
     /// Both sketches must have identical dimensions *and* hash functions
@@ -233,10 +239,9 @@ impl CountMinSketch {
         for row in 0..self.depth {
             let a = &self.cells[row * self.width..(row + 1) * self.width];
             let b = &other.cells[row * self.width..(row + 1) * self.width];
-            let dot = a
-                .iter()
-                .zip(b)
-                .fold(0u64, |acc, (&x, &y)| acc.saturating_add(x.saturating_mul(y)));
+            let dot = a.iter().zip(b).fold(0u64, |acc, (&x, &y)| {
+                acc.saturating_add(x.saturating_mul(y))
+            });
             best = best.min(dot);
         }
         Ok(best)
@@ -425,7 +430,10 @@ mod tests {
         let truth: u64 = (0..10u64).map(|k| (k + 1) * 2).sum();
         let est = a.inner_product(&b).unwrap();
         assert!(est >= truth);
-        assert!(est <= truth * 2, "inner product estimate far off: {est} vs {truth}");
+        assert!(
+            est <= truth * 2,
+            "inner product estimate far off: {est} vs {truth}"
+        );
     }
 
     #[test]

@@ -137,7 +137,11 @@ impl CountSketch {
     /// Point query: the median over rows of `sign · cell`.
     pub fn estimate(&self, key: u64) -> i64 {
         let mut row_estimates: Vec<i64> = (0..self.depth)
-            .map(|row| self.signs[row].sign(key).saturating_mul(self.cells[self.cell_index(row, key)]))
+            .map(|row| {
+                self.signs[row]
+                    .sign(key)
+                    .saturating_mul(self.cells[self.cell_index(row, key)])
+            })
             .collect();
         row_estimates.sort_unstable();
         let n = row_estimates.len();
@@ -211,6 +215,15 @@ impl CountSketch {
         } else {
             (dots[n / 2 - 1] + dots[n / 2]) / 2.0
         })
+    }
+
+    /// Whether `other` was built identically (same shape *and* hash
+    /// families), i.e. [`merge`](Self::merge) would succeed.
+    pub fn mergeable_with(&self, other: &Self) -> bool {
+        self.width == other.width
+            && self.depth == other.depth
+            && self.buckets == other.buckets
+            && self.signs == other.signs
     }
 
     /// Merge another sketch into this one (cell-wise saturating add).

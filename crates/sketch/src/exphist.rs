@@ -98,7 +98,11 @@ impl ExpHist {
 
     /// Record one arrival at `time`. Timestamps must be non-decreasing.
     pub fn add(&mut self, time: u64) {
-        debug_assert!(time >= self.now, "out-of-order arrival: {time} < {}", self.now);
+        debug_assert!(
+            time >= self.now,
+            "out-of-order arrival: {time} < {}",
+            self.now
+        );
         let time = time.max(self.now);
         self.now = time;
         self.buckets.push_front(Bucket { time, size: 1 });
@@ -370,7 +374,10 @@ mod tests {
         }
         let sizes: Vec<u64> = eh.buckets.iter().map(|b| b.size).collect();
         for w in sizes.windows(2) {
-            assert!(w[0] <= w[1], "sizes must be non-decreasing with age: {sizes:?}");
+            assert!(
+                w[0] <= w[1],
+                "sizes must be non-decreasing with age: {sizes:?}"
+            );
         }
         for &s in &sizes {
             assert!(s.is_power_of_two());

@@ -170,7 +170,11 @@ mod tests {
             (MERSENNE_PRIME as u128) * (MERSENNE_PRIME as u128),
             u128::from(u64::MAX) * 12345,
         ] {
-            assert_eq!(mod_mersenne(x), (x % MERSENNE_PRIME as u128) as u64, "x={x}");
+            assert_eq!(
+                mod_mersenne(x),
+                (x % MERSENNE_PRIME as u128) as u64,
+                "x={x}"
+            );
         }
     }
 

@@ -74,11 +74,7 @@ impl HyperLogLog {
             64 => 0.709,
             _ => 0.7213 / (1.0 + 1.079 / m),
         };
-        let sum: f64 = self
-            .registers
-            .iter()
-            .map(|&r| 2f64.powi(-(r as i32)))
-            .sum();
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
         let raw = alpha * m * m / sum;
         // Small-range correction: linear counting on empty registers.
         if raw <= 2.5 * m {
@@ -134,7 +130,12 @@ pub struct DegreeSketch {
 impl DegreeSketch {
     /// Create a degree sketch: `depth` rows of `buckets` HLLs at the
     /// given register `precision`.
-    pub fn new(buckets: usize, depth: usize, precision: u32, seed: u64) -> Result<Self, SketchError> {
+    pub fn new(
+        buckets: usize,
+        depth: usize,
+        precision: u32,
+        seed: u64,
+    ) -> Result<Self, SketchError> {
         if buckets == 0 {
             return Err(SketchError::InvalidDimension {
                 what: "buckets",

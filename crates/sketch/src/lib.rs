@@ -23,7 +23,11 @@
 //!   et al. 2012), the principled version of the paper's §5 time-window
 //!   scheme;
 //! * [`hash`] — the Carter–Wegman pairwise / 4-wise independent hash
-//!   families over GF(2^61 − 1) underpinning all of the above.
+//!   families over GF(2^61 − 1) underpinning all of the above;
+//! * [`FrequencySketch`] / [`SketchBank`] — the synopsis-backend traits
+//!   the core crate's `GSketch<B>` is generic over, and [`CmArena`] /
+//!   [`AtomicCmArena`] — all partitions' counters in one contiguous slab
+//!   with a shared per-row hash family (DESIGN.md §2).
 //!
 //! All synopses share a few conventions: keys are `u64` (callers intern or
 //! mix composite keys with [`hash::combine64`]), counters saturate instead
@@ -43,6 +47,8 @@
 #![warn(clippy::all)]
 
 pub mod ams;
+pub mod arena;
+pub mod backend;
 pub mod bottomk;
 pub mod countmin;
 pub mod countsketch;
@@ -55,6 +61,8 @@ pub mod spacesaving;
 pub mod windowed;
 
 pub use ams::AmsSketch;
+pub use arena::{AtomicCmArena, CmArena, SlotSpan};
+pub use backend::{FrequencySketch, SketchBank, SketchVec};
 pub use bottomk::BottomK;
 pub use countmin::{CountMinSketch, UpdatePolicy};
 pub use countsketch::CountSketch;

@@ -146,7 +146,10 @@ mod tests {
         for (&k, &f) in &truth {
             let est = lc.estimate(k);
             assert!(est <= f, "overestimate for {k}");
-            assert!(f - est <= slack, "undercount beyond eps*N for {k}: {est} vs {f}");
+            assert!(
+                f - est <= slack,
+                "undercount beyond eps*N for {k}: {est} vs {f}"
+            );
         }
     }
 

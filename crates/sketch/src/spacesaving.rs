@@ -58,7 +58,10 @@ impl SpaceSaving {
     /// Create a summary monitoring at most `k` keys.
     pub fn new(k: usize) -> Result<Self, SketchError> {
         if k == 0 {
-            return Err(SketchError::InvalidDimension { what: "k", value: k });
+            return Err(SketchError::InvalidDimension {
+                what: "k",
+                value: k,
+            });
         }
         Ok(Self {
             capacity: k,
@@ -217,7 +220,8 @@ impl SpaceSaving {
         }
         let self_min = self.min_count();
         let other_min = other.min_count();
-        let mut combined: HashMap<u64, Counter> = HashMap::with_capacity(self.slab.len() + other.slab.len());
+        let mut combined: HashMap<u64, Counter> =
+            HashMap::with_capacity(self.slab.len() + other.slab.len());
         for c in &self.slab {
             // A key absent from `other` may still have occurred there with
             // frequency up to other's minimum count.

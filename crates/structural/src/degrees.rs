@@ -62,7 +62,12 @@ pub struct MultigraphDegrees {
 impl MultigraphDegrees {
     /// Create with `buckets × depth` HyperLogLogs per direction at the
     /// given register `precision`.
-    pub fn new(buckets: usize, depth: usize, precision: u32, seed: u64) -> Result<Self, SketchError> {
+    pub fn new(
+        buckets: usize,
+        depth: usize,
+        precision: u32,
+        seed: u64,
+    ) -> Result<Self, SketchError> {
         Ok(Self {
             out: DegreeSketch::new(buckets, depth, precision, seed)?,
             inc: DegreeSketch::new(buckets, depth, precision, seed ^ 0x1B5E)?,

@@ -115,7 +115,10 @@ mod tests {
         for t in 0..10_000u64 {
             // Vertex 7 emits 30% of traffic; the rest is all-distinct churn.
             if t % 10 < 3 {
-                out.push(StreamEdge::unit(Edge::new(7u32, (t % 100) as u32 + 1000), t));
+                out.push(StreamEdge::unit(
+                    Edge::new(7u32, (t % 100) as u32 + 1000),
+                    t,
+                ));
             } else {
                 out.push(StreamEdge::unit(Edge::new(50_000 + t as u32, 9u32), t));
             }
@@ -135,7 +138,10 @@ mod tests {
         let heavy = hv.heavy_sources(0.2);
         assert!(!heavy.is_empty());
         assert_eq!(heavy[0].vertex, VertexId(7));
-        assert!(heavy[0].guaranteed, "30% source must be guaranteed at φ=0.2");
+        assert!(
+            heavy[0].guaranteed,
+            "30% source must be guaranteed at φ=0.2"
+        );
         assert!(heavy[0].count >= 3_000);
     }
 
@@ -155,7 +161,11 @@ mod tests {
         hv.ingest(&stream_with_hot_source());
         for h in hv.heavy_sources(0.2) {
             if h.vertex != VertexId(7) {
-                assert!(!h.guaranteed, "churn source {:?} cannot be guaranteed", h.vertex);
+                assert!(
+                    !h.guaranteed,
+                    "churn source {:?} cannot be guaranteed",
+                    h.vertex
+                );
             }
         }
     }

@@ -22,7 +22,7 @@
 use gstream::edge::{Edge, StreamEdge};
 use gstream::fxhash::FxHashMap;
 use gstream::vertex::VertexId;
-use sketch::{CountSketch, SketchError};
+use sketch::{CountSketch, FrequencySketch, SketchError};
 
 /// Exact per-vertex 2-path accounting.
 #[derive(Debug, Clone, Default)]
@@ -111,28 +111,48 @@ impl PathAggregator {
     pub fn tracked_vertices(&self) -> usize {
         // Vertices may appear in either or both maps.
         let mut n = self.out.len();
-        n += self.inc.keys().filter(|v| !self.out.contains_key(v)).count();
+        n += self
+            .inc
+            .keys()
+            .filter(|v| !self.out.contains_key(v))
+            .count();
         n
     }
 }
 
 /// Sketched 2-path accounting with memory independent of `|V|`.
+///
+/// Generic over the synopsis-backend trait of the arena refactor
+/// (DESIGN.md §2): any [`FrequencySketch`] can hold the in- and
+/// out-frequency vectors. The default [`CountSketch`] backend keeps the
+/// classic unbiased estimates and is the only backend offering the
+/// inner-product [`total_paths`](PathSketch::total_paths); a CountMin
+/// backend (`PathSketch<CountMinSketch>`) trades that for strictly
+/// one-sided per-vertex flows.
 #[derive(Debug, Clone)]
-pub struct PathSketch {
+pub struct PathSketch<B: FrequencySketch = CountSketch> {
     /// Out-frequency vector, keyed by source vertex.
-    out: CountSketch,
+    out: B,
     /// In-frequency vector, keyed by destination vertex — same seed as
     /// `out` so inner products are meaningful.
-    inc: CountSketch,
+    inc: B,
     weight: u64,
 }
 
 impl PathSketch {
-    /// Create a path sketch of the given CountSketch dimensions.
+    /// Create a path sketch of the given CountSketch dimensions (the
+    /// default backend; see [`PathSketch::with_backend`]).
     pub fn new(width: usize, depth: usize, seed: u64) -> Result<Self, SketchError> {
+        Self::with_backend(width, depth, seed)
+    }
+}
+
+impl<B: FrequencySketch> PathSketch<B> {
+    /// Create a path sketch over an explicit synopsis backend.
+    pub fn with_backend(width: usize, depth: usize, seed: u64) -> Result<Self, SketchError> {
         Ok(Self {
-            out: CountSketch::new(width, depth, seed)?,
-            inc: CountSketch::new(width, depth, seed)?,
+            out: B::with_shape(width, depth, seed)?,
+            inc: B::with_shape(width, depth, seed)?,
             weight: 0,
         })
     }
@@ -153,26 +173,17 @@ impl PathSketch {
 
     /// Estimated weighted out-frequency of `v` (clamped at 0).
     pub fn out_weight(&self, v: VertexId) -> u64 {
-        self.out.estimate_non_negative(v.as_u64())
+        self.out.estimate(v.as_u64())
     }
 
     /// Estimated weighted in-frequency of `v` (clamped at 0).
     pub fn in_weight(&self, v: VertexId) -> u64 {
-        self.inc.estimate_non_negative(v.as_u64())
+        self.inc.estimate(v.as_u64())
     }
 
     /// Estimated 2-path count through `v`.
     pub fn through_flow(&self, v: VertexId) -> u128 {
         self.in_weight(v) as u128 * self.out_weight(v) as u128
-    }
-
-    /// Estimated total 2-path count: the inner product of the in- and
-    /// out-frequency vectors (unbiased; clamped at 0).
-    pub fn total_paths(&self) -> f64 {
-        self.inc
-            .inner_product(&self.out)
-            .expect("twin sketches share dimensions and seed")
-            .max(0.0)
     }
 
     /// Total stream weight observed.
@@ -182,7 +193,19 @@ impl PathSketch {
 
     /// Counter memory in bytes.
     pub fn bytes(&self) -> usize {
-        self.out.bytes() + self.inc.bytes()
+        self.out.byte_size() + self.inc.byte_size()
+    }
+}
+
+impl PathSketch<CountSketch> {
+    /// Estimated total 2-path count: the inner product of the in- and
+    /// out-frequency vectors (unbiased; clamped at 0). CountSketch-only —
+    /// the inner product needs the signed cells the trait surface hides.
+    pub fn total_paths(&self) -> f64 {
+        self.inc
+            .inner_product(&self.out)
+            .expect("twin sketches share dimensions and seed")
+            .max(0.0)
     }
 }
 
@@ -223,7 +246,13 @@ mod tests {
     fn total_is_sum_over_intermediates() {
         let mut p = PathAggregator::new();
         // Star through 2 and through 5.
-        p.ingest(&[se(1, 2, 1), se(2, 3, 1), se(2, 4, 1), se(4, 5, 1), se(5, 6, 1)]);
+        p.ingest(&[
+            se(1, 2, 1),
+            se(2, 3, 1),
+            se(2, 4, 1),
+            se(4, 5, 1),
+            se(5, 6, 1),
+        ]);
         // in(2)=1, out(2)=2 → 2; in(4)=1, out(4)=1 → 1; in(5)=1, out(5)=1 → 1.
         assert_eq!(p.total_paths(), 4);
         let hubs = p.top_hubs(2);
@@ -273,16 +302,35 @@ mod tests {
     }
 
     #[test]
+    fn countmin_backend_flows_are_one_sided() {
+        use sketch::{CmArena, CountMinSketch};
+        let stream: Vec<StreamEdge> = (0..500u64)
+            .map(|t| StreamEdge::unit(Edge::new((t % 40) as u32, ((t + 3) % 40) as u32), t))
+            .collect();
+        let mut exact = PathAggregator::new();
+        exact.ingest(&stream);
+        let mut cm: PathSketch<CountMinSketch> = PathSketch::with_backend(512, 4, 7).unwrap();
+        cm.ingest(&stream);
+        let mut arena: PathSketch<CmArena> = PathSketch::with_backend(512, 4, 7).unwrap();
+        arena.ingest(&stream);
+        for v in 0..40u32 {
+            // CountMin flows never underestimate, and the arena backend
+            // agrees with the classic layout cell for cell.
+            assert!(cm.out_weight(VertexId(v)) >= exact.out_weight(VertexId(v)));
+            assert!(cm.through_flow(VertexId(v)) >= exact.through_flow(VertexId(v)));
+            assert_eq!(arena.out_weight(VertexId(v)), cm.out_weight(VertexId(v)));
+            assert_eq!(arena.in_weight(VertexId(v)), cm.in_weight(VertexId(v)));
+        }
+        assert_eq!(cm.weight(), exact.weight());
+        assert_eq!(cm.bytes(), 2 * 512 * 4 * 8);
+    }
+
+    #[test]
     fn sketch_total_tracks_truth_under_collisions() {
         // 2 000 vertices into a width-256 sketch: heavy collisions, the
         // inner product must still land near the truth.
         let stream: Vec<StreamEdge> = (0..40_000u64)
-            .map(|t| {
-                StreamEdge::unit(
-                    Edge::new((t % 2000) as u32, ((t * 7 + 1) % 2000) as u32),
-                    t,
-                )
-            })
+            .map(|t| StreamEdge::unit(Edge::new((t % 2000) as u32, ((t * 7 + 1) % 2000) as u32), t))
             .collect();
         let mut exact = PathAggregator::new();
         exact.ingest(&stream);

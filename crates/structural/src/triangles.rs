@@ -56,7 +56,11 @@ impl ExactTriangleCounter {
         let closed = match (self.adj.get(&u), self.adj.get(&v)) {
             (Some(nu), Some(nv)) => {
                 // Iterate the smaller set (standard intersection trick).
-                let (small, large) = if nu.len() <= nv.len() { (nu, nv) } else { (nv, nu) };
+                let (small, large) = if nu.len() <= nv.len() {
+                    (nu, nv)
+                } else {
+                    (nv, nu)
+                };
                 small.iter().filter(|x| large.contains(x)).count() as u64
             }
             _ => 0,

@@ -4,7 +4,9 @@ use gstream::edge::{Edge, StreamEdge};
 use gstream::vertex::VertexId;
 use proptest::collection::vec;
 use proptest::prelude::*;
-use structural::{ExactTriangleCounter, HeavyVertexTracker, PathAggregator, PathSketch, TriangleEstimator};
+use structural::{
+    ExactTriangleCounter, HeavyVertexTracker, PathAggregator, PathSketch, TriangleEstimator,
+};
 
 fn to_stream(edges: &[(u32, u32)]) -> Vec<StreamEdge> {
     edges

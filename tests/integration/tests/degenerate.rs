@@ -102,7 +102,9 @@ fn saturating_weights_never_wrap() {
 fn minimum_viable_memory_still_sound() {
     // The smallest budget the builder accepts must still never
     // underestimate — accuracy may be terrible, soundness may not.
-    let stream: Vec<StreamEdge> = (0..5_000u64).map(|t| unit((t % 50) as u32, 99, t)).collect();
+    let stream: Vec<StreamEdge> = (0..5_000u64)
+        .map(|t| unit((t % 50) as u32, 99, t))
+        .collect();
     let mut found_min = None;
     for bytes in [8usize, 32, 64, 128, 256, 1024] {
         if let Ok(mut gs) = GSketch::builder()

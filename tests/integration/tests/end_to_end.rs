@@ -3,12 +3,14 @@
 //! check the paper's invariants hold.
 
 use gsketch::{
-    evaluate_edge_queries, evaluate_subgraph_queries, Aggregator, GSketch, GlobalSketch,
-    SketchId, DEFAULT_G0,
+    evaluate_edge_queries, evaluate_subgraph_queries, Aggregator, GSketch, GlobalSketch, SketchId,
+    DEFAULT_G0,
 };
 use gstream::gen::{dblp, ipattack, DblpConfig, IpAttackConfig, RmatConfig, RmatGenerator};
 use gstream::sample::sample_iter;
-use gstream::workload::{bfs_subgraph_queries, uniform_distinct_queries, ZipfEdgeSampler, ZipfRank};
+use gstream::workload::{
+    bfs_subgraph_queries, uniform_distinct_queries, ZipfEdgeSampler, ZipfRank,
+};
 use gstream::{Edge, ExactCounter, StreamEdge};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -140,8 +142,7 @@ fn workload_scenario_builds_and_answers() {
 
 #[test]
 fn rmat_stream_routes_unsampled_vertices_to_outlier() {
-    let stream: Vec<StreamEdge> =
-        RmatGenerator::new(RmatConfig::gtgraph(12, 100_000, 8)).collect();
+    let stream: Vec<StreamEdge> = RmatGenerator::new(RmatConfig::gtgraph(12, 100_000, 8)).collect();
     let (gs, _, truth) = build_pair(&stream, 128 << 10, 3);
     let mut outlier = 0usize;
     let mut checked = 0usize;

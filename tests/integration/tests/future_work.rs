@@ -6,7 +6,9 @@ use gsketch::adaptive::Phase;
 use gsketch::{
     estimate_subgraph_with, load_gsketch, save_gsketch, AdaptiveConfig, AdaptiveGSketch, GSketch,
 };
-use gstream::gen::{RmatTrafficConfig, RmatTrafficGenerator, SmallWorldConfig, SmallWorldGenerator};
+use gstream::gen::{
+    RmatTrafficConfig, RmatTrafficGenerator, SmallWorldConfig, SmallWorldGenerator,
+};
 use gstream::sample::sample_iter;
 use gstream::transform::{epochs, is_time_ordered, merge_by_time};
 use gstream::workload::SubgraphQuery;
@@ -52,7 +54,10 @@ fn adaptive_pipeline_matches_sample_built_shape() {
 
     let truth = ExactCounter::from_stream(&stream);
     for (edge, f) in truth.iter() {
-        assert!(adaptive.estimate(edge) >= f, "adaptive underestimated {edge}");
+        assert!(
+            adaptive.estimate(edge) >= f,
+            "adaptive underestimated {edge}"
+        );
         assert!(sampled.estimate(edge) >= f, "sampled underestimated {edge}");
     }
 }
@@ -191,13 +196,26 @@ fn cli_dispatch_runs_inside_integration() {
         String::from_utf8(out).unwrap()
     };
     run(&[
-        "generate", "rmat-traffic", "--out", &stream_path, "--arrivals", "20000", "--vertices",
+        "generate",
+        "rmat-traffic",
+        "--out",
+        &stream_path,
+        "--arrivals",
+        "20000",
+        "--vertices",
         "512",
     ]);
     let stats = run(&["stats", &stream_path]);
     assert!(stats.contains("arrivals:        20000"));
     run(&[
-        "build", &stream_path, "--memory", "64K", "--out", &snap_path, "--sample-frac", "0.1",
+        "build",
+        &stream_path,
+        "--memory",
+        "64K",
+        "--out",
+        &snap_path,
+        "--sample-frac",
+        "0.1",
     ]);
     let q = run(&["query", &snap_path, "1", "2", "--stream", &stream_path]);
     assert!(q.contains("estimate"));

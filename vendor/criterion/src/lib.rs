@@ -322,6 +322,9 @@ mod tests {
 
     #[test]
     fn benchmark_id_formats() {
-        assert_eq!(BenchmarkId::new("build", "64KiB").into_name(), "build/64KiB");
+        assert_eq!(
+            BenchmarkId::new("build", "64KiB").into_name(),
+            "build/64KiB"
+        );
     }
 }

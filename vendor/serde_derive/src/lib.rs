@@ -38,7 +38,9 @@ struct Target {
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match parse_target(input) {
-        Ok(t) => gen_serialize(&t).parse().expect("generated Serialize impl parses"),
+        Ok(t) => gen_serialize(&t)
+            .parse()
+            .expect("generated Serialize impl parses"),
         Err(msg) => error(&msg),
     }
 }
@@ -47,13 +49,17 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse_target(input) {
-        Ok(t) => gen_deserialize(&t).parse().expect("generated Deserialize impl parses"),
+        Ok(t) => gen_deserialize(&t)
+            .parse()
+            .expect("generated Deserialize impl parses"),
         Err(msg) => error(&msg),
     }
 }
 
 fn error(msg: &str) -> TokenStream {
-    format!("compile_error!({msg:?});").parse().expect("compile_error parses")
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error parses")
 }
 
 // ---------------------------------------------------------------------------
@@ -108,7 +114,11 @@ fn parse_target(input: TokenStream) -> Result<Target, String> {
         (k, other) => return Err(format!("unsupported {k} body: {other:?}")),
     };
 
-    Ok(Target { name, generics, shape })
+    Ok(Target {
+        name,
+        generics,
+        shape,
+    })
 }
 
 /// Skip leading `#[...]` attributes and a `pub`/`pub(...)` visibility.
@@ -185,7 +195,11 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
         i += 1;
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
-            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
         }
         fields.push(name);
         skip_type_until_comma(&tokens, &mut i);
@@ -352,7 +366,9 @@ fn gen_deserialize(t: &Target) -> String {
             let inits: Vec<String> = fields
                 .iter()
                 .map(|f| {
-                    format!("{f}: ::serde::Deserialize::from_value(::serde::value_field(v, {f:?})?)?")
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::value_field(v, {f:?})?)?"
+                    )
                 })
                 .collect();
             format!("::std::result::Result::Ok(Self {{ {} }})", inits.join(", "))

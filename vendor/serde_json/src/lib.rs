@@ -240,7 +240,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Seq(items));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -268,7 +273,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Map(entries));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -320,8 +330,7 @@ impl<'a> Parser<'a> {
                                 if !(0xDC00..0xE000).contains(&low) {
                                     return Err(Error::new("unpaired surrogate"));
                                 }
-                                let combined =
-                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                                 char::from_u32(combined)
                                     .ok_or_else(|| Error::new("invalid surrogate pair"))?
                             } else {
@@ -331,10 +340,7 @@ impl<'a> Parser<'a> {
                             out.push(c);
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "invalid escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -371,8 +377,8 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("ascii number text is utf-8");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number text is utf-8");
         if !is_float {
             if let Ok(n) = text.parse::<u64>() {
                 return Ok(Value::U64(n));
