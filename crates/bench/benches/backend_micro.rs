@@ -9,7 +9,7 @@
 //! by slot-grouped batched ingest. Headline numbers are appended to
 //! `BENCH_ingest.json` (the perf trajectory file at the repo root).
 
-use gsketch::{CmArena, CountMinSketch, FrequencySketch, GSketch, GSketchBuilder};
+use gsketch::{CmArena, CountMinSketch, EdgeSink, FrequencySketch, GSketch, GSketchBuilder};
 use gsketch_bench::trajectory::{rate_of, record_section, Throughput};
 use gsketch_bench::{experiment_scale, Bundle, Dataset, EXPERIMENT_SEED};
 use gstream::StreamEdge;
@@ -132,11 +132,7 @@ fn main() {
         ],
         &runs
             .iter()
-            .map(|m| Throughput {
-                name: m.name.to_owned(),
-                updates_per_sec: m.updates_per_sec,
-                estimates_per_sec: m.estimates_per_sec,
-            })
+            .map(|m| Throughput::sequential(m.name, m.updates_per_sec, m.estimates_per_sec))
             .collect::<Vec<_>>(),
     );
     println!(

@@ -9,7 +9,9 @@
 //! 3. sample-rate extrapolation of vertex statistics on/off;
 //! 4. conservative-update CountMin as the base synopsis.
 
-use gsketch::{evaluate_edge_queries, GSketch, GlobalSketch, WidthAllocation, DEFAULT_G0};
+use gsketch::{
+    evaluate_edge_queries, EdgeSink, GSketch, GlobalSketch, WidthAllocation, DEFAULT_G0,
+};
 use gsketch_bench::harness::{calibration_probe, EXPERIMENT_MIN_WIDTH};
 use gsketch_bench::*;
 use sketch::{CountMinSketch, UpdatePolicy};

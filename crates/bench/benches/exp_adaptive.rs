@@ -9,7 +9,8 @@
 //! at all.
 
 use gsketch::{
-    evaluate_edge_queries, AdaptiveConfig, AdaptiveGSketch, GSketch, GlobalSketch, DEFAULT_G0,
+    evaluate_edge_queries, AdaptiveConfig, AdaptiveGSketch, EdgeSink, GSketch, GlobalSketch,
+    DEFAULT_G0,
 };
 use gsketch_bench::harness::{EXPERIMENT_DEPTH, EXPERIMENT_MIN_WIDTH, EXPERIMENT_SEED};
 use gsketch_bench::*;

@@ -2,7 +2,7 @@
 //! average relative error of ALL edge queries answered by gSketch with
 //! the error of only those queries answered by the outlier sketch.
 
-use gsketch::{evaluate_edge_queries, GSketch, SketchId, DEFAULT_G0};
+use gsketch::{evaluate_edge_queries, EdgeSink, GSketch, SketchId, DEFAULT_G0};
 use gsketch_bench::harness::{calibration_probe, EXPERIMENT_DEPTH, EXPERIMENT_MIN_WIDTH};
 use gsketch_bench::*;
 

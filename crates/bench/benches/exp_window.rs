@@ -35,7 +35,7 @@ fn main() {
     )
     .expect("valid window config");
     for se in stream {
-        windowed.insert(*se).expect("in-order stream");
+        windowed.try_insert(*se).expect("in-order stream");
     }
 
     // ECM-sketch with the same total byte budget across all windows

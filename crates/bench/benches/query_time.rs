@@ -2,7 +2,7 @@
 //! gSketch vs Global Sketch, and aggregate subgraph queries.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use gsketch::{estimate_subgraph, Aggregator, GSketch, GlobalSketch};
+use gsketch::{estimate_subgraph, Aggregator, EdgeSink, GSketch, GlobalSketch};
 use gsketch_bench::*;
 
 fn bench_query(c: &mut Criterion) {

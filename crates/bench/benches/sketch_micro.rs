@@ -4,7 +4,7 @@
 //! rates to `BENCH_ingest.json` (DESIGN.md §3).
 
 use criterion::{black_box, criterion_group, Criterion, Throughput};
-use gsketch::{GSketch, GlobalSketch};
+use gsketch::{EdgeSink, GSketch, GlobalSketch};
 use gsketch_bench::*;
 use sketch::CountMinSketch;
 
@@ -40,13 +40,13 @@ fn bench_gsketch(c: &mut Criterion) {
     g.bench_function("gsketch_update", |b| {
         b.iter(|| {
             i = (i + 1) % edges.len();
-            gs.update(black_box(edges[i]), 1);
+            gs.update(black_box(gstream::StreamEdge::unit(edges[i], 0)));
         })
     });
     g.bench_function("global_update", |b| {
         b.iter(|| {
             i = (i + 1) % edges.len();
-            gl.update(black_box(edges[i]), 1);
+            gl.update(black_box(gstream::StreamEdge::unit(edges[i], 0)));
         })
     });
     g.bench_function("gsketch_estimate", |b| {
@@ -101,7 +101,10 @@ fn record_trajectory() {
     let edges: Vec<_> = bundle.stream.iter().map(|se| se.edge).collect();
     let gs_updates = rate_of(N, || {
         for k in 0..N as usize {
-            gs.update(black_box(edges[k % edges.len()]), 1);
+            gs.update(black_box(gstream::StreamEdge::unit(
+                edges[k % edges.len()],
+                0,
+            )));
         }
     });
     let gs_estimates = rate_of(N, || {
@@ -114,16 +117,8 @@ fn record_trajectory() {
         "sketch_micro",
         &[("updates_timed", Value::U64(N))],
         &[
-            Rates {
-                name: "countmin/65536x3".into(),
-                updates_per_sec: cm_updates,
-                estimates_per_sec: cm_estimates,
-            },
-            Rates {
-                name: "gsketch/cm-arena/1MiB".into(),
-                updates_per_sec: gs_updates,
-                estimates_per_sec: gs_estimates,
-            },
+            Rates::sequential("countmin/65536x3", cm_updates, cm_estimates),
+            Rates::sequential("gsketch/cm-arena/1MiB", gs_updates, gs_estimates),
         ],
     );
     println!(

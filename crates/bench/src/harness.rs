@@ -4,8 +4,8 @@
 
 use crate::datasets::{Bundle, Dataset};
 use gsketch::{
-    evaluate_edge_queries, evaluate_subgraph_queries, Accuracy, Aggregator, GSketch, GlobalSketch,
-    DEFAULT_G0,
+    evaluate_edge_queries, evaluate_subgraph_queries, Accuracy, Aggregator, EdgeSink, GSketch,
+    GlobalSketch, DEFAULT_G0,
 };
 use gstream::edge::Edge;
 use gstream::workload::{

@@ -36,10 +36,29 @@ pub const SCHEMA: u64 = 1;
 pub struct Throughput {
     /// Configuration label, e.g. `"cm-arena/batched"`.
     pub name: String,
+    /// Ingest worker threads that actually ran for this row (the
+    /// pipeline clamps requests to available cores; 1 = sequential).
+    pub threads: usize,
     /// Ingested stream updates per second.
     pub updates_per_sec: f64,
     /// Point estimates per second.
     pub estimates_per_sec: f64,
+}
+
+impl Throughput {
+    /// A single-threaded row (the historical common case).
+    pub fn sequential(
+        name: impl Into<String>,
+        updates_per_sec: f64,
+        estimates_per_sec: f64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            threads: 1,
+            updates_per_sec,
+            estimates_per_sec,
+        }
+    }
 }
 
 /// The vendored serde has no `Serialize` impl for raw `Value` trees;
@@ -78,6 +97,7 @@ pub fn record_section(section: &str, meta: &[(&str, Value)], results: &[Throughp
                 .map(|t| {
                     Value::Map(vec![
                         ("name".to_owned(), Value::Str(t.name.clone())),
+                        ("threads".to_owned(), Value::U64(t.threads as u64)),
                         ("updates_per_sec".to_owned(), Value::F64(t.updates_per_sec)),
                         (
                             "estimates_per_sec".to_owned(),
@@ -142,15 +162,13 @@ mod tests {
         // real helpers into a temp-dir file via env redirection is not
         // possible (path is compile-time), so exercise the pure parts:
         // building and merging the Value tree round-trips through JSON.
-        let t = Throughput {
-            name: "x/streaming".into(),
-            updates_per_sec: 1.5e6,
-            estimates_per_sec: 2.5e6,
-        };
+        let t = Throughput::sequential("x/streaming", 1.5e6, 2.5e6);
+        assert_eq!(t.threads, 1);
         let body = serde_json::to_string(&Raw(Value::Map(vec![(
             "results".into(),
             Value::Seq(vec![Value::Map(vec![
                 ("name".into(), Value::Str(t.name.clone())),
+                ("threads".into(), Value::U64(t.threads as u64)),
                 ("updates_per_sec".into(), Value::F64(t.updates_per_sec)),
                 ("estimates_per_sec".into(), Value::F64(t.estimates_per_sec)),
             ])]),

@@ -3,8 +3,9 @@
 
 use crate::args::{parse_bytes, ArgError, ParsedArgs};
 use gsketch::{
-    evaluate_edge_queries, save_gsketch, AdaptiveConfig, AdaptiveGSketch, CmArena, CountMinSketch,
-    CountSketch, FrequencySketch, GSketch, GSketchBuilder, GlobalSketch, DEFAULT_G0,
+    evaluate_edge_queries, save_gsketch, AdaptiveConfig, AdaptiveGSketch, CmArena,
+    ConcurrentGSketch, CountMinSketch, CountSketch, EdgeSink, FrequencySketch, GSketch,
+    GSketchBuilder, GlobalSketch, ParallelIngest, DEFAULT_G0,
 };
 use gstream::gen::{
     dblp, ipattack, DblpConfig, ErdosRenyiConfig, ErdosRenyiGenerator, IpAttackConfig, RmatConfig,
@@ -57,12 +58,14 @@ USAGE:
   gsketch stats <stream-file> [--top K]
   gsketch build <stream-file> --memory SIZE --out SNAPSHOT
       [--sample-frac F] [--depth D] [--min-width W] [--seed S]
-      [--backend arena|countmin|countsketch]
+      [--backend arena|countmin|countsketch] [--threads N]
+      (--threads > 1 ingests through the parallel sharded pipeline;
+       requires the arena backend)
   gsketch query <snapshot> <src> <dst> [<src> <dst> ...] [--stream FILE]
       (--stream adds exact ground truth next to each estimate;
        the snapshot's synopsis backend is detected automatically)
   gsketch compare <stream-file> --memory SIZE [--queries N] [--depth D] [--seed S]
-      [--backend arena|countmin|countsketch]
+      [--backend arena|countmin|countsketch] [--threads N]
   gsketch adaptive <stream-file> --memory SIZE [--warmup N] [--queries N] [--seed S]
       (sample-free: the stream prefix replaces the data sample)
   gsketch structural <stream-file> [--top K] [--triangle-p P]
@@ -219,6 +222,21 @@ impl Backend {
     }
 }
 
+/// Parse `--threads` (default 1, clamped to at least 1) and reject the
+/// combinations the parallel pipeline cannot serve: it commits through
+/// the atomic arena, so only the arena backend shards.
+fn parse_threads(a: &ParsedArgs, backend: Backend) -> Result<usize, CliError> {
+    let threads: usize = a.get_or("threads", 1)?;
+    if threads > 1 && backend != Backend::Arena {
+        return Err(CliError::Args(ArgError(format!(
+            "--threads {threads} needs the arena backend (the parallel pipeline \
+             commits into the atomic counter arena); drop --backend {}",
+            backend.name()
+        ))));
+    }
+    Ok(threads.max(1))
+}
+
 fn cmd_build<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
     let a = ParsedArgs::parse(
         raw.iter().cloned(),
@@ -230,6 +248,7 @@ fn cmd_build<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
             "min-width",
             "seed",
             "backend",
+            "threads",
         ],
     )?;
     let stream_path = a.positional(0, "stream-file")?;
@@ -245,6 +264,10 @@ fn cmd_build<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
     let min_width: usize = a.get_or("min-width", 64)?;
     let seed: u64 = a.get_or("seed", 42)?;
     let backend = Backend::parse(&a)?;
+    let threads = parse_threads(&a, backend)?;
+    // The pipeline clamps its worker pool to available cores; report
+    // what actually ran, not what was requested.
+    let mut threads_used = 1usize;
 
     let stream = load_stream(stream_path).map_err(run_err)?;
     let k = ((stream.len() as f64 * sample_frac) as usize).max(1);
@@ -273,6 +296,13 @@ fn cmd_build<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
     }
 
     let (partitions, bytes) = match backend {
+        Backend::Arena if threads > 1 => {
+            let sketch = builder.build_from_sample(&sample).map_err(run_err)?;
+            let (sketch, workers) = parallel_ingest(sketch, &stream, threads);
+            save_gsketch(&snapshot_path, &sketch).map_err(run_err)?;
+            threads_used = workers;
+            (sketch.num_partitions(), sketch.bytes())
+        }
         Backend::Arena => build_ingest_save::<CmArena>(builder, &sample, &stream, &snapshot_path)?,
         Backend::CountMin => {
             build_ingest_save::<CountMinSketch>(builder, &sample, &stream, &snapshot_path)?
@@ -283,13 +313,21 @@ fn cmd_build<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
     };
     writeln!(
         out,
-        "built {partitions} partitions ({} backend) over {bytes} bytes from a {}-edge sample; ingested {} arrivals; snapshot: {snapshot_path}",
+        "built {partitions} partitions ({} backend) over {bytes} bytes from a {}-edge sample; ingested {} arrivals over {threads_used} worker(s) ({threads} requested); snapshot: {snapshot_path}",
         backend.name(),
         sample.len(),
         stream.len(),
     )
     .map_err(run_err)?;
     Ok(())
+}
+
+/// Ingest `stream` into a built arena sketch through the parallel
+/// sharded pipeline, then thaw it back for querying/persistence.
+fn parallel_ingest(sketch: GSketch, stream: &[StreamEdge], threads: usize) -> (GSketch, usize) {
+    let mut concurrent = ConcurrentGSketch::from_gsketch(sketch);
+    let report = ParallelIngest::new_exclusive(&mut concurrent, threads).run_slice(stream);
+    (concurrent.into_gsketch(), report.workers)
 }
 
 /// A snapshot restored with whichever backend it was built on.
@@ -380,6 +418,7 @@ fn cmd_compare<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
             "seed",
             "sample-frac",
             "backend",
+            "threads",
         ],
     )?;
     let stream_path = a.positional(0, "stream-file")?;
@@ -389,6 +428,7 @@ fn cmd_compare<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
     let seed: u64 = a.get_or("seed", 42)?;
     let sample_frac: f64 = a.get_or("sample-frac", 0.05)?;
     let backend = Backend::parse(&a)?;
+    let threads = parse_threads(&a, backend)?;
 
     let stream = load_stream(stream_path).map_err(run_err)?;
     let truth = ExactCounter::from_stream(&stream);
@@ -425,6 +465,14 @@ fn cmd_compare<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
     }
 
     let (acc_gs, partitions) = match backend {
+        Backend::Arena if threads > 1 => {
+            let gs = builder.build_from_sample(&sample).map_err(run_err)?;
+            let (gs, _workers) = parallel_ingest(gs, &stream, threads);
+            (
+                evaluate_edge_queries(&gs, &queries, &truth, DEFAULT_G0),
+                gs.num_partitions(),
+            )
+        }
         Backend::Arena => eval_backend::<CmArena>(builder, &sample, &stream, &queries, &truth)?,
         Backend::CountMin => {
             eval_backend::<CountMinSketch>(builder, &sample, &stream, &queries, &truth)?
@@ -853,6 +901,93 @@ mod tests {
         ])
         .unwrap();
         assert!(text.contains("countmin backend"));
+    }
+
+    #[test]
+    fn build_with_threads_matches_sequential_build() {
+        let stream = tmp("threads.txt");
+        run(&[
+            "generate",
+            "rmat-traffic",
+            "--out",
+            &stream,
+            "--arrivals",
+            "20000",
+            "--vertices",
+            "512",
+        ])
+        .unwrap();
+        let snap_seq = tmp("threads.seq.json");
+        let snap_par = tmp("threads.par.json");
+        run(&[
+            "build", &stream, "--memory", "64K", "--out", &snap_seq, "--seed", "9",
+        ])
+        .unwrap();
+        let built = run(&[
+            "build",
+            &stream,
+            "--memory",
+            "64K",
+            "--out",
+            &snap_par,
+            "--seed",
+            "9",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        assert!(built.contains("(4 requested)"), "{built}");
+        // Same stream, same seed: the parallel pipeline must answer
+        // queries identically to the sequential build.
+        let q_seq = run(&["query", &snap_seq, "0", "1", "3", "7"]).unwrap();
+        let q_par = run(&["query", &snap_par, "0", "1", "3", "7"]).unwrap();
+        assert_eq!(q_seq, q_par);
+    }
+
+    #[test]
+    fn compare_accepts_threads_flag() {
+        let stream = tmp("compare_threads.txt");
+        run(&[
+            "generate",
+            "smallworld",
+            "--out",
+            &stream,
+            "--arrivals",
+            "10000",
+            "--vertices",
+            "100",
+        ])
+        .unwrap();
+        let text = run(&[
+            "compare",
+            &stream,
+            "--memory",
+            "16K",
+            "--queries",
+            "500",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        assert!(text.contains("gain"));
+    }
+
+    #[test]
+    fn threads_require_arena_backend() {
+        let e = run(&[
+            "build",
+            "x.txt",
+            "--memory",
+            "64K",
+            "--out",
+            "y.json",
+            "--backend",
+            "countmin",
+            "--threads",
+            "4",
+        ])
+        .unwrap_err();
+        assert!(e.to_string().contains("arena"), "{e}");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release -p gsketch --example adaptive_stream`
 
 use gsketch::adaptive::Phase;
-use gsketch::{AdaptiveConfig, AdaptiveGSketch, GlobalSketch};
+use gsketch::{AdaptiveConfig, AdaptiveGSketch, EdgeSink, GlobalSketch};
 use gstream::gen::{RmatTrafficConfig, RmatTrafficGenerator};
 use gstream::ExactCounter;
 
@@ -32,7 +32,7 @@ fn main() {
     // Ingest; the switchover happens automatically mid-stream.
     let mut switched_at = None;
     for (i, se) in stream.iter().enumerate() {
-        adaptive.update(se.edge, se.weight);
+        adaptive.update(*se);
         if switched_at.is_none() && adaptive.phase() == Phase::Partitioned {
             switched_at = Some(i + 1);
         }

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release -p gsketch --example ip_attack`
 
-use gsketch::{evaluate_edge_queries, GSketch, GlobalSketch, SketchId, DEFAULT_G0};
+use gsketch::{evaluate_edge_queries, EdgeSink, GSketch, GlobalSketch, SketchId, DEFAULT_G0};
 use gstream::gen::{ipattack, IpAttackConfig};
 use gstream::workload::uniform_distinct_queries;
 use gstream::ExactCounter;

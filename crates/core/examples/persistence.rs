@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release -p gsketch --example persistence`
 
-use gsketch::{load_gsketch, save_gsketch, GSketch};
+use gsketch::{load_gsketch, save_gsketch, EdgeSink, GSketch};
 use gstream::gen::{SmallWorldConfig, SmallWorldGenerator};
 use gstream::sample::sample_iter;
 use gstream::Edge;

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release -p gsketch --example quickstart`
 
-use gsketch::{estimate_subgraph, Aggregator, GSketch, GlobalSketch};
+use gsketch::{estimate_subgraph, Aggregator, EdgeSink, GSketch, GlobalSketch};
 use gstream::workload::SubgraphQuery;
 use gstream::{Edge, ExactCounter, Interner, StreamEdge};
 

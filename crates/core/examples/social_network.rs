@@ -6,7 +6,8 @@
 //! Run with: `cargo run --release -p gsketch --example social_network`
 
 use gsketch::{
-    evaluate_edge_queries, evaluate_subgraph_queries, Aggregator, GSketch, GlobalSketch, DEFAULT_G0,
+    evaluate_edge_queries, evaluate_subgraph_queries, Aggregator, EdgeSink, GSketch, GlobalSketch,
+    DEFAULT_G0,
 };
 use gstream::gen::{dblp, DblpConfig};
 use gstream::workload::{bfs_subgraph_queries, uniform_distinct_queries};

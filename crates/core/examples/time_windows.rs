@@ -27,15 +27,15 @@ fn main() {
         for t in 0..day {
             let ts = d * day + t;
             if t < day / 2 {
-                w.insert(StreamEdge::unit(Edge::new(1u32, 2u32), ts))
+                w.try_insert(StreamEdge::unit(Edge::new(1u32, 2u32), ts))
                     .unwrap();
             }
             if d == 2 {
-                w.insert(StreamEdge::unit(Edge::new(3u32, 4u32), ts))
+                w.try_insert(StreamEdge::unit(Edge::new(3u32, 4u32), ts))
                     .unwrap();
             }
             // Background chatter.
-            w.insert(StreamEdge::unit(
+            w.try_insert(StreamEdge::unit(
                 Edge::new((ts % 97) as u32 + 10, (ts % 89) as u32 + 200),
                 ts,
             ))

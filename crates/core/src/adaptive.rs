@@ -43,6 +43,7 @@
 
 use crate::gsketch::{GSketch, GSketchBuilder};
 use crate::router::SketchId;
+use crate::sink::EdgeSink;
 use crate::vstats::{SampleStats, VertexStat};
 use gstream::edge::{Edge, StreamEdge};
 use gstream::fxhash::{FxHashMap, FxHashSet};
@@ -239,28 +240,6 @@ impl AdaptiveGSketch {
         self.arrivals
     }
 
-    /// Record one arrival.
-    pub fn update(&mut self, edge: Edge, weight: u64) {
-        self.arrivals += 1;
-        match &mut self.state {
-            State::Warmup(stats) => {
-                self.warmup.update(edge.key(), weight);
-                stats.observe(edge, weight, self.cfg.max_tracked_sources);
-                if self.arrivals >= self.cfg.warmup_arrivals {
-                    self.switch_over();
-                }
-            }
-            State::Partitioned(gs) => gs.update(edge, weight),
-        }
-    }
-
-    /// Ingest a whole stream.
-    pub fn ingest<'a, I: IntoIterator<Item = &'a StreamEdge>>(&mut self, stream: I) {
-        for se in stream {
-            self.update(se.edge, se.weight);
-        }
-    }
-
     /// Force the switchover before `warmup_arrivals` is reached (useful
     /// when the caller knows the prefix is already representative).
     pub fn partition_now(&mut self) {
@@ -342,6 +321,22 @@ impl AdaptiveGSketch {
     }
 }
 
+impl EdgeSink for AdaptiveGSketch {
+    fn update(&mut self, se: StreamEdge) {
+        self.arrivals += 1;
+        match &mut self.state {
+            State::Warmup(stats) => {
+                self.warmup.update(se.edge.key(), se.weight);
+                stats.observe(se.edge, se.weight, self.cfg.max_tracked_sources);
+                if self.arrivals >= self.cfg.warmup_arrivals {
+                    self.switch_over();
+                }
+            }
+            State::Partitioned(gs) => gs.update(se),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,10 +370,10 @@ mod tests {
         let mut a = AdaptiveGSketch::new(cfg(1 << 16, 10)).unwrap();
         assert_eq!(a.phase(), Phase::Warmup);
         for t in 0..9u32 {
-            a.update(Edge::new(t, t + 1), 1);
+            a.update(StreamEdge::unit(Edge::new(t, t + 1), 0));
             assert_eq!(a.phase(), Phase::Warmup);
         }
-        a.update(Edge::new(100u32, 101u32), 1);
+        a.update(StreamEdge::unit(Edge::new(100u32, 101u32), 0));
         assert_eq!(a.phase(), Phase::Partitioned);
         assert!(a.num_partitions() >= 1);
     }
@@ -403,7 +398,7 @@ mod tests {
     fn partition_now_is_idempotent() {
         let mut a = AdaptiveGSketch::new(cfg(1 << 16, 1_000_000)).unwrap();
         for t in 0..100u32 {
-            a.update(Edge::new(t % 10, t), 1);
+            a.update(StreamEdge::unit(Edge::new(t % 10, t), 0));
         }
         assert_eq!(a.phase(), Phase::Warmup);
         a.partition_now();
@@ -416,7 +411,7 @@ mod tests {
     #[test]
     fn warmup_only_queries_work() {
         let mut a = AdaptiveGSketch::new(cfg(1 << 16, 1_000)).unwrap();
-        a.update(Edge::new(1u32, 2u32), 7);
+        a.update(StreamEdge::weighted(Edge::new(1u32, 2u32), 0, 7));
         assert_eq!(a.phase(), Phase::Warmup);
         assert!(a.estimate(Edge::new(1u32, 2u32)) >= 7);
         assert!(a.route(Edge::new(1u32, 2u32)).is_none());
@@ -486,7 +481,7 @@ mod tests {
         let mut a = AdaptiveGSketch::new(c).unwrap();
         // 50 distinct sources, but only 4 tracked.
         for t in 0..50u32 {
-            a.update(Edge::new(t, 1000), 1);
+            a.update(StreamEdge::unit(Edge::new(t, 1000), 0));
         }
         assert_eq!(a.phase(), Phase::Partitioned);
         // Everything still answerable (via warm-up + outlier).

@@ -14,8 +14,11 @@
 
 use crate::gsketch::GSketch;
 use crate::partition::PartitionPlan;
+use crate::pipeline::SlotSink;
 use crate::router::{Router, SketchId};
+use crate::sink::EdgeSink;
 use gstream::edge::{Edge, StreamEdge};
+use gstream::vertex::VertexId;
 use sketch::AtomicCmArena;
 
 /// A thread-safe gSketch supporting shared-reference ingest over the
@@ -40,20 +43,6 @@ impl ConcurrentGSketch {
         }
     }
 
-    /// Record one arrival (callable from any thread).
-    #[inline]
-    pub fn update(&self, edge: Edge, weight: u64) {
-        let slot = self.router.slot(edge.src);
-        self.bank.update_slot(slot, edge.key(), weight);
-    }
-
-    /// Ingest a slice of arrivals.
-    pub fn ingest(&self, stream: &[StreamEdge]) {
-        for se in stream {
-            self.update(se.edge, se.weight);
-        }
-    }
-
     /// Estimate the aggregate frequency of an edge. Lock-free; sees every
     /// update that happened-before the call.
     pub fn estimate(&self, edge: Edge) -> u64 {
@@ -71,10 +60,59 @@ impl ConcurrentGSketch {
         self.bank.num_slots() - 1
     }
 
+    /// Total stream weight absorbed so far across all slots (sees every
+    /// update that happened-before the call).
+    pub fn total_weight(&self) -> u64 {
+        (0..self.bank.num_slots())
+            .map(|s| self.bank.slot_total(s as u32))
+            .fold(0u64, u64::saturating_add)
+    }
+
     /// Thaw back into a sequential [`GSketch`]. Requires exclusive
     /// ownership, so no updates can be in flight.
     pub fn into_gsketch(self) -> GSketch {
         GSketch::from_parts(self.bank.into_arena(), self.router, self.plan, self.depth)
+    }
+}
+
+impl EdgeSink for ConcurrentGSketch {
+    #[inline]
+    fn update(&mut self, se: StreamEdge) {
+        (&*self).update(se);
+    }
+}
+
+/// The shared-reference sink: what each worker thread holds. Updates go
+/// through the lock-free saturating-CAS adds, so any number of `&self`
+/// sinks may ingest concurrently.
+impl EdgeSink for &ConcurrentGSketch {
+    #[inline]
+    fn update(&mut self, se: StreamEdge) {
+        let slot = self.router.slot(se.edge.src);
+        self.bank.update_slot(slot, se.edge.key(), se.weight);
+    }
+}
+
+/// The pipeline-facing surface: route by source vertex, commit key-sorted
+/// runs straight into the atomic arena's slot spans.
+impl SlotSink for ConcurrentGSketch {
+    fn num_slots(&self) -> usize {
+        self.bank.num_slots()
+    }
+
+    #[inline]
+    fn slot_of(&self, src: VertexId) -> u32 {
+        self.router.slot(src)
+    }
+
+    #[inline]
+    fn commit_run(&self, slot: u32, sorted_run: &[(u64, u64)]) {
+        self.bank.add_batch_saturating(slot, sorted_run);
+    }
+
+    #[inline]
+    fn commit_run_exclusive(&self, slot: u32, sorted_run: &[(u64, u64)]) {
+        self.bank.add_batch_saturating_exclusive(slot, sorted_run);
     }
 }
 
@@ -97,9 +135,9 @@ mod tests {
 
     #[test]
     fn single_thread_matches_sequential_semantics() {
-        let c = build();
+        let mut c = build();
         let e = Edge::new(5u32, 1005u32);
-        c.update(e, 7);
+        c.update(StreamEdge::weighted(e, 0, 7));
         assert!(c.estimate(e) >= 7);
     }
 
@@ -112,12 +150,14 @@ mod tests {
         for t in 0..threads {
             let c = Arc::clone(&c);
             handles.push(std::thread::spawn(move || {
-                // All threads hammer the same edge plus a private one.
+                // Each thread ingests through its own shared-reference
+                // sink, all hammering one edge plus a private one.
+                let mut sink: &ConcurrentGSketch = &c;
                 let shared = Edge::new(1u32, 1001u32);
                 let private = Edge::new(t as u32, 1000 + t as u32);
                 for _ in 0..per_thread {
-                    c.update(shared, 1);
-                    c.update(private, 1);
+                    sink.update(StreamEdge::unit(shared, 0));
+                    sink.update(StreamEdge::unit(private, 0));
                 }
             }));
         }
@@ -126,6 +166,7 @@ mod tests {
         }
         let shared = Edge::new(1u32, 1001u32);
         assert!(c.estimate(shared) >= threads as u64 * per_thread);
+        assert_eq!(c.total_weight(), threads as u64 * per_thread * 2);
         // Counter totals must reflect every update exactly (no lost
         // increments under the atomic adds).
         let g = Arc::try_unwrap(c).unwrap().into_gsketch();
@@ -134,9 +175,9 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_estimates() {
-        let c = build();
+        let mut c = build();
         let e = Edge::new(3u32, 1003u32);
-        c.update(e, 11);
+        c.update(StreamEdge::weighted(e, 0, 11));
         let g = c.into_gsketch();
         assert!(g.estimate(e) >= 11);
     }

@@ -24,19 +24,6 @@ impl GlobalSketch {
         })
     }
 
-    /// Record one arrival.
-    #[inline]
-    pub fn update(&mut self, edge: Edge, weight: u64) {
-        self.inner.update(edge.key(), weight);
-    }
-
-    /// Ingest a whole stream.
-    pub fn ingest<'a, I: IntoIterator<Item = &'a StreamEdge>>(&mut self, stream: I) {
-        for se in stream {
-            self.update(se.edge, se.weight);
-        }
-    }
-
     /// Estimate the aggregate frequency of an edge.
     #[inline]
     pub fn estimate(&self, edge: Edge) -> u64 {
@@ -64,9 +51,17 @@ impl GlobalSketch {
     }
 }
 
+impl crate::EdgeSink for GlobalSketch {
+    #[inline]
+    fn update(&mut self, se: StreamEdge) {
+        self.inner.update(se.edge.key(), se.weight);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::EdgeSink;
 
     #[test]
     fn never_underestimates() {
@@ -97,7 +92,7 @@ mod tests {
     fn error_bound_grows_with_stream() {
         let mut g = GlobalSketch::new(1 << 12, 3, 1).unwrap();
         let b0 = g.error_bound();
-        g.update(Edge::new(1u32, 2u32), 1000);
+        g.update(StreamEdge::weighted(Edge::new(1u32, 2u32), 0, 1000));
         assert!(g.error_bound() > b0);
         assert_eq!(g.total_weight(), 1000);
     }

@@ -505,30 +505,21 @@ impl GSketch {
     }
 }
 
-impl<B: FrequencySketch> GSketch<B> {
-    /// Record one arrival of `edge` with weight `weight`. The router
-    /// returns a flat slot (outlier = last slot), so this is a single
-    /// unconditioned bank update.
+/// The unified ingest surface: routing one arrival is a single
+/// unconditioned bank update (outlier = last slot), and
+/// [`ingest_batch`](crate::EdgeSink::ingest_batch) groups a batch by
+/// destination slot so the counter traffic walks one slot's block at a
+/// time instead of hopping across the whole synopsis (the arena's
+/// contiguous layout turns that into cache-line reuse). Estimates are
+/// identical either way — counters are commutative.
+impl<B: FrequencySketch> crate::EdgeSink for GSketch<B> {
     #[inline]
-    pub fn update(&mut self, edge: Edge, weight: u64) {
-        let slot = self.router.slot(edge.src);
-        self.bank.update(slot, edge.key(), weight);
+    fn update(&mut self, se: StreamEdge) {
+        let slot = self.router.slot(se.edge.src);
+        self.bank.update(slot, se.edge.key(), se.weight);
     }
 
-    /// Ingest a whole stream in arrival order.
-    pub fn ingest<'a, I: IntoIterator<Item = &'a StreamEdge>>(&mut self, stream: I) {
-        for se in stream {
-            self.update(se.edge, se.weight);
-        }
-    }
-
-    /// Ingest a batch of arrivals grouped by destination slot: all
-    /// updates landing in the same partition are applied back-to-back, so
-    /// the counter traffic walks one slot's block at a time instead of
-    /// hopping across the whole synopsis (the arena's contiguous layout
-    /// turns that into cache-line reuse). Estimates are identical to
-    /// [`Self::ingest`] — counters are commutative.
-    pub fn ingest_batch(&mut self, batch: &[StreamEdge]) {
+    fn ingest_batch(&mut self, batch: &[StreamEdge]) {
         let n_slots = self.bank.num_slots();
         let mut counts = vec![0usize; n_slots];
         let slots: Vec<u32> = batch
@@ -553,12 +544,15 @@ impl<B: FrequencySketch> GSketch<B> {
             *at += 1;
         }
         for (slot, (&start, &count)) in starts.iter().zip(&counts).enumerate() {
-            for &(key, weight) in &grouped[start..start + count] {
-                self.bank.update(slot as u32, key, weight);
+            if count > 0 {
+                self.bank
+                    .add_batch(slot as u32, &grouped[start..start + count]);
             }
         }
     }
+}
 
+impl<B: FrequencySketch> GSketch<B> {
     /// Estimate the aggregate frequency `f̃(x, y)` of an edge.
     #[inline]
     pub fn estimate(&self, edge: Edge) -> u64 {
@@ -684,6 +678,7 @@ impl<B: FrequencySketch> GSketch<B> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::EdgeSink;
     use gstream::vertex::VertexId;
 
     fn se(s: u32, d: u32, w: u64) -> StreamEdge {
@@ -729,7 +724,7 @@ mod tests {
             .unwrap();
         assert_eq!(g.num_partitions(), 0);
         let e = Edge::new(1u32, 2u32);
-        g.update(e, 5);
+        g.update(StreamEdge::weighted(e, 0, 5));
         assert!(g.estimate(e) >= 5);
         assert_eq!(g.route(e), SketchId::Outlier);
     }
@@ -777,7 +772,7 @@ mod tests {
             .build_from_sample(&stream)
             .unwrap();
         let novel = Edge::new(7777u32, 1u32);
-        g.update(novel, 42);
+        g.update(StreamEdge::weighted(novel, 0, 42));
         assert!(g.estimate(novel) >= 42);
         assert_eq!(g.outlier_weight(), 42);
     }

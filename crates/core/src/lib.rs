@@ -16,7 +16,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use gsketch::{GSketch, GlobalSketch};
+//! use gsketch::{EdgeSink, GSketch, GlobalSketch};
 //! use gstream::{Edge, StreamEdge};
 //!
 //! // A toy stream: one heavy edge and many light ones.
@@ -52,6 +52,8 @@
 //! | §6.2 accuracy metrics | [`metrics`] |
 //! | §5 time-windowed deployment | [`window`] |
 //! | beyond the paper: lock-free concurrent ingest | [`concurrent`] |
+//! | beyond the paper: unified ingest surface | [`sink`] |
+//! | beyond the paper: parallel sharded ingest | [`pipeline`] |
 //!
 //! ## Synopsis backends
 //!
@@ -74,8 +76,10 @@ pub mod gsketch;
 pub mod metrics;
 pub mod partition;
 pub mod persist;
+pub mod pipeline;
 pub mod query;
 pub mod router;
+pub mod sink;
 pub mod vstats;
 pub mod window;
 
@@ -88,8 +92,10 @@ pub use partition::{Objective, PartitionConfig, PartitionPlan, WidthAllocation};
 pub use persist::{
     load_gsketch, load_gsketch_backend, save_gsketch, PersistError, RawSnapshot, FORMAT_VERSION,
 };
+pub use pipeline::{IngestReport, ParallelIngest, SlotSink};
 pub use query::{estimate_subgraph, estimate_subgraph_with, Aggregator, EdgeEstimator};
 pub use router::{Router, SketchId};
+pub use sink::EdgeSink;
 pub use sketch::{CmArena, CountMinSketch, CountSketch, FrequencySketch, SketchBank};
 pub use vstats::SampleStats;
 pub use window::{WindowConfig, WindowedGSketch};

@@ -297,6 +297,7 @@ pub fn load_global<P: AsRef<Path>>(path: P) -> Result<GlobalSketch, PersistError
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::EdgeSink;
     use gstream::edge::{Edge, StreamEdge};
 
     fn sample_stream() -> Vec<StreamEdge> {
@@ -339,7 +340,7 @@ mod tests {
         let mut back = read_gsketch(&buf[..]).unwrap();
         let e = Edge::new(3u32, 103u32);
         let before = back.estimate(e);
-        back.update(e, 10);
+        back.update(StreamEdge::weighted(e, 0, 10));
         assert_eq!(back.estimate(e), before + 10);
     }
 

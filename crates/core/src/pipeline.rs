@@ -1,0 +1,723 @@
+//! The parallel sharded ingest pipeline (DESIGN.md §7).
+//!
+//! `ConcurrentGSketch` has accepted concurrent callers since the arena
+//! refactor, but nothing in the repo actually *fanned a stream out*
+//! across cores — and naive fan-out (every thread calling `update` per
+//! arrival) pays the router probe, `d` hash evaluations and `d` atomic
+//! RMWs for every single arrival. This module adds the missing stages
+//! between a chunked [`EdgeSource`] and the shared
+//! [`AtomicCmArena`](sketch::AtomicCmArena):
+//!
+//! 1. **Staging.** Each worker refills a private staging buffer from the
+//!    shared source under one short lock (the source hands out contiguous
+//!    chunks, so the lock is held for a `memcpy`, not per arrival).
+//! 2. **Hot-key combining.** The worker folds its chunk through a 4-way
+//!    set-associative combiner cache tagged by the raw `(src, dst)`
+//!    endpoint pair (one 64-byte set per probe, heaviest-stays eviction,
+//!    software-prefetched a few arrivals ahead). The Zipf head of a real
+//!    graph stream hits the cache over and over, accumulating one weight
+//!    instead of issuing one synopsis update per arrival; both the
+//!    router probe and the 64-bit sketch-key mix happen only when an
+//!    entry enters or leaves the cache, so hot edges pay them once, not
+//!    once per arrival.
+//! 3. **Slot sort.** Evicted and drained cache entries — now one
+//!    `(slot, key, weight)` triple per distinct key per cache residency —
+//!    are counting-sorted by destination slot, extending PR 2's
+//!    slot-grouped batching to the concurrent path.
+//! 4. **Span commit.** Each slot run is committed through
+//!    [`SlotSink::commit_run`] →
+//!    [`add_batch_saturating`](sketch::AtomicCmArena::add_batch_saturating):
+//!    the run walks one slot's contiguous span at a time, adjacent
+//!    duplicates coalesce, the per-key field fold is hoisted out of the
+//!    row loop, range reduction uses precomputed fastmod constants, and
+//!    the slot's total counter is contended once per run instead of once
+//!    per arrival.
+//!
+//! Workers touch disjoint staging and cache state and commit through
+//! saturating atomic adds, so the result is within saturating-add
+//! semantics of a sequential ingest of the same stream — bit-identical
+//! in the non-saturating regime (pinned by `backend_parity`'s parallel
+//! parity proptest). Nothing about the math depends on the thread count
+//! or the chunking, only on the multiset of arrivals.
+//!
+//! **Worker-pool sizing.** Like every CPU-bound pool (rayon, TBB), the
+//! pipeline treats the requested thread count as an *upper bound* and
+//! clamps it to the machine's available parallelism: oversubscribing a
+//! single core with N compute-bound workers buys nothing and costs
+//! context switches and per-worker cache dilution. Tests that need real
+//! thread interleaving regardless of the host use
+//! [`oversubscribe`](ParallelIngest::oversubscribe).
+
+use crate::concurrent::ConcurrentGSketch;
+use crate::sink::EdgeSink;
+use gstream::edge::StreamEdge;
+use gstream::source::EdgeSource;
+use gstream::vertex::VertexId;
+use sketch::prefetch;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default arrivals per staging buffer. The combiner cache carries
+/// duplicate state *across* chunks, so this only needs to amortize the
+/// source lock, not maximize within-chunk duplication.
+pub const DEFAULT_CHUNK: usize = 1 << 15;
+
+/// log2 of the combiner sets per worker: 2^16 sets × 4 ways × 16 B =
+/// 4 MiB per worker — sized so the Zipf head plus most of the warm tail
+/// of a multi-million-arrival stream stays resident (the sweep on the
+/// R-MAT traffic bench plateaus here; see `benches/parallel_ingest.rs`).
+const SET_BITS: u32 = 16;
+
+/// Commit the evicted-entry list once it reaches this length.
+const EVICT_COMMIT_LEN: usize = 1 << 13;
+
+/// How many arrivals ahead the absorb loop prefetches its combiner set.
+const PREFETCH_AHEAD: usize = 12;
+
+/// A shard-addressable, thread-shareable sink: the consumer-side contract
+/// of [`ParallelIngest`]. Implemented by [`ConcurrentGSketch`] (routing
+/// through its read-only router into the shared atomic arena); the
+/// generic parameter is what future shard placements (NUMA-pinned arenas,
+/// remote shards) implement.
+pub trait SlotSink: Sync {
+    /// Number of addressable slots (partitions + outlier).
+    fn num_slots(&self) -> usize;
+
+    /// The slot absorbing edges whose source vertex is `src`.
+    fn slot_of(&self, src: VertexId) -> u32;
+
+    /// Commit a run of `(key, weight)` pairs into `slot`. Callable from
+    /// any thread; runs for different slots touch disjoint counter
+    /// spans. Adjacent equal keys are coalesced into one counter write.
+    fn commit_run(&self, slot: u32, run: &[(u64, u64)]);
+
+    /// [`commit_run`](Self::commit_run) for a pipeline that holds the
+    /// sink exclusively (see [`ParallelIngest::new_exclusive`]): sinks
+    /// may override it with a plain-store commit that skips atomic RMW
+    /// serialization, since no concurrent writer can exist. The default
+    /// just forwards to the shared-safe path.
+    fn commit_run_exclusive(&self, slot: u32, run: &[(u64, u64)]) {
+        self.commit_run(slot, run);
+    }
+}
+
+/// What a pipeline run absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Stream arrivals absorbed.
+    pub arrivals: u64,
+    /// Chunks pulled from the source across all workers.
+    pub chunks: u64,
+    /// Worker threads actually spawned (requested, clamped to the
+    /// host's available parallelism unless oversubscription was forced).
+    pub workers: usize,
+}
+
+/// One 4-way combiner set, exactly one cache line. Ways are tagged by
+/// the raw `(src, dst)` endpoint pair — exact equality, no hashing —
+/// and `weights[j] == 0` marks way `j` free (zero-weight arrivals are
+/// identities and are dropped at the door), so a probe is one line
+/// fill, four compares. The 64-bit sketch key is only derived when an
+/// entry leaves the cache, i.e. once per distinct entry per residency
+/// instead of once per arrival.
+#[repr(align(64))]
+#[derive(Clone, Copy)]
+struct CacheSet {
+    pairs: [u64; 4],
+    slots: [u32; 4],
+    weights: [u32; 4],
+}
+
+const EMPTY_SET: CacheSet = CacheSet {
+    pairs: [0; 4],
+    slots: [0; 4],
+    weights: [0; 4],
+};
+
+/// The packed endpoint pair identifying an edge exactly.
+#[inline]
+fn edge_pair(se: &StreamEdge) -> u64 {
+    (u64::from(se.edge.src.0) << 32) | u64::from(se.edge.dst.0)
+}
+
+/// Combiner set index for a pair: one Fibonacci multiply — the cache
+/// only needs spread, not pairwise independence.
+#[inline]
+fn set_index(pair: u64, shift: u32) -> usize {
+    ((pair ^ (pair >> 29)).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> shift) as usize
+}
+
+/// The sketch key of a cached pair (must agree with [`Edge::key`], which
+/// the query side uses).
+#[inline]
+fn pair_key(pair: u64) -> u64 {
+    sketch::hash::combine64(pair >> 32, pair & 0xFFFF_FFFF)
+}
+
+/// Per-worker pipeline state: the combiner cache, the evicted-entry
+/// staging list, and the counting-sort scratch. Private to one worker —
+/// never shared, never locked.
+struct Worker {
+    sets: Box<[CacheSet]>,
+    /// `64 - log2(sets.len())`: the set-index shift.
+    shift: u32,
+    /// Commit through the exclusive-writer path (see
+    /// [`ParallelIngest::new_exclusive`]; only set for a sole worker).
+    exclusive: bool,
+    /// Evicted `(slot, pair, weight)` triples awaiting a batched commit.
+    evicted: Vec<(u32, u64, u64)>,
+    /// Counting-sort scratch, sized to the sink's slot count.
+    counts: Vec<usize>,
+    cursors: Vec<usize>,
+    runs: Vec<(u64, u64)>,
+}
+
+impl Worker {
+    fn new(n_slots: usize, exclusive: bool) -> Self {
+        Self {
+            sets: vec![EMPTY_SET; 1 << SET_BITS].into_boxed_slice(),
+            shift: 64 - SET_BITS,
+            exclusive,
+            evicted: Vec::with_capacity(EVICT_COMMIT_LEN + DEFAULT_CHUNK),
+            counts: vec![0; n_slots],
+            cursors: Vec::with_capacity(n_slots),
+            runs: Vec::new(),
+        }
+    }
+
+    /// Fold one arrival into the combiner. Hits cost one compare-and-add
+    /// in a resident line; misses route the source vertex once and
+    /// displace the set's lightest way — the heaviest (hottest) entries
+    /// are the ones that stay.
+    #[inline]
+    fn absorb<B: SlotSink>(&mut self, sink: &B, se: &StreamEdge) {
+        if se.weight == 0 {
+            return;
+        }
+        let pair = edge_pair(se);
+        if se.weight > u64::from(u32::MAX) {
+            // Heavier than the packed weight field: commit out-of-band.
+            self.evicted
+                .push((sink.slot_of(se.edge.src), pair, se.weight));
+            return;
+        }
+        let set = &mut self.sets[set_index(pair, self.shift)];
+        // Branch-free hit detection: all four ways are compared with
+        // plain boolean arithmetic, leaving a single well-predicted
+        // hit/miss branch instead of a data-dependent branch per way.
+        let p = &set.pairs;
+        let w = &set.weights;
+        let hit_mask = u32::from(p[0] == pair && w[0] != 0)
+            | u32::from(p[1] == pair && w[1] != 0) << 1
+            | u32::from(p[2] == pair && w[2] != 0) << 2
+            | u32::from(p[3] == pair && w[3] != 0) << 3;
+        if hit_mask != 0 {
+            let j = hit_mask.trailing_zeros() as usize;
+            let sum = u64::from(set.weights[j]) + se.weight;
+            if sum <= u64::from(u32::MAX) {
+                set.weights[j] = sum as u32;
+            } else {
+                // Accumulator full: flush it and restart the count.
+                self.evicted
+                    .push((set.slots[j], pair, u64::from(set.weights[j])));
+                set.weights[j] = se.weight as u32;
+            }
+            return;
+        }
+        // Miss: displace the lightest way (branchless min — an empty way
+        // has weight 0 and always wins).
+        let mut victim = 0usize;
+        for j in 1..4 {
+            victim = if set.weights[j] < set.weights[victim] {
+                j
+            } else {
+                victim
+            };
+        }
+        if set.weights[victim] != 0 {
+            self.evicted.push((
+                set.slots[victim],
+                set.pairs[victim],
+                u64::from(set.weights[victim]),
+            ));
+        }
+        set.pairs[victim] = pair;
+        set.slots[victim] = sink.slot_of(se.edge.src);
+        set.weights[victim] = se.weight as u32;
+    }
+
+    /// Absorb a staged chunk with prefetch lookahead, committing the
+    /// evicted list when it has accumulated a batch worth sorting.
+    fn process_chunk<B: SlotSink>(&mut self, sink: &B, batch: &[StreamEdge]) {
+        for (i, se) in batch.iter().enumerate() {
+            let ahead = i + PREFETCH_AHEAD;
+            if ahead < batch.len() {
+                prefetch(&self.sets[set_index(edge_pair(&batch[ahead]), self.shift)]);
+            }
+            self.absorb(sink, se);
+        }
+        if self.evicted.len() >= EVICT_COMMIT_LEN {
+            self.commit_evicted(sink);
+        }
+    }
+
+    /// Counting-sort the evicted triples by slot and commit each run
+    /// through the sink's span-commit.
+    fn commit_evicted<B: SlotSink>(&mut self, sink: &B) {
+        if self.evicted.is_empty() {
+            return;
+        }
+        self.counts.fill(0);
+        for &(slot, _, _) in &self.evicted {
+            self.counts[slot as usize] += 1;
+        }
+        self.cursors.clear();
+        let mut acc = 0usize;
+        for &c in &self.counts {
+            self.cursors.push(acc);
+            acc += c;
+        }
+        self.runs.clear();
+        self.runs.resize(self.evicted.len(), (0, 0));
+        for &(slot, pair, weight) in &self.evicted {
+            let at = &mut self.cursors[slot as usize];
+            // The sketch key is derived here — once per committed entry,
+            // not once per arrival.
+            self.runs[*at] = (pair_key(pair), weight);
+            *at += 1;
+        }
+        let mut start = 0usize;
+        for (slot, &end) in self.cursors.iter().enumerate() {
+            if end > start {
+                if self.exclusive {
+                    sink.commit_run_exclusive(slot as u32, &self.runs[start..end]);
+                } else {
+                    sink.commit_run(slot as u32, &self.runs[start..end]);
+                }
+            }
+            start = end;
+        }
+        self.evicted.clear();
+    }
+
+    /// Evict every live cache entry and commit everything: after this,
+    /// all absorbed arrivals are visible in the sink.
+    fn drain<B: SlotSink>(&mut self, sink: &B) {
+        for set in self.sets.iter_mut() {
+            for j in 0..4 {
+                if set.weights[j] != 0 {
+                    self.evicted
+                        .push((set.slots[j], set.pairs[j], u64::from(set.weights[j])));
+                    set.weights[j] = 0;
+                }
+            }
+        }
+        self.commit_evicted(sink);
+    }
+}
+
+impl std::fmt::Debug for Worker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Worker")
+            .field("cache_entries", &(self.sets.len() * 4))
+            .field("evicted", &self.evicted.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The parallel sharded ingest pipeline over any [`SlotSink`] `B`
+/// (by default the [`ConcurrentGSketch`] atomic arena).
+///
+/// Two modes share one staging → combine → slot-sort → span-commit path:
+///
+/// * **Pull** — [`run`](Self::run) drains a chunked [`EdgeSource`] from
+///   the worker pool (scoped threads; no detached state survives the
+///   call, and every worker's cache is drained before it returns).
+/// * **Push** — the pipeline is itself an [`EdgeSink`]: `update` /
+///   `ingest_batch` feed the calling thread's worker state, and
+///   [`flush`](EdgeSink::flush) drains it. Absorbed-but-unflushed
+///   arrivals are **not** guaranteed visible to queries until the flush.
+#[derive(Debug)]
+pub struct ParallelIngest<'s, B: SlotSink = ConcurrentGSketch> {
+    sink: &'s B,
+    threads: usize,
+    chunk_capacity: usize,
+    oversubscribe: bool,
+    exclusive: bool,
+    /// Worker state for the push-mode surface (lazily created: most
+    /// pull-mode pipelines never touch it).
+    local: Option<Box<Worker>>,
+    /// Arrivals accepted through the push surface since the last drain.
+    staged_arrivals: usize,
+}
+
+impl<'s, B: SlotSink> ParallelIngest<'s, B> {
+    /// A pipeline committing into `sink` from up to `threads` workers
+    /// (clamped to at least 1 and, by default, to the host's available
+    /// parallelism), with the default staging capacity.
+    pub fn new(sink: &'s B, threads: usize) -> Self {
+        Self {
+            sink,
+            threads: threads.max(1),
+            chunk_capacity: DEFAULT_CHUNK,
+            oversubscribe: false,
+            exclusive: false,
+            local: None,
+            staged_arrivals: 0,
+        }
+    }
+
+    /// Like [`new`](Self::new), but taking the sink by exclusive borrow.
+    /// The mutable borrow is held for the pipeline's whole lifetime, so
+    /// the borrow checker proves no other thread can update the sink
+    /// while this pipeline exists — which lets a sole worker commit
+    /// through [`SlotSink::commit_run_exclusive`] (plain stores instead
+    /// of lock-prefixed RMWs). Multi-worker runs still use the shared
+    /// atomic path, since the workers race each other.
+    pub fn new_exclusive(sink: &'s mut B, threads: usize) -> Self {
+        let mut pipe = Self::new(sink, threads);
+        pipe.exclusive = true;
+        pipe
+    }
+
+    /// Override the arrivals staged per source refill (clamped to at
+    /// least 1). Larger chunks amortize the source lock further; smaller
+    /// chunks bound staging latency.
+    #[must_use]
+    pub fn chunk_capacity(mut self, capacity: usize) -> Self {
+        self.chunk_capacity = capacity.max(1);
+        self
+    }
+
+    /// Spawn exactly the requested thread count even beyond the host's
+    /// available parallelism. Oversubscription never helps a CPU-bound
+    /// pipeline — this exists so correctness tests can force real thread
+    /// interleaving on small machines.
+    #[must_use]
+    pub fn oversubscribe(mut self, on: bool) -> Self {
+        self.oversubscribe = on;
+        self
+    }
+
+    /// Requested worker threads (upper bound for [`run`](Self::run)).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Worker threads [`run`](Self::run) will actually spawn.
+    pub fn effective_threads(&self) -> usize {
+        if self.oversubscribe {
+            self.threads
+        } else {
+            let cores = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1);
+            self.threads.min(cores)
+        }
+    }
+
+    /// Arrivals accepted through the push-mode surface that may not yet
+    /// be visible to queries (combined or staged, not yet drained).
+    pub fn staged(&self) -> usize {
+        self.staged_arrivals
+    }
+
+    fn local_worker(&mut self) -> &mut Worker {
+        let n_slots = self.sink.num_slots();
+        let exclusive = self.exclusive;
+        self.local
+            .get_or_insert_with(|| Box::new(Worker::new(n_slots, exclusive)))
+    }
+
+    /// [`run`](Self::run) specialized to an in-memory stream: workers
+    /// claim contiguous spans of the slice through one atomic cursor, so
+    /// there is no source lock and no staging copy at all — each chunk
+    /// is processed in place. This is the fastest way to replay a
+    /// materialized stream; use [`run`](Self::run) for generators and
+    /// file readers.
+    pub fn run_slice(&mut self, stream: &[StreamEdge]) -> IngestReport {
+        self.flush();
+        let workers = self.effective_threads();
+        let chunks = AtomicU64::new(0);
+        let cursor = AtomicU64::new(0);
+        let sink = self.sink;
+        let cap = self.chunk_capacity;
+        let n_slots = sink.num_slots();
+        let exclusive = self.exclusive && workers == 1;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut worker = Worker::new(n_slots, exclusive);
+                    loop {
+                        let start = cursor.fetch_add(cap as u64, Ordering::Relaxed) as usize;
+                        if start >= stream.len() {
+                            break;
+                        }
+                        let end = (start + cap).min(stream.len());
+                        chunks.fetch_add(1, Ordering::Relaxed);
+                        worker.process_chunk(sink, &stream[start..end]);
+                    }
+                    worker.drain(sink);
+                });
+            }
+        });
+        IngestReport {
+            arrivals: stream.len() as u64,
+            chunks: chunks.into_inner(),
+            workers,
+        }
+    }
+
+    /// Drain `source` to exhaustion across the worker pool and return
+    /// what was absorbed. Any arrivals staged through the push-mode
+    /// [`EdgeSink`] surface are committed first, so the two modes
+    /// compose.
+    ///
+    /// The source is behind one mutex, held per chunk rather than per
+    /// arrival. How much work that lock covers is the source's
+    /// `fill_chunk`: a `memcpy` for slices, one generator pass for the
+    /// synthetic models, but a full text-parse for
+    /// [`StreamFileSource`](gstream::StreamFileSource) — a
+    /// parse-dominated source serializes the workers on the lock, so
+    /// for maximum multi-core throughput pre-materialize the stream and
+    /// use [`run_slice`](Self::run_slice).
+    pub fn run<S: EdgeSource + Send>(&mut self, source: &mut S) -> IngestReport {
+        self.flush();
+        let workers = self.effective_threads();
+        let arrivals = AtomicU64::new(0);
+        let chunks = AtomicU64::new(0);
+        let shared = Mutex::new(source);
+        let sink = self.sink;
+        let cap = self.chunk_capacity;
+        let n_slots = sink.num_slots();
+        // Exclusive commits need a sole writer: the exclusive borrow
+        // rules out external writers, and a single worker rules out
+        // sibling workers.
+        let exclusive = self.exclusive && workers == 1;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut buf: Vec<StreamEdge> = Vec::with_capacity(cap);
+                    let mut worker = Worker::new(n_slots, exclusive);
+                    loop {
+                        let n = shared
+                            .lock()
+                            .expect("ingest source lock poisoned")
+                            .fill_chunk(&mut buf, cap);
+                        if n == 0 {
+                            break;
+                        }
+                        arrivals.fetch_add(n as u64, Ordering::Relaxed);
+                        chunks.fetch_add(1, Ordering::Relaxed);
+                        worker.process_chunk(sink, &buf);
+                    }
+                    worker.drain(sink);
+                });
+            }
+        });
+        IngestReport {
+            arrivals: arrivals.into_inner(),
+            chunks: chunks.into_inner(),
+            workers,
+        }
+    }
+}
+
+impl<B: SlotSink> EdgeSink for ParallelIngest<'_, B> {
+    fn update(&mut self, se: StreamEdge) {
+        let sink = self.sink;
+        let w = self.local_worker();
+        w.absorb(sink, &se);
+        if w.evicted.len() >= EVICT_COMMIT_LEN {
+            w.commit_evicted(sink);
+        }
+        self.staged_arrivals += 1;
+    }
+
+    fn ingest_batch(&mut self, batch: &[StreamEdge]) {
+        let sink = self.sink;
+        let w = self.local_worker();
+        w.process_chunk(sink, batch);
+        self.staged_arrivals += batch.len();
+    }
+
+    fn flush(&mut self) {
+        let sink = self.sink;
+        if let Some(w) = self.local.as_mut() {
+            w.drain(sink);
+        }
+        self.staged_arrivals = 0;
+    }
+}
+
+impl<B: SlotSink> Drop for ParallelIngest<'_, B> {
+    /// Arrivals accepted by a sink must not be lost: a pipeline dropped
+    /// with staged arrivals commits them, exactly as a final flush.
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gsketch::GSketch;
+    use gstream::edge::Edge;
+    use gstream::SliceSource;
+
+    fn skewed_stream(n: u64) -> Vec<StreamEdge> {
+        // A Zipf-ish head plus a long tail, so the combiner cache sees
+        // both hits and evictions.
+        (0..n)
+            .map(|t| {
+                let src = if t % 3 == 0 { 1 } else { (t % 97) as u32 };
+                StreamEdge::unit(Edge::new(src, (t % 11) as u32 + 100), t)
+            })
+            .collect()
+    }
+
+    fn build(stream: &[StreamEdge]) -> ConcurrentGSketch {
+        let g = GSketch::builder()
+            .memory_bytes(1 << 16)
+            .min_width(32)
+            .seed(3)
+            .build_from_sample(&stream[..stream.len() / 4])
+            .unwrap();
+        ConcurrentGSketch::from_gsketch(g)
+    }
+
+    #[test]
+    fn pull_mode_absorbs_everything() {
+        let stream = skewed_stream(10_000);
+        let c = build(&stream);
+        let report = ParallelIngest::new(&c, 4)
+            .chunk_capacity(512)
+            .oversubscribe(true)
+            .run(&mut SliceSource::new(&stream));
+        assert_eq!(report.arrivals, 10_000);
+        assert_eq!(report.workers, 4);
+        assert!(report.chunks >= 10_000 / 512);
+        assert_eq!(c.total_weight(), 10_000);
+    }
+
+    #[test]
+    fn pull_mode_matches_sequential_estimates() {
+        let stream = skewed_stream(20_000);
+        let sample = &stream[..2_000];
+        let build_seq = || {
+            GSketch::builder()
+                .memory_bytes(1 << 16)
+                .min_width(32)
+                .seed(7)
+                .build_from_sample(sample)
+                .unwrap()
+        };
+        let mut serial = build_seq();
+        serial.ingest(&stream);
+
+        let c = ConcurrentGSketch::from_gsketch(build_seq());
+        ParallelIngest::new(&c, 8)
+            .chunk_capacity(1 << 10)
+            .oversubscribe(true)
+            .run(&mut SliceSource::new(&stream));
+        let parallel = c.into_gsketch();
+        for se in &stream {
+            assert_eq!(parallel.estimate(se.edge), serial.estimate(se.edge));
+        }
+        assert_eq!(parallel.total_weight(), serial.total_weight());
+    }
+
+    #[test]
+    fn push_mode_stages_until_flush() {
+        let stream = skewed_stream(100);
+        let c = build(&stream);
+        let mut pipe = ParallelIngest::new(&c, 2);
+        for se in &stream {
+            pipe.update(*se);
+        }
+        // Everything fits in the combiner cache: nothing committed yet.
+        assert_eq!(pipe.staged(), 100);
+        assert_eq!(c.total_weight(), 0);
+        pipe.flush();
+        assert_eq!(pipe.staged(), 0);
+        assert_eq!(c.total_weight(), 100);
+    }
+
+    #[test]
+    fn drop_commits_staged_arrivals() {
+        let stream = skewed_stream(10);
+        let c = build(&stream);
+        {
+            let mut pipe = ParallelIngest::new(&c, 1);
+            pipe.ingest_batch(&stream);
+            assert_eq!(c.total_weight(), 0);
+        }
+        assert_eq!(c.total_weight(), 10);
+    }
+
+    #[test]
+    fn run_flushes_prior_staging_first() {
+        let stream = skewed_stream(1_000);
+        let c = build(&stream);
+        let mut pipe = ParallelIngest::new(&c, 2);
+        pipe.ingest_batch(&stream[..100]);
+        let report = pipe.run(&mut SliceSource::new(&stream[100..]));
+        assert_eq!(report.arrivals, 900);
+        assert_eq!(c.total_weight(), 1_000);
+    }
+
+    #[test]
+    fn push_mode_matches_sequential_estimates() {
+        let stream = skewed_stream(5_000);
+        let sample = &stream[..500];
+        let build_seq = || {
+            GSketch::builder()
+                .memory_bytes(1 << 15)
+                .min_width(16)
+                .seed(11)
+                .build_from_sample(sample)
+                .unwrap()
+        };
+        let mut serial = build_seq();
+        serial.ingest(&stream);
+
+        let c = ConcurrentGSketch::from_gsketch(build_seq());
+        let mut pipe = ParallelIngest::new(&c, 1);
+        pipe.ingest(&stream);
+        drop(pipe);
+        let pushed = c.into_gsketch();
+        for se in &stream {
+            assert_eq!(pushed.estimate(se.edge), serial.estimate(se.edge));
+        }
+    }
+
+    #[test]
+    fn weighted_and_zero_weight_arrivals_handled() {
+        let stream = skewed_stream(200);
+        let c = build(&stream);
+        let mut pipe = ParallelIngest::new(&c, 1);
+        let e = stream[0].edge;
+        // Zero-weight arrivals are identities.
+        pipe.update(StreamEdge::weighted(e, 0, 0));
+        // A weight beyond the packed u32 accumulator goes out-of-band.
+        pipe.update(StreamEdge::weighted(e, 0, u64::from(u32::MAX) + 5));
+        // Repeated arrivals that overflow the accumulator flush mid-way.
+        pipe.update(StreamEdge::weighted(e, 0, u64::from(u32::MAX)));
+        pipe.update(StreamEdge::weighted(e, 0, 3));
+        pipe.flush();
+        let total = u64::from(u32::MAX) + 5 + u64::from(u32::MAX) + 3;
+        assert_eq!(c.total_weight(), total);
+        assert!(c.estimate(e) >= total);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let stream = skewed_stream(10);
+        let c = build(&stream);
+        let mut pipe = ParallelIngest::new(&c, 0);
+        assert_eq!(pipe.threads(), 1);
+        assert!(pipe.effective_threads() >= 1);
+        pipe.run(&mut SliceSource::new(&stream));
+        assert_eq!(c.total_weight(), 10);
+    }
+}

@@ -30,6 +30,24 @@ impl EdgeEstimator for crate::AdaptiveGSketch {
     }
 }
 
+/// Subgraph queries can run against a live concurrent sketch — reads are
+/// lock-free and see every update that happened-before the call.
+impl EdgeEstimator for crate::ConcurrentGSketch {
+    fn estimate_edge(&self, edge: Edge) -> u64 {
+        self.estimate(edge)
+    }
+}
+
+/// The windowed synopsis answers as an estimator over the whole observed
+/// lifetime. Sealed windows are fully covered, so no extrapolation is
+/// involved and the fractional sum is integral; rounding only guards
+/// float error.
+impl EdgeEstimator for crate::WindowedGSketch {
+    fn estimate_edge(&self, edge: Edge) -> u64 {
+        self.estimate_lifetime(edge).round() as u64
+    }
+}
+
 /// Exact ground truth is also an estimator — used to compute the
 /// denominator of relative errors and in tests.
 impl EdgeEstimator for gstream::ExactCounter {
@@ -236,6 +254,7 @@ mod tests {
 
     #[test]
     fn sketches_implement_estimator() {
+        use crate::EdgeSink;
         let stream = vec![
             StreamEdge::weighted(Edge::new(1u32, 2u32), 0, 10),
             StreamEdge::weighted(Edge::new(2u32, 3u32), 1, 20),
@@ -254,5 +273,46 @@ mod tests {
         // SUM over CountMin estimates never underestimates.
         assert!(estimate_subgraph(&gs, &query, Aggregator::Sum) >= 30.0);
         assert!(estimate_subgraph(&gl, &query, Aggregator::Sum) >= 30.0);
+    }
+
+    /// The paper's headline structure — `estimate_subgraph` over a
+    /// partitioned sketch — must also run against the concurrent and
+    /// windowed deployments (they were the only estimators missing the
+    /// trait).
+    #[test]
+    fn concurrent_and_windowed_implement_estimator() {
+        use crate::EdgeSink;
+        let stream = vec![
+            StreamEdge::weighted(Edge::new(1u32, 2u32), 0, 10),
+            StreamEdge::weighted(Edge::new(2u32, 3u32), 1, 20),
+            StreamEdge::weighted(Edge::new(1u32, 2u32), 150, 5),
+        ];
+        let query = SubgraphQuery {
+            edges: vec![Edge::new(1u32, 2u32), Edge::new(2u32, 3u32)],
+        };
+
+        let gs = crate::GSketch::builder()
+            .memory_bytes(1 << 14)
+            .min_width(16)
+            .build_from_sample(&stream)
+            .unwrap();
+        let mut conc = crate::ConcurrentGSketch::from_gsketch(gs);
+        conc.ingest(&stream);
+        assert!(estimate_subgraph(&conc, &query, Aggregator::Sum) >= 35.0);
+
+        let mut windowed = crate::WindowedGSketch::new(
+            crate::WindowConfig {
+                span: 100,
+                memory_bytes_per_window: 1 << 14,
+                sample_capacity: 64,
+                seed: 5,
+            },
+            crate::GSketch::builder().min_width(16),
+        )
+        .unwrap();
+        windowed.ingest(&stream);
+        // Lifetime SUM covers both windows; CountMin never underestimates.
+        assert!(estimate_subgraph(&windowed, &query, Aggregator::Sum) >= 35.0);
+        assert!(estimate_subgraph(&windowed, &query, Aggregator::Max) >= 20.0);
     }
 }

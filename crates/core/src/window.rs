@@ -8,6 +8,7 @@
 //! estimate by the covered fraction.
 
 use crate::gsketch::{GSketch, GSketchBuilder};
+use crate::sink::EdgeSink;
 use gstream::edge::{Edge, StreamEdge};
 use gstream::sample::Reservoir;
 use rand::rngs::StdRng;
@@ -78,8 +79,12 @@ impl WindowedGSketch {
         })
     }
 
-    /// Ingest one arrival. Arrivals must have non-decreasing timestamps.
-    pub fn insert(&mut self, se: StreamEdge) -> Result<(), SketchError> {
+    /// Ingest one arrival, surfacing window-rotation failures as a
+    /// `Result`. Arrivals must have non-decreasing timestamps. This is
+    /// the fallible form of [`EdgeSink::update`]; rotation can only fail
+    /// if the per-window build configuration is invalid, which the
+    /// constructor already vetted, so the trait method simply expects it.
+    pub fn try_insert(&mut self, se: StreamEdge) -> Result<(), SketchError> {
         assert!(
             se.ts >= self.current_start,
             "timestamps must be non-decreasing across inserts"
@@ -87,7 +92,7 @@ impl WindowedGSketch {
         while se.ts >= self.current_start + self.cfg.span {
             self.rotate()?;
         }
-        self.current.update(se.edge, se.weight);
+        self.current.update(se);
         self.reservoir.offer(se, &mut self.rng);
         Ok(())
     }
@@ -167,6 +172,13 @@ impl WindowedGSketch {
     }
 }
 
+impl EdgeSink for WindowedGSketch {
+    fn update(&mut self, se: StreamEdge) {
+        self.try_insert(se)
+            .expect("window rotation cannot fail after construction validated the config");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,7 +204,7 @@ mod tests {
     fn windows_rotate_on_time() {
         let mut w = WindowedGSketch::new(cfg(), builder()).unwrap();
         for ts in 0..350u64 {
-            w.insert(wedge(1, 2, ts)).unwrap();
+            w.try_insert(wedge(1, 2, ts)).unwrap();
         }
         assert_eq!(w.sealed_windows(), 3);
         assert_eq!(w.current_window_start(), 300);
@@ -202,8 +214,8 @@ mod tests {
     #[should_panic(expected = "non-decreasing")]
     fn out_of_order_timestamps_rejected() {
         let mut w = WindowedGSketch::new(cfg(), builder()).unwrap();
-        w.insert(wedge(1, 2, 500)).unwrap();
-        w.insert(wedge(1, 2, 10)).unwrap();
+        w.try_insert(wedge(1, 2, 500)).unwrap();
+        w.try_insert(wedge(1, 2, 10)).unwrap();
     }
 
     #[test]
@@ -211,7 +223,7 @@ mod tests {
         let mut w = WindowedGSketch::new(cfg(), builder()).unwrap();
         // Edge appears once per timestamp over 4 windows: truth 400.
         for ts in 0..400u64 {
-            w.insert(wedge(7, 8, ts)).unwrap();
+            w.try_insert(wedge(7, 8, ts)).unwrap();
         }
         let est = w.estimate_lifetime(Edge::new(7u32, 8u32));
         assert!(est >= 400.0, "lifetime estimate too low: {est}");
@@ -223,12 +235,12 @@ mod tests {
         let mut w = WindowedGSketch::new(cfg(), builder()).unwrap();
         // Edge (1,2) only in window 0; edge (3,4) only in window 1.
         for ts in 0..100u64 {
-            w.insert(wedge(1, 2, ts)).unwrap();
+            w.try_insert(wedge(1, 2, ts)).unwrap();
         }
         for ts in 100..200u64 {
-            w.insert(wedge(3, 4, ts)).unwrap();
+            w.try_insert(wedge(3, 4, ts)).unwrap();
         }
-        w.insert(wedge(9, 9, 250)).unwrap(); // open window 2
+        w.try_insert(wedge(9, 9, 250)).unwrap(); // open window 2
         let e12 = Edge::new(1u32, 2u32);
         let e34 = Edge::new(3u32, 4u32);
         // Window-0 interval sees (1,2) but not (3,4).
@@ -243,9 +255,9 @@ mod tests {
     fn partial_overlap_extrapolates_proportionally() {
         let mut w = WindowedGSketch::new(cfg(), builder()).unwrap();
         for ts in 0..100u64 {
-            w.insert(wedge(1, 2, ts)).unwrap();
+            w.try_insert(wedge(1, 2, ts)).unwrap();
         }
-        w.insert(wedge(9, 9, 150)).unwrap();
+        w.try_insert(wedge(9, 9, 150)).unwrap();
         let e = Edge::new(1u32, 2u32);
         // Asking for half of window 0 → about half the mass.
         let half = w.estimate_interval(e, 0, 49);
@@ -259,7 +271,7 @@ mod tests {
         // Two windows of traffic from a small vertex set: the second
         // window's sketch must have partitions (sample was non-empty).
         for ts in 0..200u64 {
-            w.insert(wedge((ts % 10) as u32, 100, ts)).unwrap();
+            w.try_insert(wedge((ts % 10) as u32, 100, ts)).unwrap();
         }
         assert_eq!(w.sealed_windows(), 1); // window 1 currently open
         assert!(w.current_window_start() == 100);

@@ -3,7 +3,7 @@
 //! the CountMin one-sided guarantee, conserve weight, respect memory,
 //! and route deterministically.
 
-use gsketch::{GSketch, SketchId, WidthAllocation};
+use gsketch::{EdgeSink, GSketch, SketchId, WidthAllocation};
 use gstream::edge::{Edge, StreamEdge};
 use gstream::exact::ExactCounter;
 use proptest::collection::vec;
@@ -144,7 +144,7 @@ proptest! {
         let probe_edge = stream[0].edge;
         let mut last = 0u64;
         for se in &stream {
-            gs.update(se.edge, se.weight);
+            gs.update(*se);
             let now = gs.estimate(probe_edge);
             prop_assert!(now >= last, "estimate decreased");
             last = now;

@@ -93,63 +93,148 @@ pub fn save_stream<P: AsRef<Path>>(path: P, stream: &[StreamEdge]) -> Result<(),
     write_stream(File::create(path)?, stream)
 }
 
+/// Parse one non-comment, non-blank record line (`src dst ts weight`).
+fn parse_record(trimmed: &str, lineno: usize) -> Result<StreamEdge, StreamIoError> {
+    let mut fields = trimmed.split_ascii_whitespace();
+    let mut next_u64 = |what: &str| -> Result<u64, StreamIoError> {
+        let tok = fields.next().ok_or_else(|| StreamIoError::Parse {
+            line: lineno,
+            reason: format!("missing field `{what}`"),
+        })?;
+        tok.parse::<u64>().map_err(|e| StreamIoError::Parse {
+            line: lineno,
+            reason: format!("bad `{what}` value `{tok}`: {e}"),
+        })
+    };
+    let src = next_u64("src")?;
+    let dst = next_u64("dst")?;
+    let ts = next_u64("ts")?;
+    let weight = next_u64("weight")?;
+    if fields.next().is_some() {
+        return Err(StreamIoError::Parse {
+            line: lineno,
+            reason: "trailing fields after `weight`".into(),
+        });
+    }
+    let as_vertex = |v: u64, what: &str| -> Result<VertexId, StreamIoError> {
+        u32::try_from(v)
+            .map(VertexId)
+            .map_err(|_| StreamIoError::Parse {
+                line: lineno,
+                reason: format!("`{what}` id {v} exceeds the u32 vertex domain"),
+            })
+    };
+    let edge = Edge::new(as_vertex(src, "src")?, as_vertex(dst, "dst")?);
+    Ok(StreamEdge::weighted(edge, ts, weight))
+}
+
+/// An incremental edge-list reader: the file-backed [`EdgeSource`], for
+/// streams too large (or too remote) to materialize up front. Records are
+/// parsed as chunks are requested, with the same validation as
+/// [`read_stream`]; the first malformed or out-of-order record stops the
+/// source and is reported by [`finish`](Self::finish).
+#[derive(Debug)]
+pub struct StreamFileSource<R: Read> {
+    reader: BufReader<R>,
+    line: String,
+    lineno: usize,
+    prev_ts: u64,
+    error: Option<StreamIoError>,
+    done: bool,
+}
+
+impl StreamFileSource<File> {
+    /// Open the edge-list file at `path` for incremental reading.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, StreamIoError> {
+        Ok(Self::from_reader(File::open(path)?))
+    }
+}
+
+impl<R: Read> StreamFileSource<R> {
+    /// Read incrementally from any `Read` (buffered internally).
+    pub fn from_reader(r: R) -> Self {
+        Self {
+            reader: BufReader::new(r),
+            line: String::new(),
+            lineno: 0,
+            prev_ts: 0,
+            error: None,
+            done: false,
+        }
+    }
+
+    /// Pull the next record, or `None` at end-of-input / first error.
+    fn next_record(&mut self) -> Option<StreamEdge> {
+        while !self.done {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => self.done = true,
+                Ok(_) => {
+                    self.lineno += 1;
+                    let trimmed = self.line.trim();
+                    if trimmed.is_empty() || trimmed.starts_with('#') {
+                        continue;
+                    }
+                    match parse_record(trimmed, self.lineno) {
+                        Ok(se) if se.ts < self.prev_ts => {
+                            self.error = Some(StreamIoError::OutOfOrder {
+                                line: self.lineno,
+                                ts: se.ts,
+                                prev: self.prev_ts,
+                            });
+                            self.done = true;
+                        }
+                        Ok(se) => {
+                            self.prev_ts = se.ts;
+                            return Some(se);
+                        }
+                        Err(e) => {
+                            self.error = Some(e);
+                            self.done = true;
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.error = Some(StreamIoError::Io(e));
+                    self.done = true;
+                }
+            }
+        }
+        None
+    }
+
+    /// Consume the source and report whether it ended cleanly. A source
+    /// that stopped on a malformed record returns that error here, so
+    /// chunked consumers can distinguish end-of-stream from failure.
+    pub fn finish(self) -> Result<(), StreamIoError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl<R: Read> crate::source::EdgeSource for StreamFileSource<R> {
+    fn fill_chunk(&mut self, buf: &mut Vec<StreamEdge>, max: usize) -> usize {
+        buf.clear();
+        while buf.len() < max {
+            match self.next_record() {
+                Some(se) => buf.push(se),
+                None => break,
+            }
+        }
+        buf.len()
+    }
+}
+
 /// Read a stream from `r`, enforcing non-decreasing timestamps.
 pub fn read_stream<R: Read>(r: R) -> Result<Vec<StreamEdge>, StreamIoError> {
-    let mut reader = BufReader::new(r);
+    let mut source = StreamFileSource::from_reader(r);
     let mut out = Vec::new();
-    let mut line = String::new();
-    let mut lineno = 0usize;
-    let mut prev_ts = 0u64;
-    loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            break;
-        }
-        lineno += 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let mut fields = trimmed.split_ascii_whitespace();
-        let mut next_u64 = |what: &str| -> Result<u64, StreamIoError> {
-            let tok = fields.next().ok_or_else(|| StreamIoError::Parse {
-                line: lineno,
-                reason: format!("missing field `{what}`"),
-            })?;
-            tok.parse::<u64>().map_err(|e| StreamIoError::Parse {
-                line: lineno,
-                reason: format!("bad `{what}` value `{tok}`: {e}"),
-            })
-        };
-        let src = next_u64("src")?;
-        let dst = next_u64("dst")?;
-        let ts = next_u64("ts")?;
-        let weight = next_u64("weight")?;
-        if fields.next().is_some() {
-            return Err(StreamIoError::Parse {
-                line: lineno,
-                reason: "trailing fields after `weight`".into(),
-            });
-        }
-        let as_vertex = |v: u64, what: &str| -> Result<VertexId, StreamIoError> {
-            u32::try_from(v)
-                .map(VertexId)
-                .map_err(|_| StreamIoError::Parse {
-                    line: lineno,
-                    reason: format!("`{what}` id {v} exceeds the u32 vertex domain"),
-                })
-        };
-        let edge = Edge::new(as_vertex(src, "src")?, as_vertex(dst, "dst")?);
-        if ts < prev_ts {
-            return Err(StreamIoError::OutOfOrder {
-                line: lineno,
-                ts,
-                prev: prev_ts,
-            });
-        }
-        prev_ts = ts;
-        out.push(StreamEdge::weighted(edge, ts, weight));
+    while let Some(se) = source.next_record() {
+        out.push(se);
     }
+    source.finish()?;
     Ok(out)
 }
 
@@ -277,6 +362,61 @@ mod tests {
             prev: 2,
         };
         assert!(e.to_string().contains("line 9"));
+    }
+
+    #[test]
+    fn chunked_file_source_matches_eager_reader() {
+        use crate::source::EdgeSource;
+        let stream: Vec<StreamEdge> = (0..1_000u64)
+            .map(|t| {
+                StreamEdge::weighted(Edge::new((t % 31) as u32, (t % 17) as u32), t, t % 3 + 1)
+            })
+            .collect();
+        let mut text = Vec::new();
+        write_stream(&mut text, &stream).unwrap();
+
+        let mut src = StreamFileSource::from_reader(&text[..]);
+        let mut buf = Vec::new();
+        let mut chunked = Vec::new();
+        while src.fill_chunk(&mut buf, 128) > 0 {
+            assert!(buf.len() <= 128);
+            chunked.extend_from_slice(&buf);
+        }
+        src.finish().unwrap();
+        assert_eq!(chunked, stream);
+    }
+
+    #[test]
+    fn chunked_file_source_reports_errors_at_finish() {
+        use crate::source::EdgeSource;
+        let text = "1 2 0 1\n3 4 7 2\nbogus line\n5 6 9 1\n";
+        let mut src = StreamFileSource::from_reader(text.as_bytes());
+        let mut buf = Vec::new();
+        let mut n = 0;
+        while src.fill_chunk(&mut buf, 64) > 0 {
+            n += buf.len();
+        }
+        // The two records before the malformed line were delivered.
+        assert_eq!(n, 2);
+        let err = src.finish().unwrap_err();
+        assert!(matches!(err, StreamIoError::Parse { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn chunked_file_source_stops_on_time_regression() {
+        use crate::source::EdgeSource;
+        let text = "1 2 10 1\n3 4 5 1\n";
+        let mut src = StreamFileSource::from_reader(text.as_bytes());
+        let mut buf = Vec::new();
+        while src.fill_chunk(&mut buf, 64) > 0 {}
+        assert!(matches!(
+            src.finish().unwrap_err(),
+            StreamIoError::OutOfOrder {
+                line: 2,
+                ts: 5,
+                prev: 10
+            }
+        ));
     }
 
     #[test]

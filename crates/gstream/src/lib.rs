@@ -11,6 +11,8 @@
 //! * [`sample`] — reservoir sampling (data samples) and exact Zipf
 //!   sampling (workload samples);
 //! * [`workload`] — edge / subgraph query-set generation (§6.2–6.4);
+//! * [`source`] — chunked [`EdgeSource`] producers (generators, slices,
+//!   incremental file readers) feeding the parallel ingest pipeline;
 //! * [`ExactCounter`] — exact per-edge and per-vertex frequencies, the
 //!   evaluation ground truth;
 //! * [`VarianceStats`] — the σ_G/σ_V variance-ratio characterisation of
@@ -34,6 +36,7 @@ pub mod fxhash;
 pub mod gen;
 pub mod io;
 pub mod sample;
+pub mod source;
 pub mod stats;
 pub mod transform;
 pub mod vertex;
@@ -41,7 +44,10 @@ pub mod workload;
 
 pub use edge::{Edge, StreamEdge};
 pub use exact::{ExactCounter, VertexProfile};
-pub use io::{load_stream, read_stream, save_stream, write_stream, StreamIoError};
+pub use io::{
+    load_stream, read_stream, save_stream, write_stream, StreamFileSource, StreamIoError,
+};
+pub use source::{EdgeSource, SliceSource};
 pub use stats::VarianceStats;
 pub use vertex::{Interner, VertexId};
 pub use workload::{SubgraphQuery, ZipfRank};

@@ -113,6 +113,38 @@ impl CmArena {
         best
     }
 
+    /// Commit a whole slot run in one pass. Consecutive entries with the
+    /// same key are coalesced before touching the slab, so a key whose
+    /// occurrences are adjacent (e.g. a key-sorted or deduplicated run)
+    /// costs one write per cell per *batch* instead of per arrival, and
+    /// the slot total is bumped once at the end. Any entry order is
+    /// correct — coalescing is an optimization, not a requirement — and
+    /// saturating semantics are preserved up to the usual coalescing
+    /// caveat: `saturating_add(w₁ + w₂)` equals two saturating adds
+    /// except when the *sum of weights* itself would wrap, which cannot
+    /// make a counter exceed `u64::MAX` either way.
+    pub fn add_batch_saturating(&mut self, slot: u32, run: &[(u64, u64)]) {
+        let span = self.spans[slot as usize];
+        let mut total = 0u64;
+        let mut i = 0;
+        while i < run.len() {
+            let key = run[i].0;
+            let mut weight = 0u64;
+            while i < run.len() && run[i].0 == key {
+                weight = weight.saturating_add(run[i].1);
+                i += 1;
+            }
+            let mut idx = span.offset;
+            for h in &self.hashes {
+                let cell = idx + h.bucket(key, span.width);
+                self.cells[cell] = self.cells[cell].saturating_add(weight);
+                idx += span.width;
+            }
+            total = total.saturating_add(weight);
+        }
+        self.totals[slot as usize] = self.totals[slot as usize].saturating_add(total);
+    }
+
     /// Per-slot spans (read-only).
     pub fn spans(&self) -> &[SlotSpan] {
         &self.spans
@@ -140,12 +172,18 @@ impl CmArena {
 
     /// Freeze into the lock-free concurrent form.
     pub fn into_atomic(self) -> AtomicCmArena {
+        let rems = self
+            .spans
+            .iter()
+            .map(|s| FastRem::new(s.width as u64))
+            .collect();
         AtomicCmArena {
             spans: self.spans,
             depth: self.depth,
             cells: self.cells.into_iter().map(AtomicU64::new).collect(),
             hashes: self.hashes,
             totals: self.totals.into_iter().map(AtomicU64::new).collect(),
+            rems,
         }
     }
 }
@@ -158,6 +196,11 @@ impl SketchBank for CmArena {
     #[inline]
     fn update(&mut self, slot: u32, key: u64, weight: u64) {
         self.update_slot(slot, key, weight);
+    }
+
+    #[inline]
+    fn add_batch(&mut self, slot: u32, run: &[(u64, u64)]) {
+        self.add_batch_saturating(slot, run);
     }
 
     #[inline]
@@ -243,6 +286,47 @@ impl FrequencySketch for CmArena {
     }
 }
 
+/// Exact remainder by a runtime-invariant divisor via Lemire's fastmod
+/// (Lemire, Kaser & Kurz, 2019): `rem(x) == x % d` for every `x: u64`,
+/// computed with three wide multiplies instead of a hardware divide. The
+/// batch-commit hot loop reduces one hash value per row per distinct key;
+/// the divide is its single most expensive instruction, and the slot
+/// widths never change after construction — the textbook case for
+/// division by invariant multiplication.
+#[derive(Debug, Clone, Copy)]
+struct FastRem {
+    d: u64,
+    /// `ceil(2^128 / d)`.
+    m: u128,
+}
+
+impl FastRem {
+    fn new(d: u64) -> Self {
+        debug_assert!(d > 0);
+        Self {
+            d,
+            // ceil(2^128 / d); for d == 1 that value does not fit in a
+            // u128, but m = 0 makes `rem` return the correct x % 1 == 0.
+            m: if d == 1 {
+                0
+            } else {
+                (u128::MAX / d as u128) + 1
+            },
+        }
+    }
+
+    /// `x % d`, exactly.
+    #[inline]
+    fn rem(&self, x: u64) -> u64 {
+        let low = self.m.wrapping_mul(x as u128);
+        // mulhi128(low, d): ((lo·d) >> 64 + hi·d) >> 64.
+        let lo = low as u64 as u128;
+        let hi = low >> 64;
+        let t = ((lo * self.d as u128) >> 64) + hi * self.d as u128;
+        (t >> 64) as u64
+    }
+}
+
 /// The concurrent arena: the same slab with `AtomicU64` cells, shared by
 /// reference across ingest threads. Counter updates are saturating CAS
 /// loops (so the sequential saturation semantics survive concurrency);
@@ -255,19 +339,26 @@ pub struct AtomicCmArena {
     cells: Vec<AtomicU64>,
     hashes: Vec<PairwiseHash>,
     totals: Vec<AtomicU64>,
+    /// Per-slot width reducers for the batch-commit hot loop (derived
+    /// from `spans`, never serialized).
+    rems: Vec<FastRem>,
 }
 
 /// Saturating atomic add (relaxed; counters are commutative and the
 /// caller joins writer threads before reading).
+///
+/// Implemented as one `fetch_add` with a wrap fix-up instead of a CAS
+/// loop: a single locked RMW never loses an increment, and the add only
+/// wraps when a counter passes `u64::MAX` — in that (astronomically
+/// rare) case the cell is pinned to `u64::MAX`, matching the sequential
+/// saturating semantics. A reader racing the fix-up can transiently see
+/// a wrapped value; a counter within 2^64 of saturation has long lost
+/// numeric meaning, so this trade is taken for a shorter hot path.
 #[inline]
 fn saturating_fetch_add(cell: &AtomicU64, weight: u64) {
-    let mut cur = cell.load(Ordering::Relaxed);
-    loop {
-        let next = cur.saturating_add(weight);
-        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
-            Ok(_) => return,
-            Err(seen) => cur = seen,
-        }
+    let old = cell.fetch_add(weight, Ordering::Relaxed);
+    if old.checked_add(weight).is_none() {
+        cell.store(u64::MAX, Ordering::Relaxed);
     }
 }
 
@@ -276,12 +367,115 @@ impl AtomicCmArena {
     #[inline]
     pub fn update_slot(&self, slot: u32, key: u64, weight: u64) {
         let span = self.spans[slot as usize];
+        let rem = self.rems[slot as usize];
         let mut idx = span.offset;
         for h in &self.hashes {
-            saturating_fetch_add(&self.cells[idx + h.bucket(key, span.width)], weight);
+            saturating_fetch_add(&self.cells[idx + rem.rem(h.eval(key)) as usize], weight);
             idx += span.width;
         }
         saturating_fetch_add(&self.totals[slot as usize], weight);
+    }
+
+    /// Commit a whole slot run from any thread. This is the batched
+    /// span-commit the parallel ingest pipeline drives — consecutive
+    /// duplicates are coalesced so a key whose occurrences are adjacent
+    /// costs `d` hash evaluations and `d` saturating CAS loops per
+    /// *batch* instead of per arrival, the slot's total counter is
+    /// contended once per run rather than once per update, and the hash
+    /// range reduction uses the precomputed per-slot [`FastRem`] instead
+    /// of a hardware divide. Any entry order is correct; see
+    /// [`CmArena::add_batch_saturating`] for the coalescing/saturation
+    /// semantics.
+    pub fn add_batch_saturating(&self, slot: u32, run: &[(u64, u64)]) {
+        let total = self.commit_batch(slot, run, |cell, weight| {
+            saturating_fetch_add(cell, weight);
+        });
+        if total > 0 {
+            saturating_fetch_add(&self.totals[slot as usize], total);
+        }
+    }
+
+    /// [`Self::add_batch_saturating`] for a caller that can guarantee it
+    /// is the **only writer** for the duration of the batch (e.g. it
+    /// holds the arena behind an exclusive borrow): cells are updated
+    /// with plain load/add/store cycles instead of lock-prefixed RMWs,
+    /// which removes the serializing atomic from the hot loop. Results
+    /// are identical to the RMW path; with a *concurrent* writer this
+    /// path could lose increments, which is exactly what the caller
+    /// contract rules out.
+    pub fn add_batch_saturating_exclusive(&self, slot: u32, run: &[(u64, u64)]) {
+        let total = self.commit_batch(slot, run, |cell, weight| {
+            cell.store(
+                cell.load(Ordering::Relaxed).saturating_add(weight),
+                Ordering::Relaxed,
+            );
+        });
+        if total > 0 {
+            let t = &self.totals[slot as usize];
+            t.store(
+                t.load(Ordering::Relaxed).saturating_add(total),
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    /// The shared body of the batch commits: coalesce adjacent duplicate
+    /// keys, then walk the run in small blocks — each block first
+    /// computes (and prefetches) every target cell, then applies `add` —
+    /// so the random cell loads of one block overlap instead of
+    /// serializing on memory latency. Returns the run's total weight.
+    #[inline]
+    fn commit_batch<F: Fn(&AtomicU64, u64)>(&self, slot: u32, run: &[(u64, u64)], add: F) -> u64 {
+        /// Distinct keys per prefetch block (`BLOCK × depth` cell slots
+        /// of on-stack index scratch).
+        const BLOCK: usize = 16;
+        let span = self.spans[slot as usize];
+        let rem = self.rems[slot as usize];
+        let depth = self.depth;
+        let mut cells: [usize; BLOCK * 8] = [0; BLOCK * 8];
+        let mut weights: [u64; BLOCK] = [0; BLOCK];
+        let block_cap = if depth <= 8 { BLOCK } else { 1 };
+        let mut total = 0u64;
+        let mut i = 0;
+        while i < run.len() {
+            // Phase 1: coalesce the next `block_cap` distinct keys and
+            // compute + prefetch their cells.
+            let mut filled = 0usize;
+            while filled < block_cap && i < run.len() {
+                let key = run[i].0;
+                let mut weight = 0u64;
+                while i < run.len() && run[i].0 == key {
+                    weight = weight.saturating_add(run[i].1);
+                    i += 1;
+                }
+                // One field fold per distinct key, shared by all d rows.
+                let folded = PairwiseHash::fold(key);
+                let mut idx = span.offset;
+                for (row, h) in self.hashes.iter().enumerate() {
+                    let cell = idx + rem.rem(h.eval_folded(folded)) as usize;
+                    if block_cap > 1 {
+                        cells[filled * depth + row] = cell;
+                        crate::prefetch(&self.cells[cell]);
+                    } else {
+                        add(&self.cells[cell], weight);
+                    }
+                    idx += span.width;
+                }
+                weights[filled % BLOCK] = weight;
+                total = total.saturating_add(weight);
+                filled += 1;
+            }
+            // Phase 2: apply the adds into now-resident lines.
+            if block_cap > 1 {
+                for b in 0..filled {
+                    let weight = weights[b];
+                    for row in 0..depth {
+                        add(&self.cells[cells[b * depth + row]], weight);
+                    }
+                }
+            }
+        }
+        total
     }
 
     /// Point query in `slot` (any thread; sees all updates that
@@ -438,6 +632,95 @@ mod tests {
         }
         let total = arena.slot_total(0) + arena.slot_total(1);
         assert_eq!(total, threads * per_thread);
+    }
+
+    #[test]
+    fn fast_rem_matches_hardware_remainder() {
+        let divisors = [
+            1u64,
+            2,
+            3,
+            7,
+            97,
+            1 << 10,
+            (1 << 10) + 1,
+            123_456_789,
+            u32::MAX as u64,
+            MERSENNE_PRIME_WIDTH,
+        ];
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        for &d in &divisors {
+            let f = FastRem::new(d);
+            for probe in [0u64, 1, d - 1, d, d + 1, u64::MAX, u64::MAX - 1] {
+                assert_eq!(f.rem(probe), probe % d, "x={probe} d={d}");
+            }
+            for _ in 0..10_000 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                assert_eq!(f.rem(x), x % d, "x={x} d={d}");
+            }
+        }
+    }
+    /// Widths are bounded by the hash field in practice; pin a width near
+    /// the top of the realistic range.
+    const MERSENNE_PRIME_WIDTH: u64 = (1 << 61) - 1;
+
+    #[test]
+    fn batch_commit_matches_per_update_path() {
+        let mut a = CmArena::with_slots(&[64, 32], 3, 21).unwrap();
+        let mut b = a.clone();
+        // A run with duplicates, sorted by key.
+        let mut run: Vec<(u64, u64)> = (0..200u64).map(|k| (k % 40, k % 5 + 1)).collect();
+        run.sort_unstable_by_key(|p| p.0);
+        for &(k, w) in &run {
+            a.update_slot(1, k, w);
+        }
+        b.add_batch_saturating(1, &run);
+        for k in 0..40u64 {
+            assert_eq!(a.estimate_slot(1, k), b.estimate_slot(1, k));
+        }
+        assert_eq!(a.slot_total(1), b.slot_total(1));
+        // The untouched slot stays untouched.
+        assert_eq!(b.slot_total(0), 0);
+    }
+
+    #[test]
+    fn atomic_batch_commit_matches_sequential_batch() {
+        let mut seq = CmArena::with_slots(&[128, 64], 2, 33).unwrap();
+        let atomic = seq.clone().into_atomic();
+        let exclusive = seq.clone().into_atomic();
+        let mut run: Vec<(u64, u64)> = (0..500u64).map(|k| (k % 77, 1)).collect();
+        run.sort_unstable_by_key(|p| p.0);
+        seq.add_batch_saturating(0, &run);
+        atomic.add_batch_saturating(0, &run);
+        exclusive.add_batch_saturating_exclusive(0, &run);
+        let back = atomic.into_arena();
+        let back_ex = exclusive.into_arena();
+        for k in 0..77u64 {
+            assert_eq!(seq.estimate_slot(0, k), back.estimate_slot(0, k));
+            assert_eq!(seq.estimate_slot(0, k), back_ex.estimate_slot(0, k));
+        }
+        assert_eq!(seq.slot_total(0), back.slot_total(0));
+        assert_eq!(seq.slot_total(0), back_ex.slot_total(0));
+    }
+
+    #[test]
+    fn batch_commit_empty_run_is_noop() {
+        let mut a = CmArena::with_slots(&[16], 2, 1).unwrap();
+        a.add_batch_saturating(0, &[]);
+        assert_eq!(a.slot_total(0), 0);
+        let at = a.into_atomic();
+        at.add_batch_saturating(0, &[]);
+        assert_eq!(at.slot_total(0), 0);
+    }
+
+    #[test]
+    fn batch_commit_saturates_like_per_update() {
+        let mut a = CmArena::new(4, 1, 3).unwrap();
+        a.add_batch_saturating(0, &[(1, u64::MAX), (1, u64::MAX)]);
+        assert_eq!(a.estimate_slot(0, 1), u64::MAX);
+        assert_eq!(a.slot_total(0), u64::MAX);
     }
 
     #[test]

@@ -99,6 +99,16 @@ pub trait SketchBank: Sized + Clone + std::fmt::Debug + Serialize + Deserialize 
     /// Record `weight` occurrences of `key` in `slot`.
     fn update(&mut self, slot: u32, key: u64, weight: u64);
 
+    /// Record a whole slot run of `(key, weight)` pairs. Equivalent to
+    /// updating each pair in order; banks with a batched span-commit
+    /// (the arena) override it so the run is applied in one pass with
+    /// adjacent duplicates coalesced.
+    fn add_batch(&mut self, slot: u32, run: &[(u64, u64)]) {
+        for &(key, weight) in run {
+            self.update(slot, key, weight);
+        }
+    }
+
     /// Estimate the total weight recorded for `key` in `slot`.
     fn estimate(&self, slot: u32, key: u64) -> u64;
 

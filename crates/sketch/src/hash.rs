@@ -71,10 +71,24 @@ impl PairwiseHash {
     /// Evaluate the hash over the field (no range reduction).
     #[inline]
     pub fn eval(&self, x: u64) -> u64 {
-        // Inputs are first folded into the field. For x < p (the common
-        // case: interned ids and mixed keys) the fold is the identity
-        // modulo p.
-        let x = x % MERSENNE_PRIME;
+        self.eval_folded(Self::fold(x))
+    }
+
+    /// Fold an arbitrary input into the field. The fold depends only on
+    /// the input, so batch consumers evaluating several functions of one
+    /// key (a sketch's `d` rows) hoist it out of the per-row loop.
+    #[inline]
+    pub fn fold(x: u64) -> u64 {
+        // For x < p (the common case: interned ids and mixed keys) the
+        // fold is the identity modulo p.
+        x % MERSENNE_PRIME
+    }
+
+    /// Evaluate on an input already folded into the field by
+    /// [`fold`](Self::fold).
+    #[inline]
+    pub fn eval_folded(&self, x: u64) -> u64 {
+        debug_assert!(x < MERSENNE_PRIME);
         mod_mersenne(mul_mod(self.a, x) as u128 + self.b as u128)
     }
 

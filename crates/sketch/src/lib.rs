@@ -61,6 +61,22 @@ pub mod spacesaving;
 pub mod windowed;
 
 pub use ams::AmsSketch;
+
+/// Best-effort prefetch of the cache line holding `p` (no-op off
+/// x86_64). Used by the batched ingest hot loops here and in the core
+/// pipeline so their random counter/table accesses overlap instead of
+/// serializing on memory latency.
+#[inline]
+pub fn prefetch<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch has no architectural effect on memory state; any
+    // address is permitted.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch(p as *const i8, std::arch::x86_64::_MM_HINT_T0)
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
 pub use arena::{AtomicCmArena, CmArena, SlotSpan};
 pub use backend::{FrequencySketch, SketchBank, SketchVec};
 pub use bottomk::BottomK;

@@ -2,7 +2,7 @@
 //! correct (or fail loudly and early) on empty, constant, adversarial,
 //! and resource-starved inputs.
 
-use gsketch::{AdaptiveConfig, AdaptiveGSketch, GSketch, GlobalSketch, SketchId};
+use gsketch::{AdaptiveConfig, AdaptiveGSketch, EdgeSink, GSketch, GlobalSketch, SketchId};
 use gstream::gen::{ErdosRenyiConfig, ErdosRenyiGenerator};
 use gstream::{read_stream, Edge, ExactCounter, StreamEdge};
 use sketch::{CountMinSketch, CountSketch, EcmSketch, ExpHist, SpaceSaving};
@@ -85,8 +85,8 @@ fn self_loop_only_stream() {
 fn saturating_weights_never_wrap() {
     let mut gl = GlobalSketch::new(4 << 10, 2, 1).unwrap();
     let e = Edge::new(1u32, 2u32);
-    gl.update(e, u64::MAX);
-    gl.update(e, u64::MAX);
+    gl.update(StreamEdge::weighted(e, 0, u64::MAX));
+    gl.update(StreamEdge::weighted(e, 0, u64::MAX));
     assert_eq!(gl.estimate(e), u64::MAX);
     assert_eq!(gl.total_weight(), u64::MAX);
 

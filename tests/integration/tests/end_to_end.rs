@@ -3,8 +3,8 @@
 //! check the paper's invariants hold.
 
 use gsketch::{
-    evaluate_edge_queries, evaluate_subgraph_queries, Aggregator, GSketch, GlobalSketch, SketchId,
-    DEFAULT_G0,
+    evaluate_edge_queries, evaluate_subgraph_queries, Aggregator, EdgeSink, GSketch, GlobalSketch,
+    SketchId, DEFAULT_G0,
 };
 use gstream::gen::{dblp, ipattack, DblpConfig, IpAttackConfig, RmatConfig, RmatGenerator};
 use gstream::sample::sample_iter;

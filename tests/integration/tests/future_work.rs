@@ -4,7 +4,8 @@
 
 use gsketch::adaptive::Phase;
 use gsketch::{
-    estimate_subgraph_with, load_gsketch, save_gsketch, AdaptiveConfig, AdaptiveGSketch, GSketch,
+    estimate_subgraph_with, load_gsketch, save_gsketch, AdaptiveConfig, AdaptiveGSketch, EdgeSink,
+    GSketch,
 };
 use gstream::gen::{
     RmatTrafficConfig, RmatTrafficGenerator, SmallWorldConfig, SmallWorldGenerator,

@@ -1,7 +1,7 @@
 //! Cross-crate property tests: end-to-end invariants that must hold for
 //! *any* stream, sample, and budget — not just the curated datasets.
 
-use gsketch::{GSketch, GlobalSketch, SketchId};
+use gsketch::{EdgeSink, GSketch, GlobalSketch, SketchId};
 use gstream::{Edge, ExactCounter, StreamEdge};
 use proptest::collection::vec;
 use proptest::prelude::*;
