@@ -112,17 +112,62 @@ fn record_trajectory() {
             black_box(gs.estimate(black_box(edges[k % edges.len()])));
         }
     });
+    // Isolate the arena's batched read kernel (DESIGN.md §8) in its
+    // memory-bound regime: a 64 MiB slab (well past any per-core L2)
+    // probed with unique pseudo-random keys, scalar loop vs
+    // `estimate_batch_slot` over the identical key sequence. Small,
+    // L2-resident slabs don't need (and don't reward) batching — the
+    // point of these rows is the regime where reads pay memory latency.
+    const READ_KEYS: usize = 1 << 20;
+    let big_width = (64 << 20) / 8 / 3;
+    let mut big = sketch::CmArena::with_slots(&[big_width], 3, 7).unwrap();
+    let mut x = 1u64;
+    for _ in 0..big_width {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        big.update_slot(0, x, 3);
+    }
+    let keys: Vec<u64> = (0..READ_KEYS as u64)
+        .map(|i| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x ^ i
+        })
+        .collect();
+    let arena_scalar = rate_of(READ_KEYS as u64, || {
+        let mut sink = 0u64;
+        for &k in &keys {
+            sink = sink.wrapping_add(big.estimate_slot(0, black_box(k)));
+        }
+        black_box(sink);
+    });
+    let mut out = Vec::with_capacity(keys.len());
+    let arena_batched = rate_of(READ_KEYS as u64, || {
+        big.estimate_batch_slot(0, black_box(&keys), &mut out);
+        black_box(out.last().copied());
+    });
 
+    let read_row = |name: &str, rate: f64| Rates {
+        name: name.to_owned(),
+        threads: 1,
+        updates_per_sec: 0.0,
+        estimates_per_sec: rate,
+    };
     record_section(
         "sketch_micro",
         &[("updates_timed", Value::U64(N))],
         &[
             Rates::sequential("countmin/65536x3", cm_updates, cm_estimates),
             Rates::sequential("gsketch/cm-arena/1MiB", gs_updates, gs_estimates),
+            read_row("cm-arena/64MiB/scalar-reads", arena_scalar),
+            read_row("cm-arena/64MiB/batched-reads", arena_batched),
         ],
     );
     println!(
-        "trajectory: countmin {cm_updates:.0} u/s, gsketch {gs_updates:.0} u/s → {}",
+        "trajectory: countmin {cm_updates:.0} u/s, gsketch {gs_updates:.0} u/s, arena reads scalar {arena_scalar:.0} vs batched {arena_batched:.0} q/s ({:.2}x) → {}",
+        arena_batched / arena_scalar,
         gsketch_bench::trajectory::bench_file().display()
     );
 }

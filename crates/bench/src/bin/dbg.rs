@@ -5,11 +5,17 @@
 //! * `dbg --threads N [--arrivals M]` — parallel-ingest smoke: generate a
 //!   small R-MAT traffic stream, drive it through [`ParallelIngest`] with
 //!   `N` workers, and verify against a sequential ingest of the same
-//!   stream. Exits non-zero on any mismatch — this is the CI smoke step.
+//!   stream. Exits non-zero on any mismatch — a CI smoke step.
+//! * `dbg --query-smoke N [--arrivals M] [--queries K] [--memory-kb B]`
+//!   — batched-query smoke: build a sketch, draw a shuffled
+//!   duplicate-heavy workload, and compare the scalar loop, the batched
+//!   engine, and an `N`-worker [`ParallelQuery`] fan-out answer by
+//!   answer. Exits non-zero on any mismatch — the query-path CI smoke
+//!   step.
 
 use gsketch::{
-    evaluate_edge_queries, ConcurrentGSketch, EdgeSink, GSketch, GlobalSketch, ParallelIngest,
-    SketchId, DEFAULT_G0,
+    evaluate_edge_queries, ConcurrentGSketch, EdgeEstimator, EdgeSink, GSketch, GlobalSketch,
+    ParallelIngest, ParallelQuery, SketchId, DEFAULT_G0,
 };
 use gsketch_bench::harness::calibration_probe;
 use gsketch_bench::*;
@@ -60,6 +66,72 @@ fn smoke_parallel(threads: usize, arrivals: usize) {
     println!("parallel smoke: estimates bit-identical to sequential ingest — OK");
 }
 
+/// Batched-query smoke: the scalar loop, the batched engine, and the
+/// parallel fan-out must agree answer for answer on a shuffled,
+/// duplicate-heavy workload over both the partitioned sketch and the
+/// global baseline.
+fn smoke_query(threads: usize, arrivals: usize, n_queries: usize, memory_kb: usize) {
+    use std::time::Instant;
+    let mut cfg = RmatTrafficConfig::gtgraph(16, (arrivals / 4).max(100), arrivals, 23);
+    cfg.activity_alpha = 1.2;
+    let stream: Vec<_> = RmatTrafficGenerator::new(cfg).generate();
+    let sample = &stream[..stream.len() / 20];
+    let mut gs = GSketch::builder()
+        .memory_bytes(memory_kb << 10)
+        .depth(3)
+        .min_width(64)
+        .sample_rate(0.05)
+        .seed(7)
+        .build_from_sample(sample)
+        .expect("valid build");
+    gs.ingest(&stream);
+    let mut gl = GlobalSketch::new(memory_kb << 10, 3, 7).expect("valid build");
+    gl.ingest(&stream);
+
+    // A workload with duplicates (arrival-proportional draws repeat hot
+    // edges) plus absent probes, in a deterministic shuffled order.
+    let mut x = 0x5EEDu64;
+    let mut queries = Vec::with_capacity(n_queries);
+    for i in 0..n_queries {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        queries.push(if i % 17 == 0 {
+            gstream::Edge::new(1_000_000 + (x >> 40) as u32, 9u32)
+        } else {
+            stream[(x >> 16) as usize % stream.len()].edge
+        });
+    }
+
+    let t0 = Instant::now();
+    let scalar: Vec<u64> = queries.iter().map(|&q| gs.estimate_edge(q)).collect();
+    let scalar_t = t0.elapsed();
+    let mut batched = Vec::new();
+    let t1 = Instant::now();
+    gs.estimate_edges(&queries, &mut batched);
+    let batched_t = t1.elapsed();
+    assert_eq!(scalar, batched, "batched answers diverged from scalar");
+    let pq = ParallelQuery::new(&gs, threads).oversubscribe(true);
+    let mut parallel = Vec::new();
+    pq.estimate_edges(&queries, &mut parallel);
+    assert_eq!(scalar, parallel, "parallel answers diverged from scalar");
+
+    let gl_scalar: Vec<u64> = queries.iter().map(|&q| gl.estimate_edge(q)).collect();
+    let mut gl_batched = Vec::new();
+    gl.estimate_edges(&queries, &mut gl_batched);
+    assert_eq!(gl_scalar, gl_batched, "global batched diverged from scalar");
+
+    println!(
+        "query smoke: {} queries over {} arrivals; scalar {:.1}ms vs batched {:.1}ms ({:.2}x); {} fan-out workers — all answers bit-identical — OK",
+        queries.len(),
+        stream.len(),
+        scalar_t.as_secs_f64() * 1e3,
+        batched_t.as_secs_f64() * 1e3,
+        scalar_t.as_secs_f64() / batched_t.as_secs_f64().max(1e-12),
+        pq.effective_threads(),
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flag = |name: &str| -> Option<usize> {
@@ -68,6 +140,15 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse().ok())
     };
+    if let Some(threads) = flag("--query-smoke") {
+        smoke_query(
+            threads.max(1),
+            flag("--arrivals").unwrap_or(200_000),
+            flag("--queries").unwrap_or(100_000),
+            flag("--memory-kb").unwrap_or(256),
+        );
+        return;
+    }
     if let Some(threads) = flag("--threads") {
         smoke_parallel(threads.max(1), flag("--arrivals").unwrap_or(200_000));
         return;

@@ -5,15 +5,18 @@ use crate::args::{parse_bytes, ArgError, ParsedArgs};
 use gsketch::{
     evaluate_edge_queries, save_gsketch, AdaptiveConfig, AdaptiveGSketch, CmArena,
     ConcurrentGSketch, CountMinSketch, CountSketch, EdgeSink, FrequencySketch, GSketch,
-    GSketchBuilder, GlobalSketch, ParallelIngest, DEFAULT_G0,
+    GSketchBuilder, GlobalSketch, ParallelIngest, ParallelQuery, DEFAULT_G0,
 };
 use gstream::gen::{
     dblp, ipattack, DblpConfig, ErdosRenyiConfig, ErdosRenyiGenerator, IpAttackConfig, RmatConfig,
     RmatGenerator, RmatTrafficConfig, RmatTrafficGenerator, SmallWorldConfig, SmallWorldGenerator,
 };
 use gstream::sample::sample_iter;
-use gstream::workload::uniform_distinct_queries;
-use gstream::{load_stream, save_stream, Edge, ExactCounter, StreamEdge, VarianceStats};
+use gstream::workload::{uniform_distinct_queries, zipf_edge_queries, ZipfRank};
+use gstream::{
+    load_stream, save_queries, save_stream, Edge, ExactCounter, QueryFileSource, StreamEdge,
+    VarianceStats, VertexId,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::Write;
@@ -64,6 +67,13 @@ USAGE:
   gsketch query <snapshot> <src> <dst> [<src> <dst> ...] [--stream FILE]
       (--stream adds exact ground truth next to each estimate;
        the snapshot's synopsis backend is detected automatically)
+  gsketch query <snapshot> --workload FILE [--stream FILE] [--threads N] [--chunk N]
+      (replays a query-workload file — one `src dst` query per line —
+       through the batched engine; --threads fans chunks out over the
+       clamped worker pool; --stream reports accuracy vs exact truth)
+  gsketch workload <stream-file> --out FILE [--queries N] [--zipf A] [--seed S]
+      (draws a query workload over the stream's distinct edges: uniform
+       by default, Zipf(A) by frequency rank with --zipf)
   gsketch compare <stream-file> --memory SIZE [--queries N] [--depth D] [--seed S]
       [--backend arena|countmin|countsketch] [--threads N]
   gsketch adaptive <stream-file> --memory SIZE [--warmup N] [--queries N] [--seed S]
@@ -84,6 +94,7 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
         "stats" => cmd_stats(rest, out),
         "build" => cmd_build(rest, out),
         "query" => cmd_query(rest, out),
+        "workload" => cmd_workload(rest, out),
         "compare" => cmd_compare(rest, out),
         "adaptive" => cmd_adaptive(rest, out),
         "structural" => cmd_structural(rest, out),
@@ -364,22 +375,129 @@ impl AnySnapshot {
             AnySnapshot::CountSketch(g) => g.estimate_detailed(edge),
         }
     }
+
+    /// Answer a query batch through the batched engine, fanning out over
+    /// up to `threads` workers (clamped like every pool in the
+    /// workspace). Returns the worker count that actually served the
+    /// batch.
+    fn estimate_edges(&self, edges: &[Edge], threads: usize, out: &mut Vec<u64>) -> usize {
+        fn go<B: FrequencySketch>(
+            g: &GSketch<B>,
+            edges: &[Edge],
+            threads: usize,
+            out: &mut Vec<u64>,
+        ) -> usize
+        where
+            GSketch<B>: Sync,
+        {
+            let pq = ParallelQuery::new(g, threads);
+            let workers = pq.effective_threads();
+            pq.estimate_edges(edges, out);
+            workers
+        }
+        match self {
+            AnySnapshot::Arena(g) => go(g, edges, threads, out),
+            AnySnapshot::CountMin(g) => go(g, edges, threads, out),
+            AnySnapshot::CountSketch(g) => go(g, edges, threads, out),
+        }
+    }
+}
+
+/// Replay a query-workload file against a snapshot through the batched
+/// engine: queries are pulled in chunks from the line-validated
+/// [`QueryFileSource`] and each chunk is answered as one batch (fanned
+/// out over the worker pool when `--threads` asks for it). The default
+/// chunk is large because each chunk is one fan-out — a parallel replay
+/// spawns and joins its workers once per chunk, so the chunk size is
+/// the amortization knob (smaller chunks only bound the staging
+/// buffer).
+fn replay_workload<W: Write>(
+    a: &ParsedArgs,
+    sketch: &AnySnapshot,
+    workload_path: &str,
+    truth: Option<&ExactCounter>,
+    out: &mut W,
+) -> Result<(), CliError> {
+    let threads: usize = a.get_or("threads", 1)?;
+    let chunk: usize = a.get_or::<usize>("chunk", 1 << 20)?.max(1);
+    let mut source = QueryFileSource::open(workload_path).map_err(run_err)?;
+    let mut buf: Vec<Edge> = Vec::with_capacity(chunk);
+    let mut ests: Vec<u64> = Vec::new();
+    let mut queries = 0u64;
+    let mut chunks = 0u64;
+    let mut workers = 1usize;
+    let mut sum = 0u64;
+    let mut err_sum = 0.0f64;
+    let mut effective = 0usize;
+    while source.fill_queries(&mut buf, chunk) > 0 {
+        workers = sketch.estimate_edges(&buf, threads, &mut ests);
+        queries += buf.len() as u64;
+        chunks += 1;
+        sum = ests.iter().fold(sum, |a, &v| a.saturating_add(v));
+        if let Some(t) = truth {
+            for (&q, &est) in buf.iter().zip(&ests) {
+                // One definition of relative error workspace-wide
+                // (Eq. 12): this must agree with the bench metrics.
+                let e = gsketch::relative_error(est as f64, t.frequency(q) as f64);
+                err_sum += e;
+                if e <= DEFAULT_G0 {
+                    effective += 1;
+                }
+            }
+        }
+    }
+    source.finish().map_err(run_err)?;
+    writeln!(
+        out,
+        "replayed {queries} queries in {chunks} chunk(s) over {workers} worker(s) ({threads} requested)"
+    )
+    .map_err(run_err)?;
+    writeln!(
+        out,
+        "estimate sum {sum}, mean {:.2}",
+        sum as f64 / (queries.max(1)) as f64
+    )
+    .map_err(run_err)?;
+    if truth.is_some() {
+        writeln!(
+            out,
+            "vs exact: avg rel err {:.3}, effective {effective} / {queries}",
+            err_sum / (queries.max(1)) as f64,
+        )
+        .map_err(run_err)?;
+    }
+    Ok(())
 }
 
 fn cmd_query<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
-    let a = ParsedArgs::parse(raw.iter().cloned(), &["stream"])?;
+    let a = ParsedArgs::parse(
+        raw.iter().cloned(),
+        &["stream", "workload", "threads", "chunk"],
+    )?;
     let snapshot_path = a.positional(0, "snapshot")?;
     let pairs = &a.positionals()[1..];
-    if pairs.is_empty() || pairs.len() % 2 != 0 {
-        return Err(CliError::Args(ArgError(
-            "queries come as `<src> <dst>` pairs".into(),
-        )));
+    // Validate the query shape before touching the filesystem.
+    match a.get("workload") {
+        Some(_) if !pairs.is_empty() => {
+            return Err(CliError::Args(ArgError(
+                "--workload replays a file; drop the inline `<src> <dst>` pairs".into(),
+            )))
+        }
+        None if pairs.is_empty() || pairs.len() % 2 != 0 => {
+            return Err(CliError::Args(ArgError(
+                "queries come as `<src> <dst>` pairs (or use --workload FILE)".into(),
+            )))
+        }
+        _ => {}
     }
     let sketch = AnySnapshot::load(snapshot_path)?;
     let truth = match a.get("stream") {
         Some(p) => Some(ExactCounter::from_stream(&load_stream(p).map_err(run_err)?)),
         None => None,
     };
+    if let Some(workload_path) = a.get("workload") {
+        return replay_workload(&a, &sketch, workload_path, truth.as_ref(), out);
+    }
     for pair in pairs.chunks_exact(2) {
         let src: u32 = pair[0]
             .parse()
@@ -405,6 +523,50 @@ fn cmd_query<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
         }
         .map_err(run_err)?;
     }
+    Ok(())
+}
+
+/// Generate a query-workload file from a stream: `--queries` draws over
+/// the distinct edges, uniform by default or Zipf(α) by frequency rank
+/// with `--zipf` (the paper's §6.3/§6.4 query-set constructions), saved
+/// in the `src dst` per-line format `query --workload` replays.
+fn cmd_workload<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
+    let a = ParsedArgs::parse(raw.iter().cloned(), &["out", "queries", "zipf", "seed"])?;
+    let stream_path = a.positional(0, "stream-file")?;
+    let path: String = a.require("out")?;
+    let n_queries: usize = a.get_or("queries", 10_000)?;
+    let seed: u64 = a.get_or("seed", 42)?;
+    let stream = load_stream(stream_path).map_err(run_err)?;
+    let truth = ExactCounter::from_stream(&stream);
+    if truth.distinct_edges() == 0 {
+        return Err(CliError::Run(
+            "stream has no edges to draw queries from".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (queries, how) = match a.get("zipf") {
+        Some(alpha) => {
+            let alpha: f64 = alpha
+                .parse()
+                .map_err(|e| CliError::Args(ArgError(format!("bad value for `--zipf`: {e}"))))?;
+            (
+                zipf_edge_queries(&truth, n_queries, alpha, ZipfRank::Frequency, &mut rng),
+                format!("Zipf({alpha}) by frequency rank"),
+            )
+        }
+        None => (
+            uniform_distinct_queries(&truth, n_queries, &mut rng),
+            "uniform".to_owned(),
+        ),
+    };
+    save_queries(&path, &queries).map_err(run_err)?;
+    writeln!(
+        out,
+        "wrote {} edge queries ({how} over {} distinct edges) to {path}",
+        queries.len(),
+        truth.distinct_edges()
+    )
+    .map_err(run_err)?;
     Ok(())
 }
 
@@ -618,17 +780,20 @@ fn cmd_structural<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError>
 
     // Scanner detection: heavy sources whose traffic is spread over many
     // distinct partners (distinct degree ≈ weight) rather than repeats.
+    // The whole heavy-source list is degree-estimated as one batch.
     let mut degrees = structural::MultigraphDegrees::new(1024, 3, 10, seed).map_err(run_err)?;
     degrees.ingest(&stream);
     writeln!(out, "spread of heavy sources (distinct partners / weight):").map_err(run_err)?;
-    for h in heavy.heavy_sources(0.05).into_iter().take(top) {
-        let spread = degrees.out_degree(h.vertex) / h.count.max(1) as f64;
+    let suspects: Vec<_> = heavy.heavy_sources(0.05).into_iter().take(top).collect();
+    let vertices: Vec<VertexId> = suspects.iter().map(|h| h.vertex).collect();
+    let mut partner_counts = Vec::new();
+    degrees.out_degrees(&vertices, &mut partner_counts);
+    for (h, &partners) in suspects.iter().zip(&partner_counts) {
+        let spread = partners / h.count.max(1) as f64;
         writeln!(
             out,
-            "  {}: ~{:.0} partners, spread {:.2}{}",
+            "  {}: ~{partners:.0} partners, spread {spread:.2}{}",
             h.vertex,
-            degrees.out_degree(h.vertex),
-            spread,
             if spread > 0.8 { "  [scanner-like]" } else { "" }
         )
         .map_err(run_err)?;
@@ -761,6 +926,101 @@ mod tests {
     fn query_rejects_odd_pairs() {
         let e = run(&["query", "snap.json", "1"]).unwrap_err();
         assert!(e.to_string().contains("pairs"));
+    }
+
+    #[test]
+    fn workload_generate_and_replay_round_trip() {
+        let stream = tmp("wl.txt");
+        run(&[
+            "generate",
+            "smallworld",
+            "--out",
+            &stream,
+            "--arrivals",
+            "20000",
+            "--vertices",
+            "200",
+        ])
+        .unwrap();
+        let snap = tmp("wl.snapshot.json");
+        run(&[
+            "build",
+            &stream,
+            "--memory",
+            "64K",
+            "--out",
+            &snap,
+            "--sample-frac",
+            "0.2",
+        ])
+        .unwrap();
+        let wl = tmp("wl.queries.txt");
+        let gen = run(&["workload", &stream, "--out", &wl, "--queries", "5000"]).unwrap();
+        assert!(gen.contains("5000 edge queries"), "{gen}");
+        // Batched replay, with and without truth, sequential and fanned
+        // out: the reported sums must agree (bit-exact parity).
+        let seq = run(&["query", &snap, "--workload", &wl]).unwrap();
+        assert!(seq.contains("replayed 5000 queries"), "{seq}");
+        let par = run(&[
+            "query",
+            &snap,
+            "--workload",
+            &wl,
+            "--threads",
+            "4",
+            "--chunk",
+            "512",
+        ])
+        .unwrap();
+        let sum_line = |text: &str| {
+            text.lines()
+                .find(|l| l.starts_with("estimate sum"))
+                .unwrap()
+                .to_owned()
+        };
+        assert_eq!(sum_line(&seq), sum_line(&par));
+        let with_truth = run(&["query", &snap, "--workload", &wl, "--stream", &stream]).unwrap();
+        assert!(with_truth.contains("avg rel err"), "{with_truth}");
+    }
+
+    #[test]
+    fn workload_zipf_flag_and_replay_reject_garbage() {
+        let stream = tmp("wl_zipf.txt");
+        run(&[
+            "generate",
+            "erdos",
+            "--out",
+            &stream,
+            "--arrivals",
+            "5000",
+            "--vertices",
+            "100",
+        ])
+        .unwrap();
+        let wl = tmp("wl_zipf.queries.txt");
+        let gen = run(&[
+            "workload",
+            &stream,
+            "--out",
+            &wl,
+            "--queries",
+            "500",
+            "--zipf",
+            "1.5",
+        ])
+        .unwrap();
+        assert!(gen.contains("Zipf(1.5)"), "{gen}");
+        let snap = tmp("wl_zipf.snapshot.json");
+        run(&["build", &stream, "--memory", "16K", "--out", &snap]).unwrap();
+        // Corrupt the workload: replay must fail with line + byte offset.
+        std::fs::write(&wl, "1 2\nbogus line\n").unwrap();
+        let e = run(&["query", &snap, "--workload", &wl]).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("byte 4"), "{msg}");
+        // Inline pairs and --workload are mutually exclusive.
+        let e = run(&["query", &snap, "1", "2", "--workload", &wl]).unwrap_err();
+        assert!(e.to_string().contains("drop the inline"), "{e}");
     }
 
     #[test]

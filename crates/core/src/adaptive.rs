@@ -286,6 +286,24 @@ impl AdaptiveGSketch {
         self.warmup.estimate(edge.key()).saturating_add(tail)
     }
 
+    /// Batched [`estimate`](Self::estimate): the warm-up component is
+    /// answered as one key run and (after switchover) the partitioned
+    /// component as one slot-sorted batch, then the two are summed per
+    /// query. `out` is overwritten with one estimate per edge, in query
+    /// order; bit-identical to the scalar path.
+    pub fn estimate_batch(&self, edges: &[Edge], out: &mut Vec<u64>) {
+        use sketch::FrequencySketch;
+        let keys: Vec<u64> = edges.iter().map(|e| e.key()).collect();
+        self.warmup.estimate_batch(&keys, out);
+        if let State::Partitioned(gs) = &self.state {
+            let mut tail = Vec::with_capacity(edges.len());
+            gs.estimate_batch(edges, &mut tail);
+            for (head, t) in out.iter_mut().zip(&tail) {
+                *head = head.saturating_add(*t);
+            }
+        }
+    }
+
     /// Which sketch serves `edge` in the current phase (`None` during
     /// warm-up, when everything lives in the global warm-up sketch).
     pub fn route(&self, edge: Edge) -> Option<SketchId> {

@@ -50,6 +50,21 @@ impl ConcurrentGSketch {
         self.bank.estimate_slot(slot, edge.key())
     }
 
+    /// Answer a whole query batch, counting-sorted by router slot and
+    /// probed through the atomic arena's batched read kernel — the same
+    /// slot-grouped discipline as [`GSketch::estimate_batch`], callable
+    /// from any thread concurrently with ingest (each answer sees every
+    /// update that happened-before the call).
+    pub fn estimate_batch(&self, edges: &[Edge], out: &mut Vec<u64>) {
+        crate::query::estimate_batch_by_slot(
+            edges,
+            self.bank.num_slots(),
+            |src| self.router.slot(src),
+            |slot, keys, vals| self.bank.estimate_batch_slot(slot, keys, vals),
+            out,
+        );
+    }
+
     /// Which sketch serves `edge`.
     pub fn route(&self, edge: Edge) -> SketchId {
         self.router.route(edge.src)

@@ -3,9 +3,9 @@
 //!
 //! Since the arena refactor (DESIGN.md §2) the synopsis storage is
 //! pluggable: [`GSketch<B>`] is generic over a
-//! [`FrequencySketch`](sketch::FrequencySketch) backend and stores all
+//! [`FrequencySketch`] backend and stores all
 //! slots in that backend's [`SketchBank`]. The default backend is
-//! [`CmArena`](sketch::CmArena) — every partition's counters plus the
+//! [`CmArena`] — every partition's counters plus the
 //! outlier's in one contiguous slab with a single shared per-row hash
 //! family — and the classic one-allocation-per-partition CountMin layout
 //! remains available as `GSketch<CountMinSketch>`. Both layouts produce
@@ -558,6 +558,25 @@ impl<B: FrequencySketch> GSketch<B> {
     pub fn estimate(&self, edge: Edge) -> u64 {
         let slot = self.router.slot(edge.src);
         self.bank.estimate(slot, edge.key())
+    }
+
+    /// Answer a whole query batch: the read-side mirror of
+    /// [`ingest_batch`](crate::EdgeSink::ingest_batch). Queries are
+    /// counting-sorted by router slot so each slot's counter block is
+    /// probed in one contiguous run (the arena backend answers each run
+    /// through its batched kernel — shared hash folds, fastmod range
+    /// reduction, block-prefetched cells, duplicate coalescing). `out`
+    /// is overwritten with one estimate per edge, in query order;
+    /// answers are bit-identical to [`estimate`](Self::estimate) per
+    /// edge (pinned by the `backend_parity` proptests).
+    pub fn estimate_batch(&self, edges: &[Edge], out: &mut Vec<u64>) {
+        crate::query::estimate_batch_by_slot(
+            edges,
+            self.bank.num_slots(),
+            |src| self.router.slot(src),
+            |slot, keys, vals| self.bank.estimate_batch(slot, keys, vals),
+            out,
+        );
     }
 
     /// Estimate with the answering sketch's error bound and confidence

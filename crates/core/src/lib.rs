@@ -48,7 +48,7 @@
 //! | §4 vertex statistics from samples | [`vstats`] |
 //! | §4.1–4.2 partitioning trees (Figs. 2–3) | [`partition`] |
 //! | §5 router `H: V → S_i`, outlier sketch | [`router`], [`gsketch`] |
-//! | §3.1/§5 edge + subgraph queries | [`query`] |
+//! | §3.1/§5 edge + subgraph queries (batched engine) | [`query`] |
 //! | §6.2 accuracy metrics | [`metrics`] |
 //! | §5 time-windowed deployment | [`window`] |
 //! | beyond the paper: lock-free concurrent ingest | [`concurrent`] |
@@ -87,13 +87,17 @@ pub use adaptive::{AdaptiveConfig, AdaptiveGSketch};
 pub use concurrent::ConcurrentGSketch;
 pub use global::GlobalSketch;
 pub use gsketch::{Estimate, GSketch, GSketchBuilder};
-pub use metrics::{evaluate_edge_queries, evaluate_subgraph_queries, Accuracy, DEFAULT_G0};
+pub use metrics::{
+    evaluate_edge_queries, evaluate_subgraph_queries, relative_error, Accuracy, DEFAULT_G0,
+};
 pub use partition::{Objective, PartitionConfig, PartitionPlan, WidthAllocation};
 pub use persist::{
     load_gsketch, load_gsketch_backend, save_gsketch, PersistError, RawSnapshot, FORMAT_VERSION,
 };
 pub use pipeline::{IngestReport, ParallelIngest, SlotSink};
-pub use query::{estimate_subgraph, estimate_subgraph_with, Aggregator, EdgeEstimator};
+pub use query::{
+    estimate_subgraph, estimate_subgraph_with, Aggregator, EdgeEstimator, ParallelQuery,
+};
 pub use router::{Router, SketchId};
 pub use sink::EdgeSink;
 pub use sketch::{CmArena, CountMinSketch, CountSketch, FrequencySketch, SketchBank};

@@ -49,16 +49,23 @@ impl Accuracy {
 }
 
 /// Evaluate an estimator over an edge query set against exact truth.
+/// The whole query set is answered as **one batch** through
+/// [`EdgeEstimator::estimate_edges`] — on the partitioned estimators
+/// that replays the workload slot-sorted through the batched bank
+/// kernels, which is what makes §6-scale evaluation (10⁴–10⁶ queries per
+/// configuration) cheap enough to re-run per memory point.
 pub fn evaluate_edge_queries<E: EdgeEstimator + ?Sized>(
     estimator: &E,
     queries: &[Edge],
     truth: &ExactCounter,
     g0: f64,
 ) -> Accuracy {
+    let mut estimates = Vec::with_capacity(queries.len());
+    estimator.estimate_edges(queries, &mut estimates);
     let mut sum = 0.0f64;
     let mut effective = 0usize;
-    for &q in queries {
-        let e = relative_error(estimator.estimate_edge(q) as f64, truth.frequency(q) as f64);
+    for (&q, &est) in queries.iter().zip(&estimates) {
+        let e = relative_error(est as f64, truth.frequency(q) as f64);
         sum += e;
         if e <= g0 {
             effective += 1;

@@ -74,6 +74,25 @@ const EVICT_COMMIT_LEN: usize = 1 << 13;
 /// How many arrivals ahead the absorb loop prefetches its combiner set.
 const PREFETCH_AHEAD: usize = 12;
 
+/// Clamp a requested worker count to the host's available parallelism —
+/// the rayon-style rule every CPU-bound pool in the workspace shares
+/// (ingest's [`ParallelIngest`] and the query engine's
+/// [`ParallelQuery`](crate::query::ParallelQuery)). Oversubscribing a
+/// single core with N compute-bound workers buys nothing and costs
+/// context switches; `oversubscribe` exists so correctness tests can
+/// force real thread interleaving on small machines.
+pub(crate) fn clamp_workers(requested: usize, oversubscribe: bool) -> usize {
+    let requested = requested.max(1);
+    if oversubscribe {
+        requested
+    } else {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        requested.min(cores)
+    }
+}
+
 /// A shard-addressable, thread-shareable sink: the consumer-side contract
 /// of [`ParallelIngest`]. Implemented by [`ConcurrentGSketch`] (routing
 /// through its read-only router into the shared atomic arena); the
@@ -406,14 +425,7 @@ impl<'s, B: SlotSink> ParallelIngest<'s, B> {
 
     /// Worker threads [`run`](Self::run) will actually spawn.
     pub fn effective_threads(&self) -> usize {
-        if self.oversubscribe {
-            self.threads
-        } else {
-            let cores = std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1);
-            self.threads.min(cores)
-        }
+        clamp_workers(self.threads, self.oversubscribe)
     }
 
     /// Arrivals accepted through the push-mode surface that may not yet

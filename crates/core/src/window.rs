@@ -121,14 +121,9 @@ impl WindowedGSketch {
         Ok(())
     }
 
-    /// Estimate the frequency of `edge` over `[t_start, t_end]`
-    /// (inclusive), extrapolating proportionally over partially covered
-    /// windows (§5).
-    pub fn estimate_interval(&self, edge: Edge, t_start: u64, t_end: u64) -> f64 {
-        assert!(t_start <= t_end, "empty interval");
-        let mut total = 0.0f64;
-        for w in self
-            .sealed
+    /// The stored windows (sealed then current) with their time spans.
+    fn windows(&self) -> impl Iterator<Item = (u64, u64, &GSketch)> {
+        self.sealed
             .iter()
             .map(|s| (s.start, s.end, &s.sketch))
             .chain(std::iter::once((
@@ -136,8 +131,15 @@ impl WindowedGSketch {
                 self.current_start + self.cfg.span,
                 &self.current,
             )))
-        {
-            let (ws, we, sk) = w;
+    }
+
+    /// Estimate the frequency of `edge` over `[t_start, t_end]`
+    /// (inclusive), extrapolating proportionally over partially covered
+    /// windows (§5).
+    pub fn estimate_interval(&self, edge: Edge, t_start: u64, t_end: u64) -> f64 {
+        assert!(t_start <= t_end, "empty interval");
+        let mut total = 0.0f64;
+        for (ws, we, sk) in self.windows() {
             // Overlap of [t_start, t_end] with [ws, we).
             let lo = t_start.max(ws);
             let hi = (t_end + 1).min(we);
@@ -150,10 +152,51 @@ impl WindowedGSketch {
         total
     }
 
+    /// Batched [`estimate_interval`](Self::estimate_interval): each
+    /// overlapping window answers the whole batch through its sketch's
+    /// slot-sorted [`estimate_batch`](GSketch::estimate_batch), and the
+    /// per-edge fractional contributions are accumulated across windows
+    /// in window order — the same additions in the same order as the
+    /// scalar path, so the sums are bit-identical. `out` is overwritten
+    /// with one **unrounded** fractional estimate per edge: rounding is
+    /// the caller's, once, at its aggregation boundary.
+    pub fn estimate_interval_batch(
+        &self,
+        edges: &[Edge],
+        t_start: u64,
+        t_end: u64,
+        out: &mut Vec<f64>,
+    ) {
+        assert!(t_start <= t_end, "empty interval");
+        out.clear();
+        out.resize(edges.len(), 0.0);
+        let mut window_vals = Vec::new();
+        for (ws, we, sk) in self.windows() {
+            let lo = t_start.max(ws);
+            let hi = (t_end + 1).min(we);
+            if lo >= hi {
+                continue;
+            }
+            let fraction = (hi - lo) as f64 / (we - ws) as f64;
+            sk.estimate_batch(edges, &mut window_vals);
+            for (acc, &v) in out.iter_mut().zip(&window_vals) {
+                *acc += v as f64 * fraction;
+            }
+        }
+    }
+
     /// Estimate over the whole lifetime observed so far.
     pub fn estimate_lifetime(&self, edge: Edge) -> f64 {
         let end = self.current_start + self.cfg.span - 1;
         self.estimate_interval(edge, 0, end)
+    }
+
+    /// Batched [`estimate_lifetime`](Self::estimate_lifetime) (see
+    /// [`estimate_interval_batch`](Self::estimate_interval_batch) for
+    /// the rounding contract).
+    pub fn estimate_lifetime_batch(&self, edges: &[Edge], out: &mut Vec<f64>) {
+        let end = self.current_start + self.cfg.span - 1;
+        self.estimate_interval_batch(edges, 0, end, out);
     }
 
     /// Number of sealed windows.

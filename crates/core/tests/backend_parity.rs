@@ -8,7 +8,9 @@
 //! partition `i`'s standalone sketch would hold.
 
 use gsketch::{
-    CmArena, ConcurrentGSketch, CountMinSketch, EdgeSink, GSketch, GSketchBuilder, ParallelIngest,
+    AdaptiveConfig, AdaptiveGSketch, CmArena, ConcurrentGSketch, CountMinSketch, CountSketch,
+    EdgeEstimator, EdgeSink, GSketch, GSketchBuilder, GlobalSketch, ParallelIngest, ParallelQuery,
+    WindowConfig, WindowedGSketch,
 };
 use gstream::edge::{Edge, StreamEdge};
 use gstream::SliceSource;
@@ -32,6 +34,40 @@ fn builder(memory: usize, depth: usize, seed: u64) -> GSketchBuilder {
         .depth(depth)
         .min_width(16)
         .seed(seed)
+}
+
+/// Deterministic Fisher–Yates driven by an LCG, so query order is
+/// proptest-controlled without depending on a shuffle strategy.
+fn shuffle_edges(edges: &mut [Edge], seed: u64) {
+    let mut x = seed | 1;
+    for i in (1..edges.len()).rev() {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = ((x >> 33) as usize) % (i + 1);
+        edges.swap(i, j);
+    }
+}
+
+/// Both batched surfaces must answer exactly like their scalar
+/// counterparts, element for element.
+fn assert_batch_parity<E: EdgeEstimator>(est: &E, queries: &[Edge]) {
+    let mut ints = Vec::new();
+    est.estimate_edges(queries, &mut ints);
+    assert_eq!(ints.len(), queries.len());
+    for (&q, &v) in queries.iter().zip(&ints) {
+        assert_eq!(v, est.estimate_edge(q), "integer surface diverged on {q}");
+    }
+    let mut fracs = Vec::new();
+    est.estimate_edges_f64(queries, &mut fracs);
+    assert_eq!(fracs.len(), queries.len());
+    for (&q, &v) in queries.iter().zip(&fracs) {
+        assert_eq!(
+            v.to_bits(),
+            est.estimate_edge_f64(q).to_bits(),
+            "fractional surface diverged on {q}"
+        );
+    }
 }
 
 proptest! {
@@ -176,6 +212,109 @@ proptest! {
             prop_assert_eq!(via_slice.estimate(se.edge), via_source.estimate(se.edge));
         }
         prop_assert_eq!(via_slice.total_weight(), via_source.total_weight());
+    }
+
+    /// The batched query engine is observationally identical to the
+    /// scalar loop on **every backend and every estimator** — for any
+    /// stream, seed, and query batch, including duplicate keys (each
+    /// query repeated `dup` times) and shuffled order. This pins the
+    /// whole read-path refactor: counting-sort by slot, the arena's
+    /// batched kernel (fold hoisting, fastmod, prefetch blocks,
+    /// duplicate coalescing), and the provided defaults all answer bit
+    /// for bit what `estimate_edge` answers.
+    #[test]
+    fn batched_queries_match_scalar_queries(
+        sample in vec((0u32..40, 0u32..40, 0u8..8), 1..80),
+        tail in vec((0u32..60, 0u32..60, 0u8..8), 0..120),
+        dup in 1usize..4,
+        shuffle_seed in any::<u64>(),
+        depth in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let sample = stream_of(&sample);
+        let stream: Vec<StreamEdge> =
+            sample.iter().chain(&stream_of(&tail)).copied().collect();
+        // Duplicate every stream edge `dup` times, add absent probes,
+        // and shuffle, so runs of equal keys appear both adjacent (the
+        // coalescing path) and scattered.
+        let mut queries: Vec<Edge> = Vec::new();
+        for se in &stream {
+            for _ in 0..dup {
+                queries.push(se.edge);
+            }
+        }
+        for v in 0..20u32 {
+            queries.push(Edge::new(v, 777u32));
+        }
+        shuffle_edges(&mut queries, shuffle_seed);
+
+        // GSketch over every backend.
+        let mut arena: GSketch<CmArena> = builder(1 << 13, depth, seed)
+            .build_from_sample_backend(&sample)
+            .unwrap();
+        arena.ingest(&stream);
+        assert_batch_parity(&arena, &queries);
+        let mut pervec: GSketch<CountMinSketch> = builder(1 << 13, depth, seed)
+            .build_from_sample_backend(&sample)
+            .unwrap();
+        pervec.ingest(&stream);
+        assert_batch_parity(&pervec, &queries);
+        let mut csketch: GSketch<CountSketch> = builder(1 << 13, depth, seed)
+            .build_from_sample_backend(&sample)
+            .unwrap();
+        csketch.ingest(&stream);
+        assert_batch_parity(&csketch, &queries);
+
+        // The global baseline and the concurrent deployment.
+        let mut global = GlobalSketch::new(1 << 12, depth, seed).unwrap();
+        global.ingest(&stream);
+        assert_batch_parity(&global, &queries);
+        let concurrent = ConcurrentGSketch::from_gsketch(arena.clone());
+        assert_batch_parity(&concurrent, &queries);
+
+        // The windowed deployment (re-timestamped so windows rotate) —
+        // its fractional surface must match `estimate_lifetime` to the
+        // bit, with rounding applied once per edge on the integer path.
+        let mut wstream = stream.clone();
+        for (t, se) in wstream.iter_mut().enumerate() {
+            se.ts = t as u64;
+        }
+        let mut windowed = WindowedGSketch::new(
+            WindowConfig {
+                span: 40,
+                memory_bytes_per_window: 1 << 12,
+                sample_capacity: 32,
+                seed,
+            },
+            GSketch::builder().min_width(16).depth(depth),
+        )
+        .unwrap();
+        windowed.ingest(&wstream);
+        assert_batch_parity(&windowed, &queries);
+
+        // The adaptive deployment, straddling its switchover.
+        let mut adaptive = AdaptiveGSketch::new(AdaptiveConfig {
+            memory_bytes: 1 << 13,
+            warmup_arrivals: (stream.len() as u64 / 2).max(1),
+            depth,
+            min_width: 16,
+            seed,
+            ..AdaptiveConfig::default()
+        })
+        .unwrap();
+        adaptive.ingest(&stream);
+        assert_batch_parity(&adaptive, &queries);
+
+        // Parallel fan-out answers bit-identically to the sequential
+        // batch, with real oversubscribed threads.
+        let mut sequential = Vec::new();
+        arena.estimate_edges(&queries, &mut sequential);
+        for threads in [2usize, 5] {
+            let pq = ParallelQuery::new(&arena, threads).oversubscribe(true);
+            let mut parallel = Vec::new();
+            pq.estimate_edges(&queries, &mut parallel);
+            prop_assert_eq!(&parallel, &sequential, "{} workers", threads);
+        }
     }
 
     /// Merge on the backend trait agrees with sequential ingest: split

@@ -1,11 +1,20 @@
-//! Plain-text edge-list serialization of graph streams.
+//! Plain-text serialization of graph streams and query workloads.
 //!
-//! The format is one arrival per line — `src dst ts weight` as decimal
-//! integers separated by single spaces — with `#`-prefixed comment lines
-//! and blank lines ignored. It round-trips every [`StreamEdge`] exactly
-//! and is the interchange format of the `gsketch-cli` tool, so generated
-//! workloads can be saved, inspected with standard Unix tools, and
-//! replayed.
+//! Two line-oriented formats share one error discipline:
+//!
+//! * **streams** — one arrival per line, `src dst ts weight` as decimal
+//!   integers separated by whitespace ([`StreamFileSource`]);
+//! * **query workloads** — one edge query per line, `src dst`
+//!   ([`QueryFileSource`]), the on-disk form of the paper's query sets
+//!   `Qe` and workload samples `W` (§6.2–§6.4), replayed by the CLI's
+//!   `query --workload` mode.
+//!
+//! Both ignore `#`-prefixed comment lines and blank lines, stop at the
+//! first malformed record, and report it with the 1-based line number
+//! **and the byte offset of the line's first byte**, so a bad record in
+//! a multi-gigabyte file can be seeked to directly. Streams round-trip
+//! every [`StreamEdge`] exactly; workloads round-trip every
+//! [`Edge`] exactly.
 //!
 //! Readers and writers are buffered internally (a graph stream is exactly
 //! the "many small records" workload where unbuffered I/O dominates).
@@ -26,6 +35,8 @@ pub enum StreamIoError {
     Parse {
         /// 1-based line number of the offending record.
         line: usize,
+        /// Byte offset of the offending line's first byte.
+        byte: u64,
         /// Description of what went wrong.
         reason: String,
     },
@@ -33,6 +44,8 @@ pub enum StreamIoError {
     OutOfOrder {
         /// 1-based line number of the offending record.
         line: usize,
+        /// Byte offset of the offending line's first byte.
+        byte: u64,
         /// The regressing timestamp.
         ts: u64,
         /// The previous (larger) timestamp.
@@ -44,13 +57,18 @@ impl fmt::Display for StreamIoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StreamIoError::Io(e) => write!(f, "stream I/O error: {e}"),
-            StreamIoError::Parse { line, reason } => {
-                write!(f, "parse error at line {line}: {reason}")
+            StreamIoError::Parse { line, byte, reason } => {
+                write!(f, "parse error at line {line} (byte {byte}): {reason}")
             }
-            StreamIoError::OutOfOrder { line, ts, prev } => {
+            StreamIoError::OutOfOrder {
+                line,
+                byte,
+                ts,
+                prev,
+            } => {
                 write!(
                     f,
-                    "out-of-order timestamp at line {line}: {ts} after {prev}"
+                    "out-of-order timestamp at line {line} (byte {byte}): {ts} after {prev}"
                 )
             }
         }
@@ -93,54 +111,154 @@ pub fn save_stream<P: AsRef<Path>>(path: P, stream: &[StreamEdge]) -> Result<(),
     write_stream(File::create(path)?, stream)
 }
 
-/// Parse one non-comment, non-blank record line (`src dst ts weight`).
-fn parse_record(trimmed: &str, lineno: usize) -> Result<StreamEdge, StreamIoError> {
-    let mut fields = trimmed.split_ascii_whitespace();
-    let mut next_u64 = |what: &str| -> Result<u64, StreamIoError> {
-        let tok = fields.next().ok_or_else(|| StreamIoError::Parse {
-            line: lineno,
-            reason: format!("missing field `{what}`"),
-        })?;
-        tok.parse::<u64>().map_err(|e| StreamIoError::Parse {
-            line: lineno,
-            reason: format!("bad `{what}` value `{tok}`: {e}"),
-        })
-    };
-    let src = next_u64("src")?;
-    let dst = next_u64("dst")?;
-    let ts = next_u64("ts")?;
-    let weight = next_u64("weight")?;
-    if fields.next().is_some() {
-        return Err(StreamIoError::Parse {
-            line: lineno,
-            reason: "trailing fields after `weight`".into(),
-        });
-    }
-    let as_vertex = |v: u64, what: &str| -> Result<VertexId, StreamIoError> {
-        u32::try_from(v)
-            .map(VertexId)
-            .map_err(|_| StreamIoError::Parse {
-                line: lineno,
-                reason: format!("`{what}` id {v} exceeds the u32 vertex domain"),
-            })
-    };
-    let edge = Edge::new(as_vertex(src, "src")?, as_vertex(dst, "dst")?);
-    Ok(StreamEdge::weighted(edge, ts, weight))
+/// Pull whitespace-separated `u64` fields off one record line, reporting
+/// missing/garbage tokens with the line's position. Shared by the stream
+/// and query-workload parsers so both formats fail identically.
+struct FieldParser<'a> {
+    fields: std::str::SplitAsciiWhitespace<'a>,
+    line: usize,
+    byte: u64,
 }
 
-/// An incremental edge-list reader: the file-backed [`EdgeSource`], for
+impl<'a> FieldParser<'a> {
+    fn new(trimmed: &'a str, line: usize, byte: u64) -> Self {
+        Self {
+            fields: trimmed.split_ascii_whitespace(),
+            line,
+            byte,
+        }
+    }
+
+    fn error(&self, reason: String) -> StreamIoError {
+        StreamIoError::Parse {
+            line: self.line,
+            byte: self.byte,
+            reason,
+        }
+    }
+
+    fn next_u64(&mut self, what: &str) -> Result<u64, StreamIoError> {
+        let tok = self
+            .fields
+            .next()
+            .ok_or_else(|| self.error(format!("missing field `{what}`")))?;
+        tok.parse::<u64>()
+            .map_err(|e| self.error(format!("bad `{what}` value `{tok}`: {e}")))
+    }
+
+    fn vertex(&mut self, what: &str) -> Result<VertexId, StreamIoError> {
+        let v = self.next_u64(what)?;
+        u32::try_from(v)
+            .map(VertexId)
+            .map_err(|_| self.error(format!("`{what}` id {v} exceeds the u32 vertex domain")))
+    }
+
+    fn finish(mut self, last: &str) -> Result<(), StreamIoError> {
+        if self.fields.next().is_some() {
+            return Err(self.error(format!("trailing fields after `{last}`")));
+        }
+        Ok(())
+    }
+}
+
+/// Parse one non-comment, non-blank record line (`src dst ts weight`).
+fn parse_record(trimmed: &str, lineno: usize, byte: u64) -> Result<StreamEdge, StreamIoError> {
+    let mut p = FieldParser::new(trimmed, lineno, byte);
+    let src = p.vertex("src")?;
+    let dst = p.vertex("dst")?;
+    let ts = p.next_u64("ts")?;
+    let weight = p.next_u64("weight")?;
+    p.finish("weight")?;
+    Ok(StreamEdge::weighted(Edge::new(src, dst), ts, weight))
+}
+
+/// Parse one non-comment, non-blank query line (`src dst`).
+fn parse_query(trimmed: &str, lineno: usize, byte: u64) -> Result<Edge, StreamIoError> {
+    let mut p = FieldParser::new(trimmed, lineno, byte);
+    let src = p.vertex("src")?;
+    let dst = p.vertex("dst")?;
+    p.finish("dst")?;
+    Ok(Edge::new(src, dst))
+}
+
+/// An incremental edge-list reader: the file-backed
+/// [`EdgeSource`](crate::source::EdgeSource), for
 /// streams too large (or too remote) to materialize up front. Records are
 /// parsed as chunks are requested, with the same validation as
 /// [`read_stream`]; the first malformed or out-of-order record stops the
 /// source and is reported by [`finish`](Self::finish).
 #[derive(Debug)]
 pub struct StreamFileSource<R: Read> {
+    lines: LineSource<R>,
+    prev_ts: u64,
+}
+
+/// The shared line-walking state under both file sources: buffered
+/// reads, line/byte-offset accounting, comment and blank skipping, and
+/// first-error latching. Each `next_line` call yields the trimmed record
+/// text plus its (line number, byte offset) position.
+#[derive(Debug)]
+struct LineSource<R: Read> {
     reader: BufReader<R>,
     line: String,
     lineno: usize,
-    prev_ts: u64,
+    /// Byte offset of the *next* line's first byte.
+    offset: u64,
     error: Option<StreamIoError>,
     done: bool,
+}
+
+impl<R: Read> LineSource<R> {
+    fn new(r: R) -> Self {
+        Self {
+            reader: BufReader::new(r),
+            line: String::new(),
+            lineno: 0,
+            offset: 0,
+            error: None,
+            done: false,
+        }
+    }
+
+    /// Advance to the next non-comment, non-blank line; `None` at
+    /// end-of-input or after an error was latched.
+    fn next_line(&mut self) -> Option<(&str, usize, u64)> {
+        while !self.done {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => self.done = true,
+                Ok(n) => {
+                    self.lineno += 1;
+                    let start = self.offset;
+                    self.offset += n as u64;
+                    let trimmed = self.line.trim();
+                    if trimmed.is_empty() || trimmed.starts_with('#') {
+                        continue;
+                    }
+                    // Re-trim through a fresh borrow so the return value
+                    // is tied to `self.line`, not this loop iteration.
+                    return Some((self.line.trim(), self.lineno, start));
+                }
+                Err(e) => {
+                    self.error = Some(StreamIoError::Io(e));
+                    self.done = true;
+                }
+            }
+        }
+        None
+    }
+
+    fn fail(&mut self, e: StreamIoError) {
+        self.error = Some(e);
+        self.done = true;
+    }
+
+    fn finish(self) -> Result<(), StreamIoError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
 }
 
 impl StreamFileSource<File> {
@@ -154,63 +272,41 @@ impl<R: Read> StreamFileSource<R> {
     /// Read incrementally from any `Read` (buffered internally).
     pub fn from_reader(r: R) -> Self {
         Self {
-            reader: BufReader::new(r),
-            line: String::new(),
-            lineno: 0,
+            lines: LineSource::new(r),
             prev_ts: 0,
-            error: None,
-            done: false,
         }
     }
 
     /// Pull the next record, or `None` at end-of-input / first error.
+    /// (`next_line` already skips comments and blanks.)
     fn next_record(&mut self) -> Option<StreamEdge> {
-        while !self.done {
-            self.line.clear();
-            match self.reader.read_line(&mut self.line) {
-                Ok(0) => self.done = true,
-                Ok(_) => {
-                    self.lineno += 1;
-                    let trimmed = self.line.trim();
-                    if trimmed.is_empty() || trimmed.starts_with('#') {
-                        continue;
-                    }
-                    match parse_record(trimmed, self.lineno) {
-                        Ok(se) if se.ts < self.prev_ts => {
-                            self.error = Some(StreamIoError::OutOfOrder {
-                                line: self.lineno,
-                                ts: se.ts,
-                                prev: self.prev_ts,
-                            });
-                            self.done = true;
-                        }
-                        Ok(se) => {
-                            self.prev_ts = se.ts;
-                            return Some(se);
-                        }
-                        Err(e) => {
-                            self.error = Some(e);
-                            self.done = true;
-                        }
-                    }
-                }
-                Err(e) => {
-                    self.error = Some(StreamIoError::Io(e));
-                    self.done = true;
-                }
+        let (trimmed, lineno, byte) = self.lines.next_line()?;
+        match parse_record(trimmed, lineno, byte) {
+            Ok(se) if se.ts < self.prev_ts => {
+                self.lines.fail(StreamIoError::OutOfOrder {
+                    line: lineno,
+                    byte,
+                    ts: se.ts,
+                    prev: self.prev_ts,
+                });
+                None
+            }
+            Ok(se) => {
+                self.prev_ts = se.ts;
+                Some(se)
+            }
+            Err(e) => {
+                self.lines.fail(e);
+                None
             }
         }
-        None
     }
 
     /// Consume the source and report whether it ended cleanly. A source
     /// that stopped on a malformed record returns that error here, so
     /// chunked consumers can distinguish end-of-stream from failure.
     pub fn finish(self) -> Result<(), StreamIoError> {
-        match self.error {
-            Some(e) => Err(e),
-            None => Ok(()),
-        }
+        self.lines.finish()
     }
 }
 
@@ -241,6 +337,100 @@ pub fn read_stream<R: Read>(r: R) -> Result<Vec<StreamEdge>, StreamIoError> {
 /// Read a stream from the file at `path`.
 pub fn load_stream<P: AsRef<Path>>(path: P) -> Result<Vec<StreamEdge>, StreamIoError> {
     read_stream(File::open(path)?)
+}
+
+/// Write a query workload (`src dst` per line) to `w`.
+pub fn write_queries<W: Write>(w: W, queries: &[Edge]) -> Result<(), StreamIoError> {
+    let mut out = BufWriter::new(w);
+    writeln!(out, "# gsketch query workload: src dst")?;
+    writeln!(out, "# queries: {}", queries.len())?;
+    for e in queries {
+        writeln!(out, "{} {}", e.src.0, e.dst.0)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Write a query workload to the file at `path`.
+pub fn save_queries<P: AsRef<Path>>(path: P, queries: &[Edge]) -> Result<(), StreamIoError> {
+    write_queries(File::create(path)?, queries)
+}
+
+/// An incremental query-workload reader: one edge query per line
+/// (`src dst`), with the same comment/blank handling, incremental
+/// chunked delivery, and error discipline as [`StreamFileSource`] — the
+/// first malformed record stops the source, and
+/// [`finish`](Self::finish) reports it with its line number and byte
+/// offset. This is the on-disk form of the paper's query sets `Qe` and
+/// scenario-2 workload samples `W`, replayed by the CLI's
+/// `query --workload` mode through the batched estimator surface.
+#[derive(Debug)]
+pub struct QueryFileSource<R: Read> {
+    lines: LineSource<R>,
+}
+
+impl QueryFileSource<File> {
+    /// Open the query-workload file at `path` for incremental reading.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, StreamIoError> {
+        Ok(Self::from_reader(File::open(path)?))
+    }
+}
+
+impl<R: Read> QueryFileSource<R> {
+    /// Read incrementally from any `Read` (buffered internally).
+    pub fn from_reader(r: R) -> Self {
+        Self {
+            lines: LineSource::new(r),
+        }
+    }
+
+    /// Pull the next query, or `None` at end-of-input / first error.
+    fn next_query(&mut self) -> Option<Edge> {
+        let (trimmed, lineno, byte) = self.lines.next_line()?;
+        match parse_query(trimmed, lineno, byte) {
+            Ok(e) => Some(e),
+            Err(e) => {
+                self.lines.fail(e);
+                None
+            }
+        }
+    }
+
+    /// Refill `buf` (cleared first) with up to `max` queries in file
+    /// order; returns the number appended, `0` when exhausted or after
+    /// the first malformed record (distinguish via
+    /// [`finish`](Self::finish)).
+    pub fn fill_queries(&mut self, buf: &mut Vec<Edge>, max: usize) -> usize {
+        buf.clear();
+        while buf.len() < max {
+            match self.next_query() {
+                Some(e) => buf.push(e),
+                None => break,
+            }
+        }
+        buf.len()
+    }
+
+    /// Consume the source and report whether it ended cleanly.
+    pub fn finish(self) -> Result<(), StreamIoError> {
+        self.lines.finish()
+    }
+}
+
+/// Read a whole query workload from `r`.
+pub fn read_queries<R: Read>(r: R) -> Result<Vec<Edge>, StreamIoError> {
+    let mut source = QueryFileSource::from_reader(r);
+    let mut out = Vec::new();
+    while let Some(e) = source.next_query() {
+        out.push(e);
+    }
+    source.finish()?;
+    Ok(out)
+}
+
+/// Read a query workload from the file at `path`.
+pub fn load_queries<P: AsRef<Path>>(path: P) -> Result<Vec<Edge>, StreamIoError> {
+    read_queries(File::open(path)?)
 }
 
 #[cfg(test)]
@@ -277,8 +467,9 @@ mod tests {
     fn missing_field_reported_with_line() {
         let err = read_stream("1 2 0\n".as_bytes()).unwrap_err();
         match err {
-            StreamIoError::Parse { line, reason } => {
+            StreamIoError::Parse { line, byte, reason } => {
                 assert_eq!(line, 1);
+                assert_eq!(byte, 0);
                 assert!(reason.contains("weight"), "{reason}");
             }
             other => panic!("expected Parse error, got {other}"),
@@ -289,7 +480,24 @@ mod tests {
     fn garbage_token_reported() {
         let err = read_stream("1 x 0 1\n".as_bytes()).unwrap_err();
         match err {
-            StreamIoError::Parse { line: 1, reason } => assert!(reason.contains("dst")),
+            StreamIoError::Parse {
+                line: 1, reason, ..
+            } => assert!(reason.contains("dst")),
+            other => panic!("expected Parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_byte_offset_of_line_start() {
+        // 8-byte line, 8-byte line, then garbage at offset 16.
+        let text = "1 2 0 1\n3 4 7 2\nbogus li\n";
+        let err = read_stream(text.as_bytes()).unwrap_err();
+        match err {
+            StreamIoError::Parse { line, byte, .. } => {
+                assert_eq!(line, 3);
+                assert_eq!(byte, 16);
+                assert_eq!(&text.as_bytes()[byte as usize..][..5], b"bogus");
+            }
             other => panic!("expected Parse error, got {other}"),
         }
     }
@@ -313,8 +521,14 @@ mod tests {
     fn out_of_order_timestamps_rejected() {
         let err = read_stream("1 2 10 1\n3 4 5 1\n".as_bytes()).unwrap_err();
         match err {
-            StreamIoError::OutOfOrder { line, ts, prev } => {
+            StreamIoError::OutOfOrder {
+                line,
+                byte,
+                ts,
+                prev,
+            } => {
                 assert_eq!(line, 2);
+                assert_eq!(byte, 9);
                 assert_eq!(ts, 5);
                 assert_eq!(prev, 10);
             }
@@ -353,15 +567,19 @@ mod tests {
     fn display_messages_are_informative() {
         let e = StreamIoError::Parse {
             line: 3,
+            byte: 40,
             reason: "bad".into(),
         };
         assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("byte 40"));
         let e = StreamIoError::OutOfOrder {
             line: 9,
+            byte: 120,
             ts: 1,
             prev: 2,
         };
         assert!(e.to_string().contains("line 9"));
+        assert!(e.to_string().contains("byte 120"));
     }
 
     #[test]
@@ -414,9 +632,116 @@ mod tests {
             StreamIoError::OutOfOrder {
                 line: 2,
                 ts: 5,
-                prev: 10
+                prev: 10,
+                ..
             }
         ));
+    }
+
+    // ------------------------------------------------- query workloads
+
+    #[test]
+    fn query_workload_round_trips_exactly() {
+        let queries = vec![
+            Edge::new(1u32, 2u32),
+            Edge::new(2u32, 3u32),
+            Edge::new(1u32, 2u32), // duplicates are preserved
+            Edge::new(u32::MAX, 0u32),
+        ];
+        let mut buf = Vec::new();
+        write_queries(&mut buf, &queries).unwrap();
+        assert_eq!(read_queries(&buf[..]).unwrap(), queries);
+    }
+
+    #[test]
+    fn query_comments_and_blanks_ignored() {
+        let text = "# workload\n\n1 2\n   \n# mid\n3 4\n";
+        let q = read_queries(text.as_bytes()).unwrap();
+        assert_eq!(q, vec![Edge::new(1u32, 2u32), Edge::new(3u32, 4u32)]);
+    }
+
+    #[test]
+    fn query_errors_carry_line_and_byte_offset() {
+        // "1 2\n" is 4 bytes; the bad line starts at byte 4.
+        let err = read_queries("1 2\n5 x\n".as_bytes()).unwrap_err();
+        match err {
+            StreamIoError::Parse { line, byte, reason } => {
+                assert_eq!(line, 2);
+                assert_eq!(byte, 4);
+                assert!(reason.contains("dst"), "{reason}");
+            }
+            other => panic!("expected Parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn query_trailing_fields_rejected() {
+        let err = read_queries("1 2 3\n".as_bytes()).unwrap_err();
+        match err {
+            StreamIoError::Parse {
+                line: 1, reason, ..
+            } => {
+                assert!(reason.contains("trailing"), "{reason}")
+            }
+            other => panic!("expected Parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn query_oversized_vertex_rejected() {
+        let err = read_queries("1 99999999999\n".as_bytes()).unwrap_err();
+        match err {
+            StreamIoError::Parse { reason, .. } => assert!(reason.contains("u32"), "{reason}"),
+            other => panic!("expected Parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn chunked_query_source_matches_eager_reader() {
+        let queries: Vec<Edge> = (0..1_000u32).map(|i| Edge::new(i % 31, i % 17)).collect();
+        let mut text = Vec::new();
+        write_queries(&mut text, &queries).unwrap();
+        let mut src = QueryFileSource::from_reader(&text[..]);
+        let mut buf = Vec::new();
+        let mut chunked = Vec::new();
+        while src.fill_queries(&mut buf, 128) > 0 {
+            assert!(buf.len() <= 128);
+            chunked.extend_from_slice(&buf);
+        }
+        src.finish().unwrap();
+        assert_eq!(chunked, queries);
+    }
+
+    #[test]
+    fn chunked_query_source_reports_errors_at_finish() {
+        let text = "1 2\n3 4\nbogus\n5 6\n";
+        let mut src = QueryFileSource::from_reader(text.as_bytes());
+        let mut buf = Vec::new();
+        let mut n = 0;
+        while src.fill_queries(&mut buf, 64) > 0 {
+            n += buf.len();
+        }
+        assert_eq!(n, 2, "queries before the malformed line were delivered");
+        let err = src.finish().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StreamIoError::Parse {
+                    line: 3,
+                    byte: 8,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn empty_query_file_is_empty_workload() {
+        assert!(read_queries("".as_bytes()).unwrap().is_empty());
+        assert!(read_queries("# only comments\n".as_bytes())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -45,7 +45,8 @@ pub mod workload;
 pub use edge::{Edge, StreamEdge};
 pub use exact::{ExactCounter, VertexProfile};
 pub use io::{
-    load_stream, read_stream, save_stream, write_stream, StreamFileSource, StreamIoError,
+    load_queries, load_stream, read_queries, read_stream, save_queries, save_stream, write_queries,
+    write_stream, QueryFileSource, StreamFileSource, StreamIoError,
 };
 pub use source::{EdgeSource, SliceSource};
 pub use stats::VarianceStats;

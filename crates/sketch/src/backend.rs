@@ -61,6 +61,19 @@ pub trait FrequencySketch: Sized + Clone + std::fmt::Debug {
     /// Estimate the total weight recorded for `key`.
     fn estimate(&self, key: u64) -> u64;
 
+    /// Estimate a whole batch of keys: `out` is cleared and receives one
+    /// estimate per entry of `keys`, in order. Equivalent to calling
+    /// [`estimate`](Self::estimate) per key; backends with a batched
+    /// read kernel (the arena) override it so one pass shares per-key
+    /// hash work across rows, reduces ranges without hardware divides,
+    /// and overlaps the random counter loads instead of serializing on
+    /// memory latency. Answers are bit-identical either way (pinned by
+    /// the core crate's `backend_parity` proptests).
+    fn estimate_batch(&self, keys: &[u64], out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(keys.iter().map(|&k| self.estimate(k)));
+    }
+
     /// Total weight inserted so far (`N` in the error bounds).
     fn total(&self) -> u64;
 
@@ -111,6 +124,16 @@ pub trait SketchBank: Sized + Clone + std::fmt::Debug + Serialize + Deserialize 
 
     /// Estimate the total weight recorded for `key` in `slot`.
     fn estimate(&self, slot: u32, key: u64) -> u64;
+
+    /// Answer a whole slot run of point queries: `out` is cleared and
+    /// receives one estimate per entry of `keys`, in order. Equivalent
+    /// to estimating each key in turn; banks with a batched read kernel
+    /// (the arena) override it — the query-side mirror of
+    /// [`add_batch`](Self::add_batch), with bit-identical answers.
+    fn estimate_batch(&self, slot: u32, keys: &[u64], out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(keys.iter().map(|&k| self.estimate(slot, k)));
+    }
 
     /// Total weight absorbed by `slot`.
     fn slot_total(&self, slot: u32) -> u64;

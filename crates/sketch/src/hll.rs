@@ -182,6 +182,19 @@ impl DegreeSketch {
             .fold(f64::INFINITY, f64::min)
     }
 
+    /// Batched form of [`estimate`](Self::estimate): `out` is cleared
+    /// and receives one degree estimate per entry of `vertices`, in
+    /// order — the distinct-degree mirror of the frequency backends'
+    /// `estimate_batch`, so batched consumers (the structural query
+    /// layer) drive every sketch through one surface.
+    pub fn estimate_batch(&self, vertices: &[u64], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(vertices.len());
+        for &v in vertices {
+            out.push(self.estimate(v));
+        }
+    }
+
     /// Memory footprint of all register files, in bytes.
     pub fn bytes(&self) -> usize {
         self.pool.iter().map(HyperLogLog::bytes).sum()

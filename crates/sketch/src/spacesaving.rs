@@ -154,6 +154,16 @@ impl SpaceSaving {
         self.index.get(&key).map_or(0, |&s| self.slab[s].count)
     }
 
+    /// Batched form of [`estimate`](Self::estimate): `out` is cleared and
+    /// receives one upper bound per entry of `keys`, in order — the
+    /// summary-level mirror of the synopsis backends' `estimate_batch`,
+    /// so batched consumers (the structural query layer) drive every
+    /// sketch through one surface.
+    pub fn estimate_batch(&self, keys: &[u64], out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(keys.iter().map(|&k| self.estimate(k)));
+    }
+
     /// Guaranteed lower bound on the frequency of `key`.
     pub fn lower_bound(&self, key: u64) -> u64 {
         self.index

@@ -97,6 +97,21 @@ impl MultigraphDegrees {
         self.inc.estimate(v.as_u64())
     }
 
+    /// Batched [`out_degree`](Self::out_degree): `out` is cleared and
+    /// receives one degree estimate per vertex, in order — the hot loop
+    /// of the scanner-spread report, driven through the sketch's batched
+    /// surface.
+    pub fn out_degrees(&self, vertices: &[VertexId], out: &mut Vec<f64>) {
+        let keys: Vec<u64> = vertices.iter().map(|v| v.as_u64()).collect();
+        self.out.estimate_batch(&keys, out);
+    }
+
+    /// Batched [`in_degree`](Self::in_degree).
+    pub fn in_degrees(&self, vertices: &[VertexId], out: &mut Vec<f64>) {
+        let keys: Vec<u64> = vertices.iter().map(|v| v.as_u64()).collect();
+        self.inc.estimate_batch(&keys, out);
+    }
+
     /// The *spread ratio* out-degree ÷ total-arrivals proxy used to
     /// separate scanners (ratio ≈ 1: every arrival a new partner) from
     /// repeat traffic. Callers combine with a frequency estimator.
@@ -198,5 +213,20 @@ mod tests {
     fn bytes_accounting() {
         let d = MultigraphDegrees::new(16, 2, 8, 1).unwrap();
         assert_eq!(d.bytes(), 2 * 16 * 2 * 256);
+    }
+
+    #[test]
+    fn batched_degrees_match_scalar_probes() {
+        let mut d = MultigraphDegrees::new(256, 3, 10, 7).unwrap();
+        d.ingest(&scanner_stream());
+        let vs: Vec<VertexId> = [1u32, 2, 10_000, 20_001, 777_777].map(VertexId).to_vec();
+        let mut outd = Vec::new();
+        let mut ind = Vec::new();
+        d.out_degrees(&vs, &mut outd);
+        d.in_degrees(&vs, &mut ind);
+        for (i, &v) in vs.iter().enumerate() {
+            assert_eq!(outd[i], d.out_degree(v));
+            assert_eq!(ind[i], d.in_degree(v));
+        }
     }
 }

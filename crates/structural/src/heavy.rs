@@ -99,6 +99,21 @@ impl HeavyVertexTracker {
         self.destinations.estimate(v.as_u64())
     }
 
+    /// Batched [`source_weight`](Self::source_weight): `out` is cleared
+    /// and receives one upper bound per vertex, in order — the surface
+    /// cross-referencing layers (hub ranking, scanner spread reports)
+    /// drive instead of a scalar probe per vertex.
+    pub fn source_weights(&self, vertices: &[VertexId], out: &mut Vec<u64>) {
+        let keys: Vec<u64> = vertices.iter().map(|v| v.as_u64()).collect();
+        self.sources.estimate_batch(&keys, out);
+    }
+
+    /// Batched [`destination_weight`](Self::destination_weight).
+    pub fn destination_weights(&self, vertices: &[VertexId], out: &mut Vec<u64>) {
+        let keys: Vec<u64> = vertices.iter().map(|v| v.as_u64()).collect();
+        self.destinations.estimate_batch(&keys, out);
+    }
+
     /// Merge another tracker (same `k`) into this one.
     pub fn merge(&mut self, other: &Self) -> Result<(), SketchError> {
         self.sources.merge(&other.sources)?;
@@ -205,5 +220,20 @@ mod tests {
         let hv = HeavyVertexTracker::new(4).unwrap();
         assert_eq!(hv.source_weight(VertexId(999)), 0);
         assert_eq!(hv.destination_weight(VertexId(999)), 0);
+    }
+
+    #[test]
+    fn batched_weights_match_scalar_probes() {
+        let mut hv = HeavyVertexTracker::new(16).unwrap();
+        hv.ingest(&stream_with_hot_source());
+        let vs: Vec<VertexId> = [7u32, 9, 50_001, 123_456].map(VertexId).to_vec();
+        let mut src = Vec::new();
+        let mut dst = Vec::new();
+        hv.source_weights(&vs, &mut src);
+        hv.destination_weights(&vs, &mut dst);
+        for (i, &v) in vs.iter().enumerate() {
+            assert_eq!(src[i], hv.source_weight(v));
+            assert_eq!(dst[i], hv.destination_weight(v));
+        }
     }
 }

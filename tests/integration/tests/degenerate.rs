@@ -146,6 +146,57 @@ fn stream_io_rejects_time_regression_exactly_once() {
     let err = read_stream(text.as_bytes()).unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("line 3"), "wrong line attribution: {msg}");
+    assert!(msg.contains("byte 16"), "wrong byte attribution: {msg}");
+}
+
+// ------------------------------------------- degenerate query workloads
+
+#[test]
+fn empty_query_workload_is_legal_and_empty() {
+    assert!(gstream::read_queries("".as_bytes()).unwrap().is_empty());
+    assert!(gstream::read_queries("# comments only\n\n".as_bytes())
+        .unwrap()
+        .is_empty());
+    // Replaying an empty workload through the batched engine is a no-op.
+    let truth = ExactCounter::new();
+    let mut out = vec![42u64];
+    gsketch::EdgeEstimator::estimate_edges(&truth, &[], &mut out);
+    assert!(out.is_empty());
+}
+
+#[test]
+fn query_workload_trailing_garbage_stops_at_first_bad_record() {
+    use gstream::QueryFileSource;
+    // Two good queries, then trailing garbage after the last record.
+    let text = "1 2\n3 4\n5 6 extra\n";
+    let mut src = QueryFileSource::from_reader(text.as_bytes());
+    let mut buf = Vec::new();
+    let mut delivered = 0usize;
+    while src.fill_queries(&mut buf, 64) > 0 {
+        delivered += buf.len();
+    }
+    assert_eq!(delivered, 2, "records before the garbage were delivered");
+    let err = src.finish().unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("line 3"), "{msg}");
+    assert!(msg.contains("byte 8"), "{msg}");
+    assert!(msg.contains("trailing"), "{msg}");
+}
+
+#[test]
+fn query_workload_overflowing_ids_rejected_with_position() {
+    // 2^32 exceeds the u32 vertex domain; 2^32 − 1 is the boundary and
+    // must be accepted.
+    let ok = gstream::read_queries("4294967295 0\n".as_bytes()).unwrap();
+    assert_eq!(ok, vec![Edge::new(u32::MAX, 0u32)]);
+    let err = gstream::read_queries("7 8\n4294967296 0\n".as_bytes()).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("line 2"), "{msg}");
+    assert!(msg.contains("byte 4"), "{msg}");
+    assert!(msg.contains("u32"), "{msg}");
+    // A value too large even for u64 is a parse error, not a wrap.
+    let err = gstream::read_queries("99999999999999999999999 1\n".as_bytes()).unwrap_err();
+    assert!(err.to_string().contains("src"), "{err}");
 }
 
 #[test]

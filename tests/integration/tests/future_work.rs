@@ -152,13 +152,15 @@ fn custom_gamma_over_partitioned_sketch() {
 
     let edges: Vec<Edge> = truth.iter().take(8).map(|(e, _)| e).collect();
     let q = SubgraphQuery { edges };
-    // Range (max − min) of the estimates: a legitimate custom Γ.
+    // Range (max − min) of the estimates: a legitimate custom Γ. The
+    // closure receives the batched estimates in native precision.
     let range = estimate_subgraph_with(&gs, &q, |vals| {
-        (vals.iter().max().copied().unwrap_or(0) - vals.iter().min().copied().unwrap_or(0)) as f64
+        vals.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            - vals.iter().copied().fold(f64::INFINITY, f64::min)
     });
     assert!(range >= 0.0);
     // Sanity: SUM via closure equals SUM via the enum.
-    let sum_closure = estimate_subgraph_with(&gs, &q, |vals| vals.iter().map(|&v| v as f64).sum());
+    let sum_closure = estimate_subgraph_with(&gs, &q, |vals| vals.iter().sum());
     let sum_enum = gsketch::estimate_subgraph(&gs, &q, gsketch::Aggregator::Sum);
     assert_eq!(sum_closure, sum_enum);
 }
