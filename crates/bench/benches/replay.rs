@@ -1,0 +1,123 @@
+//! Replay-engine bench (DESIGN.md §9): cached vs uncached workload
+//! replay on the memory-bound configuration, recorded as the `replay`
+//! section of `BENCH_ingest.json`.
+//!
+//! The setup mirrors `query_time`'s trajectory pass — a 64 MiB arena
+//! synopsis over the R-MAT stream, far beyond any per-core cache, so an
+//! uncached point read is memory-bound — but the workload is the one
+//! the replay engine exists for: **Zipf(1.1) by frequency rank** over
+//! the distinct edges (the paper's §6.4 skewed-workload model, s = 1.1
+//! — a fat head that repeats constantly). Three rows:
+//!
+//! * `replay/uncached-batched` — the PR 4 baseline: every chunk
+//!   answered by the batched engine, no memo;
+//! * `replay/cached-cold` — first pass through an empty memo (misses
+//!   dominate: the baseline plus probe/fill overhead);
+//! * `replay/cached-warm` — steady state with the head resident: the
+//!   acceptance row, required ≥ 1.5× the uncached baseline.
+
+use gsketch::{EdgeEstimator, EdgeSink, GSketch, ReplayEngine};
+use gsketch_bench::trajectory::{rate_of, record_section, Throughput};
+use gsketch_bench::*;
+use gstream::workload::{zipf_edge_queries, ZipfRank};
+use gstream::Edge;
+use serde::Value;
+use std::hint::black_box;
+
+const QUERIES: usize = 1 << 20;
+const PASSES: u64 = 4;
+const ZIPF_S: f64 = 1.1;
+
+fn main() {
+    let _ = std::env::args();
+    let bundle = Bundle::load(Dataset::GtGraph, 0.25, EXPERIMENT_SEED);
+    let sample = bundle.dataset.data_sample(&bundle.stream, EXPERIMENT_SEED);
+    let mut gs = GSketch::builder()
+        .memory_bytes(64 << 20)
+        .min_width(64)
+        .build_from_sample(&sample)
+        .unwrap();
+    gs.ingest(&bundle.stream);
+
+    let queries: Vec<Edge> = {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(EXPERIMENT_SEED);
+        zipf_edge_queries(
+            &bundle.truth,
+            QUERIES,
+            ZIPF_S,
+            ZipfRank::Frequency,
+            &mut rng,
+        )
+    };
+    let n = PASSES * queries.len() as u64;
+
+    // Uncached baseline: the batched engine per pass.
+    let mut out = Vec::with_capacity(queries.len());
+    let mut sink = 0u64;
+    let uncached = rate_of(n, || {
+        for _ in 0..PASSES {
+            gs.estimate_edges(black_box(&queries), &mut out);
+            sink = sink.wrapping_add(out.last().copied().unwrap_or(0));
+        }
+    });
+
+    // Cold: one pass through an empty memo (measured alone so fills are
+    // not amortized away).
+    let mut engine = ReplayEngine::new(&gs);
+    let cold = rate_of(queries.len() as u64, || {
+        engine.estimate_edges(black_box(&queries), &mut out);
+        sink = sink.wrapping_add(out.last().copied().unwrap_or(0));
+    });
+
+    // Warm: the head is resident; every further pass replays through
+    // the memo.
+    let warm = rate_of(n, || {
+        for _ in 0..PASSES {
+            engine.estimate_edges(black_box(&queries), &mut out);
+            sink = sink.wrapping_add(out.last().copied().unwrap_or(0));
+        }
+    });
+    let stats = engine.stats();
+
+    // Sanity: cached answers are bit-identical to the uncached batch.
+    let mut bare = Vec::new();
+    gs.estimate_edges(&queries, &mut bare);
+    let mut cached = Vec::new();
+    engine.estimate_edges(&queries, &mut cached);
+    assert_eq!(
+        cached, bare,
+        "memoized replay diverged from the batched engine"
+    );
+
+    let row = |name: &str, rate: f64| Throughput {
+        name: name.to_owned(),
+        threads: 1,
+        updates_per_sec: 0.0,
+        estimates_per_sec: rate,
+    };
+    record_section(
+        "replay",
+        &[
+            ("dataset", Value::Str(bundle.dataset.name().to_owned())),
+            ("queries_timed", Value::U64(n)),
+            ("zipf_s", Value::F64(ZIPF_S)),
+            (
+                "hit_rate",
+                Value::F64(stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64),
+            ),
+        ],
+        &[
+            row("replay/uncached-batched", uncached),
+            row("replay/cached-cold", cold),
+            row("replay/cached-warm", warm),
+        ],
+    );
+    println!(
+        "replay: uncached {uncached:.0} q/s, cached cold {cold:.0} q/s, cached warm {warm:.0} q/s \
+         ({:.2}x uncached, {:.1}% hit rate) → {} [sink {sink}]",
+        warm / uncached,
+        stats.hits as f64 * 100.0 / (stats.hits + stats.misses).max(1) as f64,
+        gsketch_bench::trajectory::bench_file().display()
+    );
+}

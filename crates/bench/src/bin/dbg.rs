@@ -10,12 +10,15 @@
 //!   — batched-query smoke: build a sketch, draw a shuffled
 //!   duplicate-heavy workload, and compare the scalar loop, the batched
 //!   engine, and an `N`-worker [`ParallelQuery`] fan-out answer by
-//!   answer. Exits non-zero on any mismatch — the query-path CI smoke
-//!   step.
+//!   answer; then bit-compare a [`ReplayEngine`]-cached replay against
+//!   the uncached engine under interleaved ingest batches, and replay
+//!   windowed intervals through the batched detailed surface against
+//!   the scalar interval path. Exits non-zero on any mismatch — the
+//!   query-path CI smoke step.
 
 use gsketch::{
     evaluate_edge_queries, ConcurrentGSketch, EdgeEstimator, EdgeSink, GSketch, GlobalSketch,
-    ParallelIngest, ParallelQuery, SketchId, DEFAULT_G0,
+    ParallelIngest, ParallelQuery, ReplayEngine, SketchId, DEFAULT_G0,
 };
 use gsketch_bench::harness::calibration_probe;
 use gsketch_bench::*;
@@ -129,6 +132,100 @@ fn smoke_query(threads: usize, arrivals: usize, n_queries: usize, memory_kb: usi
         batched_t.as_secs_f64() * 1e3,
         scalar_t.as_secs_f64() / batched_t.as_secs_f64().max(1e-12),
         pq.effective_threads(),
+    );
+
+    smoke_replay_cache(&stream, &queries);
+    smoke_windowed_replay(&stream);
+}
+
+/// Cached-vs-uncached replay bit-compare under interleaved writes: a
+/// `ReplayEngine` front must answer exactly like the bare batched
+/// engine across repeated query passes with ingest batches between
+/// them (the memo invalidation protocol under real traffic).
+fn smoke_replay_cache(stream: &[gstream::StreamEdge], queries: &[gstream::Edge]) {
+    let sample = &stream[..stream.len() / 20];
+    let build = || {
+        GSketch::builder()
+            .memory_bytes(64 << 10)
+            .depth(3)
+            .min_width(64)
+            .sample_rate(0.05)
+            .seed(13)
+            .build_from_sample(sample)
+            .expect("valid build")
+    };
+    let mut bare = build();
+    let mut engine = ReplayEngine::new(build());
+    let mut bare_out = Vec::new();
+    let mut cached_out = Vec::new();
+    for chunk in stream.chunks(stream.len() / 4 + 1) {
+        bare.ingest_batch(chunk);
+        engine.ingest_batch(chunk);
+        for _ in 0..2 {
+            bare.estimate_edges(queries, &mut bare_out);
+            engine.estimate_edges(queries, &mut cached_out);
+            assert_eq!(
+                cached_out, bare_out,
+                "cached replay diverged from uncached under interleaved writes"
+            );
+        }
+    }
+    let stats = engine.stats();
+    assert!(stats.hits > 0, "memo never hit on a repeat-heavy workload");
+    println!(
+        "replay smoke: cached replay bit-identical under interleaved writes \
+         ({} hits / {} misses, {} invalidations) — OK",
+        stats.hits, stats.misses, stats.invalidations
+    );
+}
+
+/// Windowed workload replay: the batched detailed interval surface must
+/// answer value-identically to the scalar interval path over a mix of
+/// window-straddling, single-window, and open-ended intervals.
+fn smoke_windowed_replay(stream: &[gstream::StreamEdge]) {
+    use gsketch::{IntervalEstimate, WindowConfig, WindowedGSketch};
+    let mut wstream = stream.to_vec();
+    for (t, se) in wstream.iter_mut().enumerate() {
+        se.ts = t as u64;
+    }
+    let span = (wstream.len() as u64 / 8).max(1);
+    let mut windowed = WindowedGSketch::new(
+        WindowConfig {
+            span,
+            memory_bytes_per_window: 32 << 10,
+            sample_capacity: 256,
+            seed: 29,
+        },
+        GSketch::builder().min_width(64).seed(29),
+    )
+    .expect("valid windowed build");
+    windowed.ingest(&wstream);
+
+    let horizon = wstream.len() as u64 - 1;
+    let edges: Vec<gstream::Edge> = wstream.iter().step_by(97).map(|se| se.edge).collect();
+    let mut rows: Vec<IntervalEstimate> = Vec::new();
+    let mut checked = 0usize;
+    for (ts, te) in [
+        (0u64, horizon),
+        (span / 2, span * 3 + 7),
+        (span, span),
+        (horizon / 3, u64::MAX),
+    ] {
+        windowed.estimate_interval_detailed_batch(&edges, ts, te, &mut rows);
+        for (&e, row) in edges.iter().zip(&rows) {
+            let scalar = windowed.estimate_interval(e, ts, te);
+            assert_eq!(
+                row.value.to_bits(),
+                scalar.to_bits(),
+                "windowed batched replay diverged from scalar on {e} [{ts}, {te}]"
+            );
+            assert!((0.0..=1.0).contains(&row.confidence));
+            checked += 1;
+        }
+    }
+    println!(
+        "windowed smoke: {checked} interval answers bit-identical to scalar, \
+         confidence attached — OK"
     );
 }
 

@@ -4,8 +4,9 @@
 use crate::args::{parse_bytes, ArgError, ParsedArgs};
 use gsketch::{
     evaluate_edge_queries, save_gsketch, AdaptiveConfig, AdaptiveGSketch, CmArena,
-    ConcurrentGSketch, CountMinSketch, CountSketch, EdgeSink, FrequencySketch, GSketch,
-    GSketchBuilder, GlobalSketch, ParallelIngest, ParallelQuery, DEFAULT_G0,
+    ConcurrentGSketch, CountMinSketch, CountSketch, EdgeEstimator, EdgeSink, FrequencySketch,
+    GSketch, GSketchBuilder, GlobalSketch, IntervalEstimate, ParallelIngest, ParallelQuery,
+    ReplayEngine, WindowConfig, WindowedGSketch, DEFAULT_G0,
 };
 use gstream::gen::{
     dblp, ipattack, DblpConfig, ErdosRenyiConfig, ErdosRenyiGenerator, IpAttackConfig, RmatConfig,
@@ -15,7 +16,7 @@ use gstream::sample::sample_iter;
 use gstream::workload::{uniform_distinct_queries, zipf_edge_queries, ZipfRank};
 use gstream::{
     load_stream, save_queries, save_stream, Edge, ExactCounter, QueryFileSource, StreamEdge,
-    VarianceStats, VertexId,
+    VarianceStats, VertexId, WorkloadQuery,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -68,9 +69,20 @@ USAGE:
       (--stream adds exact ground truth next to each estimate;
        the snapshot's synopsis backend is detected automatically)
   gsketch query <snapshot> --workload FILE [--stream FILE] [--threads N] [--chunk N]
+      [--cache on|off] [--detailed on|off] [--show K]
       (replays a query-workload file — one `src dst` query per line —
-       through the batched engine; --threads fans chunks out over the
-       clamped worker pool; --stream reports accuracy vs exact truth)
+       through the batched engine, fronted by the hot-answer replay
+       cache unless --cache off; --threads fans miss batches out over
+       the clamped worker pool; --stream reports accuracy vs exact
+       truth; --detailed replays through the sequential detailed batch
+       instead — no --cache/--threads — and reports per-query
+       confidence intervals, first K rows shown, default 10)
+  gsketch query <stream-file> --workload FILE --window-span S
+      [--window-memory SIZE] [--seed N] [--chunk N] [--show K]
+      (windowed replay: builds a time-windowed synopsis of span S over
+       the stream, then replays a workload whose rows may carry
+       inclusive `src dst t_start t_end` columns; every query reports
+       its interval estimate with a confidence interval)
   gsketch workload <stream-file> --out FILE [--queries N] [--zipf A] [--seed S]
       (draws a query workload over the stream's distinct edges: uniform
        by default, Zipf(A) by frequency rank with --zipf)
@@ -376,11 +388,21 @@ impl AnySnapshot {
         }
     }
 
+    /// Batched detailed queries: values plus per-slot confidence
+    /// intervals in one kernel pass (DESIGN.md §9).
+    fn estimate_detailed_batch(&self, edges: &[Edge], out: &mut Vec<gsketch::Estimate>) {
+        match self {
+            AnySnapshot::Arena(g) => g.estimate_detailed_batch(edges, out),
+            AnySnapshot::CountMin(g) => g.estimate_detailed_batch(edges, out),
+            AnySnapshot::CountSketch(g) => g.estimate_detailed_batch(edges, out),
+        }
+    }
+
     /// Answer a query batch through the batched engine, fanning out over
     /// up to `threads` workers (clamped like every pool in the
     /// workspace). Returns the worker count that actually served the
     /// batch.
-    fn estimate_edges(&self, edges: &[Edge], threads: usize, out: &mut Vec<u64>) -> usize {
+    fn estimate_edges_parallel(&self, edges: &[Edge], threads: usize, out: &mut Vec<u64>) -> usize {
         fn go<B: FrequencySketch>(
             g: &GSketch<B>,
             edges: &[Edge],
@@ -403,6 +425,44 @@ impl AnySnapshot {
     }
 }
 
+/// A restored snapshot answers like its underlying sketch, so the
+/// replay engine can front it directly.
+impl EdgeEstimator for AnySnapshot {
+    fn estimate_edge(&self, edge: Edge) -> u64 {
+        match self {
+            AnySnapshot::Arena(g) => g.estimate(edge),
+            AnySnapshot::CountMin(g) => g.estimate(edge),
+            AnySnapshot::CountSketch(g) => g.estimate(edge),
+        }
+    }
+
+    fn estimate_edges(&self, edges: &[Edge], out: &mut Vec<u64>) {
+        match self {
+            AnySnapshot::Arena(g) => g.estimate_batch(edges, out),
+            AnySnapshot::CountMin(g) => g.estimate_batch(edges, out),
+            AnySnapshot::CountSketch(g) => g.estimate_batch(edges, out),
+        }
+    }
+}
+
+/// A snapshot is read-only for the whole replay — no write ever reaches
+/// it, so the safe single-domain default (which would invalidate the
+/// whole memo on a write) is trivially correct.
+impl gsketch::WriteLocalized for AnySnapshot {}
+
+/// Parse an `on`/`off` switch option (this CLI's options always take a
+/// value), with a default when absent.
+fn parse_switch(a: &ParsedArgs, name: &str, default: bool) -> Result<bool, CliError> {
+    match a.get(name) {
+        None => Ok(default),
+        Some("on" | "true" | "1" | "yes") => Ok(true),
+        Some("off" | "false" | "0" | "no") => Ok(false),
+        Some(other) => Err(CliError::Args(ArgError(format!(
+            "bad value `{other}` for `--{name}` (use on or off)"
+        )))),
+    }
+}
+
 /// Replay a query-workload file against a snapshot through the batched
 /// engine: queries are pulled in chunks from the line-validated
 /// [`QueryFileSource`] and each chunk is answered as one batch (fanned
@@ -420,17 +480,76 @@ fn replay_workload<W: Write>(
 ) -> Result<(), CliError> {
     let threads: usize = a.get_or("threads", 1)?;
     let chunk: usize = a.get_or::<usize>("chunk", 1 << 20)?.max(1);
+    let detailed = parse_switch(a, "detailed", false)?;
+    // The hot-answer memo fronts the replay by default; --cache off is
+    // the uncached baseline (what `dbg --query-smoke` bit-compares
+    // against). --detailed answers through the detailed batch, whose
+    // rows carry per-slot bounds the memo does not cache.
+    let cached = parse_switch(a, "cache", !detailed)?;
+    if detailed && cached {
+        return Err(CliError::Args(ArgError(
+            "--detailed replays through the detailed batch; drop --cache on".into(),
+        )));
+    }
+    // The detailed batch is sequential; silently ignoring --threads
+    // would misreport the replay shape.
+    if detailed && a.get("threads").is_some() {
+        return Err(CliError::Args(ArgError(
+            "--detailed answers sequential detailed batches; drop --threads".into(),
+        )));
+    }
+    // --show prints detailed rows; without --detailed there are none.
+    if !detailed && a.get("show").is_some() {
+        return Err(CliError::Args(ArgError(
+            "--show prints per-query detailed rows; add --detailed on".into(),
+        )));
+    }
+    let show: usize = a.get_or("show", 10)?;
     let mut source = QueryFileSource::open(workload_path).map_err(run_err)?;
+    let mut engine = cached.then(|| ReplayEngine::new(sketch));
     let mut buf: Vec<Edge> = Vec::with_capacity(chunk);
     let mut ests: Vec<u64> = Vec::new();
+    let mut rows: Vec<gsketch::Estimate> = Vec::new();
     let mut queries = 0u64;
     let mut chunks = 0u64;
     let mut workers = 1usize;
     let mut sum = 0u64;
     let mut err_sum = 0.0f64;
     let mut effective = 0usize;
+    let mut bound_sum = 0.0f64;
+    let mut min_confidence = 1.0f64;
+    let mut shown = 0usize;
     while source.fill_queries(&mut buf, chunk) > 0 {
-        workers = sketch.estimate_edges(&buf, threads, &mut ests);
+        if detailed {
+            // One detailed batch answers values and confidence
+            // intervals together — no second pass over the synopsis.
+            sketch.estimate_detailed_batch(&buf, &mut rows);
+            ests.clear();
+            ests.extend(rows.iter().map(|r| r.value));
+            for (q, r) in buf.iter().zip(&rows) {
+                bound_sum += r.error_bound;
+                min_confidence = min_confidence.min(r.confidence);
+                if shown < show {
+                    writeln!(
+                        out,
+                        "{q}: estimate {} (±{:.1} w.p. {:.3}) via {:?}",
+                        r.value, r.error_bound, r.confidence, r.sketch
+                    )
+                    .map_err(run_err)?;
+                    shown += 1;
+                }
+            }
+        } else if let Some(engine) = engine.as_mut() {
+            // Memoized replay: the head answers from the memo, misses
+            // fan out over the worker pool as one batch.
+            let mut miss_workers = workers;
+            engine.estimate_edges_with(&buf, &mut ests, |miss, vals| {
+                miss_workers = sketch.estimate_edges_parallel(miss, threads, vals);
+            });
+            workers = miss_workers;
+        } else {
+            workers = sketch.estimate_edges_parallel(&buf, threads, &mut ests);
+        }
         queries += buf.len() as u64;
         chunks += 1;
         sum = ests.iter().fold(sum, |a, &v| a.saturating_add(v));
@@ -452,12 +571,33 @@ fn replay_workload<W: Write>(
         "replayed {queries} queries in {chunks} chunk(s) over {workers} worker(s) ({threads} requested)"
     )
     .map_err(run_err)?;
+    if let Some(engine) = &engine {
+        let stats = engine.stats();
+        let total = (stats.hits + stats.misses).max(1);
+        writeln!(
+            out,
+            "cache: {} hits / {} misses ({:.1}% hit rate)",
+            stats.hits,
+            stats.misses,
+            stats.hits as f64 * 100.0 / total as f64
+        )
+        .map_err(run_err)?;
+    }
     writeln!(
         out,
         "estimate sum {sum}, mean {:.2}",
         sum as f64 / (queries.max(1)) as f64
     )
     .map_err(run_err)?;
+    if detailed {
+        writeln!(
+            out,
+            "confidence: mean bound ±{:.1}, min confidence {:.3}",
+            bound_sum / (queries.max(1)) as f64,
+            if queries == 0 { 0.0 } else { min_confidence },
+        )
+        .map_err(run_err)?;
+    }
     if truth.is_some() {
         writeln!(
             out,
@@ -469,10 +609,133 @@ fn replay_workload<W: Write>(
     Ok(())
 }
 
+/// Windowed workload replay: build a [`WindowedGSketch`] over the
+/// stream at `stream_path`, then replay a workload whose rows may carry
+/// inclusive `[t_start t_end]` columns. Each chunk is grouped by
+/// distinct interval and every group is answered as one batch through
+/// [`WindowedGSketch::estimate_interval_detailed_batch`] — per-query
+/// confidence intervals come out of the same kernel passes that answer
+/// the values. Rows without a window ask over the whole lifetime.
+fn replay_windowed_workload<W: Write>(
+    a: &ParsedArgs,
+    stream_path: &str,
+    workload_path: &str,
+    out: &mut W,
+) -> Result<(), CliError> {
+    use std::collections::BTreeMap;
+    let span: u64 = a.require("window-span")?;
+    if span == 0 {
+        return Err(CliError::Args(ArgError(
+            "--window-span must be positive".into(),
+        )));
+    }
+    let memory = parse_bytes(a.get("window-memory").unwrap_or("64K"))?;
+    let seed: u64 = a.get_or("seed", 42)?;
+    let chunk: usize = a.get_or::<usize>("chunk", 1 << 20)?.max(1);
+    let show: usize = a.get_or("show", 10)?;
+
+    let stream = load_stream(stream_path).map_err(run_err)?;
+    let mut windowed = WindowedGSketch::new(
+        WindowConfig {
+            span,
+            memory_bytes_per_window: memory,
+            sample_capacity: 256,
+            seed,
+        },
+        GSketch::builder().min_width(64).seed(seed),
+    )
+    .map_err(run_err)?;
+    windowed.ingest(&stream);
+
+    let mut source = QueryFileSource::open(workload_path).map_err(run_err)?;
+    let mut buf: Vec<WorkloadQuery> = Vec::with_capacity(chunk);
+    let mut results: Vec<IntervalEstimate> = Vec::new();
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut rows: Vec<IntervalEstimate> = Vec::new();
+    let lifetime = (0u64, windowed.lifetime_end());
+    let mut queries = 0u64;
+    let mut windowed_queries = 0u64;
+    let mut value_sum = 0.0f64;
+    let mut bound_sum = 0.0f64;
+    let mut min_confidence = 1.0f64;
+    let mut shown = 0usize;
+    while source.fill_workload_queries(&mut buf, chunk) > 0 {
+        // Group the chunk by distinct interval so each interval's
+        // queries are answered as one batch per overlapping window.
+        let mut groups: BTreeMap<(u64, u64), Vec<usize>> = BTreeMap::new();
+        for (i, q) in buf.iter().enumerate() {
+            groups
+                .entry(q.window.unwrap_or(lifetime))
+                .or_default()
+                .push(i);
+        }
+        results.clear();
+        results.resize(buf.len(), IntervalEstimate::default());
+        for (&(t_start, t_end), idxs) in &groups {
+            edges.clear();
+            edges.extend(idxs.iter().map(|&i| buf[i].edge));
+            windowed.estimate_interval_detailed_batch(&edges, t_start, t_end, &mut rows);
+            for (&i, row) in idxs.iter().zip(&rows) {
+                results[i] = *row;
+            }
+        }
+        for (q, r) in buf.iter().zip(&results) {
+            queries += 1;
+            windowed_queries += u64::from(q.window.is_some());
+            value_sum += r.value;
+            bound_sum += r.error_bound;
+            min_confidence = min_confidence.min(r.confidence);
+            if shown < show {
+                match q.window {
+                    Some((ts, te)) => writeln!(
+                        out,
+                        "{} [{ts}..{te}]: estimate {:.1} (±{:.1} w.p. {:.3})",
+                        q.edge, r.value, r.error_bound, r.confidence
+                    ),
+                    None => writeln!(
+                        out,
+                        "{} [lifetime]: estimate {:.1} (±{:.1} w.p. {:.3})",
+                        q.edge, r.value, r.error_bound, r.confidence
+                    ),
+                }
+                .map_err(run_err)?;
+                shown += 1;
+            }
+        }
+    }
+    source.finish().map_err(run_err)?;
+    writeln!(
+        out,
+        "replayed {queries} queries ({windowed_queries} windowed) over {} window(s) of span {span}",
+        windowed.sealed_windows() + 1
+    )
+    .map_err(run_err)?;
+    writeln!(
+        out,
+        "estimate sum {value_sum:.1}, mean {:.2}; mean bound ±{:.1}, min confidence {:.3}",
+        value_sum / (queries.max(1)) as f64,
+        bound_sum / (queries.max(1)) as f64,
+        if queries == 0 { 0.0 } else { min_confidence },
+    )
+    .map_err(run_err)?;
+    Ok(())
+}
+
 fn cmd_query<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
     let a = ParsedArgs::parse(
         raw.iter().cloned(),
-        &["stream", "workload", "threads", "chunk"],
+        &[
+            "stream",
+            "workload",
+            "threads",
+            "chunk",
+            "cache",
+            "detailed",
+            "show",
+            "window-span",
+            "window-memory",
+            "seed",
+        ],
     )?;
     let snapshot_path = a.positional(0, "snapshot")?;
     let pairs = &a.positionals()[1..];
@@ -489,6 +752,48 @@ fn cmd_query<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
             )))
         }
         _ => {}
+    }
+    // Windowed replay: the positional is a *stream file* (the windowed
+    // synopsis is built fresh — there is no windowed snapshot format),
+    // and the workload's rows may carry `[t_start t_end]` columns.
+    if a.get("window-span").is_some() {
+        let Some(workload_path) = a.get("workload") else {
+            return Err(CliError::Args(ArgError(
+                "--window-span replays a workload file; add --workload FILE".into(),
+            )));
+        };
+        if a.get("stream").is_some()
+            || a.get("threads").is_some()
+            || a.get("cache").is_some()
+            || a.get("detailed").is_some()
+        {
+            return Err(CliError::Args(ArgError(
+                "windowed replay always answers per-interval detailed batches; \
+                 --stream/--threads/--cache/--detailed do not apply"
+                    .into(),
+            )));
+        }
+        return replay_windowed_workload(&a, snapshot_path, workload_path, out);
+    }
+    // Flags only the windowed replay consumes must not be silently
+    // ignored elsewhere.
+    for flag in ["window-memory", "seed"] {
+        if a.get(flag).is_some() {
+            return Err(CliError::Args(ArgError(format!(
+                "--{flag} applies to windowed replay; add --window-span"
+            ))));
+        }
+    }
+    // And replay-only flags must not be silently ignored by the inline
+    // point-query mode.
+    if a.get("workload").is_none() {
+        for flag in ["threads", "chunk", "cache", "detailed", "show"] {
+            if a.get(flag).is_some() {
+                return Err(CliError::Args(ArgError(format!(
+                    "--{flag} applies to workload replay; add --workload FILE"
+                ))));
+            }
+        }
     }
     let sketch = AnySnapshot::load(snapshot_path)?;
     let truth = match a.get("stream") {
@@ -549,6 +854,14 @@ fn cmd_workload<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
             let alpha: f64 = alpha
                 .parse()
                 .map_err(|e| CliError::Args(ArgError(format!("bad value for `--zipf`: {e}"))))?;
+            // The Zipf sampler's domain is a library assert; a bad skew
+            // must be a CLI error, not a panic (`--zipf 0`, `--zipf
+            // -1`, and `--zipf inf` all parse as f64).
+            if !(alpha > 0.0 && alpha.is_finite()) {
+                return Err(CliError::Args(ArgError(format!(
+                    "--zipf skew must be positive and finite, got {alpha}"
+                ))));
+            }
             (
                 zipf_edge_queries(&truth, n_queries, alpha, ZipfRank::Frequency, &mut rng),
                 format!("Zipf({alpha}) by frequency rank"),
@@ -1021,6 +1334,255 @@ mod tests {
         // Inline pairs and --workload are mutually exclusive.
         let e = run(&["query", &snap, "1", "2", "--workload", &wl]).unwrap_err();
         assert!(e.to_string().contains("drop the inline"), "{e}");
+    }
+
+    /// Cached replay must report the same sums as the uncached baseline
+    /// (bit-exact), and hit the memo on a repeat-heavy workload.
+    #[test]
+    fn cached_replay_matches_uncached_replay() {
+        let stream = tmp("cached.txt");
+        run(&[
+            "generate",
+            "smallworld",
+            "--out",
+            &stream,
+            "--arrivals",
+            "20000",
+            "--vertices",
+            "200",
+        ])
+        .unwrap();
+        let snap = tmp("cached.snapshot.json");
+        run(&["build", &stream, "--memory", "64K", "--out", &snap]).unwrap();
+        let wl = tmp("cached.queries.txt");
+        run(&[
+            "workload",
+            &stream,
+            "--out",
+            &wl,
+            "--queries",
+            "5000",
+            "--zipf",
+            "1.1",
+        ])
+        .unwrap();
+        let uncached = run(&["query", &snap, "--workload", &wl, "--cache", "off"]).unwrap();
+        let cached = run(&["query", &snap, "--workload", &wl, "--chunk", "512"]).unwrap();
+        let sum_line = |text: &str| {
+            text.lines()
+                .find(|l| l.starts_with("estimate sum"))
+                .unwrap()
+                .to_owned()
+        };
+        assert_eq!(sum_line(&uncached), sum_line(&cached));
+        assert!(!uncached.contains("cache:"), "{uncached}");
+        assert!(cached.contains("hit rate"), "{cached}");
+        // A Zipf workload repeats its head: the memo must actually hit.
+        let hits: u64 = cached
+            .lines()
+            .find(|l| l.starts_with("cache:"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert!(hits > 0, "{cached}");
+    }
+
+    /// --detailed replays through the detailed batch: per-query
+    /// confidence intervals plus a summary, same estimate sum.
+    #[test]
+    fn detailed_replay_reports_confidence_intervals() {
+        let stream = tmp("detailed.txt");
+        run(&[
+            "generate",
+            "erdos",
+            "--out",
+            &stream,
+            "--arrivals",
+            "8000",
+            "--vertices",
+            "100",
+        ])
+        .unwrap();
+        let snap = tmp("detailed.snapshot.json");
+        run(&["build", &stream, "--memory", "32K", "--out", &snap]).unwrap();
+        let wl = tmp("detailed.queries.txt");
+        run(&["workload", &stream, "--out", &wl, "--queries", "500"]).unwrap();
+        let text = run(&[
+            "query",
+            &snap,
+            "--workload",
+            &wl,
+            "--detailed",
+            "on",
+            "--show",
+            "3",
+        ])
+        .unwrap();
+        assert!(text.contains("w.p."), "{text}");
+        assert!(text.contains("mean bound"), "{text}");
+        assert_eq!(text.matches("w.p.").count(), 3, "--show 3 rows: {text}");
+        // Mixing an explicit cache with the detailed path is ambiguous.
+        let e = run(&[
+            "query",
+            &snap,
+            "--workload",
+            &wl,
+            "--detailed",
+            "on",
+            "--cache",
+            "on",
+        ])
+        .unwrap_err();
+        assert!(e.to_string().contains("detailed"), "{e}");
+        // Flags a mode cannot honor are rejected, not silently ignored.
+        let e = run(&[
+            "query",
+            &snap,
+            "--workload",
+            &wl,
+            "--detailed",
+            "on",
+            "--threads",
+            "8",
+        ])
+        .unwrap_err();
+        assert!(e.to_string().contains("--threads"), "{e}");
+        let e = run(&["query", &snap, "--workload", &wl, "--show", "5"]).unwrap_err();
+        assert!(e.to_string().contains("--detailed"), "{e}");
+        let e = run(&["query", &snap, "--workload", &wl, "--seed", "7"]).unwrap_err();
+        assert!(e.to_string().contains("--window-span"), "{e}");
+        let e = run(&["query", &snap, "--workload", &wl, "--window-memory", "1M"]).unwrap_err();
+        assert!(e.to_string().contains("--window-span"), "{e}");
+        // Replay-only flags are rejected by the inline point-query mode.
+        let e = run(&["query", &snap, "1", "2", "--cache", "off"]).unwrap_err();
+        assert!(e.to_string().contains("--workload"), "{e}");
+        let e = run(&["query", &snap, "1", "2", "--detailed", "on"]).unwrap_err();
+        assert!(e.to_string().contains("--workload"), "{e}");
+    }
+
+    /// The end-to-end windowed path: workload rows carrying
+    /// `[t_start t_end]` columns replay against a windowed synopsis and
+    /// report per-query confidence intervals.
+    #[test]
+    fn windowed_workload_replays_end_to_end() {
+        let stream = tmp("windowed.txt");
+        run(&[
+            "generate",
+            "smallworld",
+            "--out",
+            &stream,
+            "--arrivals",
+            "20000",
+            "--vertices",
+            "200",
+        ])
+        .unwrap();
+        // A workload mixing lifetime and windowed rows, written through
+        // the library so the format is the canonical one.
+        let edges = gstream::load_stream(&stream).unwrap();
+        let horizon = edges.last().unwrap().ts;
+        let wl = tmp("windowed.queries.txt");
+        gstream::save_workload(
+            &wl,
+            &[
+                WorkloadQuery::lifetime(edges[0].edge),
+                WorkloadQuery::windowed(edges[1].edge, 0, horizon / 2),
+                WorkloadQuery::windowed(edges[2].edge, horizon / 4, horizon),
+                WorkloadQuery::windowed(edges[0].edge, 0, u64::MAX),
+            ],
+        )
+        .unwrap();
+        let text = run(&[
+            "query",
+            &stream,
+            "--workload",
+            &wl,
+            "--window-span",
+            "1000",
+            "--window-memory",
+            "16K",
+        ])
+        .unwrap();
+        assert!(text.contains("[lifetime]"), "{text}");
+        assert!(text.contains("w.p."), "{text}");
+        assert!(text.contains("replayed 4 queries (3 windowed)"), "{text}");
+        // Every row reports a confidence interval.
+        assert_eq!(text.matches("w.p.").count(), 4, "{text}");
+    }
+
+    #[test]
+    fn windowed_replay_rejects_bad_flag_combinations() {
+        // --window-span without --workload.
+        let e = run(&["query", "s.txt", "--window-span", "100"]).unwrap_err();
+        assert!(e.to_string().contains("--workload"), "{e}");
+        // Inapplicable flags.
+        let e = run(&[
+            "query",
+            "s.txt",
+            "--workload",
+            "w.txt",
+            "--window-span",
+            "100",
+            "--threads",
+            "4",
+        ])
+        .unwrap_err();
+        assert!(e.to_string().contains("do not apply"), "{e}");
+        // Windowed replay is always detailed; the switch does not apply.
+        let e = run(&[
+            "query",
+            "s.txt",
+            "--workload",
+            "w.txt",
+            "--window-span",
+            "100",
+            "--detailed",
+            "off",
+        ])
+        .unwrap_err();
+        assert!(e.to_string().contains("do not apply"), "{e}");
+        // Zero span.
+        let e = run(&[
+            "query",
+            "s.txt",
+            "--workload",
+            "w.txt",
+            "--window-span",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(e.to_string().contains("positive"), "{e}");
+    }
+
+    #[test]
+    fn workload_rejects_degenerate_zipf_skew() {
+        let stream = tmp("zipf_domain.txt");
+        run(&[
+            "generate",
+            "erdos",
+            "--out",
+            &stream,
+            "--arrivals",
+            "2000",
+            "--vertices",
+            "50",
+        ])
+        .unwrap();
+        for bad in ["0", "-1.5", "inf", "NaN"] {
+            let e = run(&[
+                "workload",
+                &stream,
+                "--out",
+                &tmp("zipf_domain.out.txt"),
+                "--zipf",
+                bad,
+            ])
+            .unwrap_err();
+            assert!(
+                e.to_string().contains("positive and finite"),
+                "--zipf {bad}: {e}"
+            );
+        }
     }
 
     #[test]

@@ -108,6 +108,19 @@ impl EdgeSink for &ConcurrentGSketch {
     }
 }
 
+/// Same soundness argument as the sequential [`GSketch`]: slot spans
+/// are disjoint, so the router slot bounds a write's blast radius.
+impl crate::replay::WriteLocalized for ConcurrentGSketch {
+    fn write_domains(&self) -> usize {
+        self.bank.num_slots()
+    }
+
+    #[inline]
+    fn write_domain(&self, src: VertexId) -> u32 {
+        self.router.slot(src)
+    }
+}
+
 /// The pipeline-facing surface: route by source vertex, commit key-sorted
 /// runs straight into the atomic arena's slot spans.
 impl SlotSink for ConcurrentGSketch {

@@ -505,6 +505,21 @@ impl GSketch {
     }
 }
 
+/// A write routes to exactly one slot, and slot counter spans are
+/// disjoint, so the router slot is a sound invalidation domain for the
+/// replay engine: a write to slot `s` can only move estimates of edges
+/// whose source routes to `s`.
+impl<B: FrequencySketch> crate::replay::WriteLocalized for GSketch<B> {
+    fn write_domains(&self) -> usize {
+        self.bank.num_slots()
+    }
+
+    #[inline]
+    fn write_domain(&self, src: gstream::vertex::VertexId) -> u32 {
+        self.router.slot(src)
+    }
+}
+
 /// The unified ingest surface: routing one arrival is a single
 /// unconditioned bank update (outlier = last slot), and
 /// [`ingest_batch`](crate::EdgeSink::ingest_batch) groups a batch by
@@ -592,6 +607,35 @@ impl<B: FrequencySketch> GSketch<B> {
             confidence: self.bank.confidence(),
             sketch: self.router.id_of_slot(slot),
         }
+    }
+
+    /// Batched [`estimate_detailed`](Self::estimate_detailed): `out` is
+    /// overwritten with one [`Estimate`] per edge, in query order. The
+    /// values ride [`estimate_batch`](Self::estimate_batch) (slot
+    /// counting-sort + the backend's batched read kernel) and the
+    /// quality attributes — per-slot error bound, bank-wide confidence,
+    /// answering [`SketchId`] — are constants of the routing, computed
+    /// once per slot instead of once per query. One pass answers values
+    /// *and* confidence intervals, so workload replay reports both
+    /// without re-probing the synopsis. Rows are bit-identical to the
+    /// scalar [`estimate_detailed`](Self::estimate_detailed) per edge.
+    pub fn estimate_detailed_batch(&self, edges: &[Edge], out: &mut Vec<Estimate>) {
+        let mut vals = Vec::with_capacity(edges.len());
+        self.estimate_batch(edges, &mut vals);
+        let confidence = self.bank.confidence();
+        let bounds: Vec<f64> = (0..self.bank.num_slots())
+            .map(|s| self.bank.slot_error_bound(s as u32))
+            .collect();
+        out.clear();
+        out.extend(edges.iter().zip(&vals).map(|(e, &value)| {
+            let slot = self.router.slot(e.src);
+            Estimate {
+                value,
+                error_bound: bounds[slot as usize],
+                confidence,
+                sketch: self.router.id_of_slot(slot),
+            }
+        }));
     }
 
     /// Which sketch would answer a query on `edge`.

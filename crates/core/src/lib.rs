@@ -54,6 +54,7 @@
 //! | beyond the paper: lock-free concurrent ingest | [`concurrent`] |
 //! | beyond the paper: unified ingest surface | [`sink`] |
 //! | beyond the paper: parallel sharded ingest | [`pipeline`] |
+//! | beyond the paper: memoized query replay | [`replay`] |
 //!
 //! ## Synopsis backends
 //!
@@ -78,6 +79,7 @@ pub mod partition;
 pub mod persist;
 pub mod pipeline;
 pub mod query;
+pub mod replay;
 pub mod router;
 pub mod sink;
 pub mod vstats;
@@ -98,8 +100,9 @@ pub use pipeline::{IngestReport, ParallelIngest, SlotSink};
 pub use query::{
     estimate_subgraph, estimate_subgraph_with, Aggregator, EdgeEstimator, ParallelQuery,
 };
+pub use replay::{ReplayEngine, ReplayStats, WriteLocalized};
 pub use router::{Router, SketchId};
 pub use sink::EdgeSink;
-pub use sketch::{CmArena, CountMinSketch, CountSketch, FrequencySketch, SketchBank};
+pub use sketch::{CmArena, CountMinSketch, CountSketch, DetailedRow, FrequencySketch, SketchBank};
 pub use vstats::SampleStats;
-pub use window::{WindowConfig, WindowedGSketch};
+pub use window::{IntervalEstimate, WindowConfig, WindowedGSketch};

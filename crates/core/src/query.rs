@@ -59,6 +59,29 @@ pub trait EdgeEstimator {
     }
 }
 
+/// Estimators answer through shared references, so a borrow is as good
+/// as the estimator itself — this is what lets the replay engine front
+/// a deployment it merely borrows (e.g. one also driven by a
+/// [`ParallelQuery`] pool). Every method forwards, so backend-specific
+/// batch overrides are preserved.
+impl<T: EdgeEstimator + ?Sized> EdgeEstimator for &T {
+    fn estimate_edge(&self, edge: Edge) -> u64 {
+        (**self).estimate_edge(edge)
+    }
+
+    fn estimate_edge_f64(&self, edge: Edge) -> f64 {
+        (**self).estimate_edge_f64(edge)
+    }
+
+    fn estimate_edges(&self, edges: &[Edge], out: &mut Vec<u64>) {
+        (**self).estimate_edges(edges, out);
+    }
+
+    fn estimate_edges_f64(&self, edges: &[Edge], out: &mut Vec<f64>) {
+        (**self).estimate_edges_f64(edges, out);
+    }
+}
+
 /// Counting-sort a query batch by destination slot and answer each slot
 /// run through one batched bank probe — the read-side mirror of the
 /// ingest path's slot-grouped batching, shared by every partitioned

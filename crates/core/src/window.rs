@@ -35,6 +35,23 @@ impl WindowConfig {
     }
 }
 
+/// An interval estimate with the quality attributes of the windows that
+/// answered it (the windowed counterpart of [`crate::Estimate`]): the
+/// fractional value, the fraction-scaled sum of the answering slots'
+/// additive bounds, and the union-bound probability that every
+/// contributing per-window bound held.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IntervalEstimate {
+    /// The fractional interval estimate (unrounded; see
+    /// [`WindowedGSketch::estimate_interval_batch`] for the rounding
+    /// contract).
+    pub value: f64,
+    /// Additive error bound on `value`: `Σ_w fraction_w · bound_w`.
+    pub error_bound: f64,
+    /// Probability the bound holds: `max(0, 1 − Σ_w (1 − c_w))`.
+    pub confidence: f64,
+}
+
 /// One sealed (read-only) window.
 #[derive(Debug, Clone)]
 struct SealedWindow {
@@ -84,13 +101,31 @@ impl WindowedGSketch {
     /// the fallible form of [`EdgeSink::update`]; rotation can only fail
     /// if the per-window build configuration is invalid, which the
     /// constructor already vetted, so the trait method simply expects it.
+    ///
+    /// A timestamp gap wider than one window rotates **once** (sealing
+    /// the window that was open when the gap started) and then jumps
+    /// straight to the window containing `se.ts`: the skipped windows
+    /// absorbed nothing, contribute exactly 0 to every interval, and
+    /// are never materialized — so epoch-style timestamps (first
+    /// arrival at t ≈ 10⁹ with a span of 10³) cost O(1), not millions
+    /// of sealed windows. A window abutting `u64::MAX` simply never
+    /// rotates again (its exclusive end does not fit in the timestamp
+    /// domain).
     pub fn try_insert(&mut self, se: StreamEdge) -> Result<(), SketchError> {
         assert!(
             se.ts >= self.current_start,
             "timestamps must be non-decreasing across inserts"
         );
-        while se.ts >= self.current_start + self.cfg.span {
-            self.rotate()?;
+        if let Some(boundary) = self.current_start.checked_add(self.cfg.span) {
+            if se.ts >= boundary {
+                self.rotate()?;
+                // Skip fully-empty gap windows without materializing
+                // them (window boundaries are the multiples of `span`).
+                let target = se.ts - se.ts % self.cfg.span;
+                if target > self.current_start {
+                    self.current_start = target;
+                }
+            }
         }
         self.current.update(se);
         self.reservoir.offer(se, &mut self.rng);
@@ -98,7 +133,9 @@ impl WindowedGSketch {
     }
 
     /// Seal the current window and open the next, partitioned from the
-    /// just-collected reservoir sample.
+    /// just-collected reservoir sample. Only called when the current
+    /// window's exclusive end fits in the timestamp domain (the caller
+    /// checked `current_start + span`).
     fn rotate(&mut self) -> Result<(), SketchError> {
         let sample = std::mem::replace(
             &mut self.reservoir,
@@ -122,27 +159,32 @@ impl WindowedGSketch {
     }
 
     /// The stored windows (sealed then current) with their time spans.
+    /// The current window's exclusive end saturates: a window abutting
+    /// `u64::MAX` covers the rest of the timestamp domain.
     fn windows(&self) -> impl Iterator<Item = (u64, u64, &GSketch)> {
         self.sealed
             .iter()
             .map(|s| (s.start, s.end, &s.sketch))
             .chain(std::iter::once((
                 self.current_start,
-                self.current_start + self.cfg.span,
+                self.current_start.saturating_add(self.cfg.span),
                 &self.current,
             )))
     }
 
     /// Estimate the frequency of `edge` over `[t_start, t_end]`
     /// (inclusive), extrapolating proportionally over partially covered
-    /// windows (§5).
+    /// windows (§5). `t_end = u64::MAX` is the open-ended "until now"
+    /// query: the inclusive→exclusive conversion saturates instead of
+    /// wrapping, so it covers every stored window (it used to overflow —
+    /// a panic in debug builds and a silent zero in release builds).
     pub fn estimate_interval(&self, edge: Edge, t_start: u64, t_end: u64) -> f64 {
         assert!(t_start <= t_end, "empty interval");
         let mut total = 0.0f64;
         for (ws, we, sk) in self.windows() {
             // Overlap of [t_start, t_end] with [ws, we).
             let lo = t_start.max(ws);
-            let hi = (t_end + 1).min(we);
+            let hi = t_end.saturating_add(1).min(we);
             if lo >= hi {
                 continue;
             }
@@ -173,7 +215,7 @@ impl WindowedGSketch {
         let mut window_vals = Vec::new();
         for (ws, we, sk) in self.windows() {
             let lo = t_start.max(ws);
-            let hi = (t_end + 1).min(we);
+            let hi = t_end.saturating_add(1).min(we);
             if lo >= hi {
                 continue;
             }
@@ -185,18 +227,76 @@ impl WindowedGSketch {
         }
     }
 
+    /// Batched interval estimation **with confidence intervals**: `out`
+    /// is overwritten with one [`IntervalEstimate`] per edge, in query
+    /// order. Each overlapping window answers the whole batch through
+    /// its sketch's [`estimate_detailed_batch`](GSketch::estimate_detailed_batch)
+    /// (one batched kernel pass per window, per-slot bounds attached at
+    /// no extra probe cost); per-edge values *and* error bounds are
+    /// accumulated scaled by the window's covered fraction, and the
+    /// confidence of the combined bound is the union bound over the
+    /// contributing windows: `max(0, 1 − Σ(1 − c_w))` — the probability
+    /// that *every* per-window bound held. Values are bit-identical to
+    /// [`estimate_interval_batch`](Self::estimate_interval_batch).
+    pub fn estimate_interval_detailed_batch(
+        &self,
+        edges: &[Edge],
+        t_start: u64,
+        t_end: u64,
+        out: &mut Vec<IntervalEstimate>,
+    ) {
+        assert!(t_start <= t_end, "empty interval");
+        out.clear();
+        out.resize(edges.len(), IntervalEstimate::default());
+        let mut window_rows = Vec::new();
+        let mut miss_probability = 0.0f64;
+        let mut covered = false;
+        for (ws, we, sk) in self.windows() {
+            let lo = t_start.max(ws);
+            let hi = t_end.saturating_add(1).min(we);
+            if lo >= hi {
+                continue;
+            }
+            let fraction = (hi - lo) as f64 / (we - ws) as f64;
+            sk.estimate_detailed_batch(edges, &mut window_rows);
+            for (acc, row) in out.iter_mut().zip(&window_rows) {
+                acc.value += row.value as f64 * fraction;
+                acc.error_bound += row.error_bound * fraction;
+            }
+            // All rows of one window share the window's confidence.
+            if let Some(row) = window_rows.first() {
+                miss_probability += 1.0 - row.confidence;
+                covered = true;
+            }
+        }
+        let confidence = if covered {
+            (1.0 - miss_probability).max(0.0)
+        } else {
+            // No stored window overlaps: the zero answer is certain.
+            1.0
+        };
+        for acc in out.iter_mut() {
+            acc.confidence = confidence;
+        }
+    }
+
     /// Estimate over the whole lifetime observed so far.
     pub fn estimate_lifetime(&self, edge: Edge) -> f64 {
-        let end = self.current_start + self.cfg.span - 1;
-        self.estimate_interval(edge, 0, end)
+        self.estimate_interval(edge, 0, self.lifetime_end())
     }
 
     /// Batched [`estimate_lifetime`](Self::estimate_lifetime) (see
     /// [`estimate_interval_batch`](Self::estimate_interval_batch) for
     /// the rounding contract).
     pub fn estimate_lifetime_batch(&self, edges: &[Edge], out: &mut Vec<f64>) {
-        let end = self.current_start + self.cfg.span - 1;
-        self.estimate_interval_batch(edges, 0, end, out);
+        self.estimate_interval_batch(edges, 0, self.lifetime_end(), out);
+    }
+
+    /// Last timestamp covered by the stored windows (the inclusive end
+    /// of a lifetime query; saturating so a window abutting `u64::MAX`
+    /// cannot wrap).
+    pub fn lifetime_end(&self) -> u64 {
+        self.current_start.saturating_add(self.cfg.span - 1)
     }
 
     /// Number of sealed windows.
@@ -306,6 +406,107 @@ mod tests {
         let half = w.estimate_interval(e, 0, 49);
         let full = w.estimate_interval(e, 0, 99);
         assert!((half - full / 2.0).abs() < full * 0.05 + 1.0);
+    }
+
+    /// A timestamp gap wider than one window must not materialize the
+    /// empty windows it skips: epoch-style timestamps are O(1) per
+    /// arrival, and queries over the gap answer 0.
+    #[test]
+    fn timestamp_gaps_skip_empty_windows() {
+        let mut w = WindowedGSketch::new(cfg(), builder()).unwrap();
+        for ts in 0..150u64 {
+            w.try_insert(wedge(1, 2, ts)).unwrap();
+        }
+        // Jump ~17 million windows forward: must be instant and must
+        // not allocate a sealed window per skipped span.
+        w.try_insert(wedge(3, 4, 1_700_000_000)).unwrap();
+        assert!(
+            w.sealed_windows() <= 3,
+            "gap materialized {} windows",
+            w.sealed_windows()
+        );
+        assert_eq!(w.current_window_start(), 1_700_000_000);
+        // Pre-gap mass is intact, the gap answers 0, the post-gap
+        // window answers its own mass.
+        let e12 = Edge::new(1u32, 2u32);
+        let e34 = Edge::new(3u32, 4u32);
+        // [0, 149] fully covers window [0,100) and half of [100,200):
+        // 100 + 0.5·50 under the uniform-extrapolation semantics.
+        assert!(w.estimate_interval(e12, 0, 149) >= 125.0);
+        assert!(w.estimate_interval(e12, 0, 199) >= 150.0);
+        assert_eq!(w.estimate_interval(e12, 1_000, 999_999), 0.0);
+        assert_eq!(w.estimate_interval(e34, 1_000, 999_999), 0.0);
+        assert!(w.estimate_interval(e34, 1_700_000_000, u64::MAX) >= 1.0);
+        assert!(w.estimate_lifetime(e12) >= 150.0);
+    }
+
+    /// Timestamps at the top of the u64 domain must neither overflow
+    /// the rotation boundary nor wedge the insert loop.
+    #[test]
+    fn timestamps_near_u64_max_are_legal() {
+        let mut w = WindowedGSketch::new(cfg(), builder()).unwrap();
+        w.try_insert(wedge(1, 2, 5)).unwrap();
+        w.try_insert(wedge(1, 2, u64::MAX - 7)).unwrap();
+        w.try_insert(wedge(1, 2, u64::MAX)).unwrap(); // same final window
+        let e = Edge::new(1u32, 2u32);
+        assert!(w.estimate_interval(e, 0, u64::MAX) >= 3.0);
+        assert!(w.estimate_lifetime(e) >= 3.0);
+        let mut batch = Vec::new();
+        w.estimate_interval_batch(&[e], u64::MAX - 100, u64::MAX, &mut batch);
+        assert!(batch[0] >= 2.0);
+    }
+
+    /// The inclusive interval end must saturate, not wrap: an
+    /// open-ended `[0, u64::MAX]` query covers the whole lifetime
+    /// (this used to overflow `t_end + 1` — panicking in debug builds
+    /// and silently answering 0 in release builds).
+    #[test]
+    fn open_ended_interval_covers_everything() {
+        let mut w = WindowedGSketch::new(cfg(), builder()).unwrap();
+        for ts in 0..250u64 {
+            w.try_insert(wedge(1, 2, ts)).unwrap();
+        }
+        let e = Edge::new(1u32, 2u32);
+        let open = w.estimate_interval(e, 0, u64::MAX);
+        let lifetime = w.estimate_lifetime(e);
+        assert_eq!(open.to_bits(), lifetime.to_bits());
+        assert!(open >= 250.0, "open-ended interval lost coverage: {open}");
+        let mut batch = Vec::new();
+        w.estimate_interval_batch(&[e], 0, u64::MAX, &mut batch);
+        assert_eq!(batch[0].to_bits(), open.to_bits());
+    }
+
+    /// Detailed interval rows: values bit-identical to the plain batch,
+    /// bounds positive where windows contribute, confidence the union
+    /// bound over contributing windows (and exactly 1 when no window
+    /// overlaps — the zero answer is certain).
+    #[test]
+    fn detailed_interval_batch_matches_plain_batch() {
+        let mut w = WindowedGSketch::new(cfg(), builder()).unwrap();
+        for ts in 0..320u64 {
+            w.try_insert(wedge((ts % 5) as u32, 8, ts)).unwrap();
+        }
+        let edges: Vec<Edge> = (0..5u32).map(|v| Edge::new(v, 8u32)).collect();
+        let mut plain = Vec::new();
+        let mut rows = Vec::new();
+        for (ts, te) in [(0u64, 319u64), (37, 211), (150, 150), (0, u64::MAX)] {
+            w.estimate_interval_batch(&edges, ts, te, &mut plain);
+            w.estimate_interval_detailed_batch(&edges, ts, te, &mut rows);
+            assert_eq!(rows.len(), edges.len());
+            for (row, &v) in rows.iter().zip(&plain) {
+                assert_eq!(row.value.to_bits(), v.to_bits());
+                assert!(row.error_bound >= 0.0);
+                assert!((0.0..=1.0).contains(&row.confidence));
+            }
+        }
+        // An interval past every stored window: zero, with certainty.
+        let horizon = w.lifetime_end();
+        w.estimate_interval_detailed_batch(&edges, horizon + 1, horizon + 10, &mut rows);
+        for row in &rows {
+            assert_eq!(row.value, 0.0);
+            assert_eq!(row.error_bound, 0.0);
+            assert_eq!(row.confidence, 1.0);
+        }
     }
 
     #[test]

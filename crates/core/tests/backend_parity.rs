@@ -10,7 +10,7 @@
 use gsketch::{
     AdaptiveConfig, AdaptiveGSketch, CmArena, ConcurrentGSketch, CountMinSketch, CountSketch,
     EdgeEstimator, EdgeSink, GSketch, GSketchBuilder, GlobalSketch, ParallelIngest, ParallelQuery,
-    WindowConfig, WindowedGSketch,
+    ReplayEngine, WindowConfig, WindowedGSketch,
 };
 use gstream::edge::{Edge, StreamEdge};
 use gstream::SliceSource;
@@ -315,6 +315,141 @@ proptest! {
             pq.estimate_edges(&queries, &mut parallel);
             prop_assert_eq!(&parallel, &sequential, "{} workers", threads);
         }
+    }
+
+    /// The windowed deployment's batched interval surface is
+    /// bit-identical to the scalar one for **any** interval — fully
+    /// inside one window, straddling several (the overlapping case,
+    /// where fractional extrapolation kicks in on both partial ends),
+    /// and the open-ended `[t, u64::MAX]` form whose inclusive→exclusive
+    /// conversion must saturate, not wrap. This pins the f64→rounded
+    /// boundary PR 4 drew: fractional sums accumulate identically in
+    /// window order on both paths, and the integer estimator surface
+    /// rounds exactly once per edge on both paths.
+    #[test]
+    fn windowed_interval_batch_matches_scalar(
+        arrivals in vec((0u32..30, 0u32..30, 0u8..8), 1..200),
+        span in 5u64..60,
+        t_a in 0u64..260,
+        t_b in 0u64..260,
+        open_start in 0u64..260,
+        depth in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let mut windowed = WindowedGSketch::new(
+            WindowConfig {
+                span,
+                memory_bytes_per_window: 1 << 12,
+                sample_capacity: 32,
+                seed,
+            },
+            GSketch::builder().min_width(16).depth(depth),
+        )
+        .unwrap();
+        let stream = stream_of(&arrivals);
+        windowed.ingest(&stream);
+
+        let mut queries: Vec<Edge> = stream.iter().map(|se| se.edge).collect();
+        for v in 0..10u32 {
+            queries.push(Edge::new(v, 555u32)); // absent probes
+        }
+        let (t_start, t_end) = (t_a.min(t_b), t_a.max(t_b));
+        let mut batch = Vec::new();
+        for (ts, te) in [
+            (t_start, t_end),
+            (t_start, t_start),              // single instant
+            (open_start, u64::MAX),          // open-ended
+            (0, windowed.lifetime_end()),    // exact lifetime
+        ] {
+            windowed.estimate_interval_batch(&queries, ts, te, &mut batch);
+            prop_assert_eq!(batch.len(), queries.len());
+            for (&q, &b) in queries.iter().zip(&batch) {
+                let s = windowed.estimate_interval(q, ts, te);
+                prop_assert_eq!(s.to_bits(), b.to_bits(),
+                    "interval [{}, {}] diverged on {}: scalar {} batched {}", ts, te, q, s, b);
+            }
+            // The detailed rows carry the same values, bit for bit.
+            let mut rows = Vec::new();
+            windowed.estimate_interval_detailed_batch(&queries, ts, te, &mut rows);
+            for (row, &b) in rows.iter().zip(&batch) {
+                prop_assert_eq!(row.value.to_bits(), b.to_bits());
+            }
+        }
+        // And the estimator surfaces (lifetime): one rounding per edge.
+        let mut ints = Vec::new();
+        windowed.estimate_edges(&queries, &mut ints);
+        for (&q, &v) in queries.iter().zip(&ints) {
+            prop_assert_eq!(v, windowed.estimate_edge(q));
+        }
+    }
+
+    /// Replay-cache invalidation interleavings: a `ReplayEngine`
+    /// wrapping each backend must stay **bit-identical to the uncached
+    /// path** across arbitrary ingest/query/ingest sequences — writes
+    /// through the engine invalidate exactly enough of the memo that no
+    /// stale answer survives, on the slot-localized backends and the
+    /// rest alike.
+    #[test]
+    fn replay_cache_interleavings_match_uncached(
+        sample in vec((0u32..40, 0u32..40, 0u8..8), 1..80),
+        tail in vec((0u32..60, 0u32..60, 0u8..8), 8..160),
+        cuts in vec(0usize..160, 1..5),
+        depth in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let sample = stream_of(&sample);
+        let tail = stream_of(&tail);
+        // Interleaving plan: ingest tail[c_i..c_{i+1}], then replay the
+        // query set, repeatedly.
+        let mut cuts: Vec<usize> = cuts.iter().map(|&c| c % (tail.len() + 1)).collect();
+        cuts.sort_unstable();
+        cuts.push(tail.len());
+
+        fn check<B: gsketch::FrequencySketch>(
+            sample: &[StreamEdge],
+            tail: &[StreamEdge],
+            cuts: &[usize],
+            depth: usize,
+            seed: u64,
+        ) {
+            let empty: GSketch<B> = GSketch::builder()
+                .memory_bytes(1 << 13)
+                .depth(depth)
+                .min_width(16)
+                .seed(seed)
+                .build_from_sample_backend(sample)
+                .unwrap();
+            let mut bare = empty.clone();
+            let mut engine = ReplayEngine::with_capacity(empty, 256);
+            let queries: Vec<Edge> = sample
+                .iter()
+                .chain(tail)
+                .map(|se| se.edge)
+                .chain((0..8u32).map(|v| Edge::new(v, 999u32)))
+                .collect();
+            let mut cached_out = Vec::new();
+            let mut bare_out = Vec::new();
+            let mut at = 0usize;
+            for &cut in cuts {
+                let chunk = &tail[at..cut];
+                at = cut;
+                engine.ingest_batch(chunk);
+                bare.ingest_batch(chunk);
+                // Replay twice so the second pass reads memoized
+                // answers (and must still agree bit for bit).
+                for _ in 0..2 {
+                    engine.estimate_edges(&queries, &mut cached_out);
+                    bare.estimate_edges(&queries, &mut bare_out);
+                    assert_eq!(cached_out, bare_out);
+                }
+            }
+            // The engine actually exercised the memo.
+            assert!(engine.stats().hits > 0);
+        }
+
+        check::<CmArena>(&sample, &tail, &cuts, depth, seed);
+        check::<CountMinSketch>(&sample, &tail, &cuts, depth, seed);
+        check::<CountSketch>(&sample, &tail, &cuts, depth, seed);
     }
 
     /// Merge on the backend trait agrees with sequential ingest: split

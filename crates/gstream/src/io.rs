@@ -4,23 +4,30 @@
 //!
 //! * **streams** — one arrival per line, `src dst ts weight` as decimal
 //!   integers separated by whitespace ([`StreamFileSource`]);
-//! * **query workloads** — one edge query per line, `src dst`
+//! * **query workloads** — one edge query per line, `src dst`, with an
+//!   optional inclusive time window `src dst t_start t_end`
 //!   ([`QueryFileSource`]), the on-disk form of the paper's query sets
 //!   `Qe` and workload samples `W` (§6.2–§6.4), replayed by the CLI's
-//!   `query --workload` mode.
+//!   `query --workload` mode (windowed rows exercise the §5 interval
+//!   extrapolation end to end). The strict 2-field surface
+//!   ([`QueryFileSource::fill_queries`]) rejects windowed rows; the
+//!   workload surface ([`QueryFileSource::fill_workload_queries`])
+//!   accepts both row shapes, validating `t_start <= t_end` per line.
 //!
-//! Both ignore `#`-prefixed comment lines and blank lines, stop at the
-//! first malformed record, and report it with the 1-based line number
-//! **and the byte offset of the line's first byte**, so a bad record in
-//! a multi-gigabyte file can be seeked to directly. Streams round-trip
-//! every [`StreamEdge`] exactly; workloads round-trip every
-//! [`Edge`] exactly.
+//! All formats ignore `#`-prefixed comment lines and blank lines
+//! (CRLF-terminated lines and a final line without a newline parse
+//! identically), stop at the first malformed record, and report it with
+//! the 1-based line number **and the byte offset of the line's first
+//! byte**, so a bad record in a multi-gigabyte file can be seeked to
+//! directly. Streams round-trip every [`StreamEdge`] exactly; workloads
+//! round-trip every [`Edge`] / [`WorkloadQuery`] exactly.
 //!
 //! Readers and writers are buffered internally (a graph stream is exactly
 //! the "many small records" workload where unbuffered I/O dominates).
 
 use crate::edge::{Edge, StreamEdge};
 use crate::vertex::VertexId;
+use crate::workload::WorkloadQuery;
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
@@ -137,6 +144,12 @@ impl<'a> FieldParser<'a> {
         }
     }
 
+    /// Whether another field is present, without consuming it (used by
+    /// the workload parser to pick the 2- vs 4-field row shape).
+    fn peek(&self) -> Option<&str> {
+        self.fields.clone().next()
+    }
+
     fn next_u64(&mut self, what: &str) -> Result<u64, StreamIoError> {
         let tok = self
             .fields
@@ -179,6 +192,34 @@ fn parse_query(trimmed: &str, lineno: usize, byte: u64) -> Result<Edge, StreamIo
     let dst = p.vertex("dst")?;
     p.finish("dst")?;
     Ok(Edge::new(src, dst))
+}
+
+/// Parse one workload query line: `src dst` (lifetime query) or
+/// `src dst t_start t_end` (inclusive interval query). Three fields, a
+/// regressing interval (`t_start > t_end`), or trailing garbage are
+/// malformed — reported with the line's position like every other
+/// record error.
+fn parse_workload_query(
+    trimmed: &str,
+    lineno: usize,
+    byte: u64,
+) -> Result<WorkloadQuery, StreamIoError> {
+    let mut p = FieldParser::new(trimmed, lineno, byte);
+    let src = p.vertex("src")?;
+    let dst = p.vertex("dst")?;
+    let edge = Edge::new(src, dst);
+    match p.peek() {
+        None => Ok(WorkloadQuery::lifetime(edge)),
+        Some(_) => {
+            let t_start = p.next_u64("t_start")?;
+            let t_end = p.next_u64("t_end")?;
+            if t_start > t_end {
+                return Err(p.error(format!("empty interval: t_start {t_start} > t_end {t_end}")));
+            }
+            p.finish("t_end")?;
+            Ok(WorkloadQuery::windowed(edge, t_start, t_end))
+        }
+    }
 }
 
 /// An incremental edge-list reader: the file-backed
@@ -411,6 +452,37 @@ impl<R: Read> QueryFileSource<R> {
         buf.len()
     }
 
+    /// Pull the next workload query (`src dst` or `src dst t_start
+    /// t_end`), or `None` at end-of-input / first error.
+    fn next_workload_query(&mut self) -> Option<WorkloadQuery> {
+        let (trimmed, lineno, byte) = self.lines.next_line()?;
+        match parse_workload_query(trimmed, lineno, byte) {
+            Ok(q) => Some(q),
+            Err(e) => {
+                self.lines.fail(e);
+                None
+            }
+        }
+    }
+
+    /// The windowed variant of [`fill_queries`](Self::fill_queries):
+    /// refill `buf` (cleared first) with up to `max` workload queries —
+    /// plain `src dst` rows become lifetime queries, `src dst t_start
+    /// t_end` rows carry their inclusive interval — in file order, with
+    /// the same line-validated error discipline (a 3-field row, a
+    /// regressing interval, or trailing garbage stops the source;
+    /// [`finish`](Self::finish) reports it with line + byte offset).
+    pub fn fill_workload_queries(&mut self, buf: &mut Vec<WorkloadQuery>, max: usize) -> usize {
+        buf.clear();
+        while buf.len() < max {
+            match self.next_workload_query() {
+                Some(q) => buf.push(q),
+                None => break,
+            }
+        }
+        buf.len()
+    }
+
     /// Consume the source and report whether it ended cleanly.
     pub fn finish(self) -> Result<(), StreamIoError> {
         self.lines.finish()
@@ -431,6 +503,46 @@ pub fn read_queries<R: Read>(r: R) -> Result<Vec<Edge>, StreamIoError> {
 /// Read a query workload from the file at `path`.
 pub fn load_queries<P: AsRef<Path>>(path: P) -> Result<Vec<Edge>, StreamIoError> {
     read_queries(File::open(path)?)
+}
+
+/// Write a workload (`src dst` or `src dst t_start t_end` per line) to
+/// `w` — the windowed superset of [`write_queries`].
+pub fn write_workload<W: Write>(w: W, queries: &[WorkloadQuery]) -> Result<(), StreamIoError> {
+    let mut out = BufWriter::new(w);
+    writeln!(out, "# gsketch query workload: src dst [t_start t_end]")?;
+    writeln!(out, "# queries: {}", queries.len())?;
+    for q in queries {
+        match q.window {
+            None => writeln!(out, "{} {}", q.edge.src.0, q.edge.dst.0)?,
+            Some((ts, te)) => writeln!(out, "{} {} {ts} {te}", q.edge.src.0, q.edge.dst.0)?,
+        }
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Write a workload to the file at `path`.
+pub fn save_workload<P: AsRef<Path>>(
+    path: P,
+    queries: &[WorkloadQuery],
+) -> Result<(), StreamIoError> {
+    write_workload(File::create(path)?, queries)
+}
+
+/// Read a whole (possibly windowed) workload from `r`.
+pub fn read_workload<R: Read>(r: R) -> Result<Vec<WorkloadQuery>, StreamIoError> {
+    let mut source = QueryFileSource::from_reader(r);
+    let mut out = Vec::new();
+    while let Some(q) = source.next_workload_query() {
+        out.push(q);
+    }
+    source.finish()?;
+    Ok(out)
+}
+
+/// Read a (possibly windowed) workload from the file at `path`.
+pub fn load_workload<P: AsRef<Path>>(path: P) -> Result<Vec<WorkloadQuery>, StreamIoError> {
+    read_workload(File::open(path)?)
 }
 
 #[cfg(test)]
@@ -742,6 +854,185 @@ mod tests {
         assert!(read_queries("# only comments\n".as_bytes())
             .unwrap()
             .is_empty());
+    }
+
+    // ------------------------------------------- windowed workloads
+
+    #[test]
+    fn windowed_workload_round_trips_exactly() {
+        let wl = vec![
+            WorkloadQuery::lifetime(Edge::new(1u32, 2u32)),
+            WorkloadQuery::windowed(Edge::new(2u32, 3u32), 0, 99),
+            WorkloadQuery::windowed(Edge::new(1u32, 2u32), 50, 50),
+            WorkloadQuery::windowed(Edge::new(7u32, 8u32), 0, u64::MAX),
+            WorkloadQuery::lifetime(Edge::new(u32::MAX, 0u32)),
+        ];
+        let mut buf = Vec::new();
+        write_workload(&mut buf, &wl).unwrap();
+        assert_eq!(read_workload(&buf[..]).unwrap(), wl);
+    }
+
+    #[test]
+    fn workload_rows_mix_plain_and_windowed() {
+        let text = "# wl\n1 2\n3 4 10 20\n\n5 6\n";
+        let wl = read_workload(text.as_bytes()).unwrap();
+        assert_eq!(
+            wl,
+            vec![
+                WorkloadQuery::lifetime(Edge::new(1u32, 2u32)),
+                WorkloadQuery::windowed(Edge::new(3u32, 4u32), 10, 20),
+                WorkloadQuery::lifetime(Edge::new(5u32, 6u32)),
+            ]
+        );
+    }
+
+    #[test]
+    fn workload_rejects_empty_interval_with_position() {
+        // "1 2\n" = 4 bytes: the regressing interval starts at byte 4.
+        let err = read_workload("1 2\n3 4 20 10\n".as_bytes()).unwrap_err();
+        match err {
+            StreamIoError::Parse { line, byte, reason } => {
+                assert_eq!(line, 2);
+                assert_eq!(byte, 4);
+                assert!(reason.contains("empty interval"), "{reason}");
+            }
+            other => panic!("expected Parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn workload_rejects_three_and_five_field_rows() {
+        let err = read_workload("1 2 10\n".as_bytes()).unwrap_err();
+        match err {
+            StreamIoError::Parse {
+                line: 1, reason, ..
+            } => {
+                assert!(reason.contains("t_end"), "{reason}")
+            }
+            other => panic!("expected Parse error, got {other}"),
+        }
+        let err = read_workload("1 2 10 20 30\n".as_bytes()).unwrap_err();
+        match err {
+            StreamIoError::Parse {
+                line: 1, reason, ..
+            } => {
+                assert!(reason.contains("trailing"), "{reason}")
+            }
+            other => panic!("expected Parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn strict_query_surface_rejects_windowed_rows() {
+        // The 2-field surface must not silently accept 4-field rows.
+        let err = read_queries("1 2 10 20\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, StreamIoError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn chunked_workload_source_matches_eager_reader() {
+        let wl: Vec<WorkloadQuery> = (0..500u32)
+            .map(|i| {
+                if i % 3 == 0 {
+                    WorkloadQuery::lifetime(Edge::new(i, i + 1))
+                } else {
+                    WorkloadQuery::windowed(Edge::new(i, i + 1), u64::from(i), u64::from(i) + 40)
+                }
+            })
+            .collect();
+        let mut text = Vec::new();
+        write_workload(&mut text, &wl).unwrap();
+        let mut src = QueryFileSource::from_reader(&text[..]);
+        let mut buf = Vec::new();
+        let mut chunked = Vec::new();
+        while src.fill_workload_queries(&mut buf, 64) > 0 {
+            assert!(buf.len() <= 64);
+            chunked.extend_from_slice(&buf);
+        }
+        src.finish().unwrap();
+        assert_eq!(chunked, wl);
+    }
+
+    // ------------------------- CRLF and missing-final-newline offsets
+
+    /// Byte offsets must point at the offending line's first byte on
+    /// CRLF-terminated input: each preceding `\r\n` counts two bytes.
+    #[test]
+    fn crlf_input_reports_line_start_offsets() {
+        // "1 2 0 1\r\n" = 9 bytes → bad line 2 starts at byte 9.
+        let text = "1 2 0 1\r\n3 x 0 1\r\n";
+        let err = read_stream(text.as_bytes()).unwrap_err();
+        match err {
+            StreamIoError::Parse { line, byte, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(byte, 9);
+                assert_eq!(&text.as_bytes()[byte as usize..][..3], b"3 x");
+            }
+            other => panic!("expected Parse error, got {other}"),
+        }
+        // Same walker under the query surface: "1 2\r\n" = 5 bytes.
+        let qtext = "1 2\r\n5 x\r\n";
+        let err = read_queries(qtext.as_bytes()).unwrap_err();
+        match err {
+            StreamIoError::Parse { line, byte, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(byte, 5);
+                assert_eq!(&qtext.as_bytes()[byte as usize..][..3], b"5 x");
+            }
+            other => panic!("expected Parse error, got {other}"),
+        }
+        // CRLF records that are *valid* parse identically to LF ones.
+        let ok = read_stream("# h\r\n\r\n1 2 0 1\r\n3 4 7 2\r\n".as_bytes()).unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok[1].weight, 2);
+    }
+
+    /// A final line without a newline is still a full record — and when
+    /// malformed, its reported offset is the line start.
+    #[test]
+    fn final_line_without_newline_parses_and_reports_offsets() {
+        // Valid unterminated final record.
+        let ok = read_stream("1 2 0 1\n3 4 7 2".as_bytes()).unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(read_queries("1 2\n3 4".as_bytes()).unwrap().len(), 2);
+        // Malformed unterminated final record: offset = line start (8).
+        let err = read_stream("1 2 0 1\nbogus".as_bytes()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StreamIoError::Parse {
+                    line: 2,
+                    byte: 8,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        let err = read_queries("1 2\nbogus".as_bytes()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StreamIoError::Parse {
+                    line: 2,
+                    byte: 4,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // CRLF body with an unterminated final line (trailing \r only).
+        let err = read_queries("1 2\r\n3 x\r".as_bytes()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StreamIoError::Parse {
+                    line: 2,
+                    byte: 5,
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]

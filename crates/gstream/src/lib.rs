@@ -45,10 +45,11 @@ pub mod workload;
 pub use edge::{Edge, StreamEdge};
 pub use exact::{ExactCounter, VertexProfile};
 pub use io::{
-    load_queries, load_stream, read_queries, read_stream, save_queries, save_stream, write_queries,
-    write_stream, QueryFileSource, StreamFileSource, StreamIoError,
+    load_queries, load_stream, load_workload, read_queries, read_stream, read_workload,
+    save_queries, save_stream, save_workload, write_queries, write_stream, write_workload,
+    QueryFileSource, StreamFileSource, StreamIoError,
 };
 pub use source::{EdgeSource, SliceSource};
 pub use stats::VarianceStats;
 pub use vertex::{Interner, VertexId};
-pub use workload::{SubgraphQuery, ZipfRank};
+pub use workload::{SubgraphQuery, WorkloadQuery, ZipfRank};

@@ -61,7 +61,13 @@ impl Zipf {
         (helper1(t) * x).exp()
     }
 
-    /// Draw one rank.
+    /// Draw one rank. The returned rank is guaranteed to lie in
+    /// `1..=n`: the float-domain clamp handles the scheme's normal
+    /// range, and the final integer-domain clamp makes even a
+    /// pathological intermediate (a NaN from a degenerate `α`, or an
+    /// `n` above 2^53 where the float clamp bound rounds up) unable to
+    /// produce rank 0 or a rank past the support — consumers index
+    /// `ranked[rank − 1]` and must never panic.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         loop {
             // u uniform in [H(n + 0.5), H(1.5) − 1).
@@ -73,7 +79,7 @@ impl Zipf {
             if k_f - x <= self.s
                 || u >= Self::h_integral(k_f + 0.5, self.alpha) - k_f.powf(-self.alpha)
             {
-                return k_f as u64;
+                return (k_f as u64).clamp(1, self.n);
             }
         }
     }

@@ -73,8 +73,23 @@ fn ranked_edges<R: Rng + ?Sized>(counts: &ExactCounter, rank: ZipfRank, rng: &mu
     edges.into_iter().map(|(e, _)| e).collect()
 }
 
+/// Convert a 1-based Zipf rank into an index of the ranked list,
+/// clamped into range. [`Zipf::sample`] already guarantees ranks in
+/// `1..=n`; the clamp here is belt-and-braces so no float pathology in
+/// the sampler can ever turn into an index panic (or a silent wrap to
+/// the wrong edge) in workload generation — the support may be far
+/// smaller than the requested query count, and every draw must land on
+/// a real edge.
+#[inline]
+fn rank_index(rank: u64, len: usize) -> usize {
+    (rank.clamp(1, len as u64) - 1) as usize
+}
+
 /// Draw `k` edges by Zipf(α) rank over the distinct edges — used both for
-/// query sets and for workload samples in scenario 2 (§6.4).
+/// query sets and for workload samples in scenario 2 (§6.4). Draws are
+/// with replacement: when the distinct-edge support is smaller than
+/// `k`, queries legitimately repeat (that is what a skewed workload
+/// *is*), but every draw is clamped onto the real support.
 pub fn zipf_edge_queries<R: Rng + ?Sized>(
     counts: &ExactCounter,
     k: usize,
@@ -86,7 +101,7 @@ pub fn zipf_edge_queries<R: Rng + ?Sized>(
     assert!(!ranked.is_empty(), "no distinct edges to sample");
     let zipf = Zipf::new(ranked.len() as u64, alpha);
     (0..k)
-        .map(|_| ranked[(zipf.sample(rng) - 1) as usize])
+        .map(|_| ranked[rank_index(zipf.sample(rng), ranked.len())])
         .collect()
 }
 
@@ -118,7 +133,7 @@ impl ZipfEdgeSampler {
     /// Draw `k` edges (with replacement) under the fixed popularity.
     pub fn draw<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Vec<Edge> {
         (0..k)
-            .map(|_| self.ranked[(self.zipf.sample(rng) - 1) as usize])
+            .map(|_| self.ranked[rank_index(self.zipf.sample(rng), self.ranked.len())])
             .collect()
     }
 
@@ -126,7 +141,7 @@ impl ZipfEdgeSampler {
     /// seed Zipf-skewed subgraph queries.
     pub fn draw_sources<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Vec<VertexId> {
         (0..k)
-            .map(|_| self.ranked[(self.zipf.sample(rng) - 1) as usize].src)
+            .map(|_| self.ranked[rank_index(self.zipf.sample(rng), self.ranked.len())].src)
             .collect()
     }
 
@@ -176,6 +191,41 @@ pub fn bfs_subgraph_queries_from_seeds<R: Rng + ?Sized>(
         }
     }
     out
+}
+
+/// One replayable workload query: an edge, optionally restricted to an
+/// inclusive time interval `[t_start, t_end]` — the on-disk row of the
+/// windowed workload format (`src dst [t_start t_end]`; see
+/// [`crate::io`]). A query without a window asks over the whole
+/// observed lifetime; a windowed query is answered by the windowed
+/// deployment's interval extrapolation (§5 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadQuery {
+    /// The queried edge.
+    pub edge: Edge,
+    /// Inclusive `[t_start, t_end]` restriction, if any (invariant:
+    /// `t_start <= t_end`, enforced by the file parser and the
+    /// constructor).
+    pub window: Option<(u64, u64)>,
+}
+
+impl WorkloadQuery {
+    /// A lifetime (unwindowed) query.
+    pub fn lifetime(edge: Edge) -> Self {
+        Self { edge, window: None }
+    }
+
+    /// A query over the inclusive interval `[t_start, t_end]`.
+    ///
+    /// # Panics
+    /// Panics if `t_start > t_end`.
+    pub fn windowed(edge: Edge, t_start: u64, t_end: u64) -> Self {
+        assert!(t_start <= t_end, "empty interval");
+        Self {
+            edge,
+            window: Some((t_start, t_end)),
+        }
+    }
 }
 
 /// An aggregate subgraph query: a bag of constituent edges (§3.1).
@@ -385,6 +435,64 @@ mod tests {
     fn empty_stream_panics() {
         let mut rng = StdRng::seed_from_u64(0);
         uniform_edge_queries(&[], 5, &mut rng);
+    }
+
+    /// Rank handling at the edges of the support: a single-edge support
+    /// with far more queries than edges must neither panic nor wander
+    /// off the ranked list, for tame and extreme skews alike — every
+    /// drawn query is the one real edge.
+    #[test]
+    fn zipf_rank_handling_survives_tiny_support_and_extreme_alpha() {
+        let stream = vec![StreamEdge::unit(Edge::new(1u32, 2u32), 0)];
+        let counts = ExactCounter::from_stream(&stream);
+        for alpha in [1e-6, 0.5, 1.0, 1.1, 2.0, 50.0, 500.0] {
+            let mut rng = StdRng::seed_from_u64(7);
+            let q = zipf_edge_queries(&counts, 200, alpha, ZipfRank::Frequency, &mut rng);
+            assert_eq!(q.len(), 200, "alpha {alpha}");
+            assert!(q.iter().all(|e| *e == Edge::new(1u32, 2u32)));
+            let sampler = ZipfEdgeSampler::new(&counts, alpha, ZipfRank::Random, &mut rng);
+            assert!(sampler
+                .draw(50, &mut rng)
+                .iter()
+                .all(|e| counts.frequency(*e) > 0));
+            assert!(sampler
+                .draw_sources(50, &mut rng)
+                .iter()
+                .all(|v| *v == VertexId(1)));
+        }
+    }
+
+    /// More queries than distinct edges: draws repeat (with
+    /// replacement — the definition of a skewed workload) but every
+    /// draw is a real edge of the stream.
+    #[test]
+    fn zipf_queries_exceeding_support_stay_on_support() {
+        let stream = toy_stream();
+        let counts = ExactCounter::from_stream(&stream);
+        let mut rng = StdRng::seed_from_u64(9);
+        let k = counts.distinct_edges() * 13;
+        let q = zipf_edge_queries(&counts, k, 1.1, ZipfRank::Frequency, &mut rng);
+        assert_eq!(q.len(), k);
+        for e in &q {
+            assert!(counts.frequency(*e) > 0, "drew unknown edge {e}");
+        }
+    }
+
+    /// The rank→index conversion is total: any u64 rank lands inside
+    /// the list.
+    #[test]
+    fn rank_index_is_total() {
+        for (rank, len, expect) in [
+            (0u64, 5usize, 0usize), // defensive: rank 0 clamps to first
+            (1, 5, 0),
+            (5, 5, 4),
+            (6, 5, 4),
+            (u64::MAX, 5, 4),
+            (1, 1, 0),
+            (u64::MAX, 1, 0),
+        ] {
+            assert_eq!(rank_index(rank, len), expect, "rank {rank} len {len}");
+        }
     }
 
     #[test]

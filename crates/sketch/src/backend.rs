@@ -35,6 +35,22 @@ use crate::countsketch::CountSketch;
 use crate::error::SketchError;
 use serde::{Deserialize, Serialize};
 
+/// One row of a detailed batched read: the point estimate together with
+/// the answering synopsis's quality attributes (§5 of the paper — the
+/// additive bound of Equation 1 and the probability it holds). For the
+/// CountMin-family backends the bound is exact per Equation 1; for
+/// `CountSketch` it is the conservative L1 form (documented on that
+/// backend's impl), not the tighter L2 bound the backend actually obeys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetailedRow {
+    /// The estimated frequency.
+    pub estimate: u64,
+    /// Additive error bound of the answering synopsis (`e·N/w`).
+    pub error_bound: f64,
+    /// Probability the bound holds: `1 − e^{−d}`.
+    pub confidence: f64,
+}
+
 /// A point-frequency synopsis over `u64` keys with `u64` estimates.
 ///
 /// The contract every gSketch backend satisfies: non-negative weighted
@@ -72,6 +88,28 @@ pub trait FrequencySketch: Sized + Clone + std::fmt::Debug {
     fn estimate_batch(&self, keys: &[u64], out: &mut Vec<u64>) {
         out.clear();
         out.extend(keys.iter().map(|&k| self.estimate(k)));
+    }
+
+    /// Batched [`estimate`](Self::estimate) with quality attributes:
+    /// `out` is cleared and receives one [`DetailedRow`] per entry of
+    /// `keys`, in order. The bound and confidence are properties of the
+    /// synopsis, not the key, so they are computed once and attached to
+    /// every row; the estimates route through
+    /// [`estimate_batch`](Self::estimate_batch), so backends with a
+    /// batched read kernel (the arena) answer the whole batch in one
+    /// kernel pass — this is what lets workload replay report
+    /// confidence intervals without a second pass over the synopsis.
+    fn estimate_detailed_batch(&self, keys: &[u64], out: &mut Vec<DetailedRow>) {
+        let mut vals = Vec::with_capacity(keys.len());
+        self.estimate_batch(keys, &mut vals);
+        let error_bound = std::f64::consts::E * self.total() as f64 / self.width() as f64;
+        let confidence = 1.0 - (-(self.depth() as f64)).exp();
+        out.clear();
+        out.extend(vals.into_iter().map(|estimate| DetailedRow {
+            estimate,
+            error_bound,
+            confidence,
+        }));
     }
 
     /// Total weight inserted so far (`N` in the error bounds).
@@ -133,6 +171,27 @@ pub trait SketchBank: Sized + Clone + std::fmt::Debug + Serialize + Deserialize 
     fn estimate_batch(&self, slot: u32, keys: &[u64], out: &mut Vec<u64>) {
         out.clear();
         out.extend(keys.iter().map(|&k| self.estimate(slot, k)));
+    }
+
+    /// Batched [`estimate`](Self::estimate) over one slot run with the
+    /// slot's quality attributes attached: `out` is cleared and receives
+    /// one [`DetailedRow`] per entry of `keys`, in order. The bound
+    /// (`slot_error_bound`) and confidence are per-*slot* constants, so
+    /// they are computed once per call and the estimates ride the
+    /// batched read kernel — one pass answers values *and* confidence
+    /// intervals (the read-side contract the replay engine's detailed
+    /// reporting drives).
+    fn estimate_detailed_batch(&self, slot: u32, keys: &[u64], out: &mut Vec<DetailedRow>) {
+        let mut vals = Vec::with_capacity(keys.len());
+        self.estimate_batch(slot, keys, &mut vals);
+        let error_bound = self.slot_error_bound(slot);
+        let confidence = self.confidence();
+        out.clear();
+        out.extend(vals.into_iter().map(|estimate| DetailedRow {
+            estimate,
+            error_bound,
+            confidence,
+        }));
     }
 
     /// Total weight absorbed by `slot`.
@@ -431,6 +490,49 @@ mod tests {
     #[test]
     fn arena_bank_contract() {
         exercise_bank::<crate::CmArena>();
+    }
+
+    /// The detailed batch is the plain batch plus the synopsis's (or
+    /// slot's) constant attributes — row for row, on both traits and on
+    /// both bank layouts.
+    #[test]
+    fn detailed_batch_matches_plain_batch_plus_attributes() {
+        fn exercise_detailed_bank<B: SketchBank>() {
+            let mut bank = B::build(&[64, 32], 3, 17).unwrap();
+            for k in 0..400u64 {
+                bank.update((k % 2) as u32, k * 7, k % 5 + 1);
+            }
+            let keys: Vec<u64> = (0..100u64).map(|k| (k % 37) * 7).collect();
+            let mut rows = Vec::new();
+            let mut vals = Vec::new();
+            for slot in 0..2u32 {
+                bank.estimate_detailed_batch(slot, &keys, &mut rows);
+                bank.estimate_batch(slot, &keys, &mut vals);
+                assert_eq!(rows.len(), keys.len());
+                for (row, &v) in rows.iter().zip(&vals) {
+                    assert_eq!(row.estimate, v);
+                    assert_eq!(row.error_bound, bank.slot_error_bound(slot));
+                    assert_eq!(row.confidence, bank.confidence());
+                }
+            }
+        }
+        exercise_detailed_bank::<crate::CmArena>();
+        exercise_detailed_bank::<SketchVec<CountMinSketch>>();
+
+        // Single-synopsis surface: bound = e·N/w, confidence = 1 − e^{−d}.
+        let mut s = crate::CmArena::new(128, 3, 5).unwrap();
+        for k in 0..200u64 {
+            FrequencySketch::update(&mut s, k, 2);
+        }
+        let keys: Vec<u64> = (0..50u64).collect();
+        let mut rows = Vec::new();
+        FrequencySketch::estimate_detailed_batch(&s, &keys, &mut rows);
+        for (row, &k) in rows.iter().zip(&keys) {
+            assert_eq!(row.estimate, FrequencySketch::estimate(&s, k));
+            let expect = std::f64::consts::E * 400.0 / 128.0;
+            assert!((row.error_bound - expect).abs() < 1e-12);
+            assert!((row.confidence - (1.0 - (-3.0f64).exp())).abs() < 1e-12);
+        }
     }
 
     /// The parity cornerstone: a `SketchVec<CountMinSketch>` and a

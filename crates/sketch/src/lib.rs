@@ -78,7 +78,7 @@ pub fn prefetch<T>(p: *const T) {
     let _ = p;
 }
 pub use arena::{AtomicCmArena, CmArena, SlotSpan};
-pub use backend::{FrequencySketch, SketchBank, SketchVec};
+pub use backend::{DetailedRow, FrequencySketch, SketchBank, SketchVec};
 pub use bottomk::BottomK;
 pub use countmin::{CountMinSketch, UpdatePolicy};
 pub use countsketch::CountSketch;

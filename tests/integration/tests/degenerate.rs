@@ -200,6 +200,70 @@ fn query_workload_overflowing_ids_rejected_with_position() {
 }
 
 #[test]
+fn crlf_inputs_report_line_start_offsets_on_both_sources() {
+    use gstream::{QueryFileSource, StreamFileSource};
+    // Stream source: "1 2 0 1\r\n" is 9 bytes, so the malformed line 2
+    // starts at byte 9 — the offset must be seekable on CRLF files.
+    let text = "1 2 0 1\r\n3 x 0 1\r\n";
+    let mut src = StreamFileSource::from_reader(text.as_bytes());
+    let mut buf = Vec::new();
+    while gstream::EdgeSource::fill_chunk(&mut src, &mut buf, 64) > 0 {}
+    let msg = src.finish().unwrap_err().to_string();
+    assert!(msg.contains("line 2"), "{msg}");
+    assert!(msg.contains("byte 9"), "{msg}");
+    // Query source: "1 2\r\n" is 5 bytes.
+    let qtext = "1 2\r\n5 x\r\n";
+    let mut qsrc = QueryFileSource::from_reader(qtext.as_bytes());
+    let mut qbuf = Vec::new();
+    while qsrc.fill_queries(&mut qbuf, 64) > 0 {}
+    let msg = qsrc.finish().unwrap_err().to_string();
+    assert!(msg.contains("line 2"), "{msg}");
+    assert!(msg.contains("byte 5"), "{msg}");
+}
+
+#[test]
+fn final_line_without_newline_parses_on_both_sources() {
+    // A valid unterminated final record is a record, not an error …
+    assert_eq!(read_stream("1 2 0 1\n3 4 7 2".as_bytes()).unwrap().len(), 2);
+    assert_eq!(
+        gstream::read_queries("1 2\n3 4".as_bytes()).unwrap().len(),
+        2
+    );
+    // … and a malformed one is reported at its line start.
+    let err = read_stream("1 2 0 1\nbogus".as_bytes()).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("line 2"), "{msg}");
+    assert!(msg.contains("byte 8"), "{msg}");
+    let err = gstream::read_queries("1 2\nbogus".as_bytes()).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("line 2"), "{msg}");
+    assert!(msg.contains("byte 4"), "{msg}");
+}
+
+#[test]
+fn windowed_workload_degenerate_rows_rejected_with_position() {
+    use gstream::read_workload;
+    // A regressing interval is malformed, reported at its line start.
+    let err = read_workload("1 2 0 9\n3 4 9 0\n".as_bytes()).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("line 2"), "{msg}");
+    assert!(msg.contains("byte 8"), "{msg}");
+    assert!(msg.contains("empty interval"), "{msg}");
+    // Three fields: neither row shape.
+    let err = read_workload("1 2 5\n".as_bytes()).unwrap_err();
+    assert!(err.to_string().contains("t_end"), "{err}");
+    // Interval bounds past u64 are parse errors, not wraps.
+    let err = read_workload("1 2 0 99999999999999999999999\n".as_bytes()).unwrap_err();
+    assert!(err.to_string().contains("t_end"), "{err}");
+    // The full u64 range is legal (open-ended queries).
+    let wl = read_workload("1 2 0 18446744073709551615\n".as_bytes()).unwrap();
+    assert_eq!(wl[0].window, Some((0, u64::MAX)));
+    // A single instant is legal.
+    let wl = read_workload("1 2 7 7\n".as_bytes()).unwrap();
+    assert_eq!(wl[0].window, Some((7, 7)));
+}
+
+#[test]
 fn exphist_all_arrivals_at_same_instant() {
     let mut eh = ExpHist::new(0.1).unwrap();
     for _ in 0..10_000 {
