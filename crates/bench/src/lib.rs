@@ -9,6 +9,7 @@
 //! `sketch_micro` and `backend_micro` additionally append their headline
 //! throughput to `BENCH_ingest.json` via [`trajectory`].
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

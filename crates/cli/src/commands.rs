@@ -293,6 +293,8 @@ fn cmd_build<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
     let mut threads_used = 1usize;
 
     let stream = load_stream(stream_path).map_err(run_err)?;
+    // cast: f64 -> usize truncates toward zero; sample_frac is validated
+    // in (0, 1], so k <= stream.len(), and `.max(1)` floors it.
     let k = ((stream.len() as f64 * sample_frac) as usize).max(1);
     let mut rng = StdRng::seed_from_u64(seed);
     let sample = sample_iter(stream.iter().copied(), k, &mut rng);
@@ -908,6 +910,8 @@ fn cmd_compare<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
     let stream = load_stream(stream_path).map_err(run_err)?;
     let truth = ExactCounter::from_stream(&stream);
     let mut rng = StdRng::seed_from_u64(seed);
+    // cast: f64 -> usize truncates toward zero; k is a sample size no
+    // larger than stream.len() for sample_frac <= 1, floored to 1.
     let k = ((stream.len() as f64 * sample_frac) as usize).max(1);
     let sample = sample_iter(stream.iter().copied(), k, &mut rng);
 

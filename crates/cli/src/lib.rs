@@ -15,6 +15,7 @@
 //! the binary in `main.rs` is a thin shell and every path is exercised by
 //! unit tests.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

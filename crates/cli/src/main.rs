@@ -1,5 +1,7 @@
 //! The `gsketch` binary: parse, dispatch, report.
 
+#![deny(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

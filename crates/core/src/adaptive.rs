@@ -214,6 +214,8 @@ impl AdaptiveGSketch {
     /// Create an adaptive sketch in the warm-up phase.
     pub fn new(cfg: AdaptiveConfig) -> Result<Self, SketchError> {
         cfg.validate()?;
+        // cast: f64 -> usize truncation; the fraction is validated in (0, 1)
+        // so the product is below memory_bytes, which fits usize.
         let warmup_bytes = (cfg.memory_bytes as f64 * cfg.warmup_memory_fraction) as usize;
         let cells = CountMinSketch::cells_for_bytes(warmup_bytes);
         let width = (cells / cfg.depth.max(1)).max(4);
@@ -261,6 +263,8 @@ impl AdaptiveGSketch {
             }
         };
         let partition_bytes = self.cfg.memory_bytes
+            // cast: f64 -> usize truncation; fraction in (0, 1) (validated), so
+            // the warm-up share stays below memory_bytes and the subtraction holds.
             - (self.cfg.memory_bytes as f64 * self.cfg.warmup_memory_fraction) as usize;
         let sample_stats = stats.into_sample_stats();
         let gs = GSketchBuilder::default()
@@ -272,6 +276,8 @@ impl AdaptiveGSketch {
             .sample_rate(1.0 / self.cfg.expected_growth)
             .seed(self.cfg.seed.wrapping_add(0x5117C4))
             .build_from_stats(sample_stats)
+            // lint: allow(no-panics) — rebuilt with the budget and knobs that
+            // `cfg.validate()` accepted at construction; the builder cannot fail.
             .expect("partitioned-phase budget validated at construction");
         self.state = State::Partitioned(Box::new(gs));
     }

@@ -306,6 +306,8 @@ impl GSketchBuilder {
                 if used > 0 {
                     let scale = remaining as f64 / used as f64;
                     for leaf in &mut plan.leaves {
+                        // cast: f64 -> usize truncation; scale <= 1 shrinks each width, and
+                        // `.max(2)` keeps the result a legal sketch width.
                         leaf.width = ((leaf.width as f64 * scale) as usize).max(2);
                     }
                 }
@@ -313,6 +315,8 @@ impl GSketchBuilder {
                 (plan, ow)
             }
             _ => {
+                // cast: f64 -> usize truncation; outlier_fraction is validated in
+                // (0, 1), so the product is below total_width.
                 let outlier_width = ((total_width as f64 * self.outlier_fraction) as usize).max(2);
                 let partition_width = total_width - outlier_width;
                 let mut pcfg = PartitionConfig::new(partition_width.max(2));
@@ -410,6 +414,8 @@ impl GSketchBuilder {
             if total_d == 0 {
                 spare / n_sketches.max(1)
             } else {
+                // cast: f64 -> usize truncation; d <= total_d, so the proportional
+                // share never exceeds `spare`.
                 (spare as f64 * d as f64 / total_d as f64) as usize
             }
         };

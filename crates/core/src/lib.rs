@@ -67,6 +67,7 @@
 //! per-partition layouts return bit-identical estimates at equal build
 //! parameters (pinned by the `backend_parity` proptests).
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

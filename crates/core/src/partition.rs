@@ -164,6 +164,8 @@ fn make_items(stats: &SampleStats, objective: Objective) -> Vec<Item> {
     items.sort_unstable_by(|a, b| {
         a.key
             .partial_cmp(&b.key)
+            // lint: allow(no-panics) — keys are ratios of finite, non-negative
+            // sample statistics; NaN cannot reach the comparator.
             .expect("keys are finite")
             .then(a.vertex.cmp(&b.vertex))
     });
@@ -276,6 +278,8 @@ pub fn partition(stats: &SampleStats, cfg: &PartitionConfig) -> PartitionPlan {
             continue;
         }
 
+        // lint: allow(no-panics) — the `len < 2` case `continue`d above, and
+        // `best_pivot` always yields a pivot for a slice of two or more.
         let (pivot, _e) = best_pivot(slice).expect("len >= 2 checked above");
         let half = node.width / 2;
         active.push(Node {
@@ -329,6 +333,8 @@ pub fn outlier_share(
     if denom <= 0.0 {
         return (total_width / 10).max(2);
     }
+    // cast: f64 -> usize truncation; outlier_score/denom <= 1, so the
+    // ideal width never exceeds total_width.
     let ideal = (total_width as f64 * outlier_score / denom) as usize;
     // Cap like any leaf: no more than two cells per expected edge.
     ideal.clamp(2, (outlier_degree_mass as usize * 2).max(2))
@@ -364,6 +370,8 @@ fn allocate_optimal_widths(leaves: &mut [PlanLeaf], total_width: usize) {
             if capped[i] {
                 continue;
             }
+            // cast: f64 -> usize truncation; score/denom <= 1, so each ideal
+            // share is bounded by `budget`.
             let ideal = (budget as f64 * score(leaf) / denom).floor() as usize;
             let c = cap(leaf);
             if ideal >= c {
@@ -378,6 +386,8 @@ fn allocate_optimal_widths(leaves: &mut [PlanLeaf], total_width: usize) {
             // Final assignment for the uncapped leaves.
             for (i, leaf) in leaves.iter_mut().enumerate() {
                 if !capped[i] {
+                    // cast: f64 -> usize truncation; score/denom <= 1 bounds the share
+                    // by `budget`, and `.max(2)` keeps the width legal.
                     leaf.width = ((budget as f64 * score(leaf) / denom).floor() as usize).max(2);
                 }
             }
@@ -400,6 +410,8 @@ fn allocate_optimal_widths(leaves: &mut [PlanLeaf], total_width: usize) {
         let denom: f64 = leaves.iter().map(score).sum();
         if denom > 0.0 {
             for leaf in leaves.iter_mut() {
+                // cast: f64 -> usize truncation; score/denom <= 1 bounds each share
+                // by `surplus`.
                 leaf.width += (surplus as f64 * score(leaf) / denom).floor() as usize;
             }
         }
@@ -424,6 +436,8 @@ fn redistribute_saved_width(leaves: &mut [PlanLeaf], total_width: usize) {
     }
     for leaf in leaves.iter_mut().filter(|l| !l.shrunk) {
         let share = saved as f64 * leaf.freq_mass as f64 / grow_mass as f64;
+        // cast: f64 -> usize truncation; leaf mass / grow_mass <= 1 bounds
+        // each share by `saved`.
         leaf.width += share.floor() as usize;
     }
 }

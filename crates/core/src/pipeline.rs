@@ -54,7 +54,13 @@ use gstream::edge::StreamEdge;
 use gstream::source::EdgeSource;
 use gstream::vertex::VertexId;
 use sketch::prefetch;
-use std::sync::atomic::{AtomicU64, Ordering};
+// Atomics and scoped threads come through the `sync` shim seam so
+// `xtask check` can run `run_slice`'s real chunk-claiming loop under
+// the deterministic scheduler (DESIGN.md §10); std items in normal
+// builds. `run()`'s source mutex stays `std::sync::Mutex` — blocking
+// locks are opaque to the model scheduler, so only the lock-free
+// `run_slice` path is the checked surface.
+use sketch::sync::{thread, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Default arrivals per staging buffer. The combiner cache carries
@@ -163,6 +169,8 @@ fn edge_pair(se: &StreamEdge) -> u64 {
 /// only needs spread, not pairwise independence.
 #[inline]
 fn set_index(pair: u64, shift: u32) -> usize {
+    // cast: u64 -> usize; `>> shift` leaves at most (64 - shift) bits,
+    // the set-count bit width, so the index fits and is in range.
     ((pair ^ (pair >> 29)).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> shift) as usize
 }
 
@@ -456,16 +464,25 @@ impl<'s, B: SlotSink> ParallelIngest<'s, B> {
         let cap = self.chunk_capacity;
         let n_slots = sink.num_slots();
         let exclusive = self.exclusive && workers == 1;
-        std::thread::scope(|scope| {
+        thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
                     let mut worker = Worker::new(n_slots, exclusive);
                     loop {
+                        // ordering: Relaxed — the single-location RMW
+                        // hands out distinct spans whatever the ordering;
+                        // nothing else rides the cursor. xtask-checked.
+                        // cast: u64 -> usize; claims are bounded by
+                        // stream.len() plus one chunk per worker, and
+                        // oversized claims exit on the next line.
                         let start = cursor.fetch_add(cap as u64, Ordering::Relaxed) as usize;
                         if start >= stream.len() {
                             break;
                         }
                         let end = (start + cap).min(stream.len());
+                        // ordering: Relaxed — statistics counter, read
+                        // via `into_inner()` after the scope join below,
+                        // which already gives happens-before.
                         chunks.fetch_add(1, Ordering::Relaxed);
                         worker.process_chunk(sink, &stream[start..end]);
                     }
@@ -506,7 +523,7 @@ impl<'s, B: SlotSink> ParallelIngest<'s, B> {
         // rules out external writers, and a single worker rules out
         // sibling workers.
         let exclusive = self.exclusive && workers == 1;
-        std::thread::scope(|scope| {
+        thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
                     let mut buf: Vec<StreamEdge> = Vec::with_capacity(cap);
@@ -514,11 +531,17 @@ impl<'s, B: SlotSink> ParallelIngest<'s, B> {
                     loop {
                         let n = shared
                             .lock()
+                            // lint: allow(no-panics) — a worker panicked
+                            // mid-chunk; the stream is torn either way,
+                            // so poisoning is unrecoverable here.
                             .expect("ingest source lock poisoned")
                             .fill_chunk(&mut buf, cap);
                         if n == 0 {
                             break;
                         }
+                        // ordering: Relaxed — statistics counters, read
+                        // via `into_inner()` after the scope join below
+                        // (join gives happens-before; see DESIGN.md §10).
                         arrivals.fetch_add(n as u64, Ordering::Relaxed);
                         chunks.fetch_add(1, Ordering::Relaxed);
                         worker.process_chunk(sink, &buf);

@@ -348,6 +348,8 @@ impl Aggregator {
             Aggregator::Median => {
                 let mut sorted: Vec<f64> = values.to_vec();
                 sorted.sort_unstable_by(|a, b| {
+                    // lint: allow(no-panics) — estimates are u64 counters cast to f64,
+                    // so every value is finite and the comparator total.
                     a.partial_cmp(b).expect("estimates are finite and ordered")
                 });
                 sorted[(sorted.len() - 1) / 2]

@@ -141,6 +141,8 @@ fn edge_pair(e: Edge) -> u64 {
 /// needs spread, not pairwise independence.
 #[inline]
 fn set_index(pair: u64, shift: u32) -> usize {
+    // cast: u64 -> usize; `>> shift` leaves at most (64 - shift) bits,
+    // the set-count bit width, so the index fits and is in range.
     ((pair ^ (pair >> 29)).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> shift) as usize
 }
 
@@ -394,6 +396,8 @@ impl AnswerMemo {
         }
         self.touched.fill(false);
         for se in batch {
+            // cast: u32 -> usize is widening on every supported target; the
+            // index is bounds-checked against `touched` on the next line.
             let d = domain_of(se.edge.src) as usize;
             if !self.touched[d] {
                 self.touched[d] = true;

@@ -35,6 +35,8 @@ impl Router {
     /// pinned to `plan.len()`, matching the bank layout `GSketch` builds
     /// (partitions first, outlier last).
     pub fn from_plan(plan: &PartitionPlan) -> Self {
+        // lint: allow(no-panics) — a plan with more than 2^32 leaves cannot
+        // exist: each leaf costs width >= 2 cells of the memory budget.
         let outlier_slot = u32::try_from(plan.len()).expect("fewer than 2^32 partitions");
         let mut map = FxHashMap::default();
         for (i, leaf) in plan.leaves.iter().enumerate() {

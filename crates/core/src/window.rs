@@ -318,6 +318,8 @@ impl WindowedGSketch {
 impl EdgeSink for WindowedGSketch {
     fn update(&mut self, se: StreamEdge) {
         self.try_insert(se)
+            // lint: allow(no-panics) — `try_insert` only errors on a config the
+            // constructor already validated; rotation itself is infallible.
             .expect("window rotation cannot fail after construction validated the config");
     }
 }

@@ -36,6 +36,8 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
+            // lint: allow(no-panics) — `chunks_exact(8)` guarantees every chunk
+            // converts into `[u8; 8]`; the conversion cannot fail.
             self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
         }
         let rest = chunks.remainder();

@@ -262,6 +262,8 @@ impl RmatTrafficGenerator {
         );
         // Phase 1: distinct topology from R-MAT placement draws.
         let mut placer = RmatGenerator::new(cfg.topology);
+        // cast: u64 -> usize; vertex counts are bounded by the generator
+        // config (2^scale), far below usize::MAX on supported targets.
         let n_vertices = placer.vertices() as usize;
         let mut edges: Vec<(u32, u32)> = Vec::with_capacity(cfg.topology.edges);
         for _ in 0..cfg.topology.edges {

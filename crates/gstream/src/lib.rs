@@ -27,6 +27,7 @@
 //! assert_eq!(truth.arrivals(), 1_000);
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

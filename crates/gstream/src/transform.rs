@@ -113,6 +113,8 @@ pub fn epochs(stream: &[StreamEdge], n: usize) -> Vec<Vec<StreamEdge>> {
     let span = last.ts + 1;
     for &se in stream {
         // Epoch index in [0, n): proportional position of ts in the span.
+        // cast: u128 -> usize; ts < span so the quotient is < n, an epoch
+        // index that fits usize (and is clamped on the next line).
         let idx = ((se.ts as u128 * n as u128) / span as u128) as usize;
         out[idx.min(n - 1)].push(se);
     }

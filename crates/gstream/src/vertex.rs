@@ -71,6 +71,8 @@ impl Interner {
             return id;
         }
         let id = VertexId(
+            // lint: allow(no-panics) — documented panic contract (doc comment
+            // above): interning more than u32::MAX labels is a caller bug.
             u32::try_from(self.labels.len()).expect("interner overflow: > u32::MAX vertices"),
         );
         self.labels.push(label.to_owned());

@@ -82,6 +82,8 @@ fn ranked_edges<R: Rng + ?Sized>(counts: &ExactCounter, rank: ZipfRank, rng: &mu
 /// a real edge.
 #[inline]
 fn rank_index(rank: u64, len: usize) -> usize {
+    // cast: u64 -> usize; rank is clamped into [1, len], so the result
+    // is a valid index below len.
     (rank.clamp(1, len as u64) - 1) as usize
 }
 

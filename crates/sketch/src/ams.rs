@@ -70,6 +70,8 @@ impl AmsSketch {
                 value: delta,
             });
         }
+        // cast: f64 -> usize truncation of ceil()ed positive row counts;
+        // epsilon/delta were validated above, so both are finite and small.
         let s1 = (16.0 / (epsilon * epsilon)).ceil() as usize;
         let s2 = ((2.0 * (1.0 / delta).ln()).ceil() as usize).max(1);
         Self::new(s1, s2, seed)
@@ -160,6 +162,8 @@ impl AmsSketch {
 /// Median of a mutable slice (average of middle two for even length).
 fn median_in_place(xs: &mut [f64]) -> f64 {
     assert!(!xs.is_empty(), "median of empty slice");
+    // lint: allow(no-panics) — means are averages of u64/i64 counters in
+    // f64: always finite, so the comparator is total.
     xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in sketch means"));
     let n = xs.len();
     if n % 2 == 1 {

@@ -25,7 +25,10 @@ use crate::hash::PairwiseHash;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
+// Atomics come through the `sync` shim seam so `xtask check` can run
+// this file's real commit/read paths under the deterministic scheduler
+// (DESIGN.md §10). In normal builds these are exactly the std items.
+use crate::sync::{AtomicU64, Ordering};
 
 /// Where one logical sketch's `depth × width` block lives in the slab.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -417,6 +420,8 @@ fn batch_read<L, P>(
             let mut best = u64::MAX;
             let mut idx = span.offset;
             for (row, h) in hashes.iter().enumerate() {
+                // cast: u64 -> usize; `rem.rem` reduces the hash below the slot
+                // width, which is a usize-sized cell count.
                 let cell = idx + rem.rem(h.eval_folded(folded)) as usize;
                 if block_cap > 1 {
                     cells[filled * depth + row] = cell;
@@ -477,8 +482,15 @@ pub struct AtomicCmArena {
 /// numeric meaning, so this trade is taken for a shorter hot path.
 #[inline]
 fn saturating_fetch_add(cell: &AtomicU64, weight: u64) {
+    // ordering: Relaxed — a single-location RMW never loses an
+    // increment regardless of ordering; counters are commutative
+    // monotone sums, no other location is published through them, and
+    // readers either tolerate staleness (CM estimates are one-sided) or
+    // read after a thread join that already gives happens-before.
     let old = cell.fetch_add(weight, Ordering::Relaxed);
     if old.checked_add(weight).is_none() {
+        // ordering: Relaxed — same single-location argument; the
+        // transient wrapped-value window is documented above.
         cell.store(u64::MAX, Ordering::Relaxed);
     }
 }
@@ -491,6 +503,8 @@ impl AtomicCmArena {
         let rem = self.rems[slot as usize];
         let mut idx = span.offset;
         for h in &self.hashes {
+            // cast: u64 -> usize; `rem.rem` reduces the hash below the slot
+            // width, which is a usize-sized cell count.
             saturating_fetch_add(&self.cells[idx + rem.rem(h.eval(key)) as usize], weight);
             idx += span.width;
         }
@@ -526,6 +540,10 @@ impl AtomicCmArena {
     /// contract rules out.
     pub fn add_batch_saturating_exclusive(&self, slot: u32, run: &[(u64, u64)]) {
         let total = self.commit_batch(slot, run, |cell, weight| {
+            // ordering: Relaxed — plain load/add/store is only sound
+            // under the sole-writer caller contract (checked by the
+            // xtask exclusive-writer harness); no ordering fixes a torn
+            // RMW against a second writer, so Relaxed is as strong as any.
             cell.store(
                 cell.load(Ordering::Relaxed).saturating_add(weight),
                 Ordering::Relaxed,
@@ -533,6 +551,8 @@ impl AtomicCmArena {
         });
         if total > 0 {
             let t = &self.totals[slot as usize];
+            // ordering: Relaxed — same sole-writer contract as the cell
+            // loop above.
             t.store(
                 t.load(Ordering::Relaxed).saturating_add(total),
                 Ordering::Relaxed,
@@ -573,6 +593,8 @@ impl AtomicCmArena {
                 let folded = PairwiseHash::fold(key);
                 let mut idx = span.offset;
                 for (row, h) in self.hashes.iter().enumerate() {
+                    // cast: u64 -> usize; `rem.rem` reduces the hash below the slot
+                    // width, which is a usize-sized cell count.
                     let cell = idx + rem.rem(h.eval_folded(folded)) as usize;
                     if block_cap > 1 {
                         cells[filled * depth + row] = cell;
@@ -607,6 +629,10 @@ impl AtomicCmArena {
         let mut best = u64::MAX;
         let mut idx = span.offset;
         for h in &self.hashes {
+            // ordering: Relaxed — CM estimates are one-sided upper
+            // bounds; a stale read only delays an increment's
+            // visibility, it cannot break the bound. Callers needing
+            // "all updates before X" read after joining the writers.
             best = best.min(self.cells[idx + h.bucket(key, span.width)].load(Ordering::Relaxed));
             idx += span.width;
         }
@@ -630,6 +656,8 @@ impl AtomicCmArena {
             keys,
             out,
             #[inline(always)]
+            // ordering: Relaxed — same one-sided staleness argument as
+            // `estimate_slot`.
             |cell| self.cells[cell].load(Ordering::Relaxed),
             #[inline(always)]
             |cell| crate::prefetch(&self.cells[cell]),
@@ -638,6 +666,9 @@ impl AtomicCmArena {
 
     /// Total weight absorbed by `slot`.
     pub fn slot_total(&self, slot: u32) -> u64 {
+        // ordering: Relaxed — monotone counter; a concurrent snapshot
+        // is allowed to lag, and post-join readers already have
+        // happens-before from the join.
         self.totals[slot as usize].load(Ordering::Relaxed)
     }
 
@@ -871,6 +902,7 @@ mod tests {
     fn atomic_saturating_add_saturates() {
         let cell = AtomicU64::new(u64::MAX - 1);
         saturating_fetch_add(&cell, 10);
+        // ordering: single-threaded test read.
         assert_eq!(cell.load(Ordering::Relaxed), u64::MAX);
     }
 

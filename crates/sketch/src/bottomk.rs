@@ -72,6 +72,8 @@ impl BottomK {
             self.members.insert(key);
         } else if let Some(&(max_h, _)) = self.heap.peek() {
             if h < max_h {
+                // lint: allow(no-panics) — `peek()` just returned `Some`, so the
+                // heap is provably non-empty when popped.
                 let (_, evicted) = self.heap.pop().expect("heap non-empty");
                 self.members.remove(&evicted);
                 self.heap.push((h, key));
@@ -86,6 +88,8 @@ impl BottomK {
             // Fewer than k distinct keys: the sample is exhaustive.
             return self.heap.len() as f64;
         }
+        // lint: allow(no-panics) — this branch requires `heap.len() >= k`
+        // and `k >= 1` is enforced at construction, so `peek` is `Some`.
         let (max_h, _) = *self.heap.peek().expect("k >= 2");
         let v_k = max_h as f64 / MERSENNE_PRIME as f64;
         if v_k == 0.0 {

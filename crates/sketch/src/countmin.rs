@@ -89,6 +89,8 @@ impl CountMinSketch {
                 value: epsilon,
             });
         }
+        // cast: f64 -> usize truncation of a ceil()ed positive width;
+        // epsilon was validated above, so the value is finite.
         Ok((std::f64::consts::E / epsilon).ceil() as usize)
     }
 
@@ -100,6 +102,8 @@ impl CountMinSketch {
                 value: delta,
             });
         }
+        // cast: f64 -> usize truncation of a ceil()ed non-negative depth;
+        // delta was validated above, and `.max(1)` floors the result.
         Ok(((1.0 / delta).ln().ceil() as usize).max(1))
     }
 
@@ -175,6 +179,8 @@ impl CountMinSketch {
         (0..self.depth)
             .map(|row| self.cells[self.cell_index(row, key)])
             .min()
+            // lint: allow(no-panics) — `depth >= 1` is enforced at construction,
+            // so the row iterator is never empty.
             .expect("depth >= 1 is enforced at construction")
     }
 

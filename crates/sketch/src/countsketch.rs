@@ -84,6 +84,8 @@ impl CountSketch {
                 value: delta,
             });
         }
+        // cast: f64 -> usize truncation of ceil()ed positive dimensions;
+        // epsilon/delta were validated above, so both are finite.
         let width = (3.0 / (epsilon * epsilon)).ceil() as usize;
         let depth = ((1.0 / delta).ln().ceil() as usize).max(1);
         Self::new(width, depth, seed)
@@ -174,6 +176,8 @@ impl CountSketch {
                     .sum()
             })
             .collect();
+        // lint: allow(no-panics) — sums of squares of i64 counters in f64
+        // are finite and non-negative; the comparator is total.
         row_f2.sort_unstable_by(|a, b| a.partial_cmp(b).expect("squares are finite"));
         let n = row_f2.len();
         if n % 2 == 1 {
@@ -208,6 +212,8 @@ impl CountSketch {
                 a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum()
             })
             .collect();
+        // lint: allow(no-panics) — dot products of i64 counters in f64 are
+        // finite; the comparator is total.
         dots.sort_unstable_by(|a, b| a.partial_cmp(b).expect("dot products are finite"));
         let n = dots.len();
         Ok(if n % 2 == 1 {

@@ -64,6 +64,8 @@ impl ExpHist {
             });
         }
         Ok(Self {
+            // cast: f64 -> usize truncation of a ceil()ed positive count;
+            // epsilon was validated in (0, 1] above.
             k: (1.0 / epsilon).ceil() as usize + 1,
             buckets: VecDeque::new(),
             weight: 0,
@@ -265,6 +267,8 @@ impl WeightedExpHist {
         }
         let top_bit = 63 - weight.leading_zeros() as usize;
         while self.levels.len() <= top_bit {
+            // lint: allow(no-panics) — the same epsilon was accepted by
+            // `ExpHist::new` when this histogram was constructed.
             let eh = ExpHist::new(self.epsilon).expect("epsilon validated at construction");
             self.levels.push(eh);
         }

@@ -56,6 +56,8 @@ impl HyperLogLog {
     /// Record one occurrence of `key` (idempotent per key).
     pub fn insert(&mut self, key: u64) {
         let h = mix64(key ^ self.seed);
+        // cast: u64 -> usize; `h >> (64 - precision)` keeps `precision`
+        // bits, exactly the register-array index width.
         let idx = (h >> (64 - self.precision)) as usize;
         // Rank of the first 1-bit in the remaining bits, 1-based.
         let remaining = h << self.precision;
@@ -162,6 +164,8 @@ impl DegreeSketch {
     #[inline]
     fn slot(&self, row: usize, vertex: u64) -> usize {
         let h = mix64(vertex ^ self.row_seeds[row]);
+        // cast: u64 -> usize; `h % buckets` is below the per-row bucket
+        // count, a usize.
         row * self.buckets + (h % self.buckets as u64) as usize
     }
 

@@ -58,6 +58,7 @@ pub mod hash;
 pub mod hll;
 pub mod lossy;
 pub mod spacesaving;
+pub mod sync;
 pub mod windowed;
 
 pub use ams::AmsSketch;

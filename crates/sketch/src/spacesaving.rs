@@ -80,6 +80,8 @@ impl SpaceSaving {
                 value: epsilon,
             });
         }
+        // cast: f64 -> usize truncation of a ceil()ed positive capacity;
+        // epsilon was validated in (0, 1] above.
         Self::new((1.0 / epsilon).ceil() as usize)
     }
 
@@ -116,6 +118,8 @@ impl SpaceSaving {
             .enumerate()
             .min_by_key(|(_, c)| c.count)
             .map(|(i, _)| i)
+            // lint: allow(no-panics) — callers only ask for the minimum slot
+            // once the slab is full (the branch above inserts while it is not).
             .expect("min_slot called on non-empty slab")
     }
 

@@ -1,0 +1,46 @@
+//! The synchronization shim seam (DESIGN.md §10).
+//!
+//! Every concurrent hot path in the workspace — the atomic arena's
+//! counter cells, the parallel ingest pipeline's cursor and accounting
+//! counters, and the scoped worker threads that drive them — reaches its
+//! primitives through this module instead of naming `std::sync::atomic`
+//! / `std::thread` directly. In a normal build the re-exports below
+//! *are* the std items (zero cost, zero behavioral change; the type
+//! aliases compile away). Under `--features check` the same names
+//! resolve to instrumented stand-ins from [`model`]: cells that hand
+//! control to a deterministic, seeded, preemption-bounded scheduler at
+//! every shared-memory access, and a `thread::scope` whose spawned
+//! threads register with that scheduler. The `xtask check` harnesses
+//! run the *real* arena/pipeline code under that scheduler and explore
+//! thread interleavings exhaustively (DFS over scheduling decisions) or
+//! randomly (seeded walks), turning the crate's memory-model prose —
+//! the Relaxed-only counter argument, the exclusive-writer contract —
+//! into machine-checked artifacts.
+//!
+//! The instrumented stand-ins are passthroughs whenever no scheduler is
+//! active on the current thread, so a `check`-featured build behaves
+//! exactly like a normal one outside a model-checking run.
+
+/// Memory orderings are always the std enum — the shim swaps the cells,
+/// not the vocabulary, so `Ordering::` call sites read identically in
+/// both builds (and the lint pass can demand a rationale at each one).
+pub use std::sync::atomic::Ordering;
+
+#[cfg(not(feature = "check"))]
+pub use std::sync::atomic::AtomicU64;
+
+#[cfg(feature = "check")]
+pub use model::AtomicU64;
+
+#[cfg(feature = "check")]
+pub mod model;
+
+/// Scoped-thread surface: std's [`std::thread::scope`] in normal
+/// builds, the scheduler-registered wrapper under `check`.
+pub mod thread {
+    #[cfg(not(feature = "check"))]
+    pub use std::thread::{scope, Scope};
+
+    #[cfg(feature = "check")]
+    pub use super::model::{scope, Scope};
+}

@@ -1,0 +1,781 @@
+//! A deterministic concurrency model checker (a loom/shuttle-lite;
+//! DESIGN.md §10), compiled only under `--features check`.
+//!
+//! The pieces:
+//!
+//! * [`AtomicU64`] — an instrumented cell with the std atomic's API.
+//!   Every operation first hands control to the ambient [`Scheduler`]
+//!   (if one is installed on the current thread), making each shared-
+//!   memory access a *scheduling point*; with no scheduler installed it
+//!   is a passthrough to `std::sync::atomic::AtomicU64`.
+//! * [`scope`] — a `std::thread::scope` wrapper whose spawned threads
+//!   register with the ambient scheduler, so real repo code written
+//!   against `sync::thread::scope` becomes schedulable unchanged.
+//! * [`Scheduler`] — runs registered threads **one at a time**: at every
+//!   scheduling point exactly one thread is active and all others are
+//!   parked on a condvar, so a run's behavior is a pure function of the
+//!   sequence of scheduling decisions (the *schedule*). Decisions come
+//!   from a replay prefix, a DFS default, or a seeded RNG.
+//! * [`check`] — the exploration driver: re-runs a closure under fresh
+//!   schedules, either exhaustively (depth-first over the decision
+//!   tree, preemption-bounded like CHESS) or randomly (seeded walks),
+//!   until a violation (panic / failed assert inside the closure), the
+//!   schedule budget, or exhaustion. [`replay`] re-executes one exact
+//!   recorded schedule — the substrate for pinned regression tests.
+//!
+//! **What the model checks.** Interleavings are explored at the
+//! granularity of instrumented operations under sequentially consistent
+//! execution of each operation. That verifies *atomicity* properties —
+//! lost updates, torn read-modify-write protocols, invalidation
+//! protocol races, every interleaving of the plain load/store exclusive
+//! path — which is exactly the class the repo's `Relaxed`-only sites
+//! rely on (single-location RMW atomicity + join-based publication; see
+//! DESIGN.md §10). It does **not** model weak-memory reordering between
+//! *different* locations, which the workspace never depends on (the
+//! lint pass's per-site `// ordering:` rationales carry that argument).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashSet;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+// ---------------------------------------------------------------------
+// Thread-local registration.
+// ---------------------------------------------------------------------
+
+thread_local! {
+    /// The scheduler governing this OS thread, if any.
+    static AMBIENT: RefCell<Option<Arc<Scheduler>>> = const { RefCell::new(None) };
+    /// This thread's virtual-thread id under the ambient scheduler.
+    static CURRENT_VT: Cell<usize> = const { Cell::new(usize::MAX) };
+    /// Whether this thread is executing inside a model-check run (used
+    /// to silence the panic hook for expected violation panics).
+    static IN_MODEL: Cell<bool> = const { Cell::new(false) };
+}
+
+fn ambient() -> Option<Arc<Scheduler>> {
+    AMBIENT.with(|a| a.borrow().clone())
+}
+
+/// Install TLS registration for the current thread; restores the prior
+/// values on drop (including on unwind).
+struct TlsGuard {
+    prev: Option<Arc<Scheduler>>,
+    prev_vt: usize,
+    prev_in: bool,
+}
+
+impl TlsGuard {
+    fn install(sched: Arc<Scheduler>, vt: usize) -> Self {
+        let prev = AMBIENT.with(|a| a.borrow_mut().replace(sched));
+        let prev_vt = CURRENT_VT.with(|c| c.replace(vt));
+        let prev_in = IN_MODEL.with(|c| c.replace(true));
+        Self {
+            prev,
+            prev_vt,
+            prev_in,
+        }
+    }
+}
+
+impl Drop for TlsGuard {
+    fn drop(&mut self) {
+        AMBIENT.with(|a| *a.borrow_mut() = self.prev.take());
+        CURRENT_VT.with(|c| c.set(self.prev_vt));
+        IN_MODEL.with(|c| c.set(self.prev_in));
+    }
+}
+
+/// Silence the default panic hook for panics raised *inside* model
+/// runs: a violation search may raise thousands of expected assertion
+/// panics, all caught and converted into [`Violation`]s. Panics outside
+/// model runs keep the default behavior.
+fn install_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !IN_MODEL.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+// ---------------------------------------------------------------------
+// The instrumented cell.
+// ---------------------------------------------------------------------
+
+/// `std::sync::atomic::AtomicU64` with a scheduling point before every
+/// operation. API-compatible with the subset of the std type the
+/// workspace uses; a passthrough when no scheduler is ambient.
+///
+/// Each operation executes atomically once scheduled (the scheduler
+/// runs one thread at a time), so orderings passed through are honored
+/// trivially; interleaving coverage comes from the scheduler, not the
+/// hardware.
+#[derive(Debug, Default)]
+pub struct AtomicU64 {
+    inner: std::sync::atomic::AtomicU64,
+}
+
+impl AtomicU64 {
+    /// Create a cell holding `v`.
+    pub const fn new(v: u64) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicU64::new(v),
+        }
+    }
+
+    /// Atomic load (scheduling point).
+    pub fn load(&self, order: Ordering) -> u64 {
+        yield_point();
+        self.inner.load(order)
+    }
+
+    /// Atomic store (scheduling point).
+    pub fn store(&self, v: u64, order: Ordering) {
+        yield_point();
+        self.inner.store(v, order);
+    }
+
+    /// Atomic fetch-add (scheduling point; the RMW itself is indivisible,
+    /// exactly like hardware `lock xadd`).
+    pub fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+        yield_point();
+        self.inner.fetch_add(v, order)
+    }
+
+    /// Consume the cell (exclusive ownership; not a scheduling point —
+    /// `&mut`/by-value access proves no concurrent accessor exists).
+    pub fn into_inner(self) -> u64 {
+        self.inner.into_inner()
+    }
+}
+
+/// Hand control to the ambient scheduler, if any.
+fn yield_point() {
+    if let Some(s) = ambient() {
+        s.schedule_point();
+    }
+}
+
+/// An explored nondeterministic choice for harness logic: returns a
+/// value in `0..n`, driven by the same decision engine as thread
+/// scheduling. With no ambient scheduler, returns 0. Lets a harness
+/// enumerate *operation* interleavings (e.g. a writer script against a
+/// reader script on one thread) without spawning threads.
+pub fn choose(n: usize) -> usize {
+    match ambient() {
+        Some(s) => s.choose(n),
+        None => 0,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum VtState {
+    Runnable,
+    /// Parked until every other thread has finished (scope join).
+    WaitingAllChildren,
+    Finished,
+}
+
+/// One recorded decision: how many options were available, which index
+/// was taken. A schedule is the sequence of `chosen` values.
+#[derive(Clone, Copy, Debug)]
+struct Decision {
+    options: u8,
+    chosen: u8,
+}
+
+struct State {
+    threads: Vec<VtState>,
+    active: usize,
+    /// Forced choices (replay prefix); decisions beyond it come from
+    /// the DFS default (0 / stay-on-current) or the seeded RNG.
+    prefix: Vec<u8>,
+    trace: Vec<Decision>,
+    random: bool,
+    rng: u64,
+    preemptions_left: usize,
+    steps: usize,
+    max_steps: usize,
+    failure: Option<String>,
+}
+
+/// The run-scoped scheduler: threads register, then exactly one runs at
+/// a time between scheduling points. See the module docs.
+pub struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+fn lock_state(s: &Scheduler) -> std::sync::MutexGuard<'_, State> {
+    // Poisoning is expected here: violation panics unwind through
+    // sections that hold this lock only momentarily, and State carries
+    // no invariants a panic could break mid-update.
+    s.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Scheduler {
+    fn new(
+        prefix: Vec<u8>,
+        random: bool,
+        seed: u64,
+        max_preemptions: usize,
+        max_steps: usize,
+    ) -> Self {
+        Self {
+            state: Mutex::new(State {
+                threads: vec![VtState::Runnable],
+                active: 0,
+                prefix,
+                trace: Vec::new(),
+                random,
+                // Avoid the all-zeros xorshift fixed point.
+                rng: seed | 1,
+                preemptions_left: max_preemptions,
+                steps: 0,
+                max_steps,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Draw a decision in `0..options` from the replay prefix, the
+    /// seeded RNG (random mode), or the DFS default of option 0. The
+    /// exhaustive driver backtracks by bumping the deepest decision
+    /// *upward* (`chosen + 1 ..`), so the default pick must be the
+    /// lowest option or subtrees below the default would be skipped —
+    /// callers encode "preferred" options (stay on the current thread)
+    /// at index 0.
+    fn decide(st: &mut State, options: usize) -> usize {
+        debug_assert!(options >= 1 && options <= u8::MAX as usize);
+        let di = st.trace.len();
+        let chosen = if di < st.prefix.len() {
+            (st.prefix[di] as usize).min(options - 1)
+        } else if st.random {
+            // xorshift64* — cheap, seeded, good enough for spread.
+            st.rng ^= st.rng << 13;
+            st.rng ^= st.rng >> 7;
+            st.rng ^= st.rng << 17;
+            // cast: u64 -> usize; the mixed value is reduced `% options`, a
+            // usize-sized decision count.
+            (st.rng.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as usize % options
+        } else {
+            0
+        };
+        st.trace.push(Decision {
+            options: options as u8,
+            chosen: chosen as u8,
+        });
+        chosen
+    }
+
+    /// Pick the next active thread. `me` is the calling vt;
+    /// `me_runnable` is false when the caller is finishing or parking.
+    /// Must be called with the state lock held; notifies waiters.
+    fn pick_next(&self, st: &mut State, me: usize, me_runnable: bool) {
+        let mut runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|&(i, &s)| s == VtState::Runnable && (me_runnable || i != me))
+            .map(|(i, _)| i)
+            .collect();
+        // The current thread sorts first so that option 0 — the DFS
+        // default — always means "continue without preempting", and
+        // every bump upward during backtracking is a preemption.
+        runnable.sort_by_key(|&t| (t != me, t));
+        if runnable.is_empty() {
+            // Wake a scope owner whose children have all finished.
+            let waiter = st.threads.iter().enumerate().find_map(|(i, &s)| {
+                let all_done = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .all(|(j, &t)| j == i || t == VtState::Finished);
+                (s == VtState::WaitingAllChildren && all_done).then_some(i)
+            });
+            match waiter {
+                Some(w) => {
+                    st.threads[w] = VtState::Runnable;
+                    st.active = w;
+                }
+                None => {
+                    // All finished (nothing to do), or a genuine
+                    // deadlock — impossible with the primitives modeled
+                    // here, but report rather than hang if it happens.
+                    if st.threads.iter().any(|&t| t != VtState::Finished) && st.failure.is_none() {
+                        st.failure = Some(
+                            "model: deadlock — no runnable thread and no satisfiable waiter".into(),
+                        );
+                    }
+                }
+            }
+            self.cv.notify_all();
+            return;
+        }
+        // Preemption bounding (CHESS-style): once the budget is spent, a
+        // runnable current thread keeps running — no decision recorded,
+        // so the DFS tree stays bounded.
+        let chosen = if runnable.len() == 1 {
+            runnable[0]
+        } else if runnable[0] == me && st.preemptions_left == 0 && st.prefix.len() <= st.trace.len()
+        {
+            me
+        } else {
+            runnable[Self::decide(st, runnable.len())]
+        };
+        if me_runnable && chosen != me {
+            st.preemptions_left = st.preemptions_left.saturating_sub(1);
+        }
+        st.active = chosen;
+        self.cv.notify_all();
+    }
+
+    /// The per-operation scheduling point for the active thread.
+    fn schedule_point(&self) {
+        let me = CURRENT_VT.with(Cell::get);
+        let mut st = lock_state(self);
+        if st.failure.is_some() {
+            return; // free-run to termination
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            st.failure = Some(format!(
+                "model: step budget exceeded ({} scheduling points) — livelock?",
+                st.max_steps
+            ));
+            self.cv.notify_all();
+            return;
+        }
+        self.pick_next(&mut st, me, true);
+        while st.active != me && st.failure.is_none() {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// A harness-level explored choice (see [`choose`]).
+    fn choose(&self, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        let mut st = lock_state(self);
+        if st.failure.is_some() {
+            return 0;
+        }
+        Self::decide(&mut st, n.min(u8::MAX as usize))
+    }
+
+    /// Register a child at spawn time (runnable immediately: the
+    /// scheduler may pick it at any later decision point).
+    fn prepare_child(&self) -> usize {
+        let mut st = lock_state(self);
+        st.threads.push(VtState::Runnable);
+        st.threads.len() - 1
+    }
+
+    /// Child thread entry: park until scheduled for the first time.
+    fn child_started(&self, id: usize) {
+        let mut st = lock_state(self);
+        while st.active != id && st.failure.is_none() {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Child thread exit; `failure` carries a caught panic message.
+    fn child_finished(&self, id: usize, failure: Option<String>) {
+        let mut st = lock_state(self);
+        st.threads[id] = VtState::Finished;
+        if let Some(msg) = failure {
+            if st.failure.is_none() {
+                st.failure = Some(msg);
+            }
+            self.cv.notify_all();
+            return;
+        }
+        if st.failure.is_none() {
+            self.pick_next(&mut st, id, false);
+        } else {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Scope-end join: park the caller until every other registered
+    /// thread has finished, scheduling children meanwhile.
+    fn wait_all_children(&self) {
+        let me = CURRENT_VT.with(Cell::get);
+        let mut st = lock_state(self);
+        loop {
+            let all_done = st
+                .threads
+                .iter()
+                .enumerate()
+                .all(|(i, &t)| i == me || t == VtState::Finished);
+            if all_done {
+                st.threads[me] = VtState::Runnable;
+                st.active = me;
+                return;
+            }
+            if st.failure.is_some() {
+                // Free-run mode: wait on the condvar for finishes only.
+                st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                continue;
+            }
+            st.threads[me] = VtState::WaitingAllChildren;
+            self.pick_next(&mut st, me, false);
+            while st.active != me && st.failure.is_none() {
+                st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scoped threads.
+// ---------------------------------------------------------------------
+
+/// The scheduler-aware counterpart of [`std::thread::Scope`]: spawned
+/// threads register with the ambient scheduler (when one is installed)
+/// so the checker controls their interleaving. Without a scheduler,
+/// behaves exactly like the std scope.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread (see [`std::thread::Scope::spawn`]).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match ambient() {
+            None => self.inner.spawn(f),
+            Some(sched) => {
+                let id = sched.prepare_child();
+                let sched2 = Arc::clone(&sched);
+                self.inner.spawn(move || {
+                    let _tls = TlsGuard::install(Arc::clone(&sched2), id);
+                    sched2.child_started(id);
+                    match catch_unwind(AssertUnwindSafe(f)) {
+                        Ok(v) => {
+                            sched2.child_finished(id, None);
+                            v
+                        }
+                        Err(p) => {
+                            // `&*p`: deref past the Box — `&Box<dyn Any>`
+                            // would itself coerce to `&dyn Any` (Box is
+                            // 'static) and the downcast would miss.
+                            sched2.child_finished(id, Some(panic_message(&*p)));
+                            resume_unwind(p)
+                        }
+                    }
+                })
+            }
+        }
+    }
+}
+
+/// Scheduler-aware [`std::thread::scope`]: before the implicit join of
+/// the underlying std scope, the scope owner parks in the scheduler so
+/// children get scheduled to completion (std's blocking join is opaque
+/// to the scheduler and would deadlock it).
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    std::thread::scope(|inner| {
+        let s = Scope { inner };
+        let r = catch_unwind(AssertUnwindSafe(|| f(&s)));
+        if let Some(sched) = ambient() {
+            sched.wait_all_children();
+        }
+        match r {
+            Ok(v) => v,
+            Err(p) => resume_unwind(p),
+        }
+    })
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exploration driver.
+// ---------------------------------------------------------------------
+
+/// How [`check`] explores the schedule space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Depth-first over the decision tree, preemption-bounded; every
+    /// completed run is a distinct schedule, and exhaustion is definite.
+    Exhaustive,
+    /// Independent seeded random walks (PCT-flavored); distinctness is
+    /// tracked by hashing the decision traces.
+    Random,
+}
+
+/// Exploration configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Exploration strategy.
+    pub mode: Mode,
+    /// Base seed for [`Mode::Random`] walks (run `i` uses `seed + i`).
+    pub seed: u64,
+    /// Stop after this many completed schedules.
+    pub max_schedules: usize,
+    /// Thread-switch budget per run away from the running thread
+    /// (CHESS-style context bound); harness `choose` points are exempt.
+    pub max_preemptions: usize,
+    /// Per-run scheduling-point budget (livelock guard).
+    pub max_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            mode: Mode::Exhaustive,
+            seed: 1,
+            max_schedules: 2_000,
+            max_preemptions: 2,
+            max_steps: 50_000,
+        }
+    }
+}
+
+/// A schedule under which the body's invariants did not hold.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The panic/assertion message raised under the schedule.
+    pub message: String,
+    /// The decision trace that produced it — replayable via [`replay`].
+    pub schedule: Vec<u8>,
+}
+
+/// What an exploration did.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Completed schedules.
+    pub schedules: u64,
+    /// Distinct schedules among them (= `schedules` for exhaustive
+    /// mode; deduplicated by trace for random mode).
+    pub distinct: u64,
+    /// Whether the (bounded) decision tree was fully explored.
+    pub exhausted: bool,
+    /// The first violation found, if any (exploration stops on it).
+    pub violation: Option<Violation>,
+}
+
+/// Run `body` once under the scheduler with the given forced prefix.
+fn run_once<F: Fn()>(
+    cfg: &Config,
+    prefix: Vec<u8>,
+    seed: u64,
+    body: &F,
+) -> (Vec<Decision>, Option<String>) {
+    install_quiet_hook();
+    let sched = Arc::new(Scheduler::new(
+        prefix,
+        cfg.mode == Mode::Random,
+        seed,
+        cfg.max_preemptions,
+        cfg.max_steps,
+    ));
+    let caught = {
+        let _tls = TlsGuard::install(Arc::clone(&sched), 0);
+        catch_unwind(AssertUnwindSafe(body))
+    };
+    let mut st = lock_state(&sched);
+    // `&**p` dereferences past the Box (see `child_finished` call site).
+    let failure = st
+        .failure
+        .take()
+        .or_else(|| caught.as_ref().err().map(|p| panic_message(&**p)));
+    (std::mem::take(&mut st.trace), failure)
+}
+
+/// Explore interleavings of `body` per `cfg`. The body is re-run once
+/// per schedule; it must be self-contained (build its own state) and
+/// express invariants as `assert!`s — a panic under some schedule is
+/// reported as that schedule's [`Violation`].
+pub fn check<F: Fn()>(cfg: &Config, body: F) -> Report {
+    let mut report = Report::default();
+    let mut prefix: Vec<u8> = Vec::new();
+    let mut seen: HashSet<Vec<u8>> = HashSet::new();
+    for i in 0..cfg.max_schedules {
+        let (trace, failure) = match cfg.mode {
+            Mode::Exhaustive => run_once(cfg, prefix.clone(), cfg.seed, &body),
+            Mode::Random => run_once(cfg, Vec::new(), cfg.seed.wrapping_add(i as u64), &body),
+        };
+        report.schedules += 1;
+        let schedule: Vec<u8> = trace.iter().map(|d| d.chosen).collect();
+        match cfg.mode {
+            Mode::Exhaustive => report.distinct = report.schedules,
+            Mode::Random => {
+                seen.insert(schedule.clone());
+                report.distinct = seen.len() as u64;
+            }
+        }
+        if let Some(message) = failure {
+            report.violation = Some(Violation { message, schedule });
+            return report;
+        }
+        if cfg.mode == Mode::Exhaustive {
+            // Advance depth-first: bump the deepest decision with an
+            // untried option; drop fully-explored suffixes.
+            let mut next: Vec<Decision> = trace;
+            loop {
+                match next.pop() {
+                    None => {
+                        report.exhausted = true;
+                        return report;
+                    }
+                    Some(d) if (d.chosen as usize) + 1 < d.options as usize => {
+                        prefix = next.iter().map(|x| x.chosen).collect();
+                        prefix.push(d.chosen + 1);
+                        break;
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Re-execute `body` under one exact schedule (a [`Violation::schedule`]
+/// or a hand-written trace); returns the failure message, if the run
+/// failed. Deterministic: same code + same schedule ⇒ same execution.
+pub fn replay<F: Fn()>(schedule: &[u8], body: F) -> Option<String> {
+    let cfg = Config::default();
+    run_once(&cfg, schedule.to_vec(), cfg.seed, &body).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two RMW writers never lose an update, under every schedule.
+    #[test]
+    fn fetch_add_is_atomic_under_all_schedules() {
+        let cfg = Config {
+            max_schedules: 500,
+            ..Config::default()
+        };
+        let report = check(&cfg, || {
+            let cell = AtomicU64::new(0);
+            scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|| {
+                        for _ in 0..2 {
+                            // ordering: modeled run — the scheduler
+                            // serializes operations; Relaxed mirrors
+                            // the production counter sites.
+                            cell.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            // ordering: exclusive read after scope join.
+            assert_eq!(cell.load(Ordering::Relaxed), 4);
+        });
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.exhausted, "small space should exhaust: {report:?}");
+        assert!(report.schedules > 10, "must actually branch: {report:?}");
+    }
+
+    /// A plain load/add/store cycle with two writers loses an update
+    /// under some schedule — the checker must find it, and the found
+    /// schedule must replay to the same failure.
+    #[test]
+    fn plain_store_race_is_caught_and_replays() {
+        let body = || {
+            let cell = AtomicU64::new(0);
+            scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|| {
+                        // ordering: the deliberately-racy plain-store
+                        // protocol under test.
+                        let v = cell.load(Ordering::Relaxed);
+                        cell.store(v + 1, Ordering::Relaxed);
+                    });
+                }
+            });
+            // ordering: exclusive read after scope join.
+            assert_eq!(cell.load(Ordering::Relaxed), 2, "lost update");
+        };
+        let report = check(&Config::default(), body);
+        let v = report.violation.expect("race must be found");
+        assert!(v.message.contains("lost update"), "{}", v.message);
+        let replayed = replay(&v.schedule, body).expect("replay must fail identically");
+        assert!(replayed.contains("lost update"), "{replayed}");
+    }
+
+    /// choose() enumerates harness-level alternatives exhaustively.
+    #[test]
+    fn choose_explores_all_values() {
+        let hits = std::sync::Mutex::new([false; 3]);
+        let report = check(&Config::default(), || {
+            let v = choose(3);
+            hits.lock().unwrap_or_else(PoisonError::into_inner)[v] = true;
+        });
+        assert!(report.exhausted);
+        assert_eq!(report.schedules, 3);
+        assert!(hits
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .all(|&b| b));
+    }
+
+    /// Random mode produces distinct seeded schedules and no false
+    /// positives on a correct protocol.
+    #[test]
+    fn random_mode_finds_distinct_schedules() {
+        let cfg = Config {
+            mode: Mode::Random,
+            seed: 42,
+            max_schedules: 50,
+            ..Config::default()
+        };
+        let report = check(&cfg, || {
+            let cell = AtomicU64::new(0);
+            scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|| {
+                        // ordering: modeled counter, as above.
+                        cell.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert!(report.violation.is_none());
+        assert_eq!(report.schedules, 50);
+        assert!(report.distinct > 1, "{report:?}");
+    }
+
+    /// Without an ambient scheduler the shim is a passthrough.
+    #[test]
+    fn passthrough_without_scheduler() {
+        let cell = AtomicU64::new(7);
+        // ordering: single-threaded passthrough test.
+        cell.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(cell.into_inner(), 8);
+        assert_eq!(choose(5), 0);
+    }
+}

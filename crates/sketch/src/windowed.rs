@@ -135,6 +135,8 @@ impl EcmSketch {
         (0..self.depth)
             .map(|row| self.cells[self.cell_index(row, key)].estimate_readonly(window_start))
             .min()
+            // lint: allow(no-panics) — `depth >= 1` is enforced at construction,
+            // so the row iterator is never empty.
             .expect("depth >= 1 is enforced at construction")
     }
 

@@ -25,6 +25,7 @@
 //! documents its guarantee and is property-tested against exact
 //! counterparts.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -250,6 +250,8 @@ impl PathSketch<CountSketch> {
     pub fn total_paths(&self) -> f64 {
         self.inc
             .inner_product(&self.out)
+            // lint: allow(no-panics) — both sketches are built from one config
+            // in the constructor, so dimensions and seed always match.
             .expect("twin sketches share dimensions and seed")
             .max(0.0)
     }

@@ -1,0 +1,338 @@
+//! The model-check harnesses (DESIGN.md §10): each one runs a real
+//! workspace concurrency surface — not a mock — under the deterministic
+//! scheduler from `sketch::sync::model` and states its contract as
+//! asserts, so every explored schedule either upholds the contract or
+//! is reported (and replayable) as a violation.
+//!
+//! Harness bodies are re-executed once per schedule and must be
+//! self-contained; they build their tiny fixtures inside the closure.
+//! Fixtures are deliberately minimal (two or three threads, a handful
+//! of operations) because the schedule space is exponential in the
+//! operation count — the properties checked are schedule-local, so
+//! small fixtures lose no generality over the interleaving structure.
+//!
+//! `run_all` is the `xtask check` entry point: DFS-exhaustive passes
+//! over every harness plus seeded random walks over the threaded ones,
+//! and the deliberately seeded exclusive-writer race that the checker
+//! must catch to prove it has teeth.
+//
+// lint: allow-file(no-panics) — model-check harness bodies report
+// contract violations by panicking (assert!), which the scheduler
+// catches and converts into replayable Violation reports; panicking is
+// this file's output channel, not an error path.
+//
+// lint: allow-file(sink-bypass) — the slot-level commit surface is
+// exactly what H1/H5 put under the model scheduler; driving it directly
+// here is the point of the harness, not an ingest path bypass.
+
+use gsketch::{ConcurrentGSketch, EdgeSink, GSketch, GlobalSketch, ParallelIngest, ReplayEngine};
+use gstream::edge::{Edge, StreamEdge};
+use sketch::sync::model::{check, choose, Config, Mode, Report};
+use sketch::CmArena;
+
+/// One harness execution: its name/mode and the exploration report.
+pub struct HarnessRun {
+    /// Harness identifier (stable; used by the CLI and pinned tests).
+    pub name: &'static str,
+    /// Exploration mode label (`dfs` or `random`).
+    pub mode: &'static str,
+    /// What the exploration did.
+    pub report: Report,
+    /// Whether this harness is *supposed* to violate (the seeded race).
+    pub expect_violation: bool,
+}
+
+impl HarnessRun {
+    /// Whether the run's outcome matches its expectation.
+    pub fn ok(&self) -> bool {
+        self.report.violation.is_some() == self.expect_violation
+    }
+}
+
+fn dfs(max_schedules: usize) -> Config {
+    Config {
+        mode: Mode::Exhaustive,
+        max_schedules,
+        ..Config::default()
+    }
+}
+
+fn random(seed: u64, max_schedules: usize) -> Config {
+    Config {
+        mode: Mode::Random,
+        seed,
+        max_schedules,
+        ..Config::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// H1: AtomicCmArena counter commits.
+// ---------------------------------------------------------------------
+
+/// Contract: concurrent `update_slot` / `add_batch_saturating` commits
+/// never lose updates (the arena's all-Relaxed RMW argument), and a
+/// concurrent reader's estimates are monotone non-decreasing away from
+/// saturation.
+pub fn arena_counters_body() {
+    const KEY: u64 = 5;
+    let arena = CmArena::with_slots(&[8, 8], 2, 11)
+        .expect("fixture arena dims are valid")
+        .into_atomic();
+    sketch::sync::thread::scope(|s| {
+        s.spawn(|| arena.update_slot(0, KEY, 1));
+        s.spawn(|| arena.add_batch_saturating(0, &[(KEY, 2)]));
+        s.spawn(|| {
+            let a = arena.estimate_slot(0, KEY);
+            let b = arena.estimate_slot(0, KEY);
+            assert!(b >= a, "reader saw estimate go backwards: {a} -> {b}");
+        });
+    });
+    assert_eq!(arena.estimate_slot(0, KEY), 3, "lost counter update");
+    assert_eq!(arena.slot_total(0), 3, "lost total update");
+}
+
+/// Contract: concurrent saturating commits near `u64::MAX` leave the
+/// counter pinned exactly at `u64::MAX` — the wrap fix-up protocol
+/// converges under every interleaving of the two writers. (A concurrent
+/// reader may transiently observe the documented wrapped-value window,
+/// so only the final state is asserted; see `saturating_fetch_add`.)
+pub fn arena_saturation_body() {
+    const KEY: u64 = 5;
+    let arena = CmArena::with_slots(&[8], 2, 11)
+        .expect("fixture arena dims are valid")
+        .into_atomic();
+    arena.update_slot(0, KEY, u64::MAX - 1);
+    sketch::sync::thread::scope(|s| {
+        s.spawn(|| arena.update_slot(0, KEY, 5));
+        s.spawn(|| arena.add_batch_saturating(0, &[(KEY, 5)]));
+    });
+    assert_eq!(
+        arena.estimate_slot(0, KEY),
+        u64::MAX,
+        "saturation did not pin to u64::MAX"
+    );
+    assert_eq!(arena.slot_total(0), u64::MAX, "total did not pin");
+}
+
+// ---------------------------------------------------------------------
+// H2: ConcurrentGSketch ingest vs. estimate.
+// ---------------------------------------------------------------------
+
+fn tiny_gsketch() -> GSketch {
+    let sample: Vec<StreamEdge> = (0..8u32)
+        .map(|i| StreamEdge::unit(Edge::new(i % 3, i % 5 + 1), 0))
+        .collect();
+    GSketch::builder()
+        .memory_bytes(512)
+        .depth(2)
+        .min_width(4)
+        .seed(3)
+        .build_from_sample(&sample)
+        .expect("fixture gsketch builds")
+}
+
+/// Contract: a reader racing a writer through the shared
+/// `&ConcurrentGSketch` sink sees monotone estimates, and once the
+/// writer is joined the state is exactly the sequential result.
+pub fn concurrent_gsketch_body() {
+    let edge = Edge::new(1, 2);
+    let cg = ConcurrentGSketch::from_gsketch(tiny_gsketch());
+    let base = cg.estimate(edge);
+    sketch::sync::thread::scope(|s| {
+        s.spawn(|| {
+            let mut sink = &cg;
+            sink.update(StreamEdge::weighted(edge, 0, 2));
+        });
+        s.spawn(|| {
+            let a = cg.estimate(edge);
+            let b = cg.estimate(edge);
+            assert!(b >= a, "estimate went backwards: {a} -> {b}");
+            assert!(a >= base, "estimate dropped below pre-write baseline");
+        });
+    });
+    // Joined: the concurrent result must equal the sequential oracle.
+    let mut oracle = tiny_gsketch();
+    oracle.update(StreamEdge::weighted(edge, 0, 2));
+    assert_eq!(
+        cg.estimate(edge),
+        oracle.estimate(edge),
+        "estimate diverged"
+    );
+    assert_eq!(
+        cg.total_weight(),
+        oracle.total_weight(),
+        "total weight diverged"
+    );
+}
+
+// ---------------------------------------------------------------------
+// H3: ParallelIngest chunk cursor and arrival accounting.
+// ---------------------------------------------------------------------
+
+/// Contract: `run_slice`'s atomic chunk cursor hands every arrival to
+/// exactly one worker — the report counts are exact and the sink ends
+/// bit-identical to a sequential ingest of the same stream.
+pub fn pipeline_cursor_body() {
+    let stream: Vec<StreamEdge> = [(1u32, 2u32), (1, 2), (3, 4), (1, 2), (3, 4)]
+        .iter()
+        .map(|&(s, d)| StreamEdge::unit(Edge::new(s, d), 0))
+        .collect();
+    let cg = ConcurrentGSketch::from_gsketch(tiny_gsketch());
+    let mut pipe = ParallelIngest::new(&cg, 2)
+        .oversubscribe(true)
+        .chunk_capacity(2);
+    let report = pipe.run_slice(&stream);
+    assert_eq!(
+        report.arrivals,
+        stream.len() as u64,
+        "arrival count drifted"
+    );
+    assert_eq!(report.chunks, 3, "cursor lost or duplicated a chunk claim");
+    let mut oracle = tiny_gsketch();
+    oracle.ingest_batch(&stream);
+    for e in [Edge::new(1, 2), Edge::new(3, 4)] {
+        assert_eq!(
+            cg.estimate(e),
+            oracle.estimate(e),
+            "ingest diverged for {e:?}"
+        );
+    }
+    assert_eq!(cg.total_weight(), oracle.total_weight(), "total diverged");
+}
+
+// ---------------------------------------------------------------------
+// H4: ReplayEngine write invalidation.
+// ---------------------------------------------------------------------
+
+/// Contract: under every interleaving of writes and queries, a memoized
+/// answer equals a fresh uncached estimate — a cached answer is never
+/// served across a generation bump. Single-threaded by design (the
+/// engine is an `&mut` API); the interleaving of the write script
+/// against the query script is enumerated via the scheduler's `choose`.
+pub fn replay_invalidation_body() {
+    let e = [Edge::new(1, 2), Edge::new(3, 4), Edge::new(5, 6)];
+    let writes = [e[0], e[1], e[0], e[2], e[1], e[0], e[2], e[2]];
+    let queries = [e[0], e[1], e[2], e[0], e[1], e[2], e[0], e[1]];
+    let fresh = || GlobalSketch::new(2048, 2, 5).expect("fixture sketch dims are valid");
+    let mut eng = ReplayEngine::with_capacity(fresh(), 16);
+    let mut oracle = fresh();
+    let (mut wi, mut qi) = (0, 0);
+    while wi < writes.len() || qi < queries.len() {
+        let write_next = if wi < writes.len() && qi < queries.len() {
+            choose(2) == 0
+        } else {
+            wi < writes.len()
+        };
+        if write_next {
+            eng.update(StreamEdge::unit(writes[wi], 0));
+            oracle.update(StreamEdge::unit(writes[wi], 0));
+            wi += 1;
+        } else {
+            let got = eng.estimate_edge(queries[qi]);
+            let want = oracle.estimate(queries[qi]);
+            assert_eq!(
+                got, want,
+                "memoized answer served across a write (stale cache)"
+            );
+            qi += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// H5: the seeded exclusive-writer violation.
+// ---------------------------------------------------------------------
+
+/// Deliberate contract violation: two concurrent writers on the
+/// plain-store `add_batch_saturating_exclusive` path, which documents a
+/// sole-writer requirement. The checker must find a lost update — this
+/// harness proves the tool can actually catch the class of bug the
+/// contract exists to prevent.
+pub fn exclusive_writer_race_body() {
+    const KEY: u64 = 5;
+    let arena = CmArena::with_slots(&[4], 2, 7)
+        .expect("fixture arena dims are valid")
+        .into_atomic();
+    sketch::sync::thread::scope(|s| {
+        for _ in 0..2 {
+            // Both writers take the exclusive path: a schedule that
+            // interleaves their load/store cycles loses an update.
+            s.spawn(|| arena.add_batch_saturating_exclusive(0, &[(KEY, 1)]));
+        }
+    });
+    assert_eq!(
+        arena.slot_total(0),
+        2,
+        "exclusive-writer contract violated: lost update"
+    );
+    assert_eq!(
+        arena.estimate_slot(0, KEY),
+        2,
+        "exclusive-writer contract violated: lost cell update"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Driver.
+// ---------------------------------------------------------------------
+
+/// Run the full harness suite: exhaustive DFS over every harness (the
+/// threaded ones preemption-bounded), seeded random walks over the
+/// threaded harnesses for schedule diversity beyond the bound, and the
+/// seeded race that must be caught. `seed` drives the random walks;
+/// `schedules` caps each random pass.
+pub fn run_all(seed: u64, schedules: usize) -> Vec<HarnessRun> {
+    let dfs_budget = 60_000;
+    let mut runs = vec![
+        HarnessRun {
+            name: "arena-counters",
+            mode: "dfs",
+            report: check(&dfs(dfs_budget), arena_counters_body),
+            expect_violation: false,
+        },
+        HarnessRun {
+            name: "arena-saturation",
+            mode: "dfs",
+            report: check(&dfs(dfs_budget), arena_saturation_body),
+            expect_violation: false,
+        },
+        HarnessRun {
+            name: "concurrent-gsketch",
+            mode: "dfs",
+            report: check(&dfs(dfs_budget), concurrent_gsketch_body),
+            expect_violation: false,
+        },
+        HarnessRun {
+            name: "pipeline-cursor",
+            mode: "dfs",
+            report: check(&dfs(dfs_budget), pipeline_cursor_body),
+            expect_violation: false,
+        },
+        HarnessRun {
+            name: "replay-invalidation",
+            mode: "dfs",
+            report: check(&dfs(dfs_budget), replay_invalidation_body),
+            expect_violation: false,
+        },
+        HarnessRun {
+            name: "exclusive-writer-race",
+            mode: "dfs",
+            report: check(&dfs(dfs_budget), exclusive_writer_race_body),
+            expect_violation: true,
+        },
+    ];
+    for (name, body) in [
+        ("arena-counters", arena_counters_body as fn()),
+        ("concurrent-gsketch", concurrent_gsketch_body as fn()),
+        ("pipeline-cursor", pipeline_cursor_body as fn()),
+    ] {
+        runs.push(HarnessRun {
+            name,
+            mode: "random",
+            report: check(&random(seed, schedules), body),
+            expect_violation: false,
+        });
+    }
+    runs
+}

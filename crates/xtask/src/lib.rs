@@ -1,0 +1,27 @@
+//! Workspace analysis tooling (DESIGN.md §10): the architectural lint
+//! pass ([`lint`]) and — behind the `model-check` feature — the
+//! concurrency model-check harnesses (`harness`) that drive the
+//! workspace's real concurrent hot paths under the deterministic
+//! scheduler in `sketch::sync::model`.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod lint;
+
+#[cfg(feature = "model-check")]
+pub mod harness;
+
+use std::path::PathBuf;
+
+/// The workspace root, resolved from this crate's manifest directory
+/// (`crates/xtask` → two levels up).
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}

@@ -1,0 +1,856 @@
+//! The workspace architectural lint pass (DESIGN.md §10).
+//!
+//! A token-level scanner over `crates/*/src` enforcing repo invariants
+//! that rustc/clippy cannot see because they live in comments, contracts
+//! and cross-crate conventions:
+//!
+//! * **ordering-rationale** — every *atomic* `Ordering::` use site (the
+//!   five memory-ordering variants; `std::cmp::Ordering` is ignored)
+//!   carries an `// ordering:` rationale comment on the same line or
+//!   within the six lines above it. The memory-model argument lives next
+//!   to the site it justifies, and `xtask check` tests it.
+//! * **no-panics** — no `unwrap`/`expect`/`panic!`-family calls in
+//!   library code (non-test regions of the sketch, gstream, core,
+//!   structural, cli and xtask crates; the bench crate is bench code).
+//!   Justified sites carry a `// lint: allow(no-panics) — reason`.
+//! * **narrowing-cast** — a `) as usize` cast in index arithmetic needs
+//!   an adjacent `debug_assert!` or `// cast:` justification (within
+//!   three lines either side). Widening bit-count casts
+//!   (`…_zeros() as usize`, `count_ones() as usize`) are exempt.
+//! * **sink-bypass** — the slot-level commit surface
+//!   (`update_slot`/`add_batch_saturating[_exclusive]`/`commit_run*`)
+//!   may only be driven from the sketch substrate and the core engine;
+//!   every other crate must ingest through `EdgeSink`.
+//! * **design-citations** — every `DESIGN.md §N` citation (in any
+//!   comment or doc line, plus README.md) resolves to a real `## §N`
+//!   section of DESIGN.md.
+//! * **unsafe-policy** — the crates with no `unsafe` pin that fact with
+//!   `#![deny(unsafe_code)]` at the crate root; the remaining `unsafe`
+//!   in the sketch crate carries a `// SAFETY:` justification within the
+//!   five lines above it.
+//!
+//! Each file is scanned through two stripped views: token rules match
+//! against code with comments AND string/char literals blanked (so a
+//! pattern named in a doc example or a string literal — including this
+//! file's own pattern table — is invisible), while rationale and
+//! suppression comments are looked up in a view that keeps comments but
+//! blanks literals (so a rationale-shaped phrase inside a string never
+//! counts). `#[cfg(test)]` regions are tracked by brace depth.
+//! Suppressions are per-site
+//! (`// lint: allow(rule) — reason`) or per-file
+//! (`// lint: allow-file(rule) — reason`) and must carry a non-empty
+//! rationale; a bare suppression is itself a finding.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule identifier (e.g. `no-panics`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Crates whose non-test library code must be panic-free and justify
+/// narrowing casts. The bench crate is excluded (bench code by nature);
+/// it still participates in every other rule.
+const STRICT_CRATES: &[&str] = &["sketch", "gstream", "core", "structural", "cli", "xtask"];
+
+/// Crates that must carry `#![deny(unsafe_code)]` at the crate root.
+/// `sketch` is the one crate allowed `unsafe` (the prefetch intrinsic),
+/// each use justified by an adjacent SAFETY comment.
+const DENY_UNSAFE_CRATES: &[&str] = &["core", "gstream", "structural", "cli", "bench", "xtask"];
+
+/// Crates allowed to touch the slot-level commit surface directly; all
+/// others must ingest through `EdgeSink`.
+const SINK_SURFACE_CRATES: &[&str] = &["sketch", "core"];
+
+/// The atomic memory-ordering variants (disambiguates from
+/// `std::cmp::Ordering`).
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// One scanned source file: `code` lines (comments and literals
+/// stripped) for token matching, `com` lines (literals stripped,
+/// comments kept) for rationale/suppression lookup, and a per-line
+/// test-region mask.
+struct SourceFile {
+    rel: String,
+    crate_name: String,
+    code: Vec<String>,
+    com: Vec<String>,
+    in_test: Vec<bool>,
+}
+
+/// Run every rule over the workspace rooted at `root`; returns findings
+/// sorted by file and line (empty = clean).
+pub fn run(root: &Path) -> Result<Vec<Finding>, String> {
+    let files = collect_sources(root)?;
+    let design_sections = design_section_numbers(root)?;
+    let mut findings = Vec::new();
+    for sf in &files {
+        check_ordering_rationale(sf, &mut findings);
+        check_no_panics(sf, &mut findings);
+        check_narrowing_casts(sf, &mut findings);
+        check_sink_bypass(sf, &mut findings);
+        check_design_citations(&sf.rel, &sf.com, &design_sections, &mut findings);
+        check_unsafe_sites(sf, &mut findings);
+        check_suppression_rationales(sf, &mut findings);
+    }
+    check_crate_root_attrs(root, &mut findings);
+    // README citations ride the same resolver as source comments.
+    if let Ok(readme) = fs::read_to_string(root.join("README.md")) {
+        let lines: Vec<String> = readme.lines().map(str::to_owned).collect();
+        check_design_citations("README.md", &lines, &design_sections, &mut findings);
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+// ---------------------------------------------------------------------
+// File collection and preprocessing.
+// ---------------------------------------------------------------------
+
+fn collect_sources(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let crates_dir = root.join("crates");
+    let mut out = Vec::new();
+    let entries =
+        fs::read_dir(&crates_dir).map_err(|e| format!("read {}: {e}", crates_dir.display()))?;
+    let mut crate_dirs: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let crate_name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let src = dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut rs_files = Vec::new();
+        walk_rs(&src, &mut rs_files)?;
+        rs_files.sort();
+        for path in rs_files {
+            let text =
+                fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(preprocess(rel, crate_name.clone(), &text));
+        }
+    }
+    Ok(out)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    for entry in entries.filter_map(Result::ok) {
+        let path = entry.path();
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Strip comments and string/char literals (replaced by spaces so
+/// columns keep their positions), then mark `#[cfg(test)]` regions by
+/// brace depth.
+fn preprocess(rel: String, crate_name: String, text: &str) -> SourceFile {
+    let (code_text, com_text) = strip_non_code(text);
+    let code: Vec<String> = code_text.lines().map(str::to_owned).collect();
+    let com: Vec<String> = com_text.lines().map(str::to_owned).collect();
+    let in_test = mark_test_regions(&code);
+    SourceFile {
+        rel,
+        crate_name,
+        code,
+        com,
+        in_test,
+    }
+}
+
+/// The comment/string stripper: a character-level state machine over the
+/// whole file. Handles line comments (incl. doc comments), nested block
+/// comments, string literals with escapes, raw strings `r#"…"#`, byte
+/// strings, and char literals (disambiguated from lifetimes by looking
+/// for the closing quote).
+///
+/// Produces two same-shaped views:
+/// * `code` — comments AND string/char literals blanked (token rules
+///   match here, so a pattern quoted in a doc example or a string —
+///   including this file's own pattern table — is invisible);
+/// * `com` — only string/char literals blanked, comments kept (rationale
+///   and suppression comments are looked up here, so a rationale-shaped
+///   phrase inside a string literal never counts as one).
+fn strip_non_code(text: &str) -> (String, String) {
+    let b: Vec<char> = text.chars().collect();
+    let mut code = String::with_capacity(text.len());
+    let mut com = String::with_capacity(text.len());
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        // Line comment (also consumes doc comments).
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            while i < b.len() && b[i] != '\n' {
+                code.push(' ');
+                com.push(b[i]);
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 1;
+            code.push(' ');
+            code.push(' ');
+            com.push('/');
+            com.push('*');
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    code.push(' ');
+                    code.push(' ');
+                    com.push('/');
+                    com.push('*');
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    code.push(' ');
+                    code.push(' ');
+                    com.push('*');
+                    com.push('/');
+                    i += 2;
+                } else {
+                    code.push(if b[i] == '\n' { '\n' } else { ' ' });
+                    com.push(b[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (byte) string: r"…", r#"…"#, br#"…"#.
+        if c == 'r' || (c == 'b' && b.get(i + 1) == Some(&'r')) {
+            let start = if c == 'b' { i + 1 } else { i };
+            let mut j = start + 1;
+            let mut hashes = 0;
+            while b.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if b.get(j) == Some(&'"') && !prev_is_ident(&b, i) {
+                for _ in i..=j {
+                    code.push(' ');
+                    com.push(' ');
+                }
+                i = j + 1;
+                // Consume until `"` followed by `hashes` hashes.
+                while i < b.len() {
+                    if b[i] == '"' && (0..hashes).all(|k| b.get(i + 1 + k) == Some(&'#')) {
+                        for _ in 0..=hashes {
+                            code.push(' ');
+                            com.push(' ');
+                        }
+                        i += 1 + hashes;
+                        break;
+                    }
+                    let keep = if b[i] == '\n' { '\n' } else { ' ' };
+                    code.push(keep);
+                    com.push(keep);
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Plain or byte string literal.
+        if c == '"' || (c == 'b' && b.get(i + 1) == Some(&'"')) {
+            if c == 'b' {
+                code.push(' ');
+                com.push(' ');
+                i += 1;
+            }
+            code.push(' ');
+            com.push(' ');
+            i += 1;
+            while i < b.len() {
+                if b[i] == '\\' {
+                    code.push(' ');
+                    com.push(' ');
+                    // A `\` line continuation escapes the newline; keep
+                    // it so line numbers stay aligned with the source.
+                    if let Some(&esc) = b.get(i + 1) {
+                        let keep = if esc == '\n' { '\n' } else { ' ' };
+                        code.push(keep);
+                        com.push(keep);
+                    }
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    code.push(' ');
+                    com.push(' ');
+                    i += 1;
+                    break;
+                }
+                let keep = if b[i] == '\n' { '\n' } else { ' ' };
+                code.push(keep);
+                com.push(keep);
+                i += 1;
+            }
+            continue;
+        }
+        // Char literal vs. lifetime: a quote opens a char literal only
+        // if the closing quote sits where a one-char (or escaped)
+        // literal would put it.
+        if c == '\'' {
+            if b.get(i + 1) == Some(&'\\') {
+                // Escaped char literal: consume to the closing quote.
+                let mut j = i + 2;
+                while j < b.len() && b[j] != '\'' && b[j] != '\n' {
+                    j += 1;
+                }
+                if b.get(j) == Some(&'\'') {
+                    for _ in i..=j {
+                        code.push(' ');
+                        com.push(' ');
+                    }
+                    i = j + 1;
+                    continue;
+                }
+            } else if b.get(i + 2) == Some(&'\'') && b.get(i + 1) != Some(&'\'') {
+                for _ in 0..3 {
+                    code.push(' ');
+                    com.push(' ');
+                }
+                i += 3;
+                continue;
+            }
+            // Lifetime — keep as code.
+        }
+        code.push(c);
+        com.push(c);
+        i += 1;
+    }
+    (code, com)
+}
+
+fn prev_is_ident(b: &[char], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')
+}
+
+/// Mark lines inside `#[cfg(test)]`-gated items (and `#[test]` fns) by
+/// tracking brace depth from the item that follows the attribute.
+fn mark_test_regions(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut depth: i64 = 0;
+    let mut region_depth: i64 = -1;
+    let mut pending = false;
+    for (idx, line) in code.iter().enumerate() {
+        let is_region = region_depth >= 0;
+        if is_region {
+            in_test[idx] = true;
+        }
+        if !is_region && (line.contains("cfg(test)") || line.contains("#[test]")) {
+            pending = true;
+        }
+        if pending && !is_region && line.contains('{') {
+            region_depth = depth;
+            in_test[idx] = true;
+            pending = false;
+        } else if pending && line.contains(';') && !line.contains('{') {
+            // The attribute gated a braceless item (e.g. a `use`).
+            pending = false;
+        }
+        for ch in line.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if region_depth >= 0 && depth <= region_depth {
+            region_depth = -1;
+        }
+    }
+    in_test
+}
+
+// ---------------------------------------------------------------------
+// Suppressions.
+// ---------------------------------------------------------------------
+
+/// Whether line `idx` (0-based) is covered by a justified suppression
+/// for `rule` — same line or the three lines above it, or a file-level
+/// allow anywhere in the file.
+fn suppressed(sf: &SourceFile, idx: usize, rule: &str) -> bool {
+    let site = format!("lint: allow({rule})");
+    let lo = idx.saturating_sub(3);
+    if sf.com[lo..=idx].iter().any(|l| l.contains(&site)) {
+        return true;
+    }
+    let file_wide = format!("lint: allow-file({rule})");
+    sf.com.iter().any(|l| l.contains(&file_wide))
+}
+
+/// Every suppression must carry a rationale: non-trivial text after the
+/// closing paren (a dash and a reason).
+fn check_suppression_rationales(sf: &SourceFile, findings: &mut Vec<Finding>) {
+    for (idx, line) in sf.com.iter().enumerate() {
+        let Some(pos) = line.find("lint: allow") else {
+            continue;
+        };
+        let rest = &line[pos..];
+        let Some(close) = rest.find(')') else {
+            findings.push(finding(sf, idx, "suppression", "malformed suppression"));
+            continue;
+        };
+        let reason: String = rest[close + 1..]
+            .chars()
+            .filter(|c| c.is_alphanumeric())
+            .collect();
+        // A dangling "reason on the next line" also counts.
+        let next_is_comment_text = sf
+            .com
+            .get(idx + 1)
+            .is_some_and(|l| l.trim_start().starts_with("//") && l.len() > 8);
+        if reason.len() < 8 && !next_is_comment_text {
+            findings.push(finding(
+                sf,
+                idx,
+                "suppression",
+                "suppression without a rationale — say why the rule does not apply here",
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rules.
+// ---------------------------------------------------------------------
+
+fn finding(sf: &SourceFile, idx: usize, rule: &'static str, message: &str) -> Finding {
+    Finding {
+        rule,
+        file: sf.rel.clone(),
+        line: idx + 1,
+        message: message.to_owned(),
+    }
+}
+
+/// Rule: every atomic `Ordering::X` site has an `// ordering:` rationale
+/// on the same line or within the six lines above.
+fn check_ordering_rationale(sf: &SourceFile, findings: &mut Vec<Finding>) {
+    for (idx, line) in sf.code.iter().enumerate() {
+        let Some(pos) = line.find("Ordering::") else {
+            continue;
+        };
+        let variant = &line[pos + 10..];
+        if !ATOMIC_ORDERINGS.iter().any(|v| variant.starts_with(v)) {
+            continue; // std::cmp::Ordering
+        }
+        if suppressed(sf, idx, "ordering-rationale") {
+            continue;
+        }
+        let lo = idx.saturating_sub(6);
+        let has_rationale = sf.com[lo..=idx].iter().any(|l| l.contains("ordering:"));
+        if !has_rationale {
+            findings.push(finding(
+                sf,
+                idx,
+                "ordering-rationale",
+                "atomic Ordering:: site without an adjacent `// ordering:` rationale",
+            ));
+        }
+    }
+}
+
+/// Rule: no panicking constructs in non-test library code of the strict
+/// crates.
+fn check_no_panics(sf: &SourceFile, findings: &mut Vec<Finding>) {
+    if !STRICT_CRATES.contains(&sf.crate_name.as_str()) {
+        return;
+    }
+    // These literals are invisible to the scanner itself: string
+    // contents are stripped before matching.
+    let patterns = [
+        ".unwrap()",
+        ".expect(",
+        "panic!(",
+        "unreachable!(",
+        "todo!(",
+        "unimplemented!(",
+    ];
+    for (idx, line) in sf.code.iter().enumerate() {
+        if sf.in_test[idx] {
+            continue;
+        }
+        for pat in &patterns {
+            if line.contains(pat) && !suppressed(sf, idx, "no-panics") {
+                findings.push(finding(
+                    sf,
+                    idx,
+                    "no-panics",
+                    "panicking construct in library code — return an error, restructure, \
+                     or justify with `lint: allow(no-panics)`",
+                ));
+                break;
+            }
+        }
+    }
+}
+
+/// Rule: `) as usize` narrowing casts in index arithmetic need an
+/// adjacent `debug_assert!` or `// cast:` justification (±3 lines).
+fn check_narrowing_casts(sf: &SourceFile, findings: &mut Vec<Finding>) {
+    if !STRICT_CRATES.contains(&sf.crate_name.as_str()) {
+        return;
+    }
+    let pat = ") as usize";
+    for (idx, line) in sf.code.iter().enumerate() {
+        if sf.in_test[idx] || !line.contains(pat) {
+            continue;
+        }
+        // Widening bit-count casts are always safe.
+        let before_cast = line.split(pat).next().unwrap_or("");
+        if before_cast.ends_with("_zeros(") || before_cast.ends_with("count_ones(") {
+            continue;
+        }
+        if suppressed(sf, idx, "narrowing-cast") {
+            continue;
+        }
+        let lo = idx.saturating_sub(3);
+        let hi = (idx + 3).min(sf.com.len() - 1);
+        let justified =
+            (lo..=hi).any(|j| sf.com[j].contains("cast:") || sf.code[j].contains("debug_assert"));
+        if !justified {
+            findings.push(finding(
+                sf,
+                idx,
+                "narrowing-cast",
+                "narrowing `as usize` in index arithmetic without an adjacent \
+                 debug_assert!/`// cast:` justification",
+            ));
+        }
+    }
+}
+
+/// Rule: the slot-level commit surface is reserved to the sketch
+/// substrate and the core engine; everything else goes through EdgeSink.
+fn check_sink_bypass(sf: &SourceFile, findings: &mut Vec<Finding>) {
+    if SINK_SURFACE_CRATES.contains(&sf.crate_name.as_str()) {
+        return;
+    }
+    let surface = [
+        "update_slot(",
+        "add_batch_saturating(",
+        "add_batch_saturating_exclusive(",
+        "commit_run(",
+        "commit_run_exclusive(",
+    ];
+    for (idx, line) in sf.code.iter().enumerate() {
+        if sf.in_test[idx] {
+            continue;
+        }
+        for name in &surface {
+            let pat = format!(".{name}");
+            if line.contains(pat.as_str()) && !suppressed(sf, idx, "sink-bypass") {
+                findings.push(finding(
+                    sf,
+                    idx,
+                    "sink-bypass",
+                    "direct slot-commit call outside the sketch/core engine — \
+                     ingest through EdgeSink instead",
+                ));
+                break;
+            }
+        }
+    }
+}
+
+/// Rule: `DESIGN.md §N` citations must resolve to a real section. A
+/// digit-less mention (`DESIGN.md §N` as a meta-form in prose, like this
+/// very doc comment) is not a citation and is ignored.
+fn check_design_citations(
+    rel: &str,
+    lines: &[String],
+    sections: &[u32],
+    findings: &mut Vec<Finding>,
+) {
+    let marker = "DESIGN.md §";
+    for (idx, line) in lines.iter().enumerate() {
+        let mut rest = line.as_str();
+        while let Some(pos) = rest.find(marker) {
+            let tail = &rest[pos + marker.len()..];
+            let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+            if digits.is_empty() {
+                rest = &rest[pos + marker.len()..];
+                continue;
+            }
+            match digits.parse::<u32>() {
+                Ok(n) if sections.contains(&n) => {}
+                _ => findings.push(Finding {
+                    rule: "design-citations",
+                    file: rel.to_owned(),
+                    line: idx + 1,
+                    message: format!(
+                        "citation `DESIGN.md §{digits}` does not resolve to a `## §N` \
+                         section of DESIGN.md"
+                    ),
+                }),
+            }
+            rest = &rest[pos + marker.len()..];
+        }
+    }
+}
+
+fn design_section_numbers(root: &Path) -> Result<Vec<u32>, String> {
+    let path = root.join("DESIGN.md");
+    let text = fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    Ok(text
+        .lines()
+        .filter_map(|l| l.strip_prefix("## §"))
+        .filter_map(|rest| {
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            digits.parse().ok()
+        })
+        .collect())
+}
+
+/// Rule (per-site half): `unsafe` outside the deny-listed crates must be
+/// in `sketch` and justified by an adjacent `// SAFETY:` comment.
+fn check_unsafe_sites(sf: &SourceFile, findings: &mut Vec<Finding>) {
+    for (idx, line) in sf.code.iter().enumerate() {
+        if !has_word(line, "unsafe") {
+            continue;
+        }
+        if sf.crate_name != "sketch" {
+            findings.push(finding(
+                sf,
+                idx,
+                "unsafe-policy",
+                "`unsafe` outside the sketch crate — these crates pin \
+                 #![deny(unsafe_code)]",
+            ));
+            continue;
+        }
+        let lo = idx.saturating_sub(5);
+        let justified = sf.com[lo..=idx].iter().any(|l| l.contains("SAFETY:"));
+        if !justified && !suppressed(sf, idx, "unsafe-policy") {
+            findings.push(finding(
+                sf,
+                idx,
+                "unsafe-policy",
+                "`unsafe` without an adjacent `// SAFETY:` justification",
+            ));
+        }
+    }
+}
+
+/// Rule (crate-root half): the unsafe-free crates pin that with
+/// `#![deny(unsafe_code)]` in every crate root (lib.rs and main.rs).
+fn check_crate_root_attrs(root: &Path, findings: &mut Vec<Finding>) {
+    for name in DENY_UNSAFE_CRATES {
+        for entry in ["lib.rs", "main.rs"] {
+            let path = root.join("crates").join(name).join("src").join(entry);
+            let Ok(text) = fs::read_to_string(&path) else {
+                continue;
+            };
+            if !text.contains("#![deny(unsafe_code)]") {
+                findings.push(Finding {
+                    rule: "unsafe-policy",
+                    file: format!("crates/{name}/src/{entry}"),
+                    line: 1,
+                    message: "crate root missing #![deny(unsafe_code)]".to_owned(),
+                });
+            }
+        }
+    }
+}
+
+fn has_word(line: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !line[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = line[abs + word.len()..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + word.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf(code: &str) -> SourceFile {
+        preprocess("crates/core/src/x.rs".into(), "core".into(), code)
+    }
+
+    #[test]
+    fn stripper_hides_comments_and_strings() {
+        let (s, _) = strip_non_code("let x = \"panic!(\"; // .unwrap()\nlet y = 'a';");
+        assert!(!s.contains("panic!("));
+        assert!(!s.contains(".unwrap()"));
+        assert!(s.contains("let x ="));
+        assert!(s.contains("let y ="));
+    }
+
+    #[test]
+    fn stripper_keeps_lifetimes() {
+        let (s, _) = strip_non_code("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(s.contains("<'a>"));
+        assert!(s.contains("&'a str"));
+    }
+
+    #[test]
+    fn stripper_handles_raw_and_nested() {
+        let (s, _) = strip_non_code("let r = r#\"unwrap()\"#; /* a /* b */ c */ let z = 1;");
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("let z = 1;"));
+    }
+
+    #[test]
+    fn comments_view_keeps_comments_but_not_strings() {
+        let (_, com) = strip_non_code("let x = \"ordering: fake\"; // ordering: real reason\n");
+        assert!(com.contains("// ordering: real reason"));
+        assert!(!com.contains("ordering: fake"));
+    }
+
+    #[test]
+    fn test_regions_are_masked() {
+        let file =
+            sf("fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}\n");
+        assert!(!file.in_test[0]);
+        assert!(file.in_test[3]);
+        assert!(!file.in_test[5]);
+        let mut f = Vec::new();
+        check_no_panics(&file, &mut f);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn panics_flagged_outside_tests() {
+        let file = sf("fn a(x: Option<u8>) -> u8 { x.unwrap() }\n");
+        let mut f = Vec::new();
+        check_no_panics(&file, &mut f);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-panics");
+    }
+
+    #[test]
+    fn suppression_with_reason_accepted() {
+        let file = sf(
+            "fn a(x: Option<u8>) -> u8 {\n    // lint: allow(no-panics) — invariant: caller checked is_some.\n    x.unwrap()\n}\n",
+        );
+        let mut f = Vec::new();
+        check_no_panics(&file, &mut f);
+        check_suppression_rationales(&file, &mut f);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn bare_suppression_is_a_finding() {
+        let file = sf("// lint: allow(no-panics)\nfn a(x: Option<u8>) -> u8 { x.unwrap() }\n");
+        let mut f = Vec::new();
+        check_suppression_rationales(&file, &mut f);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "suppression");
+    }
+
+    #[test]
+    fn cmp_ordering_is_not_flagged() {
+        let file = sf("fn a() { let _ = 1.cmp(&2) == std::cmp::Ordering::Less; }\n");
+        let mut f = Vec::new();
+        check_ordering_rationale(&file, &mut f);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn atomic_ordering_needs_rationale() {
+        let file = sf("fn a(c: &AtomicU64) { c.load(Ordering::Relaxed); }\n");
+        let mut f = Vec::new();
+        check_ordering_rationale(&file, &mut f);
+        assert_eq!(f.len(), 1);
+        let ok = sf("fn a(c: &AtomicU64) {\n    // ordering: test rationale.\n    c.load(Ordering::Relaxed);\n}\n");
+        let mut f2 = Vec::new();
+        check_ordering_rationale(&ok, &mut f2);
+        assert!(f2.is_empty(), "{f2:?}");
+    }
+
+    #[test]
+    fn cast_rule_exempts_bit_counts() {
+        let file = sf("fn a(x: u64) -> usize { x.trailing_zeros() as usize }\n");
+        let mut f = Vec::new();
+        check_narrowing_casts(&file, &mut f);
+        assert!(f.is_empty(), "{f:?}");
+        let bad = sf("fn a(x: u64, h: H) -> usize { h.eval(x) as usize }\n");
+        let mut f2 = Vec::new();
+        check_narrowing_casts(&bad, &mut f2);
+        assert_eq!(f2.len(), 1);
+    }
+
+    #[test]
+    fn sink_bypass_flagged_outside_engine() {
+        let file = preprocess(
+            "crates/cli/src/x.rs".into(),
+            "cli".into(),
+            "fn a(ar: &A) { ar.update_slot(0, 1, 1); }\n",
+        );
+        let mut f = Vec::new();
+        check_sink_bypass(&file, &mut f);
+        assert_eq!(f.len(), 1);
+        let engine = preprocess(
+            "crates/core/src/x.rs".into(),
+            "core".into(),
+            "fn a(ar: &A) { ar.update_slot(0, 1, 1); }\n",
+        );
+        let mut f2 = Vec::new();
+        check_sink_bypass(&engine, &mut f2);
+        assert!(f2.is_empty());
+    }
+
+    #[test]
+    fn design_citations_resolve() {
+        let mut f = Vec::new();
+        check_design_citations(
+            "x.rs",
+            &["// see DESIGN.md §2 and DESIGN.md §99".to_owned()],
+            &[1, 2, 3],
+            &mut f,
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("§99"));
+    }
+}
