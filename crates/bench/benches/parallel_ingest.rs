@@ -9,10 +9,17 @@
 //! distinct key in a chunk costs `d` hash evaluations and `d` atomic
 //! RMWs once, however often it arrived). The thread sweep below
 //! separates them — `parallel/1t` isolates the coalescing gain,
-//! `parallel/{2,4,8}t` add core scaling on top. Results (with a
-//! `threads` field per row) are appended to `BENCH_ingest.json`.
+//! `parallel/{2,4,8}t` add core scaling on top. The `sharded/{1,2,4,8}t`
+//! sweep runs the same stream through the owner-sharded engine
+//! ([`ShardedIngest`], DESIGN.md §11), whose commit path is plain
+//! load/store into exclusively-owned arena slices instead of atomic
+//! RMWs. Each sweep row carries a `scaling_ratio` (throughput relative
+//! to that engine's own 1-worker row) and a `clamped` annotation when
+//! the host clamped a multi-worker request down to one worker, so the
+//! trajectory never claims core scaling that did not run. Results are
+//! appended to `BENCH_ingest.json`.
 
-use gsketch::{ConcurrentGSketch, EdgeSink, GSketch, ParallelIngest};
+use gsketch::{ConcurrentGSketch, EdgeSink, GSketch, ParallelIngest, ShardedIngest};
 use gsketch_bench::trajectory::{rate_of, record_section, Throughput};
 use gsketch_bench::{experiment_scale, Bundle, Dataset, EXPERIMENT_SEED};
 use serde::Value;
@@ -100,13 +107,15 @@ fn main() {
         ));
     }
 
+    // Thread sweeps for both engines. The row name carries the
+    // *requested* count; the `threads` field records the workers the
+    // pipeline actually spawned (clamped to available cores) and
+    // `clamped` marks rows where a multi-worker request ran on one, so
+    // the trajectory never claims parallelism that did not run.
+    let mut parallel_1t = f64::NAN;
     for threads in [1usize, 2, 4, 8] {
         let mut rates = Vec::new();
         let mut last = None;
-        // The row name carries the *requested* count; the `threads`
-        // field records the workers the pipeline actually spawned
-        // (clamped to available cores), so the trajectory never claims
-        // parallelism that did not run.
         let mut workers = 1usize;
         for pass in 0..=RUNS {
             let mut concurrent = ConcurrentGSketch::from_gsketch(base.clone());
@@ -123,18 +132,69 @@ fn main() {
         }
         let thawed = last.expect("at least one pass ran").into_gsketch();
         let estimates = measure_estimates(&thawed);
+        let updates = median(rates);
+        if threads == 1 {
+            parallel_1t = updates;
+        }
         results.push(Throughput {
             name: format!("parallel/{threads}t"),
             threads: workers,
-            updates_per_sec: median(rates),
+            updates_per_sec: updates,
             estimates_per_sec: estimates,
+            scaling_ratio: Some(updates / parallel_1t),
+            clamped: threads > 1 && workers == 1,
+        });
+    }
+
+    // Owner-sharded engine sweep (DESIGN.md §11): scatter by router
+    // slot, SPSC handoff, plain-store commits into owned arena slices.
+    let mut sharded_1t = f64::NAN;
+    for threads in [1usize, 2, 4, 8] {
+        let mut rates = Vec::new();
+        let mut last = None;
+        let mut workers = 1usize;
+        for pass in 0..=RUNS {
+            let mut concurrent = ConcurrentGSketch::from_gsketch(base.clone());
+            let rate = rate_of(bundle.stream.len() as u64, || {
+                let report = ShardedIngest::new(&mut concurrent, threads)
+                    .chunk_capacity(CHUNK)
+                    .run_slice(&bundle.stream);
+                workers = report.workers;
+            });
+            if pass > 0 {
+                rates.push(rate);
+            }
+            last = Some(concurrent);
+        }
+        let thawed = last.expect("at least one pass ran").into_gsketch();
+        let estimates = measure_estimates(&thawed);
+        let updates = median(rates);
+        if threads == 1 {
+            sharded_1t = updates;
+        }
+        results.push(Throughput {
+            name: format!("sharded/{threads}t"),
+            threads: workers,
+            updates_per_sec: updates,
+            estimates_per_sec: estimates,
+            scaling_ratio: Some(updates / sharded_1t),
+            clamped: threads > 1 && workers == 1,
         });
     }
 
     for t in &results {
+        let ratio = t
+            .scaling_ratio
+            .map(|r| format!(" x{r:.2} vs 1t"))
+            .unwrap_or_default();
+        let clamp = if t.clamped {
+            " [clamped to 1 worker]"
+        } else {
+            ""
+        };
         println!(
-            "{:<18} workers={} {:>14.0} updates/s {:>14.0} estimates/s",
-            t.name, t.threads, t.updates_per_sec, t.estimates_per_sec
+            "{:<18} workers={} {:>14.0} updates/s {:>14.0} estimates/s{}{}",
+            t.name, t.threads, t.updates_per_sec, t.estimates_per_sec, ratio, clamp
         );
     }
     let baseline = results[0].updates_per_sec;
@@ -146,6 +206,10 @@ fn main() {
     println!(
         "parallel pipeline speedup over single-thread batched baseline: {:.2}x",
         best / baseline
+    );
+    println!(
+        "owner-sharded fused path over parallel/1t: {:.2}x",
+        sharded_1t / parallel_1t
     );
 
     record_section(

@@ -128,10 +128,8 @@ fn record_trajectory() {
     });
 
     let query_row = |name: &str, threads: usize, rate: f64| Rates {
-        name: name.to_owned(),
         threads,
-        updates_per_sec: 0.0,
-        estimates_per_sec: rate,
+        ..Rates::sequential(name, 0.0, rate)
     };
     record_section(
         "query_time",

@@ -90,12 +90,7 @@ fn main() {
         "memoized replay diverged from the batched engine"
     );
 
-    let row = |name: &str, rate: f64| Throughput {
-        name: name.to_owned(),
-        threads: 1,
-        updates_per_sec: 0.0,
-        estimates_per_sec: rate,
-    };
+    let row = |name: &str, rate: f64| Throughput::sequential(name, 0.0, rate);
     record_section(
         "replay",
         &[

@@ -149,12 +149,7 @@ fn record_trajectory() {
         black_box(out.last().copied());
     });
 
-    let read_row = |name: &str, rate: f64| Rates {
-        name: name.to_owned(),
-        threads: 1,
-        updates_per_sec: 0.0,
-        estimates_per_sec: rate,
-    };
+    let read_row = |name: &str, rate: f64| Rates::sequential(name, 0.0, rate);
     record_section(
         "sketch_micro",
         &[("updates_timed", Value::U64(N))],

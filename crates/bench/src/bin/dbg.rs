@@ -6,6 +6,13 @@
 //!   small R-MAT traffic stream, drive it through [`ParallelIngest`] with
 //!   `N` workers, and verify against a sequential ingest of the same
 //!   stream. Exits non-zero on any mismatch — a CI smoke step.
+//! * `dbg --shard-smoke N [--arrivals M]` — owner-sharded smoke: drive
+//!   the stream through `ShardedIngest` with `N` real (oversubscribed)
+//!   owners and bit-compare against sequential ingest; check the
+//!   slot-routed read path and a routed-miss replay front; then replay
+//!   the windowed deployment through epoch handoff and bit-compare its
+//!   interval answers (DESIGN.md §11). Exits non-zero on any mismatch —
+//!   the sharded-engine CI smoke step.
 //! * `dbg --query-smoke N [--arrivals M] [--queries K] [--memory-kb B]`
 //!   — batched-query smoke: build a sketch, draw a shuffled
 //!   duplicate-heavy workload, and compare the scalar loop, the batched
@@ -67,6 +74,132 @@ fn smoke_parallel(threads: usize, arrivals: usize) {
         );
     }
     println!("parallel smoke: estimates bit-identical to sequential ingest — OK");
+}
+
+/// Owner-sharded smoke (DESIGN.md §11): drive the same stream through
+/// [`gsketch::ShardedIngest`] with `N` real (oversubscribed) owners and
+/// bit-compare against sequential ingest; answer a workload through the
+/// slot-routed read path and a routed-miss [`ReplayEngine`] front; then
+/// replay the windowed deployment through epoch handoff and bit-compare
+/// its interval answers. Exits non-zero on any mismatch.
+fn smoke_sharded(threads: usize, arrivals: usize) {
+    use gsketch::{IntervalEstimate, ShardedIngest, WindowConfig, WindowedGSketch};
+    let mut cfg = RmatTrafficConfig::gtgraph(10, (arrivals / 4).max(100), arrivals, 17);
+    cfg.activity_alpha = 1.2;
+    let stream: Vec<_> = RmatTrafficGenerator::new(cfg).generate();
+    let sample = &stream[..stream.len() / 20];
+    let builder = GSketch::builder()
+        .memory_bytes(256 << 10)
+        .depth(3)
+        .min_width(64)
+        .sample_rate(0.05)
+        .seed(7);
+
+    let mut serial = builder.build_from_sample(sample).expect("valid build");
+    serial.ingest(&stream);
+
+    let mut concurrent =
+        ConcurrentGSketch::from_gsketch(builder.build_from_sample(sample).expect("valid build"));
+    let report = ShardedIngest::new(&mut concurrent, threads)
+        .chunk_capacity(1 << 14)
+        .oversubscribe(true)
+        .run_slice(&stream);
+    println!(
+        "sharded smoke: {} arrivals over {} owner(s) ({} requested), {} chunks",
+        report.arrivals, report.workers, threads, report.chunks
+    );
+    assert_eq!(report.arrivals as usize, stream.len(), "arrivals lost");
+    let sharded = concurrent.into_gsketch();
+    for se in &stream {
+        assert_eq!(
+            sharded.estimate(se.edge),
+            serial.estimate(se.edge),
+            "sharded estimate mismatch on {}",
+            se.edge
+        );
+    }
+    assert_eq!(
+        sharded.total_weight(),
+        serial.total_weight(),
+        "weight not conserved"
+    );
+    println!("sharded smoke: estimates bit-identical to sequential ingest — OK");
+
+    // The slot-routed read path: owner-aligned spans answered by the
+    // worker that owns those slots, plus a routed-miss replay front.
+    let queries: Vec<gstream::Edge> = stream.iter().step_by(7).map(|se| se.edge).collect();
+    let mut sequential = Vec::new();
+    sharded.estimate_edges(&queries, &mut sequential);
+    let pq = ParallelQuery::new(&sharded, threads).oversubscribe(true);
+    let mut routed = Vec::new();
+    pq.estimate_edges_routed(&queries, &mut routed);
+    assert_eq!(routed, sequential, "routed answers diverged from batch");
+    let mut engine = ReplayEngine::new(&sharded);
+    let mut cached = Vec::new();
+    for _ in 0..2 {
+        engine.estimate_edges_with(&queries, &mut cached, |miss, vals| {
+            pq.estimate_edges_routed(miss, vals);
+        });
+        assert_eq!(cached, sequential, "routed replay diverged from batch");
+    }
+    assert!(engine.stats().hits > 0, "memo never hit on the second pass");
+    println!(
+        "sharded smoke: slot-routed query + routed-miss replay bit-identical \
+         ({} workers) — OK",
+        pq.effective_threads()
+    );
+
+    // Windowed parallel replay leg: epoch handoff must seal the same
+    // windows and answer every interval bit-identically.
+    let mut wstream = stream.clone();
+    for (t, se) in wstream.iter_mut().enumerate() {
+        se.ts = t as u64;
+    }
+    let span = (wstream.len() as u64 / 8).max(1);
+    let wcfg = WindowConfig {
+        span,
+        memory_bytes_per_window: 32 << 10,
+        sample_capacity: 256,
+        seed: 29,
+    };
+    let wbuilder = || GSketch::builder().min_width(64).seed(29);
+    let mut wserial = WindowedGSketch::new(wcfg, wbuilder()).expect("valid windowed build");
+    wserial.ingest(&wstream);
+    let mut wsharded = WindowedGSketch::new(wcfg, wbuilder()).expect("valid windowed build");
+    wsharded
+        .try_ingest_sharded(&wstream, threads, true)
+        .expect("monotone timestamps");
+    assert_eq!(
+        wsharded.sealed_windows(),
+        wserial.sealed_windows(),
+        "window rotation diverged"
+    );
+    let horizon = wstream.len() as u64 - 1;
+    let edges: Vec<gstream::Edge> = wstream.iter().step_by(97).map(|se| se.edge).collect();
+    let mut a: Vec<IntervalEstimate> = Vec::new();
+    let mut b: Vec<IntervalEstimate> = Vec::new();
+    let mut checked = 0usize;
+    for (ts, te) in [
+        (0u64, horizon),
+        (span / 2, span * 3 + 7),
+        (span, span),
+        (horizon / 3, u64::MAX),
+    ] {
+        wsharded.estimate_interval_detailed_batch(&edges, ts, te, &mut a);
+        wserial.estimate_interval_detailed_batch(&edges, ts, te, &mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                x.value.to_bits(),
+                y.value.to_bits(),
+                "windowed sharded replay diverged on [{ts}, {te}]"
+            );
+            checked += 1;
+        }
+    }
+    println!(
+        "sharded smoke: {checked} windowed interval answers bit-identical \
+         through epoch handoff — OK"
+    );
 }
 
 /// Batched-query smoke: the scalar loop, the batched engine, and the
@@ -244,6 +377,10 @@ fn main() {
             flag("--queries").unwrap_or(100_000),
             flag("--memory-kb").unwrap_or(256),
         );
+        return;
+    }
+    if let Some(threads) = flag("--shard-smoke") {
+        smoke_sharded(threads.max(1), flag("--arrivals").unwrap_or(200_000));
         return;
     }
     if let Some(threads) = flag("--threads") {

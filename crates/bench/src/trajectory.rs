@@ -43,6 +43,14 @@ pub struct Throughput {
     pub updates_per_sec: f64,
     /// Point estimates per second.
     pub estimates_per_sec: f64,
+    /// Throughput relative to the same engine's 1-worker row, for thread
+    /// sweeps (`None` for rows that are not part of a sweep). Serialized
+    /// only when present so historical sections keep their exact shape.
+    pub scaling_ratio: Option<f64>,
+    /// `true` when the pipeline clamped the requested worker count down
+    /// to one (single-core host): the row then measures the fused
+    /// no-spawn path, not cross-core scaling. Serialized only when set.
+    pub clamped: bool,
 }
 
 impl Throughput {
@@ -57,6 +65,8 @@ impl Throughput {
             threads: 1,
             updates_per_sec,
             estimates_per_sec,
+            scaling_ratio: None,
+            clamped: false,
         }
     }
 }
@@ -81,6 +91,28 @@ fn get_mut<'a>(entries: &'a mut [(String, Value)], key: &str) -> Option<&'a mut 
     entries.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v)
 }
 
+/// Serialize one result row. Sweep annotations (`scaling_ratio`,
+/// `clamped`) are emitted only when set, so sections that never sweep
+/// keep the exact four-key shape earlier trajectory files recorded.
+fn row_value(t: &Throughput) -> Value {
+    let mut row = vec![
+        ("name".to_owned(), Value::Str(t.name.clone())),
+        ("threads".to_owned(), Value::U64(t.threads as u64)),
+        ("updates_per_sec".to_owned(), Value::F64(t.updates_per_sec)),
+        (
+            "estimates_per_sec".to_owned(),
+            Value::F64(t.estimates_per_sec),
+        ),
+    ];
+    if let Some(ratio) = t.scaling_ratio {
+        row.push(("scaling_ratio".to_owned(), Value::F64(ratio)));
+    }
+    if t.clamped {
+        row.push(("clamped".to_owned(), Value::Bool(true)));
+    }
+    Value::Map(row)
+}
+
 /// Merge one bench's section into the trajectory file: metadata
 /// key/values first, then the `results` list. Creates the file when
 /// missing; a corrupt file is replaced rather than appended to.
@@ -91,22 +123,7 @@ pub fn record_section(section: &str, meta: &[(&str, Value)], results: &[Throughp
         .collect();
     section_entries.push((
         "results".to_owned(),
-        Value::Seq(
-            results
-                .iter()
-                .map(|t| {
-                    Value::Map(vec![
-                        ("name".to_owned(), Value::Str(t.name.clone())),
-                        ("threads".to_owned(), Value::U64(t.threads as u64)),
-                        ("updates_per_sec".to_owned(), Value::F64(t.updates_per_sec)),
-                        (
-                            "estimates_per_sec".to_owned(),
-                            Value::F64(t.estimates_per_sec),
-                        ),
-                    ])
-                })
-                .collect(),
-        ),
+        Value::Seq(results.iter().map(row_value).collect()),
     ));
 
     let path = bench_file();
@@ -177,6 +194,26 @@ mod tests {
         let back = serde_json::parse(&body).unwrap();
         assert!(matches!(back, Value::Map(_)));
         assert!(body.contains("updates_per_sec"));
+    }
+
+    #[test]
+    fn sweep_annotations_serialize_only_when_set() {
+        let sweep = Throughput {
+            name: "sharded/4t".into(),
+            threads: 1,
+            updates_per_sec: 1.0e6,
+            estimates_per_sec: 2.0e6,
+            scaling_ratio: Some(1.0),
+            clamped: true,
+        };
+        let sweep_json = serde_json::to_string(&Raw(row_value(&sweep))).unwrap();
+        assert!(sweep_json.contains("\"scaling_ratio\""));
+        assert!(sweep_json.contains("\"clamped\""));
+
+        let plain = Throughput::sequential("cm-arena/batched", 1.0e6, 2.0e6);
+        let plain_json = serde_json::to_string(&Raw(row_value(&plain))).unwrap();
+        assert!(!plain_json.contains("scaling_ratio"));
+        assert!(!plain_json.contains("clamped"));
     }
 
     #[test]

@@ -5,8 +5,8 @@ use crate::args::{parse_bytes, ArgError, ParsedArgs};
 use gsketch::{
     evaluate_edge_queries, save_gsketch, AdaptiveConfig, AdaptiveGSketch, CmArena,
     ConcurrentGSketch, CountMinSketch, CountSketch, EdgeEstimator, EdgeSink, FrequencySketch,
-    GSketch, GSketchBuilder, GlobalSketch, IntervalEstimate, ParallelIngest, ParallelQuery,
-    ReplayEngine, WindowConfig, WindowedGSketch, DEFAULT_G0,
+    GSketch, GSketchBuilder, GlobalSketch, IntervalEstimate, ParallelQuery, ReplayEngine,
+    ShardedIngest, WindowConfig, WindowedGSketch, DEFAULT_G0,
 };
 use gstream::gen::{
     dblp, ipattack, DblpConfig, ErdosRenyiConfig, ErdosRenyiGenerator, IpAttackConfig, RmatConfig,
@@ -63,8 +63,8 @@ USAGE:
   gsketch build <stream-file> --memory SIZE --out SNAPSHOT
       [--sample-frac F] [--depth D] [--min-width W] [--seed S]
       [--backend arena|countmin|countsketch] [--threads N]
-      (--threads > 1 ingests through the parallel sharded pipeline;
-       requires the arena backend)
+      (--threads > 1 ingests through the owner-sharded engine — each
+       worker owns a contiguous slot range; requires the arena backend)
   gsketch query <snapshot> <src> <dst> [<src> <dst> ...] [--stream FILE]
       (--stream adds exact ground truth next to each estimate;
        the snapshot's synopsis backend is detected automatically)
@@ -78,18 +78,21 @@ USAGE:
        instead — no --cache/--threads — and reports per-query
        confidence intervals, first K rows shown, default 10)
   gsketch query <stream-file> --workload FILE --window-span S
-      [--window-memory SIZE] [--seed N] [--chunk N] [--show K]
+      [--window-memory SIZE] [--seed N] [--chunk N] [--show K] [--threads N]
       (windowed replay: builds a time-windowed synopsis of span S over
        the stream, then replays a workload whose rows may carry
        inclusive `src dst t_start t_end` columns; every query reports
-       its interval estimate with a confidence interval)
+       its interval estimate with a confidence interval; --threads
+       ingests each window epoch through the owner-sharded engine)
   gsketch workload <stream-file> --out FILE [--queries N] [--zipf A] [--seed S]
       (draws a query workload over the stream's distinct edges: uniform
        by default, Zipf(A) by frequency rank with --zipf)
   gsketch compare <stream-file> --memory SIZE [--queries N] [--depth D] [--seed S]
       [--backend arena|countmin|countsketch] [--threads N]
   gsketch adaptive <stream-file> --memory SIZE [--warmup N] [--queries N] [--seed S]
-      (sample-free: the stream prefix replaces the data sample)
+      [--threads N]
+      (sample-free: the stream prefix replaces the data sample; the
+       post-switchover remainder ingests owner-sharded with --threads)
   gsketch structural <stream-file> [--top K] [--triangle-p P]
   gsketch help
 
@@ -323,7 +326,7 @@ fn cmd_build<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
     let (partitions, bytes) = match backend {
         Backend::Arena if threads > 1 => {
             let sketch = builder.build_from_sample(&sample).map_err(run_err)?;
-            let (sketch, workers) = parallel_ingest(sketch, &stream, threads);
+            let (sketch, workers) = sharded_ingest(sketch, &stream, threads);
             save_gsketch(&snapshot_path, &sketch).map_err(run_err)?;
             threads_used = workers;
             (sketch.num_partitions(), sketch.bytes())
@@ -347,11 +350,12 @@ fn cmd_build<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Ingest `stream` into a built arena sketch through the parallel
-/// sharded pipeline, then thaw it back for querying/persistence.
-fn parallel_ingest(sketch: GSketch, stream: &[StreamEdge], threads: usize) -> (GSketch, usize) {
+/// Ingest `stream` into a built arena sketch through the owner-sharded
+/// engine (DESIGN.md §11) — each owner commits its own contiguous arena
+/// slice with plain stores — then thaw it back for querying/persistence.
+fn sharded_ingest(sketch: GSketch, stream: &[StreamEdge], threads: usize) -> (GSketch, usize) {
     let mut concurrent = ConcurrentGSketch::from_gsketch(sketch);
-    let report = ParallelIngest::new_exclusive(&mut concurrent, threads).run_slice(stream);
+    let report = ShardedIngest::new(&mut concurrent, threads).run_slice(stream);
     (concurrent.into_gsketch(), report.workers)
 }
 
@@ -635,6 +639,7 @@ fn replay_windowed_workload<W: Write>(
     let seed: u64 = a.get_or("seed", 42)?;
     let chunk: usize = a.get_or::<usize>("chunk", 1 << 20)?.max(1);
     let show: usize = a.get_or("show", 10)?;
+    let threads: usize = a.get_or::<usize>("threads", 1)?.max(1);
 
     let stream = load_stream(stream_path).map_err(run_err)?;
     let mut windowed = WindowedGSketch::new(
@@ -647,7 +652,15 @@ fn replay_windowed_workload<W: Write>(
         GSketch::builder().min_width(64).seed(seed),
     )
     .map_err(run_err)?;
-    windowed.ingest(&stream);
+    // Windows are epochs: each one ingests owner-sharded and freezes at
+    // a quiesced boundary, bit-identical to sequential (DESIGN.md §11).
+    if threads > 1 {
+        windowed
+            .try_ingest_sharded(&stream, threads, false)
+            .map_err(run_err)?;
+    } else {
+        windowed.ingest(&stream);
+    }
 
     let mut source = QueryFileSource::open(workload_path).map_err(run_err)?;
     let mut buf: Vec<WorkloadQuery> = Vec::with_capacity(chunk);
@@ -764,14 +777,10 @@ fn cmd_query<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
                 "--window-span replays a workload file; add --workload FILE".into(),
             )));
         };
-        if a.get("stream").is_some()
-            || a.get("threads").is_some()
-            || a.get("cache").is_some()
-            || a.get("detailed").is_some()
-        {
+        if a.get("stream").is_some() || a.get("cache").is_some() || a.get("detailed").is_some() {
             return Err(CliError::Args(ArgError(
                 "windowed replay always answers per-interval detailed batches; \
-                 --stream/--threads/--cache/--detailed do not apply"
+                 --stream/--cache/--detailed do not apply"
                     .into(),
             )));
         }
@@ -946,7 +955,7 @@ fn cmd_compare<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
     let (acc_gs, partitions) = match backend {
         Backend::Arena if threads > 1 => {
             let gs = builder.build_from_sample(&sample).map_err(run_err)?;
-            let (gs, _workers) = parallel_ingest(gs, &stream, threads);
+            let (gs, _workers) = sharded_ingest(gs, &stream, threads);
             (
                 evaluate_edge_queries(&gs, &queries, &truth, DEFAULT_G0),
                 gs.num_partitions(),
@@ -991,13 +1000,14 @@ fn cmd_compare<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
 fn cmd_adaptive<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
     let a = ParsedArgs::parse(
         raw.iter().cloned(),
-        &["memory", "warmup", "queries", "depth", "seed"],
+        &["memory", "warmup", "queries", "depth", "seed", "threads"],
     )?;
     let stream_path = a.positional(0, "stream-file")?;
     let memory = parse_bytes(&a.require::<String>("memory")?)?;
     let n_queries: usize = a.get_or("queries", 10_000)?;
     let depth: usize = a.get_or("depth", 1)?;
     let seed: u64 = a.get_or("seed", 42)?;
+    let threads: usize = a.get_or::<usize>("threads", 1)?.max(1);
 
     let stream = load_stream(stream_path).map_err(run_err)?;
     let warmup: u64 = a.get_or("warmup", (stream.len() as u64 / 20).max(1))?;
@@ -1014,7 +1024,14 @@ fn cmd_adaptive<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
         ..AdaptiveConfig::default()
     })
     .map_err(run_err)?;
-    adaptive.ingest(&stream);
+    // The warm-up prefix is order-dependent and replays sequentially
+    // inside `ingest_sharded`; only the partitioned remainder shards
+    // (DESIGN.md §11), so the result matches sequential ingest exactly.
+    if threads > 1 {
+        adaptive.ingest_sharded(&stream, threads, false);
+    } else {
+        adaptive.ingest(&stream);
+    }
     let mut gl = GlobalSketch::new(memory, depth, seed).map_err(run_err)?;
     gl.ingest(&stream);
 
@@ -1512,6 +1529,22 @@ mod tests {
         assert!(text.contains("replayed 4 queries (3 windowed)"), "{text}");
         // Every row reports a confidence interval.
         assert_eq!(text.matches("w.p.").count(), 4, "{text}");
+        // The owner-sharded windowed ingest is bit-identical to the
+        // sequential deployment, so the whole report matches verbatim.
+        let sharded = run(&[
+            "query",
+            &stream,
+            "--workload",
+            &wl,
+            "--window-span",
+            "1000",
+            "--window-memory",
+            "16K",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(sharded, text, "sharded windowed replay diverged");
     }
 
     #[test]
@@ -1519,7 +1552,8 @@ mod tests {
         // --window-span without --workload.
         let e = run(&["query", "s.txt", "--window-span", "100"]).unwrap_err();
         assert!(e.to_string().contains("--workload"), "{e}");
-        // Inapplicable flags.
+        // Inapplicable flags (--threads is *not* one of them anymore:
+        // windowed ingest shards by epoch).
         let e = run(&[
             "query",
             "s.txt",
@@ -1527,8 +1561,8 @@ mod tests {
             "w.txt",
             "--window-span",
             "100",
-            "--threads",
-            "4",
+            "--cache",
+            "on",
         ])
         .unwrap_err();
         assert!(e.to_string().contains("do not apply"), "{e}");
@@ -1637,6 +1671,22 @@ mod tests {
         assert!(text.contains("partitions (no sample used)"));
         assert!(text.contains("adaptive: avg rel err"));
         assert!(text.contains("Global  : avg rel err"));
+        // Warm-up replays sequentially inside the sharded path, so the
+        // whole adaptive report is identical under --threads.
+        let sharded = run(&[
+            "adaptive",
+            &stream,
+            "--memory",
+            "32K",
+            "--warmup",
+            "3000",
+            "--queries",
+            "2000",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(sharded, text, "sharded adaptive ingest diverged");
     }
 
     #[test]

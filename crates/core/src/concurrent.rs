@@ -16,7 +16,7 @@ use crate::gsketch::GSketch;
 use crate::partition::PartitionPlan;
 use crate::pipeline::SlotSink;
 use crate::router::{Router, SketchId};
-use crate::sink::EdgeSink;
+use crate::sink::{EdgeSink, SlotRouted};
 use gstream::edge::{Edge, StreamEdge};
 use gstream::vertex::VertexId;
 use sketch::AtomicCmArena;
@@ -121,9 +121,9 @@ impl crate::replay::WriteLocalized for ConcurrentGSketch {
     }
 }
 
-/// The pipeline-facing surface: route by source vertex, commit key-sorted
-/// runs straight into the atomic arena's slot spans.
-impl SlotSink for ConcurrentGSketch {
+/// The routing view shared by both pipelines and the slot-routed query
+/// path: the read-only router over the arena's flat slot space.
+impl SlotRouted for ConcurrentGSketch {
     fn num_slots(&self) -> usize {
         self.bank.num_slots()
     }
@@ -132,7 +132,11 @@ impl SlotSink for ConcurrentGSketch {
     fn slot_of(&self, src: VertexId) -> u32 {
         self.router.slot(src)
     }
+}
 
+/// The pipeline-facing surface: route by source vertex, commit key-sorted
+/// runs straight into the atomic arena's slot spans.
+impl SlotSink for ConcurrentGSketch {
     #[inline]
     fn commit_run(&self, slot: u32, sorted_run: &[(u64, u64)]) {
         self.bank.add_batch_saturating(slot, sorted_run);
@@ -141,6 +145,12 @@ impl SlotSink for ConcurrentGSketch {
     #[inline]
     fn commit_run_exclusive(&self, slot: u32, sorted_run: &[(u64, u64)]) {
         self.bank.add_batch_saturating_exclusive(slot, sorted_run);
+    }
+
+    /// First-touch the owner's contiguous slice of the slab (see
+    /// [`sketch::AtomicCmArena::touch_slot_range`]).
+    fn warm_slots(&self, lo: u32, hi: u32) {
+        self.bank.touch_slot_range(lo, hi);
     }
 }
 

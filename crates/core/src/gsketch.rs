@@ -526,6 +526,20 @@ impl<B: FrequencySketch> crate::replay::WriteLocalized for GSketch<B> {
     }
 }
 
+/// The routing view the owner-sharded engine shares between writes and
+/// reads (DESIGN.md §11): the slot-routed parallel query groups a miss
+/// batch by these slots so each owner answers only its own arena slice.
+impl<B: FrequencySketch> crate::sink::SlotRouted for GSketch<B> {
+    fn num_slots(&self) -> usize {
+        self.bank.num_slots()
+    }
+
+    #[inline]
+    fn slot_of(&self, src: gstream::vertex::VertexId) -> u32 {
+        self.router.slot(src)
+    }
+}
+
 /// The unified ingest surface: routing one arrival is a single
 /// unconditioned bank update (outlier = last slot), and
 /// [`ingest_batch`](crate::EdgeSink::ingest_batch) groups a batch by

@@ -97,13 +97,13 @@ pub use partition::{Objective, PartitionConfig, PartitionPlan, WidthAllocation};
 pub use persist::{
     load_gsketch, load_gsketch_backend, save_gsketch, PersistError, RawSnapshot, FORMAT_VERSION,
 };
-pub use pipeline::{IngestReport, ParallelIngest, SlotSink};
+pub use pipeline::{IngestReport, ParallelIngest, ShardedIngest, SlotSink};
 pub use query::{
     estimate_subgraph, estimate_subgraph_with, Aggregator, EdgeEstimator, ParallelQuery,
 };
 pub use replay::{ReplayEngine, ReplayStats, WriteLocalized};
-pub use router::{Router, SketchId};
-pub use sink::EdgeSink;
+pub use router::{OwnerMap, Router, SketchId};
+pub use sink::{EdgeSink, SlotRouted};
 pub use sketch::{CmArena, CountMinSketch, CountSketch, DetailedRow, FrequencySketch, SketchBank};
 pub use vstats::SampleStats;
 pub use window::{IntervalEstimate, WindowConfig, WindowedGSketch};

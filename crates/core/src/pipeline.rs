@@ -40,20 +40,35 @@
 //! parity proptest). Nothing about the math depends on the thread count
 //! or the chunking, only on the multiset of arrivals.
 //!
-//! **Worker-pool sizing.** Like every CPU-bound pool (rayon, TBB), the
-//! pipeline treats the requested thread count as an *upper bound* and
-//! clamps it to the machine's available parallelism: oversubscribing a
+//! **The owner-sharded engine** ([`ShardedIngest`], DESIGN.md §11)
+//! inverts the sharing story: instead of every worker committing any
+//! slot through the shared atomic path, a scatter stage counting-sorts
+//! each chunk by router slot and hands per-owner batches over bounded
+//! SPSC queues to owning workers, each of which is the *sole writer* of
+//! a contiguous slot range and commits it with plain load/add/store
+//! cycles — [`ParallelIngest::new_exclusive`]'s single-worker contract,
+//! generalized to N disjoint owners by the [`OwnerMap`] slot partition
+//! instead of a `&mut` borrow.
+//! When the map clamps to one owner the engine fuses scatter and
+//! commit on the calling thread (no queue, no spawn), which is what
+//! keeps `sharded/1t` ahead of `parallel/1t` rather than merely equal.
+//!
+//! **Worker-pool sizing.** Like every CPU-bound pool (rayon, TBB), both
+//! engines treat the requested thread count as an *upper bound* and
+//! clamp it to the machine's available parallelism: oversubscribing a
 //! single core with N compute-bound workers buys nothing and costs
 //! context switches and per-worker cache dilution. Tests that need real
 //! thread interleaving regardless of the host use
-//! [`oversubscribe`](ParallelIngest::oversubscribe).
+//! [`oversubscribe`](ParallelIngest::oversubscribe) (mirrored on
+//! [`ShardedIngest::oversubscribe`]).
 
 use crate::concurrent::ConcurrentGSketch;
-use crate::sink::EdgeSink;
+use crate::router::OwnerMap;
+use crate::sink::{EdgeSink, SlotRouted};
 use gstream::edge::StreamEdge;
 use gstream::source::EdgeSource;
-use gstream::vertex::VertexId;
 use sketch::prefetch;
+use sketch::sync::spsc::SpscQueue;
 // Atomics and scoped threads come through the `sync` shim seam so
 // `xtask check` can run `run_slice`'s real chunk-claiming loop under
 // the deterministic scheduler (DESIGN.md §10); std items in normal
@@ -82,8 +97,9 @@ const PREFETCH_AHEAD: usize = 12;
 
 /// Clamp a requested worker count to the host's available parallelism —
 /// the rayon-style rule every CPU-bound pool in the workspace shares
-/// (ingest's [`ParallelIngest`] and the query engine's
-/// [`ParallelQuery`](crate::query::ParallelQuery)). Oversubscribing a
+/// (ingest's [`ParallelIngest`] and [`ShardedIngest`], and the query
+/// engine's [`ParallelQuery`](crate::query::ParallelQuery), including
+/// its slot-routed read path). Oversubscribing a
 /// single core with N compute-bound workers buys nothing and costs
 /// context switches; `oversubscribe` exists so correctness tests can
 /// force real thread interleaving on small machines.
@@ -100,29 +116,38 @@ pub(crate) fn clamp_workers(requested: usize, oversubscribe: bool) -> usize {
 }
 
 /// A shard-addressable, thread-shareable sink: the consumer-side contract
-/// of [`ParallelIngest`]. Implemented by [`ConcurrentGSketch`] (routing
-/// through its read-only router into the shared atomic arena); the
-/// generic parameter is what future shard placements (NUMA-pinned arenas,
-/// remote shards) implement.
-pub trait SlotSink: Sync {
-    /// Number of addressable slots (partitions + outlier).
-    fn num_slots(&self) -> usize;
-
-    /// The slot absorbing edges whose source vertex is `src`.
-    fn slot_of(&self, src: VertexId) -> u32;
-
+/// of [`ParallelIngest`] and [`ShardedIngest`]. The routing half lives in
+/// the [`SlotRouted`] supertrait (shared with the slot-routed query
+/// path); this trait adds the write side. Implemented by
+/// [`ConcurrentGSketch`] (routing through its read-only router into the
+/// shared atomic arena); the generic parameter is what future shard
+/// placements (NUMA-pinned arenas, remote shards) implement.
+pub trait SlotSink: SlotRouted + Sync {
     /// Commit a run of `(key, weight)` pairs into `slot`. Callable from
     /// any thread; runs for different slots touch disjoint counter
     /// spans. Adjacent equal keys are coalesced into one counter write.
     fn commit_run(&self, slot: u32, run: &[(u64, u64)]);
 
-    /// [`commit_run`](Self::commit_run) for a pipeline that holds the
-    /// sink exclusively (see [`ParallelIngest::new_exclusive`]): sinks
-    /// may override it with a plain-store commit that skips atomic RMW
-    /// serialization, since no concurrent writer can exist. The default
-    /// just forwards to the shared-safe path.
+    /// [`commit_run`](Self::commit_run) for a caller that is the **sole
+    /// writer of `slot`** for the duration of the commit: sinks may
+    /// override it with a plain-store commit that skips atomic RMW
+    /// serialization. Two callers establish that contract today — a
+    /// [`ParallelIngest::new_exclusive`] pipeline running one worker
+    /// (sole writer of *every* slot), and a [`ShardedIngest`] owner
+    /// (sole writer of its [`OwnerMap`] slot range, by the disjointness
+    /// of owner ranges). The default just forwards to the shared-safe
+    /// path.
     fn commit_run_exclusive(&self, slot: u32, run: &[(u64, u64)]) {
         self.commit_run(slot, run);
+    }
+
+    /// Best-effort first-touch of slots `lo..hi` (half-open) from the
+    /// calling thread, so a first-touch NUMA policy places the range's
+    /// counter pages on the caller's node. [`ShardedIngest`] owners call
+    /// this for their slot range before absorbing arrivals; the caller
+    /// must be the range's sole writer. The default is a no-op.
+    fn warm_slots(&self, lo: u32, hi: u32) {
+        let _ = (lo, hi);
     }
 }
 
@@ -558,6 +583,433 @@ impl<'s, B: SlotSink> ParallelIngest<'s, B> {
     }
 }
 
+/// Batches the scatter stage hands an owner: `(pair, weight)` entries
+/// whose router slot lies inside the owner's range. An **empty** batch
+/// is the end-of-stream sentinel. Slots are *not* shipped: the owner
+/// re-derives them from the shared read-only router at commit time,
+/// batched (see [`OwnerWorker::commit_evicted`]), which keeps the
+/// handoff at 16 bytes per entry and the absorb loop free of routing.
+type OwnerBatch = Vec<(u64, u64)>;
+
+/// Batches in flight per owner queue. Deep enough to keep an owner fed
+/// across scatter's next chunk; shallow enough that backpressure kicks
+/// in before batches pile up beyond the cache.
+const OWNER_QUEUE_DEPTH: usize = 8;
+
+/// Spin until `item` fits in the bounded queue (the scatter side of the
+/// backpressure protocol; yields so an oversubscribed host makes
+/// progress).
+fn push_spin<T>(queue: &SpscQueue<T>, mut item: T) {
+    loop {
+        match queue.try_push(item) {
+            Ok(()) => return,
+            Err(back) => {
+                item = back;
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// One 4-way owner-combiner set, exactly one cache line: four pair tags
+/// and four **64-bit** accumulators. Dropping the per-way slot (the
+/// owner re-routes at commit time, batched) frees the 16 bytes the
+/// 32-bit [`CacheSet`] spends on slots, which the weights absorb — so
+/// the hit path is a plain `saturating_add` with **no overflow flush
+/// and no out-of-band heavy-weight path**: saturating addition is
+/// associative, so pre-summing arrivals in a u64 accumulator commits
+/// the same counter values as adding them one by one.
+#[repr(align(64))]
+#[derive(Clone, Copy)]
+struct OwnerSet {
+    pairs: [u64; 4],
+    weights: [u64; 4],
+}
+
+const EMPTY_OWNER_SET: OwnerSet = OwnerSet {
+    pairs: [0; 4],
+    weights: [0; 4],
+};
+
+/// Commit the owner's evicted-entry list once it reaches this length.
+/// Larger than the shared pipeline's [`EVICT_COMMIT_LEN`]: the owner's
+/// commit counting-sorts by slot, and longer batches mean longer
+/// per-slot runs — better span-walk amortization per
+/// [`SlotSink::commit_run_exclusive`] call (measured on the ingest
+/// bench: 32 Ki batches shave several percent over 8 Ki).
+const SHARD_COMMIT_LEN: usize = 1 << 15;
+
+/// Per-owner combiner state for [`ShardedIngest`]: a slot-less 4-way
+/// cache ([`OwnerSet`]) plus the deferred-routing commit scratch.
+/// Private to one owner thread — never shared, never locked.
+///
+/// The contrast with the shared pipeline's [`Worker`] is *when the
+/// router runs*: `Worker` routes every combiner miss inline, threading
+/// a hash-map probe through the hot loop; `OwnerWorker` absorbs raw
+/// `(pair, weight)` entries and routes only at commit time, in one
+/// batched pass over the evicted list (one probe per *committed* entry,
+/// with the router's table hot in cache for the whole pass).
+struct OwnerWorker {
+    sets: Box<[OwnerSet]>,
+    /// `64 - log2(sets.len())`: the set-index shift.
+    shift: u32,
+    /// Evicted `(pair, weight)` entries awaiting a batched commit.
+    evicted: Vec<(u64, u64)>,
+    /// Slot of each evicted entry, filled by the commit's routing pass.
+    slots: Vec<u32>,
+    /// Counting-sort scratch, sized to the sink's slot count.
+    counts: Vec<usize>,
+    cursors: Vec<usize>,
+    runs: Vec<(u64, u64)>,
+}
+
+impl OwnerWorker {
+    fn new(n_slots: usize) -> Self {
+        Self {
+            sets: vec![EMPTY_OWNER_SET; 1 << SET_BITS].into_boxed_slice(),
+            shift: 64 - SET_BITS,
+            evicted: Vec::with_capacity(SHARD_COMMIT_LEN + DEFAULT_CHUNK),
+            slots: Vec::with_capacity(SHARD_COMMIT_LEN + DEFAULT_CHUNK),
+            counts: vec![0; n_slots],
+            cursors: Vec::with_capacity(n_slots),
+            runs: Vec::new(),
+        }
+    }
+
+    /// Absorb one raw stream chunk with prefetch lookahead (the fused
+    /// single-owner path: this thread is scatter and owner at once, so
+    /// arrivals come straight from the stream).
+    #[inline]
+    fn absorb_chunk(&mut self, chunk: &[StreamEdge]) {
+        // Split borrows once: `sets` and `evicted` are provably disjoint
+        // buffers inside the loop, so the eviction push can't force the
+        // set line to be re-read.
+        let sets = &mut self.sets;
+        let evicted = &mut self.evicted;
+        let shift = self.shift;
+        for (i, se) in chunk.iter().enumerate() {
+            if let Some(ahead) = chunk.get(i + PREFETCH_AHEAD) {
+                prefetch(&sets[set_index(edge_pair(ahead), shift)]);
+            }
+            if se.weight == 0 {
+                continue;
+            }
+            absorb_owner(sets, shift, evicted, edge_pair(se), se.weight);
+        }
+    }
+
+    /// Absorb one scattered owner batch with prefetch lookahead (the
+    /// owner-thread path; scatter already dropped zero weights).
+    #[inline]
+    fn absorb_batch(&mut self, batch: &[(u64, u64)]) {
+        let sets = &mut self.sets;
+        let evicted = &mut self.evicted;
+        let shift = self.shift;
+        for (i, &(pair, weight)) in batch.iter().enumerate() {
+            if let Some(&(ahead, _)) = batch.get(i + PREFETCH_AHEAD) {
+                prefetch(&sets[set_index(ahead, shift)]);
+            }
+            absorb_owner(sets, shift, evicted, pair, weight);
+        }
+    }
+
+    /// Route, counting-sort and commit the evicted list: one batched
+    /// routing pass fills `slots`, then each slot run goes through the
+    /// sink's exclusive span-commit (sound: this owner is the sole
+    /// writer of every slot its pairs route to).
+    fn commit_evicted<B: SlotSink>(&mut self, sink: &B) {
+        // Destructure into disjoint field borrows so the scratch-array
+        // writes below can't be assumed to alias each other.
+        let Self {
+            evicted,
+            slots,
+            counts,
+            cursors,
+            runs,
+            ..
+        } = self;
+        if evicted.is_empty() {
+            return;
+        }
+        counts.fill(0);
+        slots.clear();
+        for &(pair, _) in evicted.iter() {
+            // cast: u64 -> u32; the high half of the packed pair is the
+            // source vertex id, which is 32 bits by construction.
+            let slot = sink.slot_of(gstream::vertex::VertexId((pair >> 32) as u32));
+            slots.push(slot);
+            counts[slot as usize] += 1;
+        }
+        cursors.clear();
+        let mut acc = 0usize;
+        for &c in counts.iter() {
+            cursors.push(acc);
+            acc += c;
+        }
+        runs.clear();
+        runs.resize(evicted.len(), (0, 0));
+        for (&(pair, weight), &slot) in evicted.iter().zip(slots.iter()) {
+            let at = &mut cursors[slot as usize];
+            // The sketch key is derived here — once per committed entry,
+            // not once per arrival.
+            runs[*at] = (pair_key(pair), weight);
+            *at += 1;
+        }
+        let mut start = 0usize;
+        for (slot, &end) in cursors.iter().enumerate() {
+            if end > start {
+                // cast: usize -> u32; slot indices are bounded by the
+                // sink's slot count, which fits u32 (slot ids are u32).
+                sink.commit_run_exclusive(slot as u32, &runs[start..end]);
+            }
+            start = end;
+        }
+        evicted.clear();
+    }
+
+    /// Evict every live cache entry and commit everything: after this,
+    /// all absorbed arrivals are visible in the sink.
+    fn drain<B: SlotSink>(&mut self, sink: &B) {
+        let sets = &mut self.sets;
+        let evicted = &mut self.evicted;
+        for set in sets.iter_mut() {
+            for j in 0..4 {
+                if set.weights[j] != 0 {
+                    evicted.push((set.pairs[j], set.weights[j]));
+                    set.weights[j] = 0;
+                }
+            }
+        }
+        self.commit_evicted(sink);
+    }
+}
+
+/// Fold one (non-zero-weight) arrival into an owner combiner. Hits
+/// saturating-add into the resident line; misses displace the set's
+/// lightest way — the heaviest (hottest) entries are the ones that
+/// stay. No routing happens here; `sets` and `evicted` are passed as
+/// separate borrows so the optimizer knows they don't alias.
+#[inline]
+fn absorb_owner(
+    sets: &mut [OwnerSet],
+    shift: u32,
+    evicted: &mut Vec<(u64, u64)>,
+    pair: u64,
+    weight: u64,
+) {
+    let set = &mut sets[set_index(pair, shift)];
+    let p = &set.pairs;
+    let w = &set.weights;
+    let hit_mask = u32::from(p[0] == pair && w[0] != 0)
+        | u32::from(p[1] == pair && w[1] != 0) << 1
+        | u32::from(p[2] == pair && w[2] != 0) << 2
+        | u32::from(p[3] == pair && w[3] != 0) << 3;
+    if hit_mask != 0 {
+        let j = hit_mask.trailing_zeros() as usize;
+        set.weights[j] = set.weights[j].saturating_add(weight);
+        return;
+    }
+    let mut victim = 0usize;
+    for j in 1..4 {
+        victim = if set.weights[j] < set.weights[victim] {
+            j
+        } else {
+            victim
+        };
+    }
+    if set.weights[victim] != 0 {
+        evicted.push((set.pairs[victim], set.weights[victim]));
+    }
+    set.pairs[victim] = pair;
+    set.weights[victim] = weight;
+}
+
+impl std::fmt::Debug for OwnerWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OwnerWorker")
+            .field("cache_entries", &(self.sets.len() * 4))
+            .field("evicted", &self.evicted.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The owner-sharded ingest engine (DESIGN.md §11): a scatter stage on
+/// the calling thread routes each arrival once and hands per-owner
+/// `(pair, weight)` batches over bounded SPSC queues to owning workers.
+/// Each owner holds a **contiguous** slot range of the [`OwnerMap`] — a
+/// contiguous slice of the arena slab — combines locally through its
+/// own slot-less 4-way cache (`OwnerWorker`), and commits with
+/// [`SlotSink::commit_run_exclusive`] plain stores: the sole-writer
+/// path [`ParallelIngest::new_exclusive`] grants one worker is
+/// generalized to N disjoint slice owners, so the owner commit path has
+/// **no atomic RMWs at any thread count**. Owners first-touch their
+/// slice before absorbing ([`SlotSink::warm_slots`]), which a NUMA
+/// first-touch policy turns into local placement for free.
+///
+/// Like the exclusive pipeline, construction takes the sink by `&mut`:
+/// the borrow held for the engine's lifetime is the proof no outside
+/// writer exists, and the ownership map's disjoint ranges are the proof
+/// the owners don't race each other (the `sharded-ownership-race`
+/// harness demonstrates exactly what a violated map would lose).
+///
+/// With one effective owner there is no handoff at all: no scatter
+/// pass, no queue, **no spawned thread** — the calling thread is the
+/// owner, absorbing the stream in place and committing exclusively.
+/// Skipping the spawn matters more than it looks: `parallel/1t` runs
+/// its sole worker on a scoped thread while the caller blocks in the
+/// scope join, and the fused path's calling-thread loop plus the
+/// `OwnerWorker` absorb/commit discipline measure ≥ 1.15× over it on
+/// the single-core bench host — this is the `sharded/1t` configuration
+/// the ingest bench records against `parallel/1t`.
+#[derive(Debug)]
+pub struct ShardedIngest<'s, B: SlotSink = ConcurrentGSketch> {
+    sink: &'s B,
+    owners: usize,
+    chunk_capacity: usize,
+    oversubscribe: bool,
+}
+
+impl<'s, B: SlotSink> ShardedIngest<'s, B> {
+    /// An engine committing into `sink` from up to `owners` owning
+    /// workers (clamped to the host's available parallelism and to the
+    /// sink's slot count — an owner without slots would idle). The
+    /// exclusive borrow is held for the engine's lifetime; see the type
+    /// docs.
+    pub fn new(sink: &'s mut B, owners: usize) -> Self {
+        Self {
+            sink,
+            owners: owners.max(1),
+            chunk_capacity: DEFAULT_CHUNK,
+            oversubscribe: false,
+        }
+    }
+
+    /// Override the arrivals scattered per chunk (clamped to at least 1).
+    #[must_use]
+    pub fn chunk_capacity(mut self, capacity: usize) -> Self {
+        self.chunk_capacity = capacity.max(1);
+        self
+    }
+
+    /// Spawn exactly the requested owner count even beyond the host's
+    /// available parallelism (correctness tests on small machines; see
+    /// [`ParallelIngest::oversubscribe`]).
+    #[must_use]
+    pub fn oversubscribe(mut self, on: bool) -> Self {
+        self.oversubscribe = on;
+        self
+    }
+
+    /// Requested owner count (upper bound).
+    pub fn owners(&self) -> usize {
+        self.owners
+    }
+
+    /// The ownership map a run will use: requested owners, clamped to
+    /// the host (unless oversubscribed) and to the slot count.
+    pub fn owner_map(&self) -> OwnerMap {
+        OwnerMap::new(
+            self.sink.num_slots(),
+            clamp_workers(self.owners, self.oversubscribe),
+        )
+    }
+
+    /// Owner threads a run will actually use.
+    pub fn effective_owners(&self) -> usize {
+        self.owner_map().owners()
+    }
+
+    /// Ingest a materialized stream and return what was absorbed
+    /// (`workers` reports the effective owner count). For a
+    /// generator-backed source, materialize the stream first — scatter
+    /// reads it exactly once, in order.
+    pub fn run_slice(&mut self, stream: &[StreamEdge]) -> IngestReport {
+        let sink = self.sink;
+        let n_slots = sink.num_slots();
+        let map = self.owner_map();
+        let owners = map.owners();
+        let cap = self.chunk_capacity;
+        let mut chunks = 0u64;
+        if owners == 1 {
+            // Fused path: the calling thread is the sole owner — no
+            // scatter pass, no queue, no spawn (see the type docs).
+            let mut worker = OwnerWorker::new(n_slots);
+            for chunk in stream.chunks(cap) {
+                chunks += 1;
+                worker.absorb_chunk(chunk);
+                if worker.evicted.len() >= SHARD_COMMIT_LEN {
+                    worker.commit_evicted(sink);
+                }
+            }
+            worker.drain(sink);
+            return IngestReport {
+                arrivals: stream.len() as u64,
+                chunks,
+                workers: 1,
+            };
+        }
+        let queues: Vec<SpscQueue<OwnerBatch>> = (0..owners)
+            .map(|_| SpscQueue::with_capacity(OWNER_QUEUE_DEPTH))
+            .collect();
+        thread::scope(|scope| {
+            for (w, queue) in queues.iter().enumerate() {
+                // cast: usize -> u32; owner ids are < owners <= n_slots,
+                // which fits u32 (slot ids are u32).
+                let (lo, hi) = map.slot_range(w as u32);
+                scope.spawn(move || {
+                    sink.warm_slots(lo, hi);
+                    let mut worker = OwnerWorker::new(n_slots);
+                    loop {
+                        match queue.try_pop() {
+                            Some(batch) => {
+                                if batch.is_empty() {
+                                    break;
+                                }
+                                worker.absorb_batch(&batch);
+                                if worker.evicted.len() >= SHARD_COMMIT_LEN {
+                                    worker.commit_evicted(sink);
+                                }
+                            }
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                    worker.drain(sink);
+                });
+            }
+            // Scatter runs here, on the calling thread: the single
+            // producer of every owner queue. Each arrival is routed
+            // once, to pick its slot's owner; the slot itself stays
+            // behind (owners re-route at commit time, batched).
+            let mut batches: Vec<OwnerBatch> = vec![OwnerBatch::new(); owners];
+            for chunk in stream.chunks(cap) {
+                chunks += 1;
+                for se in chunk {
+                    if se.weight == 0 {
+                        continue;
+                    }
+                    let slot = sink.slot_of(se.edge.src);
+                    // cast: u32 -> usize is widening on every supported
+                    // target; owner ids are < owners = batches.len().
+                    batches[map.owner_of(slot) as usize].push((edge_pair(se), se.weight));
+                }
+                for (w, batch) in batches.iter_mut().enumerate() {
+                    if !batch.is_empty() {
+                        push_spin(&queues[w], std::mem::take(batch));
+                    }
+                }
+            }
+            for queue in &queues {
+                push_spin(queue, OwnerBatch::new());
+            }
+        });
+        IngestReport {
+            arrivals: stream.len() as u64,
+            chunks,
+            workers: owners,
+        }
+    }
+}
+
 impl<B: SlotSink> EdgeSink for ParallelIngest<'_, B> {
     fn update(&mut self, se: StreamEdge) {
         let sink = self.sink;
@@ -754,5 +1206,112 @@ mod tests {
         assert!(pipe.effective_threads() >= 1);
         pipe.run(&mut SliceSource::new(&stream));
         assert_eq!(c.total_weight(), 10);
+    }
+
+    /// The fused single-owner path (calling thread, no scatter, no
+    /// queue) commits exactly what the sequential ingest does.
+    #[test]
+    fn sharded_single_owner_matches_sequential() {
+        let stream = skewed_stream(20_000);
+        let sample = &stream[..2_000];
+        let build_seq = || {
+            GSketch::builder()
+                .memory_bytes(1 << 16)
+                .min_width(32)
+                .seed(7)
+                .build_from_sample(sample)
+                .unwrap()
+        };
+        let mut serial = build_seq();
+        serial.ingest(&stream);
+
+        let mut c = ConcurrentGSketch::from_gsketch(build_seq());
+        let report = ShardedIngest::new(&mut c, 1)
+            .chunk_capacity(1 << 10)
+            .run_slice(&stream);
+        assert_eq!(report.arrivals, 20_000);
+        assert_eq!(report.workers, 1);
+        assert!(report.chunks >= 20_000 / (1 << 10));
+        let sharded = c.into_gsketch();
+        for se in &stream {
+            assert_eq!(sharded.estimate(se.edge), serial.estimate(se.edge));
+        }
+        assert_eq!(sharded.total_weight(), serial.total_weight());
+    }
+
+    /// Multi-owner runs (scatter → SPSC handoff → exclusive owner
+    /// commits) stay bit-identical to sequential ingest for any owner
+    /// count, including more owners than the host has cores.
+    #[test]
+    fn sharded_multi_owner_matches_sequential() {
+        let stream = skewed_stream(20_000);
+        let sample = &stream[..2_000];
+        let build_seq = || {
+            GSketch::builder()
+                .memory_bytes(1 << 16)
+                .min_width(32)
+                .seed(7)
+                .build_from_sample(sample)
+                .unwrap()
+        };
+        let mut serial = build_seq();
+        serial.ingest(&stream);
+
+        for owners in [2usize, 4, 7] {
+            let mut c = ConcurrentGSketch::from_gsketch(build_seq());
+            let engine = ShardedIngest::new(&mut c, owners).oversubscribe(true);
+            assert_eq!(engine.owners(), owners);
+            let report = engine.chunk_capacity(1 << 9).run_slice(&stream);
+            assert_eq!(report.arrivals, 20_000);
+            assert!(report.workers >= 2, "{owners} owners clamped to one");
+            let sharded = c.into_gsketch();
+            for se in &stream {
+                assert_eq!(
+                    sharded.estimate(se.edge),
+                    serial.estimate(se.edge),
+                    "{owners} owners"
+                );
+            }
+            assert_eq!(sharded.total_weight(), serial.total_weight());
+        }
+    }
+
+    /// Requesting more owners than the sink has slots clamps to the
+    /// slot count; zero owners clamps to one; zero-weight arrivals are
+    /// identities; saturating weights commit exactly like the
+    /// sequential saturating path.
+    #[test]
+    fn sharded_edge_cases_match_sequential() {
+        let stream = skewed_stream(500);
+        let e = stream[0].edge;
+        let mut spiced = stream.clone();
+        spiced.push(StreamEdge::weighted(e, 500, 0)); // identity
+        spiced.push(StreamEdge::weighted(e, 501, u64::MAX / 2));
+        spiced.push(StreamEdge::weighted(e, 502, u64::MAX / 2)); // saturates
+        let sample = &stream[..100];
+        let build_seq = || {
+            GSketch::builder()
+                .memory_bytes(1 << 15)
+                .min_width(16)
+                .seed(5)
+                .build_from_sample(sample)
+                .unwrap()
+        };
+        let mut serial = build_seq();
+        serial.ingest(&spiced);
+
+        let mut c = ConcurrentGSketch::from_gsketch(build_seq());
+        let mut engine = ShardedIngest::new(&mut c, 0);
+        assert_eq!(engine.owners(), 1);
+        engine.run_slice(&spiced);
+        let sharded = c.into_gsketch();
+        for se in &spiced {
+            assert_eq!(sharded.estimate(se.edge), serial.estimate(se.edge));
+        }
+
+        let mut c2 = ConcurrentGSketch::from_gsketch(build_seq());
+        let engine = ShardedIngest::new(&mut c2, usize::MAX).oversubscribe(true);
+        let n_slots = engine.owner_map().num_slots();
+        assert!(engine.effective_owners() <= n_slots);
     }
 }

@@ -34,6 +34,34 @@
 
 use gstream::edge::StreamEdge;
 use gstream::source::EdgeSource;
+use gstream::vertex::VertexId;
+
+/// The routing view of a partitioned synopsis: a flat slot space and the
+/// §5 hash structure `H : V → S_i` mapping source vertices into it.
+///
+/// This is the half of [`SlotSink`](crate::pipeline::SlotSink) that the
+/// *read* path needs too: the owner-sharded engine derives one
+/// [`OwnerMap`](crate::router::OwnerMap) from `num_slots`, and both the
+/// scatter stage (writes) and the slot-routed parallel query (reads)
+/// group work by `slot_of` so each slot's cache lines are only ever
+/// touched by the slot's owner. Implementors: `GSketch<B>` (any
+/// backend) and `ConcurrentGSketch`.
+pub trait SlotRouted {
+    /// Total number of slots (partitions + outlier).
+    fn num_slots(&self) -> usize;
+
+    /// The flat slot responsible for edges emanating from `src`.
+    fn slot_of(&self, src: VertexId) -> u32;
+}
+
+impl<T: SlotRouted + ?Sized> SlotRouted for &T {
+    fn num_slots(&self) -> usize {
+        (**self).num_slots()
+    }
+    fn slot_of(&self, src: VertexId) -> u32 {
+        (**self).slot_of(src)
+    }
+}
 
 /// Anything that can absorb a graph stream, arrival by arrival or in
 /// contiguous batches.

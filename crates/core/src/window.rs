@@ -132,6 +132,94 @@ impl WindowedGSketch {
         Ok(())
     }
 
+    /// Ingest a materialized stream through the **owner-sharded engine**
+    /// (DESIGN.md §11), committing each window's counters from up to
+    /// `owners` exclusive slice owners while window rotation stays
+    /// sequential — the epoch-based handoff that lifts the windowed
+    /// deployment onto the parallel path.
+    ///
+    /// Windows are natural epochs: the stream is segmented at window
+    /// boundaries, each segment is committed by one
+    /// [`crate::ShardedIngest`] run into the open window, and a rotation
+    /// only happens *between* runs — the scope join at the end of a run
+    /// quiesces every owner, so the sealed window is frozen (no writer
+    /// can touch it again) before window N+1 opens. Reservoir offers are
+    /// replayed sequentially per epoch in arrival order with the same
+    /// RNG, so the sample handed to the next window's partitioner — and
+    /// therefore every later window's layout — is bit-identical to a
+    /// sequential [`try_insert`](Self::try_insert) loop; counter
+    /// parity holds because saturating addition commutes (pinned by the
+    /// `backend_parity` proptests). Timestamps must be non-decreasing,
+    /// exactly as for `try_insert`; `oversubscribe` forces the requested
+    /// owner count past the host's parallelism (correctness tests).
+    pub fn try_ingest_sharded(
+        &mut self,
+        stream: &[StreamEdge],
+        owners: usize,
+        oversubscribe: bool,
+    ) -> Result<crate::IngestReport, SketchError> {
+        let mut report = crate::IngestReport {
+            arrivals: 0,
+            chunks: 0,
+            workers: 1,
+        };
+        if stream.is_empty() {
+            return Ok(report);
+        }
+        // Recycled stand-in for the open window while its sketch is
+        // wrapped for the sharded run (swapped back out afterwards).
+        let mut spare = self
+            .builder
+            .memory_bytes(self.cfg.memory_bytes_per_window)
+            .build_from_sample(&[])?;
+        let mut rest = stream;
+        while !rest.is_empty() {
+            // Epoch = the maximal prefix landing in the open window.
+            let epoch_len = match self.current_start.checked_add(self.cfg.span) {
+                Some(boundary) => rest.partition_point(|se| se.ts < boundary),
+                // A window abutting u64::MAX never rotates again.
+                None => rest.len(),
+            };
+            if epoch_len == 0 {
+                // The next arrival starts at or past the boundary:
+                // rotate once, then jump over fully-empty gap windows
+                // (the same once-then-jump rule as `try_insert`).
+                self.rotate()?;
+                let ts = rest[0].ts;
+                let target = ts - ts % self.cfg.span;
+                if target > self.current_start {
+                    self.current_start = target;
+                }
+                continue;
+            }
+            let (epoch, tail) = rest.split_at(epoch_len);
+            rest = tail;
+            assert!(
+                epoch.iter().all(|se| se.ts >= self.current_start),
+                "timestamps must be non-decreasing across inserts"
+            );
+            // Counters: one sharded run into the open window. The scope
+            // join inside `run_slice` quiesces every owner before the
+            // swap back, so rotation below never races a writer.
+            let current = std::mem::replace(&mut self.current, spare);
+            let mut conc = crate::ConcurrentGSketch::from_gsketch(current);
+            let r = crate::ShardedIngest::new(&mut conc, owners)
+                .oversubscribe(oversubscribe)
+                .run_slice(epoch);
+            spare = std::mem::replace(&mut self.current, conc.into_gsketch());
+            report.arrivals += r.arrivals;
+            report.chunks += r.chunks;
+            report.workers = report.workers.max(r.workers);
+            // Sample: reservoir offers stay sequential — offer order
+            // drives the RNG, so this is what keeps later windows'
+            // partitionings bit-identical to the sequential path.
+            for se in epoch {
+                self.reservoir.offer(*se, &mut self.rng);
+            }
+        }
+        Ok(report)
+    }
+
     /// Seal the current window and open the next, partitioned from the
     /// just-collected reservoir sample. Only called when the current
     /// window's exclusive end fits in the timestamp domain (the caller
@@ -508,6 +596,58 @@ mod tests {
             assert_eq!(row.value, 0.0);
             assert_eq!(row.error_bound, 0.0);
             assert_eq!(row.confidence, 1.0);
+        }
+    }
+
+    /// The epoch-handoff sharded path — counters committed by exclusive
+    /// slice owners, rotations sequential at quiesced boundaries — must
+    /// be bit-identical to a sequential `try_insert` loop: same sealed
+    /// windows, same lifetime and interval answers (including the
+    /// fractional parts), across single- and multi-owner runs, window
+    /// rotations mid-stream, timestamp gaps, and calls split mid-window.
+    #[test]
+    fn sharded_ingest_matches_sequential() {
+        let stream: Vec<StreamEdge> = (0..650u64)
+            .map(|ts| {
+                let src = if ts % 3 == 0 { 1 } else { (ts % 23) as u32 };
+                StreamEdge::weighted(Edge::new(src, (ts % 7) as u32 + 50), ts, ts % 4 + 1)
+            })
+            // A gap wider than a window, then a far tail window.
+            .chain((0..40u64).map(|i| StreamEdge::unit(Edge::new(3u32, 4u32), 2_000 + i)))
+            .collect();
+        let edges: Vec<Edge> = stream.iter().map(|se| se.edge).collect();
+
+        let mut seq = WindowedGSketch::new(cfg(), builder()).unwrap();
+        for se in &stream {
+            seq.try_insert(*se).unwrap();
+        }
+        for owners in [1usize, 4] {
+            let mut par = WindowedGSketch::new(cfg(), builder()).unwrap();
+            // Split mid-window: engine state must carry across calls.
+            let report = par
+                .try_ingest_sharded(&stream[..350], owners, true)
+                .unwrap();
+            assert_eq!(report.arrivals, 350);
+            par.try_ingest_sharded(&stream[350..], owners, true)
+                .unwrap();
+            assert_eq!(
+                par.sealed_windows(),
+                seq.sealed_windows(),
+                "{owners} owners"
+            );
+            assert_eq!(par.current_window_start(), seq.current_window_start());
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            par.estimate_lifetime_batch(&edges, &mut a);
+            seq.estimate_lifetime_batch(&edges, &mut b);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{owners} owners");
+            }
+            par.estimate_interval_batch(&edges, 120, 410, &mut a);
+            seq.estimate_interval_batch(&edges, 120, 410, &mut b);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{owners} owners");
+            }
         }
     }
 

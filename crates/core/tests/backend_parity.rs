@@ -10,7 +10,7 @@
 use gsketch::{
     AdaptiveConfig, AdaptiveGSketch, CmArena, ConcurrentGSketch, CountMinSketch, CountSketch,
     EdgeEstimator, EdgeSink, GSketch, GSketchBuilder, GlobalSketch, ParallelIngest, ParallelQuery,
-    ReplayEngine, WindowConfig, WindowedGSketch,
+    ReplayEngine, ShardedIngest, WindowConfig, WindowedGSketch,
 };
 use gstream::edge::{Edge, StreamEdge};
 use gstream::SliceSource;
@@ -491,6 +491,212 @@ proptest! {
 
         check::<CmArena>(&stream, mid, depth, seed);
         check::<CountMinSketch>(&stream, mid, depth, seed);
+    }
+
+    /// The owner-sharded engine (scatter → SPSC handoff → per-owner
+    /// plain-store commits over disjoint arena slices, DESIGN.md §11) is
+    /// observationally identical to sequential ingest for any stream,
+    /// owner count, and chunk size, under real oversubscribed threads.
+    /// Pre-summed per-owner commits are exact addition in the
+    /// non-saturating regime, so parity is bit-for-bit.
+    #[test]
+    fn sharded_ingest_matches_sequential_ingest(
+        sample in vec((0u32..40, 0u32..40, 0u8..8), 1..120),
+        tail in vec((0u32..60, 0u32..60, 0u8..8), 0..200),
+        owners in 1usize..9,
+        chunk in 1usize..600,
+        depth in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let sample = stream_of(&sample);
+        let stream: Vec<StreamEdge> =
+            sample.iter().chain(&stream_of(&tail)).copied().collect();
+        let empty: GSketch<CmArena> = builder(1 << 13, depth, seed)
+            .build_from_sample_backend(&sample)
+            .unwrap();
+
+        let mut serial = empty.clone();
+        serial.ingest(&stream);
+
+        let mut concurrent = ConcurrentGSketch::from_gsketch(empty);
+        let report = ShardedIngest::new(&mut concurrent, owners)
+            .chunk_capacity(chunk)
+            .oversubscribe(true)
+            .run_slice(&stream);
+        prop_assert_eq!(report.arrivals as usize, stream.len());
+        let sharded = concurrent.into_gsketch();
+
+        for se in &stream {
+            prop_assert_eq!(sharded.estimate(se.edge), serial.estimate(se.edge));
+        }
+        // Collision-only keys must agree too (same cells, same layout).
+        for v in 0..60u32 {
+            let e = Edge::new(v, 999u32);
+            prop_assert_eq!(sharded.estimate(e), serial.estimate(e));
+        }
+        prop_assert_eq!(sharded.total_weight(), serial.total_weight());
+        prop_assert_eq!(sharded.outlier_weight(), serial.outlier_weight());
+        prop_assert_eq!(sharded.partition_loads(), serial.partition_loads());
+    }
+
+    /// The slot-routed read path answers bit-identically to the
+    /// sequential batch on **every backend**: counting-sorting a query
+    /// batch by router slot and fanning owner-aligned spans out over
+    /// real oversubscribed threads regroups independent per-edge
+    /// answers, nothing more (DESIGN.md §11).
+    #[test]
+    fn routed_queries_match_sequential_batch(
+        sample in vec((0u32..40, 0u32..40, 0u8..8), 1..80),
+        tail in vec((0u32..60, 0u32..60, 0u8..8), 0..120),
+        dup in 1usize..4,
+        threads in 1usize..9,
+        shuffle_seed in any::<u64>(),
+        depth in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let sample = stream_of(&sample);
+        let stream: Vec<StreamEdge> =
+            sample.iter().chain(&stream_of(&tail)).copied().collect();
+        let mut queries: Vec<Edge> = Vec::new();
+        for se in &stream {
+            for _ in 0..dup {
+                queries.push(se.edge);
+            }
+        }
+        for v in 0..20u32 {
+            queries.push(Edge::new(v, 999u32)); // absent probes
+        }
+        shuffle_edges(&mut queries, shuffle_seed);
+
+        fn check<B: gsketch::FrequencySketch>(
+            sample: &[StreamEdge],
+            stream: &[StreamEdge],
+            queries: &[Edge],
+            threads: usize,
+            depth: usize,
+            seed: u64,
+        ) where
+            GSketch<B>: Sync,
+        {
+            let mut gs: GSketch<B> = GSketch::builder()
+                .memory_bytes(1 << 13)
+                .depth(depth)
+                .min_width(16)
+                .seed(seed)
+                .build_from_sample_backend(sample)
+                .unwrap();
+            gs.ingest(stream);
+            let mut sequential = Vec::new();
+            gs.estimate_edges(queries, &mut sequential);
+            let pq = ParallelQuery::new(&gs, threads).oversubscribe(true);
+            let mut routed = Vec::new();
+            pq.estimate_edges_routed(queries, &mut routed);
+            assert_eq!(routed, sequential, "routed read path diverged");
+        }
+
+        check::<CmArena>(&sample, &stream, &queries, threads, depth, seed);
+        check::<CountMinSketch>(&sample, &stream, &queries, threads, depth, seed);
+        check::<CountSketch>(&sample, &stream, &queries, threads, depth, seed);
+    }
+
+    /// Windowed epoch handoff: sharded ingest with rotations mid-stream
+    /// (including a split *inside* a window, so one window's arrivals
+    /// arrive across two sharded calls) seals the same windows, keeps
+    /// the same reservoir-driven partitionings, and answers every
+    /// lifetime and interval query bit-identically to the sequential
+    /// deployment (DESIGN.md §11).
+    #[test]
+    fn sharded_windowed_ingest_matches_sequential(
+        arrivals in vec((0u32..30, 0u32..30, 0u8..8), 2..200),
+        span in 5u64..60,
+        owners in 1usize..7,
+        split_frac in 0.0f64..1.0,
+        t_a in 0u64..260,
+        t_b in 0u64..260,
+        seed in any::<u64>(),
+    ) {
+        let stream = stream_of(&arrivals);
+        let cfg = WindowConfig {
+            span,
+            memory_bytes_per_window: 1 << 12,
+            sample_capacity: 32,
+            seed,
+        };
+        let mut serial =
+            WindowedGSketch::new(cfg, GSketch::builder().min_width(16)).unwrap();
+        serial.ingest(&stream);
+
+        let mut sharded =
+            WindowedGSketch::new(cfg, GSketch::builder().min_width(16)).unwrap();
+        let mid = ((stream.len() as f64) * split_frac) as usize;
+        sharded.try_ingest_sharded(&stream[..mid], owners, true).unwrap();
+        sharded.try_ingest_sharded(&stream[mid..], owners, true).unwrap();
+
+        prop_assert_eq!(sharded.sealed_windows(), serial.sealed_windows());
+        prop_assert_eq!(sharded.current_window_start(), serial.current_window_start());
+        let mut queries: Vec<Edge> = stream.iter().map(|se| se.edge).collect();
+        for v in 0..10u32 {
+            queries.push(Edge::new(v, 555u32));
+        }
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        sharded.estimate_edges_f64(&queries, &mut a);
+        serial.estimate_edges_f64(&queries, &mut b);
+        for (&x, &y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "lifetime estimate diverged");
+        }
+        let (t_start, t_end) = (t_a.min(t_b), t_a.max(t_b));
+        sharded.estimate_interval_batch(&queries, t_start, t_end, &mut a);
+        serial.estimate_interval_batch(&queries, t_start, t_end, &mut b);
+        for (&x, &y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "interval estimate diverged");
+        }
+    }
+
+    /// Adaptive warm-up switchover under sharded ingest: the
+    /// order-dependent warm-up prefix replays sequentially inside
+    /// `ingest_sharded` (the switchover fires exactly where it always
+    /// did), so for any stream, warm-up length, and split point — before,
+    /// at, or after the switchover — the deployment is bit-identical to
+    /// sequential ingest under real oversubscribed threads.
+    #[test]
+    fn sharded_adaptive_ingest_matches_sequential(
+        arrivals in vec((0u32..40, 0u32..40, 0u8..8), 2..250),
+        warmup_frac in 0.0f64..1.0,
+        split_frac in 0.0f64..1.0,
+        owners in 1usize..7,
+        seed in any::<u64>(),
+    ) {
+        let stream = stream_of(&arrivals);
+        let warmup = (((stream.len() as f64) * warmup_frac) as u64).max(1);
+        let cfg = AdaptiveConfig {
+            memory_bytes: 1 << 13,
+            warmup_arrivals: warmup,
+            warmup_memory_fraction: 0.15,
+            depth: 2,
+            min_width: 16,
+            expected_growth: (stream.len() as f64 / warmup as f64).max(1.0),
+            seed,
+            ..AdaptiveConfig::default()
+        };
+        let mut serial = AdaptiveGSketch::new(cfg).unwrap();
+        serial.ingest(&stream);
+
+        let mut sharded = AdaptiveGSketch::new(cfg).unwrap();
+        let mid = ((stream.len() as f64) * split_frac) as usize;
+        sharded.ingest_sharded(&stream[..mid], owners, true);
+        sharded.ingest_sharded(&stream[mid..], owners, true);
+
+        prop_assert_eq!(sharded.num_partitions(), serial.num_partitions());
+        let mut queries: Vec<Edge> = stream.iter().map(|se| se.edge).collect();
+        for v in 0..10u32 {
+            queries.push(Edge::new(v, 777u32));
+        }
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        sharded.estimate_edges(&queries, &mut a);
+        serial.estimate_edges(&queries, &mut b);
+        prop_assert_eq!(a, b, "adaptive estimates diverged");
     }
 }
 

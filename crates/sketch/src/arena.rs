@@ -687,6 +687,37 @@ impl AtomicCmArena {
         self.cells.len() * std::mem::size_of::<u64>()
     }
 
+    /// First-touch every cell and total of slots `lo..hi` (half-open)
+    /// from the calling thread. Owner-sharded ingest has each owner call
+    /// this for its contiguous slot range before absorbing arrivals: on
+    /// a NUMA machine with a first-touch page policy the owner's slice
+    /// then lands on the owner's node, and on any machine the pages are
+    /// faulted in and warm before the hot loop starts. Each touch is a
+    /// plain read-back store, so the counters' values are unchanged;
+    /// the caller must be the sole writer of the range (the same
+    /// contract as [`add_batch_saturating_exclusive`]), which owner
+    /// sharding guarantees by construction.
+    ///
+    /// [`add_batch_saturating_exclusive`]: Self::add_batch_saturating_exclusive
+    pub fn touch_slot_range(&self, lo: u32, hi: u32) {
+        let (lo, hi) = (lo as usize, (hi as usize).min(self.spans.len()));
+        if lo >= hi {
+            return;
+        }
+        let start = self.spans[lo].offset;
+        let end = self.spans[hi - 1].offset + self.spans[hi - 1].width * self.depth;
+        for cell in &self.cells[start..end] {
+            // ordering: Relaxed — a value-preserving read-back store by
+            // the range's sole writer; nothing is published and no other
+            // thread writes these cells (owner-sharding contract).
+            cell.store(cell.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        for t in &self.totals[lo..hi] {
+            // ordering: Relaxed — same sole-writer read-back as above.
+            t.store(t.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+
     /// Thaw back into the sequential arena (requires exclusive ownership,
     /// so no updates can be in flight).
     pub fn into_arena(self) -> CmArena {
@@ -878,6 +909,31 @@ mod tests {
         }
         assert_eq!(seq.slot_total(0), back.slot_total(0));
         assert_eq!(seq.slot_total(0), back_ex.slot_total(0));
+    }
+
+    #[test]
+    fn touch_slot_range_preserves_every_counter() {
+        let mut arena = CmArena::with_slots(&[32, 16, 8], 3, 5).unwrap();
+        for k in 0..200u64 {
+            arena.update_slot((k % 3) as u32, k, k % 7 + 1);
+        }
+        let expected: Vec<u64> = (0..200u64)
+            .map(|k| arena.estimate_slot((k % 3) as u32, k))
+            .collect();
+        let totals: Vec<u64> = (0..3u32).map(|s| arena.slot_total(s)).collect();
+        let atomic = arena.into_atomic();
+        atomic.touch_slot_range(0, 2);
+        atomic.touch_slot_range(2, 3);
+        // Out-of-range and empty ranges are no-ops.
+        atomic.touch_slot_range(2, 99);
+        atomic.touch_slot_range(1, 1);
+        let back = atomic.into_arena();
+        for k in 0..200u64 {
+            assert_eq!(back.estimate_slot((k % 3) as u32, k), expected[k as usize]);
+        }
+        for s in 0..3u32 {
+            assert_eq!(back.slot_total(s), totals[s as usize]);
+        }
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! / `std::thread` directly. In a normal build the re-exports below
 //! *are* the std items (zero cost, zero behavioral change; the type
 //! aliases compile away). Under `--features check` the same names
-//! resolve to instrumented stand-ins from [`model`]: cells that hand
+//! resolve to instrumented stand-ins from `model` (a module that only
+//! exists under that feature): cells that hand
 //! control to a deterministic, seeded, preemption-bounded scheduler at
 //! every shared-memory access, and a `thread::scope` whose spawned
 //! threads register with that scheduler. The `xtask check` harnesses
@@ -34,6 +35,8 @@ pub use model::AtomicU64;
 
 #[cfg(feature = "check")]
 pub mod model;
+
+pub mod spsc;
 
 /// Scoped-thread surface: std's [`std::thread::scope`] in normal
 /// builds, the scheduler-registered wrapper under `check`.

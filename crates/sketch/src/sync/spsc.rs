@@ -1,0 +1,203 @@
+//! A bounded single-producer/single-consumer queue over the [`sync`
+//! shim seam](super) (DESIGN.md §11).
+//!
+//! This is the handoff channel of the owner-sharded ingest pipeline:
+//! the scatter stage (sole producer) pushes per-owner batches, the
+//! owning worker (sole consumer) pops them. The SPSC restriction is
+//! what makes the protocol RMW-free: the producer is the only writer
+//! of `tail` and the consumer the only writer of `head`, so each side
+//! publishes its own cursor with a plain store and reads the other
+//! side's with a plain load — no compare-exchange, no fetch-add.
+//!
+//! Because both cursors live behind [`super::AtomicU64`], the whole
+//! protocol runs under the deterministic model scheduler in `xtask
+//! check` (the `spsc-queue` harness drives [`try_push`]/[`try_pop`]
+//! across real scheduler-registered threads), and in normal builds the
+//! shim compiles down to bare std atomics.
+//!
+//! [`try_push`]: SpscQueue::try_push
+//! [`try_pop`]: SpscQueue::try_pop
+
+use super::{AtomicU64, Ordering};
+use std::cell::UnsafeCell;
+
+/// A bounded SPSC queue. Exactly one thread may push and exactly one
+/// thread may pop (they may be the same thread); this is the caller's
+/// contract, stated here because the cell accesses below are justified
+/// by it.
+#[derive(Debug)]
+pub struct SpscQueue<T> {
+    slots: Box<[UnsafeCell<Option<T>>]>,
+    /// Next slot the consumer will pop (monotone pop count). Written
+    /// only by the consumer.
+    head: AtomicU64,
+    /// Next slot the producer will fill (monotone push count). Written
+    /// only by the producer.
+    tail: AtomicU64,
+}
+
+// SAFETY: each `UnsafeCell` slot is held by at most one thread at a
+// time — the producer owns `[tail, head + capacity)`, the consumer
+// `[head, tail)`, and a side only learns about a slot via an Acquire
+// load of the cursor the other side Released after finishing with it.
+// `T: Send` suffices: values move across the queue, never get shared.
+unsafe impl<T: Send> Sync for SpscQueue<T> {}
+
+impl<T> SpscQueue<T> {
+    /// A queue holding at most `capacity` items (clamped to at least 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            slots: (0..capacity).map(|_| UnsafeCell::new(None)).collect(),
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of items the queue can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Producer side: append `item`, or hand it back if the queue is
+    /// full. Must only be called from the single producer thread.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        // ordering: Relaxed — the producer is the only writer of
+        // `tail`, so its own last store is always visible to it.
+        let tail = self.tail.load(Ordering::Relaxed);
+        // ordering: Acquire — pairs with the consumer's Release store
+        // of `head` in `try_pop`: once we observe the consumer past a
+        // slot, its read of that slot's previous value happened-before
+        // this load, so overwriting the cell below cannot race it.
+        let head = self.head.load(Ordering::Acquire);
+        if tail - head >= self.slots.len() as u64 {
+            return Err(item);
+        }
+        // cast: u64 -> usize; reduced modulo the slot count, so the
+        // index is always in range.
+        let at = (tail % self.slots.len() as u64) as usize;
+        // SAFETY: `head <= tail < head + capacity` was just checked, so
+        // slot `at` is in the producer-owned region `[tail, head +
+        // capacity)` — the consumer cannot touch it until it observes
+        // the Release store of `tail + 1` below (see the `Sync` impl).
+        unsafe { *self.slots[at].get() = Some(item) };
+        // ordering: Release — publishes the slot write above to the
+        // consumer's Acquire load of `tail` in `try_pop`.
+        self.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Consumer side: take the oldest item, or `None` if the queue is
+    /// empty. Must only be called from the single consumer thread.
+    pub fn try_pop(&self) -> Option<T> {
+        // ordering: Relaxed — the consumer is the only writer of
+        // `head`, so its own last store is always visible to it.
+        let head = self.head.load(Ordering::Relaxed);
+        // ordering: Acquire — pairs with the producer's Release store
+        // of `tail` in `try_push`: observing `tail` past this slot
+        // makes the producer's slot write visible before the read
+        // below.
+        let tail = self.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // cast: u64 -> usize; reduced modulo the slot count, so the
+        // index is always in range.
+        let at = (head % self.slots.len() as u64) as usize;
+        // SAFETY: `head < tail`, so slot `at` is in the consumer-owned
+        // region `[head, tail)` — the producer filled it before its
+        // Release store of `tail` and will not rewrite it until it
+        // observes the Release store of `head + 1` below.
+        let item = unsafe { (*self.slots[at].get()).take() };
+        debug_assert!(item.is_some(), "SPSC protocol violation: empty slot");
+        // ordering: Release — publishes the slot take above to the
+        // producer's Acquire load of `head` in `try_push`, so the slot
+        // may be refilled.
+        self.head.store(head + 1, Ordering::Release);
+        item
+    }
+
+    /// Number of items currently queued (exact only when called from
+    /// the producer or consumer thread; a best-effort snapshot
+    /// otherwise).
+    pub fn len(&self) -> u64 {
+        // ordering: Acquire on both cursors — see try_push/try_pop;
+        // a snapshot for progress accounting, not synchronization.
+        self.tail.load(Ordering::Acquire) - self.head.load(Ordering::Acquire)
+    }
+
+    /// Whether the queue is empty (same snapshot semantics as
+    /// [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = SpscQueue::with_capacity(4);
+        assert!(q.is_empty());
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.try_push(99), Err(99));
+        for i in 0..4 {
+            assert_eq!(q.try_pop(), Some(i));
+        }
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let q = SpscQueue::with_capacity(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(7).unwrap();
+        assert_eq!(q.try_push(8), Err(8));
+        assert_eq!(q.try_pop(), Some(7));
+    }
+
+    #[test]
+    fn wraps_around_the_ring() {
+        let q = SpscQueue::with_capacity(2);
+        for round in 0..10u64 {
+            q.try_push(round).unwrap();
+            assert_eq!(q.try_pop(), Some(round));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn threaded_handoff_is_lossless() {
+        const N: u64 = 10_000;
+        let q = SpscQueue::with_capacity(8);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..N {
+                    let mut item = i;
+                    while let Err(back) = q.try_push(item) {
+                        item = back;
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            s.spawn(|| {
+                let mut expect = 0u64;
+                while expect < N {
+                    match q.try_pop() {
+                        Some(v) => {
+                            assert_eq!(v, expect, "FIFO order violated");
+                            expect += 1;
+                        }
+                        None => std::thread::yield_now(),
+                    }
+                }
+            });
+        });
+        assert!(q.is_empty());
+    }
+}

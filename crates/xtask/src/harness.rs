@@ -28,6 +28,7 @@
 use gsketch::{ConcurrentGSketch, EdgeSink, GSketch, GlobalSketch, ParallelIngest, ReplayEngine};
 use gstream::edge::{Edge, StreamEdge};
 use sketch::sync::model::{check, choose, Config, Mode, Report};
+use sketch::sync::spsc::SpscQueue;
 use sketch::CmArena;
 
 /// One harness execution: its name/mode and the exploration report.
@@ -241,7 +242,170 @@ pub fn replay_invalidation_body() {
 }
 
 // ---------------------------------------------------------------------
-// H5: the seeded exclusive-writer violation.
+// H5: SPSC queue handoff (DESIGN.md §11).
+// ---------------------------------------------------------------------
+
+/// Contract: the load/store-only SPSC protocol is lossless and FIFO —
+/// under every interleaving of one producer and one consumer over a
+/// ring smaller than the push script, the values popped (during the
+/// race plus a post-join drain) are exactly the pushed prefix, in
+/// order. This is the handoff channel of the owner-sharded pipeline's
+/// scatter stage.
+pub fn spsc_queue_body() {
+    let q = SpscQueue::with_capacity(2);
+    let mut pushed = 0u64;
+    let mut popped: Vec<u64> = Vec::new();
+    sketch::sync::thread::scope(|s| {
+        s.spawn(|| {
+            // Push until the ring back-pressures; a failed push ends
+            // the script (bounded — never a spin).
+            for v in 1..=3u64 {
+                if q.try_push(v).is_err() {
+                    break;
+                }
+                pushed += 1;
+            }
+        });
+        s.spawn(|| {
+            for _ in 0..3 {
+                if let Some(v) = q.try_pop() {
+                    popped.push(v);
+                }
+            }
+        });
+    });
+    // Post-join drain: whatever the consumer's tries missed must still
+    // be queued, in order.
+    while let Some(v) = q.try_pop() {
+        popped.push(v);
+    }
+    let expect: Vec<u64> = (1..=pushed).collect();
+    assert_eq!(popped, expect, "SPSC handoff lost or reordered items");
+}
+
+// ---------------------------------------------------------------------
+// H6: scatter → owner exclusive commits (DESIGN.md §11).
+// ---------------------------------------------------------------------
+
+/// Contract: the ownership invariant of the sharded engine — each owner
+/// pops its own SPSC queue and commits **plain stores** into its own
+/// slot — keeps concurrent owners lossless, because their slot counter
+/// ranges are disjoint. The queues are pre-filled by the scatter stage
+/// (its own interleavings are H5's subject), so every pop succeeds and
+/// the bodies stay finite.
+pub fn sharded_ownership_body() {
+    const KEYS: [u64; 2] = [5, 9];
+    let arena = CmArena::with_slots(&[4, 4], 2, 7)
+        .expect("fixture arena dims are valid")
+        .into_atomic();
+    let queues = [SpscQueue::with_capacity(2), SpscQueue::with_capacity(2)];
+    // Scatter: owner 0 owns slot 0, owner 1 owns slot 1.
+    for (owner, weight) in [(0usize, 1u64), (1, 2), (0, 3), (1, 4)] {
+        queues[owner]
+            .try_push((KEYS[owner], weight))
+            .expect("queues are sized for the script");
+    }
+    sketch::sync::thread::scope(|s| {
+        for (owner, queue) in queues.iter().enumerate() {
+            let arena = &arena;
+            s.spawn(move || {
+                for _ in 0..2 {
+                    if let Some((key, w)) = queue.try_pop() {
+                        // cast: usize -> u32; owner ids are 0 or 1.
+                        arena.add_batch_saturating_exclusive(owner as u32, &[(key, w)]);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(arena.slot_total(0), 4, "owner 0 lost an exclusive commit");
+    assert_eq!(arena.slot_total(1), 6, "owner 1 lost an exclusive commit");
+    assert_eq!(arena.estimate_slot(0, KEYS[0]), 4, "slot 0 cell diverged");
+    assert_eq!(arena.estimate_slot(1, KEYS[1]), 6, "slot 1 cell diverged");
+}
+
+// ---------------------------------------------------------------------
+// H7: epoch handoff freeze/advance (DESIGN.md §11).
+// ---------------------------------------------------------------------
+
+/// Contract: the windowed deployment's epoch handoff — freeze window N
+/// at a quiesced boundary, ingest window N+1 — means a reader racing
+/// epoch N+1's owner sees epoch N's counters **frozen** (the scope join
+/// at the boundary quiesced its writers) while epoch N+1's are
+/// monotone; after the join, both epochs hold exactly their own mass.
+pub fn epoch_handoff_body() {
+    const KEY: u64 = 5;
+    let epoch_n = CmArena::with_slots(&[4], 2, 7)
+        .expect("fixture arena dims are valid")
+        .into_atomic();
+    // Epoch N: its sole owner commits exclusively, then quiesces (the
+    // scope join is the epoch boundary).
+    sketch::sync::thread::scope(|s| {
+        s.spawn(|| epoch_n.add_batch_saturating_exclusive(0, &[(KEY, 2)]));
+    });
+    let frozen = epoch_n.estimate_slot(0, KEY);
+    assert_eq!(frozen, 2, "epoch N lost its own commit");
+    // Epoch N+1 ingests while a lifetime reader spans both epochs.
+    let epoch_n1 = CmArena::with_slots(&[4], 2, 9)
+        .expect("fixture arena dims are valid")
+        .into_atomic();
+    sketch::sync::thread::scope(|s| {
+        s.spawn(|| epoch_n1.add_batch_saturating_exclusive(0, &[(KEY, 3)]));
+        s.spawn(|| {
+            let live_a = epoch_n1.estimate_slot(0, KEY);
+            assert_eq!(
+                epoch_n.estimate_slot(0, KEY),
+                frozen,
+                "frozen epoch moved under a live reader"
+            );
+            let live_b = epoch_n1.estimate_slot(0, KEY);
+            assert!(live_b >= live_a, "live epoch went backwards");
+        });
+    });
+    assert_eq!(epoch_n.estimate_slot(0, KEY), 2, "frozen epoch drifted");
+    assert_eq!(epoch_n1.estimate_slot(0, KEY), 3, "live epoch lost mass");
+}
+
+// ---------------------------------------------------------------------
+// H8: the seeded ownership violation.
+// ---------------------------------------------------------------------
+
+/// Deliberate contract violation: a (buggy) ownership map that hands
+/// two owners **overlapping** slot ranges — both pop their queues and
+/// commit slot 0 through the plain-store exclusive path. The checker
+/// must find the lost update that the disjoint-range invariant exists
+/// to prevent; this proves the tool can catch exactly the bug class
+/// the ownership map is load-bearing for.
+pub fn sharded_ownership_race_body() {
+    const KEY: u64 = 5;
+    let arena = CmArena::with_slots(&[4], 2, 7)
+        .expect("fixture arena dims are valid")
+        .into_atomic();
+    let queues = [SpscQueue::with_capacity(1), SpscQueue::with_capacity(1)];
+    for q in &queues {
+        q.try_push((KEY, 1u64))
+            .expect("queues are sized for the script");
+    }
+    sketch::sync::thread::scope(|s| {
+        for queue in &queues {
+            let arena = &arena;
+            s.spawn(move || {
+                if let Some((key, w)) = queue.try_pop() {
+                    // Both "owners" commit slot 0: the ranges overlap.
+                    arena.add_batch_saturating_exclusive(0, &[(key, w)]);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        arena.slot_total(0),
+        2,
+        "overlapping ownership lost an update"
+    );
+}
+
+// ---------------------------------------------------------------------
+// H9: the seeded exclusive-writer violation.
 // ---------------------------------------------------------------------
 
 /// Deliberate contract violation: two concurrent writers on the
@@ -316,9 +480,33 @@ pub fn run_all(seed: u64, schedules: usize) -> Vec<HarnessRun> {
             expect_violation: false,
         },
         HarnessRun {
+            name: "spsc-queue",
+            mode: "dfs",
+            report: check(&dfs(dfs_budget), spsc_queue_body),
+            expect_violation: false,
+        },
+        HarnessRun {
+            name: "sharded-ownership",
+            mode: "dfs",
+            report: check(&dfs(dfs_budget), sharded_ownership_body),
+            expect_violation: false,
+        },
+        HarnessRun {
+            name: "epoch-handoff",
+            mode: "dfs",
+            report: check(&dfs(dfs_budget), epoch_handoff_body),
+            expect_violation: false,
+        },
+        HarnessRun {
             name: "exclusive-writer-race",
             mode: "dfs",
             report: check(&dfs(dfs_budget), exclusive_writer_race_body),
+            expect_violation: true,
+        },
+        HarnessRun {
+            name: "sharded-ownership-race",
+            mode: "dfs",
+            report: check(&dfs(dfs_budget), sharded_ownership_race_body),
             expect_violation: true,
         },
     ];
@@ -326,6 +514,8 @@ pub fn run_all(seed: u64, schedules: usize) -> Vec<HarnessRun> {
         ("arena-counters", arena_counters_body as fn()),
         ("concurrent-gsketch", concurrent_gsketch_body as fn()),
         ("pipeline-cursor", pipeline_cursor_body as fn()),
+        ("spsc-queue", spsc_queue_body as fn()),
+        ("sharded-ownership", sharded_ownership_body as fn()),
     ] {
         runs.push(HarnessRun {
             name,

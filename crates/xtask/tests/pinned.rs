@@ -59,6 +59,54 @@ fn sequential_baseline_of_the_racy_harness_is_clean() {
     assert_eq!(replay(&[], harness::exclusive_writer_race_body), None);
 }
 
+/// The decision trace under which two owners with deliberately
+/// **overlapping** slot ranges lose an update on the plain-store
+/// exclusive path: the preemption at decision index 9 parks one owner
+/// between its cell load and store while the other runs its full
+/// load/add/store cycle against the stale value. This is the seeded
+/// violation of the ownership map's disjoint-range invariant
+/// (DESIGN.md §11).
+const OWNERSHIP_RACE_SCHEDULE: &[u8] = &[0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+
+#[test]
+fn seeded_ownership_violation_is_found() {
+    let report = check(&Config::default(), harness::sharded_ownership_race_body);
+    let v = report
+        .violation
+        .expect("the checker must catch the seeded ownership violation");
+    assert!(
+        v.message.contains("overlapping ownership lost an update"),
+        "unexpected violation message: {}",
+        v.message
+    );
+    assert_eq!(
+        v.schedule, OWNERSHIP_RACE_SCHEDULE,
+        "DFS found the violation under a different schedule — scheduler \
+         semantics changed; re-derive the pinned trace"
+    );
+}
+
+#[test]
+fn pinned_ownership_race_replays_to_the_same_failure() {
+    let failure = replay(
+        OWNERSHIP_RACE_SCHEDULE,
+        harness::sharded_ownership_race_body,
+    )
+    .expect("the pinned schedule must still lose the update");
+    assert!(
+        failure.contains("overlapping ownership lost an update"),
+        "replayed to a different failure: {failure}"
+    );
+}
+
+/// The racy ownership harness is clean when run sequentially — the lost
+/// update is a pure interleaving artifact, exactly the class of bug the
+/// disjoint ownership map removes by construction.
+#[test]
+fn sequential_baseline_of_the_ownership_race_is_clean() {
+    assert_eq!(replay(&[], harness::sharded_ownership_race_body), None);
+}
+
 /// Exhaustive schedule counts are deterministic; a drift means the
 /// fixture or the scheduler changed and every pin needs re-deriving.
 #[test]
@@ -77,6 +125,9 @@ fn exhaustive_schedule_counts_are_pinned() {
             harness::replay_invalidation_body,
             12870,
         ),
+        ("spsc-queue", harness::spsc_queue_body, 119),
+        ("sharded-ownership", harness::sharded_ownership_body, 686),
+        ("epoch-handoff", harness::epoch_handoff_body, 86),
     ] {
         let report = check(&cfg, body);
         assert!(report.violation.is_none(), "{name}: {:?}", report.violation);
