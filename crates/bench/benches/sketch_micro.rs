@@ -149,6 +149,28 @@ fn record_trajectory() {
         black_box(out.last().copied());
     });
 
+    // The blocked Bloom pre-filter kernel (DESIGN.md §12) at the size
+    // the 64 MiB configuration carves for it (1/16 → 4 MiB): one
+    // cache-line block per membership probe, scalar loop vs
+    // `contains_batch` over the identical key sequence. Half the probe
+    // keys are inserted so both branch outcomes are exercised.
+    let mut bloom = sketch::BlockedBloom::with_blocks(&[(4 << 20) / 64], 7).unwrap();
+    for &k in keys.iter().step_by(2) {
+        bloom.insert(0, k);
+    }
+    let bloom_scalar = rate_of(READ_KEYS as u64, || {
+        let mut hits = 0u64;
+        for &k in &keys {
+            hits = hits.wrapping_add(u64::from(bloom.contains(0, black_box(k))));
+        }
+        black_box(hits);
+    });
+    let mut mask = Vec::with_capacity(keys.len());
+    let bloom_batched = rate_of(READ_KEYS as u64, || {
+        bloom.contains_batch(0, black_box(&keys), &mut mask);
+        black_box(mask.last().copied());
+    });
+
     let read_row = |name: &str, rate: f64| Rates::sequential(name, 0.0, rate);
     record_section(
         "sketch_micro",
@@ -158,11 +180,14 @@ fn record_trajectory() {
             Rates::sequential("gsketch/cm-arena/1MiB", gs_updates, gs_estimates),
             read_row("cm-arena/64MiB/scalar-reads", arena_scalar),
             read_row("cm-arena/64MiB/batched-reads", arena_batched),
+            read_row("prefilter/4MiB/scalar-probes", bloom_scalar),
+            read_row("prefilter/4MiB/batched-probes", bloom_batched),
         ],
     );
     println!(
-        "trajectory: countmin {cm_updates:.0} u/s, gsketch {gs_updates:.0} u/s, arena reads scalar {arena_scalar:.0} vs batched {arena_batched:.0} q/s ({:.2}x) → {}",
+        "trajectory: countmin {cm_updates:.0} u/s, gsketch {gs_updates:.0} u/s, arena reads scalar {arena_scalar:.0} vs batched {arena_batched:.0} q/s ({:.2}x), prefilter probes scalar {bloom_scalar:.0} vs batched {bloom_batched:.0} q/s ({:.2}x) → {}",
         arena_batched / arena_scalar,
+        bloom_batched / bloom_scalar,
         gsketch_bench::trajectory::bench_file().display()
     );
 }

@@ -267,8 +267,95 @@ fn smoke_query(threads: usize, arrivals: usize, n_queries: usize, memory_kb: usi
         pq.effective_threads(),
     );
 
+    smoke_prefilter(&stream, n_queries);
     smoke_replay_cache(&stream, &queries);
     smoke_windowed_replay(&stream);
+}
+
+/// Pre-filter leg (DESIGN.md §12): with the blocked Bloom filter on,
+/// absent keys must short-circuit to exactly 0 (or fall through to the
+/// identical unfiltered answer on a false positive) and present keys
+/// must answer bit-identically to the unfiltered read path, across a
+/// sweep of absent-key fractions. Uses a dedicated build whose filter
+/// is sized for the stream's distinct-key count so the short-circuit
+/// actually engages; absent probes keep real sources (so they route to
+/// real partitions) with destinations above the stream's id range.
+/// Prints the filtered/unfiltered timing ratio per fraction so a
+/// filter regression is visible in the CI log.
+fn smoke_prefilter(stream: &[gstream::StreamEdge], n_queries: usize) {
+    use std::time::Instant;
+    let sample = &stream[..stream.len() / 20];
+    let mut gs = GSketch::builder()
+        .memory_bytes(8 << 20)
+        .depth(3)
+        .min_width(64)
+        .sample_rate(0.05)
+        .seed(7)
+        .build_from_sample(sample)
+        .expect("valid build");
+    gs.ingest(stream);
+    assert!(gs.prefilter_enabled(), "smoke build lost its pre-filter");
+    let mut unfiltered = gs.clone();
+    unfiltered.set_prefilter(false);
+    let mut x = 0xFACEu64;
+    let mut on = Vec::new();
+    let mut off = Vec::new();
+    // Warm both read paths once so the timed passes compare steady
+    // state rather than cold caches.
+    let warmup: Vec<gstream::Edge> = stream.iter().step_by(3).map(|se| se.edge).collect();
+    gs.estimate_edges(&warmup, &mut on);
+    unfiltered.estimate_edges(&warmup, &mut off);
+    for frac in [0usize, 50, 90] {
+        let mut queries = Vec::with_capacity(n_queries);
+        for i in 0..n_queries {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let present = stream[(x >> 16) as usize % stream.len()].edge;
+            // The first `frac`% of the batch reuses a real source (so
+            // routing lands on a real partition) with a destination far
+            // above the stream's id range — provably never ingested.
+            queries.push(if i * 100 < frac * n_queries {
+                gstream::Edge::new(present.src, 2_000_000 + (x >> 40) as u32)
+            } else {
+                present
+            });
+        }
+        let t0 = Instant::now();
+        gs.estimate_edges(&queries, &mut on);
+        let on_t = t0.elapsed();
+        let t1 = Instant::now();
+        unfiltered.estimate_edges(&queries, &mut off);
+        let off_t = t1.elapsed();
+        let mut absent = 0usize;
+        let mut zeroed = 0usize;
+        for (i, (&a, &b)) in on.iter().zip(&off).enumerate() {
+            if i * 100 < frac * n_queries {
+                // A false positive falls through to the counters and
+                // must then answer exactly like the unfiltered path.
+                assert!(
+                    a == 0 || a == b,
+                    "absent key answered {a} with the filter on vs {b} off"
+                );
+                absent += 1;
+                zeroed += usize::from(a == 0);
+            } else {
+                assert_eq!(a, b, "present key diverged with the filter on");
+            }
+        }
+        // On a filter sized for the stream, false positives are rare:
+        // the short circuit must catch the overwhelming majority.
+        assert!(
+            zeroed * 10 >= absent * 9,
+            "short circuit engaged on only {zeroed} of {absent} absent keys"
+        );
+        println!(
+            "prefilter smoke: {frac}% absent — filtered {:.1}ms vs unfiltered {:.1}ms ({:.2}x), {zeroed}/{absent} absent keys short-circuited — OK",
+            on_t.as_secs_f64() * 1e3,
+            off_t.as_secs_f64() * 1e3,
+            off_t.as_secs_f64() / on_t.as_secs_f64().max(1e-12),
+        );
+    }
 }
 
 /// Cached-vs-uncached replay bit-compare under interleaved writes: a

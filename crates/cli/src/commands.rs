@@ -13,7 +13,9 @@ use gstream::gen::{
     RmatGenerator, RmatTrafficConfig, RmatTrafficGenerator, SmallWorldConfig, SmallWorldGenerator,
 };
 use gstream::sample::sample_iter;
-use gstream::workload::{uniform_distinct_queries, zipf_edge_queries, ZipfRank};
+use gstream::workload::{
+    inject_absent_queries, uniform_distinct_queries, zipf_edge_queries, ZipfRank,
+};
 use gstream::{
     load_stream, save_queries, save_stream, Edge, ExactCounter, QueryFileSource, StreamEdge,
     VarianceStats, VertexId, WorkloadQuery,
@@ -66,10 +68,13 @@ USAGE:
       (--threads > 1 ingests through the owner-sharded engine — each
        worker owns a contiguous slot range; requires the arena backend)
   gsketch query <snapshot> <src> <dst> [<src> <dst> ...] [--stream FILE]
+      [--prefilter on|off]
       (--stream adds exact ground truth next to each estimate;
-       the snapshot's synopsis backend is detected automatically)
+       the snapshot's synopsis backend is detected automatically;
+       --prefilter off bypasses the zero-frequency pre-filter, so
+       absent keys report collision noise instead of exact zeros)
   gsketch query <snapshot> --workload FILE [--stream FILE] [--threads N] [--chunk N]
-      [--cache on|off] [--detailed on|off] [--show K]
+      [--cache on|off] [--detailed on|off] [--show K] [--prefilter on|off]
       (replays a query-workload file — one `src dst` query per line —
        through the batched engine, fronted by the hot-answer replay
        cache unless --cache off; --threads fans miss batches out over
@@ -84,9 +89,13 @@ USAGE:
        inclusive `src dst t_start t_end` columns; every query reports
        its interval estimate with a confidence interval; --threads
        ingests each window epoch through the owner-sharded engine)
-  gsketch workload <stream-file> --out FILE [--queries N] [--zipf A] [--seed S]
+  gsketch workload <stream-file> --out FILE [--queries N] [--zipf A]
+      [--absent F] [--seed S]
       (draws a query workload over the stream's distinct edges: uniform
-       by default, Zipf(A) by frequency rank with --zipf)
+       by default, Zipf(A) by frequency rank with --zipf; --absent F
+       replaces fraction F of the queries with never-ingested pairs —
+       the sparse workload the zero-frequency pre-filter answers
+       without touching a counter)
   gsketch compare <stream-file> --memory SIZE [--queries N] [--depth D] [--seed S]
       [--backend arena|countmin|countsketch] [--threads N]
   gsketch adaptive <stream-file> --memory SIZE [--warmup N] [--queries N] [--seed S]
@@ -383,6 +392,16 @@ impl AnySnapshot {
             _ => Ok(AnySnapshot::Arena(Box::new(
                 raw.decode_gsketch().map_err(run_err)?,
             ))),
+        }
+    }
+
+    /// Toggle read-side use of the zero-frequency pre-filter (the
+    /// `--prefilter` flag). A no-op on snapshots built without one.
+    fn set_prefilter(&mut self, on: bool) {
+        match self {
+            AnySnapshot::Arena(g) => g.set_prefilter(on),
+            AnySnapshot::CountMin(g) => g.set_prefilter(on),
+            AnySnapshot::CountSketch(g) => g.set_prefilter(on),
         }
     }
 
@@ -747,6 +766,7 @@ fn cmd_query<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
             "cache",
             "detailed",
             "show",
+            "prefilter",
             "window-span",
             "window-memory",
             "seed",
@@ -784,6 +804,15 @@ fn cmd_query<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
                     .into(),
             )));
         }
+        // The windowed synopsis is built fresh from the stream, not
+        // loaded from a snapshot whose filter could be toggled.
+        if a.get("prefilter").is_some() {
+            return Err(CliError::Args(ArgError(
+                "--prefilter toggles a loaded snapshot's pre-filter; \
+                 it does not apply with --window-span"
+                    .into(),
+            )));
+        }
         return replay_windowed_workload(&a, snapshot_path, workload_path, out);
     }
     // Flags only the windowed replay consumes must not be silently
@@ -806,7 +835,9 @@ fn cmd_query<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
             }
         }
     }
-    let sketch = AnySnapshot::load(snapshot_path)?;
+    let mut sketch = AnySnapshot::load(snapshot_path)?;
+    sketch.set_prefilter(parse_switch(&a, "prefilter", true)?);
+    let sketch = sketch;
     let truth = match a.get("stream") {
         Some(p) => Some(ExactCounter::from_stream(&load_stream(p).map_err(run_err)?)),
         None => None,
@@ -847,7 +878,10 @@ fn cmd_query<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
 /// with `--zipf` (the paper's §6.3/§6.4 query-set constructions), saved
 /// in the `src dst` per-line format `query --workload` replays.
 fn cmd_workload<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
-    let a = ParsedArgs::parse(raw.iter().cloned(), &["out", "queries", "zipf", "seed"])?;
+    let a = ParsedArgs::parse(
+        raw.iter().cloned(),
+        &["out", "queries", "zipf", "absent", "seed"],
+    )?;
     let stream_path = a.positional(0, "stream-file")?;
     let path: String = a.require("out")?;
     let n_queries: usize = a.get_or("queries", 10_000)?;
@@ -860,6 +894,23 @@ fn cmd_workload<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
         ));
     }
     let mut rng = StdRng::seed_from_u64(seed);
+    // Validate --absent up front, like --zipf: the injector's domain is
+    // a library assert, and a bad fraction must be a CLI error, not a
+    // panic (`--absent 1`, `--absent -0.5`, `--absent nan` all parse).
+    let absent_frac = match a.get("absent") {
+        Some(frac) => {
+            let frac: f64 = frac
+                .parse()
+                .map_err(|e| CliError::Args(ArgError(format!("bad value for `--absent`: {e}"))))?;
+            if !((0.0..1.0).contains(&frac) && frac.is_finite()) {
+                return Err(CliError::Args(ArgError(format!(
+                    "--absent fraction must be in [0, 1), got {frac}"
+                ))));
+            }
+            frac
+        }
+        None => 0.0,
+    };
     let (queries, how) = match a.get("zipf") {
         Some(alpha) => {
             let alpha: f64 = alpha
@@ -883,10 +934,12 @@ fn cmd_workload<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
             "uniform".to_owned(),
         ),
     };
+    let mut queries = queries;
+    let n_absent = inject_absent_queries(&truth, &mut queries, absent_frac, &mut rng);
     save_queries(&path, &queries).map_err(run_err)?;
     writeln!(
         out,
-        "wrote {} edge queries ({how} over {} distinct edges) to {path}",
+        "wrote {} edge queries ({how} over {} distinct edges, {n_absent} absent) to {path}",
         queries.len(),
         truth.distinct_edges()
     )
@@ -1406,6 +1459,94 @@ mod tests {
             .and_then(|v| v.parse().ok())
             .unwrap();
         assert!(hits > 0, "{cached}");
+    }
+
+    /// `workload --absent` injects never-ingested pairs (validated like
+    /// `--zipf`), and `query --prefilter` toggles the read-side filter:
+    /// absent queries answer exactly zero with it on, so the estimate
+    /// sum can only drop relative to the unfiltered replay.
+    #[test]
+    fn absent_workload_and_prefilter_toggle() {
+        let stream = tmp("absent.txt");
+        run(&[
+            "generate",
+            "erdos",
+            "--out",
+            &stream,
+            "--arrivals",
+            "5000",
+            "--vertices",
+            "100",
+        ])
+        .unwrap();
+        let snap = tmp("absent.snapshot.json");
+        run(&["build", &stream, "--memory", "64K", "--out", &snap]).unwrap();
+        let wl = tmp("absent.queries.txt");
+        let gen = run(&[
+            "workload",
+            &stream,
+            "--out",
+            &wl,
+            "--queries",
+            "400",
+            "--absent",
+            "0.5",
+        ])
+        .unwrap();
+        assert!(gen.contains("200 absent"), "{gen}");
+        let sum_of = |text: &str| -> f64 {
+            text.lines()
+                .find(|l| l.starts_with("estimate sum"))
+                .and_then(|l| l.split([' ', ',']).nth(2))
+                .and_then(|v| v.parse().ok())
+                .unwrap()
+        };
+        let on = run(&["query", &snap, "--workload", &wl, "--cache", "off"]).unwrap();
+        let off = run(&[
+            "query",
+            &snap,
+            "--workload",
+            &wl,
+            "--cache",
+            "off",
+            "--prefilter",
+            "off",
+        ])
+        .unwrap();
+        assert!(
+            sum_of(&on) <= sum_of(&off),
+            "filtered sum exceeds unfiltered: {on} vs {off}"
+        );
+        // Bad fractions are CLI errors naming the flag, like --zipf.
+        for bad in ["1", "1.5", "-0.1", "nan"] {
+            let e = run(&[
+                "workload",
+                &stream,
+                "--out",
+                &wl,
+                "--queries",
+                "10",
+                "--absent",
+                bad,
+            ])
+            .unwrap_err();
+            assert!(e.to_string().contains("--absent"), "{bad}: {e}");
+        }
+        // Bad switch values and incompatible combos name the flag too.
+        let e = run(&["query", &snap, "1", "2", "--prefilter", "maybe"]).unwrap_err();
+        assert!(e.to_string().contains("--prefilter"), "{e}");
+        let e = run(&[
+            "query",
+            &stream,
+            "--workload",
+            &wl,
+            "--window-span",
+            "1000",
+            "--prefilter",
+            "on",
+        ])
+        .unwrap_err();
+        assert!(e.to_string().contains("--prefilter"), "{e}");
     }
 
     /// --detailed replays through the detailed batch: per-query

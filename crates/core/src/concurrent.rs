@@ -19,7 +19,7 @@ use crate::router::{Router, SketchId};
 use crate::sink::{EdgeSink, SlotRouted};
 use gstream::edge::{Edge, StreamEdge};
 use gstream::vertex::VertexId;
-use sketch::AtomicCmArena;
+use sketch::{AtomicBlockedBloom, AtomicCmArena};
 
 /// A thread-safe gSketch supporting shared-reference ingest over the
 /// default arena backend.
@@ -29,33 +29,78 @@ pub struct ConcurrentGSketch {
     router: Router,
     plan: PartitionPlan,
     depth: usize,
+    /// Zero-frequency pre-filter in its lock-free form; membership is
+    /// maintained on every commit surface (DESIGN.md §12).
+    filter: Option<AtomicBlockedBloom>,
+    /// Whether reads consult the filter (mirrors the sequential toggle).
+    filter_reads: bool,
 }
 
 impl ConcurrentGSketch {
     /// Freeze a built [`GSketch`] into a concurrent one.
     pub fn from_gsketch(g: GSketch) -> Self {
-        let (bank, router, plan, depth) = g.into_parts();
+        let (bank, router, plan, depth, filter, filter_reads) = g.into_parts();
         Self {
             bank: bank.into_atomic(),
             router,
             plan,
             depth,
+            filter: filter.map(sketch::BlockedBloom::into_atomic),
+            filter_reads,
+        }
+    }
+
+    /// The pre-filter, if reads should consult it.
+    #[inline]
+    fn read_filter(&self) -> Option<&AtomicBlockedBloom> {
+        if self.filter_reads {
+            self.filter.as_ref()
+        } else {
+            None
         }
     }
 
     /// Estimate the aggregate frequency of an edge. Lock-free; sees every
-    /// update that happened-before the call.
+    /// update that happened-before the call. Keys the pre-filter has
+    /// never seen answer exactly `0` without touching a counter row.
     pub fn estimate(&self, edge: Edge) -> u64 {
         let slot = self.router.slot(edge.src);
-        self.bank.estimate_slot(slot, edge.key())
+        let key = edge.key();
+        if let Some(f) = self.read_filter() {
+            if !f.contains(slot, key) {
+                return 0;
+            }
+        }
+        self.bank.estimate_slot(slot, key)
     }
 
     /// Answer a whole query batch, counting-sorted by router slot and
     /// probed through the atomic arena's batched read kernel — the same
     /// slot-grouped discipline as [`GSketch::estimate_batch`], callable
     /// from any thread concurrently with ingest (each answer sees every
-    /// update that happened-before the call).
+    /// update that happened-before the call). With the pre-filter on,
+    /// each slot run is first screened through the batched membership
+    /// kernel and only surviving keys reach the counters.
     pub fn estimate_batch(&self, edges: &[Edge], out: &mut Vec<u64>) {
+        if let Some(f) = self.read_filter() {
+            let mut mask = Vec::new();
+            crate::query::estimate_batch_by_slot(
+                edges,
+                self.bank.num_slots(),
+                |src| self.router.slot(src),
+                |slot, keys, vals| {
+                    f.contains_batch(slot, keys, &mut mask);
+                    crate::gsketch::filtered_run(
+                        &mask,
+                        keys,
+                        |ks, vs| self.bank.estimate_batch_slot(slot, ks, vs),
+                        vals,
+                    );
+                },
+                out,
+            );
+            return;
+        }
         crate::query::estimate_batch_by_slot(
             edges,
             self.bank.num_slots(),
@@ -86,7 +131,14 @@ impl ConcurrentGSketch {
     /// Thaw back into a sequential [`GSketch`]. Requires exclusive
     /// ownership, so no updates can be in flight.
     pub fn into_gsketch(self) -> GSketch {
-        GSketch::from_parts(self.bank.into_arena(), self.router, self.plan, self.depth)
+        GSketch::from_parts(
+            self.bank.into_arena(),
+            self.router,
+            self.plan,
+            self.depth,
+            self.filter.map(AtomicBlockedBloom::into_bloom),
+            self.filter_reads,
+        )
     }
 }
 
@@ -104,7 +156,11 @@ impl EdgeSink for &ConcurrentGSketch {
     #[inline]
     fn update(&mut self, se: StreamEdge) {
         let slot = self.router.slot(se.edge.src);
-        self.bank.update_slot(slot, se.edge.key(), se.weight);
+        let key = se.edge.key();
+        if let Some(f) = &self.filter {
+            f.insert(slot, key);
+        }
+        self.bank.update_slot(slot, key, se.weight);
     }
 }
 
@@ -139,11 +195,20 @@ impl SlotRouted for ConcurrentGSketch {
 impl SlotSink for ConcurrentGSketch {
     #[inline]
     fn commit_run(&self, slot: u32, sorted_run: &[(u64, u64)]) {
+        if let Some(f) = &self.filter {
+            f.insert_run(slot, sorted_run);
+        }
         self.bank.add_batch_saturating(slot, sorted_run);
     }
 
     #[inline]
     fn commit_run_exclusive(&self, slot: u32, sorted_run: &[(u64, u64)]) {
+        if let Some(f) = &self.filter {
+            // Sound under the same contract as the counter path: the
+            // caller owns this slot exclusively, and the filter's blocks
+            // are slot-partitioned just like the arena's spans.
+            f.insert_run_exclusive(slot, sorted_run);
+        }
         self.bank.add_batch_saturating_exclusive(slot, sorted_run);
     }
 

@@ -17,7 +17,74 @@ use crate::partition::{partition, Objective, PartitionConfig, PartitionPlan, Wid
 use crate::router::{Router, SketchId};
 use crate::vstats::SampleStats;
 use gstream::edge::{Edge, StreamEdge};
-use sketch::{CmArena, CountMinSketch, FrequencySketch, SketchBank, SketchError};
+use sketch::{BlockedBloom, CmArena, CountMinSketch, FrequencySketch, SketchBank, SketchError};
+
+/// Fraction of the memory budget carved out for the zero-frequency
+/// pre-filter (DESIGN.md §12): `1/PREFILTER_SHARE` of `memory_bytes`.
+/// The carve happens *before* counter cells are sized, so filter bytes
+/// are charged against the same `--memory` budget as the counters.
+const PREFILTER_SHARE: usize = 16;
+
+/// Answer one slot run of point queries through a membership mask:
+/// absent keys (mask `false`) are answered `0` without touching a
+/// counter row; present keys are gathered, probed through `probe` in
+/// one batched kernel pass, and scattered back. When every key is
+/// present the run is passed through untouched, so present-key answers
+/// are bit-identical to the unfiltered path (per-key estimates do not
+/// depend on batch grouping).
+pub(crate) fn filtered_run(
+    mask: &[bool],
+    keys: &[u64],
+    probe: impl FnOnce(&[u64], &mut Vec<u64>),
+    out: &mut Vec<u64>,
+) {
+    // A mixed mask is adversarial for the branch predictor (an absent
+    // fraction near 50% is a coin flip per key), so every pass below is
+    // written mask-as-arithmetic rather than mask-as-branch.
+    // cast: bool -> usize, exactly 0 or 1.
+    let absent: usize = mask.iter().map(|&m| !m as usize).sum();
+    if absent == 0 {
+        probe(keys, out);
+        return;
+    }
+    // Sparse absence: probing the full run and zeroing the few absent
+    // answers afterwards is cheaper than a gather/scatter round trip,
+    // and the absent answers are still exactly 0.
+    if absent * 8 < keys.len() {
+        probe(keys, out);
+        for (o, &m) in out.iter_mut().zip(mask) {
+            // cast: bool -> u64, exactly 0 or 1; zeroes absent answers.
+            *o *= m as u64;
+        }
+        return;
+    }
+    // Branch-free gather: write every key at the cursor, advance only on
+    // present ones — an absent key's slot is overwritten by the next
+    // present key, and the tail past the cursor is truncated away.
+    let mut present: Vec<u64> = vec![0; keys.len()];
+    let mut j = 0;
+    for (&k, &m) in keys.iter().zip(mask) {
+        present[j] = k;
+        // cast: bool -> usize, exactly 0 or 1.
+        j += m as usize;
+    }
+    present.truncate(j);
+    let mut vals = Vec::with_capacity(present.len() + 1);
+    probe(&present, &mut vals);
+    // Sentinel so the branch-free scatter can always read `vals[j]`:
+    // once the cursor passes the last present value, absent keys read
+    // the sentinel and multiply it by 0.
+    vals.push(0);
+    out.clear();
+    out.reserve(keys.len());
+    let mut j = 0;
+    out.extend(mask.iter().map(|&m| {
+        let v = vals[j];
+        // cast: bool -> usize / u64, exactly 0 or 1.
+        j += m as usize;
+        v * m as u64
+    }));
+}
 
 /// Builder-style configuration for a [`GSketch`].
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +98,7 @@ pub struct GSketchBuilder {
     sample_rate: f64,
     allocation: WidthAllocation,
     outlier_profile: Option<(u64, u64)>,
+    prefilter: bool,
     seed: u64,
 }
 
@@ -46,6 +114,7 @@ impl Default for GSketchBuilder {
             sample_rate: 1.0,
             allocation: WidthAllocation::Optimal,
             outlier_profile: None,
+            prefilter: true,
             seed: 0x6_5EED,
         }
     }
@@ -108,6 +177,17 @@ impl GSketchBuilder {
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Whether to build the zero-frequency pre-filter (DESIGN.md §12):
+    /// a blocked Bloom filter carved from the same memory budget that
+    /// short-circuits never-ingested keys to an exact `0` before any
+    /// counter row is read. On by default; turning it off returns the
+    /// whole budget to the counters (the ablation/bench configuration).
+    #[must_use]
+    pub fn prefilter(mut self, on: bool) -> Self {
+        self.prefilter = on;
         self
     }
 
@@ -271,7 +351,10 @@ impl GSketchBuilder {
             });
         }
         stats.extrapolate(self.sample_rate);
-        let total_cells = CountMinSketch::cells_for_bytes(self.memory_bytes);
+        // The pre-filter is paid for out of the same budget, so the
+        // counter cells are sized over what the filter leaves behind —
+        // `--memory` stays an honest bound on counters + filter.
+        let total_cells = CountMinSketch::cells_for_bytes(self.counter_bytes());
         let total_width = total_cells / self.depth.max(1);
         if total_width < 4 {
             return Err(SketchError::InvalidDimension {
@@ -343,12 +426,32 @@ impl GSketchBuilder {
         self.materialize(plan, outlier_width, None)
     }
 
+    /// Bytes reserved for the pre-filter (0 when disabled).
+    fn filter_budget(&self) -> usize {
+        if self.prefilter {
+            self.memory_bytes / PREFILTER_SHARE
+        } else {
+            0
+        }
+    }
+
+    /// Bytes left for counter cells after the filter carve.
+    fn counter_bytes(&self) -> usize {
+        self.memory_bytes - self.filter_budget()
+    }
+
     /// Materialize the synopsis bank from a finished plan: partition
     /// slots first (in leaf order), the outlier slot last, everything
     /// sharing one hash family seeded from the builder seed. If the
     /// sample was empty the outlier absorbs the whole budget. A router
     /// already built from this plan's vertex grouping may be passed in
     /// to avoid rebuilding it (leaf *widths* do not affect routing).
+    ///
+    /// This is the single funnel every build path ends in, so the
+    /// pre-filter is constructed here: blocks distributed over the same
+    /// slot layout, proportionally to slot widths, within the reserved
+    /// byte carve. A budget too small to give every slot its one-block
+    /// floor skips the filter rather than overshooting `memory_bytes`.
     fn materialize<B: FrequencySketch>(
         self,
         plan: PartitionPlan,
@@ -363,11 +466,18 @@ impl GSketchBuilder {
             .collect();
         let bank = B::Bank::build(&widths, self.depth, self.seed)?;
         let router = router.unwrap_or_else(|| Router::from_plan(&plan));
+        let filter = if self.prefilter {
+            BlockedBloom::for_widths(&widths, self.filter_budget(), self.seed)
+        } else {
+            None
+        };
         Ok(GSketch {
             bank,
             router,
             plan,
             depth: self.depth,
+            filter,
+            filter_reads: true,
         })
     }
 }
@@ -457,6 +567,13 @@ pub struct GSketch<B: FrequencySketch = CmArena> {
     router: Router,
     plan: PartitionPlan,
     depth: usize,
+    /// The zero-frequency pre-filter (DESIGN.md §12), slot-partitioned
+    /// like the bank; `None` when disabled or the budget was too small.
+    filter: Option<BlockedBloom>,
+    /// Read-side toggle: membership is always *maintained* while the
+    /// filter exists, but reads only consult it when this is set — the
+    /// CLI's `--prefilter off` compares answers on identical state.
+    filter_reads: bool,
 }
 
 // The vendored serde derive cannot express the `B::Bank: Serialize`
@@ -464,22 +581,35 @@ pub struct GSketch<B: FrequencySketch = CmArena> {
 // generate for the four fields.
 impl<B: FrequencySketch> serde::Serialize for GSketch<B> {
     fn to_value(&self) -> serde::Value {
-        serde::Value::Map(vec![
+        let mut fields = vec![
             ("bank".to_owned(), self.bank.to_value()),
             ("router".to_owned(), self.router.to_value()),
             ("plan".to_owned(), self.plan.to_value()),
             ("depth".to_owned(), self.depth.to_value()),
-        ])
+        ];
+        // The filter key is present exactly when the filter is: older
+        // snapshots (and filter-less builds) simply omit it, so the
+        // format version is unchanged.
+        if let Some(f) = &self.filter {
+            fields.push(("filter".to_owned(), f.to_value()));
+        }
+        serde::Value::Map(fields)
     }
 }
 
 impl<B: FrequencySketch> serde::Deserialize for GSketch<B> {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let filter = match serde::value_field(v, "filter") {
+            Ok(fv) => Some(serde::Deserialize::from_value(fv)?),
+            Err(_) => None,
+        };
         let g = Self {
             bank: serde::Deserialize::from_value(serde::value_field(v, "bank")?)?,
             router: serde::Deserialize::from_value(serde::value_field(v, "router")?)?,
             plan: serde::Deserialize::from_value(serde::value_field(v, "plan")?)?,
             depth: serde::Deserialize::from_value(serde::value_field(v, "depth")?)?,
+            filter,
+            filter_reads: true,
         };
         // The fields decode independently, so a corrupted or hand-edited
         // snapshot could pair a router with a bank of a different slot
@@ -498,6 +628,15 @@ impl<B: FrequencySketch> serde::Deserialize for GSketch<B> {
                 g.depth,
                 g.bank.depth()
             )));
+        }
+        if let Some(f) = &g.filter {
+            if f.num_slots() != g.bank.num_slots() {
+                return Err(serde::Error(format!(
+                    "pre-filter covers {} slots but the synopsis bank has {}",
+                    f.num_slots(),
+                    g.bank.num_slots()
+                )));
+            }
         }
         Ok(g)
     }
@@ -551,7 +690,11 @@ impl<B: FrequencySketch> crate::EdgeSink for GSketch<B> {
     #[inline]
     fn update(&mut self, se: StreamEdge) {
         let slot = self.router.slot(se.edge.src);
-        self.bank.update(slot, se.edge.key(), se.weight);
+        let key = se.edge.key();
+        if let Some(f) = &mut self.filter {
+            f.insert(slot, key);
+        }
+        self.bank.update(slot, key, se.weight);
     }
 
     fn ingest_batch(&mut self, batch: &[StreamEdge]) {
@@ -580,19 +723,43 @@ impl<B: FrequencySketch> crate::EdgeSink for GSketch<B> {
         }
         for (slot, (&start, &count)) in starts.iter().zip(&counts).enumerate() {
             if count > 0 {
-                self.bank
-                    .add_batch(slot as u32, &grouped[start..start + count]);
+                let run = &grouped[start..start + count];
+                // cast: usize -> u32; slot counts come from the router,
+                // which addresses slots as u32.
+                if let Some(f) = &mut self.filter {
+                    f.insert_run(slot as u32, run);
+                }
+                self.bank.add_batch(slot as u32, run);
             }
         }
     }
 }
 
 impl<B: FrequencySketch> GSketch<B> {
-    /// Estimate the aggregate frequency `f̃(x, y)` of an edge.
+    /// The active read-side filter, if any.
+    #[inline]
+    fn read_filter(&self) -> Option<&BlockedBloom> {
+        if self.filter_reads {
+            self.filter.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Estimate the aggregate frequency `f̃(x, y)` of an edge. A key the
+    /// pre-filter proves was never ingested answers exactly `0` without
+    /// reading a counter row (DESIGN.md §12); present keys answer
+    /// exactly as they would without the filter.
     #[inline]
     pub fn estimate(&self, edge: Edge) -> u64 {
         let slot = self.router.slot(edge.src);
-        self.bank.estimate(slot, edge.key())
+        let key = edge.key();
+        if let Some(f) = self.read_filter() {
+            if !f.contains(slot, key) {
+                return 0;
+            }
+        }
+        self.bank.estimate(slot, key)
     }
 
     /// Answer a whole query batch: the read-side mirror of
@@ -604,7 +771,31 @@ impl<B: FrequencySketch> GSketch<B> {
     /// is overwritten with one estimate per edge, in query order;
     /// answers are bit-identical to [`estimate`](Self::estimate) per
     /// edge (pinned by the `backend_parity` proptests).
+    /// With the pre-filter active each slot run is first tested through
+    /// one [`BlockedBloom::contains_batch`] pass (one cache line per
+    /// distinct key): absent keys are answered `0` without touching a
+    /// counter row, and only the surviving keys flow through the
+    /// counter kernel — present-key answers stay bit-identical.
     pub fn estimate_batch(&self, edges: &[Edge], out: &mut Vec<u64>) {
+        if let Some(f) = self.read_filter() {
+            let mut mask = Vec::new();
+            crate::query::estimate_batch_by_slot(
+                edges,
+                self.bank.num_slots(),
+                |src| self.router.slot(src),
+                |slot, keys, vals| {
+                    f.contains_batch(slot, keys, &mut mask);
+                    filtered_run(
+                        &mask,
+                        keys,
+                        |ks, vs| self.bank.estimate_batch(slot, ks, vs),
+                        vals,
+                    );
+                },
+                out,
+            );
+            return;
+        }
         crate::query::estimate_batch_by_slot(
             edges,
             self.bank.num_slots(),
@@ -618,9 +809,22 @@ impl<B: FrequencySketch> GSketch<B> {
     /// (the CountMin attributes of Equation 1; for a `CountSketch`
     /// backend the bound is the conservative L1 form, not the tighter L2
     /// bound that backend actually obeys).
+    /// A key the pre-filter proves absent reports value `0` with error
+    /// bound `0.0` — the answer is exact, not a one-sided estimate —
+    /// while keeping the answering slot's confidence and identity.
     pub fn estimate_detailed(&self, edge: Edge) -> Estimate {
         let slot = self.router.slot(edge.src);
         let key = edge.key();
+        if let Some(f) = self.read_filter() {
+            if !f.contains(slot, key) {
+                return Estimate {
+                    value: 0,
+                    error_bound: 0.0,
+                    confidence: self.bank.confidence(),
+                    sketch: self.router.id_of_slot(slot),
+                };
+            }
+        }
         Estimate {
             value: self.bank.estimate(slot, key),
             error_bound: self.bank.slot_error_bound(slot),
@@ -649,9 +853,15 @@ impl<B: FrequencySketch> GSketch<B> {
         out.clear();
         out.extend(edges.iter().zip(&vals).map(|(e, &value)| {
             let slot = self.router.slot(e.src);
+            let absent = self
+                .read_filter()
+                .is_some_and(|f| !f.contains(slot, e.key()));
             Estimate {
                 value,
-                error_bound: bounds[slot as usize],
+                // Filter-proven absence is exact (see
+                // `estimate_detailed`); the slot's confidence still
+                // describes the answering synopsis.
+                error_bound: if absent { 0.0 } else { bounds[slot as usize] },
                 confidence,
                 sketch: self.router.id_of_slot(slot),
             }
@@ -673,9 +883,31 @@ impl<B: FrequencySketch> GSketch<B> {
         self.depth
     }
 
-    /// Total counter memory across all sketches, in bytes.
+    /// Total synopsis memory — counter cells plus the pre-filter's bit
+    /// array — in bytes. Both are carved from the same builder budget,
+    /// so this never exceeds the `memory_bytes` the sketch was built
+    /// with (pinned by the budget regression tests).
     pub fn bytes(&self) -> usize {
-        self.bank.byte_size()
+        self.bank.byte_size() + self.prefilter_bytes()
+    }
+
+    /// Memory held by the zero-frequency pre-filter, in bytes (`0` when
+    /// the filter is disabled).
+    pub fn prefilter_bytes(&self) -> usize {
+        self.filter.as_ref().map_or(0, BlockedBloom::byte_size)
+    }
+
+    /// Whether reads currently consult the pre-filter.
+    pub fn prefilter_enabled(&self) -> bool {
+        self.filter_reads && self.filter.is_some()
+    }
+
+    /// Toggle read-side use of the pre-filter. Membership keeps being
+    /// maintained on writes either way, so flipping this back on later
+    /// loses nothing; with `false` every read behaves exactly as a
+    /// filter-less sketch (the CLI's `--prefilter off`).
+    pub fn set_prefilter(&mut self, on: bool) {
+        self.filter_reads = on;
     }
 
     /// Router memory overhead, in bytes (§5 calls it marginal; exposed so
@@ -734,12 +966,48 @@ impl<B: FrequencySketch> GSketch<B> {
                 ),
             });
         }
-        self.bank.merge(&other.bank)
+        // Membership must merge with the counters: dropping the other
+        // side's filter bits would manufacture false negatives for keys
+        // only the other worker ingested. Identical builds have
+        // identical filter layouts, so a presence mismatch means a
+        // different build.
+        match (&mut self.filter, &other.filter) {
+            (Some(mine), Some(theirs)) => mine.union_check(theirs)?,
+            (None, None) => {}
+            _ => {
+                return Err(SketchError::IncompatibleMerge {
+                    reason: "one side has a pre-filter, the other does not (different builds)"
+                        .into(),
+                });
+            }
+        }
+        self.bank.merge(&other.bank)?;
+        if let (Some(mine), Some(theirs)) = (&mut self.filter, &other.filter) {
+            mine.union(theirs);
+        }
+        Ok(())
     }
 
     /// Decompose into raw parts (used by [`crate::ConcurrentGSketch`]).
-    pub(crate) fn into_parts(self) -> (B::Bank, Router, PartitionPlan, usize) {
-        (self.bank, self.router, self.plan, self.depth)
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        B::Bank,
+        Router,
+        PartitionPlan,
+        usize,
+        Option<BlockedBloom>,
+        bool,
+    ) {
+        (
+            self.bank,
+            self.router,
+            self.plan,
+            self.depth,
+            self.filter,
+            self.filter_reads,
+        )
     }
 
     /// Reassemble from raw parts (used by [`crate::ConcurrentGSketch`]).
@@ -748,12 +1016,16 @@ impl<B: FrequencySketch> GSketch<B> {
         router: Router,
         plan: PartitionPlan,
         depth: usize,
+        filter: Option<BlockedBloom>,
+        filter_reads: bool,
     ) -> Self {
         Self {
             bank,
             router,
             plan,
             depth,
+            filter,
+            filter_reads,
         }
     }
 }

@@ -153,6 +153,61 @@ impl ZipfEdgeSampler {
     }
 }
 
+/// Replace a controlled fraction of `queries` with **never-ingested**
+/// pairs, then shuffle so present and absent keys interleave. Returns
+/// how many queries were replaced (`round(frac * len)`).
+///
+/// Each absent query keeps a real stream source vertex — so it routes
+/// to the same partitions real queries hit, not uniformly to the
+/// outlier — and takes a destination the stream provably never paired
+/// with anything (above every vertex the stream mentions, verified
+/// against the exact counts). This is the sparse-workload generator
+/// behind `workload --absent`: a zero-frequency short-circuit is only
+/// measurable on queries whose true answer is zero.
+pub fn inject_absent_queries<R: Rng + ?Sized>(
+    counts: &ExactCounter,
+    queries: &mut [Edge],
+    frac: f64,
+    rng: &mut R,
+) -> usize {
+    assert!(
+        (0.0..1.0).contains(&frac),
+        "absent fraction must be in [0, 1)"
+    );
+    // cast: f64 -> usize; frac < 1.0 so the product is below len.
+    let n = ((queries.len() as f64) * frac).round() as usize;
+    if n == 0 {
+        return 0;
+    }
+    let mut srcs: Vec<VertexId> = counts.iter().map(|(e, _)| e.src).collect();
+    srcs.sort_unstable();
+    srcs.dedup();
+    assert!(!srcs.is_empty(), "no stream vertices to draw sources from");
+    let ceiling = counts
+        .iter()
+        .flat_map(|(e, _)| [e.src.0, e.dst.0])
+        .max()
+        .unwrap_or(0);
+    for q in queries.iter_mut().take(n) {
+        let src = srcs[rng.gen_range(0..srcs.len())];
+        // Destinations above the ceiling cannot have been ingested; the
+        // rejection loop only runs in the pathological case where the
+        // stream touches the top of the u32 vertex space and the
+        // saturating offset lands on a real pair.
+        let mut dst = ceiling
+            .saturating_add(1)
+            .saturating_add(rng.gen_range(0..1024));
+        let mut candidate = Edge::new(src, dst);
+        while counts.frequency(candidate) > 0 {
+            dst = rng.gen();
+            candidate = Edge::new(src, dst);
+        }
+        *q = candidate;
+    }
+    queries.shuffle(rng);
+    n
+}
+
 /// Generate subgraph queries of (up to) `edges_per_query` edges, one per
 /// seed vertex, BFS-exploring from each seed (Zipf-skewed scenario-2
 /// variant of [`bfs_subgraph_queries`]).

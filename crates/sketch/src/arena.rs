@@ -334,14 +334,14 @@ impl FrequencySketch for CmArena {
 /// widths never change after construction — the textbook case for
 /// division by invariant multiplication.
 #[derive(Debug, Clone, Copy)]
-struct FastRem {
+pub(crate) struct FastRem {
     d: u64,
     /// `ceil(2^128 / d)`.
     m: u128,
 }
 
 impl FastRem {
-    fn new(d: u64) -> Self {
+    pub(crate) fn new(d: u64) -> Self {
         debug_assert!(d > 0);
         Self {
             d,
@@ -357,7 +357,7 @@ impl FastRem {
 
     /// `x % d`, exactly.
     #[inline]
-    fn rem(&self, x: u64) -> u64 {
+    pub(crate) fn rem(&self, x: u64) -> u64 {
         let low = self.m.wrapping_mul(x as u128);
         // mulhi128(low, d): ((lo·d) >> 64 + hi·d) >> 64.
         let lo = low as u64 as u128;

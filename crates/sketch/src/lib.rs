@@ -49,6 +49,7 @@
 pub mod ams;
 pub mod arena;
 pub mod backend;
+pub mod blocked_bloom;
 pub mod bottomk;
 pub mod countmin;
 pub mod countsketch;
@@ -80,6 +81,7 @@ pub fn prefetch<T>(p: *const T) {
 }
 pub use arena::{AtomicCmArena, CmArena, SlotSpan};
 pub use backend::{DetailedRow, FrequencySketch, SketchBank, SketchVec};
+pub use blocked_bloom::{AtomicBlockedBloom, BlockSpan, BlockedBloom};
 pub use bottomk::BottomK;
 pub use countmin::{CountMinSketch, UpdatePolicy};
 pub use countsketch::CountSketch;

@@ -147,6 +147,14 @@ impl AtomicU64 {
         self.inner.fetch_add(v, order)
     }
 
+    /// Atomic fetch-or (scheduling point; the RMW itself is indivisible,
+    /// exactly like hardware `lock or`). The blocked Bloom filter's
+    /// concurrent insert path is built on this.
+    pub fn fetch_or(&self, v: u64, order: Ordering) -> u64 {
+        yield_point();
+        self.inner.fetch_or(v, order)
+    }
+
     /// Consume the cell (exclusive ownership; not a scheduling point —
     /// `&mut`/by-value access proves no concurrent accessor exists).
     pub fn into_inner(self) -> u64 {

@@ -367,7 +367,59 @@ pub fn epoch_handoff_body() {
 }
 
 // ---------------------------------------------------------------------
-// H8: the seeded ownership violation.
+// H8: blocked Bloom filter insert vs. contains (DESIGN.md §12).
+// ---------------------------------------------------------------------
+
+/// Contract: concurrent `fetch_or` inserts into the pre-filter lose no
+/// bits — once both writers join, every inserted key answers `contains`
+/// — and a reader racing the writers sees membership monotone (a key
+/// observed present never flips back to absent), the property the
+/// read-side short-circuit leans on: a `true` can go stale-to-fresh,
+/// but a counter row is only ever skipped for keys *no* writer has
+/// committed.
+pub fn bloom_insert_contains_body() {
+    const KEYS: [u64; 2] = [5, 9];
+    let filter = sketch::BlockedBloom::with_blocks(&[1, 1], 7)
+        .expect("fixture filter dims are valid")
+        .into_atomic();
+    sketch::sync::thread::scope(|s| {
+        s.spawn(|| filter.insert(0, KEYS[0]));
+        s.spawn(|| filter.insert_run(0, &[(KEYS[1], 1)]));
+        s.spawn(|| {
+            let a = filter.contains(0, KEYS[0]);
+            let b = filter.contains(0, KEYS[0]);
+            assert!(b || !a, "membership went backwards: {a} -> {b}");
+        });
+    });
+    assert!(filter.contains(0, KEYS[0]), "lost filter bit (insert)");
+    assert!(filter.contains(0, KEYS[1]), "lost filter bit (insert_run)");
+    assert!(!filter.contains(1, KEYS[0]), "bits leaked across slots");
+}
+
+/// Contract: the plain-store `insert_run_exclusive` path is lossless
+/// when the owners' slots are disjoint — the filter mirror of H6's
+/// arena ownership invariant (the filter's blocks are slot-partitioned
+/// exactly like the counter spans, so disjoint slots mean disjoint
+/// cache lines).
+pub fn bloom_exclusive_ownership_body() {
+    const KEYS: [u64; 2] = [5, 9];
+    let filter = sketch::BlockedBloom::with_blocks(&[1, 1], 7)
+        .expect("fixture filter dims are valid")
+        .into_atomic();
+    sketch::sync::thread::scope(|s| {
+        for owner in 0..2u32 {
+            let filter = &filter;
+            s.spawn(move || {
+                filter.insert_run_exclusive(owner, &[(KEYS[owner as usize], 1)]);
+            });
+        }
+    });
+    assert!(filter.contains(0, KEYS[0]), "owner 0 lost its filter bits");
+    assert!(filter.contains(1, KEYS[1]), "owner 1 lost its filter bits");
+}
+
+// ---------------------------------------------------------------------
+// H9: the seeded ownership violation.
 // ---------------------------------------------------------------------
 
 /// Deliberate contract violation: a (buggy) ownership map that hands
@@ -405,7 +457,7 @@ pub fn sharded_ownership_race_body() {
 }
 
 // ---------------------------------------------------------------------
-// H9: the seeded exclusive-writer violation.
+// H10: the seeded exclusive-writer violation.
 // ---------------------------------------------------------------------
 
 /// Deliberate contract violation: two concurrent writers on the
@@ -498,6 +550,18 @@ pub fn run_all(seed: u64, schedules: usize) -> Vec<HarnessRun> {
             expect_violation: false,
         },
         HarnessRun {
+            name: "bloom-insert-contains",
+            mode: "dfs",
+            report: check(&dfs(dfs_budget), bloom_insert_contains_body),
+            expect_violation: false,
+        },
+        HarnessRun {
+            name: "bloom-exclusive-ownership",
+            mode: "dfs",
+            report: check(&dfs(dfs_budget), bloom_exclusive_ownership_body),
+            expect_violation: false,
+        },
+        HarnessRun {
             name: "exclusive-writer-race",
             mode: "dfs",
             report: check(&dfs(dfs_budget), exclusive_writer_race_body),
@@ -516,6 +580,11 @@ pub fn run_all(seed: u64, schedules: usize) -> Vec<HarnessRun> {
         ("pipeline-cursor", pipeline_cursor_body as fn()),
         ("spsc-queue", spsc_queue_body as fn()),
         ("sharded-ownership", sharded_ownership_body as fn()),
+        ("bloom-insert-contains", bloom_insert_contains_body as fn()),
+        (
+            "bloom-exclusive-ownership",
+            bloom_exclusive_ownership_body as fn(),
+        ),
     ] {
         runs.push(HarnessRun {
             name,

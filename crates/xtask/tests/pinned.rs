@@ -128,6 +128,16 @@ fn exhaustive_schedule_counts_are_pinned() {
         ("spsc-queue", harness::spsc_queue_body, 119),
         ("sharded-ownership", harness::sharded_ownership_body, 686),
         ("epoch-handoff", harness::epoch_handoff_body, 86),
+        (
+            "bloom-insert-contains",
+            harness::bloom_insert_contains_body,
+            146,
+        ),
+        (
+            "bloom-exclusive-ownership",
+            harness::bloom_exclusive_ownership_body,
+            14,
+        ),
     ] {
         let report = check(&cfg, body);
         assert!(report.violation.is_none(), "{name}: {:?}", report.violation);
