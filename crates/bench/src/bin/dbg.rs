@@ -13,6 +13,15 @@
 //!   the windowed deployment through epoch handoff and bit-compare its
 //!   interval answers (DESIGN.md §11). Exits non-zero on any mismatch —
 //!   the sharded-engine CI smoke step.
+//! * `dbg --snapshot-smoke [--arrivals M]` — durable windowed snapshot
+//!   smoke: build windowed deployments (plain and tiered), save a fresh
+//!   snapshot mid-stream, append the rest, reload (full and
+//!   horizon-bounded), and bit-compare interval answers against the
+//!   live instance; warm a [`gsketch::WindowedReplay`] memo off the
+//!   reload and bit-compare cached vs uncached; then sweep every
+//!   truncation point of a small snapshot and require a clean `Err`
+//!   (never a panic) from the decoder (DESIGN.md §13). Exits non-zero
+//!   on any mismatch — the persistence CI smoke step.
 //! * `dbg --query-smoke N [--arrivals M] [--queries K] [--memory-kb B]`
 //!   — batched-query smoke: build a sketch, draw a shuffled
 //!   duplicate-heavy workload, and compare the scalar loop, the batched
@@ -449,6 +458,157 @@ fn smoke_windowed_replay(stream: &[gstream::StreamEdge]) {
     );
 }
 
+/// Durable windowed snapshot smoke (DESIGN.md §13): fresh save +
+/// incremental append must restore bit-identical interval answers
+/// (plain and tiered builds), horizon-bounded loads must answer
+/// identically inside the resident span, a [`gsketch::WindowedReplay`]
+/// memo warmed off the reload must bit-match uncached answers with a
+/// non-zero hit rate, and truncating the snapshot at EVERY byte
+/// boundary must yield a clean `Err` — never a panic — from the
+/// decoder. Exits non-zero on any mismatch.
+fn smoke_snapshot(arrivals: usize) {
+    use gsketch::{
+        load_windowed, load_windowed_horizon, save_windowed, IntervalEstimate, WindowConfig,
+        WindowedGSketch, WindowedReplay,
+    };
+    let mut cfg = RmatTrafficConfig::gtgraph(10, (arrivals / 4).max(100), arrivals, 31);
+    cfg.activity_alpha = 1.2;
+    let mut stream: Vec<_> = RmatTrafficGenerator::new(cfg).generate();
+    for (t, se) in stream.iter_mut().enumerate() {
+        se.ts = t as u64;
+    }
+    let span = (stream.len() as u64 / 12).max(1);
+    let wcfg = WindowConfig {
+        span,
+        memory_bytes_per_window: 32 << 10,
+        sample_capacity: 256,
+        seed: 41,
+    };
+    let builder = || GSketch::builder().min_width(64).seed(41);
+    let dir = std::env::temp_dir().join(format!("gsketch_snapshot_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let horizon = stream.len() as u64 - 1;
+    let edges: Vec<gstream::Edge> = stream.iter().step_by(97).map(|se| se.edge).collect();
+    let intervals = [
+        (0u64, horizon),
+        (span / 2, span * 3 + 7),
+        (span, span),
+        (horizon / 3, u64::MAX),
+    ];
+    let mut a: Vec<IntervalEstimate> = Vec::new();
+    let mut b: Vec<IntervalEstimate> = Vec::new();
+
+    for keep in [None, Some(3usize)] {
+        let tag = if keep.is_some() { "tiered" } else { "plain" };
+        let path = dir.join(format!("{tag}.wsnap"));
+        let mut live = match keep {
+            Some(k) => WindowedGSketch::with_horizon(wcfg, builder(), k),
+            None => WindowedGSketch::new(wcfg, builder()),
+        }
+        .expect("valid windowed build");
+        let half = stream.len() / 2;
+        live.ingest(&stream[..half]);
+        save_windowed(&path, &live).expect("fresh save");
+        let fresh_len = std::fs::metadata(&path).expect("snapshot metadata").len();
+        live.ingest(&stream[half..]);
+        save_windowed(&path, &live).expect("incremental append");
+        let full_len = std::fs::metadata(&path).expect("snapshot metadata").len();
+        assert!(full_len > fresh_len, "append did not extend the snapshot");
+
+        let loaded = load_windowed(&path).expect("reload");
+        assert_eq!(loaded.sealed_windows(), live.sealed_windows());
+        assert_eq!(loaded.coarsenings(), live.coarsenings());
+        let mut checked = 0usize;
+        for (ts, te) in intervals {
+            live.estimate_interval_detailed_batch(&edges, ts, te, &mut a);
+            loaded.estimate_interval_detailed_batch(&edges, ts, te, &mut b);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(
+                    x.value.to_bits(),
+                    y.value.to_bits(),
+                    "{tag} reload diverged on [{ts}, {te}]"
+                );
+                checked += 1;
+            }
+        }
+        println!(
+            "snapshot smoke ({tag}): fresh {fresh_len}B + append to {full_len}B, \
+             {checked} reloaded interval answers bit-identical — OK"
+        );
+
+        // Horizon-bounded load: answers inside the resident span must
+        // be bit-identical to the full reload's.
+        let (lo, hi) = (span * 2, span * 5);
+        let partial = load_windowed_horizon(&path, lo, hi).expect("horizon load");
+        live.estimate_interval_detailed_batch(&edges, lo, hi, &mut a);
+        partial.estimate_interval_detailed_batch(&edges, lo, hi, &mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                x.value.to_bits(),
+                y.value.to_bits(),
+                "{tag} horizon load diverged inside [{lo}, {hi}]"
+            );
+        }
+
+        // Warm an interval memo off the reload: two passes, cached
+        // answers bit-identical to the live instance, hits on pass two.
+        let mut replay = WindowedReplay::new(loaded);
+        for _ in 0..2 {
+            for (ts, te) in intervals {
+                live.estimate_interval_detailed_batch(&edges, ts, te, &mut a);
+                replay.estimate_interval_detailed_batch(&edges, ts, te, &mut b);
+                assert_eq!(a, b, "{tag} memoized replay diverged on [{ts}, {te}]");
+            }
+        }
+        let stats = replay.stats();
+        assert!(stats.hits > 0, "interval memo never hit on pass two");
+        println!(
+            "snapshot smoke ({tag}): memo-warm replay bit-identical \
+             ({} hits / {} misses) — OK",
+            stats.hits, stats.misses
+        );
+    }
+
+    // Truncation sweep: a decoder fed any prefix of a valid snapshot
+    // must return Err, never panic. A small instance keeps the
+    // byte-by-byte sweep fast.
+    let mut small = WindowedGSketch::with_horizon(
+        WindowConfig {
+            span: 8,
+            memory_bytes_per_window: 4 << 10,
+            sample_capacity: 16,
+            seed: 43,
+        },
+        GSketch::builder().min_width(8).seed(43),
+        2,
+    )
+    .expect("valid windowed build");
+    small.ingest(&stream[..stream.len().min(200)]);
+    let small_path = dir.join("truncation.wsnap");
+    save_windowed(&small_path, &small).expect("truncation fixture save");
+    let bytes = std::fs::read(&small_path).expect("truncation fixture read");
+    let cut_path = dir.join("truncated.wsnap");
+    let mut swept = 0usize;
+    // Every cut below len−1 severs the footer line; len−1 would only
+    // drop the trailing newline, which is legitimately loadable.
+    for cut in 0..bytes.len() - 1 {
+        std::fs::write(&cut_path, &bytes[..cut]).expect("truncated write");
+        assert!(
+            load_windowed(&cut_path).is_err(),
+            "decoder accepted a snapshot truncated to {cut} of {} bytes",
+            bytes.len()
+        );
+        swept += 1;
+    }
+    println!(
+        "snapshot smoke: decoder returned Err on all {swept} truncation \
+         points of a {}B snapshot — OK",
+        bytes.len()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flag = |name: &str| -> Option<usize> {
@@ -464,6 +624,10 @@ fn main() {
             flag("--queries").unwrap_or(100_000),
             flag("--memory-kb").unwrap_or(256),
         );
+        return;
+    }
+    if args.iter().any(|a| a == "--snapshot-smoke") {
+        smoke_snapshot(flag("--arrivals").unwrap_or(100_000));
         return;
     }
     if let Some(threads) = flag("--shard-smoke") {

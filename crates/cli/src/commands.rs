@@ -3,10 +3,11 @@
 
 use crate::args::{parse_bytes, ArgError, ParsedArgs};
 use gsketch::{
-    evaluate_edge_queries, save_gsketch, AdaptiveConfig, AdaptiveGSketch, CmArena,
-    ConcurrentGSketch, CountMinSketch, CountSketch, EdgeEstimator, EdgeSink, FrequencySketch,
-    GSketch, GSketchBuilder, GlobalSketch, IntervalEstimate, ParallelQuery, ReplayEngine,
-    ShardedIngest, WindowConfig, WindowedGSketch, DEFAULT_G0,
+    evaluate_edge_queries, load_windowed_backend, load_windowed_horizon_backend, save_gsketch,
+    save_windowed, AdaptiveConfig, AdaptiveGSketch, CmArena, ConcurrentGSketch, CountMinSketch,
+    CountSketch, EdgeEstimator, EdgeSink, FrequencySketch, GSketch, GSketchBuilder, GlobalSketch,
+    IntervalEstimate, ParallelQuery, ReplayEngine, ShardedIngest, WindowConfig, WindowedGSketch,
+    WindowedReplay, DEFAULT_G0,
 };
 use gstream::gen::{
     dblp, ipattack, DblpConfig, ErdosRenyiConfig, ErdosRenyiGenerator, IpAttackConfig, RmatConfig,
@@ -89,13 +90,34 @@ USAGE:
        inclusive `src dst t_start t_end` columns; every query reports
        its interval estimate with a confidence interval; --threads
        ingests each window epoch through the owner-sharded engine)
+  gsketch snapshot <stream-file> --out FILE --window-span S
+      [--window-memory SIZE] [--seed N] [--horizon-keep N] [--threads N]
+      (builds a time-windowed synopsis over the stream and saves it as a
+       durable windowed snapshot; when FILE already holds a snapshot of
+       the same configuration, only the newly sealed windows are
+       appended — O(new windows), not O(history); --horizon-keep keeps
+       the N most recent sealed windows at full fidelity and coarsens
+       older ones into exponentially-tiered merged sketches)
+  gsketch query --snapshot FILE <src> <dst> [<src> <dst> ...]
+      [--t-start A --t-end B] [--load-span A,B]
+  gsketch query --snapshot FILE --workload WL [--chunk N] [--show K]
+      [--cache on|off] [--load-span A,B]
+      (time-travel queries from a windowed snapshot — no rebuild, no
+       stream: answers any inclusive `[t_start, t_end]` interval with a
+       confidence interval; workload replay fronts the deployment with
+       the interval-keyed memo unless --cache off; --load-span loads
+       only the sealed windows overlapping `A,B` via the snapshot's
+       byte-offset index — answers outside it are not valid)
   gsketch workload <stream-file> --out FILE [--queries N] [--zipf A]
-      [--absent F] [--seed S]
+      [--absent F] [--intervals SPAN[,ALIGN]] [--seed S]
       (draws a query workload over the stream's distinct edges: uniform
        by default, Zipf(A) by frequency rank with --zipf; --absent F
        replaces fraction F of the queries with never-ingested pairs —
        the sparse workload the zero-frequency pre-filter answers
-       without touching a counter)
+       without touching a counter; --intervals attaches an inclusive
+       `[t_start t_end]` window of SPAN timestamps to every query, its
+       start drawn over multiples of ALIGN, default SPAN — the windowed
+       rows `query --snapshot`/`--window-span` replay)
   gsketch compare <stream-file> --memory SIZE [--queries N] [--depth D] [--seed S]
       [--backend arena|countmin|countsketch] [--threads N]
   gsketch adaptive <stream-file> --memory SIZE [--warmup N] [--queries N] [--seed S]
@@ -117,6 +139,7 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
         "generate" => cmd_generate(rest, out),
         "stats" => cmd_stats(rest, out),
         "build" => cmd_build(rest, out),
+        "snapshot" => cmd_snapshot(rest, out),
         "query" => cmd_query(rest, out),
         "workload" => cmd_workload(rest, out),
         "compare" => cmd_compare(rest, out),
@@ -368,6 +391,77 @@ fn sharded_ingest(sketch: GSketch, stream: &[StreamEdge], threads: usize) -> (GS
     (concurrent.into_gsketch(), report.workers)
 }
 
+/// `snapshot`: build a time-windowed synopsis over the stream and save
+/// it as a durable windowed snapshot. The build is deterministic for a
+/// fixed configuration, so re-running against a grown stream file
+/// reproduces the history already on disk — and `save_windowed` then
+/// appends only the newly sealed windows (the file's existing record
+/// bytes are never rewritten). A diverged history (different seed, span,
+/// or stream prefix) is rejected instead of silently overwritten.
+fn cmd_snapshot<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
+    let a = ParsedArgs::parse(
+        raw.iter().cloned(),
+        &[
+            "out",
+            "window-span",
+            "window-memory",
+            "seed",
+            "horizon-keep",
+            "threads",
+        ],
+    )?;
+    let stream_path = a.positional(0, "stream-file")?;
+    let path: String = a.require("out")?;
+    let span: u64 = a.require("window-span")?;
+    if span == 0 {
+        return Err(CliError::Args(ArgError(
+            "--window-span must be positive".into(),
+        )));
+    }
+    let memory = parse_bytes(a.get("window-memory").unwrap_or("64K"))?;
+    let seed: u64 = a.get_or("seed", 42)?;
+    let threads: usize = a.get_or::<usize>("threads", 1)?.max(1);
+    let cfg = WindowConfig {
+        span,
+        memory_bytes_per_window: memory,
+        sample_capacity: 256,
+        seed,
+    };
+    let builder = GSketch::builder().min_width(64).seed(seed);
+    let mut windowed = match a.get("horizon-keep") {
+        Some(_) => WindowedGSketch::with_horizon(cfg, builder, a.require("horizon-keep")?),
+        None => WindowedGSketch::new(cfg, builder),
+    }
+    .map_err(run_err)?;
+    let stream = load_stream(stream_path).map_err(run_err)?;
+    if threads > 1 {
+        windowed
+            .try_ingest_sharded(&stream, threads, false)
+            .map_err(run_err)?;
+    } else {
+        windowed.ingest(&stream);
+    }
+    let appending = std::path::Path::new(&path).exists();
+    save_windowed(&path, &windowed).map_err(|e| CliError::Run(format!("{path}: {e}")))?;
+    writeln!(
+        out,
+        "{} {} sealed window(s) of span {span} + the open window to {path}",
+        if appending { "appended" } else { "wrote" },
+        windowed.sealed_windows(),
+    )
+    .map_err(run_err)?;
+    if windowed.horizon_keep().is_some() {
+        writeln!(
+            out,
+            "horizon: {} tier(s) over {} coarsened window(s)",
+            windowed.num_tiers(),
+            windowed.coarsenings(),
+        )
+        .map_err(run_err)?;
+    }
+    Ok(())
+}
+
 /// A snapshot restored with whichever backend it was built on.
 enum AnySnapshot {
     Arena(Box<GSketch<CmArena>>),
@@ -377,20 +471,43 @@ enum AnySnapshot {
 
 impl AnySnapshot {
     /// Parse the snapshot envelope once, dispatch on its kind tag, and
-    /// decode the body exactly once under the matching backend.
+    /// decode the body exactly once under the matching backend. Unknown
+    /// kinds are rejected here, naming the kind found, the kinds this
+    /// command accepts, and the file — they must not fall through to a
+    /// backend decode whose error would blame the wrong layer.
     fn load(path: &str) -> Result<Self, CliError> {
-        let raw = gsketch::RawSnapshot::open(path).map_err(run_err)?;
+        let raw = match gsketch::RawSnapshot::open(path) {
+            Ok(raw) => raw,
+            Err(e) => {
+                // A windowed snapshot is a line-oriented file the flat
+                // envelope parser cannot read; peeking its first line
+                // turns a parse error into a usable redirect.
+                if let Some(kind) = peek_windowed_kind(path) {
+                    return Err(CliError::Run(format!(
+                        "{path}: `{kind}` is a windowed snapshot; \
+                         query it with `query --snapshot {path}`"
+                    )));
+                }
+                return Err(CliError::Run(format!("{path}: {e}")));
+            }
+        };
+        let ctx = |e: gsketch::PersistError| CliError::Run(format!("{path}: {e}"));
         match raw.kind() {
+            k if k == format!("gsketch:{}", CmArena::KIND) => Ok(AnySnapshot::Arena(Box::new(
+                raw.decode_gsketch().map_err(ctx)?,
+            ))),
             k if k == format!("gsketch:{}", CountMinSketch::KIND) => Ok(AnySnapshot::CountMin(
-                Box::new(raw.decode_gsketch().map_err(run_err)?),
+                Box::new(raw.decode_gsketch().map_err(ctx)?),
             )),
             k if k == format!("gsketch:{}", CountSketch::KIND) => Ok(AnySnapshot::CountSketch(
-                Box::new(raw.decode_gsketch().map_err(run_err)?),
+                Box::new(raw.decode_gsketch().map_err(ctx)?),
             )),
-            // The arena is the default; let its decode report precise
-            // kind/version errors for anything unrecognized.
-            _ => Ok(AnySnapshot::Arena(Box::new(
-                raw.decode_gsketch().map_err(run_err)?,
+            other => Err(CliError::Run(format!(
+                "{path}: unknown snapshot kind `{other}` (expected gsketch:{}, gsketch:{}, \
+                 or gsketch:{})",
+                CmArena::KIND,
+                CountMinSketch::KIND,
+                CountSketch::KIND,
             ))),
         }
     }
@@ -474,6 +591,152 @@ impl EdgeEstimator for AnySnapshot {
 /// it, so the safe single-domain default (which would invalidate the
 /// whole memo on a write) is trivially correct.
 impl gsketch::WriteLocalized for AnySnapshot {}
+
+/// The kind tag of a windowed snapshot's envelope line, if `path` holds
+/// one. Used only to improve errors: flat and windowed snapshots are
+/// different formats, and pointing a command at the wrong one should
+/// say so instead of surfacing a parse error.
+fn peek_windowed_kind(path: &str) -> Option<String> {
+    use std::io::BufRead;
+    let file = std::fs::File::open(path).ok()?;
+    let mut line = String::new();
+    std::io::BufReader::new(file).read_line(&mut line).ok()?;
+    let envelope = serde_json::parse(line.trim()).ok()?;
+    let serde::Value::Map(fields) = envelope else {
+        return None;
+    };
+    let kind = fields.iter().find_map(|(k, v)| match v {
+        serde::Value::Str(s) if k == "kind" => Some(s.clone()),
+        _ => None,
+    })?;
+    kind.starts_with("gsketch-windowed:").then_some(kind)
+}
+
+/// A windowed snapshot restored under whichever backend it was built
+/// on, fronted by the interval-keyed replay memo.
+enum AnyWindowedReplay {
+    Arena(Box<WindowedReplay<CmArena>>),
+    CountMin(Box<WindowedReplay<CountMinSketch>>),
+    CountSketch(Box<WindowedReplay<CountSketch>>),
+}
+
+impl AnyWindowedReplay {
+    /// Peek the envelope's kind line, dispatch on the backend tag, and
+    /// decode under the matching backend — optionally loading only the
+    /// sealed windows overlapping `load_span` through the footer index.
+    fn load(path: &str, load_span: Option<(u64, u64)>) -> Result<Self, CliError> {
+        fn decode<B: FrequencySketch>(
+            path: &str,
+            load_span: Option<(u64, u64)>,
+        ) -> Result<WindowedReplay<B>, CliError> {
+            let w = match load_span {
+                Some((ts, te)) => load_windowed_horizon_backend::<_, B>(path, ts, te),
+                None => load_windowed_backend::<_, B>(path),
+            }
+            .map_err(|e| CliError::Run(format!("{path}: {e}")))?;
+            Ok(WindowedReplay::new(w))
+        }
+        let Some(kind) = peek_windowed_kind(path) else {
+            // Not a windowed envelope: a flat snapshot, another format,
+            // or not a snapshot at all. Let the flat opener classify it
+            // so kind/version problems are reported precisely.
+            return match gsketch::RawSnapshot::open(path) {
+                Ok(raw) => Err(CliError::Run(format!(
+                    "{path}: `{}` is not a windowed snapshot (expected \
+                     gsketch-windowed:<backend>); query flat snapshots without --snapshot",
+                    raw.kind()
+                ))),
+                Err(e) => Err(CliError::Run(format!("{path}: {e}"))),
+            };
+        };
+        match kind.strip_prefix("gsketch-windowed:") {
+            Some(b) if b == CmArena::KIND => {
+                Ok(AnyWindowedReplay::Arena(Box::new(decode(path, load_span)?)))
+            }
+            Some(b) if b == CountMinSketch::KIND => Ok(AnyWindowedReplay::CountMin(Box::new(
+                decode(path, load_span)?,
+            ))),
+            Some(b) if b == CountSketch::KIND => Ok(AnyWindowedReplay::CountSketch(Box::new(
+                decode(path, load_span)?,
+            ))),
+            _ => Err(CliError::Run(format!(
+                "{path}: unknown windowed snapshot backend in `{kind}` (expected \
+                 gsketch-windowed:{}, gsketch-windowed:{}, or gsketch-windowed:{})",
+                CmArena::KIND,
+                CountMinSketch::KIND,
+                CountSketch::KIND,
+            ))),
+        }
+    }
+
+    /// Memoized detailed interval batch (all edges share one interval).
+    fn estimate_interval_detailed_batch(
+        &mut self,
+        edges: &[Edge],
+        t_start: u64,
+        t_end: u64,
+        out: &mut Vec<IntervalEstimate>,
+    ) {
+        match self {
+            AnyWindowedReplay::Arena(r) => {
+                r.estimate_interval_detailed_batch(edges, t_start, t_end, out)
+            }
+            AnyWindowedReplay::CountMin(r) => {
+                r.estimate_interval_detailed_batch(edges, t_start, t_end, out)
+            }
+            AnyWindowedReplay::CountSketch(r) => {
+                r.estimate_interval_detailed_batch(edges, t_start, t_end, out)
+            }
+        }
+    }
+
+    /// The same batch answered straight from the deployment, bypassing
+    /// the memo (`--cache off`, the bit-compare baseline).
+    fn estimate_uncached(
+        &self,
+        edges: &[Edge],
+        t_start: u64,
+        t_end: u64,
+        out: &mut Vec<IntervalEstimate>,
+    ) {
+        match self {
+            AnyWindowedReplay::Arena(r) => r
+                .inner()
+                .estimate_interval_detailed_batch(edges, t_start, t_end, out),
+            AnyWindowedReplay::CountMin(r) => r
+                .inner()
+                .estimate_interval_detailed_batch(edges, t_start, t_end, out),
+            AnyWindowedReplay::CountSketch(r) => r
+                .inner()
+                .estimate_interval_detailed_batch(edges, t_start, t_end, out),
+        }
+    }
+
+    fn stats(&self) -> gsketch::ReplayStats {
+        match self {
+            AnyWindowedReplay::Arena(r) => r.stats(),
+            AnyWindowedReplay::CountMin(r) => r.stats(),
+            AnyWindowedReplay::CountSketch(r) => r.stats(),
+        }
+    }
+
+    /// `(sealed windows, tiers, lifetime end, partial)` for reporting.
+    fn shape(&self) -> (usize, usize, u64, bool) {
+        fn go<B: FrequencySketch>(w: &WindowedGSketch<B>) -> (usize, usize, u64, bool) {
+            (
+                w.sealed_windows(),
+                w.num_tiers(),
+                w.lifetime_end(),
+                w.is_partial(),
+            )
+        }
+        match self {
+            AnyWindowedReplay::Arena(r) => go(r.inner()),
+            AnyWindowedReplay::CountMin(r) => go(r.inner()),
+            AnyWindowedReplay::CountSketch(r) => go(r.inner()),
+        }
+    }
+}
 
 /// Parse an `on`/`off` switch option (this CLI's options always take a
 /// value), with a default when absent.
@@ -755,6 +1018,234 @@ fn replay_windowed_workload<W: Write>(
     Ok(())
 }
 
+/// `query --snapshot`: time-travel queries from a durable windowed
+/// snapshot — no stream, no rebuild. The deployment is decoded from the
+/// file (optionally only the sealed windows overlapping `--load-span`,
+/// through the footer's byte-offset index) and fronted by the
+/// interval-keyed replay memo, so a workload that repeats `(pair,
+/// interval)` questions pays for each answer once.
+fn query_windowed_snapshot<W: Write>(
+    a: &ParsedArgs,
+    path: &str,
+    out: &mut W,
+) -> Result<(), CliError> {
+    use std::collections::BTreeMap;
+    for flag in [
+        "stream",
+        "prefilter",
+        "detailed",
+        "threads",
+        "window-span",
+        "window-memory",
+        "seed",
+    ] {
+        if a.get(flag).is_some() {
+            return Err(CliError::Args(ArgError(format!(
+                "--{flag} does not apply with --snapshot (the snapshot fixes the \
+                 windowed deployment; replies are always detailed and sequential)"
+            ))));
+        }
+    }
+    let pairs = a.positionals();
+    match a.get("workload") {
+        Some(_) if !pairs.is_empty() => {
+            return Err(CliError::Args(ArgError(
+                "--workload replays a file; drop the inline `<src> <dst>` pairs".into(),
+            )))
+        }
+        None if pairs.is_empty() || !pairs.len().is_multiple_of(2) => {
+            return Err(CliError::Args(ArgError(
+                "queries come as `<src> <dst>` pairs (or use --workload FILE)".into(),
+            )))
+        }
+        _ => {}
+    }
+    if a.get("workload").is_some() {
+        for flag in ["t-start", "t-end"] {
+            if a.get(flag).is_some() {
+                return Err(CliError::Args(ArgError(format!(
+                    "--{flag} applies to inline pairs; workload rows carry their own \
+                     `[t_start t_end]` columns"
+                ))));
+            }
+        }
+    } else {
+        for flag in ["cache", "chunk", "show"] {
+            if a.get(flag).is_some() {
+                return Err(CliError::Args(ArgError(format!(
+                    "--{flag} applies to workload replay; add --workload FILE"
+                ))));
+            }
+        }
+    }
+    let load_span = match a.get("load-span") {
+        None => None,
+        Some(s) => {
+            let bad = || {
+                CliError::Args(ArgError(format!(
+                    "bad value `{s}` for `--load-span` (use T_START,T_END, e.g. 0,5000)"
+                )))
+            };
+            let (lo, hi) = s.split_once(',').ok_or_else(bad)?;
+            let lo: u64 = lo.trim().parse().map_err(|_| bad())?;
+            let hi: u64 = hi.trim().parse().map_err(|_| bad())?;
+            if lo > hi {
+                return Err(CliError::Args(ArgError(format!(
+                    "--load-span start {lo} exceeds end {hi}"
+                ))));
+            }
+            Some((lo, hi))
+        }
+    };
+    let mut replay = AnyWindowedReplay::load(path, load_span)?;
+    let (sealed, tiers, lifetime_end, partial) = replay.shape();
+    writeln!(
+        out,
+        "loaded {sealed} sealed window(s), {tiers} tier(s), and the open window from {path}"
+    )
+    .map_err(run_err)?;
+    if let (true, Some((lo, hi))) = (partial, load_span) {
+        writeln!(
+            out,
+            "partial load: only windows overlapping [{lo}, {hi}] are resident; \
+             answers outside that span are not valid"
+        )
+        .map_err(run_err)?;
+    }
+
+    // Inline pairs: one detailed interval batch.
+    let Some(workload_path) = a.get("workload") else {
+        let t_start: u64 = a.get_or("t-start", 0)?;
+        let t_end: u64 = a.get_or("t-end", u64::MAX)?;
+        if t_start > t_end {
+            return Err(CliError::Args(ArgError(format!(
+                "--t-start {t_start} exceeds --t-end {t_end}"
+            ))));
+        }
+        let mut edges = Vec::with_capacity(pairs.len() / 2);
+        for pair in pairs.chunks_exact(2) {
+            let src: u32 = pair[0]
+                .parse()
+                .map_err(|_| CliError::Args(ArgError(format!("bad vertex id `{}`", pair[0]))))?;
+            let dst: u32 = pair[1]
+                .parse()
+                .map_err(|_| CliError::Args(ArgError(format!("bad vertex id `{}`", pair[1]))))?;
+            edges.push(Edge::new(src, dst));
+        }
+        let mut rows = Vec::new();
+        replay.estimate_interval_detailed_batch(&edges, t_start, t_end, &mut rows);
+        let windowed_ask = a.get("t-start").is_some() || a.get("t-end").is_some();
+        for (e, r) in edges.iter().zip(&rows) {
+            if windowed_ask {
+                writeln!(
+                    out,
+                    "{e} [{t_start}..{t_end}]: estimate {:.1} (±{:.1} w.p. {:.3})",
+                    r.value, r.error_bound, r.confidence
+                )
+            } else {
+                writeln!(
+                    out,
+                    "{e} [lifetime]: estimate {:.1} (±{:.1} w.p. {:.3})",
+                    r.value, r.error_bound, r.confidence
+                )
+            }
+            .map_err(run_err)?;
+        }
+        return Ok(());
+    };
+
+    // Workload replay, chunked and grouped by distinct interval; each
+    // group is one (possibly memoized) detailed batch.
+    let cached = parse_switch(a, "cache", true)?;
+    let chunk: usize = a.get_or::<usize>("chunk", 1 << 20)?.max(1);
+    let show: usize = a.get_or("show", 10)?;
+    let mut source = QueryFileSource::open(workload_path).map_err(run_err)?;
+    let lifetime = (0u64, lifetime_end);
+    let mut buf: Vec<WorkloadQuery> = Vec::with_capacity(chunk);
+    let mut results: Vec<IntervalEstimate> = Vec::new();
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut rows: Vec<IntervalEstimate> = Vec::new();
+    let mut queries = 0u64;
+    let mut windowed_queries = 0u64;
+    let mut value_sum = 0.0f64;
+    let mut bound_sum = 0.0f64;
+    let mut min_confidence = 1.0f64;
+    let mut shown = 0usize;
+    while source.fill_workload_queries(&mut buf, chunk) > 0 {
+        let mut groups: BTreeMap<(u64, u64), Vec<usize>> = BTreeMap::new();
+        for (i, q) in buf.iter().enumerate() {
+            groups
+                .entry(q.window.unwrap_or(lifetime))
+                .or_default()
+                .push(i);
+        }
+        results.clear();
+        results.resize(buf.len(), IntervalEstimate::default());
+        for (&(t_start, t_end), idxs) in &groups {
+            edges.clear();
+            edges.extend(idxs.iter().map(|&i| buf[i].edge));
+            if cached {
+                replay.estimate_interval_detailed_batch(&edges, t_start, t_end, &mut rows);
+            } else {
+                replay.estimate_uncached(&edges, t_start, t_end, &mut rows);
+            }
+            for (&i, row) in idxs.iter().zip(&rows) {
+                results[i] = *row;
+            }
+        }
+        for (q, r) in buf.iter().zip(&results) {
+            queries += 1;
+            windowed_queries += u64::from(q.window.is_some());
+            value_sum += r.value;
+            bound_sum += r.error_bound;
+            min_confidence = min_confidence.min(r.confidence);
+            if shown < show {
+                match q.window {
+                    Some((ts, te)) => writeln!(
+                        out,
+                        "{} [{ts}..{te}]: estimate {:.1} (±{:.1} w.p. {:.3})",
+                        q.edge, r.value, r.error_bound, r.confidence
+                    ),
+                    None => writeln!(
+                        out,
+                        "{} [lifetime]: estimate {:.1} (±{:.1} w.p. {:.3})",
+                        q.edge, r.value, r.error_bound, r.confidence
+                    ),
+                }
+                .map_err(run_err)?;
+                shown += 1;
+            }
+        }
+    }
+    source.finish().map_err(run_err)?;
+    writeln!(
+        out,
+        "replayed {queries} queries ({windowed_queries} windowed) from the snapshot"
+    )
+    .map_err(run_err)?;
+    if cached {
+        let stats = replay.stats();
+        let total = (stats.hits + stats.misses).max(1);
+        writeln!(
+            out,
+            "cache: {} hits / {} misses ({:.1}% hit rate)",
+            stats.hits,
+            stats.misses,
+            stats.hits as f64 * 100.0 / total as f64
+        )
+        .map_err(run_err)?;
+    }
+    writeln!(
+        out,
+        "estimate sum {value_sum:.1}, mean {:.2}; mean bound ±{:.1}, min confidence {:.3}",
+        value_sum / (queries.max(1)) as f64,
+        bound_sum / (queries.max(1)) as f64,
+        if queries == 0 { 0.0 } else { min_confidence },
+    )
+    .map_err(run_err)?;
+    Ok(())
+}
+
 fn cmd_query<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
     let a = ParsedArgs::parse(
         raw.iter().cloned(),
@@ -770,8 +1261,25 @@ fn cmd_query<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
             "window-span",
             "window-memory",
             "seed",
+            "snapshot",
+            "t-start",
+            "t-end",
+            "load-span",
         ],
     )?;
+    // Windowed-snapshot queries take the file from the flag, not a
+    // positional, and have their own flag surface.
+    if let Some(snap_path) = a.get("snapshot") {
+        let snap_path = snap_path.to_owned();
+        return query_windowed_snapshot(&a, &snap_path, out);
+    }
+    for flag in ["t-start", "t-end", "load-span"] {
+        if a.get(flag).is_some() {
+            return Err(CliError::Args(ArgError(format!(
+                "--{flag} applies to windowed snapshot queries; add --snapshot FILE"
+            ))));
+        }
+    }
     let snapshot_path = a.positional(0, "snapshot")?;
     let pairs = &a.positionals()[1..];
     // Validate the query shape before touching the filesystem.
@@ -781,7 +1289,7 @@ fn cmd_query<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
                 "--workload replays a file; drop the inline `<src> <dst>` pairs".into(),
             )))
         }
-        None if pairs.is_empty() || pairs.len() % 2 != 0 => {
+        None if pairs.is_empty() || !pairs.len().is_multiple_of(2) => {
             return Err(CliError::Args(ArgError(
                 "queries come as `<src> <dst>` pairs (or use --workload FILE)".into(),
             )))
@@ -880,7 +1388,7 @@ fn cmd_query<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
 fn cmd_workload<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
     let a = ParsedArgs::parse(
         raw.iter().cloned(),
-        &["out", "queries", "zipf", "absent", "seed"],
+        &["out", "queries", "zipf", "absent", "intervals", "seed"],
     )?;
     let stream_path = a.positional(0, "stream-file")?;
     let path: String = a.require("out")?;
@@ -936,6 +1444,47 @@ fn cmd_workload<W: Write>(raw: &[String], out: &mut W) -> Result<(), CliError> {
     };
     let mut queries = queries;
     let n_absent = inject_absent_queries(&truth, &mut queries, absent_frac, &mut rng);
+    // --intervals SPAN[,ALIGN]: attach an inclusive window of SPAN
+    // timestamps to every query, starts drawn over multiples of ALIGN
+    // (default SPAN, tiling the stream's lifetime). Validated here so a
+    // degenerate span or alignment is a CLI error naming the flag, not
+    // a library panic.
+    if let Some(spec) = a.get("intervals") {
+        let bad = |what: &str| {
+            CliError::Args(ArgError(format!(
+                "bad value `{spec}` for `--intervals`: {what} (use SPAN or SPAN,ALIGN, \
+                 e.g. 1000 or 1000,250)"
+            )))
+        };
+        let (span_s, align_s) = match spec.split_once(',') {
+            Some((s, a)) => (s.trim(), Some(a.trim())),
+            None => (spec.trim(), None),
+        };
+        let span: u64 = span_s.parse().map_err(|_| bad("span is not a number"))?;
+        if span == 0 {
+            return Err(bad("span must be positive"));
+        }
+        let align: u64 = match align_s {
+            Some(s) => s.parse().map_err(|_| bad("alignment is not a number"))?,
+            None => span,
+        };
+        if align == 0 {
+            return Err(bad("alignment must be positive"));
+        }
+        let t_max = stream.iter().map(|se| se.ts).max().unwrap_or(0);
+        let windowed =
+            gstream::workload::windowed_interval_queries(&queries, span, align, t_max, &mut rng);
+        gstream::save_workload(&path, &windowed).map_err(run_err)?;
+        writeln!(
+            out,
+            "wrote {} edge queries ({how} over {} distinct edges, {n_absent} absent) \
+             with [t_start t_end] windows of span {span} (align {align}) to {path}",
+            windowed.len(),
+            truth.distinct_edges()
+        )
+        .map_err(run_err)?;
+        return Ok(());
+    }
     save_queries(&path, &queries).map_err(run_err)?;
     writeln!(
         out,
@@ -2043,5 +2592,320 @@ mod tests {
     fn missing_file_is_runtime_error() {
         let e = run(&["stats", "/definitely/not/here.txt"]).unwrap_err();
         assert!(matches!(e, CliError::Run(_)));
+    }
+
+    /// The full durable-windowed pipeline: snapshot a stream, append the
+    /// grown stream to the same file, and answer time-travel queries
+    /// from the snapshot — inline pairs and a memoized workload replay.
+    #[test]
+    fn snapshot_build_append_and_time_travel_query() {
+        let full = tmp("snap_pipeline.txt");
+        run(&[
+            "generate",
+            "smallworld",
+            "--out",
+            &full,
+            "--arrivals",
+            "20000",
+            "--vertices",
+            "200",
+        ])
+        .unwrap();
+        // A proper prefix of the same stream, so the snapshot command's
+        // deterministic rebuild reproduces the on-disk history exactly.
+        let edges = gstream::load_stream(&full).unwrap();
+        let prefix = tmp("snap_pipeline.prefix.txt");
+        gstream::save_stream(&prefix, &edges[..edges.len() / 2]).unwrap();
+        let snap = tmp("snap_pipeline.wsnap.json");
+        let _ = std::fs::remove_file(&snap);
+        let first = run(&[
+            "snapshot",
+            &prefix,
+            "--out",
+            &snap,
+            "--window-span",
+            "1000",
+            "--window-memory",
+            "16K",
+        ])
+        .unwrap();
+        assert!(first.starts_with("wrote"), "{first}");
+        let bytes_before = std::fs::metadata(&snap).unwrap().len();
+        let second = run(&[
+            "snapshot",
+            &full,
+            "--out",
+            &snap,
+            "--window-span",
+            "1000",
+            "--window-memory",
+            "16K",
+        ])
+        .unwrap();
+        assert!(second.starts_with("appended"), "{second}");
+        assert!(
+            std::fs::metadata(&snap).unwrap().len() > bytes_before,
+            "append must extend the file"
+        );
+        // A diverged configuration is rejected, not silently rewritten.
+        let e = run(&[
+            "snapshot",
+            &full,
+            "--out",
+            &snap,
+            "--window-span",
+            "1000",
+            "--window-memory",
+            "16K",
+            "--seed",
+            "7",
+        ])
+        .unwrap_err();
+        assert!(e.to_string().contains("append"), "{e}");
+        // Inline time-travel queries: lifetime and an explicit interval.
+        let horizon = edges.last().unwrap().ts;
+        let q = run(&["query", "--snapshot", &snap, "0", "1", "5", "6"]).unwrap();
+        assert!(q.contains("[lifetime]"), "{q}");
+        let qi = run(&[
+            "query",
+            "--snapshot",
+            &snap,
+            "0",
+            "1",
+            "--t-start",
+            "0",
+            "--t-end",
+            &(horizon / 2).to_string(),
+        ])
+        .unwrap();
+        assert!(qi.contains(&format!("[0..{}]", horizon / 2)), "{qi}");
+    }
+
+    /// `workload --intervals` + `query --snapshot --workload`: the
+    /// interval-keyed memo answers repeats, and the cached replay is
+    /// bit-identical to the uncached baseline.
+    #[test]
+    fn snapshot_workload_replay_hits_interval_memo() {
+        let stream = tmp("snap_wl.txt");
+        run(&[
+            "generate",
+            "smallworld",
+            "--out",
+            &stream,
+            "--arrivals",
+            "20000",
+            "--vertices",
+            "200",
+        ])
+        .unwrap();
+        let snap = tmp("snap_wl.wsnap.json");
+        let _ = std::fs::remove_file(&snap);
+        run(&[
+            "snapshot",
+            &stream,
+            "--out",
+            &snap,
+            "--window-span",
+            "1000",
+            "--window-memory",
+            "16K",
+        ])
+        .unwrap();
+        let wl = tmp("snap_wl.queries.txt");
+        let gen = run(&[
+            "workload",
+            &stream,
+            "--out",
+            &wl,
+            "--queries",
+            "4000",
+            "--zipf",
+            "1.1",
+            "--intervals",
+            "4000,2000",
+        ])
+        .unwrap();
+        assert!(gen.contains("windows of span 4000 (align 2000)"), "{gen}");
+        let cached = run(&["query", "--snapshot", &snap, "--workload", &wl]).unwrap();
+        let uncached = run(&[
+            "query",
+            "--snapshot",
+            &snap,
+            "--workload",
+            &wl,
+            "--cache",
+            "off",
+        ])
+        .unwrap();
+        let sum_line = |text: &str| {
+            text.lines()
+                .find(|l| l.starts_with("estimate sum"))
+                .unwrap()
+                .to_owned()
+        };
+        assert_eq!(sum_line(&cached), sum_line(&uncached));
+        assert!(cached.contains("hit rate"), "{cached}");
+        assert!(!uncached.contains("cache:"), "{uncached}");
+        // Zipf head × few distinct intervals ⇒ the memo must hit.
+        let hits: u64 = cached
+            .lines()
+            .find(|l| l.starts_with("cache:"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert!(hits > 0, "{cached}");
+        // Degenerate interval specs are CLI errors naming the flag.
+        for bad in ["0", "abc", "100,0", "100,"] {
+            let e = run(&[
+                "workload",
+                &stream,
+                "--out",
+                &wl,
+                "--queries",
+                "10",
+                "--intervals",
+                bad,
+            ])
+            .unwrap_err();
+            assert!(e.to_string().contains("--intervals"), "{bad}: {e}");
+        }
+    }
+
+    /// `--horizon-keep` coarsens old windows into tiers; `--load-span`
+    /// loads a horizon slice and flags the instance partial.
+    #[test]
+    fn snapshot_horizon_and_partial_load() {
+        let stream = tmp("snap_horizon.txt");
+        run(&[
+            "generate",
+            "smallworld",
+            "--out",
+            &stream,
+            "--arrivals",
+            "20000",
+            "--vertices",
+            "200",
+        ])
+        .unwrap();
+        let snap = tmp("snap_horizon.wsnap.json");
+        let _ = std::fs::remove_file(&snap);
+        let built = run(&[
+            "snapshot",
+            &stream,
+            "--out",
+            &snap,
+            "--window-span",
+            "500",
+            "--window-memory",
+            "16K",
+            "--horizon-keep",
+            "3",
+        ])
+        .unwrap();
+        assert!(built.contains("tier(s)"), "{built}");
+        let q = run(&["query", "--snapshot", &snap, "0", "1"]).unwrap();
+        assert!(q.contains("tier(s)"), "{q}");
+        // Horizon-limited load: resident inside the span, flagged partial.
+        let flat = tmp("snap_horizon.flat.json");
+        let _ = std::fs::remove_file(&flat);
+        run(&[
+            "snapshot",
+            &stream,
+            "--out",
+            &flat,
+            "--window-span",
+            "500",
+            "--window-memory",
+            "16K",
+        ])
+        .unwrap();
+        let part = run(&[
+            "query",
+            "--snapshot",
+            &flat,
+            "0",
+            "1",
+            "--load-span",
+            "0,900",
+            "--t-start",
+            "0",
+            "--t-end",
+            "900",
+        ])
+        .unwrap();
+        assert!(part.contains("partial load"), "{part}");
+        // And the bad spellings are named.
+        let e = run(&["query", "--snapshot", &flat, "0", "1", "--load-span", "900"]).unwrap_err();
+        assert!(e.to_string().contains("--load-span"), "{e}");
+    }
+
+    /// Pointing a command at the wrong snapshot format gives a redirect
+    /// naming the kind found, not a parse error (the fall-through fix).
+    #[test]
+    fn snapshot_kind_errors_name_found_and_expected() {
+        let stream = tmp("snap_kinds.txt");
+        run(&[
+            "generate",
+            "erdos",
+            "--out",
+            &stream,
+            "--arrivals",
+            "5000",
+            "--vertices",
+            "100",
+        ])
+        .unwrap();
+        let wsnap = tmp("snap_kinds.wsnap.json");
+        let _ = std::fs::remove_file(&wsnap);
+        run(&[
+            "snapshot",
+            &stream,
+            "--out",
+            &wsnap,
+            "--window-span",
+            "1000",
+        ])
+        .unwrap();
+        let flat = tmp("snap_kinds.flat.json");
+        run(&["build", &stream, "--memory", "16K", "--out", &flat]).unwrap();
+        // Windowed file through the flat path: redirected to --snapshot.
+        let e = run(&["query", &wsnap, "0", "1"]).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("--snapshot"), "{msg}");
+        assert!(msg.contains("gsketch-windowed:cm-arena"), "{msg}");
+        // Flat file through the windowed path: named, with the fix.
+        let e = run(&["query", "--snapshot", &flat, "0", "1"]).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("not a windowed snapshot"), "{msg}");
+        assert!(msg.contains("gsketch:cm-arena"), "{msg}");
+        // Unknown kind in a flat envelope: found + expected + path.
+        let bogus = tmp("snap_kinds.bogus.json");
+        std::fs::write(
+            &bogus,
+            "{\"format_version\":2,\"kind\":\"gsketch:bogus\",\"sketch\":{}}",
+        )
+        .unwrap();
+        let e = run(&["query", &bogus, "0", "1"]).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("gsketch:bogus"), "{msg}");
+        assert!(msg.contains("expected gsketch:cm-arena"), "{msg}");
+        assert!(msg.contains("snap_kinds.bogus.json"), "{msg}");
+        // Snapshot-only flags are rejected outside --snapshot.
+        let e = run(&["query", &flat, "0", "1", "--t-start", "5"]).unwrap_err();
+        assert!(e.to_string().contains("--snapshot"), "{e}");
+        let e = run(&[
+            "query",
+            "--snapshot",
+            &wsnap,
+            "0",
+            "1",
+            "--prefilter",
+            "off",
+        ])
+        .unwrap_err();
+        assert!(e.to_string().contains("--prefilter"), "{e}");
+        // Zero-span snapshots are rejected up front.
+        let e = run(&["snapshot", &stream, "--out", &wsnap, "--window-span", "0"]).unwrap_err();
+        assert!(e.to_string().contains("positive"), "{e}");
     }
 }

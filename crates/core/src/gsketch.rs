@@ -17,6 +17,7 @@ use crate::partition::{partition, Objective, PartitionConfig, PartitionPlan, Wid
 use crate::router::{Router, SketchId};
 use crate::vstats::SampleStats;
 use gstream::edge::{Edge, StreamEdge};
+use serde::{Deserialize, Serialize};
 use sketch::{BlockedBloom, CmArena, CountMinSketch, FrequencySketch, SketchBank, SketchError};
 
 /// Fraction of the memory budget carved out for the zero-frequency
@@ -87,7 +88,12 @@ pub(crate) fn filtered_run(
 }
 
 /// Builder-style configuration for a [`GSketch`].
-#[derive(Debug, Clone, Copy)]
+///
+/// Serializable so deployments that must rebuild *identical* sketches
+/// after a restart — the windowed snapshot store persists the builder in
+/// its header and replays rotations with it — can round-trip the full
+/// build configuration (the build is deterministic given the fields).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct GSketchBuilder {
     memory_bytes: usize,
     depth: usize,
@@ -100,6 +106,7 @@ pub struct GSketchBuilder {
     outlier_profile: Option<(u64, u64)>,
     prefilter: bool,
     seed: u64,
+    width_quantum: usize,
 }
 
 impl Default for GSketchBuilder {
@@ -116,6 +123,7 @@ impl Default for GSketchBuilder {
             outlier_profile: None,
             prefilter: true,
             seed: 0x6_5EED,
+            width_quantum: 1,
         }
     }
 }
@@ -219,6 +227,30 @@ impl GSketchBuilder {
     pub fn allocation(mut self, allocation: WidthAllocation) -> Self {
         self.allocation = allocation;
         self
+    }
+
+    /// Round every slot width to a multiple of `quantum` (default 1 =
+    /// no rounding). The windowed deployment's tiering path sets this:
+    /// a CountMin bucket is `h(key) mod w`, so when `quantum | w` the
+    /// congruence `(h mod w) mod quantum = h mod quantum` lets any
+    /// slot's counters be *folded* down to a width-`quantum` sketch
+    /// (cell `j` into cell `j mod quantum`) that is a valid sketch of
+    /// the same stream — the basis for merging windows built with
+    /// different sample-driven layouts (DESIGN.md §13). Rounding is
+    /// downward (`(w / q).max(1) · q`), so the memory budget stays an
+    /// upper bound except for slots narrower than one quantum.
+    #[must_use]
+    pub fn width_quantum(mut self, quantum: usize) -> Self {
+        self.width_quantum = quantum.max(1);
+        self
+    }
+
+    /// The fold quantum the windowed tiering path pairs with this
+    /// builder: the configured minimum partition width (floored at 2 so
+    /// it is always a legal sketch width). Coarsened tiers are
+    /// width-`fold_quantum` sketches.
+    pub(crate) fn fold_quantum(&self) -> usize {
+        self.min_width.max(2)
     }
 
     /// Fraction of the stream the data sample represents (e.g. `0.05` for
@@ -458,11 +490,15 @@ impl GSketchBuilder {
         outlier_width: usize,
         router: Option<Router>,
     ) -> Result<GSketch<B>, SketchError> {
+        let q = self.width_quantum.max(1);
         let widths: Vec<usize> = plan
             .leaves
             .iter()
             .map(|l| l.width)
             .chain(std::iter::once(outlier_width))
+            // Quantized widths stay foldable to width `q` (see
+            // `width_quantum`); `q == 1` is the identity.
+            .map(|w| (w / q).max(1) * q)
             .collect();
         let bank = B::Bank::build(&widths, self.depth, self.seed)?;
         let router = router.unwrap_or_else(|| Router::from_plan(&plan));
@@ -986,6 +1022,20 @@ impl<B: FrequencySketch> GSketch<B> {
             mine.union(theirs);
         }
         Ok(())
+    }
+
+    /// Fold the whole synopsis — every partition slot plus the outlier —
+    /// into one standalone width-`quantum` backend sketch summarizing
+    /// the union of everything this sketch absorbed. Requires every slot
+    /// width to be a multiple of `quantum` (build with
+    /// [`GSketchBuilder::width_quantum`]); the fold is exact in the
+    /// sense that the result is a valid width-`quantum` sketch of the
+    /// same stream, with the correspondingly wider `e·N/quantum` bound.
+    /// This is the windowed deployment's coarsening kernel (DESIGN.md
+    /// §13): expired windows fold to tiers, and tiers built from the
+    /// same seed and depth merge with each other.
+    pub fn fold(&self, quantum: usize) -> Result<B, SketchError> {
+        B::fold_bank(&self.bank, quantum)
     }
 
     /// Decompose into raw parts (used by [`crate::ConcurrentGSketch`]).

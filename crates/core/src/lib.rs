@@ -95,13 +95,15 @@ pub use metrics::{
 };
 pub use partition::{Objective, PartitionConfig, PartitionPlan, WidthAllocation};
 pub use persist::{
-    load_gsketch, load_gsketch_backend, save_gsketch, PersistError, RawSnapshot, FORMAT_VERSION,
+    load_gsketch, load_gsketch_backend, load_windowed, load_windowed_backend,
+    load_windowed_horizon, load_windowed_horizon_backend, save_gsketch, save_windowed,
+    PersistError, RawSnapshot, FORMAT_VERSION, WINDOWED_FORMAT_VERSION,
 };
 pub use pipeline::{IngestReport, ParallelIngest, ShardedIngest, SlotSink};
 pub use query::{
     estimate_subgraph, estimate_subgraph_with, Aggregator, EdgeEstimator, ParallelQuery,
 };
-pub use replay::{ReplayEngine, ReplayStats, WriteLocalized};
+pub use replay::{ReplayEngine, ReplayStats, WindowedReplay, WriteLocalized};
 pub use router::{OwnerMap, Router, SketchId};
 pub use sink::{EdgeSink, SlotRouted};
 pub use sketch::{CmArena, CountMinSketch, CountSketch, DetailedRow, FrequencySketch, SketchBank};

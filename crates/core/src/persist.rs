@@ -9,7 +9,11 @@
 //! they summarize (a 2 MB sketch is a large one), and an inspectable
 //! format lets operators diff snapshots with standard tools. The envelope
 //! carries a format version so future layout changes can be detected
-//! rather than mis-parsed.
+//! rather than mis-parsed. The one exception to plain JSON is counter
+//! slabs: they serialize as a compact self-delimiting nibble-stream
+//! string (`sketch::slab`, DESIGN.md §13) so a snapshot load decodes cells
+//! with one byte scan instead of one heap `Value` per counter — the
+//! array form is still accepted on read.
 
 use crate::global::GlobalSketch;
 use crate::gsketch::GSketch;
@@ -27,6 +31,17 @@ use std::path::Path;
 /// (`gsketch:cm-arena`, `gsketch:countmin`, ...), so snapshots built
 /// with one backend cannot be silently decoded as another.
 pub const FORMAT_VERSION: u32 = 2;
+
+/// Snapshot format version for **windowed** deployments (DESIGN.md §13).
+/// A v3 file is line-oriented: a header line (config + builder + tiering
+/// parameters), one append-only record line per sealed window, one
+/// mutable tail line (tiers, live window, reservoir, RNG, counters), and
+/// a footer line indexing every window record's byte offset. The footer
+/// is what makes [`save_windowed`] incremental — an append truncates at
+/// the recorded `tail_offset` and writes only windows sealed since the
+/// last save — and what lets [`load_windowed_horizon`] decode only the
+/// records overlapping a queried span.
+pub const WINDOWED_FORMAT_VERSION: u32 = 3;
 
 /// Errors produced while saving or loading snapshots.
 #[derive(Debug)]
@@ -50,6 +65,14 @@ pub enum PersistError {
         /// Kind the caller asked for.
         expected: String,
     },
+    /// The instance was loaded through [`load_windowed_horizon`] and
+    /// holds only part of its history; saving it would silently shrink
+    /// the snapshot, so the save is refused.
+    PartialInstance,
+    /// An incremental append found the target file's recorded history
+    /// incompatible with the instance being saved (different deployment,
+    /// diverged windows, or a mismatched configuration).
+    AppendMismatch(String),
 }
 
 impl fmt::Display for PersistError {
@@ -65,6 +88,14 @@ impl fmt::Display for PersistError {
                     f,
                     "snapshot holds a `{found}` sketch, expected `{expected}`"
                 )
+            }
+            PersistError::PartialInstance => write!(
+                f,
+                "refusing to save a horizon-limited (partial) snapshot load: \
+                 it holds only part of the deployment's history"
+            ),
+            PersistError::AppendMismatch(why) => {
+                write!(f, "snapshot append rejected: {why}")
             }
         }
     }
@@ -92,6 +123,12 @@ impl From<serde_json::Error> for PersistError {
     }
 }
 
+impl From<serde::Error> for PersistError {
+    fn from(e: serde::Error) -> Self {
+        PersistError::Format(e.into())
+    }
+}
+
 /// The versioned on-disk envelope.
 #[derive(Serialize, Deserialize)]
 struct Envelope<T> {
@@ -106,16 +143,20 @@ fn check_header(
     kind: &str,
     expected: &str,
 ) -> Result<(), PersistError> {
-    if !accepted.contains(&version) {
-        return Err(PersistError::VersionMismatch {
-            found: version,
-            expected: FORMAT_VERSION,
-        });
-    }
+    // Kind first: "this is a `global` snapshot, not `gsketch:cm-arena`"
+    // diagnoses a wrong-file mistake better than a version complaint
+    // (the flat and windowed formats version independently).
     if kind != expected {
         return Err(PersistError::KindMismatch {
             found: kind.to_owned(),
             expected: expected.to_owned(),
+        });
+    }
+    if !accepted.contains(&version) {
+        return Err(PersistError::VersionMismatch {
+            found: version,
+            // Report the newest version this call path understands.
+            expected: accepted.iter().copied().max().unwrap_or(FORMAT_VERSION),
         });
     }
     Ok(())
@@ -292,6 +333,337 @@ pub fn save_global<P: AsRef<Path>>(path: P, sketch: &GlobalSketch) -> Result<(),
 /// Load a [`GlobalSketch`] snapshot from the file at `path`.
 pub fn load_global<P: AsRef<Path>>(path: P) -> Result<GlobalSketch, PersistError> {
     read_global(File::open(path)?)
+}
+
+// ---------------------------------------------------------------------------
+// Windowed snapshots (format v3, DESIGN.md §13)
+// ---------------------------------------------------------------------------
+//
+// Layout (one JSON document per line):
+//
+//   line 0   {"format_version":3,"kind":"gsketch-windowed:<backend>","header":{...}}
+//   line 1.. one record per sealed window: {"start":..,"end":..,"sketch":{...}}
+//   tail     {"tiers":[...],"current":{...},"reservoir":{...},"rng":[...],...}
+//   footer   {"windows":[[start,end,byte_offset],...],"tail_offset":N}
+//
+// Sealed windows are immutable, so their record lines are append-only:
+// `save_windowed` onto an existing file validates the header, truncates
+// at the recorded `tail_offset`, and writes only the windows sealed
+// since the last save plus a fresh tail and footer — O(new), not
+// O(history). Coarsened windows' records stay in the file as history;
+// the tail's tiers supersede them at load. The footer's byte offsets let
+// `load_windowed_horizon` parse only the records overlapping a queried
+// span.
+
+use crate::window::WindowedGSketch;
+use sketch::CmArena;
+use std::io::Seek;
+
+/// The envelope kind tag for a windowed deployment with backend `B`.
+fn windowed_kind<B: FrequencySketch>() -> String {
+    format!("gsketch-windowed:{}", B::KIND)
+}
+
+fn format_err(msg: impl Into<String>) -> PersistError {
+    PersistError::Format(serde::Error(msg.into()).into())
+}
+
+/// The JSON document starting at byte `off` (one line; no trailing
+/// newline). Offsets come from a snapshot footer, so every access is
+/// checked — a truncated or tampered file reports a format error instead
+/// of panicking.
+fn line_at(text: &str, off: u64) -> Result<&str, PersistError> {
+    let off = usize::try_from(off).map_err(|_| format_err("snapshot offset out of range"))?;
+    let rest = text
+        .get(off..)
+        .ok_or_else(|| format_err("snapshot offset past end of file"))?;
+    match rest.split('\n').next() {
+        Some(line) if !line.trim().is_empty() => Ok(line),
+        _ => Err(format_err("snapshot record at indexed offset is empty")),
+    }
+}
+
+/// Parsed v3 framing: the header envelope plus the footer index. Window
+/// record bodies are *not* parsed here — callers decode only the lines
+/// they need.
+struct WindowedFraming {
+    header: serde::Value,
+    /// `(start, end, byte_offset)` per sealed-window record.
+    windows: Vec<(u64, u64, u64)>,
+    tail_offset: u64,
+}
+
+fn parse_windowed_framing(
+    text: &str,
+    expected_kind: &str,
+) -> Result<WindowedFraming, PersistError> {
+    let first = text
+        .lines()
+        .next()
+        .filter(|l| !l.trim().is_empty())
+        .ok_or_else(|| format_err("snapshot file is empty"))?;
+    let envelope = serde_json::parse(first)?;
+    let version = u32::from_value(serde::value_field(&envelope, "format_version")?)
+        .map_err(|e| PersistError::Format(e.into()))?;
+    let kind = String::from_value(serde::value_field(&envelope, "kind")?)
+        .map_err(|e| PersistError::Format(e.into()))?;
+    check_header(version, &[WINDOWED_FORMAT_VERSION], &kind, expected_kind)?;
+    let header = serde::value_field(&envelope, "header")?.clone();
+
+    let last = text
+        .lines()
+        .rev()
+        .find(|l| !l.trim().is_empty())
+        .ok_or_else(|| format_err("snapshot file has no footer"))?;
+    let footer = serde_json::parse(last)
+        .map_err(|_| format_err("snapshot footer is unreadable (truncated file?)"))?;
+    let tail_offset = u64::from_value(serde::value_field(&footer, "tail_offset")?)
+        .map_err(|e| PersistError::Format(e.into()))?;
+    let mut windows = Vec::new();
+    match serde::value_field(&footer, "windows")? {
+        serde::Value::Seq(items) => {
+            for item in items {
+                let triple =
+                    serde::value_seq(item, 3).map_err(|e| PersistError::Format(e.into()))?;
+                let start =
+                    u64::from_value(&triple[0]).map_err(|e| PersistError::Format(e.into()))?;
+                let end =
+                    u64::from_value(&triple[1]).map_err(|e| PersistError::Format(e.into()))?;
+                let off =
+                    u64::from_value(&triple[2]).map_err(|e| PersistError::Format(e.into()))?;
+                if start >= end {
+                    return Err(format_err(format!(
+                        "snapshot footer window [{start}, {end}) is empty or inverted"
+                    )));
+                }
+                if let Some(&(_, prev_end, _)) = windows.last() {
+                    if start < prev_end {
+                        return Err(format_err("snapshot footer windows out of order"));
+                    }
+                }
+                windows.push((start, end, off));
+            }
+        }
+        other => {
+            return Err(format_err(format!(
+                "snapshot footer `windows` is {other:?}"
+            )))
+        }
+    }
+    // The footer must point inside the file; a stale footer after an
+    // interrupted append is a format error, not a panic.
+    line_at(text, tail_offset)?;
+    Ok(WindowedFraming {
+        header,
+        windows,
+        tail_offset,
+    })
+}
+
+/// Render one line-framed snapshot section (record, tail) as JSON.
+fn encode_line(v: &serde::Value) -> Result<String, PersistError> {
+    Ok(serde_json::to_string(v)?)
+}
+
+fn encode_footer(windows: &[(u64, u64, u64)], tail_offset: u64) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("{\"windows\":[");
+    for (i, (start, end, off)) in windows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        // Infallible: writing to a String cannot error.
+        let _ = write!(s, "[{start},{end},{off}]");
+    }
+    let _ = write!(s, "],\"tail_offset\":{tail_offset}}}");
+    s
+}
+
+/// Save a windowed deployment to `path` (format v3). If `path` does not
+/// exist, the full state is written. If it does, the save is an
+/// **incremental append**: the existing header is validated against the
+/// instance (same deployment, same configuration), the file is truncated
+/// at its recorded `tail_offset`, and only the windows sealed since the
+/// last save are written, followed by a fresh tail and footer — the
+/// write cost is O(new windows), independent of how much history the
+/// file already holds.
+pub fn save_windowed<P: AsRef<Path>, B: FrequencySketch>(
+    path: P,
+    w: &WindowedGSketch<B>,
+) -> Result<(), PersistError> {
+    if w.is_partial() {
+        return Err(PersistError::PartialInstance);
+    }
+    let path = path.as_ref();
+    let header = serde::Value::Map(vec![
+        (
+            "format_version".to_owned(),
+            serde::Value::U64(u64::from(WINDOWED_FORMAT_VERSION)),
+        ),
+        ("kind".to_owned(), serde::Value::Str(windowed_kind::<B>())),
+        ("header".to_owned(), w.encode_header()),
+    ]);
+    let spans = w.sealed_spans();
+
+    // Returns the windows already recorded (kept with their offsets) and
+    // the byte position appends start from; `None` means a fresh write.
+    let existing = if path.exists() {
+        let text = std::fs::read_to_string(path)?;
+        let framing = parse_windowed_framing(&text, &windowed_kind::<B>())?;
+        if framing.header != w.encode_header() {
+            return Err(PersistError::AppendMismatch(
+                "file header (config/builder/horizon) differs from this instance".to_owned(),
+            ));
+        }
+        let file_end = framing.windows.last().map_or(0, |&(_, end, _)| end);
+        // Every live sealed window inside the file's recorded range must
+        // already be in the file; every recorded window the instance no
+        // longer holds must have been coarsened into its tiers.
+        for &(start, end) in spans.iter().filter(|&&(s, _)| s < file_end) {
+            if !framing
+                .windows
+                .iter()
+                .any(|&(fs, fe, _)| (fs, fe) == (start, end))
+            {
+                return Err(PersistError::AppendMismatch(format!(
+                    "instance window [{start}, {end}) is missing from the file's history"
+                )));
+            }
+        }
+        let tiers_end = w.tiers_end();
+        for &(fs, fe, _) in &framing.windows {
+            if fe > tiers_end && !spans.iter().any(|&(s, e)| (s, e) == (fs, fe)) {
+                return Err(PersistError::AppendMismatch(format!(
+                    "file window [{fs}, {fe}) is neither held nor coarsened by this instance"
+                )));
+            }
+        }
+        Some((framing.windows, framing.tail_offset, file_end))
+    } else {
+        None
+    };
+
+    let (mut index, mut offset, file_end) = match &existing {
+        Some((windows, tail_offset, file_end)) => (windows.clone(), *tail_offset, *file_end),
+        None => (Vec::new(), 0, 0),
+    };
+
+    // Lines to write from `offset` on: new window records, tail, footer.
+    let mut lines: Vec<String> = Vec::new();
+    if existing.is_none() {
+        let header_line = encode_line(&header)?;
+        offset = header_line.len() as u64 + 1;
+        lines.push(header_line);
+    }
+    for (i, &(start, end)) in spans.iter().enumerate() {
+        if start < file_end {
+            continue; // already recorded
+        }
+        let Some(record) = w.encode_sealed(i) else {
+            return Err(format_err("sealed window index out of range"));
+        };
+        let line = encode_line(&record)?;
+        index.push((start, end, offset));
+        offset += line.len() as u64 + 1;
+        lines.push(line);
+    }
+    let tail_line = encode_line(&w.encode_tail())?;
+    let tail_offset = offset;
+    lines.push(tail_line);
+    lines.push(encode_footer(&index, tail_offset));
+
+    let mut file = if let Some((_, old_tail, _)) = existing {
+        let f = std::fs::OpenOptions::new().write(true).open(path)?;
+        // Drop the old tail + footer; everything before is append-only.
+        f.set_len(old_tail)?;
+        let mut f = f;
+        f.seek(io::SeekFrom::End(0))?;
+        f
+    } else {
+        File::create(path)?
+    };
+    let mut out = BufWriter::new(&mut file);
+    for line in &lines {
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+fn decode_windowed<B: FrequencySketch>(
+    text: &str,
+    framing: &WindowedFraming,
+    span_filter: Option<(u64, u64)>,
+) -> Result<WindowedGSketch<B>, PersistError> {
+    let tail = serde_json::parse(line_at(text, framing.tail_offset)?)?;
+    // Records already absorbed into the tail's tiers are history: skip
+    // the (expensive) sketch decode, the tiers answer for that span.
+    let tiers_end = match serde::value_field(&tail, "tiers") {
+        Ok(serde::Value::Seq(items)) => match items.last() {
+            Some(last) => u64::from_value(serde::value_field(last, "end")?)
+                .map_err(|e| PersistError::Format(e.into()))?,
+            None => 0,
+        },
+        _ => 0,
+    };
+    let mut records = Vec::new();
+    let mut skipped_any = false;
+    for &(start, end, off) in &framing.windows {
+        if end <= tiers_end {
+            continue;
+        }
+        if let Some((ts, te)) = span_filter {
+            // Overlap of [ts, te] (inclusive) with [start, end).
+            if end <= ts || start > te {
+                skipped_any = true;
+                continue;
+            }
+        }
+        records.push(serde_json::parse(line_at(text, off)?)?);
+    }
+    WindowedGSketch::<B>::from_snapshot(&framing.header, &records, &tail, skipped_any)
+        .map_err(|e| PersistError::Format(e.into()))
+}
+
+/// Load a full windowed snapshot (default backend) from `path`.
+pub fn load_windowed<P: AsRef<Path>>(path: P) -> Result<WindowedGSketch, PersistError> {
+    load_windowed_backend::<P, CmArena>(path)
+}
+
+/// [`load_windowed`] with an explicit synopsis backend.
+pub fn load_windowed_backend<P: AsRef<Path>, B: FrequencySketch>(
+    path: P,
+) -> Result<WindowedGSketch<B>, PersistError> {
+    let text = std::fs::read_to_string(path)?;
+    let framing = parse_windowed_framing(&text, &windowed_kind::<B>())?;
+    decode_windowed(&text, &framing, None)
+}
+
+/// Load only the sealed windows overlapping `[t_start, t_end]`
+/// (inclusive), plus the tail. The footer's byte index means records
+/// outside the span are never parsed — a query over a narrow horizon
+/// pays for the windows it touches, not the whole history. If any
+/// record was skipped the returned instance is **partial**
+/// ([`WindowedGSketch::is_partial`]): answers are only valid inside the
+/// loaded span and re-saving it is refused.
+pub fn load_windowed_horizon<P: AsRef<Path>>(
+    path: P,
+    t_start: u64,
+    t_end: u64,
+) -> Result<WindowedGSketch, PersistError> {
+    load_windowed_horizon_backend::<P, CmArena>(path, t_start, t_end)
+}
+
+/// [`load_windowed_horizon`] with an explicit synopsis backend.
+pub fn load_windowed_horizon_backend<P: AsRef<Path>, B: FrequencySketch>(
+    path: P,
+    t_start: u64,
+    t_end: u64,
+) -> Result<WindowedGSketch<B>, PersistError> {
+    let text = std::fs::read_to_string(path)?;
+    let framing = parse_windowed_framing(&text, &windowed_kind::<B>())?;
+    decode_windowed(&text, &framing, Some((t_start, t_end)))
 }
 
 #[cfg(test)]
@@ -487,5 +859,292 @@ mod tests {
             expected: "gsketch:cm-arena".into(),
         };
         assert!(e.to_string().contains("gsketch"));
+        assert!(PersistError::PartialInstance
+            .to_string()
+            .contains("partial"));
+        assert!(PersistError::AppendMismatch("diverged".into())
+            .to_string()
+            .contains("diverged"));
+    }
+
+    // -- windowed snapshots (format v3) -----------------------------------
+
+    use crate::window::WindowConfig;
+    use crate::WindowedGSketch;
+
+    fn wcfg() -> WindowConfig {
+        WindowConfig {
+            span: 100,
+            memory_bytes_per_window: 1 << 14,
+            sample_capacity: 64,
+            seed: 7,
+        }
+    }
+
+    fn wbuilder() -> crate::GSketchBuilder {
+        GSketch::builder().min_width(16)
+    }
+
+    fn wstream(range: std::ops::Range<u64>) -> Vec<StreamEdge> {
+        range
+            .map(|ts| StreamEdge::unit(Edge::new((ts % 9) as u32, 40 + (ts % 4) as u32), ts))
+            .collect()
+    }
+
+    fn query_edges() -> Vec<Edge> {
+        (0..9u32)
+            .flat_map(|s| (40..44u32).map(move |d| Edge::new(s, d)))
+            .collect()
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("gsketch_persist_windowed");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    /// Every interval answer — plain and detailed — must be
+    /// bit-identical between the two instances across a spread of spans.
+    fn assert_windowed_answers_identical<B: FrequencySketch>(
+        a: &WindowedGSketch<B>,
+        b: &WindowedGSketch<B>,
+        ctx: &str,
+    ) {
+        let edges = query_edges();
+        let (mut va, mut vb) = (Vec::new(), Vec::new());
+        let (mut ra, mut rb) = (Vec::new(), Vec::new());
+        for (ts, te) in [(0u64, u64::MAX), (0, 349), (120, 480), (333, 333)] {
+            a.estimate_interval_batch(&edges, ts, te, &mut va);
+            b.estimate_interval_batch(&edges, ts, te, &mut vb);
+            for (x, y) in va.iter().zip(&vb) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: [{ts}, {te}]");
+            }
+            a.estimate_interval_detailed_batch(&edges, ts, te, &mut ra);
+            b.estimate_interval_detailed_batch(&edges, ts, te, &mut rb);
+            for (x, y) in ra.iter().zip(&rb) {
+                assert_eq!(x.value.to_bits(), y.value.to_bits(), "{ctx}");
+                assert_eq!(x.error_bound.to_bits(), y.error_bound.to_bits(), "{ctx}");
+                assert_eq!(x.confidence.to_bits(), y.confidence.to_bits(), "{ctx}");
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_round_trip_is_bit_identical_and_resumable() {
+        let path = temp_path("round_trip.json");
+        let mut w = WindowedGSketch::new(wcfg(), wbuilder()).unwrap();
+        for se in wstream(0..550) {
+            w.try_insert(se).unwrap();
+        }
+        save_windowed(&path, &w).unwrap();
+        let mut back = load_windowed(&path).unwrap();
+        assert!(!back.is_partial());
+        assert_eq!(back.sealed_windows(), w.sealed_windows());
+        assert_eq!(back.current_window_start(), w.current_window_start());
+        assert_windowed_answers_identical(&w, &back, "after load");
+        // Resumability is the hard part: reservoir + RNG state round-trip,
+        // so continued ingest (rotations included) stays bit-identical.
+        for se in wstream(550..900) {
+            w.try_insert(se).unwrap();
+            back.try_insert(se).unwrap();
+        }
+        assert_windowed_answers_identical(&w, &back, "after resumed ingest");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn windowed_append_writes_only_new_windows() {
+        let path = temp_path("append.json");
+        let mut w = WindowedGSketch::new(wcfg(), wbuilder()).unwrap();
+        for se in wstream(0..350) {
+            w.try_insert(se).unwrap();
+        }
+        save_windowed(&path, &w).unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+        let framing = parse_windowed_framing(&first, &windowed_kind::<sketch::CmArena>()).unwrap();
+        assert_eq!(framing.windows.len(), 3);
+
+        for se in wstream(350..900) {
+            w.try_insert(se).unwrap();
+        }
+        save_windowed(&path, &w).unwrap();
+        let second = std::fs::read_to_string(&path).unwrap();
+        // Append-only: everything before the old tail offset is
+        // byte-for-byte unchanged — old records were not rewritten.
+        let old_tail = usize::try_from(framing.tail_offset).unwrap();
+        assert_eq!(&first[..old_tail], &second[..old_tail]);
+        let framing2 =
+            parse_windowed_framing(&second, &windowed_kind::<sketch::CmArena>()).unwrap();
+        assert_eq!(framing2.windows.len(), 8);
+
+        let back = load_windowed(&path).unwrap();
+        assert_windowed_answers_identical(&w, &back, "after append + load");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn windowed_append_rejects_diverged_history() {
+        let path = temp_path("diverged.json");
+        let mut w = WindowedGSketch::new(wcfg(), wbuilder()).unwrap();
+        for se in wstream(0..350) {
+            w.try_insert(se).unwrap();
+        }
+        save_windowed(&path, &w).unwrap();
+        // A different deployment (different seed ⇒ different header).
+        let mut other = WindowedGSketch::new(
+            WindowConfig {
+                seed: 1234,
+                ..wcfg()
+            },
+            wbuilder(),
+        )
+        .unwrap();
+        for se in wstream(0..350) {
+            other.try_insert(se).unwrap();
+        }
+        let err = save_windowed(&path, &other).unwrap_err();
+        assert!(matches!(err, PersistError::AppendMismatch(_)), "got {err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn windowed_horizon_load_skips_records_and_is_partial() {
+        let path = temp_path("horizon.json");
+        let mut w = WindowedGSketch::new(wcfg(), wbuilder()).unwrap();
+        for se in wstream(0..800) {
+            w.try_insert(se).unwrap();
+        }
+        save_windowed(&path, &w).unwrap();
+        let narrow = load_windowed_horizon(&path, 300, 499).unwrap();
+        assert!(narrow.is_partial());
+        assert!(narrow.sealed_windows() < w.sealed_windows());
+        // Inside the loaded span, answers match the full instance
+        // bit-for-bit (absent windows contribute exactly 0 elsewhere).
+        let edges = query_edges();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        w.estimate_interval_batch(&edges, 300, 499, &mut a);
+        narrow.estimate_interval_batch(&edges, 300, 499, &mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // A partial instance refuses to overwrite durable history.
+        let err = save_windowed(&path, &narrow).unwrap_err();
+        assert!(matches!(err, PersistError::PartialInstance));
+        // A horizon covering everything is not partial.
+        let full = load_windowed_horizon(&path, 0, u64::MAX).unwrap();
+        assert!(!full.is_partial());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn windowed_tiered_round_trip_and_append() {
+        let path = temp_path("tiered.json");
+        let mut w = WindowedGSketch::with_horizon(wcfg(), wbuilder(), 2).unwrap();
+        let mut shadow = WindowedGSketch::with_horizon(wcfg(), wbuilder(), 2).unwrap();
+        for se in wstream(0..900) {
+            w.try_insert(se).unwrap();
+            shadow.try_insert(se).unwrap();
+        }
+        assert!(w.num_tiers() >= 1, "test needs coarsened history");
+        save_windowed(&path, &w).unwrap();
+        let mut back = load_windowed(&path).unwrap();
+        assert_eq!(back.num_tiers(), w.num_tiers());
+        assert_eq!(back.coarsenings(), w.coarsenings());
+        assert_windowed_answers_identical(&w, &back, "tiered load");
+        // Append after further coarsening, then reload: still identical
+        // to the shadow instance that never went through a file.
+        for se in wstream(900..1500) {
+            w.try_insert(se).unwrap();
+            shadow.try_insert(se).unwrap();
+            back.try_insert(se).unwrap();
+        }
+        assert_windowed_answers_identical(&shadow, &back, "tiered resumed ingest");
+        save_windowed(&path, &w).unwrap();
+        let again = load_windowed(&path).unwrap();
+        assert_windowed_answers_identical(&shadow, &again, "tiered append + reload");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn windowed_cross_backend_and_flat_kind_rejected() {
+        use sketch::CountMinSketch;
+        let path = temp_path("kind.json");
+        let mut w = WindowedGSketch::<CountMinSketch>::new_backend(wcfg(), wbuilder()).unwrap();
+        for se in wstream(0..250) {
+            w.try_insert(se).unwrap();
+        }
+        save_windowed(&path, &w).unwrap();
+        // Round trip under the right backend works…
+        let back = load_windowed_backend::<_, CountMinSketch>(&path).unwrap();
+        assert_windowed_answers_identical(&w, &back, "countmin windowed");
+        // …the default backend refuses, naming both kinds…
+        let err = load_windowed(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, PersistError::KindMismatch { .. }));
+        assert!(msg.contains("gsketch-windowed:countmin"), "{msg}");
+        assert!(msg.contains("gsketch-windowed:cm-arena"), "{msg}");
+        // …and a flat snapshot is rejected by kind, not by parse chaos.
+        let flat = temp_path("flat.json");
+        save_gsketch(&flat, &built_gsketch()).unwrap();
+        let err = load_windowed(&flat).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PersistError::KindMismatch { .. } | PersistError::Format(_)
+            ),
+            "got {err}"
+        );
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&flat).unwrap();
+    }
+
+    #[test]
+    fn windowed_version_mismatch_names_windowed_version() {
+        let path = temp_path("version.json");
+        let mut w = WindowedGSketch::new(wcfg(), wbuilder()).unwrap();
+        for se in wstream(0..150) {
+            w.try_insert(se).unwrap();
+        }
+        save_windowed(&path, &w).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap().replace(
+            &format!("\"format_version\":{WINDOWED_FORMAT_VERSION}"),
+            "\"format_version\":77",
+        );
+        std::fs::write(&path, text).unwrap();
+        let err = load_windowed(&path).unwrap_err();
+        match err {
+            PersistError::VersionMismatch { found, expected } => {
+                assert_eq!(found, 77);
+                assert_eq!(expected, WINDOWED_FORMAT_VERSION);
+            }
+            other => panic!("expected version mismatch, got {other}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Truncation at any byte must produce an error, never a panic: the
+    /// decode path is what `xtask lint` pins as panic-free.
+    #[test]
+    fn truncated_windowed_snapshots_error_cleanly() {
+        let path = temp_path("truncated.json");
+        let mut w = WindowedGSketch::new(wcfg(), wbuilder()).unwrap();
+        for se in wstream(0..350) {
+            w.try_insert(se).unwrap();
+        }
+        save_windowed(&path, &w).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // Sweep cut points across the whole file (step keeps it fast).
+        // Every cut below len−1 severs the footer line; len−1 would only
+        // drop the trailing newline, which is legitimately loadable.
+        for cut in (0..full.len().saturating_sub(1)).step_by(97) {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            match load_windowed(&path) {
+                Err(_) => {}
+                Ok(_) => panic!("truncation at byte {cut} decoded successfully"),
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -89,7 +89,7 @@ impl WriteLocalized for crate::AdaptiveGSketch {}
 
 /// A write may rotate windows (rebuilding the current router), so no
 /// per-slot localization is sound across the write stream.
-impl WriteLocalized for crate::WindowedGSketch {}
+impl<B: sketch::FrequencySketch> WriteLocalized for crate::WindowedGSketch<B> {}
 
 /// Exact truth: a write to edge `e` only changes `e`, but the exact
 /// counter is a hash map — memoizing in front of it buys nothing, so it
@@ -466,6 +466,401 @@ impl std::fmt::Debug for MemoSet {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Interval-keyed replay for windowed deployments (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+/// One 4-way interval-memo set: ways are tagged by the `(pair, interval)`
+/// key and cache the full [`IntervalEstimate`] row (value, bound,
+/// confidence), so the plain and detailed query surfaces share one memo.
+struct IvalSet {
+    pairs: [u64; 4],
+    ivals: [u32; 4],
+    values: [f64; 4],
+    bounds: [f64; 4],
+    confs: [f64; 4],
+    stamps: [u64; 4],
+    hits: [u32; 4],
+}
+
+const EMPTY_IVAL_SET: IvalSet = IvalSet {
+    pairs: [0; 4],
+    ivals: [0; 4],
+    values: [0.0; 4],
+    bounds: [0.0; 4],
+    confs: [0.0; 4],
+    stamps: [0; 4],
+    hits: [0; 4],
+};
+
+impl std::fmt::Debug for IvalSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IvalSet").finish_non_exhaustive()
+    }
+}
+
+use crate::window::IntervalEstimate;
+use crate::WindowedGSketch;
+use sketch::{CmArena, FrequencySketch};
+
+/// A replay engine for **time-travel queries** over a windowed
+/// deployment: a set-associative memo keyed by `(edge pair, interval)`
+/// in front of [`WindowedGSketch::estimate_interval_detailed_batch`].
+///
+/// The point of a separate engine is the **two-domain invalidation
+/// protocol**, which is what makes historical answers effectively
+/// immortal:
+///
+/// * An interval is **sealed** iff its inclusive end lies before the
+///   currently open window (`t_end < current_window_start()`). A sealed
+///   interval's answer is computed entirely from sealed windows and
+///   tiers — the live window cannot overlap it — and window rotation
+///   cannot change it either (the newly sealed window starts at the old
+///   live boundary, past the interval's end). The only event that moves
+///   a sealed answer is **coarsening** (folding expired windows into
+///   tiers), which the engine detects through the deployment's monotone
+///   [`coarsenings`](WindowedGSketch::coarsenings) counter. Without a
+///   horizon that never happens: sealed hits survive any amount of
+///   further ingest.
+/// * A **live** interval (overlapping the open window) is invalidated
+///   by every write batch, exactly like [`ReplayEngine`]'s
+///   single-domain deployments.
+///
+/// Classification is monotone — `current_window_start` never decreases,
+/// so a sealed interval can never become live again — and both domain
+/// generations are drawn from one strictly-increasing counter, so a
+/// stale live-domain stamp can never collide with a sealed-domain
+/// generation (no ABA resurrection).
+///
+/// Combined with [`crate::persist::load_windowed`], this gives
+/// O(workload) time travel: [`replace_inner`](Self::replace_inner)
+/// swaps in a snapshot-loaded deployment and *keeps* the sealed half of
+/// the memo when the snapshot's history extends the current one, so a
+/// warmed replay survives process handoff through the snapshot file.
+#[derive(Debug)]
+pub struct WindowedReplay<B: FrequencySketch = CmArena> {
+    inner: WindowedGSketch<B>,
+    sets: Box<[IvalSet]>,
+    shift: u32,
+    /// Dense id per distinct queried interval (grows with the number of
+    /// distinct `[t_start, t_end]` spans the workload uses — a handful
+    /// in practice; ids are never recycled).
+    interval_ids: gstream::fxhash::FxHashMap<(u64, u64), u32>,
+    /// Generation of the sealed domain (bumped only by coarsening).
+    sealed_gen: u64,
+    /// Generation of the live domain (bumped by every write batch).
+    live_gen: u64,
+    /// Strictly increasing stamp source shared by both domains.
+    next_gen: u64,
+    /// Miss scratch (see [`AnswerMemo`] for the dedup scheme).
+    miss_edges: Vec<Edge>,
+    miss_occ: Vec<(usize, usize)>,
+    miss_rows: Vec<IntervalEstimate>,
+    miss_index: gstream::fxhash::FxHashMap<u64, usize>,
+    stats: ReplayStats,
+}
+
+impl<B: FrequencySketch> WindowedReplay<B> {
+    /// Front `inner` with an interval memo of the default capacity.
+    pub fn new(inner: WindowedGSketch<B>) -> Self {
+        Self::with_capacity(inner, DEFAULT_ENTRIES)
+    }
+
+    /// Front `inner` with a memo of at least `entries` cached answers
+    /// (rounded up to a power-of-two set count).
+    pub fn with_capacity(inner: WindowedGSketch<B>, entries: usize) -> Self {
+        let sets = (entries.max(4) / 4).next_power_of_two().max(2);
+        Self {
+            inner,
+            sets: (0..sets).map(|_| EMPTY_IVAL_SET).collect(),
+            shift: 64 - sets.trailing_zeros(),
+            interval_ids: gstream::fxhash::FxHashMap::default(),
+            sealed_gen: 0,
+            live_gen: 1,
+            next_gen: 1,
+            miss_edges: Vec::new(),
+            miss_occ: Vec::new(),
+            miss_rows: Vec::new(),
+            miss_index: gstream::fxhash::FxHashMap::default(),
+            stats: ReplayStats::default(),
+        }
+    }
+
+    /// The dense id of interval `(t_start, t_end)`.
+    fn interval_id(&mut self, t_start: u64, t_end: u64) -> u32 {
+        let next = self.interval_ids.len();
+        // cast: interval count is bounded by distinct workload spans,
+        // far below u32::MAX; a truncated id would only cause extra
+        // misses, never a wrong answer.
+        *self
+            .interval_ids
+            .entry((t_start, t_end))
+            .or_insert(next as u32)
+    }
+
+    /// The generation an entry for this interval must carry to be live
+    /// *now*: sealed intervals check against the sealed domain, live
+    /// ones against the live domain.
+    fn current_gen(&self, t_end: u64) -> u64 {
+        if t_end < self.inner.current_window_start() {
+            self.sealed_gen
+        } else {
+            self.live_gen
+        }
+    }
+
+    /// Set index for a `(pair, interval)` key: mix the interval id into
+    /// the pair before the Fibonacci spread so the same edge under
+    /// different intervals lands in different sets.
+    #[inline]
+    fn ival_set_index(&self, pair: u64, ival: u32) -> usize {
+        set_index(
+            pair ^ u64::from(ival).wrapping_mul(0xA24B_AED4_963E_E407),
+            self.shift,
+        )
+    }
+
+    #[inline]
+    fn probe(&mut self, pair: u64, ival: u32, gen: u64) -> Option<IntervalEstimate> {
+        let idx = self.ival_set_index(pair, ival);
+        let set = &mut self.sets[idx];
+        for j in 0..4 {
+            if set.pairs[j] == pair
+                && set.ivals[j] == ival
+                && set.hits[j] != 0
+                && set.stamps[j] == gen
+            {
+                set.hits[j] = set.hits[j].saturating_add(1);
+                self.stats.hits += 1;
+                return Some(IntervalEstimate {
+                    value: set.values[j],
+                    error_bound: set.bounds[j],
+                    confidence: set.confs[j],
+                });
+            }
+        }
+        None
+    }
+
+    fn insert(&mut self, pair: u64, ival: u32, gen: u64, row: IntervalEstimate) {
+        let idx = self.ival_set_index(pair, ival);
+        let (sealed_gen, live_gen) = (self.sealed_gen, self.live_gen);
+        let set = &mut self.sets[idx];
+        let mut victim = 0usize;
+        let mut victim_weight = u32::MAX;
+        for j in 0..4 {
+            if set.pairs[j] == pair && set.ivals[j] == ival && set.hits[j] != 0 {
+                victim = j;
+                break;
+            }
+            // Eviction weight only: a way stamped by neither current
+            // generation is certainly dead (weightless). A stale way
+            // that happens to match one is merely over-weighted — the
+            // probe's exact stamp check keeps correctness.
+            let live =
+                set.hits[j] != 0 && (set.stamps[j] == sealed_gen || set.stamps[j] == live_gen);
+            let weight = if live { set.hits[j] } else { 0 };
+            if weight < victim_weight {
+                victim = j;
+                victim_weight = weight;
+            }
+        }
+        set.pairs[victim] = pair;
+        set.ivals[victim] = ival;
+        set.values[victim] = row.value;
+        set.bounds[victim] = row.error_bound;
+        set.confs[victim] = row.confidence;
+        set.stamps[victim] = gen;
+        set.hits[victim] = 1;
+    }
+
+    fn bump_live(&mut self) {
+        self.next_gen += 1;
+        self.live_gen = self.next_gen;
+        self.stats.invalidations += 1;
+    }
+
+    fn bump_sealed(&mut self) {
+        self.next_gen += 1;
+        self.sealed_gen = self.next_gen;
+        self.stats.invalidations += 1;
+    }
+
+    /// Memoized
+    /// [`estimate_interval_detailed_batch`](WindowedGSketch::estimate_interval_detailed_batch):
+    /// hits are served from resident `(pair, interval)` lines, the
+    /// distinct misses are answered as one batch through the deployment
+    /// and inserted. Bit-identical to the uncached batch, in query
+    /// order.
+    pub fn estimate_interval_detailed_batch(
+        &mut self,
+        edges: &[Edge],
+        t_start: u64,
+        t_end: u64,
+        out: &mut Vec<IntervalEstimate>,
+    ) {
+        out.clear();
+        out.resize(edges.len(), IntervalEstimate::default());
+        let ival = self.interval_id(t_start, t_end);
+        let gen = self.current_gen(t_end);
+        let mut miss_edges = std::mem::take(&mut self.miss_edges);
+        let mut miss_occ = std::mem::take(&mut self.miss_occ);
+        let mut miss_rows = std::mem::take(&mut self.miss_rows);
+        let mut miss_index = std::mem::take(&mut self.miss_index);
+        miss_edges.clear();
+        miss_occ.clear();
+        miss_index.clear();
+        for (i, &e) in edges.iter().enumerate() {
+            let pair = edge_pair(e);
+            match self.probe(pair, ival, gen) {
+                Some(row) => out[i] = row,
+                None => {
+                    let slot = *miss_index.entry(pair).or_insert_with(|| {
+                        miss_edges.push(e);
+                        miss_edges.len() - 1
+                    });
+                    miss_occ.push((slot, i));
+                }
+            }
+        }
+        if !miss_edges.is_empty() {
+            self.stats.misses += miss_edges.len() as u64;
+            self.stats.hits += (miss_occ.len() - miss_edges.len()) as u64;
+            self.inner.estimate_interval_detailed_batch(
+                &miss_edges,
+                t_start,
+                t_end,
+                &mut miss_rows,
+            );
+            debug_assert_eq!(miss_rows.len(), miss_edges.len());
+            for &(slot, i) in &miss_occ {
+                out[i] = miss_rows[slot];
+            }
+            for (&e, &row) in miss_edges.iter().zip(&miss_rows) {
+                self.insert(edge_pair(e), ival, gen, row);
+            }
+        }
+        self.miss_edges = miss_edges;
+        self.miss_occ = miss_occ;
+        self.miss_rows = miss_rows;
+        self.miss_index = miss_index;
+    }
+
+    /// Memoized
+    /// [`estimate_interval_batch`](WindowedGSketch::estimate_interval_batch):
+    /// the plain surface shares the detailed memo (the windowed
+    /// deployment pins plain and detailed values bit-identical).
+    pub fn estimate_interval_batch(
+        &mut self,
+        edges: &[Edge],
+        t_start: u64,
+        t_end: u64,
+        out: &mut Vec<f64>,
+    ) {
+        let mut rows = Vec::new();
+        self.estimate_interval_detailed_batch(edges, t_start, t_end, &mut rows);
+        out.clear();
+        out.extend(rows.iter().map(|r| r.value));
+    }
+
+    /// Fallible single-arrival ingest (the windowed counterpart of
+    /// [`WindowedGSketch::try_insert`]), with invalidation.
+    pub fn try_insert(&mut self, se: StreamEdge) -> Result<(), sketch::SketchError> {
+        self.bump_live();
+        let before = self.inner.coarsenings();
+        let r = self.inner.try_insert(se);
+        if self.inner.coarsenings() != before {
+            self.bump_sealed();
+        }
+        r
+    }
+
+    /// Swap in a replacement deployment — typically one loaded from a
+    /// snapshot file — and keep as much of the memo as is sound:
+    ///
+    /// * the **sealed** half survives iff the replacement provably
+    ///   extends the current deployment's history (same configuration
+    ///   and horizon, same coarsening count, current sealed spans a
+    ///   prefix of the replacement's, neither instance partial): every
+    ///   synopsis a sealed interval was answered from is still present
+    ///   and unchanged, and the replacement's extra windows all start at
+    ///   or past the old live boundary, outside every sealed interval;
+    /// * the **live** half is always invalidated — the open window's
+    ///   counters have no such guarantee.
+    ///
+    /// Returns whether sealed answers were preserved.
+    pub fn replace_inner(&mut self, new: WindowedGSketch<B>) -> bool {
+        let old_spans = self.inner.sealed_spans();
+        let new_spans = new.sealed_spans();
+        let preserved = !self.inner.is_partial()
+            && !new.is_partial()
+            && self.inner.config() == new.config()
+            && self.inner.horizon_keep() == new.horizon_keep()
+            && self.inner.coarsenings() == new.coarsenings()
+            && new_spans.len() >= old_spans.len()
+            && old_spans == new_spans[..old_spans.len()];
+        self.inner = new;
+        self.bump_live();
+        if !preserved {
+            self.bump_sealed();
+        }
+        preserved
+    }
+
+    /// Drop every cached answer.
+    pub fn invalidate_all(&mut self) {
+        self.bump_live();
+        self.bump_sealed();
+    }
+
+    /// Cumulative hit/miss/invalidation counters.
+    pub fn stats(&self) -> ReplayStats {
+        self.stats
+    }
+
+    /// Read-only access to the fronted deployment.
+    pub fn inner(&self) -> &WindowedGSketch<B> {
+        &self.inner
+    }
+
+    /// Unwrap the deployment. (No `inner_mut`, for the same reason as
+    /// [`ReplayEngine::into_inner`]: a mutable handle could write
+    /// without invalidating.)
+    pub fn into_inner(self) -> WindowedGSketch<B> {
+        self.inner
+    }
+}
+
+/// Writes invalidate the live domain before touching the deployment;
+/// if the write triggered coarsening (the only mutation of sealed
+/// history), the sealed domain is invalidated too.
+impl<B: FrequencySketch> EdgeSink for WindowedReplay<B> {
+    fn update(&mut self, se: StreamEdge) {
+        self.bump_live();
+        let before = self.inner.coarsenings();
+        self.inner.update(se);
+        if self.inner.coarsenings() != before {
+            self.bump_sealed();
+        }
+    }
+
+    fn ingest_batch(&mut self, batch: &[StreamEdge]) {
+        if batch.is_empty() {
+            return;
+        }
+        self.bump_live();
+        let before = self.inner.coarsenings();
+        self.inner.ingest_batch(batch);
+        if self.inner.coarsenings() != before {
+            self.bump_sealed();
+        }
+    }
+
+    fn flush(&mut self) {
+        self.inner.flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -727,5 +1122,183 @@ mod tests {
             assert_eq!(cached, bare);
         }
         assert!(engine.stats().hits >= queries.len() as u64 / 2);
+    }
+
+    // --- interval-keyed replay (WindowedReplay) ------------------------
+
+    use crate::{WindowConfig, WindowedGSketch};
+
+    fn wcfg() -> WindowConfig {
+        WindowConfig {
+            span: 100,
+            memory_bytes_per_window: 1 << 14,
+            sample_capacity: 64,
+            seed: 11,
+        }
+    }
+
+    fn wstream(range: std::ops::Range<u64>) -> Vec<StreamEdge> {
+        range
+            .map(|ts| StreamEdge::unit(Edge::new((ts % 7) as u32, 60 + (ts % 3) as u32), ts))
+            .collect()
+    }
+
+    fn wbuild(upto: u64) -> WindowedGSketch {
+        let mut w = WindowedGSketch::new(wcfg(), GSketch::builder().min_width(16)).unwrap();
+        for se in wstream(0..upto) {
+            w.try_insert(se).unwrap();
+        }
+        w
+    }
+
+    fn wqueries() -> Vec<Edge> {
+        (0..7u32)
+            .flat_map(|s| (60..63u32).map(move |d| Edge::new(s, d)))
+            .collect()
+    }
+
+    const INTERVALS: [(u64, u64); 4] = [(0, 149), (0, u64::MAX), (120, 480), (333, 333)];
+
+    #[test]
+    fn windowed_cached_answers_match_uncached() {
+        let w = wbuild(700);
+        let queries = wqueries();
+        let mut bare = Vec::new();
+        let mut bare_rows = Vec::new();
+        let mut cached = Vec::new();
+        let mut cached_rows = Vec::new();
+        let mut engine = WindowedReplay::new(wbuild(700));
+        for _ in 0..3 {
+            for &(ts, te) in &INTERVALS {
+                w.estimate_interval_batch(&queries, ts, te, &mut bare);
+                engine.estimate_interval_batch(&queries, ts, te, &mut cached);
+                assert_eq!(cached, bare, "plain mismatch over [{ts}, {te}]");
+                w.estimate_interval_detailed_batch(&queries, ts, te, &mut bare_rows);
+                engine.estimate_interval_detailed_batch(&queries, ts, te, &mut cached_rows);
+                assert_eq!(
+                    cached_rows, bare_rows,
+                    "detailed mismatch over [{ts}, {te}]"
+                );
+            }
+        }
+        let stats = engine.stats();
+        assert!(stats.hits > stats.misses, "{stats:?}");
+    }
+
+    /// A sealed interval's cached answer survives any amount of further
+    /// ingest — rotations included — because nothing after the live
+    /// boundary can overlap it (without a horizon, sealed history is
+    /// immutable).
+    #[test]
+    fn windowed_sealed_answers_survive_writes_and_rotations() {
+        use crate::EdgeSink;
+        let mut engine = WindowedReplay::new(wbuild(700));
+        let queries = wqueries();
+        let (ts, te) = (0u64, 399u64);
+        assert!(te < engine.inner().current_window_start());
+        let mut first = Vec::new();
+        engine.estimate_interval_detailed_batch(&queries, ts, te, &mut first);
+        let windows_before = engine.inner().sealed_windows();
+        engine.ingest_batch(&wstream(700..1_500)); // several rotations
+        assert!(engine.inner().sealed_windows() > windows_before);
+        let (hits0, misses0) = (engine.stats().hits, engine.stats().misses);
+        let mut again = Vec::new();
+        engine.estimate_interval_detailed_batch(&queries, ts, te, &mut again);
+        assert_eq!(again, first, "sealed answer changed under live writes");
+        assert_eq!(engine.stats().misses, misses0, "sealed answers re-derived");
+        assert_eq!(engine.stats().hits, hits0 + queries.len() as u64);
+        // And the survivors are still *correct*, not merely resident.
+        let mut bare = Vec::new();
+        engine
+            .inner()
+            .estimate_interval_detailed_batch(&queries, ts, te, &mut bare);
+        assert_eq!(again, bare);
+    }
+
+    /// Intervals overlapping the open window are invalidated by every
+    /// write batch and re-derive to the fresh answer.
+    #[test]
+    fn windowed_live_answers_invalidated_by_writes() {
+        use crate::EdgeSink;
+        let mut engine = WindowedReplay::new(wbuild(700));
+        let queries = wqueries();
+        let (ts, te) = (500u64, u64::MAX); // overlaps the open window
+        let mut out = Vec::new();
+        engine.estimate_interval_detailed_batch(&queries, ts, te, &mut out);
+        engine.ingest_batch(&wstream(700..760)); // no rotation, same window
+        let misses0 = engine.stats().misses;
+        engine.estimate_interval_detailed_batch(&queries, ts, te, &mut out);
+        assert_eq!(
+            engine.stats().misses,
+            misses0 + queries.len() as u64,
+            "live answers must re-derive after a write"
+        );
+        let mut bare = Vec::new();
+        engine
+            .inner()
+            .estimate_interval_detailed_batch(&queries, ts, te, &mut bare);
+        assert_eq!(out, bare);
+    }
+
+    /// Under a horizon, coarsening is the one event that rewrites sealed
+    /// history — cached sealed answers must re-derive, never go stale.
+    #[test]
+    fn windowed_coarsening_invalidates_sealed_answers() {
+        use crate::EdgeSink;
+        let mut w =
+            WindowedGSketch::with_horizon(wcfg(), GSketch::builder().min_width(16), 2).unwrap();
+        for se in wstream(0..1_000) {
+            w.try_insert(se).unwrap();
+        }
+        let mut engine = WindowedReplay::new(w);
+        let queries = wqueries();
+        let (ts, te) = (0u64, 399u64);
+        let mut out = Vec::new();
+        engine.estimate_interval_detailed_batch(&queries, ts, te, &mut out);
+        let coarsenings = engine.inner().coarsenings();
+        engine.ingest_batch(&wstream(1_000..1_300)); // rotations => coarsening
+        assert!(engine.inner().coarsenings() > coarsenings);
+        engine.estimate_interval_detailed_batch(&queries, ts, te, &mut out);
+        let mut bare = Vec::new();
+        engine
+            .inner()
+            .estimate_interval_detailed_batch(&queries, ts, te, &mut bare);
+        assert_eq!(out, bare, "stale sealed answer after coarsening");
+    }
+
+    /// `replace_inner` keeps the sealed memo when the replacement
+    /// provably extends the current history (the snapshot-reload path),
+    /// and drops it otherwise.
+    #[test]
+    fn windowed_replace_inner_preserves_sealed_on_history_extension() {
+        let mut engine = WindowedReplay::new(wbuild(700));
+        let queries = wqueries();
+        let (ts, te) = (0u64, 399u64);
+        let mut out = Vec::new();
+        engine.estimate_interval_detailed_batch(&queries, ts, te, &mut out);
+        // Same config, longer deterministic history: a strict extension.
+        assert!(
+            engine.replace_inner(wbuild(1_200)),
+            "extension not detected"
+        );
+        let misses0 = engine.stats().misses;
+        let mut again = Vec::new();
+        engine.estimate_interval_detailed_batch(&queries, ts, te, &mut again);
+        assert_eq!(engine.stats().misses, misses0, "sealed memo was dropped");
+        let mut bare = Vec::new();
+        engine
+            .inner()
+            .estimate_interval_detailed_batch(&queries, ts, te, &mut bare);
+        assert_eq!(again, bare);
+        // A diverged deployment (different seed) must invalidate all.
+        let other = WindowedGSketch::new(
+            WindowConfig { seed: 99, ..wcfg() },
+            GSketch::builder().min_width(16),
+        )
+        .unwrap();
+        assert!(!engine.replace_inner(other), "divergence not detected");
+        let misses1 = engine.stats().misses;
+        engine.estimate_interval_detailed_batch(&queries, ts, te, &mut out);
+        assert_eq!(engine.stats().misses, misses1 + queries.len() as u64);
     }
 }

@@ -6,6 +6,22 @@
 //! Interval queries extrapolate from the stored windows that overlap the
 //! requested `[t_start, t_end]`, scaling a partially-covered window's
 //! estimate by the covered fraction.
+//!
+//! Two growth controls ride on top of the paper's scheme (DESIGN.md §13):
+//!
+//! * **Durable snapshots** — the full deployment state (sealed windows,
+//!   the live window, the reservoir and its RNG, rotation bookkeeping)
+//!   serializes through [`crate::persist::save_windowed`] and loads back
+//!   bit-identically, including mid-window;
+//! * **Exponential tiering** — with a horizon
+//!   ([`WindowedGSketch::with_horizon`]), sealed windows older than the
+//!   `keep` most recent are *coarsened*: each expiring window's synopsis
+//!   is folded down to one width-`quantum` backend sketch
+//!   ([`GSketch::fold`]), and adjacent tiers holding equally many
+//!   windows merge pairwise, so `n` expired windows occupy `O(log n)`
+//!   tiers. Tier answers carry the correspondingly widened
+//!   `e·N_tier/quantum` bound — coarse history is cheap, and honest
+//!   about it.
 
 use crate::gsketch::{GSketch, GSketchBuilder};
 use crate::sink::EdgeSink;
@@ -13,10 +29,11 @@ use gstream::edge::{Edge, StreamEdge};
 use gstream::sample::Reservoir;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sketch::SketchError;
+use serde::{Deserialize, Serialize};
+use sketch::{CmArena, FrequencySketch, SketchError};
 
 /// Configuration of the windowed synopsis.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WindowConfig {
     /// Length of each window in timestamp units.
     pub span: u64,
@@ -54,82 +71,91 @@ pub struct IntervalEstimate {
 
 /// One sealed (read-only) window.
 #[derive(Debug, Clone)]
-struct SealedWindow {
+struct SealedWindow<B: FrequencySketch> {
     start: u64,
     /// Exclusive end.
     end: u64,
-    sketch: GSketch,
+    sketch: GSketch<B>,
 }
 
-/// A time-windowed gSketch.
+/// One coarsened tier: `windows` consecutive expired windows folded and
+/// merged into a single width-`quantum` backend sketch summarizing their
+/// union. Tiers are kept oldest-first and never overlap.
+#[derive(Debug, Clone)]
+struct Tier<B: FrequencySketch> {
+    start: u64,
+    /// Exclusive end.
+    end: u64,
+    /// How many full-fidelity windows this tier absorbed.
+    windows: u64,
+    sketch: B,
+}
+
+/// Tiering parameters fixed at construction (see
+/// [`WindowedGSketch::with_horizon`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HorizonCfg {
+    /// Number of most-recent sealed windows kept at full fidelity.
+    keep: usize,
+    /// Width of every coarsened tier sketch (and the quantum every
+    /// window's slot widths are rounded to, so folding is legal).
+    quantum: usize,
+}
+
+/// The synopsis answering one time span: a full-fidelity window or a
+/// coarsened tier.
+enum SpanSketch<'a, B: FrequencySketch> {
+    Window(&'a GSketch<B>),
+    Tier(&'a B),
+}
+
+/// A time-windowed gSketch, generic over the synopsis backend like
+/// [`GSketch`] itself (arena by default; the `*_backend` constructors
+/// pick another).
 #[derive(Debug)]
-pub struct WindowedGSketch {
+pub struct WindowedGSketch<B: FrequencySketch = CmArena> {
     cfg: WindowConfig,
     builder: GSketchBuilder,
-    sealed: Vec<SealedWindow>,
-    current: GSketch,
+    horizon: Option<HorizonCfg>,
+    /// Coarsened history, oldest first, entirely before every sealed
+    /// window.
+    tiers: Vec<Tier<B>>,
+    sealed: Vec<SealedWindow<B>>,
+    current: GSketch<B>,
     current_start: u64,
     /// Sample of the current window, used to partition the NEXT window.
     reservoir: Reservoir<StreamEdge>,
     rng: StdRng,
     windows_sealed: u64,
+    /// Total windows folded into tiers so far. Monotone; replay memos
+    /// use it as the invalidation signal for sealed-interval answers
+    /// (coarsening is the *only* mutation of sealed history).
+    coarsenings: u64,
+    /// Set by a horizon-limited snapshot load: sealed windows outside
+    /// the requested span were skipped, so answers are only valid
+    /// inside it and re-saving is refused.
+    partial: bool,
 }
 
 impl WindowedGSketch {
-    /// Create a windowed synopsis starting at timestamp 0. The first
-    /// window has no predecessor sample, so its sketch is outlier-only —
-    /// exactly the §5 bootstrap situation.
+    /// Create a windowed synopsis starting at timestamp 0 with the
+    /// default (arena) backend. The first window has no predecessor
+    /// sample, so its sketch is outlier-only — exactly the §5 bootstrap
+    /// situation.
     pub fn new(cfg: WindowConfig, builder: GSketchBuilder) -> Result<Self, SketchError> {
-        cfg.validate();
-        let current = builder
-            .memory_bytes(cfg.memory_bytes_per_window)
-            .build_from_sample(&[])?;
-        Ok(Self {
-            cfg,
-            builder,
-            sealed: Vec::new(),
-            current,
-            current_start: 0,
-            reservoir: Reservoir::new(cfg.sample_capacity),
-            rng: StdRng::seed_from_u64(cfg.seed),
-            windows_sealed: 0,
-        })
+        Self::new_backend(cfg, builder)
     }
 
-    /// Ingest one arrival, surfacing window-rotation failures as a
-    /// `Result`. Arrivals must have non-decreasing timestamps. This is
-    /// the fallible form of [`EdgeSink::update`]; rotation can only fail
-    /// if the per-window build configuration is invalid, which the
-    /// constructor already vetted, so the trait method simply expects it.
-    ///
-    /// A timestamp gap wider than one window rotates **once** (sealing
-    /// the window that was open when the gap started) and then jumps
-    /// straight to the window containing `se.ts`: the skipped windows
-    /// absorbed nothing, contribute exactly 0 to every interval, and
-    /// are never materialized — so epoch-style timestamps (first
-    /// arrival at t ≈ 10⁹ with a span of 10³) cost O(1), not millions
-    /// of sealed windows. A window abutting `u64::MAX` simply never
-    /// rotates again (its exclusive end does not fit in the timestamp
-    /// domain).
-    pub fn try_insert(&mut self, se: StreamEdge) -> Result<(), SketchError> {
-        assert!(
-            se.ts >= self.current_start,
-            "timestamps must be non-decreasing across inserts"
-        );
-        if let Some(boundary) = self.current_start.checked_add(self.cfg.span) {
-            if se.ts >= boundary {
-                self.rotate()?;
-                // Skip fully-empty gap windows without materializing
-                // them (window boundaries are the multiples of `span`).
-                let target = se.ts - se.ts % self.cfg.span;
-                if target > self.current_start {
-                    self.current_start = target;
-                }
-            }
-        }
-        self.current.update(se);
-        self.reservoir.offer(se, &mut self.rng);
-        Ok(())
+    /// [`Self::new`] with exponential tiering: the `keep` most recent
+    /// sealed windows stay at full fidelity, older ones coarsen into
+    /// tiers (default backend; see
+    /// [`with_horizon_backend`](Self::with_horizon_backend)).
+    pub fn with_horizon(
+        cfg: WindowConfig,
+        builder: GSketchBuilder,
+        keep: usize,
+    ) -> Result<Self, SketchError> {
+        Self::with_horizon_backend(cfg, builder, keep)
     }
 
     /// Ingest a materialized stream through the **owner-sharded engine**
@@ -219,22 +245,116 @@ impl WindowedGSketch {
         }
         Ok(report)
     }
+}
+
+impl<B: FrequencySketch> WindowedGSketch<B> {
+    /// [`WindowedGSketch::new`] with an explicit synopsis backend.
+    pub fn new_backend(cfg: WindowConfig, builder: GSketchBuilder) -> Result<Self, SketchError> {
+        Self::build(cfg, builder, None)
+    }
+
+    /// [`WindowedGSketch::with_horizon`] with an explicit backend: keep
+    /// the `keep` most recent sealed windows at full fidelity and
+    /// coarsen older ones into exponentially-merged tiers.
+    ///
+    /// Tiering constrains the build two ways, both applied here once:
+    /// every window's slot widths are rounded to multiples of the fold
+    /// quantum (so expiring windows fold legally), and every window
+    /// shares one hash-family seed (`cfg.seed`) instead of the default
+    /// per-window reseed — folded tiers can only merge when their hash
+    /// families agree. Estimates therefore differ from an un-tiered
+    /// instance even over recent windows; what tiering preserves is the
+    /// snapshot contract (save/load/append stay bit-identical to a
+    /// rebuild under the *same* configuration).
+    pub fn with_horizon_backend(
+        cfg: WindowConfig,
+        builder: GSketchBuilder,
+        keep: usize,
+    ) -> Result<Self, SketchError> {
+        let quantum = builder.fold_quantum();
+        let builder = builder.width_quantum(quantum).seed(cfg.seed);
+        Self::build(cfg, builder, Some(HorizonCfg { keep, quantum }))
+    }
+
+    fn build(
+        cfg: WindowConfig,
+        builder: GSketchBuilder,
+        horizon: Option<HorizonCfg>,
+    ) -> Result<Self, SketchError> {
+        cfg.validate();
+        let current = builder
+            .memory_bytes(cfg.memory_bytes_per_window)
+            .build_from_sample_backend::<B>(&[])?;
+        Ok(Self {
+            cfg,
+            builder,
+            horizon,
+            tiers: Vec::new(),
+            sealed: Vec::new(),
+            current,
+            current_start: 0,
+            reservoir: Reservoir::new(cfg.sample_capacity),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            windows_sealed: 0,
+            coarsenings: 0,
+            partial: false,
+        })
+    }
+
+    /// Ingest one arrival, surfacing window-rotation failures as a
+    /// `Result`. Arrivals must have non-decreasing timestamps. This is
+    /// the fallible form of [`EdgeSink::update`]; rotation can only fail
+    /// if the per-window build configuration is invalid, which the
+    /// constructor already vetted, so the trait method simply expects it.
+    ///
+    /// A timestamp gap wider than one window rotates **once** (sealing
+    /// the window that was open when the gap started) and then jumps
+    /// straight to the window containing `se.ts`: the skipped windows
+    /// absorbed nothing, contribute exactly 0 to every interval, and
+    /// are never materialized — so epoch-style timestamps (first
+    /// arrival at t ≈ 10⁹ with a span of 10³) cost O(1), not millions
+    /// of sealed windows. A window abutting `u64::MAX` simply never
+    /// rotates again (its exclusive end does not fit in the timestamp
+    /// domain).
+    pub fn try_insert(&mut self, se: StreamEdge) -> Result<(), SketchError> {
+        assert!(
+            se.ts >= self.current_start,
+            "timestamps must be non-decreasing across inserts"
+        );
+        if let Some(boundary) = self.current_start.checked_add(self.cfg.span) {
+            if se.ts >= boundary {
+                self.rotate()?;
+                // Skip fully-empty gap windows without materializing
+                // them (window boundaries are the multiples of `span`).
+                let target = se.ts - se.ts % self.cfg.span;
+                if target > self.current_start {
+                    self.current_start = target;
+                }
+            }
+        }
+        self.current.update(se);
+        self.reservoir.offer(se, &mut self.rng);
+        Ok(())
+    }
 
     /// Seal the current window and open the next, partitioned from the
     /// just-collected reservoir sample. Only called when the current
     /// window's exclusive end fits in the timestamp domain (the caller
-    /// checked `current_start + span`).
+    /// checked `current_start + span`). With a horizon, sealing may
+    /// coarsen the oldest full-fidelity windows into the tier cascade.
     fn rotate(&mut self) -> Result<(), SketchError> {
         let sample = std::mem::replace(
             &mut self.reservoir,
             Reservoir::new(self.cfg.sample_capacity),
         )
         .into_sample();
-        let next = self
-            .builder
-            .memory_bytes(self.cfg.memory_bytes_per_window)
-            .seed(self.cfg.seed.wrapping_add(self.windows_sealed + 1))
-            .build_from_sample(&sample)?;
+        let mut b = self.builder.memory_bytes(self.cfg.memory_bytes_per_window);
+        if self.horizon.is_none() {
+            // Per-window reseed (the historical default). Tiered
+            // instances keep one family — see `with_horizon_backend`.
+            b = b.seed(self.cfg.seed.wrapping_add(self.windows_sealed + 1));
+        }
+        let next = b.build_from_sample_backend::<B>(&sample)?;
         let finished = std::mem::replace(&mut self.current, next);
         self.sealed.push(SealedWindow {
             start: self.current_start,
@@ -243,20 +363,72 @@ impl WindowedGSketch {
         });
         self.current_start += self.cfg.span;
         self.windows_sealed += 1;
+        self.coarsen()
+    }
+
+    /// Fold sealed windows beyond the horizon into the tier cascade:
+    /// each expiring window folds to one width-`quantum` sketch, and
+    /// adjacent tiers holding equally many windows merge pairwise (a
+    /// binary counter over tier populations), so `n` expired windows
+    /// occupy at most `log₂ n + 1` tiers per contiguous stretch.
+    fn coarsen(&mut self) -> Result<(), SketchError> {
+        let Some(h) = self.horizon else {
+            return Ok(());
+        };
+        while self.sealed.len() > h.keep {
+            let w = self.sealed.remove(0);
+            let folded = w.sketch.fold(h.quantum)?;
+            self.tiers.push(Tier {
+                start: w.start,
+                end: w.end,
+                windows: 1,
+                sketch: folded,
+            });
+            self.coarsenings += 1;
+            loop {
+                let n = self.tiers.len();
+                if n < 2 {
+                    break;
+                }
+                // Only adjacent, equally-populated tiers merge: a
+                // timestamp gap keeps its neighbours apart, so the gap
+                // keeps answering exactly 0.
+                if self.tiers[n - 2].windows != self.tiers[n - 1].windows
+                    || self.tiers[n - 2].end != self.tiers[n - 1].start
+                {
+                    break;
+                }
+                let Some(young) = self.tiers.pop() else {
+                    break;
+                };
+                // lint: allow(no-panics) — n ≥ 2 and one pop leaves n−1 ≥ 1
+                // elements, so n−2 is in bounds.
+                let old = &mut self.tiers[n - 2];
+                old.sketch.merge_assign(young.sketch)?;
+                old.end = young.end;
+                old.windows += young.windows;
+            }
+        }
         Ok(())
     }
 
-    /// The stored windows (sealed then current) with their time spans.
-    /// The current window's exclusive end saturates: a window abutting
-    /// `u64::MAX` covers the rest of the timestamp domain.
-    fn windows(&self) -> impl Iterator<Item = (u64, u64, &GSketch)> {
-        self.sealed
+    /// The stored synopses (tiers, then sealed windows, then the current
+    /// window) with their time spans, oldest first. The current window's
+    /// exclusive end saturates: a window abutting `u64::MAX` covers the
+    /// rest of the timestamp domain.
+    fn spans(&self) -> impl Iterator<Item = (u64, u64, SpanSketch<'_, B>)> {
+        self.tiers
             .iter()
-            .map(|s| (s.start, s.end, &s.sketch))
+            .map(|t| (t.start, t.end, SpanSketch::Tier(&t.sketch)))
+            .chain(
+                self.sealed
+                    .iter()
+                    .map(|s| (s.start, s.end, SpanSketch::Window(&s.sketch))),
+            )
             .chain(std::iter::once((
                 self.current_start,
                 self.current_start.saturating_add(self.cfg.span),
-                &self.current,
+                SpanSketch::Window(&self.current),
             )))
     }
 
@@ -266,10 +438,13 @@ impl WindowedGSketch {
     /// query: the inclusive→exclusive conversion saturates instead of
     /// wrapping, so it covers every stored window (it used to overflow —
     /// a panic in debug builds and a silent zero in release builds).
+    /// A coarsened tier answers with the same uniform extrapolation
+    /// over its (merged) span.
     pub fn estimate_interval(&self, edge: Edge, t_start: u64, t_end: u64) -> f64 {
         assert!(t_start <= t_end, "empty interval");
+        let key = edge.key();
         let mut total = 0.0f64;
-        for (ws, we, sk) in self.windows() {
+        for (ws, we, syn) in self.spans() {
             // Overlap of [t_start, t_end] with [ws, we).
             let lo = t_start.max(ws);
             let hi = t_end.saturating_add(1).min(we);
@@ -277,19 +452,24 @@ impl WindowedGSketch {
                 continue;
             }
             let fraction = (hi - lo) as f64 / (we - ws) as f64;
-            total += sk.estimate(edge) as f64 * fraction;
+            let v = match syn {
+                SpanSketch::Window(g) => g.estimate(edge),
+                SpanSketch::Tier(t) => t.estimate(key),
+            };
+            total += v as f64 * fraction;
         }
         total
     }
 
     /// Batched [`estimate_interval`](Self::estimate_interval): each
     /// overlapping window answers the whole batch through its sketch's
-    /// slot-sorted [`estimate_batch`](GSketch::estimate_batch), and the
-    /// per-edge fractional contributions are accumulated across windows
-    /// in window order — the same additions in the same order as the
-    /// scalar path, so the sums are bit-identical. `out` is overwritten
-    /// with one **unrounded** fractional estimate per edge: rounding is
-    /// the caller's, once, at its aggregation boundary.
+    /// slot-sorted [`estimate_batch`](GSketch::estimate_batch) (tiers
+    /// through the backend's batched read kernel), and the per-edge
+    /// fractional contributions are accumulated across spans in span
+    /// order — the same additions in the same order as the scalar path,
+    /// so the sums are bit-identical. `out` is overwritten with one
+    /// **unrounded** fractional estimate per edge: rounding is the
+    /// caller's, once, at its aggregation boundary.
     pub fn estimate_interval_batch(
         &self,
         edges: &[Edge],
@@ -301,14 +481,21 @@ impl WindowedGSketch {
         out.clear();
         out.resize(edges.len(), 0.0);
         let mut window_vals = Vec::new();
-        for (ws, we, sk) in self.windows() {
+        let mut keys: Option<Vec<u64>> = None;
+        for (ws, we, syn) in self.spans() {
             let lo = t_start.max(ws);
             let hi = t_end.saturating_add(1).min(we);
             if lo >= hi {
                 continue;
             }
             let fraction = (hi - lo) as f64 / (we - ws) as f64;
-            sk.estimate_batch(edges, &mut window_vals);
+            match syn {
+                SpanSketch::Window(g) => g.estimate_batch(edges, &mut window_vals),
+                SpanSketch::Tier(t) => {
+                    let keys = keys.get_or_insert_with(|| edges.iter().map(|e| e.key()).collect());
+                    t.estimate_batch(keys, &mut window_vals);
+                }
+            }
             for (acc, &v) in out.iter_mut().zip(&window_vals) {
                 *acc += v as f64 * fraction;
             }
@@ -326,6 +513,11 @@ impl WindowedGSketch {
     /// contributing windows: `max(0, 1 − Σ(1 − c_w))` — the probability
     /// that *every* per-window bound held. Values are bit-identical to
     /// [`estimate_interval_batch`](Self::estimate_interval_batch).
+    ///
+    /// A coarsened tier contributes the **widened** `e·N_tier/quantum`
+    /// bound of its folded sketch — `N_tier` is the union mass of every
+    /// window the tier absorbed and `quantum` is far below a window's
+    /// total width, so coarse history honestly reports its coarseness.
     pub fn estimate_interval_detailed_batch(
         &self,
         edges: &[Edge],
@@ -337,23 +529,39 @@ impl WindowedGSketch {
         out.clear();
         out.resize(edges.len(), IntervalEstimate::default());
         let mut window_rows = Vec::new();
+        let mut tier_rows = Vec::new();
+        let mut keys: Option<Vec<u64>> = None;
         let mut miss_probability = 0.0f64;
         let mut covered = false;
-        for (ws, we, sk) in self.windows() {
+        for (ws, we, syn) in self.spans() {
             let lo = t_start.max(ws);
             let hi = t_end.saturating_add(1).min(we);
             if lo >= hi {
                 continue;
             }
             let fraction = (hi - lo) as f64 / (we - ws) as f64;
-            sk.estimate_detailed_batch(edges, &mut window_rows);
-            for (acc, row) in out.iter_mut().zip(&window_rows) {
-                acc.value += row.value as f64 * fraction;
-                acc.error_bound += row.error_bound * fraction;
-            }
-            // All rows of one window share the window's confidence.
-            if let Some(row) = window_rows.first() {
-                miss_probability += 1.0 - row.confidence;
+            let span_confidence = match syn {
+                SpanSketch::Window(g) => {
+                    g.estimate_detailed_batch(edges, &mut window_rows);
+                    for (acc, row) in out.iter_mut().zip(&window_rows) {
+                        acc.value += row.value as f64 * fraction;
+                        acc.error_bound += row.error_bound * fraction;
+                    }
+                    window_rows.first().map(|r| r.confidence)
+                }
+                SpanSketch::Tier(t) => {
+                    let keys = keys.get_or_insert_with(|| edges.iter().map(|e| e.key()).collect());
+                    t.estimate_detailed_batch(keys, &mut tier_rows);
+                    for (acc, row) in out.iter_mut().zip(&tier_rows) {
+                        acc.value += row.estimate as f64 * fraction;
+                        acc.error_bound += row.error_bound * fraction;
+                    }
+                    tier_rows.first().map(|r| r.confidence)
+                }
+            };
+            // All rows of one span share the span's confidence.
+            if let Some(c) = span_confidence {
+                miss_probability += 1.0 - c;
                 covered = true;
             }
         }
@@ -387,9 +595,33 @@ impl WindowedGSketch {
         self.current_start.saturating_add(self.cfg.span - 1)
     }
 
-    /// Number of sealed windows.
+    /// Number of sealed full-fidelity windows currently stored.
     pub fn sealed_windows(&self) -> usize {
         self.sealed.len()
+    }
+
+    /// Number of coarsened tiers currently stored (0 without a horizon).
+    pub fn num_tiers(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Total windows folded into tiers so far (monotone). The replay
+    /// memo treats this as the sealed-history generation:
+    /// sealed-interval answers can only change when it moves.
+    pub fn coarsenings(&self) -> u64 {
+        self.coarsenings
+    }
+
+    /// The configured full-fidelity horizon, if tiering is enabled.
+    pub fn horizon_keep(&self) -> Option<usize> {
+        self.horizon.map(|h| h.keep)
+    }
+
+    /// Whether this instance came from a horizon-limited snapshot load:
+    /// answers are only valid inside the loaded span and
+    /// [`crate::persist::save_windowed`] refuses to re-save it.
+    pub fn is_partial(&self) -> bool {
+        self.partial
     }
 
     /// Start timestamp of the currently open window.
@@ -397,13 +629,221 @@ impl WindowedGSketch {
         self.current_start
     }
 
-    /// Total counter memory across all windows.
+    /// The window configuration this synopsis was built with.
+    pub fn config(&self) -> WindowConfig {
+        self.cfg
+    }
+
+    /// Total counter memory across tiers and windows.
     pub fn bytes(&self) -> usize {
-        self.sealed.iter().map(|s| s.sketch.bytes()).sum::<usize>() + self.current.bytes()
+        self.tiers
+            .iter()
+            .map(|t| t.sketch.byte_size())
+            .sum::<usize>()
+            + self.sealed.iter().map(|s| s.sketch.bytes()).sum::<usize>()
+            + self.current.bytes()
     }
 }
 
-impl EdgeSink for WindowedGSketch {
+// ---------------------------------------------------------------------------
+// Snapshot parts (DESIGN.md §13): the window store serializes as a
+// header + one record per sealed window + one mutable tail, so the
+// persistence layer can append new windows without re-encoding old ones
+// and skip records outside a queried horizon. The encode/decode pair
+// lives here (it needs field access); framing, the footer index, and
+// file I/O live in `crate::persist`.
+// ---------------------------------------------------------------------------
+
+impl<B: FrequencySketch> WindowedGSketch<B> {
+    /// The immutable snapshot header body: everything needed to verify
+    /// that an append targets the same deployment and to resume
+    /// rotations identically (config, builder, tiering parameters).
+    pub(crate) fn encode_header(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("config".to_owned(), self.cfg.to_value()),
+            ("builder".to_owned(), self.builder.to_value()),
+            (
+                "horizon".to_owned(),
+                self.horizon.map(|h| (h.keep, h.quantum)).to_value(),
+            ),
+        ])
+    }
+
+    /// `(start, end)` of every sealed full-fidelity window, oldest
+    /// first. The persistence layer uses this to decide which records a
+    /// snapshot file already holds.
+    pub(crate) fn sealed_spans(&self) -> Vec<(u64, u64)> {
+        self.sealed.iter().map(|s| (s.start, s.end)).collect()
+    }
+
+    /// Exclusive end of the coarsened span (0 with no tiers): sealed
+    /// records at or before this point have been absorbed into tiers.
+    pub(crate) fn tiers_end(&self) -> u64 {
+        self.tiers.last().map_or(0, |t| t.end)
+    }
+
+    /// Encode sealed window `i` as one append-only snapshot record.
+    pub(crate) fn encode_sealed(&self, i: usize) -> Option<serde::Value> {
+        let w = self.sealed.get(i)?;
+        Some(serde::Value::Map(vec![
+            ("start".to_owned(), w.start.to_value()),
+            ("end".to_owned(), w.end.to_value()),
+            ("sketch".to_owned(), w.sketch.to_value()),
+        ]))
+    }
+
+    /// Encode the mutable tail: tiers, the live window, and every piece
+    /// of rotation state (reservoir, RNG, counters) needed to continue
+    /// ingesting bit-identically after a load.
+    pub(crate) fn encode_tail(&self) -> serde::Value {
+        let tiers: Vec<serde::Value> = self
+            .tiers
+            .iter()
+            .map(|t| {
+                serde::Value::Map(vec![
+                    ("start".to_owned(), t.start.to_value()),
+                    ("end".to_owned(), t.end.to_value()),
+                    ("windows".to_owned(), t.windows.to_value()),
+                    ("sketch".to_owned(), t.sketch.to_value()),
+                ])
+            })
+            .collect();
+        serde::Value::Map(vec![
+            ("tiers".to_owned(), serde::Value::Seq(tiers)),
+            ("current".to_owned(), self.current.to_value()),
+            ("current_start".to_owned(), self.current_start.to_value()),
+            (
+                "reservoir".to_owned(),
+                serde::Value::Map(vec![
+                    ("capacity".to_owned(), self.reservoir.capacity().to_value()),
+                    ("seen".to_owned(), self.reservoir.seen().to_value()),
+                    ("items".to_owned(), self.reservoir.sample().to_value()),
+                ]),
+            ),
+            ("rng".to_owned(), self.rng.state().to_value()),
+            ("windows_sealed".to_owned(), self.windows_sealed.to_value()),
+            ("coarsenings".to_owned(), self.coarsenings.to_value()),
+        ])
+    }
+
+    /// Rebuild an instance from decoded snapshot parts. `windows` holds
+    /// the sealed-window records the caller chose to decode (all of
+    /// them for a full load; only the overlapping ones for a
+    /// horizon-limited load, which passes `partial = true`). Records
+    /// whose span is covered by the tail's tiers are skipped: their
+    /// full-fidelity bytes stay in the file as history, but the tiers
+    /// answer for that span now.
+    pub(crate) fn from_snapshot(
+        header: &serde::Value,
+        windows: &[serde::Value],
+        tail: &serde::Value,
+        partial: bool,
+    ) -> Result<Self, serde::Error> {
+        let cfg = WindowConfig::from_value(serde::value_field(header, "config")?)?;
+        if cfg.span == 0 || cfg.sample_capacity == 0 {
+            return Err(serde::Error(
+                "snapshot window config has a zero span or sample capacity".to_owned(),
+            ));
+        }
+        let builder = GSketchBuilder::from_value(serde::value_field(header, "builder")?)?;
+        let horizon = Option::<(usize, usize)>::from_value(serde::value_field(header, "horizon")?)?
+            .map(|(keep, quantum)| HorizonCfg { keep, quantum });
+
+        let mut tiers = Vec::new();
+        for tv in match serde::value_field(tail, "tiers")? {
+            serde::Value::Seq(items) => items.as_slice(),
+            other => return Err(serde::Error::expected("tier sequence", other)),
+        } {
+            let start = u64::from_value(serde::value_field(tv, "start")?)?;
+            let end = u64::from_value(serde::value_field(tv, "end")?)?;
+            let windows = u64::from_value(serde::value_field(tv, "windows")?)?;
+            if start >= end || windows == 0 {
+                return Err(serde::Error(format!(
+                    "snapshot tier [{start}, {end}) with {windows} windows is malformed"
+                )));
+            }
+            if let Some(prev_end) = tiers.last().map(|t: &Tier<B>| t.end) {
+                if start < prev_end {
+                    return Err(serde::Error(format!(
+                        "snapshot tiers out of order at [{start}, {end})"
+                    )));
+                }
+            }
+            let sketch = B::from_value(serde::value_field(tv, "sketch")?)?;
+            tiers.push(Tier {
+                start,
+                end,
+                windows,
+                sketch,
+            });
+        }
+        let tiers_end = tiers.last().map_or(0, |t| t.end);
+
+        let mut sealed: Vec<SealedWindow<B>> = Vec::new();
+        for wv in windows {
+            let start = u64::from_value(serde::value_field(wv, "start")?)?;
+            let end = u64::from_value(serde::value_field(wv, "end")?)?;
+            if end <= tiers_end {
+                // Superseded by a coarsened tier; the record stays in
+                // the file but the tier answers for this span now.
+                continue;
+            }
+            if start >= end {
+                return Err(serde::Error(format!(
+                    "snapshot window [{start}, {end}) is empty or inverted"
+                )));
+            }
+            if let Some(prev) = sealed.last() {
+                if start < prev.end {
+                    return Err(serde::Error(format!(
+                        "snapshot windows out of order: [{start}, {end}) after [{}, {})",
+                        prev.start, prev.end
+                    )));
+                }
+            }
+            let sketch = GSketch::<B>::from_value(serde::value_field(wv, "sketch")?)?;
+            sealed.push(SealedWindow { start, end, sketch });
+        }
+
+        let current = GSketch::<B>::from_value(serde::value_field(tail, "current")?)?;
+        let current_start = u64::from_value(serde::value_field(tail, "current_start")?)?;
+        if let Some(last) = sealed.last() {
+            if current_start < last.end {
+                return Err(serde::Error(format!(
+                    "snapshot live window starts at {current_start}, inside sealed window \
+                     [{}, {})",
+                    last.start, last.end
+                )));
+            }
+        }
+        let rv = serde::value_field(tail, "reservoir")?;
+        let capacity = usize::from_value(serde::value_field(rv, "capacity")?)?;
+        let seen = u64::from_value(serde::value_field(rv, "seen")?)?;
+        let items = Vec::<StreamEdge>::from_value(serde::value_field(rv, "items")?)?;
+        let reservoir = Reservoir::from_parts(capacity, seen, items)
+            .ok_or_else(|| serde::Error("snapshot reservoir state is inconsistent".to_owned()))?;
+        let rng = StdRng::from_state(<[u64; 4]>::from_value(serde::value_field(tail, "rng")?)?);
+        let windows_sealed = u64::from_value(serde::value_field(tail, "windows_sealed")?)?;
+        let coarsenings = u64::from_value(serde::value_field(tail, "coarsenings")?)?;
+
+        Ok(Self {
+            cfg,
+            builder,
+            horizon,
+            tiers,
+            sealed,
+            current,
+            current_start,
+            reservoir,
+            rng,
+            windows_sealed,
+            coarsenings,
+            partial,
+        })
+    }
+}
+
+impl<B: FrequencySketch> EdgeSink for WindowedGSketch<B> {
     fn update(&mut self, se: StreamEdge) {
         self.try_insert(se)
             // lint: allow(no-panics) — `try_insert` only errors on a config the
@@ -663,5 +1103,145 @@ mod tests {
         assert!(w.current_window_start() == 100);
         // The open window was partitioned from window 0's sample.
         assert!(w.bytes() > 0);
+    }
+
+    // -- tiering ----------------------------------------------------------
+
+    /// Ingest `n_windows` windows of a fixed per-window pattern into a
+    /// horizon-`keep` instance.
+    fn tiered(keep: usize, n_windows: u64) -> WindowedGSketch {
+        let mut w = WindowedGSketch::with_horizon(cfg(), builder(), keep).unwrap();
+        for ts in 0..n_windows * 100 {
+            w.try_insert(wedge((ts % 5) as u32, 8, ts)).unwrap();
+        }
+        w
+    }
+
+    /// Beyond the horizon, sealed windows coarsen into tiers, and the
+    /// binary-counter cascade keeps the tier count logarithmic.
+    #[test]
+    fn horizon_coarsens_old_windows_into_log_tiers() {
+        let keep = 3usize;
+        let w = tiered(keep, 20); // 19 sealed so far; 16 coarsened
+        assert_eq!(w.sealed_windows(), keep);
+        assert_eq!(w.coarsenings(), 19 - keep as u64);
+        // 16 expired windows → binary-counter population ≤ log2+1 tiers.
+        assert!(
+            w.num_tiers() <= 5,
+            "expected logarithmic tier count, got {}",
+            w.num_tiers()
+        );
+        assert_eq!(w.horizon_keep(), Some(keep));
+        // Tiers answer for the coarsened span: CountMin never
+        // underestimates and folding only adds collisions, so the
+        // full-lifetime answer still dominates the truth (each of the
+        // 5 sources appears 20 times per window × 20 windows = 400).
+        for v in 0..5u32 {
+            let e = Edge::new(v, 8u32);
+            assert!(
+                w.estimate_lifetime(e) >= 400.0,
+                "coarsened lifetime underestimates edge {v}"
+            );
+        }
+    }
+
+    /// Without enough sealed windows to exceed the horizon, a tiered
+    /// instance holds no tiers and behaves like a plain windowed sketch.
+    #[test]
+    fn horizon_keeps_recent_windows_full_fidelity() {
+        let w = tiered(5, 4);
+        assert_eq!(w.num_tiers(), 0);
+        assert_eq!(w.coarsenings(), 0);
+        assert_eq!(w.sealed_windows(), 3);
+    }
+
+    /// Coarsened intervals report the widened tier bound: a query
+    /// answered by a tier must carry a strictly larger error bound than
+    /// the same query pattern answered by a full-fidelity window,
+    /// because the tier packs several windows' mass into `quantum`
+    /// cells.
+    #[test]
+    fn coarsened_intervals_widen_error_bounds() {
+        let w = tiered(2, 20);
+        let edges: Vec<Edge> = (0..5u32).map(|v| Edge::new(v, 8u32)).collect();
+        let mut old_rows = Vec::new();
+        let mut new_rows = Vec::new();
+        // [0, 99] is deep inside the coarsened span; the most recent
+        // sealed window is full fidelity.
+        w.estimate_interval_detailed_batch(&edges, 0, 99, &mut old_rows);
+        let recent = w.current_window_start() - 100;
+        w.estimate_interval_detailed_batch(&edges, recent, recent + 99, &mut new_rows);
+        for (old, new) in old_rows.iter().zip(&new_rows) {
+            assert!(
+                old.error_bound > new.error_bound,
+                "tier bound {} not wider than window bound {}",
+                old.error_bound,
+                new.error_bound
+            );
+            // Still a one-sided CountMin answer: per-window truth is 20
+            // per edge, and the tier never underestimates its span.
+            assert!(old.value >= 20.0);
+        }
+    }
+
+    /// Tier spans never overlap sealed windows, and the gap rule holds:
+    /// tiers separated by a timestamp gap do not merge, and the gap
+    /// still answers exactly zero.
+    #[test]
+    fn tiers_respect_gaps() {
+        let mut w = WindowedGSketch::with_horizon(cfg(), builder(), 1).unwrap();
+        for ts in 0..300u64 {
+            w.try_insert(wedge(1, 2, ts)).unwrap();
+        }
+        // Jump far ahead, then seal a few more windows.
+        for ts in 10_000..10_300u64 {
+            w.try_insert(wedge(3, 4, ts)).unwrap();
+        }
+        assert!(w.num_tiers() >= 2, "gap should split the tier cascade");
+        assert_eq!(
+            w.estimate_interval(Edge::new(1u32, 2u32), 1_000, 9_000),
+            0.0
+        );
+        assert_eq!(
+            w.estimate_interval(Edge::new(3u32, 4u32), 1_000, 9_000),
+            0.0
+        );
+        assert!(w.estimate_interval(Edge::new(1u32, 2u32), 0, 299) >= 300.0);
+    }
+
+    /// Scalar and batched interval estimates stay bit-identical when
+    /// tiers participate in the answer.
+    #[test]
+    fn tiered_batch_matches_scalar() {
+        let w = tiered(2, 12);
+        let edges: Vec<Edge> = (0..5u32).map(|v| Edge::new(v, 8u32)).collect();
+        let mut batch = Vec::new();
+        for (ts, te) in [(0u64, 1_199u64), (50, 450), (0, u64::MAX)] {
+            w.estimate_interval_batch(&edges, ts, te, &mut batch);
+            for (e, &b) in edges.iter().zip(&batch) {
+                let scalar = w.estimate_interval(*e, ts, te);
+                assert_eq!(scalar.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// The generic backends drive the same tiering machinery: folded
+    /// tiers merge and answers keep the coarsened mass visible.
+    #[test]
+    fn tiering_works_across_backends() {
+        fn exercise<B: FrequencySketch>() {
+            let mut w = WindowedGSketch::<B>::with_horizon_backend(cfg(), builder(), 2).unwrap();
+            for ts in 0..1_000u64 {
+                w.try_insert(wedge((ts % 5) as u32, 8, ts)).unwrap();
+            }
+            assert_eq!(w.sealed_windows(), 2);
+            assert!(w.num_tiers() >= 1);
+            let e = Edge::new(1u32, 8u32);
+            let est = w.estimate_interval(e, 0, 999);
+            assert!(est > 0.0, "{} lost the coarsened mass", B::KIND);
+        }
+        exercise::<CmArena>();
+        exercise::<sketch::CountMinSketch>();
+        exercise::<sketch::CountSketch>();
     }
 }

@@ -151,3 +151,126 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Windowed snapshot round-trips (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+use gsketch::{
+    load_windowed_backend, save_windowed, CmArena, CountMinSketch, CountSketch, FrequencySketch,
+    WindowConfig, WindowedGSketch,
+};
+
+fn temp_snapshot_path(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join("gsketch_core_proptests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!(
+        "{tag}_{}_{}.wsnap",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Save the half-ingested deployment, ingest the rest, append, load,
+/// and require bit-identical interval answers — then resume ingest on
+/// BOTH instances (pinning reservoir + RNG fidelity through the
+/// snapshot) and require identity again.
+fn exercise_windowed_round_trip<B: FrequencySketch>(
+    stream: &[StreamEdge],
+    seed: u64,
+    keep: Option<usize>,
+) {
+    let cfg = WindowConfig {
+        span: 16,
+        memory_bytes_per_window: 8 << 10,
+        sample_capacity: 24,
+        seed,
+    };
+    let builder = GSketch::builder().min_width(8);
+    let mut live: WindowedGSketch<B> = match keep {
+        Some(k) => WindowedGSketch::with_horizon_backend(cfg, builder, k),
+        None => WindowedGSketch::new_backend(cfg, builder),
+    }
+    .unwrap();
+    let path = temp_snapshot_path(B::KIND);
+    let half = stream.len() / 2;
+    for se in &stream[..half] {
+        live.try_insert(*se).unwrap();
+    }
+    save_windowed(&path, &live).unwrap();
+    for se in &stream[half..] {
+        live.try_insert(*se).unwrap();
+    }
+    save_windowed(&path, &live).unwrap(); // incremental append
+    let mut loaded: WindowedGSketch<B> = load_windowed_backend(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let edges: Vec<Edge> = stream.iter().take(24).map(|se| se.edge).collect();
+    let t_max = stream.last().map_or(0, |se| se.ts);
+    let intervals = [
+        (0, u64::MAX),
+        (0, 7),
+        (5, t_max),
+        (t_max / 2, t_max / 2 + 3),
+    ];
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    let (mut da, mut db) = (Vec::new(), Vec::new());
+    for &(ts, te) in &intervals {
+        live.estimate_interval_batch(&edges, ts, te, &mut a);
+        loaded.estimate_interval_batch(&edges, ts, te, &mut b);
+        prop_assert_eq!(&a, &b, "plain mismatch over [{}, {}] ({})", ts, te, B::KIND);
+        live.estimate_interval_detailed_batch(&edges, ts, te, &mut da);
+        loaded.estimate_interval_detailed_batch(&edges, ts, te, &mut db);
+        prop_assert_eq!(
+            &da,
+            &db,
+            "detailed mismatch over [{}, {}] ({})",
+            ts,
+            te,
+            B::KIND
+        );
+    }
+    // Resume: the restored instance must continue exactly like the live
+    // one — window rotations, reservoir offers, and (with a horizon)
+    // coarsening included.
+    for i in 0..40u64 {
+        let se = StreamEdge::unit(Edge::new((i % 5) as u32, (i % 3) as u32), t_max + i);
+        live.try_insert(se).unwrap();
+        loaded.try_insert(se).unwrap();
+    }
+    for &(ts, te) in &intervals {
+        live.estimate_interval_detailed_batch(&edges, ts, te, &mut da);
+        loaded.estimate_interval_detailed_batch(&edges, ts, te, &mut db);
+        prop_assert_eq!(
+            &da,
+            &db,
+            "post-resume mismatch over [{}, {}] ({})",
+            ts,
+            te,
+            B::KIND
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For ANY stream, seed, and horizon setting, a windowed snapshot —
+    /// fresh or appended — restores an instance bit-identical to the
+    /// live one, across all three synopsis backends.
+    #[test]
+    fn windowed_snapshots_round_trip_across_backends(
+        raw in vec((0u16..20, 0u16..20, any::<u8>()), 2..160),
+        seed in any::<u64>(),
+        keep_raw in 0usize..4,
+    ) {
+        let stream = to_stream(&raw);
+        // 0 means "no horizon"; 1..4 coarsen sealed history into tiers.
+        let keep = (keep_raw > 0).then_some(keep_raw);
+        exercise_windowed_round_trip::<CmArena>(&stream, seed, keep);
+        exercise_windowed_round_trip::<CountMinSketch>(&stream, seed, keep);
+        exercise_windowed_round_trip::<CountSketch>(&stream, seed, keep);
+    }
+}

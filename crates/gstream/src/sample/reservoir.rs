@@ -31,6 +31,27 @@ impl<T> Reservoir<T> {
         }
     }
 
+    /// Rebuild a reservoir from previously captured state (snapshot load).
+    ///
+    /// `seen` is the offer count the sample was drawn from; it cannot be
+    /// reconstructed from the sample itself, so persistence layers must
+    /// carry it. Returns `None` when the parts are inconsistent: zero
+    /// capacity, more items than capacity, or fewer items than a stream of
+    /// `seen` offers would have left behind.
+    pub fn from_parts(capacity: usize, seen: u64, items: Vec<T>) -> Option<Self> {
+        if capacity == 0 || items.len() > capacity {
+            return None;
+        }
+        if (items.len() as u64) < seen.min(capacity as u64) {
+            return None;
+        }
+        Some(Self {
+            capacity,
+            seen,
+            items,
+        })
+    }
+
     /// Offer one stream item (Algorithm R).
     pub fn offer<R: Rng + ?Sized>(&mut self, item: T, rng: &mut R) {
         self.seen += 1;

@@ -366,6 +366,36 @@ pub fn workload_vertex_counts(workload: &[Edge]) -> crate::fxhash::FxHashMap<Ver
     counts
 }
 
+/// Attach a fixed-span inclusive query window to every edge query: each
+/// window covers `span` timestamps, its start drawn uniformly over the
+/// multiples of `align` in `[0, t_max]` (so `align == span` tiles the
+/// stream's lifetime, smaller alignments overlap). The windowed rows are
+/// what `WindowedGSketch` deployments replay — and because the start
+/// domain is small and discrete, workloads repeat intervals, which is
+/// exactly what an interval-keyed replay memo rewards.
+///
+/// # Panics
+/// Panics if `span` or `align` is zero (CLI callers validate first).
+pub fn windowed_interval_queries<R: Rng + ?Sized>(
+    queries: &[Edge],
+    span: u64,
+    align: u64,
+    t_max: u64,
+    rng: &mut R,
+) -> Vec<WorkloadQuery> {
+    assert!(span > 0, "interval span must be positive");
+    assert!(align > 0, "interval alignment must be positive");
+    let last_start = t_max.saturating_sub(span - 1);
+    let starts = last_start / align + 1;
+    queries
+        .iter()
+        .map(|&edge| {
+            let t_start = rng.gen_range(0..starts) * align;
+            WorkloadQuery::windowed(edge, t_start, t_start.saturating_add(span - 1))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,6 +419,30 @@ mod tests {
             ts += 1;
         }
         s
+    }
+
+    #[test]
+    fn interval_windows_are_aligned_and_in_range() {
+        let queries: Vec<Edge> = (0..500u32).map(|i| Edge::new(i, i + 1)).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let (span, align, t_max) = (100u64, 25u64, 1_000u64);
+        let windowed = windowed_interval_queries(&queries, span, align, t_max, &mut rng);
+        assert_eq!(windowed.len(), queries.len());
+        let mut distinct = FxHashSet::default();
+        for (q, w) in queries.iter().zip(&windowed) {
+            assert_eq!(w.edge, *q, "edges pass through in order");
+            let (ts, te) = w.window.expect("every row is windowed");
+            assert_eq!(ts % align, 0, "start {ts} not aligned to {align}");
+            assert_eq!(te - ts + 1, span, "window length");
+            assert!(ts <= t_max);
+            distinct.insert(ts);
+        }
+        assert!(distinct.len() > 1, "starts must vary");
+        // align == span tiles the lifetime: starts are span multiples.
+        let tiled = windowed_interval_queries(&queries, span, span, t_max, &mut rng);
+        assert!(tiled
+            .iter()
+            .all(|w| w.window.is_some_and(|(ts, _)| ts % span == 0)));
     }
 
     #[test]

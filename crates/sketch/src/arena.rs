@@ -40,7 +40,7 @@ pub struct SlotSpan {
 }
 
 /// A bank of CountMin sketches in one contiguous row-major counter slab.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CmArena {
     spans: Vec<SlotSpan>,
     depth: usize,
@@ -200,6 +200,55 @@ impl CmArena {
         Ok(())
     }
 
+    /// Fold the whole arena — every slot — down to a **one-slot** arena
+    /// of width `quantum` over the union of all slot streams.
+    ///
+    /// All slots share one per-row hash family and bucket at
+    /// `h_r(key) mod w_s`, so when `quantum` divides every slot width,
+    /// summing cell `j` of a slot row into folded cell `j mod quantum`
+    /// lands each key's counts exactly where a width-`quantum` CountMin
+    /// built from the same family would put them. The result is a valid
+    /// synopsis of the concatenated slot streams with the error bound
+    /// widened to `e·N_total/quantum` — the coarse-tier form the windowed
+    /// horizon keeps for expired windows.
+    pub fn fold_slots(&self, quantum: usize) -> Result<Self, SketchError> {
+        if quantum == 0 {
+            return Err(SketchError::InvalidDimension {
+                what: "fold quantum",
+                value: quantum,
+            });
+        }
+        if let Some(span) = self.spans.iter().find(|s| s.width % quantum != 0) {
+            return Err(SketchError::IncompatibleMerge {
+                reason: format!(
+                    "slot width {} is not a multiple of fold quantum {quantum}",
+                    span.width
+                ),
+            });
+        }
+        let mut cells = vec![0u64; quantum * self.depth];
+        for span in &self.spans {
+            for row in 0..self.depth {
+                let base = span.offset + row * span.width;
+                let dst = &mut cells[row * quantum..(row + 1) * quantum];
+                for j in 0..span.width {
+                    dst[j % quantum] = dst[j % quantum].saturating_add(self.cells[base + j]);
+                }
+            }
+        }
+        let total = self.totals.iter().fold(0u64, |a, &t| a.saturating_add(t));
+        Ok(Self {
+            spans: vec![SlotSpan {
+                offset: 0,
+                width: quantum,
+            }],
+            depth: self.depth,
+            cells,
+            hashes: self.hashes.clone(),
+            totals: vec![total],
+        })
+    }
+
     /// Freeze into the lock-free concurrent form.
     pub fn into_atomic(self) -> AtomicCmArena {
         let rems = self
@@ -313,6 +362,41 @@ impl FrequencySketch for CmArena {
         SketchBank::merge(self, other)
     }
 
+    /// The owned-merge fast path: when the combined per-slot totals prove
+    /// no counter can wrap (every cell is bounded by its slot total, so
+    /// `total_a + total_b < u64::MAX` rules out per-cell overflow — and a
+    /// previously saturated counter forces its total to saturate too,
+    /// which fails the same check), the slab is summed with plain adds
+    /// that vectorize cleanly instead of one saturation branch per cell.
+    fn merge_assign(&mut self, other: Self) -> Result<(), SketchError> {
+        self.check_merge(&other)?;
+        let no_wrap = self
+            .totals
+            .iter()
+            .zip(&other.totals)
+            .all(|(a, b)| a.checked_add(*b).is_some());
+        if no_wrap {
+            for (c, o) in self.cells.iter_mut().zip(&other.cells) {
+                *c += *o;
+            }
+            for (t, o) in self.totals.iter_mut().zip(&other.totals) {
+                *t += *o;
+            }
+        } else {
+            for (c, o) in self.cells.iter_mut().zip(&other.cells) {
+                *c = c.saturating_add(*o);
+            }
+            for (t, o) in self.totals.iter_mut().zip(&other.totals) {
+                *t = t.saturating_add(*o);
+            }
+        }
+        Ok(())
+    }
+
+    fn fold_bank(bank: &Self::Bank, quantum: usize) -> Result<Self, SketchError> {
+        bank.fold_slots(quantum)
+    }
+
     fn byte_size(&self) -> usize {
         SketchBank::byte_size(self)
     }
@@ -323,6 +407,72 @@ impl FrequencySketch for CmArena {
 
     fn depth(&self) -> usize {
         self.depth
+    }
+}
+
+// Written out instead of derived so the slab rides the compact
+// nibble-stream codec (one string, no per-cell `Value`) and a decoded
+// layout is validated before any indexing trusts it.
+impl Serialize for CmArena {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("spans".to_owned(), self.spans.to_value()),
+            ("depth".to_owned(), self.depth.to_value()),
+            (
+                "cells".to_owned(),
+                crate::slab::u64_cells_to_value(&self.cells),
+            ),
+            ("hashes".to_owned(), self.hashes.to_value()),
+            ("totals".to_owned(), self.totals.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for CmArena {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let spans: Vec<SlotSpan> = Deserialize::from_value(serde::value_field(v, "spans")?)?;
+        let depth: usize = Deserialize::from_value(serde::value_field(v, "depth")?)?;
+        let bad = |msg: String| serde::Error(msg);
+        if depth == 0 {
+            return Err(bad("arena depth must be positive".to_owned()));
+        }
+        let mut expect = 0usize;
+        for s in &spans {
+            if s.offset != expect || s.width == 0 {
+                return Err(bad(format!(
+                    "arena span at cell {} expected offset {expect} with nonzero width",
+                    s.offset
+                )));
+            }
+            expect = s
+                .width
+                .checked_mul(depth)
+                .and_then(|block| expect.checked_add(block))
+                .ok_or_else(|| bad("arena layout overflows usize".to_owned()))?;
+        }
+        let cells = crate::slab::u64_cells_from_value(serde::value_field(v, "cells")?, expect)?;
+        let hashes: Vec<PairwiseHash> = Deserialize::from_value(serde::value_field(v, "hashes")?)?;
+        if hashes.len() != depth {
+            return Err(bad(format!(
+                "arena depth {depth} but {} row hashes",
+                hashes.len()
+            )));
+        }
+        let totals: Vec<u64> = Deserialize::from_value(serde::value_field(v, "totals")?)?;
+        if totals.len() != spans.len() {
+            return Err(bad(format!(
+                "arena has {} slots but {} totals",
+                spans.len(),
+                totals.len()
+            )));
+        }
+        Ok(Self {
+            spans,
+            depth,
+            cells,
+            hashes,
+            totals,
+        })
     }
 }
 
@@ -793,6 +943,52 @@ mod tests {
         FrequencySketch::update(&mut arena, 1, u64::MAX);
         assert_eq!(FrequencySketch::estimate(&arena, 1), u64::MAX);
         assert_eq!(FrequencySketch::total(&arena), u64::MAX);
+    }
+
+    /// The owned-merge fast path must fall back to saturation when the
+    /// combined totals could wrap — near-saturated inputs stay pinned at
+    /// `u64::MAX` exactly like the by-reference merge.
+    #[test]
+    fn merge_assign_saturates_near_overflow() {
+        let mut a = CmArena::new(4, 1, 3).unwrap();
+        let b = {
+            let mut b = CmArena::new(4, 1, 3).unwrap();
+            FrequencySketch::update(&mut b, 1, u64::MAX - 5);
+            b
+        };
+        FrequencySketch::update(&mut a, 1, 100);
+        FrequencySketch::merge_assign(&mut a, b).unwrap();
+        assert_eq!(FrequencySketch::estimate(&a, 1), u64::MAX);
+        assert_eq!(FrequencySketch::total(&a), u64::MAX);
+    }
+
+    /// `fold_slots` folds multi-slot state into the same one-slot arena a
+    /// direct small build would produce, and rejects widths the quantum
+    /// does not divide.
+    #[test]
+    fn fold_slots_matches_direct_small_arena() {
+        let mut big = CmArena::with_slots(&[64, 32, 96], 3, 41).unwrap();
+        let mut small = CmArena::new(32, 3, 41).unwrap();
+        for i in 0..900u64 {
+            let key = i.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            big.update_slot((i % 3) as u32, key, i % 7 + 1);
+            FrequencySketch::update(&mut small, key, i % 7 + 1);
+        }
+        let folded = big.fold_slots(32).unwrap();
+        assert_eq!(folded.spans().len(), 1);
+        for i in 0..900u64 {
+            let key = i.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            assert_eq!(
+                FrequencySketch::estimate(&folded, key),
+                FrequencySketch::estimate(&small, key)
+            );
+        }
+        assert_eq!(
+            FrequencySketch::total(&folded),
+            FrequencySketch::total(&small)
+        );
+        assert!(big.fold_slots(0).is_err());
+        assert!(big.fold_slots(48).is_err());
     }
 
     #[test]

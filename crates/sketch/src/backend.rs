@@ -58,7 +58,7 @@ pub struct DetailedRow {
 /// identically-built instances, and byte-accurate memory accounting.
 /// CountMin-family implementors never underestimate; `CountSketch`'s
 /// clamped median estimate is two-sided (documented on the impl).
-pub trait FrequencySketch: Sized + Clone + std::fmt::Debug {
+pub trait FrequencySketch: Sized + Clone + std::fmt::Debug + Serialize + Deserialize {
     /// The slot-addressed bank [`GSketch`](../gsketch/index.html) builds
     /// over this backend: `CmArena` for the contiguous slab, otherwise a
     /// [`SketchVec`] of per-slot allocations.
@@ -124,6 +124,30 @@ pub trait FrequencySketch: Sized + Clone + std::fmt::Debug {
     /// Merge another identically-built synopsis into this one
     /// (cell-wise; rejects shape or hash-family mismatches).
     fn merge(&mut self, other: &Self) -> Result<(), SketchError>;
+
+    /// Merge an **owned** identically-built synopsis into this one. The
+    /// contract is exactly [`merge`](Self::merge); taking ownership lets
+    /// a backend run a faster kernel (the arena proves from the combined
+    /// totals that no counter can wrap and then drops the per-cell
+    /// saturation branch). The windowed tiering layer drives this when it
+    /// collapses coarsened windows into exponential tiers.
+    fn merge_assign(&mut self, other: Self) -> Result<(), SketchError> {
+        self.merge(&other)
+    }
+
+    /// Fold a whole bank of this backend down to a **single** synopsis of
+    /// width `quantum` over the union of every slot's stream.
+    ///
+    /// Sound by modular compatibility of the shared hash family: a bank
+    /// buckets `key` in slot `s` at `h_r(key) mod w_s`, so when `quantum`
+    /// divides every slot width, summing cell `j` into folded cell
+    /// `j mod quantum` (per row, across all slots) lands each key's
+    /// counts exactly where a width-`quantum` synopsis built from the
+    /// same family would put them — the fold is a valid synopsis of the
+    /// concatenated slot streams, with the error bound widened to
+    /// `e·N_total/quantum`. Rejects a zero quantum or any slot width not
+    /// a multiple of it (build banks with a matching width quantum).
+    fn fold_bank(bank: &Self::Bank, quantum: usize) -> Result<Self, SketchError>;
 
     /// Memory consumed by the counter state, in bytes.
     fn byte_size(&self) -> usize;
@@ -341,6 +365,10 @@ impl FrequencySketch for CountMinSketch {
         CountMinSketch::merge(self, other)
     }
 
+    fn fold_bank(bank: &Self::Bank, quantum: usize) -> Result<Self, SketchError> {
+        fold_sketchvec(bank, quantum, CountMinSketch::fold_width)
+    }
+
     fn byte_size(&self) -> usize {
         self.bytes()
     }
@@ -352,6 +380,26 @@ impl FrequencySketch for CountMinSketch {
     fn depth(&self) -> usize {
         CountMinSketch::depth(self)
     }
+}
+
+/// Shared [`FrequencySketch::fold_bank`] body for the per-allocation
+/// layout: fold every slot to width `quantum` (all slots share one hash
+/// family, so the folds are mutually mergeable) and sum them.
+fn fold_sketchvec<S, F>(bank: &SketchVec<S>, quantum: usize, fold: F) -> Result<S, SketchError>
+where
+    S: FrequencySketch,
+    F: Fn(&S, usize) -> Result<S, SketchError>,
+{
+    let mut slots = bank.slots().iter();
+    let first = slots.next().ok_or(SketchError::InvalidDimension {
+        what: "bank slots",
+        value: 0,
+    })?;
+    let mut acc = fold(first, quantum)?;
+    for slot in slots {
+        acc.merge_assign(fold(slot, quantum)?)?;
+    }
+    Ok(acc)
 }
 
 /// `CountSketch` as a gSketch backend (ablation use). Its point estimate
@@ -387,6 +435,10 @@ impl FrequencySketch for CountSketch {
 
     fn merge(&mut self, other: &Self) -> Result<(), SketchError> {
         CountSketch::merge(self, other)
+    }
+
+    fn fold_bank(bank: &Self::Bank, quantum: usize) -> Result<Self, SketchError> {
+        fold_sketchvec(bank, quantum, CountSketch::fold_width)
     }
 
     fn byte_size(&self) -> usize {
@@ -425,6 +477,74 @@ mod tests {
         // Different shape → merge rejected.
         let d = S::with_shape(128, 3, 42).unwrap();
         assert!(a.merge(&d).is_err());
+    }
+
+    /// `merge_assign` is `merge` with ownership: bit-identical results,
+    /// same mismatch rejections.
+    fn exercise_merge_assign<S: FrequencySketch>() {
+        let mut a = S::with_shape(128, 3, 5).unwrap();
+        let mut b = S::with_shape(128, 3, 5).unwrap();
+        for k in 0..200u64 {
+            a.update(k * 7, k % 9 + 1);
+            b.update(k * 13, 2);
+        }
+        let mut by_ref = a.clone();
+        by_ref.merge(&b).unwrap();
+        let mut by_move = a.clone();
+        by_move.merge_assign(b.clone()).unwrap();
+        assert_eq!(by_move.total(), by_ref.total());
+        for k in 0..200u64 {
+            assert_eq!(by_move.estimate(k * 7), by_ref.estimate(k * 7));
+            assert_eq!(by_move.estimate(k * 13), by_ref.estimate(k * 13));
+        }
+        let other = S::with_shape(128, 3, 6).unwrap();
+        assert!(by_move.merge_assign(other).is_err());
+    }
+
+    #[test]
+    fn merge_assign_matches_merge() {
+        exercise_merge_assign::<CountMinSketch>();
+        exercise_merge_assign::<CountSketch>();
+        exercise_merge_assign::<crate::CmArena>();
+    }
+
+    /// Folding a multi-slot bank to width `quantum` yields exactly the
+    /// synopsis a direct width-`quantum` build of the same seed would
+    /// have produced from the concatenated slot streams (the soundness
+    /// claim in the `fold_bank` docs, pinned cell-for-cell).
+    fn exercise_fold<S: FrequencySketch>() {
+        let widths = [64usize, 128, 32];
+        let mut bank = S::Bank::build(&widths, 3, 99).unwrap();
+        let mut direct = S::with_shape(32, 3, 99).unwrap();
+        for i in 0..600u64 {
+            let key = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            bank.update((i % 3) as u32, key, i % 5 + 1);
+            direct.update(key, i % 5 + 1);
+        }
+        let folded = S::fold_bank(&bank, 32).unwrap();
+        assert_eq!(folded.width(), 32);
+        assert_eq!(folded.depth(), 3);
+        assert_eq!(folded.total(), direct.total());
+        for i in 0..600u64 {
+            let key = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            assert_eq!(folded.estimate(key), direct.estimate(key));
+        }
+        // Folds of the same bank share one family — mergeable.
+        let mut twice = folded.clone();
+        twice
+            .merge_assign(S::fold_bank(&bank, 32).unwrap())
+            .unwrap();
+        assert_eq!(twice.total(), folded.total() * 2);
+        // Invalid quanta are rejected before touching anything.
+        assert!(S::fold_bank(&bank, 0).is_err());
+        assert!(S::fold_bank(&bank, 33).is_err());
+    }
+
+    #[test]
+    fn fold_bank_matches_direct_build() {
+        exercise_fold::<CountMinSketch>();
+        exercise_fold::<CountSketch>();
+        exercise_fold::<crate::CmArena>();
     }
 
     #[test]

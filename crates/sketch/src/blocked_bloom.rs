@@ -276,7 +276,12 @@ impl serde::Serialize for BlockedBloom {
     fn to_value(&self) -> serde::Value {
         serde::Value::Map(vec![
             ("spans".to_owned(), self.spans.to_value()),
-            ("words".to_owned(), self.words.to_value()),
+            // The word array is the big field: compact nibble-stream
+            // codec, not one `Value` per word (see `slab`).
+            (
+                "words".to_owned(),
+                crate::slab::u64_cells_to_value(&self.words),
+            ),
             ("seed".to_owned(), self.seed.to_value()),
         ])
     }
@@ -286,7 +291,6 @@ impl serde::Deserialize for BlockedBloom {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
         let spans: Vec<BlockSpan> =
             serde::Deserialize::from_value(serde::value_field(v, "spans")?)?;
-        let words: Vec<u64> = serde::Deserialize::from_value(serde::value_field(v, "words")?)?;
         let seed: u64 = serde::Deserialize::from_value(serde::value_field(v, "seed")?)?;
         let mut expect = 0usize;
         for s in &spans {
@@ -298,13 +302,8 @@ impl serde::Deserialize for BlockedBloom {
             }
             expect += s.blocks;
         }
-        if words.len() != expect * LANES {
-            return Err(serde::Error(format!(
-                "filter spans cover {} words but {} were provided",
-                expect * LANES,
-                words.len()
-            )));
-        }
+        let words =
+            crate::slab::u64_cells_from_value(serde::value_field(v, "words")?, expect * LANES)?;
         let rems = spans
             .iter()
             .map(|s| FastRem::new(s.blocks as u64))

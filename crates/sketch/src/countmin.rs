@@ -34,7 +34,7 @@ pub enum UpdatePolicy {
 }
 
 /// A CountMin sketch over `u64` keys with saturating `u64` counters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CountMinSketch {
     width: usize,
     depth: usize,
@@ -232,6 +232,48 @@ impl CountMinSketch {
         self.total = 0;
     }
 
+    /// Fold this sketch down to width `quantum`, keeping the hash family.
+    ///
+    /// Requires `quantum` to divide the width: bucketing is `h(x) mod w`,
+    /// so `(h(x) mod w) mod quantum == h(x) mod quantum` and summing cell
+    /// `j` into folded cell `j mod quantum` per row yields exactly the
+    /// width-`quantum` sketch the same update stream would have built —
+    /// still a one-sided overestimate, with the error bound widened to
+    /// `e·N/quantum`. The windowed tiering layer folds expiring windows
+    /// this way before merging them into coarse tiers.
+    pub fn fold_width(&self, quantum: usize) -> Result<Self, SketchError> {
+        if quantum == 0 {
+            return Err(SketchError::InvalidDimension {
+                what: "fold quantum",
+                value: quantum,
+            });
+        }
+        if !self.width.is_multiple_of(quantum) {
+            return Err(SketchError::IncompatibleMerge {
+                reason: format!(
+                    "width {} is not a multiple of fold quantum {quantum}",
+                    self.width
+                ),
+            });
+        }
+        let mut cells = vec![0u64; quantum * self.depth];
+        for row in 0..self.depth {
+            let src = &self.cells[row * self.width..(row + 1) * self.width];
+            let dst = &mut cells[row * quantum..(row + 1) * quantum];
+            for (j, &c) in src.iter().enumerate() {
+                dst[j % quantum] = dst[j % quantum].saturating_add(c);
+            }
+        }
+        Ok(Self {
+            width: quantum,
+            depth: self.depth,
+            cells,
+            hashes: self.hashes.clone(),
+            total: self.total,
+            policy: self.policy,
+        })
+    }
+
     /// Inner-product estimate of two frequency vectors (upper bound):
     /// `min_row Σ_j row_a[j]·row_b[j]`. Used for join-size style
     /// estimation; exposed mainly for completeness of the substrate.
@@ -251,6 +293,52 @@ impl CountMinSketch {
             best = best.min(dot);
         }
         Ok(best)
+    }
+}
+
+// Written out instead of derived so the counter matrix rides the compact
+// nibble-stream codec (one string, no per-cell `Value`) and a decoded
+// shape is validated before any indexing trusts it.
+impl Serialize for CountMinSketch {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("width".to_owned(), self.width.to_value()),
+            ("depth".to_owned(), self.depth.to_value()),
+            (
+                "cells".to_owned(),
+                crate::slab::u64_cells_to_value(&self.cells),
+            ),
+            ("hashes".to_owned(), self.hashes.to_value()),
+            ("total".to_owned(), self.total.to_value()),
+            ("policy".to_owned(), self.policy.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for CountMinSketch {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let width: usize = Deserialize::from_value(serde::value_field(v, "width")?)?;
+        let depth: usize = Deserialize::from_value(serde::value_field(v, "depth")?)?;
+        let expect = (width > 0 && depth > 0)
+            .then(|| width.checked_mul(depth))
+            .flatten()
+            .ok_or_else(|| serde::Error(format!("invalid sketch shape {width}x{depth}")))?;
+        let cells = crate::slab::u64_cells_from_value(serde::value_field(v, "cells")?, expect)?;
+        let hashes: Vec<PairwiseHash> = Deserialize::from_value(serde::value_field(v, "hashes")?)?;
+        if hashes.len() != depth {
+            return Err(serde::Error(format!(
+                "sketch depth {depth} but {} row hashes",
+                hashes.len()
+            )));
+        }
+        Ok(Self {
+            width,
+            depth,
+            cells,
+            hashes,
+            total: Deserialize::from_value(serde::value_field(v, "total")?)?,
+            policy: Deserialize::from_value(serde::value_field(v, "policy")?)?,
+        })
     }
 }
 

@@ -27,7 +27,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// A Count sketch over `u64` keys with signed 64-bit counters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CountSketch {
     width: usize,
     depth: usize,
@@ -259,6 +259,94 @@ impl CountSketch {
     pub fn clear(&mut self) {
         self.cells.fill(0);
         self.total = 0;
+    }
+
+    /// Fold this sketch down to width `quantum`, keeping both hash
+    /// families. Requires `quantum` to divide the width (bucketing is
+    /// `h(x) mod w`, so the fold relocates every key's signed counts to
+    /// exactly the cells a width-`quantum` sketch would use); the sign
+    /// hash is per-key and width-independent, so the folded estimate
+    /// stays unbiased with variance widened by the narrower rows.
+    pub fn fold_width(&self, quantum: usize) -> Result<Self, SketchError> {
+        if quantum == 0 {
+            return Err(SketchError::InvalidDimension {
+                what: "fold quantum",
+                value: quantum,
+            });
+        }
+        if !self.width.is_multiple_of(quantum) {
+            return Err(SketchError::IncompatibleMerge {
+                reason: format!(
+                    "width {} is not a multiple of fold quantum {quantum}",
+                    self.width
+                ),
+            });
+        }
+        let mut cells = vec![0i64; quantum * self.depth];
+        for row in 0..self.depth {
+            let src = &self.cells[row * self.width..(row + 1) * self.width];
+            let dst = &mut cells[row * quantum..(row + 1) * quantum];
+            for (j, &c) in src.iter().enumerate() {
+                dst[j % quantum] = dst[j % quantum].saturating_add(c);
+            }
+        }
+        Ok(Self {
+            width: quantum,
+            depth: self.depth,
+            cells,
+            buckets: self.buckets.clone(),
+            signs: self.signs.clone(),
+            total: self.total,
+        })
+    }
+}
+
+// Written out instead of derived so the signed counter matrix rides the
+// compact nibble-stream codec (one string, no per-cell `Value`) and a
+// decoded shape is validated before any indexing trusts it.
+impl Serialize for CountSketch {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("width".to_owned(), self.width.to_value()),
+            ("depth".to_owned(), self.depth.to_value()),
+            (
+                "cells".to_owned(),
+                crate::slab::i64_cells_to_value(&self.cells),
+            ),
+            ("buckets".to_owned(), self.buckets.to_value()),
+            ("signs".to_owned(), self.signs.to_value()),
+            ("total".to_owned(), self.total.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for CountSketch {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let width: usize = Deserialize::from_value(serde::value_field(v, "width")?)?;
+        let depth: usize = Deserialize::from_value(serde::value_field(v, "depth")?)?;
+        let expect = (width > 0 && depth > 0)
+            .then(|| width.checked_mul(depth))
+            .flatten()
+            .ok_or_else(|| serde::Error(format!("invalid sketch shape {width}x{depth}")))?;
+        let cells = crate::slab::i64_cells_from_value(serde::value_field(v, "cells")?, expect)?;
+        let buckets: Vec<PairwiseHash> =
+            Deserialize::from_value(serde::value_field(v, "buckets")?)?;
+        let signs: Vec<FourwiseHash> = Deserialize::from_value(serde::value_field(v, "signs")?)?;
+        if buckets.len() != depth || signs.len() != depth {
+            return Err(serde::Error(format!(
+                "sketch depth {depth} but {} bucket and {} sign hashes",
+                buckets.len(),
+                signs.len()
+            )));
+        }
+        Ok(Self {
+            width,
+            depth,
+            cells,
+            buckets,
+            signs,
+            total: Deserialize::from_value(serde::value_field(v, "total")?)?,
+        })
     }
 }
 

@@ -58,6 +58,7 @@ pub mod exphist;
 pub mod hash;
 pub mod hll;
 pub mod lossy;
+pub mod slab;
 pub mod spacesaving;
 pub mod sync;
 pub mod windowed;

@@ -318,6 +318,106 @@ proptest! {
         }
     }
 
+    /// Exponential histogram vs an exact sliding counter: the estimate is
+    /// within the (1+ε) multiplicative guarantee of the true window count
+    /// at *every* cut point of the arrival sequence, not just a few
+    /// sampled horizons — the tiering substrate's core contract.
+    #[test]
+    fn exphist_one_plus_eps_vs_exact_counter(
+        gaps in vec(0u64..4, 20..800),
+        eps_hundredths in 10u32..100,
+    ) {
+        let eps = eps_hundredths as f64 / 100.0;
+        let mut eh = ExpHist::new(eps).unwrap();
+        // The exact sliding counter: every arrival time, in order.
+        let mut exact: Vec<u64> = Vec::with_capacity(gaps.len());
+        let mut t = 0u64;
+        for &g in &gaps {
+            t += g;
+            eh.add(t);
+            exact.push(t);
+        }
+        for &start in exact.iter().chain([t + 1].iter()) {
+            let truth = exact.iter().filter(|&&x| x >= start).count() as u64;
+            let est = eh.estimate_readonly(start);
+            prop_assert!(est as f64 <= (1.0 + eps) * truth as f64 + 1e-9,
+                "window [{start}..): est {est} above (1+ε)·{truth}");
+            prop_assert!(est as f64 >= (1.0 - eps) * truth as f64 - 1e-9,
+                "window [{start}..): est {est} below (1-ε)·{truth}");
+        }
+    }
+
+    /// Expiry monotonicity: shrinking the window never grows the answer,
+    /// and expiring buckets older than a cutoff never changes any answer
+    /// for windows inside the retained horizon.
+    #[test]
+    fn exphist_expiry_monotone(
+        gaps in vec(0u64..6, 10..500),
+        eps_hundredths in 10u32..100,
+        cut_permille in 0u32..1000,
+    ) {
+        let eps = eps_hundredths as f64 / 100.0;
+        let mut eh = ExpHist::new(eps).unwrap();
+        let mut t = 0u64;
+        for &g in &gaps {
+            t += g;
+            eh.add(t);
+        }
+        // Monotone in the window start.
+        let mut starts: Vec<u64> = (0..=t.min(200)).collect();
+        starts.extend([t / 2, t, t + 1]);
+        starts.sort_unstable();
+        let mut prev = u64::MAX;
+        for &start in &starts {
+            let est = eh.estimate_readonly(start);
+            prop_assert!(est <= prev,
+                "estimate grew as the window shrank at start {start}");
+            prev = est;
+        }
+        // Expiry below a cutoff preserves every answer at or above it,
+        // and strictly never grows the retained total.
+        let cutoff = t * cut_permille as u64 / 1000;
+        let before_total = eh.total();
+        let answers: Vec<u64> = (cutoff..=cutoff.saturating_add(20).min(t + 1))
+            .map(|s| eh.estimate_readonly(s))
+            .collect();
+        let removed = eh.expire(cutoff);
+        prop_assert_eq!(eh.total(), before_total - removed);
+        for (i, s) in (cutoff..=cutoff.saturating_add(20).min(t + 1)).enumerate() {
+            prop_assert_eq!(eh.estimate_readonly(s), answers[i],
+                "expire({cutoff}) changed the answer for window [{s}..)");
+        }
+    }
+
+    /// Weighted EH vs an exact sliding counter: the (1+ε) guarantee on
+    /// weighted window sums, plus expiry monotonicity of the estimate.
+    #[test]
+    fn weighted_exphist_one_plus_eps_and_monotone(
+        arrivals in vec((0u64..3, 1u64..200), 10..300),
+        eps_hundredths in 10u32..100,
+    ) {
+        let eps = eps_hundredths as f64 / 100.0;
+        let mut wh = WeightedExpHist::new(eps).unwrap();
+        let mut exact: Vec<(u64, u64)> = Vec::with_capacity(arrivals.len());
+        let mut t = 0u64;
+        for &(gap, w) in &arrivals {
+            t += gap;
+            wh.add(t, w);
+            exact.push((t, w));
+        }
+        let mut prev = u64::MAX;
+        for &(start, _) in exact.iter().chain([(t + 1, 0)].iter()) {
+            let truth: u64 = exact.iter().filter(|&&(x, _)| x >= start).map(|&(_, w)| w).sum();
+            let est = wh.estimate_readonly(start);
+            prop_assert!(est as f64 <= (1.0 + eps) * truth as f64 + 1e-9,
+                "window [{start}..): est {est} above (1+ε)·{truth}");
+            prop_assert!(est as f64 >= (1.0 - eps) * truth as f64 - 1e-9,
+                "window [{start}..): est {est} below (1-ε)·{truth}");
+            prop_assert!(est <= prev, "weighted estimate grew as the window shrank");
+            prev = est;
+        }
+    }
+
     /// AMS: merged sketches estimate the concatenated stream (exactly,
     /// since counters are linear).
     #[test]

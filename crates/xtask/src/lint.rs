@@ -34,6 +34,12 @@
 //!   (`fetch_add`/`fetch_sub`/`fetch_update`/`compare_exchange`/`swap`),
 //!   so the no-lock-prefix property those sections claim is enforced,
 //!   not just asserted.
+//! * **decode-no-panics** — snapshot decode paths (functions named
+//!   `load_*`/`read_*`/`decode*`/`parse_*` returning a `PersistError`)
+//!   must not panic on truncated or tampered input (DESIGN.md §13):
+//!   panicking constructs are findings there even when they carry a
+//!   `lint: allow(no-panics)` suppression — an invariant argument does
+//!   not hold against bytes read from disk.
 //!
 //! Each file is scanned through two stripped views: token rules match
 //! against code with comments AND string/char literals blanked (so a
@@ -118,6 +124,7 @@ pub fn run(root: &Path) -> Result<Vec<Finding>, String> {
         check_design_citations(&sf.rel, &sf.com, &design_sections, &mut findings);
         check_unsafe_sites(sf, &mut findings);
         check_exclusive_no_rmw(sf, &mut findings);
+        check_decode_no_panics(sf, &mut findings);
         check_suppression_rationales(sf, &mut findings);
     }
     check_crate_root_attrs(root, &mut findings);
@@ -733,6 +740,101 @@ fn check_exclusive_no_rmw(sf: &SourceFile, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Rule: snapshot decode paths must not panic on truncated or tampered
+/// input (DESIGN.md §13). A function whose name starts with `load_`,
+/// `read_`, `decode` or `parse_` and whose declaration names
+/// `PersistError` is codec surface that every byte of a snapshot file
+/// flows through; inside its body a panicking construct is a finding
+/// even when it carries a `lint: allow(no-panics)` suppression, because
+/// malformed input reaches these paths at runtime (the truncation sweep
+/// in `dbg --snapshot-smoke` drives them byte by byte). Return a
+/// `PersistError` instead; `lint: allow(decode-no-panics)` remains for
+/// the genuinely unreachable.
+fn check_decode_no_panics(sf: &SourceFile, findings: &mut Vec<Finding>) {
+    let patterns = [
+        ".unwrap()",
+        ".expect(",
+        "panic!(",
+        "unreachable!(",
+        "todo!(",
+        "unimplemented!(",
+    ];
+    let mut depth: i64 = 0;
+    // Brace depth at which the current decode fn opened, or -1.
+    let mut fn_depth: i64 = -1;
+    // Declaration text accumulated while looking for the opening brace
+    // (decode declarations routinely span several lines).
+    let mut decl: Option<String> = None;
+    for (idx, line) in sf.code.iter().enumerate() {
+        if fn_depth < 0 && decl.is_none() && declares_decode_fn(line) {
+            decl = Some(String::new());
+        }
+        if let Some(buf) = &mut decl {
+            buf.push_str(line);
+            if line.contains('{') {
+                if buf.contains("PersistError") {
+                    fn_depth = depth;
+                }
+                decl = None;
+            } else if line.contains(';') {
+                // A bodiless trait-method declaration.
+                decl = None;
+            }
+        }
+        if fn_depth >= 0
+            && !sf.in_test[idx]
+            && patterns.iter().any(|pat| line.contains(pat))
+            && !suppressed(sf, idx, "decode-no-panics")
+        {
+            findings.push(finding(
+                sf,
+                idx,
+                "decode-no-panics",
+                "panicking construct on a snapshot decode path — truncated or \
+                 tampered input reaches this at runtime; return a PersistError",
+            ));
+        }
+        for ch in line.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if fn_depth >= 0 && depth <= fn_depth {
+            fn_depth = -1;
+        }
+    }
+}
+
+/// Whether `line` declares a function whose name marks it as snapshot
+/// decode surface (`load_*`, `read_*`, `decode*`, `parse_*`).
+fn declares_decode_fn(line: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find("fn ") {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !line[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok {
+            let name: String = line[abs + 3..]
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if ["load_", "read_", "decode", "parse_"]
+                .iter()
+                .any(|p| name.starts_with(p))
+            {
+                return true;
+            }
+        }
+        start = abs + 3;
+    }
+    false
+}
+
 /// Whether `line` declares a function whose name ends in `_exclusive`.
 fn declares_exclusive_fn(line: &str) -> bool {
     let mut start = 0;
@@ -967,6 +1069,68 @@ mod tests {
         );
         let mut f = Vec::new();
         check_exclusive_no_rmw(&file, &mut f);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn panic_in_decode_fn_is_flagged() {
+        let file = sf(
+            "fn decode_windowed(text: &str) -> Result<W, PersistError> {\n    let n = text.lines().next().unwrap();\n    Ok(parse(n)?)\n}\n",
+        );
+        let mut f = Vec::new();
+        check_decode_no_panics(&file, &mut f);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "decode-no-panics");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn no_panics_suppression_does_not_cover_decode_paths() {
+        // A justified allow(no-panics) silences the general rule but NOT
+        // the decode rule: disk bytes defeat invariant arguments.
+        let file = sf(
+            "fn load_windowed(p: &Path) -> Result<W, PersistError> {\n    // lint: allow(no-panics) — offset came from our own footer.\n    let line = text.get(off..).unwrap();\n    Ok(parse(line)?)\n}\n",
+        );
+        let mut general = Vec::new();
+        check_no_panics(&file, &mut general);
+        assert!(general.is_empty(), "{general:?}");
+        let mut decode = Vec::new();
+        check_decode_no_panics(&file, &mut decode);
+        assert_eq!(decode.len(), 1);
+        assert_eq!(decode[0].rule, "decode-no-panics");
+    }
+
+    #[test]
+    fn multiline_decode_declaration_is_tracked() {
+        let file = sf(
+            "pub fn read_gsketch_backend<R: Read, B: FrequencySketch>(\n    r: R,\n) -> Result<GSketch<B>, PersistError> {\n    buf.pop().expect(\"nonempty\");\n    Ok(g)\n}\n",
+        );
+        let mut f = Vec::new();
+        check_decode_no_panics(&file, &mut f);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn non_persist_fn_is_outside_decode_surface() {
+        // Decode-named but no PersistError in the signature, and a
+        // panicking fn that is not decode-named: neither is this rule's
+        // business (the general no-panics rule still sees both).
+        let file = sf(
+            "fn parse_flag(s: &str) -> u64 { s.parse().unwrap() }\nfn apply(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        );
+        let mut f = Vec::new();
+        check_decode_no_panics(&file, &mut f);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn decode_rule_has_its_own_suppression() {
+        let file = sf(
+            "fn load_x(p: &Path) -> Result<W, PersistError> {\n    // lint: allow(decode-no-panics) — slice length pinned by the match above.\n    let v = w[0].unwrap();\n    Ok(v)\n}\n",
+        );
+        let mut f = Vec::new();
+        check_decode_no_panics(&file, &mut f);
         assert!(f.is_empty(), "{f:?}");
     }
 

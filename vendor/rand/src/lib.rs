@@ -172,6 +172,31 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state words, for serialization.
+        ///
+        /// Round-trips exactly through [`StdRng::from_state`]; the real
+        /// `rand` has no such accessor, so callers that persist RNG state
+        /// must gate on this vendored stand-in.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild an RNG from state words captured by [`StdRng::state`].
+        ///
+        /// An all-zero state (which xoshiro cannot accept) is remapped the
+        /// same way [`SeedableRng::from_seed`] remaps it, so every input
+        /// yields a working generator.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return Self {
+                    s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3],
+                };
+            }
+            Self { s }
+        }
+    }
+
     impl RngCore for StdRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {

@@ -105,6 +105,20 @@ pub fn value_seq(v: &Value, n: usize) -> Result<&[Value], Error> {
 // Primitive impls
 // ---------------------------------------------------------------------------
 
+/// A `Value` serializes as itself, so pre-built trees flow through the
+/// same entry points as derived types (e.g. `serde_json::to_string`).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! impl_unsigned {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
