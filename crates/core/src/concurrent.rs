@@ -81,6 +81,7 @@ impl ConcurrentGSketch {
     /// update that happened-before the call). With the pre-filter on,
     /// each slot run is first screened through the batched membership
     /// kernel and only surviving keys reach the counters.
+    // audit: kernel(bounds-free)
     pub fn estimate_batch(&self, edges: &[Edge], out: &mut Vec<u64>) {
         if let Some(f) = self.read_filter() {
             let mut mask = Vec::new();

@@ -65,7 +65,11 @@ pub(crate) fn filtered_run(
     let mut present: Vec<u64> = vec![0; keys.len()];
     let mut j = 0;
     for (&k, &m) in keys.iter().zip(mask) {
-        present[j] = k;
+        // `j` advances at most once per key, so it stays in bounds; the
+        // guard keeps the kernel free of panic edges (`xtask audit`).
+        if let Some(p) = present.get_mut(j) {
+            *p = k;
+        }
         // cast: bool -> usize, exactly 0 or 1.
         j += m as usize;
     }
@@ -74,13 +78,14 @@ pub(crate) fn filtered_run(
     probe(&present, &mut vals);
     // Sentinel so the branch-free scatter can always read `vals[j]`:
     // once the cursor passes the last present value, absent keys read
-    // the sentinel and multiply it by 0.
+    // the sentinel and multiply it by 0. The read is `get`-guarded all
+    // the same (a short `probe` answer degrades to 0, never a panic).
     vals.push(0);
     out.clear();
     out.reserve(keys.len());
     let mut j = 0;
     out.extend(mask.iter().map(|&m| {
-        let v = vals[j];
+        let v = vals.get(j).copied().unwrap_or(0);
         // cast: bool -> usize / u64, exactly 0 or 1.
         j += m as usize;
         v * m as u64
@@ -812,6 +817,7 @@ impl<B: FrequencySketch> GSketch<B> {
     /// distinct key): absent keys are answered `0` without touching a
     /// counter row, and only the surviving keys flow through the
     /// counter kernel — present-key answers stay bit-identical.
+    // audit: kernel(bounds-free)
     pub fn estimate_batch(&self, edges: &[Edge], out: &mut Vec<u64>) {
         if let Some(f) = self.read_filter() {
             let mut mask = Vec::new();

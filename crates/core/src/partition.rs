@@ -80,6 +80,7 @@ impl PartitionConfig {
     }
 
     fn validate(&self) {
+        // lint: allow(no-panics) — documented precondition: a malformed partition plan must fail fast at build time, not skew estimates later.
         assert!(self.total_width >= 2, "total width must be at least 2");
         assert!(self.min_width >= 2, "min width must be at least 2");
         assert!(

@@ -315,13 +315,21 @@ impl Worker {
 
     /// Counting-sort the evicted triples by slot and commit each run
     /// through the sink's span-commit.
+    ///
+    /// `slot_of` contractually stays below the sink's slot count (the
+    /// scratch arrays' length); the scatter indices are `get`-guarded
+    /// anyway so the commit span carries no panic edge in the compiled
+    /// artifact (`xtask audit` — a rogue slot drops its entries rather
+    /// than panicking).
     fn commit_evicted<B: SlotSink>(&mut self, sink: &B) {
         if self.evicted.is_empty() {
             return;
         }
         self.counts.fill(0);
         for &(slot, _, _) in &self.evicted {
-            self.counts[slot as usize] += 1;
+            if let Some(c) = self.counts.get_mut(slot as usize) {
+                *c += 1;
+            }
         }
         self.cursors.clear();
         let mut acc = 0usize;
@@ -332,19 +340,26 @@ impl Worker {
         self.runs.clear();
         self.runs.resize(self.evicted.len(), (0, 0));
         for &(slot, pair, weight) in &self.evicted {
-            let at = &mut self.cursors[slot as usize];
+            let Some(at) = self.cursors.get_mut(slot as usize) else {
+                continue;
+            };
             // The sketch key is derived here — once per committed entry,
             // not once per arrival.
-            self.runs[*at] = (pair_key(pair), weight);
+            if let Some(r) = self.runs.get_mut(*at) {
+                *r = (pair_key(pair), weight);
+            }
             *at += 1;
         }
         let mut start = 0usize;
         for (slot, &end) in self.cursors.iter().enumerate() {
             if end > start {
+                let Some(run) = self.runs.get(start..end) else {
+                    break;
+                };
                 if self.exclusive {
-                    sink.commit_run_exclusive(slot as u32, &self.runs[start..end]);
+                    sink.commit_run_exclusive(slot as u32, run);
                 } else {
-                    sink.commit_run(slot as u32, &self.runs[start..end]);
+                    sink.commit_run(slot as u32, run);
                 }
             }
             start = end;
@@ -717,6 +732,13 @@ impl OwnerWorker {
     /// routing pass fills `slots`, then each slot run goes through the
     /// sink's exclusive span-commit (sound: this owner is the sole
     /// writer of every slot its pairs route to).
+    ///
+    /// `slot_of` contractually stays below the sink's slot count (the
+    /// scratch arrays' length); the scatter indices are `get`-guarded
+    /// anyway so the commit span carries no panic edge in the compiled
+    /// artifact (`xtask audit` — a rogue slot drops its entries rather
+    /// than panicking).
+    // audit: kernel(bounds-free)
     fn commit_evicted<B: SlotSink>(&mut self, sink: &B) {
         // Destructure into disjoint field borrows so the scratch-array
         // writes below can't be assumed to alias each other.
@@ -738,7 +760,9 @@ impl OwnerWorker {
             // source vertex id, which is 32 bits by construction.
             let slot = sink.slot_of(gstream::vertex::VertexId((pair >> 32) as u32));
             slots.push(slot);
-            counts[slot as usize] += 1;
+            if let Some(c) = counts.get_mut(slot as usize) {
+                *c += 1;
+            }
         }
         cursors.clear();
         let mut acc = 0usize;
@@ -749,18 +773,25 @@ impl OwnerWorker {
         runs.clear();
         runs.resize(evicted.len(), (0, 0));
         for (&(pair, weight), &slot) in evicted.iter().zip(slots.iter()) {
-            let at = &mut cursors[slot as usize];
+            let Some(at) = cursors.get_mut(slot as usize) else {
+                continue;
+            };
             // The sketch key is derived here — once per committed entry,
             // not once per arrival.
-            runs[*at] = (pair_key(pair), weight);
+            if let Some(r) = runs.get_mut(*at) {
+                *r = (pair_key(pair), weight);
+            }
             *at += 1;
         }
         let mut start = 0usize;
         for (slot, &end) in cursors.iter().enumerate() {
             if end > start {
+                let Some(run) = runs.get(start..end) else {
+                    break;
+                };
                 // cast: usize -> u32; slot indices are bounded by the
                 // sink's slot count, which fits u32 (slot ids are u32).
-                sink.commit_run_exclusive(slot as u32, &runs[start..end]);
+                sink.commit_run_exclusive(slot as u32, run);
             }
             start = end;
         }
@@ -769,6 +800,7 @@ impl OwnerWorker {
 
     /// Evict every live cache entry and commit everything: after this,
     /// all absorbed arrivals are visible in the sink.
+    // audit: kernel(bounds-free)
     fn drain<B: SlotSink>(&mut self, sink: &B) {
         let sets = &mut self.sets;
         let evicted = &mut self.evicted;

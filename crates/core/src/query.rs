@@ -88,6 +88,12 @@ impl<T: EdgeEstimator + ?Sized> EdgeEstimator for &T {
 /// estimator (sequential and concurrent banks differ only in the
 /// `run_estimator` they pass in). `out` is overwritten with one answer
 /// per query, in query order.
+///
+/// `slot_of` contractually returns values below `n_slots`; the scatter
+/// indices it feeds are nevertheless guarded (`get`/`get_mut` — a rogue
+/// slot drops its queries to answer `0` instead of panicking), so the
+/// monomorphized kernels this body lands in stay panic-free in the
+/// compiled artifact (`xtask audit`).
 pub(crate) fn estimate_batch_by_slot<S, R>(
     edges: &[Edge],
     n_slots: usize,
@@ -104,7 +110,9 @@ pub(crate) fn estimate_batch_by_slot<S, R>(
     let slots: Vec<u32> = edges.iter().map(|e| slot_of(e.src)).collect();
     let mut counts = vec![0usize; n_slots];
     for &s in &slots {
-        counts[s as usize] += 1;
+        if let Some(c) = counts.get_mut(s as usize) {
+            *c += 1;
+        }
     }
     let mut cursors = Vec::with_capacity(n_slots);
     let mut acc = 0usize;
@@ -116,9 +124,15 @@ pub(crate) fn estimate_batch_by_slot<S, R>(
     let mut keys: Vec<u64> = vec![0; edges.len()];
     let mut origin: Vec<usize> = vec![0; edges.len()];
     for (i, (e, &s)) in edges.iter().zip(&slots).enumerate() {
-        let at = &mut cursors[s as usize];
-        keys[*at] = e.key();
-        origin[*at] = i;
+        let Some(at) = cursors.get_mut(s as usize) else {
+            continue;
+        };
+        if let Some(k) = keys.get_mut(*at) {
+            *k = e.key();
+        }
+        if let Some(o) = origin.get_mut(*at) {
+            *o = i;
+        }
         *at += 1;
     }
     // One batched bank probe per non-empty slot run, scattered back to
@@ -128,9 +142,14 @@ pub(crate) fn estimate_batch_by_slot<S, R>(
         if count == 0 {
             continue;
         }
-        run_estimator(slot as u32, &keys[start..start + count], &mut vals);
-        for (&v, &o) in vals.iter().zip(&origin[start..start + count]) {
-            out[o] = v;
+        let Some(run) = keys.get(start..start + count) else {
+            continue;
+        };
+        run_estimator(slot as u32, run, &mut vals);
+        for (&v, &o) in vals.iter().zip(origin.iter().skip(start).take(count)) {
+            if let Some(slot_out) = out.get_mut(o) {
+                *slot_out = v;
+            }
         }
     }
 }

@@ -166,6 +166,7 @@ impl SampleStats {
     /// and leaves the partitioning objective unchanged (E′ pivots are
     /// invariant under a common positive scaling of `f̃v` and `d̃`).
     pub fn extrapolate(&mut self, sample_rate: f64) {
+        // lint: allow(no-panics) — documented precondition: an out-of-range sample rate would silently corrupt the extrapolated frequencies.
         assert!(
             sample_rate > 0.0 && sample_rate <= 1.0,
             "sample rate must be in (0, 1]"

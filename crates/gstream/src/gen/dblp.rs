@@ -75,6 +75,7 @@ impl Default for DblpConfig {
 
 impl DblpConfig {
     fn validate(&self) {
+        // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
         assert!(self.authors >= 2, "need at least two authors");
         assert!(self.papers > 0, "need at least one paper");
         for (name, p) in [
@@ -82,12 +83,14 @@ impl DblpConfig {
             ("stable_loyalty", self.stable_loyalty),
             ("networker_loyalty", self.networker_loyalty),
         ] {
+            // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
             assert!((0.0..=1.0).contains(&p), "{name} must be a probability");
         }
         assert!(
             self.stable_circle >= 1 && self.networker_circle >= 1,
             "circle capacities must be positive"
         );
+        // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
         assert!(
             self.max_authors_per_paper >= 2,
             "papers must allow at least two authors to form pairs"

@@ -38,6 +38,7 @@ impl ErdosRenyiConfig {
     }
 
     fn validate(&self) {
+        // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
         assert!(self.vertices >= 2, "need at least two vertices");
     }
 }

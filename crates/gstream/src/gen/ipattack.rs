@@ -72,23 +72,28 @@ impl Default for IpAttackConfig {
 
 impl IpAttackConfig {
     fn validate(&self) {
+        // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
         assert!(self.hosts >= 16, "need a minimal host universe");
         assert!(self.arrivals > 0, "need at least one arrival");
         assert!(self.scanners >= 1 && self.attackers >= 1);
+        // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
         assert!(
             self.scanner_fraction >= 0.0
                 && self.attack_fraction >= 0.0
                 && self.scanner_fraction + self.attack_fraction <= 1.0,
             "traffic fractions must form a sub-probability"
         );
+        // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
         assert!(
             self.scanners + self.attackers < self.hosts,
             "role counts must leave ordinary hosts for background traffic"
         );
+        // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
         assert!(
             self.scan_subnet >= 2 && self.scan_subnet <= self.hosts,
             "scan subnet must be within the host universe"
         );
+        // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
         assert!(self.victims_per_attacker >= 1);
     }
 }

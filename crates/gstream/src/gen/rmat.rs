@@ -51,19 +51,23 @@ impl RmatConfig {
     }
 
     fn validate(&self) {
+        // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
         assert!(
             self.scale > 0 && self.scale <= 31,
             "scale must be in 1..=31"
         );
         let sum = self.a + self.b + self.c + self.d;
+        // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
         assert!(
             (sum - 1.0).abs() < 1e-6,
             "quadrant probabilities must sum to 1, got {sum}"
         );
+        // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
         assert!(
             self.a > 0.0 && self.b > 0.0 && self.c > 0.0 && self.d > 0.0,
             "quadrant probabilities must be positive"
         );
+        // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
         assert!((0.0..1.0).contains(&self.noise), "noise must be in [0,1)");
     }
 }
@@ -252,10 +256,12 @@ fn zipf_index(r: f64, k: usize, alpha: f64) -> usize {
 impl RmatTrafficGenerator {
     /// Grow the topology and build the activity distribution.
     pub fn new(cfg: RmatTrafficConfig) -> Self {
+        // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
         assert!(
             cfg.activity_alpha >= 0.0,
             "activity_alpha must be non-negative"
         );
+        // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
         assert!(
             cfg.within_source_alpha >= 0.0,
             "within_source_alpha must be non-negative"

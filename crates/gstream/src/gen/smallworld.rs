@@ -52,11 +52,13 @@ impl SmallWorldConfig {
     }
 
     fn validate(&self) {
+        // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
         assert!(self.vertices >= 4, "need at least four vertices");
         assert!(
             self.k >= 1 && self.k < self.vertices,
             "k must be in 1..vertices"
         );
+        // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
         assert!((0.0..=1.0).contains(&self.beta), "beta must be in [0,1]");
         assert!(self.zipf_alpha >= 0.0, "zipf_alpha must be non-negative");
     }

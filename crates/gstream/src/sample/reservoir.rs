@@ -23,6 +23,7 @@ impl<T> Reservoir<T> {
     /// # Panics
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
+        // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
         assert!(capacity > 0, "reservoir capacity must be positive");
         Self {
             capacity,

@@ -27,6 +27,7 @@ impl Zipf {
     /// # Panics
     /// Panics if `n == 0` or `alpha <= 0` or either is non-finite.
     pub fn new(n: u64, alpha: f64) -> Self {
+        // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
         assert!(n > 0, "Zipf support must be non-empty");
         assert!(
             alpha > 0.0 && alpha.is_finite(),

@@ -104,6 +104,7 @@ pub fn coalesce(stream: &[StreamEdge]) -> Vec<StreamEdge> {
 /// paper's §5 coarse time-window scheme). Returns exactly `n` buckets;
 /// later buckets may be empty when traffic is front-loaded.
 pub fn epochs(stream: &[StreamEdge], n: usize) -> Vec<Vec<StreamEdge>> {
+    // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
     assert!(n > 0, "need at least one epoch");
     debug_assert!(is_time_ordered(stream));
     let mut out = vec![Vec::new(); n];

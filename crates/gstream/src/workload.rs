@@ -35,6 +35,7 @@ pub fn uniform_edge_queries<R: Rng + ?Sized>(
     k: usize,
     rng: &mut R,
 ) -> Vec<Edge> {
+    // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
     assert!(
         !stream.is_empty(),
         "cannot sample queries from an empty stream"
@@ -51,6 +52,7 @@ pub fn uniform_distinct_queries<R: Rng + ?Sized>(
     k: usize,
     rng: &mut R,
 ) -> Vec<Edge> {
+    // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
     assert!(counts.distinct_edges() > 0, "no distinct edges to sample");
     let mut all: Vec<Edge> = counts.iter().map(|(e, _)| e).collect();
     all.sort_unstable(); // deterministic order for reproducibility
@@ -100,6 +102,7 @@ pub fn zipf_edge_queries<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Vec<Edge> {
     let ranked = ranked_edges(counts, rank, rng);
+    // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
     assert!(!ranked.is_empty(), "no distinct edges to sample");
     let zipf = Zipf::new(ranked.len() as u64, alpha);
     (0..k)
@@ -127,6 +130,7 @@ impl ZipfEdgeSampler {
         rng: &mut R,
     ) -> Self {
         let ranked = ranked_edges(counts, rank, rng);
+        // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
         assert!(!ranked.is_empty(), "no distinct edges to sample");
         let zipf = Zipf::new(ranked.len() as u64, alpha);
         Self { ranked, zipf }
@@ -170,6 +174,7 @@ pub fn inject_absent_queries<R: Rng + ?Sized>(
     frac: f64,
     rng: &mut R,
 ) -> usize {
+    // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
     assert!(
         (0.0..1.0).contains(&frac),
         "absent fraction must be in [0, 1)"
@@ -182,6 +187,7 @@ pub fn inject_absent_queries<R: Rng + ?Sized>(
     let mut srcs: Vec<VertexId> = counts.iter().map(|(e, _)| e.src).collect();
     srcs.sort_unstable();
     srcs.dedup();
+    // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
     assert!(!srcs.is_empty(), "no stream vertices to draw sources from");
     let ceiling = counts
         .iter()
@@ -277,6 +283,7 @@ impl WorkloadQuery {
     /// # Panics
     /// Panics if `t_start > t_end`.
     pub fn windowed(edge: Edge, t_start: u64, t_end: u64) -> Self {
+        // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
         assert!(t_start <= t_end, "empty interval");
         Self {
             edge,
@@ -319,6 +326,7 @@ pub fn bfs_subgraph_queries<R: Rng + ?Sized>(
         v.sort_unstable();
         v
     };
+    // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
     assert!(!sources.is_empty(), "stream has no edges to explore");
     let mut out = Vec::with_capacity(count);
     while out.len() < count {
@@ -383,6 +391,7 @@ pub fn windowed_interval_queries<R: Rng + ?Sized>(
     t_max: u64,
     rng: &mut R,
 ) -> Vec<WorkloadQuery> {
+    // lint: allow(no-panics) — documented generator precondition (`# Panics`): workload configs are literals in benches and tests; misuse must fail fast.
     assert!(span > 0, "interval span must be positive");
     assert!(align > 0, "interval alignment must be positive");
     let last_start = t_max.saturating_sub(span - 1);

@@ -166,9 +166,15 @@ impl BlockedBloom {
     /// Record a whole slot run of `(key, weight)` pairs (weights are
     /// ignored — membership is unweighted). Adjacent duplicate keys are
     /// inserted once, matching the batch-commit coalescing discipline.
+    /// An out-of-range `slot` is a no-op instead of a panic — audited
+    /// panic-free from the compiled artifact (`xtask audit`).
+    // audit: kernel(bounds-free)
     pub fn insert_run(&mut self, slot: u32, run: &[(u64, u64)]) {
-        let rem = self.rems[slot as usize];
-        let span = self.spans[slot as usize];
+        let (Some(&rem), Some(&span)) =
+            (self.rems.get(slot as usize), self.spans.get(slot as usize))
+        else {
+            return;
+        };
         let mut i = 0;
         while i < run.len() {
             let key = run[i].0;
@@ -176,7 +182,9 @@ impl BlockedBloom {
                 i += 1;
             }
             let (word, mask) = probe_of(self.seed, rem, span, key);
-            self.words[word] |= mask;
+            if let Some(w) = self.words.get_mut(word) {
+                *w |= mask;
+            }
         }
     }
 
@@ -199,18 +207,32 @@ impl BlockedBloom {
     /// small blocks that first compute and prefetch every target cache
     /// line, then test bits out of now-resident lines. `out` is cleared
     /// and receives one answer per key, in order; answers are identical
-    /// to [`contains`](Self::contains) per key.
+    /// to [`contains`](Self::contains) per key. An out-of-range `slot`
+    /// has no members, so every answer is `false` — no panic; the kernel
+    /// is audited panic-free from the compiled artifact (`xtask audit`).
+    // audit: kernel(bounds-free)
     pub fn contains_batch(&self, slot: u32, keys: &[u64], out: &mut Vec<bool>) {
+        let (Some(&rem), Some(&span)) =
+            (self.rems.get(slot as usize), self.spans.get(slot as usize))
+        else {
+            out.clear();
+            out.resize(keys.len(), false);
+            return;
+        };
         contains_batch_kernel(
             self.seed,
-            self.rems[slot as usize],
-            self.spans[slot as usize],
+            rem,
+            span,
             keys,
             out,
             #[inline(always)]
-            |w| self.words[w],
+            |w| self.words.get(w).copied().unwrap_or(0),
             #[inline(always)]
-            |w| crate::prefetch(&self.words[w]),
+            |w| {
+                if let Some(word) = self.words.get(w) {
+                    crate::prefetch(word);
+                }
+            },
         );
     }
 
@@ -345,13 +367,16 @@ fn contains_batch_kernel<L, P>(
     let answers = &mut out[..];
     let mut words: [usize; BLOCK] = [0; BLOCK];
     let mut masks: [u64; BLOCK] = [0; BLOCK];
-    let mut starts: [usize; BLOCK] = [0; BLOCK];
+    let mut ends: [usize; BLOCK] = [0; BLOCK];
     let mut i = 0;
     while i < keys.len() {
+        // Phase 1: coalesce and probe. Scratch writes index with
+        // `filled < BLOCK` straight from the fill-loop guard, so the
+        // compiler discharges the bounds statically.
+        let mut from = i;
         let mut filled = 0usize;
         while filled < BLOCK && i < keys.len() {
             let key = keys[i];
-            starts[filled] = i;
             while i < keys.len() && keys[i] == key {
                 i += 1;
             }
@@ -359,12 +384,20 @@ fn contains_batch_kernel<L, P>(
             prefetch_word(word);
             words[filled] = word;
             masks[filled] = mask;
+            ends[filled] = i;
             filled += 1;
         }
-        for b in 0..filled {
-            let hit = load(words[b]) & masks[b] == masks[b];
-            let to = if b + 1 < filled { starts[b + 1] } else { i };
-            answers[starts[b]..to].fill(hit);
+        // Phase 2: one-load mask compares out of now-resident lines,
+        // filling each coalesced run's answer span. `from..to` is always
+        // in bounds (`to ≤ keys.len()` by construction); the range goes
+        // through `get_mut` so the artifact carries no slice-index panic
+        // edge either way.
+        for ((&word, &mask), &to) in words.iter().zip(masks.iter()).zip(ends.iter()).take(filled) {
+            let hit = load(word) & mask == mask;
+            if let Some(run) = answers.get_mut(from..to) {
+                run.fill(hit);
+            }
+            from = to;
         }
     }
 }
@@ -403,10 +436,16 @@ impl AtomicBlockedBloom {
     }
 
     /// Record a whole slot run of `(key, weight)` pairs from any thread
-    /// (weights ignored; adjacent duplicate keys inserted once).
+    /// (weights ignored; adjacent duplicate keys inserted once). An
+    /// out-of-range `slot` is a no-op instead of a panic — audited
+    /// panic-free from the compiled artifact (`xtask audit`).
+    // audit: kernel(bounds-free)
     pub fn insert_run(&self, slot: u32, run: &[(u64, u64)]) {
-        let rem = self.rems[slot as usize];
-        let span = self.spans[slot as usize];
+        let (Some(&rem), Some(&span)) =
+            (self.rems.get(slot as usize), self.spans.get(slot as usize))
+        else {
+            return;
+        };
         let mut i = 0;
         while i < run.len() {
             let key = run[i].0;
@@ -414,9 +453,11 @@ impl AtomicBlockedBloom {
                 i += 1;
             }
             let (word, mask) = probe_of(self.seed, rem, span, key);
-            // ordering: Relaxed — same raise-only fetch_or argument
-            // as `insert`.
-            self.words[word].fetch_or(mask, Ordering::Relaxed);
+            if let Some(w) = self.words.get(word) {
+                // ordering: Relaxed — same raise-only fetch_or argument
+                // as `insert`.
+                w.fetch_or(mask, Ordering::Relaxed);
+            }
         }
     }
 
@@ -427,9 +468,13 @@ impl AtomicBlockedBloom {
     /// same block this could lose bits — exactly what the caller
     /// contract rules out, and what makes slot partitioning load-bearing
     /// (owners own disjoint block ranges).
+    // audit: kernel(bounds-free)
     pub fn insert_run_exclusive(&self, slot: u32, run: &[(u64, u64)]) {
-        let rem = self.rems[slot as usize];
-        let span = self.spans[slot as usize];
+        let (Some(&rem), Some(&span)) =
+            (self.rems.get(slot as usize), self.spans.get(slot as usize))
+        else {
+            return;
+        };
         let mut i = 0;
         while i < run.len() {
             let key = run[i].0;
@@ -437,12 +482,13 @@ impl AtomicBlockedBloom {
                 i += 1;
             }
             let (word, mask) = probe_of(self.seed, rem, span, key);
-            let w = &self.words[word];
-            // ordering: Relaxed — plain load/or/store is only sound
-            // under the sole-writer caller contract (the owner-shard
-            // harness checks it); no ordering fixes a torn RMW
-            // against a second writer, so Relaxed is as strong as any.
-            w.store(w.load(Ordering::Relaxed) | mask, Ordering::Relaxed);
+            if let Some(w) = self.words.get(word) {
+                // ordering: Relaxed — plain load/or/store is only sound
+                // under the sole-writer caller contract (the owner-shard
+                // harness checks it); no ordering fixes a torn RMW
+                // against a second writer, so Relaxed is as strong as any.
+                w.store(w.load(Ordering::Relaxed) | mask, Ordering::Relaxed);
+            }
         }
     }
 
@@ -465,20 +511,37 @@ impl AtomicBlockedBloom {
 
     /// Batched [`contains`](Self::contains) over one slot run — same
     /// prefetch kernel as [`BlockedBloom::contains_batch`], callable
-    /// from any thread.
+    /// from any thread. An out-of-range `slot` has no members, so every
+    /// answer is `false` — no panic.
+    // audit: kernel(bounds-free)
     pub fn contains_batch(&self, slot: u32, keys: &[u64], out: &mut Vec<bool>) {
+        let (Some(&rem), Some(&span)) =
+            (self.rems.get(slot as usize), self.spans.get(slot as usize))
+        else {
+            out.clear();
+            out.resize(keys.len(), false);
+            return;
+        };
         contains_batch_kernel(
             self.seed,
-            self.rems[slot as usize],
-            self.spans[slot as usize],
+            rem,
+            span,
             keys,
             out,
             #[inline(always)]
             // ordering: Relaxed — same raise-only staleness argument as
             // `contains`.
-            |w| self.words[w].load(Ordering::Relaxed),
+            |w| {
+                self.words
+                    .get(w)
+                    .map_or(0, |word| word.load(Ordering::Relaxed))
+            },
             #[inline(always)]
-            |w| crate::prefetch(&self.words[w]),
+            |w| {
+                if let Some(word) = self.words.get(w) {
+                    crate::prefetch(word);
+                }
+            },
         );
     }
 

@@ -49,6 +49,7 @@ fn push_value(s: &mut String, v: u64) {
 }
 
 /// Encode an unsigned slab as the nibble stream described above.
+// audit: kernel(bounds-free)
 pub fn encode_u64(cells: &[u64]) -> String {
     let mut s = String::with_capacity(cells.len() / 4 + 16);
     let mut i = 0usize;
@@ -69,6 +70,7 @@ pub fn encode_u64(cells: &[u64]) -> String {
 }
 
 /// Encode a signed slab; negative counters open with a `-` sign.
+// audit: kernel(bounds-free)
 pub fn encode_i64(cells: &[i64]) -> String {
     let mut s = String::with_capacity(cells.len() / 4 + 16);
     let mut i = 0usize;
@@ -143,6 +145,7 @@ fn overfull(expected: usize) -> Error {
 /// allocation. A value of more than 16 nibbles is rejected outright,
 /// which is also what makes per-digit overflow checks unnecessary: 16
 /// nibbles are exactly a `u64`.
+// audit: kernel(bounds-free)
 pub fn decode_u64(s: &str, expected: usize) -> Result<Vec<u64>, Error> {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(expected);
@@ -192,6 +195,7 @@ pub fn decode_u64(s: &str, expected: usize) -> Result<Vec<u64>, Error> {
 
 /// Decode a signed slab of exactly `expected` cells. Same single-pass
 /// scan as [`decode_u64`] plus a sign state.
+// audit: kernel(bounds-free)
 pub fn decode_i64(s: &str, expected: usize) -> Result<Vec<i64>, Error> {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(expected);

@@ -107,6 +107,7 @@ impl TriangleEstimator {
     /// Create an estimator keeping each distinct edge with probability
     /// `p`. Panics if `p` is outside `(0, 1]`.
     pub fn new(p: f64, seed: u64) -> Self {
+        // lint: allow(no-panics) — documented precondition (`# Panics`): a keep probability outside (0, 1] must fail at construction.
         assert!(p > 0.0 && p <= 1.0, "keep probability must be in (0, 1]");
         Self {
             p,

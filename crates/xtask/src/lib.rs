@@ -1,6 +1,7 @@
 //! Workspace analysis tooling (DESIGN.md §10): the architectural lint
-//! pass ([`lint`]) and — behind the `model-check` feature — the
-//! concurrency model-check harnesses (`harness`) that drive the
+//! pass ([`lint`]), the compiled-artifact panic/bounds-check auditor
+//! ([`audit`], DESIGN.md §14), and — behind the `model-check` feature —
+//! the concurrency model-check harnesses (`harness`) that drive the
 //! workspace's real concurrent hot paths under the deterministic
 //! scheduler in `sketch::sync::model`.
 
@@ -8,6 +9,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod audit;
 pub mod lint;
 
 #[cfg(feature = "model-check")]

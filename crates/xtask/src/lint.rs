@@ -40,6 +40,13 @@
 //!   panicking constructs are findings there even when they carry a
 //!   `lint: allow(no-panics)` suppression — an invariant argument does
 //!   not hold against bytes read from disk.
+//! * **audit-registry** — the `// audit: kernel(...)` annotations and
+//!   the committed `AUDIT.json` ratchet stay coherent (DESIGN.md §14):
+//!   every annotation parses and resolves to a real `fn` item, every
+//!   baseline entry resolves to a live annotation, and every annotation
+//!   has a baseline entry. The artifact-level verification itself runs
+//!   in `xtask audit`; this rule catches registry drift without paying
+//!   for a release build.
 //!
 //! Each file is scanned through two stripped views: token rules match
 //! against code with comments AND string/char literals blanked (so a
@@ -128,6 +135,7 @@ pub fn run(root: &Path) -> Result<Vec<Finding>, String> {
         check_suppression_rationales(sf, &mut findings);
     }
     check_crate_root_attrs(root, &mut findings);
+    check_audit_registry(root, &mut findings);
     // README citations ride the same resolver as source comments.
     if let Ok(readme) = fs::read_to_string(root.join("README.md")) {
         let lines: Vec<String> = readme.lines().map(str::to_owned).collect();
@@ -502,37 +510,71 @@ fn check_ordering_rationale(sf: &SourceFile, findings: &mut Vec<Finding>) {
     }
 }
 
+/// The panicking constructs the no-panics rules look for. These
+/// literals are invisible to the scanner itself: string contents are
+/// stripped before matching.
+const PANIC_PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// The release-retained assert family. Matched at an identifier
+/// boundary so `debug_assert*!(` — compiled out of release artifacts,
+/// and the repo's designated invariant-documentation form — stays
+/// exempt. (`panic!(` and `unreachable!(` in [`PANIC_PATTERNS`] get
+/// boundary matching for free: no `*_panic!` macro exists here, and the
+/// substring match is the stricter reading.)
+const ASSERT_MACROS: &[&str] = &["assert!(", "assert_eq!(", "assert_ne!("];
+
+/// Whether a code line contains any release-visible panicking construct.
+fn has_panicking_construct(line: &str) -> bool {
+    if PANIC_PATTERNS.iter().any(|p| line.contains(p)) {
+        return true;
+    }
+    ASSERT_MACROS.iter().any(|m| contains_at_boundary(line, m))
+}
+
+/// `pat` occurs in `line` with no identifier character immediately
+/// before it (so `assert!(` does not match inside `debug_assert!(`).
+fn contains_at_boundary(line: &str, pat: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(pat) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !line[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok {
+            return true;
+        }
+        start = abs + pat.len();
+    }
+    false
+}
+
 /// Rule: no panicking constructs in non-test library code of the strict
 /// crates.
 fn check_no_panics(sf: &SourceFile, findings: &mut Vec<Finding>) {
     if !STRICT_CRATES.contains(&sf.crate_name.as_str()) {
         return;
     }
-    // These literals are invisible to the scanner itself: string
-    // contents are stripped before matching.
-    let patterns = [
-        ".unwrap()",
-        ".expect(",
-        "panic!(",
-        "unreachable!(",
-        "todo!(",
-        "unimplemented!(",
-    ];
     for (idx, line) in sf.code.iter().enumerate() {
         if sf.in_test[idx] {
             continue;
         }
-        for pat in &patterns {
-            if line.contains(pat) && !suppressed(sf, idx, "no-panics") {
-                findings.push(finding(
-                    sf,
-                    idx,
-                    "no-panics",
-                    "panicking construct in library code — return an error, restructure, \
-                     or justify with `lint: allow(no-panics)`",
-                ));
-                break;
-            }
+        if has_panicking_construct(line) && !suppressed(sf, idx, "no-panics") {
+            findings.push(finding(
+                sf,
+                idx,
+                "no-panics",
+                "panicking construct in library code — return an error, restructure, \
+                 or justify with `lint: allow(no-panics)`",
+            ));
         }
     }
 }
@@ -751,14 +793,6 @@ fn check_exclusive_no_rmw(sf: &SourceFile, findings: &mut Vec<Finding>) {
 /// `PersistError` instead; `lint: allow(decode-no-panics)` remains for
 /// the genuinely unreachable.
 fn check_decode_no_panics(sf: &SourceFile, findings: &mut Vec<Finding>) {
-    let patterns = [
-        ".unwrap()",
-        ".expect(",
-        "panic!(",
-        "unreachable!(",
-        "todo!(",
-        "unimplemented!(",
-    ];
     let mut depth: i64 = 0;
     // Brace depth at which the current decode fn opened, or -1.
     let mut fn_depth: i64 = -1;
@@ -783,7 +817,7 @@ fn check_decode_no_panics(sf: &SourceFile, findings: &mut Vec<Finding>) {
         }
         if fn_depth >= 0
             && !sf.in_test[idx]
-            && patterns.iter().any(|pat| line.contains(pat))
+            && has_panicking_construct(line)
             && !suppressed(sf, idx, "decode-no-panics")
         {
             findings.push(finding(
@@ -857,6 +891,109 @@ fn declares_exclusive_fn(line: &str) -> bool {
         start = abs + 3;
     }
     false
+}
+
+/// Rule: the audit registry stays coherent (DESIGN.md §14). Annotations
+/// must parse and resolve to `fn` items (a malformed annotation
+/// silently auditing nothing is the failure mode this exists for), and
+/// the committed `AUDIT.json` must agree with the live annotation set
+/// in both directions. The artifact-level reachability check is `xtask
+/// audit`'s job; this is the cheap static half.
+fn check_audit_registry(root: &Path, findings: &mut Vec<Finding>) {
+    let kernels = match crate::audit::scan_annotations(root) {
+        Ok(k) => k,
+        Err(e) => {
+            findings.push(Finding {
+                rule: "audit-registry",
+                file: "crates".to_owned(),
+                line: 1,
+                message: e,
+            });
+            return;
+        }
+    };
+    let baseline_path = root.join(crate::audit::BASELINE_FILE);
+    let baseline = match fs::read_to_string(&baseline_path) {
+        Ok(text) => match crate::audit::parse_baseline(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                findings.push(Finding {
+                    rule: "audit-registry",
+                    file: crate::audit::BASELINE_FILE.to_owned(),
+                    line: 1,
+                    message: e,
+                });
+                return;
+            }
+        },
+        Err(_) => {
+            findings.push(Finding {
+                rule: "audit-registry",
+                file: crate::audit::BASELINE_FILE.to_owned(),
+                line: 1,
+                message: format!(
+                    "{} missing — run `xtask audit --write-baseline` and commit it",
+                    crate::audit::BASELINE_FILE
+                ),
+            });
+            return;
+        }
+    };
+    check_audit_registry_coherence(&kernels, &baseline, findings);
+}
+
+/// The pure comparison half of `audit-registry`, split out for tests.
+fn check_audit_registry_coherence(
+    kernels: &[crate::audit::Kernel],
+    baseline: &crate::audit::Baseline,
+    findings: &mut Vec<Finding>,
+) {
+    let mut seen = std::collections::HashSet::new();
+    for k in kernels {
+        let key = k.key();
+        if !seen.insert(key.clone()) {
+            findings.push(Finding {
+                rule: "audit-registry",
+                file: k.file.clone(),
+                line: k.line,
+                message: format!("duplicate audited kernel `{key}`"),
+            });
+            continue;
+        }
+        match baseline.get(&key) {
+            None => findings.push(Finding {
+                rule: "audit-registry",
+                file: k.file.clone(),
+                line: k.line,
+                message: format!(
+                    "audited kernel `{key}` has no {} entry — run `xtask audit --write-baseline`",
+                    crate::audit::BASELINE_FILE
+                ),
+            }),
+            Some(e) if e.mode != k.mode => findings.push(Finding {
+                rule: "audit-registry",
+                file: k.file.clone(),
+                line: k.line,
+                message: format!(
+                    "audited kernel `{key}` is annotated {} but {} records {}",
+                    k.mode,
+                    crate::audit::BASELINE_FILE,
+                    e.mode
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for key in baseline.keys() {
+        if !seen.contains(key) {
+            findings.push(Finding {
+                rule: "audit-registry",
+                file: crate::audit::BASELINE_FILE.to_owned(),
+                line: 1,
+                message: format!("baseline entry `{key}` resolves to no live annotation"),
+            });
+        }
+    }
 }
 
 /// Rule (crate-root half): the unsafe-free crates pin that with
@@ -1132,6 +1269,93 @@ mod tests {
         let mut f = Vec::new();
         check_decode_no_panics(&file, &mut f);
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn release_asserts_are_flagged_but_debug_asserts_exempt() {
+        let bad = sf("fn a(x: usize, y: usize) {\n    assert!(x < y);\n    assert_eq!(x, 0);\n    assert_ne!(y, 0);\n}\n");
+        let mut f = Vec::new();
+        check_no_panics(&bad, &mut f);
+        assert_eq!(f.len(), 3, "{f:?}");
+        let ok = sf(
+            "fn a(x: usize, y: usize) {\n    debug_assert!(x < y);\n    debug_assert_eq!(x, 0);\n    debug_assert_ne!(y, 0);\n}\n",
+        );
+        let mut f2 = Vec::new();
+        check_no_panics(&ok, &mut f2);
+        assert!(f2.is_empty(), "{f2:?}");
+    }
+
+    #[test]
+    fn decode_paths_reject_release_asserts_too() {
+        let file = sf(
+            "fn load_x(p: &Path) -> Result<W, PersistError> {\n    assert_ne!(w.len(), 0);\n    Ok(v)\n}\n",
+        );
+        let mut f = Vec::new();
+        check_decode_no_panics(&file, &mut f);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "decode-no-panics");
+    }
+
+    fn kernel(owner: &str, name: &str, mode: crate::audit::Mode) -> crate::audit::Kernel {
+        crate::audit::Kernel {
+            lib: "sketch".into(),
+            owner: owner.into(),
+            fn_name: name.into(),
+            mode,
+            file: "crates/sketch/src/x.rs".into(),
+            line: 1,
+        }
+    }
+
+    #[test]
+    fn audit_registry_flags_drift_in_both_directions() {
+        use crate::audit::{BaselineEntry, Mode};
+        let kernels = vec![
+            kernel("CmArena", "annotated_only", Mode::BoundsFree),
+            kernel("CmArena", "agreed", Mode::BoundsFree),
+        ];
+        let mut baseline = crate::audit::Baseline::new();
+        baseline.insert(
+            "sketch::CmArena::agreed".into(),
+            BaselineEntry {
+                mode: Mode::BoundsFree,
+                bounds_checks: 0,
+            },
+        );
+        baseline.insert(
+            "sketch::CmArena::baseline_only".into(),
+            BaselineEntry {
+                mode: Mode::PanicFree,
+                bounds_checks: 2,
+            },
+        );
+        let mut f = Vec::new();
+        check_audit_registry_coherence(&kernels, &baseline, &mut f);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|x| x.message.contains("annotated_only")));
+        assert!(f.iter().any(|x| x.message.contains("baseline_only")));
+    }
+
+    #[test]
+    fn audit_registry_flags_mode_mismatch_and_duplicates() {
+        use crate::audit::{BaselineEntry, Mode};
+        let kernels = vec![
+            kernel("CmArena", "k", Mode::PanicFree),
+            kernel("CmArena", "k", Mode::PanicFree),
+        ];
+        let mut baseline = crate::audit::Baseline::new();
+        baseline.insert(
+            "sketch::CmArena::k".into(),
+            BaselineEntry {
+                mode: Mode::BoundsFree,
+                bounds_checks: 0,
+            },
+        );
+        let mut f = Vec::new();
+        check_audit_registry_coherence(&kernels, &baseline, &mut f);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|x| x.message.contains("duplicate")));
+        assert!(f.iter().any(|x| x.message.contains("annotated panic-free")));
     }
 
     #[test]

@@ -1,0 +1,32 @@
+//! The release artifact must audit clean (DESIGN.md §14): this test
+//! makes `xtask audit` part of the test gate, mirroring
+//! `lint_clean.rs` — a new panic edge or bounds check reachable from an
+//! audited kernel, a ratchet regression, or registry drift against
+//! `AUDIT.json` fails `cargo test` directly. The audit compiles the
+//! hot-path crates into its own `target/xtask-audit` directory, so it
+//! neither contends for the main target lock nor thrashes the normal
+//! build's fingerprints.
+
+#[test]
+fn hot_kernels_audit_clean() {
+    let root = xtask::workspace_root();
+    let outcome = xtask::audit::run(&root, false).expect("audit pass runs");
+    for r in &outcome.reports {
+        eprintln!(
+            "{} [{}]: {} instantiation(s), {} retained bounds check(s)",
+            r.key,
+            r.mode,
+            r.symbols.len(),
+            r.bounds_checks
+        );
+    }
+    for f in &outcome.failures {
+        eprintln!("{f}");
+    }
+    assert!(
+        outcome.failures.is_empty(),
+        "xtask audit reported {} failure(s) — restructure the kernel or re-ratchet \
+         AUDIT.json (see crates/xtask/src/audit.rs docs)",
+        outcome.failures.len()
+    );
+}

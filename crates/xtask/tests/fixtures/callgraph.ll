@@ -1,0 +1,32 @@
+; Pinned fixture: call-graph extraction and demangling over a clean
+; kernel (audit_fixtures.rs). Shapes mirror real rustc output: legacy
+; mangling with instantiation hashes, a trait-impl bracketed symbol, a
+; drop-glue generic, an llvm.* intrinsic (must be dropped), and an
+; indirect call (no symbol; invisible to the graph by design).
+source_filename = "fixture"
+
+define internal fastcc void @_ZN6sketch5arena7CmArena19estimate_batch_slot17h0123456789abcdefE(ptr %self) unnamed_addr {
+start:
+  call fastcc void @_ZN6sketch5arena7CmArena10batch_read17hfedcba9876543210E(ptr %self)
+  call void @llvm.lifetime.start.p0(i64 8, ptr %self)
+  ret void
+}
+
+define internal fastcc void @_ZN6sketch5arena7CmArena10batch_read17hfedcba9876543210E(ptr %self) unnamed_addr {
+start:
+  %v = tail call i64 @"_ZN74_$LT$sketch..arena..CmArena$u20$as$u20$sketch..traits..FrequencySketch$GT$8estimate17h1111111111111111E"(ptr %self)
+  call void %self(i64 %v)
+  ret void
+}
+
+define i64 @"_ZN74_$LT$sketch..arena..CmArena$u20$as$u20$sketch..traits..FrequencySketch$GT$8estimate17h1111111111111111E"(ptr %self) unnamed_addr {
+start:
+  ret i64 0
+}
+
+define internal void @"_ZN4core3ptr43drop_in_place$LT$sketch..arena..CmArena$GT$17h9999999999999999E"(ptr %self) unnamed_addr {
+start:
+  ret void
+}
+
+declare void @llvm.lifetime.start.p0(i64, ptr)

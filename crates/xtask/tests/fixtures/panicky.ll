@@ -1,0 +1,45 @@
+; Pinned fixture: a deliberately panic-reachable kernel, proving the
+; auditor can FAIL (audit_fixtures.rs). `update_slot` reaches both a
+; legacy-mangled bounds check and a v0-mangled panic_fmt through one
+; level of indirection; `probe_set` reaches only bounds checks, at two
+; call sites, exercising the panic-free ratchet count.
+source_filename = "fixture"
+
+define void @_ZN6sketch5arena7CmArena11update_slot17h2222222222222222E(ptr %self, i64 %k) unnamed_addr {
+start:
+  %c = icmp ult i64 %k, 8
+  br i1 %c, label %ok, label %bad
+
+bad:
+  call void @_ZN6sketch5arena8grow_row17h5555555555555555E(ptr %self)
+  unreachable
+
+ok:
+  ret void
+}
+
+define internal void @_ZN6sketch5arena8grow_row17h5555555555555555E(ptr %self) unnamed_addr {
+start:
+  call void @_ZN4core9panicking18panic_bounds_check17h3333333333333333E(i64 9, i64 8)
+  invoke void @_RNvNtCs2guqholBoiA_4core9panicking9panic_fmt(ptr %self)
+          to label %cont unwind label %cleanup
+
+cont:
+  call void @_RINvNtC4core5alloc7realloc1aEB2_(ptr %self)
+  unreachable
+
+cleanup:
+  %lp = landingpad { ptr, i32 } cleanup
+  resume { ptr, i32 } %lp
+}
+
+define void @_ZN6sketch4slab9probe_set17h4444444444444444E(ptr %p) unnamed_addr {
+start:
+  call void @_ZN4core9panicking18panic_bounds_check17h3333333333333333E(i64 0, i64 8)
+  call void @_ZN4core9panicking18panic_bounds_check17h3333333333333333E(i64 1, i64 8)
+  unreachable
+}
+
+declare void @_ZN4core9panicking18panic_bounds_check17h3333333333333333E(i64, i64)
+declare void @_RNvNtCs2guqholBoiA_4core9panicking9panic_fmt(ptr)
+declare void @_RINvNtC4core5alloc7realloc1aEB2_(ptr)
